@@ -1,0 +1,99 @@
+//! Experiment E7 — §5.4: partial tuples whose chi-square already exceeds
+//! the threshold are pruned mid-chain ("only if it is larger than the
+//! threshold, Ri … is sent to the next archive").
+//!
+//! Table: tuples surviving each chain stage as the XMATCH threshold
+//! varies, against the unpruned cross-product size. Criterion compares
+//! the chained pruning evaluation against the naive exhaustive matcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyquery_bench::{triple_federation, triple_query};
+use skyquery_core::baseline::naive_match;
+use skyquery_htm::{SkyPoint, Vec3};
+
+fn node_positions(fed: &skyquery_sim::TestFederation, archive: &str) -> Vec<Vec3> {
+    let node = fed.node(archive).unwrap();
+    let table = node.info().primary_table.clone();
+    node.with_db(|db| {
+        db.table(&table)
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| {
+                SkyPoint::from_radec_deg(r[1].as_f64().unwrap(), r[2].as_f64().unwrap())
+                    .to_vec3()
+            })
+            .collect()
+    })
+}
+
+fn print_table() {
+    println!("\n=== E7: tuples surviving each chain stage vs threshold (1000 bodies) ===");
+    let fed = triple_federation(1000);
+    let sizes: Vec<usize> = ["SDSS", "TWOMASS", "FIRST"]
+        .iter()
+        .map(|a| node_positions(&fed, a).len())
+        .collect();
+    let cross_product: u64 = sizes.iter().map(|&s| s as u64).product();
+    println!(
+        "archive sizes: SDSS={}, TWOMASS={}, FIRST={}  (cross product {})",
+        sizes[0], sizes[1], sizes[2], cross_product
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "threshold", "after seed", "after 2nd", "after 3rd", "matches"
+    );
+    for threshold in [1.0, 2.0, 3.5, 5.0, 10.0] {
+        let (result, trace) = fed.portal.submit(&triple_query(threshold)).unwrap();
+        let survivors: Vec<String> = trace
+            .events()
+            .iter()
+            .filter(|e| e.action == "cross match step")
+            .map(|e| {
+                e.detail
+                    .rsplit_once("tuples out ")
+                    .map(|(_, n)| n.to_string())
+                    .unwrap_or_default()
+            })
+            .collect();
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>10}",
+            threshold,
+            survivors.first().cloned().unwrap_or_default(),
+            survivors.get(1).cloned().unwrap_or_default(),
+            survivors.get(2).cloned().unwrap_or_default(),
+            result.row_count()
+        );
+    }
+    println!("(pruning keeps intermediate sets near the final match count,\n far below the cross product)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    // Small instance so the naive O(n³) baseline stays feasible.
+    let fed = triple_federation(150);
+    let sql = triple_query(3.5);
+    let pos: Vec<Vec<Vec3>> = ["SDSS", "TWOMASS", "FIRST"]
+        .iter()
+        .map(|a| node_positions(&fed, a))
+        .collect();
+    let sigmas = [
+        (0.1 / 3600.0_f64).to_radians(),
+        (0.3 / 3600.0_f64).to_radians(),
+        (1.0 / 3600.0_f64).to_radians(),
+    ];
+    let mut group = c.benchmark_group("e7_pruning");
+    group.sample_size(10);
+    group.bench_function("chained_pruned", |b| {
+        b.iter(|| fed.portal.submit(&sql).unwrap())
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("naive_cross_product"),
+        &pos,
+        |b, pos| b.iter(|| naive_match(pos, &sigmas, 3.5)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

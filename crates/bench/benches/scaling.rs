@@ -1,0 +1,70 @@
+//! Experiment E8 — §2 scale: surveys "cover 10 – 100 million objects";
+//! the federation must scale with archive count and object density.
+//!
+//! Table: query latency-proxy statistics vs number of archives N and vs
+//! sky density. Criterion measures end-to-end query time at several
+//! federation shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyquery_bench::{n_archive_federation, n_archive_query, triple_federation, triple_query};
+
+fn print_tables() {
+    println!("\n=== E8a: chain behaviour vs number of archives (600 bodies) ===");
+    println!(
+        "{:<6} {:>10} {:>14} {:>12}",
+        "N", "matches", "total bytes", "messages"
+    );
+    for n in [2usize, 3, 4, 6] {
+        let fed = n_archive_federation(n, 600);
+        let sql = n_archive_query(n, 3.5);
+        fed.net.reset_metrics();
+        let (result, _) = fed.portal.submit(&sql).unwrap();
+        let m = fed.net.metrics().total();
+        println!(
+            "{:<6} {:>10} {:>14} {:>12}",
+            n,
+            result.row_count(),
+            m.bytes,
+            m.messages
+        );
+    }
+
+    println!("\n=== E8b: chain behaviour vs sky density (3 archives) ===");
+    println!("{:<10} {:>10} {:>14}", "bodies", "matches", "total bytes");
+    for bodies in [250usize, 1000, 4000] {
+        let fed = triple_federation(bodies);
+        fed.net.reset_metrics();
+        let (result, _) = fed.portal.submit(&triple_query(3.5)).unwrap();
+        println!(
+            "{:<10} {:>10} {:>14}",
+            bodies,
+            result.row_count(),
+            fed.net.metrics().total().bytes
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("e8_scaling");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let fed = n_archive_federation(n, 400);
+        let sql = n_archive_query(n, 3.5);
+        group.bench_with_input(BenchmarkId::new("archives", n), &n, |b, _| {
+            b.iter(|| fed.portal.submit(&sql).unwrap())
+        });
+    }
+    for bodies in [250usize, 1000, 4000] {
+        let fed = triple_federation(bodies);
+        let sql = triple_query(3.5);
+        group.bench_with_input(BenchmarkId::new("bodies", bodies), &bodies, |b, _| {
+            b.iter(|| fed.portal.submit(&sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

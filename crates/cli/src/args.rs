@@ -1,0 +1,166 @@
+//! Hand-rolled argument parsing (the workspace keeps its dependency
+//! surface to the sanctioned crates; a CLI parser is 60 lines).
+
+/// Federation-shaping options shared by every command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Number of bodies in the synthetic sky.
+    pub bodies: usize,
+    /// Catalog RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            bodies: 2000,
+            seed: 42,
+        }
+    }
+}
+
+/// Parsed CLI command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `skyquery demo` — quickstart.
+    Demo(Options),
+    /// `skyquery run <sql>` — one-shot query.
+    Run(Options, String),
+    /// `skyquery repl` — interactive session.
+    Repl(Options),
+    /// `skyquery help` or parse failure with the message to print.
+    Help(Option<String>),
+}
+
+/// Parses `argv[1..]`.
+pub fn parse_args<I, S>(args: I) -> Command
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let mut opts = Options::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bodies" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => opts.bodies = n,
+                    None => return Command::Help(Some("--bodies needs a number".into())),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => opts.seed = n,
+                    None => return Command::Help(Some("--seed needs a number".into())),
+                }
+            }
+            "--help" | "-h" => return Command::Help(None),
+            other if other.starts_with("--") => {
+                return Command::Help(Some(format!("unknown option {other}")))
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    match positional.first().map(String::as_str) {
+        Some("demo") => Command::Demo(opts),
+        Some("repl") => Command::Repl(opts),
+        Some("run") => {
+            let sql = positional[1..].join(" ");
+            if sql.trim().is_empty() {
+                Command::Help(Some("run needs a query: skyquery run \"SELECT …\"".into()))
+            } else {
+                Command::Run(opts, sql)
+            }
+        }
+        Some("help") | None => Command::Help(None),
+        Some(other) => Command::Help(Some(format!("unknown command {other}"))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> &'static str {
+    "skyquery — a federated cross-match engine (SkyQuery, CIDR 2003)
+
+USAGE:
+    skyquery <COMMAND> [OPTIONS]
+
+COMMANDS:
+    demo             build a 3-archive federation and run the paper's sample query
+    run \"<sql>\"      run one cross-match query against a fresh federation
+    repl             interactive session (\\help inside for meta-commands)
+    help             show this text
+
+OPTIONS:
+    --bodies <N>     synthetic bodies in the shared sky   [default: 2000]
+    --seed <N>       catalog RNG seed                     [default: 42]
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert_eq!(parse_args(["demo"]), Command::Demo(Options::default()));
+        assert!(matches!(parse_args(Vec::<String>::new()), Command::Help(None)));
+        assert!(matches!(parse_args(["help"]), Command::Help(None)));
+        assert!(matches!(parse_args(["--help"]), Command::Help(None)));
+    }
+
+    #[test]
+    fn options_parsed() {
+        match parse_args(["repl", "--bodies", "500", "--seed", "7"]) {
+            Command::Repl(o) => {
+                assert_eq!(o.bodies, 500);
+                assert_eq!(o.seed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Options may precede the command.
+        match parse_args(["--bodies", "10", "demo"]) {
+            Command::Demo(o) => assert_eq!(o.bodies, 10),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_collects_sql() {
+        match parse_args(["run", "SELECT", "O.a", "FROM", "S:T", "O"]) {
+            Command::Run(_, sql) => assert_eq!(sql, "SELECT O.a FROM S:T O"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(
+            parse_args(["run"]),
+            Command::Help(Some(msg)) if msg.contains("run needs a query")
+        ));
+        assert!(matches!(
+            parse_args(["--bodies", "NaN", "demo"]),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse_args(["--wat"]),
+            Command::Help(Some(msg)) if msg.contains("--wat")
+        ));
+        assert!(matches!(
+            parse_args(["launch"]),
+            Command::Help(Some(msg)) if msg.contains("launch")
+        ));
+    }
+
+    #[test]
+    fn usage_mentions_commands() {
+        for word in ["demo", "run", "repl", "--bodies", "--seed"] {
+            assert!(usage().contains(word), "{word}");
+        }
+    }
+}

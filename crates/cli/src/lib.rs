@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # skyquery-cli — the interactive federation driver
+//!
+//! A command-line front end over a synthetic SkyQuery federation: build a
+//! federation of SDSS/2MASS/FIRST-like archives, submit cross-match
+//! queries, inspect execution traces and transmission metrics, switch
+//! plan orderings, and run transactional table transfers — everything a
+//! Virtual Observatory operator would poke at.
+//!
+//! ```text
+//! skyquery demo                 # build a federation, run the paper's query
+//! skyquery run "SELECT …"       # one-shot query against a fresh federation
+//! skyquery repl                 # interactive session
+//! ```
+
+pub mod args;
+pub mod session;
+
+pub use args::{parse_args, Command, Options};
+pub use session::Session;

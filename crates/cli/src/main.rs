@@ -1,0 +1,81 @@
+//! The `skyquery` binary: see `skyquery help`.
+
+use std::io::{BufRead, Write};
+
+use skyquery_cli::args::{parse_args, usage, Command};
+use skyquery_cli::session::{meta_help, Session};
+
+fn main() {
+    let cmd = parse_args(std::env::args().skip(1));
+    let code = run(cmd);
+    std::process::exit(code);
+}
+
+fn run(cmd: Command) -> i32 {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match cmd {
+        Command::Help(None) => {
+            let _ = writeln!(out, "{}", usage());
+            0
+        }
+        Command::Help(Some(msg)) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            2
+        }
+        Command::Demo(opts) => {
+            let _ = writeln!(
+                out,
+                "Building a 3-archive federation ({} bodies, seed {})…",
+                opts.bodies, opts.seed
+            );
+            let mut session = Session::new(&opts);
+            let _ = session.handle_line("\\archives", &mut out);
+            let sql = skyquery_sim::paper_query();
+            let _ = writeln!(out, "\n> {sql}\n");
+            let _ = session.handle_line("\\trace", &mut out);
+            let _ = session.handle_line(&sql, &mut out);
+            0
+        }
+        Command::Run(opts, sql) => {
+            let mut session = Session::new(&opts);
+            match session.run_once(&sql, &mut out) {
+                Ok(true) => 0,
+                Ok(false) => 1, // query failed; the error was printed
+                Err(_) => 1,
+            }
+        }
+        Command::Repl(opts) => {
+            let _ = writeln!(
+                out,
+                "skyquery repl — {} bodies, seed {} (\\help for meta-commands)",
+                opts.bodies, opts.seed
+            );
+            let _ = writeln!(out, "{}", meta_help());
+            let mut session = Session::new(&opts);
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                let _ = write!(out, "skyquery> ");
+                let _ = out.flush();
+                line.clear();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) => break, // EOF
+                    Ok(_) => match session.handle_line(&line, &mut out) {
+                        Ok(true) => {}
+                        Ok(false) => break,
+                        Err(e) => {
+                            eprintln!("io error: {e}");
+                            return 1;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("io error: {e}");
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! An interactive session over one federation: query execution plus the
+//! meta-commands of the REPL. All output goes through a `Write` sink so
+//! tests can drive the whole session headlessly.
+
+use std::io::Write;
+
+use skyquery_core::{FederationConfig, OrderingStrategy};
+use skyquery_sim::{CatalogParams, FederationBuilder, TestFederation};
+
+use crate::args::Options;
+
+/// A live session: federation + display settings.
+pub struct Session {
+    fed: TestFederation,
+    show_trace: bool,
+    max_rows: usize,
+}
+
+impl Session {
+    /// Builds the standard three-archive federation per the options.
+    pub fn new(opts: &Options) -> Session {
+        let fed = FederationBuilder::new()
+            .catalog(CatalogParams {
+                count: opts.bodies,
+                seed: opts.seed,
+                ..CatalogParams::default()
+            })
+            .survey(skyquery_sim::SurveyParams::sdss_like())
+            .survey(skyquery_sim::SurveyParams::twomass_like())
+            .survey(skyquery_sim::SurveyParams::first_like())
+            .build();
+        Session {
+            fed,
+            show_trace: false,
+            max_rows: 20,
+        }
+    }
+
+    /// The underlying federation (for inspection in tests).
+    pub fn federation(&self) -> &TestFederation {
+        &self.fed
+    }
+
+    /// Handles one input line (query or `\`-meta-command); writes human
+    /// output to `out`. Returns `false` when the session should end.
+    pub fn handle_line(&mut self, line: &str, out: &mut dyn Write) -> std::io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        if let Some(meta) = line.strip_prefix('\\') {
+            return self.handle_meta(meta, out);
+        }
+        self.run_query(line, out)?;
+        Ok(true)
+    }
+
+    /// Runs one query and reports whether it succeeded — the one-shot
+    /// `skyquery run` entry point, where failures must exit nonzero.
+    pub fn run_once(&mut self, sql: &str, out: &mut dyn Write) -> std::io::Result<bool> {
+        self.run_query(sql, out)
+    }
+
+    fn run_query(&mut self, sql: &str, out: &mut dyn Write) -> std::io::Result<bool> {
+        self.fed.net.reset_metrics();
+        match self.fed.portal.submit(sql) {
+            Ok((result, trace)) => {
+                if self.show_trace {
+                    writeln!(out, "{}", trace.render())?;
+                }
+                let shown = result.row_count().min(self.max_rows);
+                let mut head = skyquery_core::ResultSet::new(result.columns.clone());
+                for row in result.rows.iter().take(shown) {
+                    head.push_row(row.clone()).expect("same columns");
+                }
+                write!(out, "{}", head.to_ascii())?;
+                if shown < result.row_count() {
+                    writeln!(out, "… ({} more rows)", result.row_count() - shown)?;
+                }
+                let m = self.fed.net.metrics().total();
+                writeln!(
+                    out,
+                    "{} rows · {} SOAP messages · {} bytes on the wire",
+                    result.row_count(),
+                    m.messages,
+                    m.bytes
+                )?;
+            }
+            Err(e) => {
+                writeln!(out, "error: {e}")?;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn handle_meta(&mut self, meta: &str, out: &mut dyn Write) -> std::io::Result<bool> {
+        let mut parts = meta.split_whitespace();
+        match parts.next() {
+            Some("q") | Some("quit") | Some("exit") => return Ok(false),
+            Some("help") => writeln!(out, "{}", meta_help())?,
+            Some("archives") => {
+                for node in &self.fed.nodes {
+                    let info = node.info();
+                    let rows = node.with_db(|db| db.row_count(&info.primary_table).unwrap());
+                    writeln!(
+                        out,
+                        "{:<10} σ={:>5.2}\"  {:>6} objects  table {}",
+                        info.name, info.sigma_arcsec, rows, info.primary_table
+                    )?;
+                }
+            }
+            Some("trace") => {
+                self.show_trace = !self.show_trace;
+                writeln!(
+                    out,
+                    "trace {}",
+                    if self.show_trace { "on" } else { "off" }
+                )?;
+            }
+            Some("rows") => match parts.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    self.max_rows = n;
+                    writeln!(out, "showing up to {n} rows")?;
+                }
+                None => writeln!(out, "usage: \\rows <n>")?,
+            },
+            Some("explain") => {
+                let sql: String = parts.collect::<Vec<_>>().join(" ");
+                if sql.trim().is_empty() {
+                    writeln!(out, "usage: \\explain <cross-match sql>")?;
+                } else {
+                    match self.fed.portal.explain(&sql) {
+                        Ok(text) => write!(out, "{text}")?,
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+            }
+            Some("metrics") => {
+                for ((from, to), stats) in self.fed.net.metrics().links() {
+                    writeln!(
+                        out,
+                        "{from:<26} -> {to:<26} {:>4} msgs {:>10} bytes",
+                        stats.messages, stats.bytes
+                    )?;
+                }
+            }
+            Some("ordering") => {
+                let strategy = match parts.next() {
+                    Some("desc") => Some(OrderingStrategy::CountStarDescending),
+                    Some("asc") => Some(OrderingStrategy::CountStarAscending),
+                    Some("decl") => Some(OrderingStrategy::DeclarationOrder),
+                    Some("random") => Some(OrderingStrategy::Random(
+                        parts.next().and_then(|s| s.parse().ok()).unwrap_or(1),
+                    )),
+                    _ => None,
+                };
+                match strategy {
+                    Some(s) => {
+                        self.fed.portal.set_config(FederationConfig {
+                            ordering: s,
+                            ..self.fed.portal.config()
+                        });
+                        writeln!(out, "plan ordering set to {s:?}")?;
+                    }
+                    None => writeln!(out, "usage: \\ordering desc|asc|decl|random [seed]")?,
+                }
+            }
+            Some("limit") => match parts.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => {
+                    self.fed.portal.set_config(FederationConfig {
+                        max_message_bytes: bytes,
+                        ..self.fed.portal.config()
+                    });
+                    writeln!(out, "SOAP parser limit set to {bytes} bytes")?;
+                }
+                None => writeln!(out, "usage: \\limit <bytes>")?,
+            },
+            Some("chunking") => match parts.next() {
+                Some(word @ ("on" | "off")) => {
+                    let enabled = word == "on";
+                    self.fed.portal.set_config(FederationConfig {
+                        chunking: enabled,
+                        ..self.fed.portal.config()
+                    });
+                    writeln!(out, "chunking {word}")?;
+                }
+                _ => writeln!(out, "usage: \\chunking on|off")?,
+            },
+            Some("transfer") => {
+                // \transfer SRC DEST TABLE SELECT …
+                let src = parts.next();
+                let dest = parts.next();
+                let table = parts.next();
+                let sql: String = parts.collect::<Vec<_>>().join(" ");
+                match (src, dest, table, sql.is_empty()) {
+                    (Some(src), Some(dest), Some(table), false) => {
+                        match self.fed.portal.transfer_table(src, &sql, dest, table) {
+                            Ok(r) => writeln!(
+                                out,
+                                "txn {}: {} rows {} -> {} ({})",
+                                r.txn_id, r.rows_copied, r.source, r.destination, r.dest_table
+                            )?,
+                            Err(e) => writeln!(out, "transfer failed: {e}")?,
+                        }
+                    }
+                    _ => writeln!(out, "usage: \\transfer <src> <dest> <table> <select sql>")?,
+                }
+            }
+            Some(other) => writeln!(out, "unknown meta-command \\{other} (try \\help)")?,
+            None => {}
+        }
+        Ok(true)
+    }
+}
+
+/// Meta-command reference shown by `\help`.
+pub fn meta_help() -> &'static str {
+    "meta-commands:
+  \\archives                         list registered archives
+  \\trace                            toggle execution-trace output
+  \\rows <n>                         limit displayed rows
+  \\explain <sql>                    show the federated plan without running it
+  \\metrics                          per-link transmission of the last query
+  \\ordering desc|asc|decl|random    plan ordering strategy
+  \\limit <bytes>                    SOAP parser message limit
+  \\chunking on|off                  §6 chunked-transfer workaround
+  \\transfer <src> <dst> <tbl> <sql> transactional table copy (2PC)
+  \\help                             this text
+  \\quit                             leave"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(&Options {
+            bodies: 200,
+            seed: 5,
+        })
+    }
+
+    fn drive(s: &mut Session, line: &str) -> (bool, String) {
+        let mut buf = Vec::new();
+        let more = s.handle_line(line, &mut buf).unwrap();
+        (more, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn query_produces_table_and_stats() {
+        let mut s = session();
+        let (more, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
+        );
+        assert!(more);
+        assert!(out.contains("O.object_id"));
+        assert!(out.contains("bytes on the wire"));
+    }
+
+    #[test]
+    fn bad_query_reports_error_not_panic() {
+        let mut s = session();
+        let (more, out) = drive(&mut s, "SELECT nonsense");
+        assert!(more);
+        assert!(out.starts_with("error:"));
+    }
+
+    #[test]
+    fn meta_commands() {
+        let mut s = session();
+        let (_, out) = drive(&mut s, "\\archives");
+        assert!(out.contains("SDSS") && out.contains("FIRST"));
+        let (_, out) = drive(&mut s, "\\trace");
+        assert!(out.contains("trace on"));
+        let (_, out) = drive(&mut s, "\\rows 3");
+        assert!(out.contains("up to 3"));
+        let (_, out) = drive(&mut s, "\\ordering asc");
+        assert!(out.contains("CountStarAscending"));
+        let (_, out) = drive(&mut s, "\\limit 50000");
+        assert!(out.contains("50000"));
+        let (_, out) = drive(&mut s, "\\chunking off");
+        assert!(out.contains("chunking off"));
+        let (_, out) = drive(&mut s, "\\nonsense");
+        assert!(out.contains("unknown meta-command"));
+        let (more, _) = drive(&mut s, "\\quit");
+        assert!(!more);
+    }
+
+    #[test]
+    fn row_limit_applies() {
+        let mut s = session();
+        drive(&mut s, "\\rows 2");
+        let (_, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
+        );
+        assert!(out.contains("more rows"), "{out}");
+    }
+
+    #[test]
+    fn transfer_meta_command() {
+        let mut s = session();
+        let (_, out) = drive(
+            &mut s,
+            "\\transfer SDSS TWOMASS imported SELECT O.object_id FROM SDSS:Photo_Object O",
+        );
+        assert!(out.contains("rows SDSS -> TWOMASS"), "{out}");
+        let (_, out) = drive(&mut s, "\\transfer nope");
+        assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn trace_toggle_shows_steps() {
+        let mut s = session();
+        drive(&mut s, "\\trace");
+        let (_, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
+        );
+        assert!(out.contains("cross match step"), "{out}");
+    }
+}

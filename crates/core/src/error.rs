@@ -1,0 +1,133 @@
+//! Federation-level errors.
+
+use skyquery_net::NetError;
+use skyquery_soap::{SoapError, SoapFault};
+use skyquery_sql::SqlError;
+use skyquery_storage::StorageError;
+
+/// Errors surfaced by the Portal, SkyNodes, and the execution chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederationError {
+    /// A dialect parse/eval/semantic failure.
+    Sql(SqlError),
+    /// An archive-engine failure.
+    Storage(StorageError),
+    /// A transport failure (host unreachable, bad framing).
+    Net(NetError),
+    /// A SOAP encoding/decoding failure.
+    Soap(SoapError),
+    /// A SOAP fault returned by a remote service.
+    Fault(SoapFault),
+    /// Planner/portal-level problems (unregistered archive, empty plan…).
+    Planning {
+        /// What the planner could not do.
+        detail: String,
+    },
+    /// A plan or partial-result payload failed validation at a SkyNode.
+    Protocol {
+        /// The violated expectation.
+        detail: String,
+    },
+}
+
+impl FederationError {
+    /// Shorthand constructor for [`FederationError::Planning`].
+    pub fn planning(detail: impl Into<String>) -> FederationError {
+        FederationError::Planning {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`FederationError::Protocol`].
+    pub fn protocol(detail: impl Into<String>) -> FederationError {
+        FederationError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// Renders this error as the SOAP fault a service returns.
+    pub fn to_fault(&self) -> SoapFault {
+        match self {
+            FederationError::Fault(f) => f.clone(),
+            FederationError::Sql(e) => SoapFault::client(e.to_string()),
+            FederationError::Protocol { detail } => SoapFault::client(detail.clone()),
+            other => SoapFault::server(other.to_string()),
+        }
+    }
+}
+
+impl From<SqlError> for FederationError {
+    fn from(e: SqlError) -> Self {
+        FederationError::Sql(e)
+    }
+}
+impl From<StorageError> for FederationError {
+    fn from(e: StorageError) -> Self {
+        FederationError::Storage(e)
+    }
+}
+impl From<NetError> for FederationError {
+    fn from(e: NetError) -> Self {
+        FederationError::Net(e)
+    }
+}
+impl From<SoapError> for FederationError {
+    fn from(e: SoapError) -> Self {
+        FederationError::Soap(e)
+    }
+}
+impl From<SoapFault> for FederationError {
+    fn from(f: SoapFault) -> Self {
+        FederationError::Fault(f)
+    }
+}
+impl From<skyquery_xml::XmlError> for FederationError {
+    fn from(e: skyquery_xml::XmlError) -> Self {
+        FederationError::Soap(SoapError::Xml(e))
+    }
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::Sql(e) => write!(f, "{e}"),
+            FederationError::Storage(e) => write!(f, "{e}"),
+            FederationError::Net(e) => write!(f, "{e}"),
+            FederationError::Soap(e) => write!(f, "{e}"),
+            FederationError::Fault(fault) => write!(f, "{fault}"),
+            FederationError::Planning { detail } => write!(f, "planning error: {detail}"),
+            FederationError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, FederationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_rendering() {
+        let e = FederationError::planning("no archives registered");
+        let f = e.to_fault();
+        assert_eq!(f.code, "Server");
+        assert!(f.message.contains("no archives registered"));
+
+        let sql = FederationError::Sql(SqlError::semantic("bad query"));
+        assert_eq!(sql.to_fault().code, "Client");
+
+        let passthrough = FederationError::Fault(SoapFault::client("x"));
+        assert_eq!(passthrough.to_fault(), SoapFault::client("x"));
+    }
+
+    #[test]
+    fn conversions() {
+        let _: FederationError = SqlError::semantic("x").into();
+        let _: FederationError = NetError::HostUnreachable { host: "h".into() }.into();
+        let _: FederationError = SoapFault::server("s").into();
+    }
+}

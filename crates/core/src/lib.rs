@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # skyquery-core — the SkyQuery federation
+//!
+//! The paper's primary contribution (§5): a wrapper–mediator federation of
+//! autonomous astronomy archives interoperating over SOAP Web services.
+//!
+//! * [`portal`] — the mediator: Registration and SkyQuery services, the
+//!   metadata catalog, query decomposition, count-star performance
+//!   queries, and plan construction (§5.1, §5.3);
+//! * [`skynode`] — the wrapper: the Information, Meta-data, Query, and
+//!   Cross match services around one archive database (§5.1);
+//! * [`xmatch`] — the probabilistic cross-match algorithm and its
+//!   distributed, pruning evaluation (§5.4);
+//! * [`plan`] — the federated execution plan that daisy-chains between
+//!   SkyNodes (§5.3);
+//! * [`baseline`] — the strategies the paper argues against, for the
+//!   experiments: pull-everything-to-the-portal and alternative chain
+//!   orderings;
+//! * [`trace`] — execution traces reproducing Figure 3;
+//! * [`client`] — a client-side facade speaking SOAP to the Portal.
+
+pub mod baseline;
+pub mod client;
+pub mod error;
+pub mod exchange;
+pub mod meta;
+pub mod plan;
+pub mod portal;
+pub mod query_exec;
+pub mod region;
+pub mod result;
+pub mod skynode;
+pub mod trace;
+pub mod xmatch;
+
+pub use client::Client;
+pub use error::{FederationError, Result};
+pub use exchange::TransferReport;
+pub use meta::{ArchiveInfo, RegisteredNode};
+pub use plan::{ExecutionPlan, PlanStep};
+pub use portal::{FederationConfig, OrderingStrategy, Portal};
+pub use region::Region;
+pub use result::{ResultColumn, ResultSet};
+pub use skynode::SkyNode;
+pub use trace::{ExecutionTrace, TraceEvent};
+pub use xmatch::{PartialSet, PartialTuple, StepConfig, StepStats, TupleState};

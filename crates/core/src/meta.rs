@@ -1,0 +1,241 @@
+//! Archive metadata: the payloads of the Information and Meta-data
+//! services, and the Portal's catalog of registered SkyNodes.
+
+use skyquery_storage::{Catalog, ColumnDef, DataType, PositionColumns, TableSchema, TableStats};
+use skyquery_xml::Element;
+
+use crate::error::{FederationError, Result};
+
+/// The astronomy-specific constants an archive publishes through its
+/// Information service (§5.1: "object position estimation errors, the
+/// name of primary table that stores the position of objects, etc.").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveInfo {
+    /// Archive (survey) name, e.g. `SDSS`.
+    pub name: String,
+    /// 1-σ positional measurement error of the survey, arcseconds.
+    pub sigma_arcsec: f64,
+    /// Name of the primary table holding object positions.
+    pub primary_table: String,
+    /// HTM mesh depth of the archive's position index.
+    pub htm_depth: u8,
+}
+
+impl ArchiveInfo {
+    /// σ in radians (the unit the cross-match math uses).
+    pub fn sigma_rad(&self) -> f64 {
+        (self.sigma_arcsec / 3600.0).to_radians()
+    }
+
+    /// Encodes as the Information service's wire payload.
+    pub fn to_element(&self) -> Element {
+        Element::new("ArchiveInfo")
+            .with_attr("name", self.name.clone())
+            .with_attr("sigma_arcsec", format!("{:?}", self.sigma_arcsec))
+            .with_attr("primary_table", self.primary_table.clone())
+            .with_attr("htm_depth", self.htm_depth.to_string())
+    }
+
+    /// Decodes the Information service's wire payload.
+    pub fn from_element(e: &Element) -> Result<ArchiveInfo> {
+        let attr = |name: &str| {
+            e.attr(name).ok_or_else(|| {
+                FederationError::protocol(format!("ArchiveInfo missing attribute {name}"))
+            })
+        };
+        Ok(ArchiveInfo {
+            name: attr("name")?.to_string(),
+            sigma_arcsec: attr("sigma_arcsec")?
+                .parse()
+                .map_err(|_| FederationError::protocol("bad sigma_arcsec"))?,
+            primary_table: attr("primary_table")?.to_string(),
+            htm_depth: attr("htm_depth")?
+                .parse()
+                .map_err(|_| FederationError::protocol("bad htm_depth"))?,
+        })
+    }
+}
+
+/// Encodes a storage catalog as the Meta-data service's XML payload.
+pub fn catalog_to_element(cat: &Catalog) -> Element {
+    let mut root = Element::new("Catalog").with_attr("database", cat.database.clone());
+    for t in &cat.tables {
+        let mut te = Element::new("Table")
+            .with_attr("name", t.schema.name.clone())
+            .with_attr("rows", t.row_count.to_string())
+            .with_attr("bytes", t.approx_bytes.to_string());
+        for c in &t.schema.columns {
+            te = te.with_child(
+                Element::new("Column")
+                    .with_attr("name", c.name.clone())
+                    .with_attr("type", c.dtype.to_string())
+                    .with_attr("nullable", c.nullable.to_string()),
+            );
+        }
+        if let Some(p) = &t.schema.position {
+            te = te.with_child(
+                Element::new("Position")
+                    .with_attr("ra", p.ra.clone())
+                    .with_attr("dec", p.dec.clone())
+                    .with_attr("htm_depth", p.htm_depth.to_string()),
+            );
+        }
+        root = root.with_child(te);
+    }
+    root
+}
+
+/// Decodes the Meta-data payload back into a catalog snapshot.
+pub fn catalog_from_element(e: &Element) -> Result<Catalog> {
+    if e.name != "Catalog" {
+        return Err(FederationError::protocol(format!(
+            "expected Catalog element, found {}",
+            e.name
+        )));
+    }
+    let database = e
+        .attr("database")
+        .ok_or_else(|| FederationError::protocol("Catalog missing database attribute"))?
+        .to_string();
+    let mut tables = Vec::new();
+    for te in e.children_named("Table") {
+        let name = te
+            .attr("name")
+            .ok_or_else(|| FederationError::protocol("Table missing name"))?
+            .to_string();
+        let row_count: usize = te
+            .attr("rows")
+            .and_then(|r| r.parse().ok())
+            .ok_or_else(|| FederationError::protocol("Table missing rows"))?;
+        let approx_bytes: usize = te.attr("bytes").and_then(|r| r.parse().ok()).unwrap_or(0);
+        let mut columns = Vec::new();
+        for ce in te.children_named("Column") {
+            let cname = ce
+                .attr("name")
+                .ok_or_else(|| FederationError::protocol("Column missing name"))?;
+            let dtype = ce
+                .attr("type")
+                .and_then(DataType::parse)
+                .ok_or_else(|| FederationError::protocol("Column missing/bad type"))?;
+            let nullable = ce.attr("nullable") == Some("true");
+            let mut def = ColumnDef::new(cname, dtype);
+            if nullable {
+                def = def.nullable();
+            }
+            columns.push(def);
+        }
+        let mut schema = TableSchema::new(name, columns);
+        if let Some(pe) = te.children_named("Position").next() {
+            let ra = pe
+                .attr("ra")
+                .ok_or_else(|| FederationError::protocol("Position missing ra"))?;
+            let dec = pe
+                .attr("dec")
+                .ok_or_else(|| FederationError::protocol("Position missing dec"))?;
+            let depth: u8 = pe
+                .attr("htm_depth")
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| FederationError::protocol("Position missing htm_depth"))?;
+            schema = schema
+                .with_position(PositionColumns::new(ra, dec, depth))
+                .map_err(FederationError::Storage)?;
+        }
+        tables.push(TableStats {
+            schema,
+            row_count,
+            approx_bytes,
+        });
+    }
+    Ok(Catalog { database, tables })
+}
+
+/// Everything the Portal catalogs about one registered SkyNode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredNode {
+    /// The archive's survey constants.
+    pub info: ArchiveInfo,
+    /// SOAP endpoint of the node's services.
+    pub url: skyquery_net::Url,
+    /// The archive's schema catalog (from its Meta-data service).
+    pub catalog: Catalog,
+}
+
+impl RegisteredNode {
+    /// The schema of one of this archive's tables.
+    pub fn table_schema(&self, table: &str) -> Option<&TableSchema> {
+        self.catalog.table(table).map(|t| &t.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> ArchiveInfo {
+        ArchiveInfo {
+            name: "SDSS".into(),
+            sigma_arcsec: 0.1,
+            primary_table: "Photo_Object".into(),
+            htm_depth: 12,
+        }
+    }
+
+    #[test]
+    fn archive_info_roundtrip() {
+        let i = info();
+        let back = ArchiveInfo::from_element(&i.to_element()).unwrap();
+        assert_eq!(back, i);
+        assert!((i.sigma_rad() - (0.1 / 3600.0_f64).to_radians()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn archive_info_rejects_missing_fields() {
+        let e = Element::new("ArchiveInfo").with_attr("name", "X");
+        assert!(ArchiveInfo::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let schema = TableSchema::new(
+            "Photo_Object",
+            vec![
+                ColumnDef::new("object_id", DataType::Id),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+                ColumnDef::new("type", DataType::Text).nullable(),
+            ],
+        )
+        .with_position(PositionColumns::new("ra", "dec", 12))
+        .unwrap();
+        let cat = Catalog {
+            database: "SDSS".into(),
+            tables: vec![TableStats {
+                schema,
+                row_count: 123,
+                approx_bytes: 4567,
+            }],
+        };
+        let back = catalog_from_element(&catalog_to_element(&cat)).unwrap();
+        assert_eq!(back, cat);
+    }
+
+    #[test]
+    fn catalog_decode_rejects_malformed() {
+        assert!(catalog_from_element(&Element::new("NotCatalog")).is_err());
+        let missing_db = Element::new("Catalog");
+        assert!(catalog_from_element(&missing_db).is_err());
+        let bad_col = Element::new("Catalog")
+            .with_attr("database", "X")
+            .with_child(
+                Element::new("Table")
+                    .with_attr("name", "t")
+                    .with_attr("rows", "1")
+                    .with_child(
+                        Element::new("Column")
+                            .with_attr("name", "c")
+                            .with_attr("type", "VARCHAR"),
+                    ),
+            );
+        assert!(catalog_from_element(&bad_col).is_err());
+    }
+}

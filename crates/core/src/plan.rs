@@ -1,0 +1,392 @@
+//! The federated query execution plan (paper §5.3).
+//!
+//! "The federated query execution plan consists of a list of ordered
+//! pairs, each containing a query and the URL information of the SkyNode
+//! where it would be executed. The list is in decreasing order of the
+//! count star values returned by the performance queries, with the drop
+//! out archives, if any, at the beginning of the list."
+//!
+//! The plan travels as a SOAP `xml` parameter down the daisy chain, so it
+//! round-trips through [`ExecutionPlan::to_element`] /
+//! [`ExecutionPlan::from_element`]. Per-archive predicates and residual
+//! clauses are carried as dialect SQL text — each autonomous SkyNode
+//! parses them with its own copy of the dialect parser.
+
+use skyquery_net::Url;
+use skyquery_sql::{parse_expr, Expr};
+use skyquery_xml::Element;
+
+use crate::region::Region;
+
+use crate::error::{FederationError, Result};
+use crate::xmatch::StepConfig;
+
+/// One entry of the plan list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// Alias in the user query (`O`, `T`, `P`…).
+    pub alias: String,
+    /// Archive name (`SDSS`…).
+    pub archive: String,
+    /// The table queried at this archive.
+    pub table: String,
+    /// SOAP endpoint of the SkyNode.
+    pub url: Url,
+    /// Whether this archive is a drop-out (`!` in XMATCH).
+    pub dropout: bool,
+    /// Survey positional error, arcseconds.
+    pub sigma_arcsec: f64,
+    /// This archive's local predicate as dialect SQL (None = no filter).
+    pub local_sql: Option<String>,
+    /// Columns of this archive carried along the chain.
+    pub carried: Vec<String>,
+    /// Residual (cross-archive) conjuncts applied right after this step's
+    /// processing, as dialect SQL.
+    pub residual_sql: Vec<String>,
+    /// The count-star estimate that ordered this step (None for
+    /// drop-outs, which get no performance query).
+    pub count_estimate: Option<u64>,
+}
+
+/// The complete plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// XMATCH threshold in standard deviations.
+    pub threshold: f64,
+    /// The AREA/POLYGON clause, if present.
+    pub region: Option<Region>,
+    /// Steps in **list order**: drop-outs first, then mandatory archives
+    /// in decreasing count order. Execution starts at the *last* step
+    /// (the seed) and results flow back toward index 0.
+    pub steps: Vec<PlanStep>,
+    /// SELECT items as `(expression SQL, optional output alias)`.
+    pub select: Vec<(String, Option<String>)>,
+    /// ORDER BY keys applied by the Portal before relaying: `(expression
+    /// SQL, descending)`.
+    pub order_by: Vec<(String, bool)>,
+    /// Row-count cap applied after ordering.
+    pub limit: Option<usize>,
+    /// Maximum SOAP message size every participant's parser accepts (the
+    /// paper's ~10 MB limit).
+    pub max_message_bytes: usize,
+    /// Whether responders may split oversized partial results into chunks
+    /// (§6 workaround). With chunking off, an oversized partial result
+    /// faults — the pre-workaround behaviour.
+    pub chunking: bool,
+}
+
+/// Default parser limit: the ~10 MB the paper reports.
+pub const DEFAULT_MAX_MESSAGE_BYTES: usize = 10 * 1024 * 1024;
+
+impl ExecutionPlan {
+    /// Index of the seed step (the first to execute).
+    pub fn seed_index(&self) -> usize {
+        self.steps.len() - 1
+    }
+
+    /// Builds the [`StepConfig`] the cross-match stored procedure needs at
+    /// step `index`, parsing the carried SQL fragments.
+    pub fn step_config(&self, index: usize) -> Result<StepConfig> {
+        let step = self
+            .steps
+            .get(index)
+            .ok_or_else(|| FederationError::protocol(format!("plan has no step {index}")))?;
+        let local_predicate = match &step.local_sql {
+            Some(sql) => Some(parse_expr(sql).map_err(FederationError::Sql)?),
+            None => None,
+        };
+        Ok(StepConfig {
+            alias: step.alias.clone(),
+            table: step.table.clone(),
+            sigma_rad: (step.sigma_arcsec / 3600.0).to_radians(),
+            threshold: self.threshold,
+            region: self.region.clone(),
+            local_predicate,
+            carried_columns: step.carried.clone(),
+        })
+    }
+
+    /// The residual expressions attached to step `index`.
+    pub fn residuals(&self, index: usize) -> Result<Vec<Expr>> {
+        let step = self
+            .steps
+            .get(index)
+            .ok_or_else(|| FederationError::protocol(format!("plan has no step {index}")))?;
+        step.residual_sql
+            .iter()
+            .map(|s| parse_expr(s).map_err(FederationError::Sql))
+            .collect()
+    }
+
+    /// Serializes to the wire element.
+    pub fn to_element(&self) -> Element {
+        let mut plan = Element::new("Plan")
+            .with_attr("threshold", format!("{:?}", self.threshold))
+            .with_attr("max_message_bytes", self.max_message_bytes.to_string())
+            .with_attr("chunking", self.chunking.to_string());
+        if let Some(r) = &self.region {
+            plan = plan.with_child(r.to_element());
+        }
+        let mut select = Element::new("Select");
+        for (expr, alias) in &self.select {
+            let mut item = Element::new("Item").with_attr("expr", expr.clone());
+            if let Some(a) = alias {
+                item = item.with_attr("as", a.clone());
+            }
+            select = select.with_child(item);
+        }
+        plan = plan.with_child(select);
+        if !self.order_by.is_empty() || self.limit.is_some() {
+            let mut ob = Element::new("OrderLimit");
+            if let Some(n) = self.limit {
+                ob = ob.with_attr("limit", n.to_string());
+            }
+            for (expr, desc) in &self.order_by {
+                ob = ob.with_child(
+                    Element::new("Key")
+                        .with_attr("expr", expr.clone())
+                        .with_attr("desc", desc.to_string()),
+                );
+            }
+            plan = plan.with_child(ob);
+        }
+        for step in &self.steps {
+            let mut se = Element::new("Step")
+                .with_attr("alias", step.alias.clone())
+                .with_attr("archive", step.archive.clone())
+                .with_attr("table", step.table.clone())
+                .with_attr("url", step.url.to_string())
+                .with_attr("dropout", step.dropout.to_string())
+                .with_attr("sigma_arcsec", format!("{:?}", step.sigma_arcsec));
+            if let Some(c) = step.count_estimate {
+                se = se.with_attr("count", c.to_string());
+            }
+            if let Some(sql) = &step.local_sql {
+                se = se.with_child(Element::new("Local").with_text(sql.clone()));
+            }
+            for col in &step.carried {
+                se = se.with_child(Element::new("Carry").with_text(col.clone()));
+            }
+            for r in &step.residual_sql {
+                se = se.with_child(Element::new("Residual").with_text(r.clone()));
+            }
+            plan = plan.with_child(se);
+        }
+        plan
+    }
+
+    /// Parses the wire element.
+    pub fn from_element(e: &Element) -> Result<ExecutionPlan> {
+        if e.name != "Plan" {
+            return Err(FederationError::protocol(format!(
+                "expected Plan element, found {}",
+                e.name
+            )));
+        }
+        let threshold: f64 = e
+            .attr("threshold")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| FederationError::protocol("Plan missing threshold"))?;
+        let region = match e.children_named("Region").next() {
+            Some(re) => Some(Region::from_element(re)?),
+            None => None,
+        };
+        let select = match e.children_named("Select").next() {
+            Some(se) => se
+                .children_named("Item")
+                .map(|item| -> Result<(String, Option<String>)> {
+                    let expr = item
+                        .attr("expr")
+                        .ok_or_else(|| FederationError::protocol("Select Item missing expr"))?
+                        .to_string();
+                    Ok((expr, item.attr("as").map(String::from)))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        let mut steps = Vec::new();
+        for se in e.children_named("Step") {
+            let attr = |name: &str| {
+                se.attr(name).ok_or_else(|| {
+                    FederationError::protocol(format!("Step missing attribute {name}"))
+                })
+            };
+            steps.push(PlanStep {
+                alias: attr("alias")?.to_string(),
+                archive: attr("archive")?.to_string(),
+                table: attr("table")?.to_string(),
+                url: Url::parse(attr("url")?).map_err(FederationError::Net)?,
+                dropout: attr("dropout")? == "true",
+                sigma_arcsec: attr("sigma_arcsec")?
+                    .parse()
+                    .map_err(|_| FederationError::protocol("bad sigma_arcsec"))?,
+                local_sql: se
+                    .children_named("Local")
+                    .next()
+                    .map(|l| l.text.clone()),
+                carried: se.children_named("Carry").map(|c| c.text.clone()).collect(),
+                residual_sql: se
+                    .children_named("Residual")
+                    .map(|r| r.text.clone())
+                    .collect(),
+                count_estimate: se.attr("count").and_then(|c| c.parse().ok()),
+            });
+        }
+        if steps.is_empty() {
+            return Err(FederationError::protocol("Plan has no steps"));
+        }
+        let (order_by, limit) = match e.children_named("OrderLimit").next() {
+            Some(ol) => (
+                ol.children_named("Key")
+                    .map(|k| -> Result<(String, bool)> {
+                        Ok((
+                            k.attr("expr")
+                                .ok_or_else(|| {
+                                    FederationError::protocol("OrderLimit Key missing expr")
+                                })?
+                                .to_string(),
+                            k.attr("desc") == Some("true"),
+                        ))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+                ol.attr("limit").and_then(|v| v.parse().ok()),
+            ),
+            None => (Vec::new(), None),
+        };
+        Ok(ExecutionPlan {
+            threshold,
+            region,
+            steps,
+            select,
+            order_by,
+            limit,
+            max_message_bytes: e
+                .attr("max_message_bytes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_MAX_MESSAGE_BYTES),
+            chunking: e.attr("chunking").map(|v| v == "true").unwrap_or(true),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_plan() -> ExecutionPlan {
+        ExecutionPlan {
+            threshold: 3.5,
+            region: Some(Region::Circle {
+                center: skyquery_htm::SkyPoint::from_radec_deg(185.0, -0.5),
+                radius_rad: (4.5 / 60.0_f64).to_radians(),
+            }),
+            steps: vec![
+                PlanStep {
+                    alias: "P".into(),
+                    archive: "FIRST".into(),
+                    table: "Primary_Object".into(),
+                    url: Url::new("first.skyquery.net", "/soap"),
+                    dropout: true,
+                    sigma_arcsec: 1.0,
+                    local_sql: None,
+                    carried: vec![],
+                    residual_sql: vec![],
+                    count_estimate: None,
+                },
+                PlanStep {
+                    alias: "O".into(),
+                    archive: "SDSS".into(),
+                    table: "Photo_Object".into(),
+                    url: Url::new("sdss.skyquery.net", "/soap"),
+                    dropout: false,
+                    sigma_arcsec: 0.1,
+                    local_sql: Some("O.type = 'GALAXY'".into()),
+                    carried: vec!["object_id".into(), "i_flux".into()],
+                    residual_sql: vec!["O.i_flux - T.i_flux > 2".into()],
+                    count_estimate: Some(1200),
+                },
+                PlanStep {
+                    alias: "T".into(),
+                    archive: "TWOMASS".into(),
+                    table: "Photo_Primary".into(),
+                    url: Url::new("twomass.skyquery.net", "/soap"),
+                    dropout: false,
+                    sigma_arcsec: 0.3,
+                    local_sql: None,
+                    carried: vec!["object_id".into(), "i_flux".into()],
+                    residual_sql: vec![],
+                    count_estimate: Some(800),
+                },
+            ],
+            select: vec![
+                ("O.object_id".into(), None),
+                ("T.object_id".into(), Some("t_id".into())),
+            ],
+            order_by: vec![("O.object_id".into(), true)],
+            limit: Some(100),
+            max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
+            chunking: true,
+        }
+    }
+
+    #[test]
+    fn element_roundtrip() {
+        let p = demo_plan();
+        let back = ExecutionPlan::from_element(&p.to_element()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn roundtrip_through_xml_text() {
+        let p = demo_plan();
+        let xml = p.to_element().to_xml();
+        let back = ExecutionPlan::from_element(&Element::parse(&xml).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn step_config_extraction() {
+        let p = demo_plan();
+        assert_eq!(p.seed_index(), 2);
+        let cfg = p.step_config(1).unwrap();
+        assert_eq!(cfg.alias, "O");
+        assert_eq!(cfg.table, "Photo_Object");
+        assert!((cfg.threshold - 3.5).abs() < 1e-12);
+        assert!(cfg.local_predicate.is_some());
+        let (center, radius) = match cfg.region.clone().unwrap() {
+            Region::Circle { center, radius_rad } => (center, radius_rad),
+            other => panic!("{other:?}"),
+        };
+        assert!((center.ra_deg - 185.0).abs() < 1e-12);
+        assert!((radius.to_degrees() - 0.075).abs() < 1e-12);
+        assert_eq!(cfg.carried_columns, vec!["object_id", "i_flux"]);
+        // σ converted to radians.
+        assert!((cfg.sigma_rad - (0.1 / 3600.0_f64).to_radians()).abs() < 1e-18);
+        assert!(p.step_config(9).is_err());
+    }
+
+    #[test]
+    fn residual_parsing() {
+        let p = demo_plan();
+        let r = p.residuals(1).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(p.residuals(2).unwrap().is_empty());
+        assert!(p.residuals(7).is_err());
+    }
+
+    #[test]
+    fn malformed_plans_rejected() {
+        assert!(ExecutionPlan::from_element(&Element::new("NotPlan")).is_err());
+        let no_threshold = Element::new("Plan");
+        assert!(ExecutionPlan::from_element(&no_threshold).is_err());
+        let no_steps = Element::new("Plan").with_attr("threshold", "3.5");
+        assert!(ExecutionPlan::from_element(&no_steps).is_err());
+    }
+
+    #[test]
+    fn bad_local_sql_surfaces_on_step_config() {
+        let mut p = demo_plan();
+        p.steps[1].local_sql = Some("SELECT garbage".into());
+        assert!(p.step_config(1).is_err());
+    }
+}

@@ -1,0 +1,749 @@
+//! The Portal: SkyQuery's mediator (paper §5.1, §5.3).
+//!
+//! The Portal provides two services. **Registration** lets archives join
+//! the federation: the Portal calls the new node's Meta-data and
+//! Information services and catalogs what they return. **SkyQuery**
+//! accepts a cross-match query, decomposes it, probes the mandatory
+//! archives with count-star performance queries, builds the federated
+//! execution plan (drop-outs first, then mandatory archives in decreasing
+//! count order), fires the daisy chain, applies the final projection, and
+//! relays the result to the client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use skyquery_net::{Endpoint, HttpRequest, HttpResponse, ServiceRecord, ServiceRegistry, SimNetwork, Url};
+use skyquery_soap::{RpcCall, RpcResponse, SoapValue};
+use skyquery_sql::{decompose, parse_query, DecomposedQuery, Expr};
+use skyquery_storage::{DataType, Value};
+
+use crate::error::{FederationError, Result};
+use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode};
+use crate::plan::{ExecutionPlan, PlanStep, DEFAULT_MAX_MESSAGE_BYTES};
+use crate::region::Region;
+use crate::result::{ResultColumn, ResultSet};
+use crate::skynode::{invoke_cross_match, send_rpc};
+use crate::trace::ExecutionTrace;
+use crate::xmatch::{PartialSet, TupleBindings};
+
+/// How the Portal orders the mandatory archives in the plan list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingStrategy {
+    /// The paper's strategy: decreasing count-star estimates, so the
+    /// smallest archive seeds the chain and partial results shrink early.
+    CountStarDescending,
+    /// Adversarial baseline: increasing count estimates.
+    CountStarAscending,
+    /// Ignore statistics; use the query's FROM order.
+    DeclarationOrder,
+    /// Random order from a seeded generator (experiment baseline).
+    Random(u64),
+}
+
+/// Federation-wide execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationConfig {
+    /// SOAP parser limit every participant enforces.
+    pub max_message_bytes: usize,
+    /// Whether oversized partial results are chunked (§6 workaround).
+    pub chunking: bool,
+    /// Plan-ordering strategy.
+    pub ordering: OrderingStrategy,
+    /// Issue performance queries concurrently (the paper sends them as
+    /// asynchronous SOAP messages).
+    pub parallel_performance_queries: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
+            chunking: true,
+            ordering: OrderingStrategy::CountStarDescending,
+            parallel_performance_queries: true,
+        }
+    }
+}
+
+/// The mediator.
+pub struct Portal {
+    host: String,
+    net: SimNetwork,
+    config: Mutex<FederationConfig>,
+    nodes: Mutex<HashMap<String, RegisteredNode>>,
+    /// UDDI-style repository of the federation's services (§3.1:
+    /// "services can register themselves and be discovered").
+    registry: ServiceRegistry,
+}
+
+impl Portal {
+    /// Creates a Portal and binds it to `host` on the network.
+    pub fn start(net: &SimNetwork, host: impl Into<String>, config: FederationConfig) -> Arc<Portal> {
+        let host = host.into();
+        let registry = ServiceRegistry::new();
+        registry.register(ServiceRecord {
+            provider: "SkyQuery Portal".into(),
+            category: "Portal".into(),
+            url: Url::new(host.clone(), "/soap"),
+            description: "Registration and SkyQuery services".into(),
+        });
+        let portal = Arc::new(Portal {
+            host: host.clone(),
+            net: net.clone(),
+            config: Mutex::new(config),
+            nodes: Mutex::new(HashMap::new()),
+            registry,
+        });
+        net.bind(host, portal.clone());
+        portal
+    }
+
+    /// UDDI-style discovery: all registered services in a category
+    /// ("Portal", "SkyNode").
+    pub fn discover(&self, category: &str) -> Vec<ServiceRecord> {
+        self.registry.discover(category)
+    }
+
+    /// The Portal's network host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The Portal's SOAP endpoint URL.
+    pub fn url(&self) -> Url {
+        Url::new(self.host.clone(), "/soap")
+    }
+
+    /// Replaces the execution configuration (experiments switch ordering
+    /// strategies and message limits between runs).
+    pub fn set_config(&self, config: FederationConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// The current execution configuration.
+    pub fn config(&self) -> FederationConfig {
+        *self.config.lock()
+    }
+
+    /// Registered archive names, sorted.
+    pub fn archives(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.nodes.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The catalog entry for an archive.
+    pub fn node(&self, archive: &str) -> Option<RegisteredNode> {
+        self.nodes.lock().get(&archive.to_ascii_uppercase()).cloned()
+    }
+
+    /// Registers the SkyNode at `url`: calls its Meta-data and Information
+    /// services and catalogs the results (§5.1 registration flow).
+    pub fn register_node(&self, url: &Url) -> Result<ArchiveInfo> {
+        let info_resp = send_rpc(&self.net, &self.host, url, &RpcCall::new("Information"))?;
+        let info = ArchiveInfo::from_element(
+            info_resp
+                .require("info")?
+                .as_xml()
+                .ok_or_else(|| FederationError::protocol("info must be xml"))?,
+        )?;
+        let meta_resp = send_rpc(&self.net, &self.host, url, &RpcCall::new("Metadata"))?;
+        let catalog = catalog_from_element(
+            meta_resp
+                .require("catalog")?
+                .as_xml()
+                .ok_or_else(|| FederationError::protocol("catalog must be xml"))?,
+        )?;
+        let node = RegisteredNode {
+            info: info.clone(),
+            url: url.clone(),
+            catalog,
+        };
+        self.nodes
+            .lock()
+            .insert(info.name.to_ascii_uppercase(), node);
+        self.registry.register(ServiceRecord {
+            provider: info.name.clone(),
+            category: "SkyNode".into(),
+            url: url.clone(),
+            description: format!(
+                "σ={}\" archive, primary table {}",
+                info.sigma_arcsec, info.primary_table
+            ),
+        });
+        Ok(info)
+    }
+
+    /// Removes an archive from the federation.
+    pub fn unregister(&self, archive: &str) -> bool {
+        let removed = self.nodes.lock().remove(&archive.to_ascii_uppercase());
+        if let Some(node) = &removed {
+            self.registry.unregister(&node.info.name);
+        }
+        removed.is_some()
+    }
+
+    /// EXPLAIN: decomposes and plans the query — running the performance
+    /// queries, exactly as a real submission would — but stops before
+    /// firing the cross-match chain. Returns a human-readable rendering
+    /// of the federated execution plan.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let query = parse_query(sql).map_err(FederationError::Sql)?;
+        let dq = decompose(query).map_err(FederationError::Sql)?;
+        let mut trace = ExecutionTrace::new();
+        let counts = self.run_performance_queries(&dq, &mut trace)?;
+        let plan = self.build_plan(&dq, &counts)?;
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Federated cross-match plan (threshold {}\u{3c3})\n",
+            plan.threshold
+        ));
+        match &plan.region {
+            Some(r) => out.push_str(&format!("  region: {}\n", r.to_spec())),
+            None => out.push_str("  region: whole sky\n"),
+        }
+        out.push_str("  performance queries:\n");
+        for pq in &dq.performance_queries {
+            let n = counts.get(&pq.alias).copied().unwrap_or(0);
+            out.push_str(&format!("    {}  -> {n}\n", pq.to_sql()));
+        }
+        out.push_str("  chain (list order; execution starts at the last step):\n");
+        for (i, step) in plan.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "    [{i}] {}{} @ {}  table {}  sigma={}\"  count={}\n",
+                if step.dropout { "!" } else { "" },
+                step.alias,
+                step.url,
+                step.table,
+                step.sigma_arcsec,
+                step.count_estimate
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ));
+            if let Some(p) = &step.local_sql {
+                out.push_str(&format!("         local:    {p}\n"));
+            }
+            if !step.carried.is_empty() {
+                out.push_str(&format!("         carries:  {}\n", step.carried.join(", ")));
+            }
+            for r in &step.residual_sql {
+                out.push_str(&format!("         residual: {r}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "  select: {}\n",
+            plan.select
+                .iter()
+                .map(|(e, a)| match a {
+                    Some(a) => format!("{e} AS {a}"),
+                    None => e.clone(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        if !plan.order_by.is_empty() {
+            out.push_str(&format!(
+                "  order by: {}\n",
+                plan.order_by
+                    .iter()
+                    .map(|(e, d)| format!("{e}{}", if *d { " DESC" } else { "" }))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        if let Some(n) = plan.limit {
+            out.push_str(&format!("  limit: {n}\n"));
+        }
+        Ok(out)
+    }
+
+    /// Submits a cross-match query; returns the result set and the
+    /// execution trace (the Figure-3 record).
+    pub fn submit(&self, sql: &str) -> Result<(ResultSet, ExecutionTrace)> {
+        let mut trace = ExecutionTrace::new();
+        trace.push("Client", "submit", format!("query: {sql}"));
+        let query = parse_query(sql).map_err(FederationError::Sql)?;
+        let dq = decompose(query).map_err(FederationError::Sql)?;
+
+        // Step 2 (Figure 3): create performance queries.
+        trace.push(
+            "Portal",
+            "decompose",
+            format!(
+                "{} archives, {} performance queries",
+                dq.archives.len(),
+                dq.performance_queries.len()
+            ),
+        );
+
+        // Steps 3–4: run performance queries against the Query services.
+        let counts = self.run_performance_queries(&dq, &mut trace)?;
+
+        // Step 5: build the plan.
+        let plan = self.build_plan(&dq, &counts)?;
+        trace.push(
+            "Portal",
+            "plan",
+            format!(
+                "chain order: {}",
+                plan.steps
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{}{}({})",
+                            if s.dropout { "!" } else { "" },
+                            s.alias,
+                            s.count_estimate
+                                .map(|c| c.to_string())
+                                .unwrap_or_else(|| "-".into())
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ),
+        );
+
+        // Steps 6–7: fire the daisy chain.
+        let (set, stats) =
+            invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0)?;
+        for (alias, s) in &stats.entries {
+            trace.push(
+                alias.clone(),
+                "cross match step",
+                format!(
+                    "tuples in {}, candidates probed {}, tuples out {}",
+                    s.tuples_in, s.candidates_probed, s.tuples_out
+                ),
+            );
+        }
+
+        // Step 8: final projection and relay.
+        let result = project(&plan, set)?;
+        trace.push(
+            "Portal",
+            "relay",
+            format!("{} matched tuples to client", result.row_count()),
+        );
+        Ok((result, trace))
+    }
+
+    /// Runs the count-star performance queries, in parallel when
+    /// configured (the paper passes them "as asynchronous SOAP messages").
+    fn run_performance_queries(
+        &self,
+        dq: &DecomposedQuery,
+        trace: &mut ExecutionTrace,
+    ) -> Result<HashMap<String, u64>> {
+        let config = self.config();
+        let mut out = HashMap::new();
+        let jobs: Vec<(String, String, Url)> = dq
+            .performance_queries
+            .iter()
+            .map(|pq| -> Result<(String, String, Url)> {
+                let node = self.node(&pq.archive).ok_or_else(|| {
+                    FederationError::planning(format!(
+                        "archive {} is not registered with the Portal",
+                        pq.archive
+                    ))
+                })?;
+                Ok((pq.alias.clone(), pq.to_sql(), node.url))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        let run_one = |alias: &str, sql: &str, url: &Url| -> Result<(String, u64)> {
+            let resp = send_rpc(
+                &self.net,
+                &self.host,
+                url,
+                &RpcCall::new("Query").param("sql", SoapValue::Str(sql.to_string())),
+            )?;
+            let count = resp
+                .require("count")?
+                .as_i64()
+                .ok_or_else(|| FederationError::protocol("count must be an integer"))?;
+            Ok((alias.to_string(), count as u64))
+        };
+
+        if config.parallel_performance_queries && jobs.len() > 1 {
+            let results: Vec<Result<(String, u64)>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|(alias, sql, url)| scope.spawn(move |_| run_one(alias, sql, url)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            })
+            .expect("scope does not panic");
+            for r in results {
+                let (alias, count) = r?;
+                out.insert(alias, count);
+            }
+        } else {
+            for (alias, sql, url) in &jobs {
+                let (a, c) = run_one(alias, sql, url)?;
+                trace.push(
+                    "Portal",
+                    "performance query",
+                    format!("{sql} -> {c} [{a}]"),
+                );
+                out.insert(a, c);
+            }
+        }
+        if config.parallel_performance_queries && !jobs.is_empty() {
+            let mut summary: Vec<String> = out
+                .iter()
+                .map(|(alias, c)| format!("{alias}={c}"))
+                .collect();
+            summary.sort();
+            trace.push(
+                "Portal",
+                "performance queries",
+                format!("count star results: {}", summary.join(", ")),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Builds the federated execution plan: drop-outs at the head, then
+    /// mandatory archives ordered by the configured strategy.
+    fn build_plan(
+        &self,
+        dq: &DecomposedQuery,
+        counts: &HashMap<String, u64>,
+    ) -> Result<ExecutionPlan> {
+        let config = self.config();
+        let mut mandatory: Vec<&str> = dq.xmatch.mandatory();
+        match config.ordering {
+            OrderingStrategy::CountStarDescending => {
+                mandatory.sort_by_key(|a| {
+                    std::cmp::Reverse(counts.get(*a).copied().unwrap_or(u64::MAX))
+                });
+            }
+            OrderingStrategy::CountStarAscending => {
+                mandatory.sort_by_key(|a| counts.get(*a).copied().unwrap_or(0));
+            }
+            OrderingStrategy::DeclarationOrder => {}
+            OrderingStrategy::Random(seed) => {
+                // xorshift64* — deterministic shuffle without a rand dep.
+                let mut state = seed | 1;
+                let mut next = || {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state.wrapping_mul(0x2545F4914F6CDD1D)
+                };
+                for i in (1..mandatory.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    mandatory.swap(i, j);
+                }
+            }
+        }
+
+        let ordered_aliases: Vec<&str> = dq
+            .xmatch
+            .dropouts()
+            .into_iter()
+            .chain(mandatory)
+            .collect();
+
+        let mut steps = Vec::with_capacity(ordered_aliases.len());
+        for alias in &ordered_aliases {
+            let slice = dq
+                .archive(alias)
+                .expect("decomposition covers every XMATCH alias");
+            let node = self.node(&slice.table.archive).ok_or_else(|| {
+                FederationError::planning(format!(
+                    "archive {} is not registered with the Portal",
+                    slice.table.archive
+                ))
+            })?;
+            // The queried table must exist and carry a position index.
+            let schema = node.table_schema(&slice.table.table).ok_or_else(|| {
+                FederationError::planning(format!(
+                    "archive {} has no table {}",
+                    slice.table.archive, slice.table.table
+                ))
+            })?;
+            if schema.position.is_none() {
+                return Err(FederationError::planning(format!(
+                    "table {}:{} has no position columns; cross match needs the primary table",
+                    slice.table.archive, slice.table.table
+                )));
+            }
+            steps.push(PlanStep {
+                alias: slice.table.alias.clone(),
+                archive: node.info.name.clone(),
+                table: slice.table.table.clone(),
+                url: node.url.clone(),
+                dropout: slice.dropout,
+                sigma_arcsec: node.info.sigma_arcsec,
+                local_sql: slice.predicate().map(|e| e.to_string()),
+                carried: slice.carried_columns.clone(),
+                residual_sql: Vec::new(),
+                count_estimate: counts.get(slice.table.alias.as_str()).copied(),
+            });
+        }
+
+        // Residual placement: a residual runs at the earliest processing
+        // position (processing order is reversed list order) where every
+        // referenced alias has joined the tuple.
+        let n = steps.len();
+        let alias_order: Vec<String> = steps.iter().map(|s| s.alias.clone()).collect();
+        let processing_pos = |alias: &str| -> Option<usize> {
+            alias_order
+                .iter()
+                .position(|a| a == alias)
+                .map(|i| n - 1 - i)
+        };
+        for residual in &dq.residuals {
+            let needed = residual_position(residual, &processing_pos)?;
+            let step_index = n - 1 - needed;
+            steps[step_index].residual_sql.push(residual.to_string());
+        }
+
+        let region = match &dq.region {
+            Some(spec) => Some(Region::from_spec(spec)?),
+            None => None,
+        };
+        Ok(ExecutionPlan {
+            threshold: dq.xmatch.threshold,
+            region,
+            steps,
+            select: dq
+                .query
+                .select
+                .iter()
+                .map(|item| match item {
+                    skyquery_sql::SelectItem::Expr { expr, alias } => {
+                        (expr.to_string(), alias.clone())
+                    }
+                    skyquery_sql::SelectItem::CountStar
+                    | skyquery_sql::SelectItem::Aggregate { .. } => {
+                        unreachable!("decompose rejects aggregates")
+                    }
+                })
+                .collect(),
+            order_by: dq
+                .query
+                .order_by
+                .iter()
+                .map(|k| {
+                    (
+                        k.expr.to_string(),
+                        k.direction == skyquery_sql::ast::SortDirection::Desc,
+                    )
+                })
+                .collect(),
+            limit: dq.query.limit,
+            max_message_bytes: config.max_message_bytes,
+            chunking: config.chunking,
+        })
+    }
+}
+
+// Crate-internal accessors for the baseline strategies (baseline.rs).
+impl Portal {
+    pub(crate) fn run_performance_queries_for_baseline(
+        &self,
+        dq: &DecomposedQuery,
+        trace: &mut ExecutionTrace,
+    ) -> Result<HashMap<String, u64>> {
+        self.run_performance_queries(dq, trace)
+    }
+
+    pub(crate) fn build_plan_for_baseline(
+        &self,
+        dq: &DecomposedQuery,
+        counts: &HashMap<String, u64>,
+    ) -> Result<ExecutionPlan> {
+        self.build_plan(dq, counts)
+    }
+
+    pub(crate) fn net_clone(&self) -> SimNetwork {
+        self.net.clone()
+    }
+}
+
+/// Final projection, shared with the pull-to-portal baseline.
+pub(crate) fn project_for_baseline(plan: &ExecutionPlan, set: PartialSet) -> Result<ResultSet> {
+    project(plan, set)
+}
+
+/// Processing position at which a residual becomes evaluable.
+fn residual_position(
+    residual: &Expr,
+    processing_pos: &impl Fn(&str) -> Option<usize>,
+) -> Result<usize> {
+    let aliases = residual.referenced_aliases();
+    let mut max_pos = 0;
+    for a in aliases {
+        let p = processing_pos(a).ok_or_else(|| {
+            FederationError::planning(format!("residual references unknown alias {a}"))
+        })?;
+        max_pos = max_pos.max(p);
+    }
+    Ok(max_pos)
+}
+
+/// Applies the final ORDER BY / LIMIT / SELECT to the matched tuples.
+fn project(plan: &ExecutionPlan, mut set: PartialSet) -> Result<ResultSet> {
+    // ORDER BY over the carried columns, then LIMIT, then project.
+    if !plan.order_by.is_empty() {
+        let keys: Vec<(Expr, bool)> = plan
+            .order_by
+            .iter()
+            .map(|(sql, desc)| {
+                Ok((
+                    skyquery_sql::parse_expr(sql).map_err(FederationError::Sql)?,
+                    *desc,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut keyed: Vec<(Vec<Value>, crate::xmatch::PartialTuple)> =
+            Vec::with_capacity(set.tuples.len());
+        for tuple in std::mem::take(&mut set.tuples) {
+            let b = TupleBindings {
+                columns: &set.columns,
+                values: &tuple.values,
+            };
+            let k: Vec<Value> = keys
+                .iter()
+                .map(|(e, _)| e.eval(&b).map_err(FederationError::Sql))
+                .collect::<Result<_>>()?;
+            keyed.push((k, tuple));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (i, (_, desc)) in keys.iter().enumerate() {
+                let ord = a[i].key_cmp(&b[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        set.tuples = keyed.into_iter().map(|(_, t)| t).collect();
+    }
+    if let Some(n) = plan.limit {
+        set.tuples.truncate(n);
+    }
+
+    let mut items: Vec<(Expr, String)> = Vec::with_capacity(plan.select.len());
+    for (sql, alias) in &plan.select {
+        let expr = skyquery_sql::parse_expr(sql).map_err(FederationError::Sql)?;
+        let name = alias.clone().unwrap_or_else(|| sql.clone());
+        items.push((expr, name));
+    }
+
+    // Evaluate all rows first, then infer column types from the values
+    // (plain column references reuse the carried column's declared type).
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(set.tuples.len());
+    for tuple in &set.tuples {
+        let b = TupleBindings {
+            columns: &set.columns,
+            values: &tuple.values,
+        };
+        let mut row = Vec::with_capacity(items.len());
+        for (expr, _) in &items {
+            row.push(expr.eval(&b).map_err(FederationError::Sql)?);
+        }
+        rows.push(row);
+    }
+
+    let columns: Vec<ResultColumn> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (expr, name))| {
+            let dtype = match expr {
+                Expr::Column { alias, column } => set
+                    .columns
+                    .iter()
+                    .find(|c| c.name == format!("{alias}.{column}"))
+                    .map(|c| c.dtype),
+                _ => None,
+            }
+            .or_else(|| {
+                rows.iter()
+                    .filter_map(|r| r[i].data_type())
+                    .next()
+            })
+            .unwrap_or(DataType::Float);
+            ResultColumn::new(name.clone(), dtype)
+        })
+        .collect();
+
+    let mut rs = ResultSet::new(columns);
+    for row in rows {
+        rs.push_row(row)?;
+    }
+    Ok(rs)
+}
+
+impl Endpoint for Portal {
+    fn handle(&self, _net: &SimNetwork, req: HttpRequest) -> HttpResponse {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(b) => b,
+            Err(_) => {
+                return HttpResponse::soap_fault(
+                    skyquery_soap::SoapFault::client("request body is not UTF-8").to_xml(),
+                )
+            }
+        };
+        let call = match RpcCall::parse(body) {
+            Ok(c) => c,
+            Err(e) => {
+                return HttpResponse::soap_fault(
+                    skyquery_soap::SoapFault::client(e.to_string()).to_xml(),
+                )
+            }
+        };
+        let result = match call.method.as_str() {
+            // Registration service (§5.1): "When a SkyNode wishes to join
+            // the SkyQuery federation; it calls the Registration service
+            // of the Portal."
+            "Register" => call
+                .require("url")
+                .map_err(FederationError::Soap)
+                .and_then(|v| {
+                    let url_str = v
+                        .as_str()
+                        .ok_or_else(|| FederationError::protocol("url must be a string"))?;
+                    let url = Url::parse(url_str).map_err(FederationError::Net)?;
+                    let info = self.register_node(&url)?;
+                    Ok(RpcResponse::new("Register")
+                        .result("archive", SoapValue::Str(info.name)))
+                }),
+            // The SkyQuery service: accepts the user query from a Client.
+            "SkyQuery" => call
+                .require("sql")
+                .map_err(FederationError::Soap)
+                .and_then(|v| {
+                    let sql = v
+                        .as_str()
+                        .ok_or_else(|| FederationError::protocol("sql must be a string"))?;
+                    let (result, trace) = self.submit(sql)?;
+                    let mut trace_el = skyquery_xml::Element::new("Trace");
+                    for e in trace.events() {
+                        trace_el = trace_el.with_child(
+                            skyquery_xml::Element::new("Event")
+                                .with_attr("seq", e.seq.to_string())
+                                .with_attr("actor", e.actor.clone())
+                                .with_attr("action", e.action.clone())
+                                .with_text(e.detail.clone()),
+                        );
+                    }
+                    Ok(RpcResponse::new("SkyQuery")
+                        .result("result", SoapValue::Table(result.to_votable("result")))
+                        .result("trace", SoapValue::Xml(trace_el)))
+                }),
+            other => Err(FederationError::protocol(format!(
+                "unknown portal service {other}"
+            ))),
+        };
+        match result {
+            Ok(resp) => HttpResponse::ok(resp.to_xml()),
+            Err(e) => HttpResponse::soap_fault(e.to_fault().to_xml()),
+        }
+    }
+}

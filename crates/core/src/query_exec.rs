@@ -1,0 +1,610 @@
+//! Single-archive query execution — the engine behind the Query service.
+//!
+//! The Query service is "a general-purpose database querying service"
+//! (§5.1); in the deployed federation it primarily answers the Portal's
+//! count-star performance queries. This module executes a parsed dialect
+//! query whose FROM list names exactly one table of the local archive:
+//! the AREA conjunct becomes an HTM range search, remaining conjuncts a
+//! predicate filter, and the SELECT list either `count(*)` or a
+//! projection.
+
+use skyquery_sql::ast::{AggFunc, OrderKey, SortDirection};
+use skyquery_sql::{Expr, Query, RegionSpec, RowBindings, SelectItem};
+use skyquery_storage::{Database, ScanOptions, Value};
+
+use crate::error::{FederationError, Result};
+use crate::region::Region;
+use crate::result::{ResultColumn, ResultSet};
+
+/// The outcome of a local query: a bare count or a row set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalQueryResult {
+    /// A bare `count(*)` answer (the performance-query wire shape).
+    Count(u64),
+    /// A materialized row set.
+    Rows(ResultSet),
+}
+
+/// Executes a single-archive query against the local database.
+///
+/// `archive_name` is this node's archive name; the query's FROM entry
+/// must reference it (autonomy check: a node only answers for itself).
+pub fn execute_local(
+    db: &mut Database,
+    archive_name: &str,
+    query: &Query,
+) -> Result<LocalQueryResult> {
+    if query.from.len() != 1 {
+        return Err(FederationError::protocol(
+            "the Query service executes single-table queries only",
+        ));
+    }
+    let table_ref = &query.from[0];
+    if !table_ref.archive.eq_ignore_ascii_case(archive_name) {
+        return Err(FederationError::protocol(format!(
+            "query addresses archive {}, but this node is {archive_name}",
+            table_ref.archive
+        )));
+    }
+    let table = table_ref.table.clone();
+    let alias = table_ref.alias.clone();
+
+    // Split WHERE into the spatial conjunct and ordinary predicates.
+    let mut region: Option<Region> = None;
+    let mut predicates: Vec<Expr> = Vec::new();
+    if let Some(w) = &query.where_clause {
+        for c in w.conjuncts() {
+            match c {
+                Expr::Area(a) => {
+                    let r = Region::from_spec(&RegionSpec::Circle(*a))?;
+                    if region.replace(r).is_some() {
+                        return Err(FederationError::protocol(
+                            "more than one AREA/POLYGON clause",
+                        ));
+                    }
+                }
+                Expr::Polygon(p) => {
+                    let r = Region::from_spec(&RegionSpec::Polygon(p.clone()))?;
+                    if region.replace(r).is_some() {
+                        return Err(FederationError::protocol(
+                            "more than one AREA/POLYGON clause",
+                        ));
+                    }
+                }
+                Expr::XMatch(_) => {
+                    return Err(FederationError::protocol(
+                        "XMATCH cannot run at a single archive; submit it to the Portal",
+                    ))
+                }
+                other => {
+                    if other.contains_spatial() {
+                        return Err(FederationError::protocol(
+                            "AREA must be a top-level conjunct",
+                        ));
+                    }
+                    predicates.push(other.clone());
+                }
+            }
+        }
+    }
+
+    // Candidate rows: region search when a spatial clause is present;
+    // else an equality-predicate B-tree probe when one is indexed; else a
+    // full scan.
+    let row_ids: Vec<usize> = match &region {
+        Some(region) => {
+            db.region_search(&table, &region.as_convex_region(), ScanOptions::default())?
+        }
+        None => match indexed_equality(db, &table, &alias, &predicates) {
+            Some((column, value)) => {
+                let mut ids =
+                    db.lookup_eq(&table, &column, &value, ScanOptions::default())?;
+                ids.sort_unstable();
+                ids
+            }
+            None => db.scan_filter(&table, ScanOptions::default(), |_, _| true)?,
+        },
+    };
+
+    let schema = db.schema(&table)?.clone();
+    let mut surviving: Vec<usize> = Vec::new();
+    'rows: for rid in row_ids {
+        let row = db.table(&table)?.row(rid).expect("row exists");
+        for p in &predicates {
+            let b = RowBindings {
+                alias: &alias,
+                schema: &schema,
+                row,
+            };
+            if !p.eval_predicate(&b).map_err(FederationError::Sql)? {
+                continue 'rows;
+            }
+        }
+        surviving.push(rid);
+    }
+
+    // Aggregate mode when any select item aggregates or GROUP BY given.
+    let has_aggregates = query
+        .select
+        .iter()
+        .any(|s| matches!(s, SelectItem::CountStar | SelectItem::Aggregate { .. }));
+    if has_aggregates || !query.group_by.is_empty() {
+        // The pure count(*) fast path keeps the performance-query wire
+        // shape (a bare integer, "de-serialization … not expensive").
+        if query.select.len() == 1
+            && query.select[0] == SelectItem::CountStar
+            && query.group_by.is_empty()
+            && query.order_by.is_empty()
+            && query.limit.is_none()
+        {
+            return Ok(LocalQueryResult::Count(surviving.len() as u64));
+        }
+        let rs = aggregate_rows(db, &table, &alias, &schema, query, &surviving)?;
+        return Ok(LocalQueryResult::Rows(rs));
+    }
+
+    // Plain projection: ORDER BY over source rows, then project, then
+    // LIMIT.
+    if !query.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(surviving.len());
+        for rid in surviving {
+            let row = db.table(&table)?.row(rid).expect("row exists").clone();
+            let keys = eval_order_keys(&query.order_by, &alias, &schema, &row)?;
+            keyed.push((keys, rid));
+        }
+        sort_by_keys(&mut keyed, &query.order_by);
+        surviving = keyed.into_iter().map(|(_, rid)| rid).collect();
+    }
+    if let Some(n) = query.limit {
+        surviving.truncate(n);
+    }
+
+    let mut columns: Vec<ResultColumn> = Vec::new();
+    let items: Vec<(&Expr, String)> = query
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, alias: out } => {
+                let name = out.clone().unwrap_or_else(|| expr.to_string());
+                (expr, name)
+            }
+            _ => unreachable!("aggregate mode handled above"),
+        })
+        .collect();
+    for (expr, name) in &items {
+        // Plain column references keep their declared type; computed
+        // expressions are typed FLOAT (the dialect's arithmetic domain).
+        let dtype = match expr {
+            Expr::Column { column, .. } => schema
+                .column(column)
+                .ok_or_else(|| {
+                    FederationError::protocol(format!(
+                        "unknown column {column} in table {table}"
+                    ))
+                })?
+                .dtype,
+            _ => skyquery_storage::DataType::Float,
+        };
+        columns.push(ResultColumn::new(name.clone(), dtype));
+    }
+    let mut rs = ResultSet::new(columns);
+    for rid in surviving {
+        let row = db.table(&table)?.row(rid).expect("row exists").clone();
+        let mut out: Vec<Value> = Vec::with_capacity(items.len());
+        for (expr, _) in &items {
+            let b = RowBindings {
+                alias: &alias,
+                schema: &schema,
+                row: &row,
+            };
+            out.push(expr.eval(&b).map_err(FederationError::Sql)?);
+        }
+        rs.push_row(out)?;
+    }
+    Ok(LocalQueryResult::Rows(rs))
+}
+
+/// Finds an `alias.column = literal` conjunct whose column carries a
+/// B-tree index, for index-probe pushdown. The predicate itself is still
+/// re-evaluated afterwards, so the probe only has to be sound.
+fn indexed_equality(
+    db: &Database,
+    table: &str,
+    alias: &str,
+    predicates: &[Expr],
+) -> Option<(String, Value)> {
+    use skyquery_sql::{BinaryOp, Literal};
+    let to_value = |l: &Literal| -> Option<Value> {
+        Some(match l {
+            Literal::Null => return None, // = NULL never matches
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::Text(s.clone()),
+        })
+    };
+    for p in predicates {
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            lhs,
+            rhs,
+        } = p
+        {
+            let pair = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Column { alias: a, column }, Expr::Literal(l)) if a == alias => {
+                    Some((column, l))
+                }
+                (Expr::Literal(l), Expr::Column { alias: a, column }) if a == alias => {
+                    Some((column, l))
+                }
+                _ => None,
+            };
+            if let Some((column, literal)) = pair {
+                if db.has_btree_index(table, column) {
+                    if let Some(v) = to_value(literal) {
+                        return Some((column.clone(), v));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Evaluates ORDER BY key expressions against one source row.
+fn eval_order_keys(
+    order_by: &[OrderKey],
+    alias: &str,
+    schema: &skyquery_storage::TableSchema,
+    row: &skyquery_storage::Row,
+) -> Result<Vec<Value>> {
+    order_by
+        .iter()
+        .map(|k| {
+            let b = RowBindings { alias, schema, row };
+            k.expr.eval(&b).map_err(FederationError::Sql)
+        })
+        .collect()
+}
+
+/// Sorts `(keys, payload)` pairs by the ORDER BY directions using the
+/// total `key_cmp` ordering (NULLs first ascending, last descending).
+pub(crate) fn sort_by_keys<T>(rows: &mut [(Vec<Value>, T)], order_by: &[OrderKey]) {
+    rows.sort_by(|(a, _), (b, _)| {
+        for (i, key) in order_by.iter().enumerate() {
+            let ord = a[i].key_cmp(&b[i]);
+            let ord = if key.direction == SortDirection::Desc {
+                ord.reverse()
+            } else {
+                ord
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// GROUP BY / aggregate evaluation over the surviving rows.
+fn aggregate_rows(
+    db: &mut Database,
+    table: &str,
+    alias: &str,
+    schema: &skyquery_storage::TableSchema,
+    query: &Query,
+    surviving: &[usize],
+) -> Result<ResultSet> {
+    // Validate select items: aggregates, or plain GROUP BY key columns.
+    for item in &query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            if !query.group_by.contains(expr) {
+                return Err(FederationError::protocol(format!(
+                    "non-aggregate select item {expr} must appear in GROUP BY"
+                )));
+            }
+        }
+    }
+    // ORDER BY in aggregate mode may only use GROUP BY keys.
+    for key in &query.order_by {
+        if !query.group_by.contains(&key.expr) {
+            return Err(FederationError::protocol(
+                "ORDER BY in an aggregate query must name GROUP BY columns",
+            ));
+        }
+    }
+
+    // Group rows by the evaluated GROUP BY keys (whole-table = one group).
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    for &rid in surviving {
+        let row = db.table(table)?.row(rid).expect("row exists").clone();
+        let keys: Vec<Value> = query
+            .group_by
+            .iter()
+            .map(|g| {
+                let b = RowBindings { alias, schema, row: &row };
+                g.eval(&b).map_err(FederationError::Sql)
+            })
+            .collect::<Result<_>>()?;
+        match groups.iter_mut().find(|(k, _)| {
+            k.iter()
+                .zip(&keys)
+                .all(|(a, b)| a.key_cmp(b) == std::cmp::Ordering::Equal)
+        }) {
+            Some((_, rids)) => rids.push(rid),
+            None => groups.push((keys, vec![rid])),
+        }
+    }
+    if groups.is_empty() && query.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    // Output columns.
+    let mut columns: Vec<ResultColumn> = Vec::new();
+    for item in &query.select {
+        let (name, dtype) = match item {
+            SelectItem::CountStar => ("count(*)".to_string(), skyquery_storage::DataType::Int),
+            SelectItem::Aggregate { func, arg, alias: out } => (
+                out.clone().unwrap_or_else(|| format!("{}({arg})", func.name())),
+                match func {
+                    AggFunc::Count => skyquery_storage::DataType::Int,
+                    AggFunc::Min | AggFunc::Max => match arg {
+                        Expr::Column { column, .. } => schema
+                            .column(column)
+                            .map(|c| c.dtype)
+                            .unwrap_or(skyquery_storage::DataType::Float),
+                        _ => skyquery_storage::DataType::Float,
+                    },
+                    AggFunc::Sum | AggFunc::Avg => skyquery_storage::DataType::Float,
+                },
+            ),
+            SelectItem::Expr { expr, alias: out } => (
+                out.clone().unwrap_or_else(|| expr.to_string()),
+                match expr {
+                    Expr::Column { column, .. } => schema
+                        .column(column)
+                        .map(|c| c.dtype)
+                        .unwrap_or(skyquery_storage::DataType::Float),
+                    _ => skyquery_storage::DataType::Float,
+                },
+            ),
+        };
+        columns.push(ResultColumn::new(name, dtype));
+    }
+
+    // Evaluate each group.
+    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (order keys, row)
+    for (keys, rids) in &groups {
+        let mut row_out: Vec<Value> = Vec::with_capacity(query.select.len());
+        for item in &query.select {
+            let v = match item {
+                SelectItem::CountStar => Value::Int(rids.len() as i64),
+                SelectItem::Expr { expr, .. } => {
+                    let idx = query
+                        .group_by
+                        .iter()
+                        .position(|g| g == expr)
+                        .expect("validated above");
+                    keys[idx].clone()
+                }
+                SelectItem::Aggregate { func, arg, .. } => {
+                    eval_aggregate(db, table, alias, schema, *func, arg, rids)?
+                }
+            };
+            row_out.push(v);
+        }
+        let order_keys: Vec<Value> = query
+            .order_by
+            .iter()
+            .map(|k| {
+                let idx = query
+                    .group_by
+                    .iter()
+                    .position(|g| g == &k.expr)
+                    .expect("validated above");
+                keys[idx].clone()
+            })
+            .collect();
+        out_rows.push((order_keys, row_out));
+    }
+    if !query.order_by.is_empty() {
+        sort_by_keys(&mut out_rows, &query.order_by);
+    }
+    let mut rs = ResultSet::new(columns);
+    let limit = query.limit.unwrap_or(usize::MAX);
+    for (_, row) in out_rows.into_iter().take(limit) {
+        rs.push_row(row)?;
+    }
+    Ok(rs)
+}
+
+/// One aggregate over one group's rows. NULL inputs are skipped per SQL;
+/// empty inputs yield NULL (except COUNT, which yields 0).
+fn eval_aggregate(
+    db: &mut Database,
+    table: &str,
+    alias: &str,
+    schema: &skyquery_storage::TableSchema,
+    func: AggFunc,
+    arg: &Expr,
+    rids: &[usize],
+) -> Result<Value> {
+    let mut values: Vec<Value> = Vec::with_capacity(rids.len());
+    for &rid in rids {
+        let row = db.table(table)?.row(rid).expect("row exists").clone();
+        let b = RowBindings { alias, schema, row: &row };
+        let v = arg.eval(&b).map_err(FederationError::Sql)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    Ok(match func {
+        AggFunc::Count => Value::Int(values.len() as i64),
+        AggFunc::Min => values
+            .into_iter()
+            .min_by(|a, b| a.key_cmp(b))
+            .unwrap_or(Value::Null),
+        AggFunc::Max => values
+            .into_iter()
+            .max_by(|a, b| a.key_cmp(b))
+            .unwrap_or(Value::Null),
+        AggFunc::Sum | AggFunc::Avg => {
+            if values.is_empty() {
+                Value::Null
+            } else {
+                let mut total = 0.0;
+                for v in &values {
+                    total += v.as_f64().ok_or_else(|| {
+                        FederationError::protocol(format!(
+                            "{} over non-numeric value {v}",
+                            func.name()
+                        ))
+                    })?;
+                }
+                if func == AggFunc::Sum {
+                    Value::Float(total)
+                } else {
+                    Value::Float(total / values.len() as f64)
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyquery_sql::parse_query;
+    use skyquery_storage::{ColumnDef, DataType, PositionColumns, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new("SDSS");
+        let schema = TableSchema::new(
+            "Photo_Object",
+            vec![
+                ColumnDef::new("object_id", DataType::Id),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+                ColumnDef::new("type", DataType::Text),
+                ColumnDef::new("i_flux", DataType::Float),
+            ],
+        )
+        .with_position(PositionColumns::new("ra", "dec", 12))
+        .unwrap();
+        db.create_table(schema).unwrap();
+        let rows = [
+            (1u64, 185.0, -0.5, "GALAXY", 21.0),
+            (2, 185.01, -0.49, "STAR", 19.0),
+            (3, 185.02, -0.51, "GALAXY", 22.0),
+            (4, 200.0, 10.0, "GALAXY", 18.0),
+        ];
+        for (id, ra, dec, ty, flux) in rows {
+            db.insert(
+                "Photo_Object",
+                vec![
+                    Value::Id(id),
+                    Value::Float(ra),
+                    Value::Float(dec),
+                    Value::Text(ty.into()),
+                    Value::Float(flux),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn count_star_with_area_and_predicate() {
+        let mut db = db();
+        // 4.5 arcmin around (185, -0.5) covers objects 1–3; GALAXY keeps 1,3.
+        let q = parse_query(
+            "SELECT count(*) FROM SDSS:Photo_Object O \
+             WHERE AREA(185.0, -0.5, 4.5) AND O.type = GALAXY",
+        )
+        .unwrap();
+        match execute_local(&mut db, "SDSS", &q).unwrap() {
+            LocalQueryResult::Count(n) => assert_eq!(n, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_returns_rows() {
+        let mut db = db();
+        let q = parse_query(
+            "SELECT O.object_id, O.i_flux FROM SDSS:Photo_Object O WHERE O.i_flux > 20",
+        )
+        .unwrap();
+        match execute_local(&mut db, "SDSS", &q).unwrap() {
+            LocalQueryResult::Rows(rs) => {
+                assert_eq!(rs.row_count(), 2);
+                assert_eq!(rs.columns[0].name, "O.object_id");
+                assert_eq!(rs.columns[0].dtype, DataType::Id);
+                assert_eq!(rs.value(0, "O.object_id"), Some(&Value::Id(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn computed_select_items() {
+        let mut db = db();
+        let q =
+            parse_query("SELECT O.i_flux - 1 AS f FROM SDSS:Photo_Object O WHERE O.object_id = 1")
+                .unwrap();
+        match execute_local(&mut db, "SDSS", &q).unwrap() {
+            LocalQueryResult::Rows(rs) => {
+                assert_eq!(rs.columns[0].name, "f");
+                assert_eq!(rs.value(0, "f"), Some(&Value::Float(20.0)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_archive_refused() {
+        let mut db = db();
+        let q = parse_query("SELECT count(*) FROM TWOMASS:Photo_Object O").unwrap();
+        assert!(execute_local(&mut db, "SDSS", &q).is_err());
+    }
+
+    #[test]
+    fn multi_table_refused() {
+        let mut db = db();
+        let q = parse_query("SELECT O.a FROM SDSS:T1 O, SDSS:T2 U").unwrap();
+        assert!(execute_local(&mut db, "SDSS", &q).is_err());
+    }
+
+    #[test]
+    fn xmatch_refused_locally() {
+        let mut db = db();
+        let q = parse_query(
+            "SELECT O.object_id FROM SDSS:Photo_Object O WHERE XMATCH(O, T) < 3.5",
+        )
+        .unwrap();
+        assert!(execute_local(&mut db, "SDSS", &q).is_err());
+    }
+
+    #[test]
+    fn area_without_position_index_errors() {
+        let mut db = Database::new("X");
+        db.create_table(TableSchema::new(
+            "plain",
+            vec![ColumnDef::new("a", DataType::Int)],
+        ))
+        .unwrap();
+        let q = parse_query("SELECT count(*) FROM X:plain P WHERE AREA(1.0, 2.0, 3.0)").unwrap();
+        assert!(execute_local(&mut db, "X", &q).is_err());
+    }
+
+    #[test]
+    fn no_where_scans_everything() {
+        let mut db = db();
+        let q = parse_query("SELECT count(*) FROM SDSS:Photo_Object O").unwrap();
+        assert_eq!(
+            execute_local(&mut db, "SDSS", &q).unwrap(),
+            LocalQueryResult::Count(4)
+        );
+    }
+}

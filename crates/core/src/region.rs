@@ -1,0 +1,304 @@
+//! Validated spatial regions: the execution-time form of the dialect's
+//! `AREA` (circle) and `POLYGON` (§6 extension) clauses.
+
+use skyquery_htm::{Cap, ConvexPolygon, ConvexRegion, SkyPoint, Vec3};
+use skyquery_sql::ast::{AreaSpec, PolygonSpec, RegionSpec};
+use skyquery_xml::Element;
+
+use crate::error::{FederationError, Result};
+
+/// A validated, executable sky region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// A circular cap.
+    Circle {
+        /// Circle center.
+        center: SkyPoint,
+        /// Angular radius, radians.
+        radius_rad: f64,
+    },
+    /// A convex polygon (§6 extension).
+    Polygon(ConvexPolygon),
+}
+
+impl Region {
+    /// Validates and converts a parsed region spec. Polygon vertices are
+    /// checked for convexity and CCW winding here, at planning time, so
+    /// malformed regions fail before any network traffic.
+    pub fn from_spec(spec: &RegionSpec) -> Result<Region> {
+        match spec {
+            RegionSpec::Circle(a) => Ok(Region::Circle {
+                center: SkyPoint::from_radec_deg(a.ra_deg, a.dec_deg),
+                radius_rad: a.radius_rad(),
+            }),
+            RegionSpec::Polygon(p) => {
+                let poly = ConvexPolygon::from_radec_deg(&p.vertices).map_err(|e| {
+                    FederationError::Sql(skyquery_sql::SqlError::semantic(format!(
+                        "invalid POLYGON: {e}"
+                    )))
+                })?;
+                Ok(Region::Polygon(poly))
+            }
+        }
+    }
+
+    /// The dialect-SQL spec form (for plan serialization and pull-SQL).
+    pub fn to_spec(&self) -> RegionSpec {
+        match self {
+            Region::Circle { center, radius_rad } => RegionSpec::Circle(AreaSpec {
+                ra_deg: center.ra_deg,
+                dec_deg: center.dec_deg,
+                radius_arcmin: radius_rad.to_degrees() * 60.0,
+            }),
+            Region::Polygon(p) => RegionSpec::Polygon(PolygonSpec {
+                vertices: p
+                    .vertices()
+                    .iter()
+                    .map(|v| {
+                        let s = SkyPoint::from_vec3(*v);
+                        (s.ra_deg, s.dec_deg)
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Whether a sky point lies in the region.
+    pub fn contains(&self, p: SkyPoint) -> bool {
+        self.contains_vec(p.to_vec3())
+    }
+
+    /// Whether a unit vector lies in the region.
+    pub fn contains_vec(&self, v: Vec3) -> bool {
+        match self {
+            Region::Circle { center, radius_rad } => {
+                center.to_vec3().angle_to(v) <= radius_rad + 1e-15
+            }
+            Region::Polygon(p) => p.contains(v),
+        }
+    }
+
+    /// A bounding circle `(center, radius)` for index seeding.
+    pub fn bounding_circle(&self) -> (SkyPoint, f64) {
+        match self {
+            Region::Circle { center, radius_rad } => (*center, *radius_rad),
+            Region::Polygon(p) => {
+                let (c, r) = p.bounding_cap();
+                (SkyPoint::from_vec3(c), r)
+            }
+        }
+    }
+
+    /// The region as an HTM cover input.
+    pub fn as_convex_region(&self) -> RegionRef<'_> {
+        RegionRef(self)
+    }
+
+    /// Serializes into the plan element.
+    pub fn to_element(&self) -> Element {
+        match self {
+            Region::Circle { center, radius_rad } => Element::new("Region")
+                .with_attr("kind", "circle")
+                .with_attr("ra", format!("{:?}", center.ra_deg))
+                .with_attr("dec", format!("{:?}", center.dec_deg))
+                .with_attr("radius_arcmin", format!("{:?}", radius_rad.to_degrees() * 60.0)),
+            Region::Polygon(p) => {
+                let mut e = Element::new("Region").with_attr("kind", "polygon");
+                for v in p.vertices() {
+                    let s = SkyPoint::from_vec3(*v);
+                    e = e.with_child(
+                        Element::new("V")
+                            .with_attr("ra", format!("{:?}", s.ra_deg))
+                            .with_attr("dec", format!("{:?}", s.dec_deg)),
+                    );
+                }
+                e
+            }
+        }
+    }
+
+    /// Deserializes from the plan element.
+    pub fn from_element(e: &Element) -> Result<Region> {
+        if e.name != "Region" {
+            return Err(FederationError::protocol(format!(
+                "expected Region element, found {}",
+                e.name
+            )));
+        }
+        match e.attr("kind") {
+            Some("circle") => {
+                let num = |name: &str| -> Result<f64> {
+                    e.attr(name)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| FederationError::protocol(format!("Region missing {name}")))
+                };
+                Ok(Region::Circle {
+                    center: SkyPoint::from_radec_deg(num("ra")?, num("dec")?),
+                    radius_rad: (num("radius_arcmin")? / 60.0).to_radians(),
+                })
+            }
+            Some("polygon") => {
+                let mut vertices = Vec::new();
+                for v in e.children_named("V") {
+                    let ra: f64 = v
+                        .attr("ra")
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| FederationError::protocol("polygon V missing ra"))?;
+                    let dec: f64 = v
+                        .attr("dec")
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| FederationError::protocol("polygon V missing dec"))?;
+                    vertices.push((ra, dec));
+                }
+                let poly = ConvexPolygon::from_radec_deg(&vertices).map_err(|err| {
+                    FederationError::protocol(format!("invalid polygon in plan: {err}"))
+                })?;
+                Ok(Region::Polygon(poly))
+            }
+            other => Err(FederationError::protocol(format!(
+                "unknown Region kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Adapter implementing the HTM crate's [`ConvexRegion`] trait for
+/// [`Region`] (so storage's region search can consume it directly).
+pub struct RegionRef<'a>(&'a Region);
+
+impl ConvexRegion for RegionRef<'_> {
+    fn contains(&self, p: Vec3) -> bool {
+        self.0.contains_vec(p)
+    }
+
+    fn anchor(&self) -> Vec3 {
+        match self.0 {
+            Region::Circle { center, .. } => center.to_vec3(),
+            Region::Polygon(p) => p.centroid(),
+        }
+    }
+
+    fn boundary_crosses_arc(&self, a: Vec3, b: Vec3) -> bool {
+        match self.0 {
+            Region::Circle { center, radius_rad } => {
+                Cap::new(center.to_vec3(), *radius_rad).intersects_arc(a, b)
+            }
+            Region::Polygon(p) => p.edge_crosses(a, b),
+        }
+    }
+
+    fn is_geodesically_convex(&self) -> bool {
+        match self.0 {
+            Region::Circle { radius_rad, .. } => *radius_rad <= std::f64::consts::FRAC_PI_2,
+            Region::Polygon(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle() -> Region {
+        Region::Circle {
+            center: SkyPoint::from_radec_deg(185.0, -0.5),
+            radius_rad: 1.0_f64.to_radians(),
+        }
+    }
+
+    fn square() -> Region {
+        Region::Polygon(
+            ConvexPolygon::from_radec_deg(&[
+                (184.0, -1.0),
+                (186.0, -1.0),
+                (186.0, 1.0),
+                (184.0, 1.0),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn circle_element_roundtrip() {
+        let r = circle();
+        let back = Region::from_element(&r.to_element()).unwrap();
+        match (&r, &back) {
+            (
+                Region::Circle { center: c1, radius_rad: r1 },
+                Region::Circle { center: c2, radius_rad: r2 },
+            ) => {
+                assert!(c1.separation(*c2) < 1e-12);
+                assert!((r1 - r2).abs() < 1e-15);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn polygon_element_roundtrip() {
+        let r = square();
+        let back = Region::from_element(&r.to_element()).unwrap();
+        assert!(back.contains(SkyPoint::from_radec_deg(185.0, 0.0)));
+        assert!(!back.contains(SkyPoint::from_radec_deg(183.0, 0.0)));
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for r in [circle(), square()] {
+            let spec = r.to_spec();
+            let back = Region::from_spec(&spec).unwrap();
+            // Sampled agreement.
+            for &(ra, dec) in &[
+                (185.0, 0.0),
+                (184.5, -0.8),
+                (183.0, 0.0),
+                (185.0, 1.5),
+                (200.0, 50.0),
+            ] {
+                let p = SkyPoint::from_radec_deg(ra, dec);
+                assert_eq!(r.contains(p), back.contains(p), "({ra},{dec}) in {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_prints_valid_dialect_sql() {
+        let circle_sql = circle().to_spec().to_string();
+        assert!(circle_sql.starts_with("AREA("));
+        let poly_sql = square().to_spec().to_string();
+        assert!(poly_sql.starts_with("POLYGON("));
+        // Both must reparse as expressions.
+        assert!(skyquery_sql::parse_expr(&circle_sql).is_ok());
+        assert!(skyquery_sql::parse_expr(&poly_sql).is_ok());
+    }
+
+    #[test]
+    fn invalid_polygon_spec_rejected() {
+        let spec = RegionSpec::Polygon(PolygonSpec {
+            // Clockwise winding.
+            vertices: vec![(184.0, 1.0), (186.0, 1.0), (186.0, -1.0), (184.0, -1.0)],
+        });
+        assert!(Region::from_spec(&spec).is_err());
+    }
+
+    #[test]
+    fn bounding_circle_contains_region_samples() {
+        let r = square();
+        let (c, radius) = r.bounding_circle();
+        for &(ra, dec) in &[(184.1, -0.9), (185.9, 0.9), (185.0, 0.0)] {
+            let p = SkyPoint::from_radec_deg(ra, dec);
+            assert!(r.contains(p));
+            assert!(p.separation(c) <= radius + 1e-12);
+        }
+    }
+
+    #[test]
+    fn malformed_elements_rejected() {
+        assert!(Region::from_element(&Element::new("NotRegion")).is_err());
+        assert!(Region::from_element(&Element::new("Region")).is_err());
+        let bad_kind = Element::new("Region").with_attr("kind", "blob");
+        assert!(Region::from_element(&bad_kind).is_err());
+        let empty_poly = Element::new("Region").with_attr("kind", "polygon");
+        assert!(Region::from_element(&empty_poly).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Result sets crossing the wire: typed rows ↔ VOTable payloads.
+
+use skyquery_storage::{DataType, Row, Value};
+use skyquery_xml::votable::format_f64;
+use skyquery_xml::{VoColumn, VoTable, VoType};
+
+use crate::error::{FederationError, Result};
+
+/// One column of a result set: a (possibly qualified) name plus type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultColumn {
+    /// Output column name (often qualified, `alias.column`).
+    pub name: String,
+    /// Value type.
+    pub dtype: DataType,
+}
+
+impl ResultColumn {
+    /// A named, typed output column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> ResultColumn {
+        ResultColumn {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output columns.
+    pub columns: Vec<ResultColumn>,
+    /// Result rows, each matching `columns` in arity and type.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// An empty result set with the given columns.
+    pub fn new(columns: Vec<ResultColumn>) -> ResultSet {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Value at `(row, column name)`.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let ci = self.column_index(column)?;
+        self.rows.get(row).map(|r| &r[ci])
+    }
+
+    /// Appends a row after arity checking.
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(FederationError::protocol(format!(
+                "result row arity {} != {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Encodes into the VOTable wire payload.
+    pub fn to_votable(&self, name: &str) -> VoTable {
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| VoColumn::new(c.name.clone(), dtype_to_votype(c.dtype)))
+            .collect();
+        let mut t = VoTable::new(name, cols);
+        for row in &self.rows {
+            let cells = row.iter().map(value_to_cell).collect();
+            t.push_row(cells)
+                .expect("rows conform to columns by construction");
+        }
+        t
+    }
+
+    /// Decodes from the VOTable wire payload.
+    pub fn from_votable(t: &VoTable) -> Result<ResultSet> {
+        let columns: Vec<ResultColumn> = t
+            .columns
+            .iter()
+            .map(|c| ResultColumn::new(c.name.clone(), votype_to_dtype(c.vtype)))
+            .collect();
+        let mut rs = ResultSet::new(columns);
+        for row in &t.rows {
+            let values: Result<Row> = row
+                .iter()
+                .zip(&t.columns)
+                .map(|(cell, col)| cell_to_value(cell.as_deref(), col.vtype))
+                .collect();
+            rs.push_row(values?)?;
+        }
+        Ok(rs)
+    }
+
+    /// Renders an ASCII table (examples and traces).
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c.name, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn dtype_to_votype(d: DataType) -> VoType {
+    match d {
+        DataType::Bool => VoType::Bool,
+        DataType::Int => VoType::Int,
+        DataType::Float => VoType::Float,
+        DataType::Text => VoType::Text,
+        DataType::Id => VoType::Id,
+    }
+}
+
+fn votype_to_dtype(v: VoType) -> DataType {
+    match v {
+        VoType::Bool => DataType::Bool,
+        VoType::Int => DataType::Int,
+        VoType::Float => DataType::Float,
+        VoType::Text => DataType::Text,
+        VoType::Id => DataType::Id,
+    }
+}
+
+fn value_to_cell(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => None,
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::Float(x) => Some(format_f64(*x)),
+        Value::Text(s) => Some(s.clone()),
+        Value::Id(u) => Some(u.to_string()),
+    }
+}
+
+fn cell_to_value(cell: Option<&str>, ty: VoType) -> Result<Value> {
+    let Some(text) = cell else {
+        return Ok(Value::Null);
+    };
+    let bad = |what: &str| FederationError::protocol(format!("cell {text:?} is not a {what}"));
+    Ok(match ty {
+        VoType::Bool => Value::Bool(text.parse().map_err(|_| bad("boolean"))?),
+        VoType::Int => Value::Int(text.parse().map_err(|_| bad("long"))?),
+        VoType::Float => Value::Float(text.parse().map_err(|_| bad("double"))?),
+        VoType::Text => Value::Text(text.to_string()),
+        VoType::Id => Value::Id(text.parse().map_err(|_| bad("unsignedLong"))?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ResultSet {
+        let mut rs = ResultSet::new(vec![
+            ResultColumn::new("O.object_id", DataType::Id),
+            ResultColumn::new("O.ra", DataType::Float),
+            ResultColumn::new("T.type", DataType::Text),
+            ResultColumn::new("match", DataType::Bool),
+        ]);
+        rs.push_row(vec![
+            Value::Id(42),
+            Value::Float(185.0001234),
+            Value::Text("GALAXY".into()),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        rs.push_row(vec![
+            Value::Id(43),
+            Value::Float(-0.5),
+            Value::Null,
+            Value::Bool(false),
+        ])
+        .unwrap();
+        rs
+    }
+
+    #[test]
+    fn votable_roundtrip() {
+        let rs = demo();
+        let t = rs.to_votable("result");
+        let back = ResultSet::from_votable(&t).unwrap();
+        assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn votable_roundtrip_through_xml() {
+        let rs = demo();
+        let xml = rs.to_votable("r").to_xml();
+        let back = ResultSet::from_votable(&VoTable::parse(&xml).unwrap()).unwrap();
+        assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut rs = ResultSet::new(vec![ResultColumn::new("a", DataType::Int)]);
+        assert!(rs.push_row(vec![]).is_err());
+        assert!(rs.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn value_lookup() {
+        let rs = demo();
+        assert_eq!(rs.value(0, "O.object_id"), Some(&Value::Id(42)));
+        assert_eq!(rs.value(1, "T.type"), Some(&Value::Null));
+        assert_eq!(rs.value(0, "missing"), None);
+        assert_eq!(rs.value(9, "O.ra"), None);
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let text = demo().to_ascii();
+        assert!(text.contains("O.object_id"));
+        assert!(text.contains("GALAXY"));
+        assert!(text.contains("NULL"));
+    }
+
+    #[test]
+    fn bad_cells_rejected() {
+        let mut t = VoTable::new("x", vec![VoColumn::new("n", VoType::Int)]);
+        t.push_row(vec![Some("5".into())]).unwrap();
+        // Mutate the cell behind validation to simulate a corrupt payload.
+        t.rows[0][0] = Some("five".into());
+        assert!(ResultSet::from_votable(&t).is_err());
+    }
+}

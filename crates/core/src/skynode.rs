@@ -1,0 +1,457 @@
+//! The SkyNode: the wrapper around one autonomous archive (paper §5.1).
+//!
+//! "Each SkyNode also implements services that act as wrappers and hide
+//! its DBMS and other platform specific details." A SkyNode exposes the
+//! four Web services of §5.1 — **Information**, **Meta-data**, **Query**,
+//! and **Cross match** — plus the `FetchChunk` continuation used by the
+//! §6 chunking workaround, all dispatched by `SOAPAction` over the
+//! simulated HTTP transport.
+//!
+//! The Cross match service is the daisy-chain participant: on a call with
+//! step index `i` it first calls step `i+1` (unless it is the seed), then
+//! runs its own stored-procedure step on the returned partial results,
+//! applies any residual clauses scheduled at this step, and returns the
+//! new partial set (chunked when oversized) to its caller.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use skyquery_net::{Endpoint, HttpRequest, HttpResponse, SimNetwork, Url};
+use skyquery_soap::{
+    ChunkHeader, MessageLimits, Operation, Reassembler, RpcCall, RpcResponse, SoapValue,
+    WsdlBuilder,
+};
+use skyquery_sql::parse_query;
+use skyquery_storage::Database;
+use skyquery_xml::VoTable;
+
+use crate::error::{FederationError, Result};
+use crate::exchange::ExchangeState;
+use crate::meta::{catalog_to_element, ArchiveInfo};
+use crate::plan::ExecutionPlan;
+use crate::query_exec::{execute_local, LocalQueryResult};
+use crate::trace::StatsChain;
+use crate::xmatch::{dropout_step, match_step, seed_step, PartialSet};
+
+/// A SkyNode wrapping one archive database.
+pub struct SkyNode {
+    info: ArchiveInfo,
+    host: String,
+    db: Mutex<Database>,
+    /// Outgoing chunked transfers awaiting FetchChunk calls.
+    pending: Mutex<HashMap<u64, Vec<(ChunkHeader, VoTable)>>>,
+    next_transfer: AtomicU64,
+    /// Two-phase-commit staging for the data-exchange extension.
+    exchange: Mutex<ExchangeState>,
+}
+
+impl SkyNode {
+    /// Creates a SkyNode and binds it to `host` on the network.
+    pub fn start(
+        net: &SimNetwork,
+        host: impl Into<String>,
+        info: ArchiveInfo,
+        db: Database,
+    ) -> Arc<SkyNode> {
+        let host = host.into();
+        let node = Arc::new(SkyNode {
+            info,
+            host: host.clone(),
+            db: Mutex::new(db),
+            pending: Mutex::new(HashMap::new()),
+            next_transfer: AtomicU64::new(1),
+            exchange: Mutex::new(ExchangeState::new()),
+        });
+        net.bind(host, node.clone());
+        node
+    }
+
+    /// The archive's survey constants.
+    pub fn info(&self) -> &ArchiveInfo {
+        &self.info
+    }
+
+    /// The node's network host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The node's SOAP endpoint URL.
+    pub fn url(&self) -> Url {
+        Url::new(self.host.clone(), "/soap")
+    }
+
+    /// Runs a closure against the archive database (tests, data loading,
+    /// cache manipulation for experiments).
+    pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.db.lock())
+    }
+
+    /// Transactions staged by the data-exchange extension and still
+    /// awaiting a coordinator decision.
+    pub fn pending_exchange_txns(&self) -> Vec<u64> {
+        self.exchange.lock().pending()
+    }
+
+    /// The WSDL document describing this node's services (§3.1).
+    pub fn wsdl(&self) -> String {
+        WsdlBuilder::new("SkyNode", self.url().to_string())
+            .operation(
+                Operation::new("Information")
+                    .output("info", "xml")
+                    .doc("Astronomy-specific constants: σ, primary table, HTM depth"),
+            )
+            .operation(
+                Operation::new("Metadata")
+                    .output("catalog", "xml")
+                    .doc("Complete schema information for the Portal's catalog"),
+            )
+            .operation(
+                Operation::new("Query")
+                    .input("sql", "string")
+                    .output("count", "long")
+                    .output("rows", "table")
+                    .doc("General-purpose single-archive queries (performance queries)"),
+            )
+            .operation(
+                Operation::new("CrossMatch")
+                    .input("plan", "xml")
+                    .input("step", "long")
+                    .output("partial", "table")
+                    .output("stats", "xml")
+                    .doc("One step of the federated cross-match chain"),
+            )
+            .operation(
+                Operation::new("FetchChunk")
+                    .input("transfer_id", "long")
+                    .input("index", "long")
+                    .output("chunk", "table")
+                    .doc("Chunked-transfer continuation for oversized partial results"),
+            )
+            .to_xml()
+    }
+
+    fn handle_call(&self, net: &SimNetwork, call: RpcCall) -> Result<RpcResponse> {
+        match call.method.as_str() {
+            "Information" => Ok(RpcResponse::new("Information")
+                .result("info", SoapValue::Xml(self.info.to_element()))),
+            "Metadata" => {
+                let catalog = self.db.lock().catalog();
+                Ok(RpcResponse::new("Metadata")
+                    .result("catalog", SoapValue::Xml(catalog_to_element(&catalog))))
+            }
+            "Query" => {
+                let sql = call
+                    .require("sql")?
+                    .as_str()
+                    .ok_or_else(|| FederationError::protocol("sql parameter must be a string"))?
+                    .to_string();
+                let query = parse_query(&sql).map_err(FederationError::Sql)?;
+                let mut db = self.db.lock();
+                match execute_local(&mut db, &self.info.name, &query)? {
+                    LocalQueryResult::Count(n) => Ok(RpcResponse::new("Query")
+                        .result("count", SoapValue::Int(n as i64))),
+                    LocalQueryResult::Rows(rs) => Ok(RpcResponse::new("Query")
+                        .result("rows", SoapValue::Table(rs.to_votable("rows")))),
+                }
+            }
+            "CrossMatch" => self.handle_cross_match(net, &call),
+            "FetchChunk" => self.handle_fetch_chunk(&call),
+            // Data-exchange extension (§6): two-phase commit participant.
+            "PrepareReceive" => {
+                let txn = require_u64(&call, "txn")?;
+                let dest_table = call
+                    .require("dest_table")?
+                    .as_str()
+                    .ok_or_else(|| FederationError::protocol("dest_table must be a string"))?
+                    .to_string();
+                let schema = call
+                    .require("schema")?
+                    .as_xml()
+                    .ok_or_else(|| FederationError::protocol("schema must be xml"))?
+                    .clone();
+                let rows = crate::result::ResultSet::from_votable(
+                    call.require("rows")?
+                        .as_table()
+                        .ok_or_else(|| FederationError::protocol("rows must be a table"))?,
+                )?;
+                let mut db = self.db.lock();
+                let staged =
+                    self.exchange
+                        .lock()
+                        .prepare(&mut db, txn, &dest_table, &schema, &rows)?;
+                Ok(RpcResponse::new("PrepareReceive")
+                    .result("staged", SoapValue::Int(staged as i64)))
+            }
+            "CommitReceive" => {
+                let txn = require_u64(&call, "txn")?;
+                let mut db = self.db.lock();
+                let published = self.exchange.lock().commit(&mut db, txn)?;
+                Ok(RpcResponse::new("CommitReceive")
+                    .result("published", SoapValue::Int(published as i64)))
+            }
+            "AbortReceive" => {
+                let txn = require_u64(&call, "txn")?;
+                let mut db = self.db.lock();
+                self.exchange.lock().abort(&mut db, txn)?;
+                Ok(RpcResponse::new("AbortReceive").result("aborted", SoapValue::Bool(true)))
+            }
+            other => Err(FederationError::protocol(format!(
+                "unknown service {other}"
+            ))),
+        }
+    }
+
+    fn handle_cross_match(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let plan_el = call
+            .require("plan")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("plan must be xml"))?;
+        let plan = ExecutionPlan::from_element(plan_el)?;
+        let step = call
+            .require("step")?
+            .as_i64()
+            .ok_or_else(|| FederationError::protocol("step must be an integer"))?
+            as usize;
+        if step >= plan.steps.len() {
+            return Err(FederationError::protocol(format!(
+                "step {step} out of range for a {}-step plan",
+                plan.steps.len()
+            )));
+        }
+        // Autonomy check: this call must be addressed to us.
+        if !plan.steps[step]
+            .archive
+            .eq_ignore_ascii_case(&self.info.name)
+        {
+            return Err(FederationError::protocol(format!(
+                "plan step {step} addresses {}, but this node is {}",
+                plan.steps[step].archive, self.info.name
+            )));
+        }
+
+        // Daisy chain: obtain the partial results from the next step.
+        let (incoming, mut stats_chain) = if step == plan.seed_index() {
+            (None, StatsChain::new())
+        } else {
+            let next_url = plan.steps[step + 1].url.clone();
+            let (set, chain) =
+                invoke_cross_match(net, &self.host, &next_url, &plan, step + 1)?;
+            (Some(set), chain)
+        };
+
+        // Run this node's stored-procedure step.
+        let cfg = plan.step_config(step)?;
+        let mut db = self.db.lock();
+        let (mut set, stats) = match (&incoming, plan.steps[step].dropout) {
+            (None, false) => seed_step(&mut db, &cfg)?,
+            (Some(inc), false) => match_step(&mut db, &cfg, inc)?,
+            (Some(inc), true) => dropout_step(&mut db, &cfg, inc)?,
+            (None, true) => {
+                return Err(FederationError::protocol(
+                    "a drop-out archive cannot be the seed of the chain",
+                ))
+            }
+        };
+        drop(db);
+        // Residual clauses scheduled at this step.
+        let residuals = plan.residuals(step)?;
+        if !residuals.is_empty() {
+            set = crate::xmatch::apply_residuals(set, &residuals)?;
+        }
+        stats_chain.push(plan.steps[step].alias.clone(), stats);
+
+        self.encode_partial_response(&plan, set, stats_chain)
+    }
+
+    /// Encodes a partial set, chunking when the monolithic response would
+    /// exceed the plan's message limit.
+    fn encode_partial_response(
+        &self,
+        plan: &ExecutionPlan,
+        set: PartialSet,
+        stats_chain: StatsChain,
+    ) -> Result<RpcResponse> {
+        let limits = MessageLimits::tiny(plan.max_message_bytes);
+        let table = set.to_votable();
+        let monolithic = RpcResponse::new("CrossMatch")
+            .result("partial", SoapValue::Table(table.clone()))
+            .result("stats", SoapValue::Xml(stats_chain.to_element()));
+        let encoded_len = monolithic.to_xml().len();
+        if encoded_len <= plan.max_message_bytes {
+            return Ok(monolithic);
+        }
+        if !plan.chunking {
+            // The pre-workaround behaviour: the caller's parser would die.
+            return Err(FederationError::Soap(
+                skyquery_soap::SoapError::MessageTooLarge {
+                    size: encoded_len,
+                    limit: plan.max_message_bytes,
+                },
+            ));
+        }
+        let transfer_id = self.next_transfer.fetch_add(1, Ordering::Relaxed);
+        let chunks = skyquery_soap::chunk::split_table(&table, limits, transfer_id)
+            .map_err(FederationError::Soap)?;
+        let total = chunks.len();
+        self.pending.lock().insert(transfer_id, chunks);
+        Ok(RpcResponse::new("CrossMatch")
+            .result("chunked", SoapValue::Bool(true))
+            .result("transfer_id", SoapValue::Int(transfer_id as i64))
+            .result("chunks", SoapValue::Int(total as i64))
+            .result("stats", SoapValue::Xml(stats_chain.to_element())))
+    }
+
+    fn handle_fetch_chunk(&self, call: &RpcCall) -> Result<RpcResponse> {
+        let transfer_id = call
+            .require("transfer_id")?
+            .as_i64()
+            .ok_or_else(|| FederationError::protocol("transfer_id must be an integer"))?
+            as u64;
+        let index = call
+            .require("index")?
+            .as_i64()
+            .ok_or_else(|| FederationError::protocol("index must be an integer"))?
+            as usize;
+        let mut pending = self.pending.lock();
+        let chunks = pending.get(&transfer_id).ok_or_else(|| {
+            FederationError::protocol(format!("unknown transfer {transfer_id}"))
+        })?;
+        let (header, table) = chunks
+            .get(index)
+            .cloned()
+            .ok_or_else(|| FederationError::protocol(format!("no chunk {index}")))?;
+        // Free the transfer once the last chunk has been served.
+        if index + 1 == header.total {
+            pending.remove(&transfer_id);
+        }
+        Ok(RpcResponse::new("FetchChunk")
+            .result("chunk", SoapValue::Table(table))
+            .result("index", SoapValue::Int(header.index as i64))
+            .result("total", SoapValue::Int(header.total as i64))
+            .result("transfer_id", SoapValue::Int(header.transfer_id as i64)))
+    }
+}
+
+impl Endpoint for SkyNode {
+    fn handle(&self, net: &SimNetwork, req: HttpRequest) -> HttpResponse {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(b) => b,
+            Err(_) => {
+                return HttpResponse::soap_fault(
+                    skyquery_soap::SoapFault::client("request body is not UTF-8").to_xml(),
+                )
+            }
+        };
+        let call = match RpcCall::parse(body) {
+            Ok(c) => c,
+            Err(e) => {
+                return HttpResponse::soap_fault(
+                    skyquery_soap::SoapFault::client(e.to_string()).to_xml(),
+                )
+            }
+        };
+        match self.handle_call(net, call) {
+            Ok(resp) => HttpResponse::ok(resp.to_xml()),
+            Err(e) => HttpResponse::soap_fault(e.to_fault().to_xml()),
+        }
+    }
+}
+
+/// Decodes a required unsigned-integer parameter.
+fn require_u64(call: &RpcCall, name: &str) -> Result<u64> {
+    call.require(name)?
+        .as_i64()
+        .filter(|v| *v >= 0)
+        .map(|v| v as u64)
+        .ok_or_else(|| FederationError::protocol(format!("{name} must be a non-negative integer")))
+}
+
+/// Client side of the Cross match service: sends the call, handles the
+/// chunked-transfer continuation, and decodes partial set plus stats.
+/// Shared by SkyNodes (calling the next node) and the Portal (calling the
+/// first).
+pub fn invoke_cross_match(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    step: usize,
+) -> Result<(PartialSet, StatsChain)> {
+    let call = RpcCall::new("CrossMatch")
+        .param("plan", SoapValue::Xml(plan.to_element()))
+        .param("step", SoapValue::Int(step as i64));
+    let resp = send_rpc(net, from_host, url, &call)?;
+    let stats = StatsChain::from_element(
+        resp.require("stats")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
+    )?;
+    if let Some(SoapValue::Bool(true)) = resp.get("chunked") {
+        let transfer_id = resp
+            .require("transfer_id")?
+            .as_i64()
+            .ok_or_else(|| FederationError::protocol("transfer_id must be an integer"))?;
+        let total = resp
+            .require("chunks")?
+            .as_i64()
+            .ok_or_else(|| FederationError::protocol("chunks must be an integer"))?
+            as usize;
+        let mut reassembler: Option<Reassembler> = None;
+        for index in 0..total {
+            let fetch = RpcCall::new("FetchChunk")
+                .param("transfer_id", SoapValue::Int(transfer_id))
+                .param("index", SoapValue::Int(index as i64));
+            let chunk_resp = send_rpc(net, from_host, url, &fetch)?;
+            let header = ChunkHeader {
+                index: chunk_resp
+                    .require("index")?
+                    .as_i64()
+                    .ok_or_else(|| FederationError::protocol("chunk index"))?
+                    as usize,
+                total: chunk_resp
+                    .require("total")?
+                    .as_i64()
+                    .ok_or_else(|| FederationError::protocol("chunk total"))?
+                    as usize,
+                transfer_id: transfer_id as u64,
+            };
+            let table = chunk_resp
+                .require("chunk")?
+                .as_table()
+                .ok_or_else(|| FederationError::protocol("chunk must be a table"))?
+                .clone();
+            let r = reassembler.get_or_insert_with(|| Reassembler::new(header));
+            r.accept(header, table).map_err(FederationError::Soap)?;
+        }
+        let table = reassembler
+            .ok_or_else(|| FederationError::protocol("chunked transfer with zero chunks"))?
+            .finish()
+            .map_err(FederationError::Soap)?;
+        return Ok((PartialSet::from_votable(&table)?, stats));
+    }
+    let table = resp
+        .require("partial")?
+        .as_table()
+        .ok_or_else(|| FederationError::protocol("partial must be a table"))?;
+    Ok((PartialSet::from_votable(table)?, stats))
+}
+
+/// Sends one RPC and decodes the response, surfacing faults as errors.
+pub fn send_rpc(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    call: &RpcCall,
+) -> Result<RpcResponse> {
+    let req = HttpRequest::soap_post(url.path.clone(), &call.soap_action(), call.to_xml());
+    let resp = net.send(from_host, url, req).map_err(FederationError::Net)?;
+    let body = std::str::from_utf8(&resp.body)
+        .map_err(|_| FederationError::protocol("response body is not UTF-8"))?;
+    match RpcResponse::parse(body).map_err(FederationError::Soap)? {
+        Ok(r) => Ok(r),
+        Err(fault) => Err(FederationError::Fault(fault)),
+    }
+}

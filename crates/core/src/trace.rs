@@ -1,0 +1,182 @@
+//! Execution traces: the observable record of Figure 3's steps, plus the
+//! per-node statistics chain that rides back with the partial results.
+
+use skyquery_xml::Element;
+
+use crate::error::{FederationError, Result};
+use crate::xmatch::StepStats;
+
+/// One logged event of a federated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sequence number (1-based, mirroring the figure's step numbers).
+    pub seq: usize,
+    /// Which component acted (Client, Portal, or an archive name).
+    pub actor: String,
+    /// Short action label ("performance query", "cross match call", …).
+    pub action: String,
+    /// Free-form detail text.
+    pub detail: String,
+}
+
+/// An append-only trace of a query execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// An empty trace.
+    pub fn new() -> ExecutionTrace {
+        ExecutionTrace::default()
+    }
+
+    /// Appends an event, assigning the next sequence number.
+    pub fn push(&mut self, actor: impl Into<String>, action: impl Into<String>, detail: impl Into<String>) {
+        self.events.push(TraceEvent {
+            seq: self.events.len() + 1,
+            actor: actor.into(),
+            action: action.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as numbered lines (the Figure-3 view).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "Step {:>2}  [{:^10}] {}: {}\n",
+                e.seq, e.actor, e.action, e.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Per-node statistics accumulated along the chain: each SkyNode appends
+/// its own entry before returning partial results to its caller, so the
+/// Portal receives the full picture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsChain {
+    /// `(archive alias, stats)` in execution (seed-first) order.
+    pub entries: Vec<(String, StepStats)>,
+}
+
+impl StatsChain {
+    /// An empty chain.
+    pub fn new() -> StatsChain {
+        StatsChain::default()
+    }
+
+    /// Appends one node's statistics.
+    pub fn push(&mut self, alias: impl Into<String>, stats: StepStats) {
+        self.entries.push((alias.into(), stats));
+    }
+
+    /// Encodes for the wire (rides back with the partial results).
+    pub fn to_element(&self) -> Element {
+        let mut e = Element::new("StatsChain");
+        for (alias, s) in &self.entries {
+            e = e.with_child(
+                Element::new("Step")
+                    .with_attr("alias", alias.clone())
+                    .with_attr("tuples_in", s.tuples_in.to_string())
+                    .with_attr("candidates", s.candidates_probed.to_string())
+                    .with_attr("tuples_out", s.tuples_out.to_string()),
+            );
+        }
+        e
+    }
+
+    /// Decodes the wire form.
+    pub fn from_element(e: &Element) -> Result<StatsChain> {
+        if e.name != "StatsChain" {
+            return Err(FederationError::protocol(format!(
+                "expected StatsChain, found {}",
+                e.name
+            )));
+        }
+        let mut chain = StatsChain::new();
+        for se in e.children_named("Step") {
+            let num = |name: &str| -> Result<usize> {
+                se.attr(name).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    FederationError::protocol(format!("StatsChain step missing {name}"))
+                })
+            };
+            chain.push(
+                se.attr("alias")
+                    .ok_or_else(|| FederationError::protocol("StatsChain step missing alias"))?,
+                StepStats {
+                    tuples_in: num("tuples_in")?,
+                    candidates_probed: num("candidates")?,
+                    tuples_out: num("tuples_out")?,
+                },
+            );
+        }
+        Ok(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_sequencing_and_render() {
+        let mut t = ExecutionTrace::new();
+        t.push("Client", "submit", "cross match query");
+        t.push("Portal", "decompose", "3 archives");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].seq, 1);
+        assert_eq!(t.events()[1].seq, 2);
+        let text = t.render();
+        assert!(text.contains("Step  1"));
+        assert!(text.contains("Portal"));
+    }
+
+    #[test]
+    fn stats_chain_roundtrip() {
+        let mut c = StatsChain::new();
+        c.push(
+            "T",
+            StepStats {
+                tuples_in: 0,
+                candidates_probed: 120,
+                tuples_out: 80,
+            },
+        );
+        c.push(
+            "O",
+            StepStats {
+                tuples_in: 80,
+                candidates_probed: 300,
+                tuples_out: 12,
+            },
+        );
+        let back = StatsChain::from_element(&c.to_element()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn stats_chain_rejects_malformed() {
+        assert!(StatsChain::from_element(&Element::new("Nope")).is_err());
+        let bad = Element::new("StatsChain").with_child(Element::new("Step"));
+        assert!(StatsChain::from_element(&bad).is_err());
+    }
+}

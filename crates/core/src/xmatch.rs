@@ -1,0 +1,902 @@
+//! The cross-match algorithm (paper §5.4).
+//!
+//! Positions are unit vectors; archive `i` measures with circular Gaussian
+//! error σᵢ. For a tuple R = (o₁,…,o_k) the algorithm accumulates
+//!
+//! ```text
+//! a  = Σ 1/σᵢ²     aₓ = Σ xᵢ/σᵢ²     a_y = Σ yᵢ/σᵢ²     a_z = Σ zᵢ/σᵢ²
+//! ```
+//!
+//! The maximum-likelihood true position lies along `(aₓ, a_y, a_z)` and
+//! the minimized chi-square is `χ²_min = 2·(a − |â|)`. The clause
+//! `XMATCH(…) < t` accepts tuples with `χ²_min ≤ t²`.
+//!
+//! Because each archive adds a non-negative term, `χ²_min` never
+//! decreases as the tuple grows — the pruning invariant that lets each
+//! SkyNode discard partial tuples early. The per-step candidate search
+//! radius uses the Gaussian-combination bound: appending an observation at
+//! chord distance `d` from the current best position raises χ² by at
+//! least `d²/(σᵢ² + 1/a)`, so candidates beyond
+//! `√((t² − χ²)·(σᵢ² + 1/a))` cannot survive.
+//!
+//! This module is the node-side "stored procedure encoding the cross
+//! match algorithm" (§5.3): [`seed_step`] runs at the last SkyNode of the
+//! plan list (the first to execute), [`match_step`] at every mandatory
+//! SkyNode upstream, and [`dropout_step`] at `!`-marked archives.
+
+use skyquery_htm::{SkyPoint, Vec3};
+use skyquery_sql::{Bindings, Expr, RowBindings, SqlError};
+use skyquery_storage::{
+    ColumnDef, DataType, Database, PositionColumns, Row, ScanOptions, TableSchema, Value,
+};
+use skyquery_xml::VoTable;
+
+use crate::error::{FederationError, Result};
+use crate::region::Region;
+use crate::result::{ResultColumn, ResultSet};
+
+/// Multiplicative safety margin on the candidate search radius. Two
+/// effects make the bound inexact at f64: the spherical re-normalization
+/// perturbs the flat-3D Gaussian merge at O(σ²) relative, and
+/// `χ² = 2(a − |â|)` suffers catastrophic cancellation (`a ≈ 10¹²` for
+/// sub-arcsecond σ, so χ² carries ~10⁻⁴ absolute noise). The margin plus
+/// the absolute slack below keep the pruning strictly conservative; the
+/// distributed-vs-centralized property tests guard this.
+const RADIUS_SAFETY: f64 = 1.0 + 1e-6;
+
+/// Absolute chord-distance slack added to every search radius
+/// (≈ 20 micro-arcseconds).
+const RADIUS_SLACK: f64 = 1e-10;
+
+/// Cumulative likelihood state of a partial tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TupleState {
+    /// Σ 1/σᵢ².
+    pub a: f64,
+    /// Σ xᵢ/σᵢ².
+    pub ax: f64,
+    /// Σ yᵢ/σᵢ².
+    pub ay: f64,
+    /// Σ zᵢ/σᵢ².
+    pub az: f64,
+}
+
+impl TupleState {
+    /// State of a 1-tuple: a single observation.
+    pub fn single(pos: Vec3, sigma_rad: f64) -> TupleState {
+        let w = 1.0 / (sigma_rad * sigma_rad);
+        TupleState {
+            a: w,
+            ax: pos.x * w,
+            ay: pos.y * w,
+            az: pos.z * w,
+        }
+    }
+
+    /// The state after appending an observation from an archive with
+    /// error `sigma_rad`.
+    pub fn extended(&self, pos: Vec3, sigma_rad: f64) -> TupleState {
+        let w = 1.0 / (sigma_rad * sigma_rad);
+        TupleState {
+            a: self.a + w,
+            ax: self.ax + pos.x * w,
+            ay: self.ay + pos.y * w,
+            az: self.az + pos.z * w,
+        }
+    }
+
+    /// |â| = √(aₓ² + a_y² + a_z²).
+    fn norm(&self) -> f64 {
+        (self.ax * self.ax + self.ay * self.ay + self.az * self.az).sqrt()
+    }
+
+    /// The minimized chi-square `2·(a − |â|)` (clamped at 0 against
+    /// floating-point cancellation).
+    pub fn chi2_min(&self) -> f64 {
+        (2.0 * (self.a - self.norm())).max(0.0)
+    }
+
+    /// The log-likelihood at the best position, `−a + |â|` (the paper's
+    /// form; equals `−χ²_min/2`).
+    pub fn log_likelihood(&self) -> f64 {
+        -self.a + self.norm()
+    }
+
+    /// The maximum-likelihood position: the unit vector along
+    /// `(aₓ, a_y, a_z)`.
+    pub fn best_position(&self) -> Option<Vec3> {
+        Vec3::new(self.ax, self.ay, self.az).normalized()
+    }
+
+    /// Conservative chord-distance radius for candidate retrieval at the
+    /// next archive: beyond it, no candidate can keep χ² within `t²`.
+    pub fn search_radius(&self, threshold: f64, next_sigma_rad: f64) -> f64 {
+        let budget = (threshold * threshold - self.chi2_min() + 1e-3).max(0.0);
+        (budget * (next_sigma_rad * next_sigma_rad + 1.0 / self.a)).sqrt() * RADIUS_SAFETY
+            + RADIUS_SLACK
+    }
+}
+
+/// A partial tuple: cumulative state plus the carried column values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialTuple {
+    /// Cumulative likelihood state.
+    pub state: TupleState,
+    /// Carried column values, matching the owning set's `columns`.
+    pub values: Row,
+}
+
+/// A set of partial tuples with their (qualified) column schema — the
+/// payload that daisy-chains between SkyNodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSet {
+    /// Qualified columns (`alias.column`) accumulated so far.
+    pub columns: Vec<ResultColumn>,
+    /// The surviving partial tuples.
+    pub tuples: Vec<PartialTuple>,
+}
+
+/// Names of the synthetic state columns in the wire encoding.
+const STATE_COLS: [&str; 4] = ["__a", "__ax", "__ay", "__az"];
+
+impl PartialSet {
+    /// An empty set with the given carried columns.
+    pub fn new(columns: Vec<ResultColumn>) -> PartialSet {
+        PartialSet {
+            columns,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether no tuples survive.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Wire encoding: four state columns then the carried columns.
+    pub fn to_votable(&self) -> VoTable {
+        let mut rs = ResultSet::new(
+            STATE_COLS
+                .iter()
+                .map(|n| ResultColumn::new(*n, DataType::Float))
+                .chain(self.columns.iter().cloned())
+                .collect(),
+        );
+        for t in &self.tuples {
+            let mut row = vec![
+                Value::Float(t.state.a),
+                Value::Float(t.state.ax),
+                Value::Float(t.state.ay),
+                Value::Float(t.state.az),
+            ];
+            row.extend(t.values.iter().cloned());
+            rs.push_row(row).expect("state+values match columns");
+        }
+        rs.to_votable("partial")
+    }
+
+    /// Decodes the wire encoding.
+    pub fn from_votable(t: &VoTable) -> Result<PartialSet> {
+        let rs = ResultSet::from_votable(t)?;
+        if rs.columns.len() < 4
+            || rs.columns[..4]
+                .iter()
+                .zip(STATE_COLS)
+                .any(|(c, n)| c.name != n)
+        {
+            return Err(FederationError::protocol(
+                "partial-result table missing __a/__ax/__ay/__az state columns",
+            ));
+        }
+        let columns = rs.columns[4..].to_vec();
+        let mut tuples = Vec::with_capacity(rs.rows.len());
+        for row in rs.rows {
+            let f = |v: &Value, name: &str| {
+                v.as_f64().ok_or_else(|| {
+                    FederationError::protocol(format!("state column {name} is not numeric"))
+                })
+            };
+            let state = TupleState {
+                a: f(&row[0], "__a")?,
+                ax: f(&row[1], "__ax")?,
+                ay: f(&row[2], "__ay")?,
+                az: f(&row[3], "__az")?,
+            };
+            tuples.push(PartialTuple {
+                state,
+                values: row[4..].to_vec(),
+            });
+        }
+        Ok(PartialSet { columns, tuples })
+    }
+}
+
+/// Per-node configuration of one cross-match step, extracted from the
+/// federated execution plan.
+#[derive(Debug, Clone)]
+pub struct StepConfig {
+    /// The alias this archive carries in the user query.
+    pub alias: String,
+    /// The primary table to search at this node.
+    pub table: String,
+    /// This survey's positional error, radians.
+    pub sigma_rad: f64,
+    /// XMATCH threshold `t` (standard deviations).
+    pub threshold: f64,
+    /// The AREA/POLYGON clause, if any.
+    pub region: Option<Region>,
+    /// This archive's local (single-alias) predicate.
+    pub local_predicate: Option<Expr>,
+    /// Columns of this archive to append to surviving tuples.
+    pub carried_columns: Vec<String>,
+}
+
+/// Evaluation statistics for one step (feeds the Figure-3 trace and the
+/// pruning experiment E7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Partial tuples received from the previous step.
+    pub tuples_in: usize,
+    /// Candidate extensions evaluated at this node.
+    pub candidates_probed: usize,
+    /// Partial tuples forwarded to the next step.
+    pub tuples_out: usize,
+}
+
+fn position_columns(db: &Database, table: &str) -> Result<(PositionColumns, usize, usize)> {
+    let schema = db.schema(table)?;
+    let pos = schema
+        .position
+        .clone()
+        .ok_or_else(|| FederationError::Storage(skyquery_storage::StorageError::NoPositionIndex {
+            table: table.to_string(),
+        }))?;
+    let ra_ci = schema.column_index(&pos.ra).unwrap();
+    let dec_ci = schema.column_index(&pos.dec).unwrap();
+    Ok((pos, ra_ci, dec_ci))
+}
+
+fn row_passes(
+    cfg: &StepConfig,
+    schema: &TableSchema,
+    row: &Row,
+) -> std::result::Result<bool, SqlError> {
+    match &cfg.local_predicate {
+        None => Ok(true),
+        Some(pred) => pred.eval_predicate(&RowBindings {
+            alias: &cfg.alias,
+            schema,
+            row,
+        }),
+    }
+}
+
+fn carried_result_columns(
+    cfg: &StepConfig,
+    schema: &TableSchema,
+) -> Result<Vec<ResultColumn>> {
+    cfg.carried_columns
+        .iter()
+        .map(|c| {
+            let def = schema.column(c).ok_or_else(|| {
+                FederationError::protocol(format!(
+                    "carried column {}.{c} does not exist in table {}",
+                    cfg.alias, cfg.table
+                ))
+            })?;
+            Ok(ResultColumn::new(
+                format!("{}.{}", cfg.alias, c),
+                def.dtype,
+            ))
+        })
+        .collect()
+}
+
+fn carried_values(cfg: &StepConfig, schema: &TableSchema, row: &Row) -> Row {
+    cfg.carried_columns
+        .iter()
+        .map(|c| row[schema.column_index(c).expect("validated")].clone())
+        .collect()
+}
+
+/// The first executed step (at the *last* SkyNode of the plan list):
+/// selects rows satisfying AREA and the local predicate, emitting
+/// 1-tuples. "The first archive just needs to send 1-tuples comprising of
+/// objects that satisfy the other clauses in the query" (§5.4).
+pub fn seed_step(db: &mut Database, cfg: &StepConfig) -> Result<(PartialSet, StepStats)> {
+    let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
+    let schema = db.schema(&cfg.table)?.clone();
+    let columns = carried_result_columns(cfg, &schema)?;
+    let mut out = PartialSet::new(columns);
+    let mut stats = StepStats::default();
+
+    let row_ids: Vec<usize> = match &cfg.region {
+        Some(region) => db.region_search(
+            &cfg.table,
+            &region.as_convex_region(),
+            ScanOptions::default(),
+        )?,
+        None => db.scan_filter(&cfg.table, ScanOptions::default(), |_, _| true)?,
+    };
+    stats.candidates_probed = row_ids.len();
+
+    for rid in row_ids {
+        let row = db.table(&cfg.table)?.row(rid).expect("row exists").clone();
+        if !row_passes(cfg, &schema, &row).map_err(FederationError::Sql)? {
+            continue;
+        }
+        let ra = row[ra_ci].as_f64().expect("position column");
+        let dec = row[dec_ci].as_f64().expect("position column");
+        let pos = SkyPoint::from_radec_deg(ra, dec).to_vec3();
+        out.tuples.push(PartialTuple {
+            state: TupleState::single(pos, cfg.sigma_rad),
+            values: carried_values(cfg, &schema, &row),
+        });
+    }
+    stats.tuples_out = out.len();
+    Ok((out, stats))
+}
+
+/// Materializes incoming tuples into a temp table (faithful to §5.3: the
+/// Cross match service "insert\[s\] the values in the database object into a
+/// temporary table"), then extends each against this archive's objects.
+pub fn match_step(
+    db: &mut Database,
+    cfg: &StepConfig,
+    incoming: &PartialSet,
+) -> Result<(PartialSet, StepStats)> {
+    let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
+    let schema = db.schema(&cfg.table)?.clone();
+    let mut columns = incoming.columns.clone();
+    columns.extend(carried_result_columns(cfg, &schema)?);
+
+    let temp = materialize_temp(db, incoming)?;
+
+    let mut out = PartialSet::new(columns);
+    let mut stats = StepStats {
+        tuples_in: incoming.len(),
+        ..StepStats::default()
+    };
+
+    // Walk the temp table (charging the cache like a real join would),
+    // recovering each tuple's state and carried values.
+    let temp_rows = db.table(&temp)?.rows().to_vec();
+    for trow in &temp_rows {
+        let state = TupleState {
+            a: trow[0].as_f64().unwrap(),
+            ax: trow[1].as_f64().unwrap(),
+            ay: trow[2].as_f64().unwrap(),
+            az: trow[3].as_f64().unwrap(),
+        };
+        let Some(best) = state.best_position() else {
+            continue;
+        };
+        let radius = state.search_radius(cfg.threshold, cfg.sigma_rad);
+        let center = SkyPoint::from_vec3(best);
+        let hits = db.range_search(&cfg.table, center, radius, ScanOptions::default())?;
+        stats.candidates_probed += hits.len();
+        for hit in hits {
+            let row = db
+                .table(&cfg.table)?
+                .row(hit.row)
+                .expect("hit row exists")
+                .clone();
+            // The spatial range applies to every archive's objects.
+            if let Some(region) = &cfg.region {
+                let ra = row[ra_ci].as_f64().expect("position column");
+                let dec = row[dec_ci].as_f64().expect("position column");
+                if !region.contains(SkyPoint::from_radec_deg(ra, dec)) {
+                    continue;
+                }
+            }
+            if !row_passes(cfg, &schema, &row).map_err(FederationError::Sql)? {
+                continue;
+            }
+            let ra = row[ra_ci].as_f64().expect("position column");
+            let dec = row[dec_ci].as_f64().expect("position column");
+            let pos = SkyPoint::from_radec_deg(ra, dec).to_vec3();
+            let new_state = state.extended(pos, cfg.sigma_rad);
+            if new_state.chi2_min() <= cfg.threshold * cfg.threshold {
+                let mut values = trow[4..].to_vec();
+                values.extend(carried_values(cfg, &schema, &row));
+                out.tuples.push(PartialTuple {
+                    state: new_state,
+                    values,
+                });
+            }
+        }
+    }
+    db.drop_table(&temp)?;
+    stats.tuples_out = out.len();
+    Ok((out, stats))
+}
+
+/// The drop-out ("exclusive outer join") step: a tuple survives only if
+/// **no** object at this archive could keep it within the threshold.
+/// Surviving tuples pass through with state and values unchanged.
+pub fn dropout_step(
+    db: &mut Database,
+    cfg: &StepConfig,
+    incoming: &PartialSet,
+) -> Result<(PartialSet, StepStats)> {
+    let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
+    let schema = db.schema(&cfg.table)?.clone();
+    let mut out = PartialSet::new(incoming.columns.clone());
+    let mut stats = StepStats {
+        tuples_in: incoming.len(),
+        ..StepStats::default()
+    };
+    for tuple in &incoming.tuples {
+        let Some(best) = tuple.state.best_position() else {
+            continue;
+        };
+        let radius = tuple.state.search_radius(cfg.threshold, cfg.sigma_rad);
+        let center = SkyPoint::from_vec3(best);
+        let hits = db.range_search(&cfg.table, center, radius, ScanOptions::default())?;
+        stats.candidates_probed += hits.len();
+        let mut matched = false;
+        for hit in hits {
+            let row = db
+                .table(&cfg.table)?
+                .row(hit.row)
+                .expect("hit row exists")
+                .clone();
+            if let Some(region) = &cfg.region {
+                let ra = row[ra_ci].as_f64().expect("position column");
+                let dec = row[dec_ci].as_f64().expect("position column");
+                if !region.contains(SkyPoint::from_radec_deg(ra, dec)) {
+                    continue;
+                }
+            }
+            if !row_passes(cfg, &schema, &row).map_err(FederationError::Sql)? {
+                continue;
+            }
+            let ra = row[ra_ci].as_f64().expect("position column");
+            let dec = row[dec_ci].as_f64().expect("position column");
+            let pos = SkyPoint::from_radec_deg(ra, dec).to_vec3();
+            if tuple.state.extended(pos, cfg.sigma_rad).chi2_min()
+                <= cfg.threshold * cfg.threshold
+            {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.tuples.push(tuple.clone());
+        }
+    }
+    stats.tuples_out = out.len();
+    Ok((out, stats))
+}
+
+/// Bindings over a partial tuple's qualified columns, used to evaluate
+/// cross-archive residual clauses.
+pub struct TupleBindings<'a> {
+    /// The partial set's qualified columns.
+    pub columns: &'a [ResultColumn],
+    /// One tuple's values.
+    pub values: &'a Row,
+}
+
+impl Bindings for TupleBindings<'_> {
+    fn resolve(&self, alias: &str, column: &str) -> std::result::Result<Value, SqlError> {
+        let q = format!("{alias}.{column}");
+        match self.columns.iter().position(|c| c.name == q) {
+            Some(i) => Ok(self.values[i].clone()),
+            None => Err(SqlError::eval(format!("column {q} not carried in tuple"))),
+        }
+    }
+}
+
+/// Applies residual (multi-archive) conjuncts to a partial set, keeping
+/// tuples where every residual is satisfied.
+pub fn apply_residuals(set: PartialSet, residuals: &[Expr]) -> Result<PartialSet> {
+    if residuals.is_empty() {
+        return Ok(set);
+    }
+    let columns = set.columns;
+    let mut kept = Vec::new();
+    for tuple in set.tuples {
+        let b = TupleBindings {
+            columns: &columns,
+            values: &tuple.values,
+        };
+        let mut ok = true;
+        for r in residuals {
+            if !r.eval_predicate(&b).map_err(FederationError::Sql)? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            kept.push(tuple);
+        }
+    }
+    Ok(PartialSet {
+        columns,
+        tuples: kept,
+    })
+}
+
+/// Inserts a partial set into a temp table (state + carried columns) and
+/// returns the table's name.
+fn materialize_temp(db: &mut Database, set: &PartialSet) -> Result<String> {
+    let mut cols: Vec<ColumnDef> = STATE_COLS
+        .iter()
+        .map(|n| ColumnDef::new(*n, DataType::Float))
+        .collect();
+    for c in &set.columns {
+        cols.push(ColumnDef::new(c.name.clone(), c.dtype).nullable());
+    }
+    let temp = db.create_temp_table(TableSchema::new("partial", cols))?;
+    for t in &set.tuples {
+        let mut row = vec![
+            Value::Float(t.state.a),
+            Value::Float(t.state.ax),
+            Value::Float(t.state.ay),
+            Value::Float(t.state.az),
+        ];
+        row.extend(t.values.iter().cloned());
+        db.insert(&temp, row)?;
+    }
+    Ok(temp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyquery_sql::parse_expr;
+    use skyquery_storage::BufferCache;
+
+    const ARCSEC: f64 = 1.0 / 3600.0;
+
+    fn sigma_rad(arcsec: f64) -> f64 {
+        (arcsec * ARCSEC).to_radians()
+    }
+
+    /// Builds an archive database named `name` with objects at the given
+    /// (ra, dec, flux) positions.
+    fn archive(name: &str, objects: &[(f64, f64, f64)]) -> Database {
+        let mut db = Database::with_cache(name, BufferCache::new(1024, 8));
+        let schema = TableSchema::new(
+            "objects",
+            vec![
+                ColumnDef::new("object_id", DataType::Id),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+                ColumnDef::new("flux", DataType::Float),
+            ],
+        )
+        .with_position(PositionColumns::new("ra", "dec", 14))
+        .unwrap();
+        db.create_table(schema).unwrap();
+        for (i, &(ra, dec, flux)) in objects.iter().enumerate() {
+            db.insert(
+                "objects",
+                vec![
+                    Value::Id(i as u64 + 1),
+                    Value::Float(ra),
+                    Value::Float(dec),
+                    Value::Float(flux),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn cfg(alias: &str, sigma_arcsec: f64, threshold: f64) -> StepConfig {
+        StepConfig {
+            alias: alias.into(),
+            table: "objects".into(),
+            sigma_rad: sigma_rad(sigma_arcsec),
+            threshold,
+            region: None,
+            local_predicate: None,
+            carried_columns: vec!["object_id".into()],
+        }
+    }
+
+    #[test]
+    fn single_observation_chi2_is_zero() {
+        let p = SkyPoint::from_radec_deg(185.0, -0.5).to_vec3();
+        let s = TupleState::single(p, sigma_rad(0.1));
+        assert!(s.chi2_min() < 1e-9);
+        assert!((s.log_likelihood()).abs() < 1e-3);
+        let best = s.best_position().unwrap();
+        assert!(best.angle_to(p) < 1e-12);
+    }
+
+    #[test]
+    fn coincident_observations_match_perfectly() {
+        let p = SkyPoint::from_radec_deg(100.0, 20.0).to_vec3();
+        let s = TupleState::single(p, sigma_rad(0.2)).extended(p, sigma_rad(0.3));
+        assert!(s.chi2_min() < 1e-9);
+    }
+
+    #[test]
+    fn separated_observations_raise_chi2() {
+        // Two observations 1 arcsec apart with σ = 0.2 arcsec each:
+        // χ² ≈ d²/(σ₁²+σ₂²) = 1/(0.08) = 12.5.
+        let p1 = SkyPoint::from_radec_deg(100.0, 20.0).to_vec3();
+        let p2 = SkyPoint::from_radec_deg(100.0, 20.0 + ARCSEC).to_vec3();
+        let s = TupleState::single(p1, sigma_rad(0.2)).extended(p2, sigma_rad(0.2));
+        let expected = 1.0 / 0.08;
+        // χ² = 2(a − |â|) with a ≈ 10¹² loses ~5 significant digits to
+        // cancellation; 10⁻³ relative is the attainable f64 accuracy here.
+        let rel = (s.chi2_min() - expected).abs() / expected;
+        assert!(rel < 1e-3, "chi2 {} vs expected {expected}", s.chi2_min());
+    }
+
+    #[test]
+    fn chi2_is_monotone_in_tuple_length() {
+        let p1 = SkyPoint::from_radec_deg(10.0, 10.0).to_vec3();
+        let p2 = SkyPoint::from_radec_deg(10.0, 10.0 + 0.4 * ARCSEC).to_vec3();
+        let p3 = SkyPoint::from_radec_deg(10.0 + 0.5 * ARCSEC, 10.0).to_vec3();
+        let s1 = TupleState::single(p1, sigma_rad(0.3));
+        let s2 = s1.extended(p2, sigma_rad(0.25));
+        let s3 = s2.extended(p3, sigma_rad(0.5));
+        assert!(s1.chi2_min() <= s2.chi2_min() + 1e-12);
+        assert!(s2.chi2_min() <= s3.chi2_min() + 1e-12);
+    }
+
+    #[test]
+    fn symmetric_in_order() {
+        // §5.4: "This XMATCH scheme is fully symmetric; the particular
+        // order of the archives considered doesn't matter."
+        let pts = [
+            (SkyPoint::from_radec_deg(42.0, -7.0).to_vec3(), sigma_rad(0.1)),
+            (
+                SkyPoint::from_radec_deg(42.0 + 0.2 * ARCSEC, -7.0).to_vec3(),
+                sigma_rad(0.35),
+            ),
+            (
+                SkyPoint::from_radec_deg(42.0, -7.0 - 0.3 * ARCSEC).to_vec3(),
+                sigma_rad(0.8),
+            ),
+        ];
+        let forward = TupleState::single(pts[0].0, pts[0].1)
+            .extended(pts[1].0, pts[1].1)
+            .extended(pts[2].0, pts[2].1);
+        let backward = TupleState::single(pts[2].0, pts[2].1)
+            .extended(pts[1].0, pts[1].1)
+            .extended(pts[0].0, pts[0].1);
+        assert!((forward.chi2_min() - backward.chi2_min()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_then_match_finds_pairs() {
+        // Archive A: three objects; archive B: counterparts for two of
+        // them (within ~0.3 arcsec) plus an unrelated object.
+        let mut a = archive(
+            "A",
+            &[(120.0, 30.0, 5.0), (121.0, 30.0, 6.0), (122.0, 30.0, 7.0)],
+        );
+        let mut b = archive(
+            "B",
+            &[
+                (120.0 + 0.2 * ARCSEC, 30.0, 1.0),
+                (121.0, 30.0 - 0.25 * ARCSEC, 2.0),
+                (150.0, -10.0, 3.0),
+            ],
+        );
+        let (seed, st) = seed_step(&mut a, &cfg("A", 0.3, 3.5)).unwrap();
+        assert_eq!(seed.len(), 3);
+        assert_eq!(st.tuples_out, 3);
+        let (matched, st2) = match_step(&mut b, &cfg("B", 0.3, 3.5), &seed).unwrap();
+        assert_eq!(st2.tuples_in, 3);
+        assert_eq!(matched.len(), 2, "two bodies have counterparts");
+        // Carried columns are qualified.
+        assert_eq!(
+            matched.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["A.object_id", "B.object_id"]
+        );
+    }
+
+    #[test]
+    fn tight_threshold_rejects_distant_pairs() {
+        let mut a = archive("A", &[(120.0, 30.0, 5.0)]);
+        // Counterpart 2 arcsec away, σ = 0.3: χ ≈ 2/0.42 ≈ 4.7σ.
+        let mut b = archive("B", &[(120.0 + 2.0 * ARCSEC, 30.0, 1.0)]);
+        let (seed, _) = seed_step(&mut a, &cfg("A", 0.3, 3.5)).unwrap();
+        let (matched, _) = match_step(&mut b, &cfg("B", 0.3, 3.5), &seed).unwrap();
+        assert!(matched.is_empty());
+        // A looser threshold accepts it.
+        let (seed, _) = seed_step(&mut a, &cfg("A", 0.3, 8.0)).unwrap();
+        let (matched, _) = match_step(&mut b, &cfg("B", 0.3, 8.0), &seed).unwrap();
+        assert_eq!(matched.len(), 1);
+    }
+
+    #[test]
+    fn local_predicate_filters_at_node() {
+        let mut a = archive("A", &[(10.0, 10.0, 5.0), (11.0, 10.0, 25.0)]);
+        let mut c = cfg("A", 0.3, 3.5);
+        c.local_predicate = Some(parse_expr("A.flux > 10").unwrap());
+        let (seed, _) = seed_step(&mut a, &c).unwrap();
+        assert_eq!(seed.len(), 1);
+    }
+
+    #[test]
+    fn area_clause_limits_seed_and_match() {
+        let mut a = archive("A", &[(10.0, 10.0, 1.0), (40.0, 10.0, 1.0)]);
+        let mut b = archive(
+            "B",
+            &[(10.0, 10.0, 1.0), (40.0, 10.0, 1.0)],
+        );
+        let area = Some(Region::Circle {
+            center: SkyPoint::from_radec_deg(10.0, 10.0),
+            radius_rad: 1.0_f64.to_radians(),
+        });
+        let mut ca = cfg("A", 0.3, 3.5);
+        ca.region = area.clone();
+        let mut cb = cfg("B", 0.3, 3.5);
+        cb.region = area;
+        let (seed, _) = seed_step(&mut a, &ca).unwrap();
+        assert_eq!(seed.len(), 1, "only the in-area object seeds");
+        let (matched, _) = match_step(&mut b, &cb, &seed).unwrap();
+        assert_eq!(matched.len(), 1);
+    }
+
+    #[test]
+    fn dropout_removes_tuples_with_counterparts() {
+        let mut a = archive("A", &[(10.0, 10.0, 1.0), (11.0, 10.0, 1.0)]);
+        // Drop-out archive has a counterpart only for the first object.
+        let mut p = archive("P", &[(10.0 + 0.1 * ARCSEC, 10.0, 1.0)]);
+        let (seed, _) = seed_step(&mut a, &cfg("A", 0.3, 3.5)).unwrap();
+        let (survivors, st) = dropout_step(&mut p, &cfg("P", 0.3, 3.5), &seed).unwrap();
+        assert_eq!(st.tuples_in, 2);
+        assert_eq!(survivors.len(), 1, "tuple with a P counterpart is dropped");
+        // The survivor is the object at ra=11.
+        assert_eq!(survivors.tuples[0].values[0], Value::Id(2));
+        // State unchanged (no extension by a drop-out).
+        assert!((survivors.tuples[0].state.chi2_min()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_equals_centralized_bruteforce() {
+        // Three archives with correlated objects; compare the chain
+        // result against an exhaustive N³ evaluation of the same math.
+        let bodies = [
+            (200.0, -45.0),
+            (200.001, -45.0),
+            (200.0, -44.999),
+            (200.002, -45.002),
+        ];
+        let jitter = [0.1 * ARCSEC, -0.15 * ARCSEC, 0.2 * ARCSEC, 0.05 * ARCSEC];
+        let mk = |shift: f64| -> Vec<(f64, f64, f64)> {
+            bodies
+                .iter()
+                .zip(jitter)
+                .map(|(&(ra, dec), j)| (ra + j * shift, dec + j, 1.0))
+                .collect()
+        };
+        let objs_a = mk(1.0);
+        let objs_b = mk(-1.0);
+        let objs_c = mk(0.5);
+        let mut a = archive("A", &objs_a);
+        let mut b = archive("B", &objs_b);
+        let mut c = archive("C", &objs_c);
+        let t = 3.0;
+        let sig = [0.2, 0.3, 0.25];
+
+        let (s1, _) = seed_step(&mut a, &cfg("A", sig[0], t)).unwrap();
+        let (s2, _) = match_step(&mut b, &cfg("B", sig[1], t), &s1).unwrap();
+        let (s3, _) = match_step(&mut c, &cfg("C", sig[2], t), &s2).unwrap();
+        let mut distributed: Vec<(u64, u64, u64)> = s3
+            .tuples
+            .iter()
+            .map(|tp| {
+                (
+                    tp.values[0].as_id().unwrap(),
+                    tp.values[1].as_id().unwrap(),
+                    tp.values[2].as_id().unwrap(),
+                )
+            })
+            .collect();
+        distributed.sort_unstable();
+
+        // Brute force.
+        let mut brute = Vec::new();
+        for (i, &(ra1, dec1, _)) in objs_a.iter().enumerate() {
+            for (j, &(ra2, dec2, _)) in objs_b.iter().enumerate() {
+                for (k, &(ra3, dec3, _)) in objs_c.iter().enumerate() {
+                    let s = TupleState::single(
+                        SkyPoint::from_radec_deg(ra1, dec1).to_vec3(),
+                        sigma_rad(sig[0]),
+                    )
+                    .extended(
+                        SkyPoint::from_radec_deg(ra2, dec2).to_vec3(),
+                        sigma_rad(sig[1]),
+                    )
+                    .extended(
+                        SkyPoint::from_radec_deg(ra3, dec3).to_vec3(),
+                        sigma_rad(sig[2]),
+                    );
+                    if s.chi2_min() <= t * t {
+                        brute.push((i as u64 + 1, j as u64 + 1, k as u64 + 1));
+                    }
+                }
+            }
+        }
+        brute.sort_unstable();
+        assert_eq!(distributed, brute);
+        assert!(!distributed.is_empty(), "test should exercise matches");
+    }
+
+    #[test]
+    fn partial_set_votable_roundtrip() {
+        let mut a = archive("A", &[(10.0, 10.0, 1.0), (11.0, 11.0, 2.0)]);
+        let mut c = cfg("A", 0.3, 3.5);
+        c.carried_columns = vec!["object_id".into(), "flux".into()];
+        let (seed, _) = seed_step(&mut a, &c).unwrap();
+        let t = seed.to_votable();
+        let back = PartialSet::from_votable(&t).unwrap();
+        assert_eq!(back.columns, seed.columns);
+        assert_eq!(back.len(), seed.len());
+        for (x, y) in back.tuples.iter().zip(&seed.tuples) {
+            assert_eq!(x.values, y.values);
+            assert!((x.state.a - y.state.a).abs() < 1e-15);
+            assert!((x.state.ax - y.state.ax).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn from_votable_rejects_missing_state() {
+        let mut rs = ResultSet::new(vec![ResultColumn::new("x", DataType::Float)]);
+        rs.push_row(vec![Value::Float(1.0)]).unwrap();
+        let t = rs.to_votable("partial");
+        assert!(PartialSet::from_votable(&t).is_err());
+    }
+
+    #[test]
+    fn residual_filtering() {
+        let columns = vec![
+            ResultColumn::new("O.i_flux", DataType::Float),
+            ResultColumn::new("T.i_flux", DataType::Float),
+        ];
+        let p = SkyPoint::from_radec_deg(0.0, 0.0).to_vec3();
+        let mk = |o: f64, t: f64| PartialTuple {
+            state: TupleState::single(p, sigma_rad(0.2)),
+            values: vec![Value::Float(o), Value::Float(t)],
+        };
+        let set = PartialSet {
+            columns,
+            tuples: vec![mk(10.0, 5.0), mk(5.0, 4.5), mk(9.0, 2.0)],
+        };
+        let residual = parse_expr("(O.i_flux - T.i_flux) > 2").unwrap();
+        let out = apply_residuals(set, &[residual]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn residual_referencing_uncarried_column_errors() {
+        let set = PartialSet {
+            columns: vec![ResultColumn::new("O.x", DataType::Float)],
+            tuples: vec![PartialTuple {
+                state: TupleState::single(
+                    SkyPoint::from_radec_deg(0.0, 0.0).to_vec3(),
+                    sigma_rad(0.2),
+                ),
+                values: vec![Value::Float(1.0)],
+            }],
+        };
+        let residual = parse_expr("O.y > 2").unwrap();
+        assert!(apply_residuals(set, &[residual]).is_err());
+    }
+
+    #[test]
+    fn search_radius_shrinks_with_spent_budget() {
+        let p = SkyPoint::from_radec_deg(0.0, 0.0).to_vec3();
+        let fresh = TupleState::single(p, sigma_rad(0.2));
+        let q = SkyPoint::from_radec_deg(0.0, 0.5 * ARCSEC).to_vec3();
+        let strained = fresh.extended(q, sigma_rad(0.2));
+        let r1 = fresh.search_radius(3.5, sigma_rad(0.2));
+        let r2 = strained.search_radius(3.5, sigma_rad(0.2));
+        assert!(r2 < r1, "spent chi2 budget must shrink the search radius");
+    }
+}

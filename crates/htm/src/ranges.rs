@@ -1,0 +1,133 @@
+//! Inclusive ID ranges and range-list normalization.
+
+/// An inclusive range `[lo, hi]` of HTM IDs at a single depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdRange {
+    /// Smallest ID in the range.
+    pub lo: u64,
+    /// Largest ID in the range (inclusive).
+    pub hi: u64,
+}
+
+impl IdRange {
+    /// An inclusive range; `lo` must be ≤ `hi`.
+    pub fn new(lo: u64, hi: u64) -> IdRange {
+        debug_assert!(lo <= hi, "IdRange lo {lo} > hi {hi}");
+        IdRange { lo, hi }
+    }
+
+    /// Number of IDs covered.
+    pub fn len(self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Always false: an inclusive range covers at least one ID (paired
+    /// with `len` for the conventional API shape).
+    pub fn is_empty(self) -> bool {
+        false // an inclusive range always covers at least one id
+    }
+
+    /// Whether `id` falls inside the range.
+    pub fn contains(self, id: u64) -> bool {
+        self.lo <= id && id <= self.hi
+    }
+
+    /// Whether `self` and `other` overlap or touch (are adjacent).
+    pub fn touches(self, other: IdRange) -> bool {
+        // Adjacent: self.hi + 1 == other.lo or vice versa; careful with
+        // overflow at u64::MAX (not reachable for valid HTM ids, but be safe).
+        let (a, b) = if self.lo <= other.lo {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        b.lo <= a.hi || b.lo == a.hi.saturating_add(1)
+    }
+
+    /// Union of two touching ranges.
+    pub fn merge(self, other: IdRange) -> IdRange {
+        debug_assert!(self.touches(other));
+        IdRange::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+/// Sorts a range list and merges overlapping/adjacent entries in place.
+pub fn normalize(ranges: &mut Vec<IdRange>) {
+    if ranges.len() <= 1 {
+        return;
+    }
+    ranges.sort_by_key(|r| r.lo);
+    let mut out: Vec<IdRange> = Vec::with_capacity(ranges.len());
+    for &r in ranges.iter() {
+        match out.last_mut() {
+            Some(last) if last.touches(r) => *last = last.merge(r),
+            _ => out.push(r),
+        }
+    }
+    *ranges = out;
+}
+
+/// Whether a sorted, normalized range list contains `id` (binary search).
+pub fn ranges_contain(ranges: &[IdRange], id: u64) -> bool {
+    let idx = ranges.partition_point(|r| r.hi < id);
+    idx < ranges.len() && ranges[idx].contains(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_len_and_contains() {
+        let r = IdRange::new(10, 20);
+        assert_eq!(r.len(), 11);
+        assert!(r.contains(10) && r.contains(20) && r.contains(15));
+        assert!(!r.contains(9) && !r.contains(21));
+    }
+
+    #[test]
+    fn touching_and_merge() {
+        let a = IdRange::new(10, 20);
+        let b = IdRange::new(21, 30); // adjacent
+        let c = IdRange::new(15, 25); // overlapping
+        let d = IdRange::new(40, 50); // disjoint
+        assert!(a.touches(b));
+        assert!(a.touches(c));
+        assert!(!a.touches(d));
+        assert_eq!(a.merge(b), IdRange::new(10, 30));
+        assert_eq!(a.merge(c), IdRange::new(10, 25));
+    }
+
+    #[test]
+    fn normalize_merges_and_sorts() {
+        let mut v = vec![
+            IdRange::new(30, 40),
+            IdRange::new(10, 15),
+            IdRange::new(16, 20),
+            IdRange::new(35, 50),
+        ];
+        normalize(&mut v);
+        assert_eq!(v, vec![IdRange::new(10, 20), IdRange::new(30, 50)]);
+    }
+
+    #[test]
+    fn normalize_single_and_empty() {
+        let mut v: Vec<IdRange> = vec![];
+        normalize(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![IdRange::new(5, 6)];
+        normalize(&mut v);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ranges_contain_binary_search() {
+        let v = vec![IdRange::new(10, 20), IdRange::new(30, 50), IdRange::new(99, 99)];
+        for id in [10, 20, 30, 50, 99] {
+            assert!(ranges_contain(&v, id), "{id}");
+        }
+        for id in [0, 9, 21, 29, 51, 98, 100] {
+            assert!(!ranges_contain(&v, id), "{id}");
+        }
+    }
+}

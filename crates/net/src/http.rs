@@ -1,0 +1,412 @@
+//! HTTP/1.1 message framing.
+//!
+//! SOAP-over-HTTP needs only POST with a handful of headers — notably the
+//! `SOAPAction` header the paper highlights ("HTTP messages containing
+//! SOAP need to specify only one extra field 'Soap Action'", §3.1) — but
+//! we frame messages fully so the byte accounting reflects real wire
+//! sizes.
+
+use bytes::Bytes;
+
+use crate::NetError;
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST (all SOAP traffic).
+    Post,
+}
+
+impl Method {
+    /// The method's wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+
+    /// Parses a wire method name.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes the federation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatusCode {
+    /// 200.
+    Ok,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 500 — SOAP faults ride on it per the SOAP/HTTP binding.
+    InternalServerError,
+}
+
+impl StatusCode {
+    /// The numeric status code.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::InternalServerError => 500,
+        }
+    }
+
+    /// The standard reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::InternalServerError => "Internal Server Error",
+        }
+    }
+
+    /// The status for a numeric code, if modeled.
+    pub fn from_code(code: u16) -> Option<StatusCode> {
+        match code {
+            200 => Some(StatusCode::Ok),
+            400 => Some(StatusCode::BadRequest),
+            404 => Some(StatusCode::NotFound),
+            500 => Some(StatusCode::InternalServerError),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a 2xx status.
+    pub fn is_success(self) -> bool {
+        self == StatusCode::Ok
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Request path (e.g. `/soap`).
+    pub path: String,
+    /// Headers, excluding Content-Length (derived from the body).
+    pub headers: Vec<(String, String)>,
+    /// Request body.
+    pub body: Bytes,
+}
+
+impl HttpRequest {
+    /// A POST carrying a SOAP envelope: sets Content-Type and SOAPAction.
+    pub fn soap_post(path: impl Into<String>, action: &str, body: impl Into<Bytes>) -> Self {
+        let body = body.into();
+        HttpRequest {
+            method: Method::Post,
+            path: path.into(),
+            headers: vec![
+                ("Content-Type".into(), "text/xml; charset=utf-8".into()),
+                ("SOAPAction".into(), format!("\"{action}\"")),
+            ],
+            body,
+        }
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// The SOAPAction header with its quotes stripped.
+    pub fn soap_action(&self) -> Option<&str> {
+        self.header("SOAPAction")
+            .map(|v| v.trim_matches('"'))
+    }
+
+    /// Serializes to wire bytes (HTTP/1.1 framing with Content-Length).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = String::new();
+        out.push_str(self.method.as_str());
+        out.push(' ');
+        out.push_str(&self.path);
+        out.push_str(" HTTP/1.1\r\n");
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        let mut bytes = Vec::with_capacity(out.len() + self.body.len());
+        bytes.extend_from_slice(out.as_bytes());
+        bytes.extend_from_slice(&self.body);
+        Bytes::from(bytes)
+    }
+
+    /// Parses wire bytes back into a request.
+    pub fn parse(input: &[u8]) -> Result<HttpRequest, NetError> {
+        let (head, body) = split_frame(input)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+        let mut parts = request_line.split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| bad("bad method"))?;
+        let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(bad("expected HTTP/1.1"));
+        }
+        let (headers, content_length) = parse_headers(lines)?;
+        check_length(body, content_length)?;
+        Ok(HttpRequest {
+            method,
+            path,
+            headers,
+            body: Bytes::copy_from_slice(body),
+        })
+    }
+
+    /// Total framed size in bytes — what the accounting records.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Response status.
+    pub status: StatusCode,
+    /// Headers, excluding Content-Length (derived from the body).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl HttpResponse {
+    /// A 200 response with a `text/xml` body.
+    pub fn ok(body: impl Into<Bytes>) -> HttpResponse {
+        HttpResponse {
+            status: StatusCode::Ok,
+            headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
+            body: body.into(),
+        }
+    }
+
+    /// A SOAP fault response (HTTP 500 per the SOAP binding).
+    pub fn soap_fault(body: impl Into<Bytes>) -> HttpResponse {
+        HttpResponse {
+            status: StatusCode::InternalServerError,
+            headers: vec![("Content-Type".into(), "text/xml; charset=utf-8".into())],
+            body: body.into(),
+        }
+    }
+
+    /// An empty 404 response.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: StatusCode::NotFound,
+            headers: vec![],
+            body: Bytes::new(),
+        }
+    }
+
+    /// Header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+
+    /// Serializes to wire bytes (HTTP/1.1 framing with Content-Length).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        ));
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        let mut bytes = Vec::with_capacity(out.len() + self.body.len());
+        bytes.extend_from_slice(out.as_bytes());
+        bytes.extend_from_slice(&self.body);
+        Bytes::from(bytes)
+    }
+
+    /// Parses wire bytes back into a response.
+    pub fn parse(input: &[u8]) -> Result<HttpResponse, NetError> {
+        let (head, body) = split_frame(input)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+        let mut parts = status_line.split(' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(bad("expected HTTP/1.1"));
+        }
+        let status = parts
+            .next()
+            .and_then(|c| c.parse::<u16>().ok())
+            .and_then(StatusCode::from_code)
+            .ok_or_else(|| bad("bad status code"))?;
+        let (headers, content_length) = parse_headers(lines)?;
+        check_length(body, content_length)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body: Bytes::copy_from_slice(body),
+        })
+    }
+
+    /// Total framed size in bytes — what the accounting records.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+fn bad(detail: &str) -> NetError {
+    NetError::BadFrame {
+        detail: detail.to_string(),
+    }
+}
+
+fn split_frame(input: &[u8]) -> Result<(&str, &[u8]), NetError> {
+    let sep = input
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("missing header/body separator"))?;
+    let head = std::str::from_utf8(&input[..sep]).map_err(|_| bad("non-UTF8 header block"))?;
+    Ok((head, &input[sep + 4..]))
+}
+
+/// Parsed headers plus the declared Content-Length, if any.
+type ParsedHeaders = (Vec<(String, String)>, Option<usize>);
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<ParsedHeaders, NetError> {
+    let mut headers = Vec::new();
+    let mut content_length = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once(':').ok_or_else(|| bad("bad header line"))?;
+        let k = k.trim();
+        let v = v.trim();
+        if k.eq_ignore_ascii_case("Content-Length") {
+            content_length = Some(v.parse().map_err(|_| bad("bad Content-Length"))?);
+        } else {
+            headers.push((k.to_string(), v.to_string()));
+        }
+    }
+    Ok((headers, content_length))
+}
+
+fn check_length(body: &[u8], declared: Option<usize>) -> Result<(), NetError> {
+    match declared {
+        Some(n) if n != body.len() => Err(bad(&format!(
+            "Content-Length {n} does not match body length {}",
+            body.len()
+        ))),
+        _ => Ok(()),
+    }
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = HttpRequest::soap_post("/soap", "urn:skyquery#CrossMatch", "<x/>");
+        let bytes = req.to_bytes();
+        let back = HttpRequest::parse(&bytes).unwrap();
+        assert_eq!(back.method, Method::Post);
+        assert_eq!(back.path, "/soap");
+        assert_eq!(back.soap_action(), Some("urn:skyquery#CrossMatch"));
+        assert_eq!(&back.body[..], b"<x/>");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok("<r/>");
+        let back = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(back.status, StatusCode::Ok);
+        assert_eq!(&back.body[..], b"<r/>");
+        assert!(back.status.is_success());
+    }
+
+    #[test]
+    fn fault_is_500() {
+        let resp = HttpResponse::soap_fault("<fault/>");
+        assert_eq!(resp.status.code(), 500);
+        assert!(!resp.status.is_success());
+        let back = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(back.status, StatusCode::InternalServerError);
+    }
+
+    #[test]
+    fn content_length_mismatch_rejected() {
+        let mut bytes = HttpRequest::soap_post("/p", "a", "12345").to_bytes().to_vec();
+        // Truncate the body.
+        bytes.truncate(bytes.len() - 2);
+        assert!(HttpRequest::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn frame_without_separator_rejected() {
+        assert!(HttpRequest::parse(b"POST / HTTP/1.1").is_err());
+        assert!(HttpResponse::parse(b"junk").is_err());
+    }
+
+    #[test]
+    fn bad_status_and_method_rejected() {
+        assert!(HttpResponse::parse(b"HTTP/1.1 999 Weird\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(b"BREW /pot HTTP/1.1\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(b"POST /p HTTP/0.9\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn wire_len_includes_framing() {
+        let req = HttpRequest::soap_post("/soap", "a", "body");
+        assert!(req.wire_len() > 4);
+        assert_eq!(req.wire_len(), req.to_bytes().len());
+    }
+
+    #[test]
+    fn header_lookup_case_insensitive() {
+        let req = HttpRequest::soap_post("/p", "act", "");
+        assert!(req.header("soapaction").is_some());
+        assert!(req.header("SOAPACTION").is_some());
+        assert!(req.header("nope").is_none());
+    }
+
+    #[test]
+    fn binary_body_roundtrip() {
+        let body: Vec<u8> = (0u8..=255).collect();
+        let req = HttpRequest {
+            method: Method::Post,
+            path: "/bin".into(),
+            headers: vec![],
+            body: Bytes::from(body.clone()),
+        };
+        let back = HttpRequest::parse(&req.to_bytes()).unwrap();
+        assert_eq!(&back.body[..], &body[..]);
+    }
+}

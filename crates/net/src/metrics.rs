@@ -1,0 +1,154 @@
+//! Transmission accounting: the quantity SkyQuery's planner minimizes.
+
+use std::collections::HashMap;
+
+/// Latency/bandwidth model for simulated transfer time.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Fixed per-message latency in seconds (round trip is two messages).
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bytes_per_s: f64,
+}
+
+impl CostModel {
+    /// A model resembling 2002-era inter-site links: 50 ms latency,
+    /// ~1 MB/s throughput.
+    pub fn internet_2002() -> CostModel {
+        CostModel {
+            latency_s: 0.05,
+            bytes_per_s: 1_000_000.0,
+        }
+    }
+
+    /// A zero-cost model (pure byte counting).
+    pub fn free() -> CostModel {
+        CostModel {
+            latency_s: 0.0,
+            bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// Simulated seconds to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bytes_per_s
+    }
+}
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Messages sent over the link.
+    pub messages: u64,
+    /// Total framed bytes sent.
+    pub bytes: u64,
+    /// Simulated seconds spent on this link.
+    pub sim_seconds: f64,
+}
+
+impl LinkStats {
+    fn record(&mut self, bytes: usize, seconds: f64) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        self.sim_seconds += seconds;
+    }
+}
+
+/// Aggregated network metrics: per-directed-link and total.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkMetrics {
+    links: HashMap<(String, String), LinkStats>,
+    total: LinkStats,
+}
+
+impl NetworkMetrics {
+    /// Empty counters.
+    pub fn new() -> NetworkMetrics {
+        NetworkMetrics::default()
+    }
+
+    /// Records one message of `bytes` from `from` to `to`.
+    pub fn record(&mut self, from: &str, to: &str, bytes: usize, model: &CostModel) {
+        let seconds = model.transfer_time(bytes);
+        self.links
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .record(bytes, seconds);
+        self.total.record(bytes, seconds);
+    }
+
+    /// Stats for one directed link.
+    pub fn link(&self, from: &str, to: &str) -> LinkStats {
+        self.links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All links, sorted for deterministic reporting.
+    pub fn links(&self) -> Vec<((String, String), LinkStats)> {
+        let mut v: Vec<_> = self
+            .links
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Grand totals.
+    pub fn total(&self) -> LinkStats {
+        self.total
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.links.clear();
+        self.total = LinkStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_model() {
+        let m = CostModel {
+            latency_s: 0.1,
+            bytes_per_s: 1000.0,
+        };
+        assert!((m.transfer_time(500) - 0.6).abs() < 1e-12);
+        assert!((CostModel::free().transfer_time(1 << 30) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_link_accounting() {
+        let mut m = NetworkMetrics::new();
+        let model = CostModel::free();
+        m.record("portal", "sdss", 100, &model);
+        m.record("portal", "sdss", 50, &model);
+        m.record("sdss", "twomass", 10, &model);
+        assert_eq!(m.link("portal", "sdss").messages, 2);
+        assert_eq!(m.link("portal", "sdss").bytes, 150);
+        assert_eq!(m.link("sdss", "twomass").bytes, 10);
+        // Directed: reverse link untouched.
+        assert_eq!(m.link("sdss", "portal").messages, 0);
+        assert_eq!(m.total().bytes, 160);
+        assert_eq!(m.total().messages, 3);
+    }
+
+    #[test]
+    fn links_sorted_and_reset() {
+        let mut m = NetworkMetrics::new();
+        let model = CostModel::internet_2002();
+        m.record("b", "c", 1, &model);
+        m.record("a", "b", 1, &model);
+        let links = m.links();
+        assert_eq!(links[0].0 .0, "a");
+        assert!(m.total().sim_seconds > 0.0);
+        m.reset();
+        assert_eq!(m.total(), LinkStats::default());
+        assert!(m.links().is_empty());
+    }
+}

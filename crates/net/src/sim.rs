@@ -1,0 +1,234 @@
+//! The simulated network: endpoint registry and synchronous dispatch.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::metrics::{CostModel, NetworkMetrics};
+use crate::url::Url;
+use crate::NetError;
+
+/// A network endpoint: something bound to a host that answers HTTP
+/// requests. Handlers receive the network so they can make onward calls
+/// (the SkyNode daisy chain).
+pub trait Endpoint: Send + Sync {
+    /// Answers one request; may call onward through `net`.
+    fn handle(&self, net: &SimNetwork, req: HttpRequest) -> HttpResponse;
+}
+
+impl<F> Endpoint for F
+where
+    F: Fn(&SimNetwork, HttpRequest) -> HttpResponse + Send + Sync,
+{
+    fn handle(&self, net: &SimNetwork, req: HttpRequest) -> HttpResponse {
+        self(net, req)
+    }
+}
+
+/// The in-process Internet. Cloneable handle (`Arc` inside); all clones
+/// share hosts and metrics.
+#[derive(Clone)]
+pub struct SimNetwork {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    hosts: RwLock<HashMap<String, Arc<dyn Endpoint>>>,
+    metrics: Mutex<NetworkMetrics>,
+    model: CostModel,
+}
+
+impl SimNetwork {
+    /// A network with pure byte counting (no simulated latency).
+    pub fn new() -> SimNetwork {
+        SimNetwork::with_model(CostModel::free())
+    }
+
+    /// A network with a latency/bandwidth model.
+    pub fn with_model(model: CostModel) -> SimNetwork {
+        SimNetwork {
+            inner: Arc::new(Inner {
+                hosts: RwLock::new(HashMap::new()),
+                metrics: Mutex::new(NetworkMetrics::new()),
+                model,
+            }),
+        }
+    }
+
+    /// Binds an endpoint to a host name, replacing any previous binding.
+    pub fn bind(&self, host: impl Into<String>, endpoint: Arc<dyn Endpoint>) {
+        self.inner.hosts.write().insert(host.into(), endpoint);
+    }
+
+    /// Removes a host (simulating an archive going offline).
+    pub fn unbind(&self, host: &str) {
+        self.inner.hosts.write().remove(host);
+    }
+
+    /// Currently bound host names, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.hosts.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Sends a request from `from` to the URL's host, recording request
+    /// and response bytes on the two directed links. The endpoint runs
+    /// synchronously on the caller's thread.
+    pub fn send(&self, from: &str, url: &Url, req: HttpRequest) -> Result<HttpResponse, NetError> {
+        let endpoint = self
+            .inner
+            .hosts
+            .read()
+            .get(&url.host)
+            .cloned()
+            .ok_or_else(|| NetError::HostUnreachable {
+                host: url.host.clone(),
+            })?;
+        {
+            let mut m = self.inner.metrics.lock();
+            m.record(from, &url.host, req.wire_len(), &self.inner.model);
+        }
+        let resp = endpoint.handle(self, req);
+        {
+            let mut m = self.inner.metrics.lock();
+            m.record(&url.host, from, resp.wire_len(), &self.inner.model);
+        }
+        Ok(resp)
+    }
+
+    /// Snapshot of the accumulated metrics.
+    pub fn metrics(&self) -> NetworkMetrics {
+        self.inner.metrics.lock().clone()
+    }
+
+    /// Clears accumulated metrics (start of a measured experiment).
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.lock().reset();
+    }
+}
+
+impl Default for SimNetwork {
+    fn default() -> Self {
+        SimNetwork::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::StatusCode;
+
+    fn echo() -> Arc<dyn Endpoint> {
+        Arc::new(|_net: &SimNetwork, req: HttpRequest| HttpResponse::ok(req.body))
+    }
+
+    #[test]
+    fn bind_and_send() {
+        let net = SimNetwork::new();
+        net.bind("sdss", echo());
+        let resp = net
+            .send(
+                "portal",
+                &Url::parse("http://sdss/soap").unwrap(),
+                HttpRequest::soap_post("/soap", "Query", "hello"),
+            )
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(&resp.body[..], b"hello");
+        let m = net.metrics();
+        assert_eq!(m.link("portal", "sdss").messages, 1);
+        assert_eq!(m.link("sdss", "portal").messages, 1);
+        assert!(m.link("portal", "sdss").bytes > 5);
+    }
+
+    #[test]
+    fn unreachable_host() {
+        let net = SimNetwork::new();
+        let err = net.send(
+            "portal",
+            &Url::parse("http://nowhere/x").unwrap(),
+            HttpRequest::soap_post("/x", "a", ""),
+        );
+        assert!(matches!(err, Err(NetError::HostUnreachable { .. })));
+    }
+
+    #[test]
+    fn unbind_takes_host_offline() {
+        let net = SimNetwork::new();
+        net.bind("n", echo());
+        assert_eq!(net.hosts(), vec!["n".to_string()]);
+        net.unbind("n");
+        assert!(net
+            .send(
+                "c",
+                &Url::parse("http://n/").unwrap(),
+                HttpRequest::soap_post("/", "a", "")
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn chained_calls_are_accounted() {
+        // a → b → c, handlers forward through the network.
+        let net = SimNetwork::new();
+        net.bind("c", echo());
+        let forward = Arc::new(|net: &SimNetwork, req: HttpRequest| {
+            let resp = net
+                .send("b", &Url::parse("http://c/").unwrap(), req)
+                .unwrap();
+            HttpResponse::ok(resp.body)
+        });
+        net.bind("b", forward);
+        let resp = net
+            .send(
+                "a",
+                &Url::parse("http://b/").unwrap(),
+                HttpRequest::soap_post("/", "x", "payload"),
+            )
+            .unwrap();
+        assert_eq!(&resp.body[..], b"payload");
+        let m = net.metrics();
+        assert_eq!(m.link("a", "b").messages, 1);
+        assert_eq!(m.link("b", "c").messages, 1);
+        assert_eq!(m.link("c", "b").messages, 1);
+        assert_eq!(m.link("b", "a").messages, 1);
+        assert_eq!(m.total().messages, 4);
+    }
+
+    #[test]
+    fn latency_model_accumulates_time() {
+        let net = SimNetwork::with_model(CostModel {
+            latency_s: 1.0,
+            bytes_per_s: f64::INFINITY,
+        });
+        net.bind("n", echo());
+        net.send(
+            "c",
+            &Url::parse("http://n/").unwrap(),
+            HttpRequest::soap_post("/", "a", ""),
+        )
+        .unwrap();
+        // Round trip = 2 messages = 2 simulated seconds.
+        assert!((net.metrics().total().sim_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let net = SimNetwork::new();
+        let net2 = net.clone();
+        net.bind("n", echo());
+        assert_eq!(net2.hosts(), vec!["n".to_string()]);
+        net2.send(
+            "c",
+            &Url::parse("http://n/").unwrap(),
+            HttpRequest::soap_post("/", "a", ""),
+        )
+        .unwrap();
+        assert_eq!(net.metrics().total().messages, 2);
+        net.reset_metrics();
+        assert_eq!(net2.metrics().total().messages, 0);
+    }
+}

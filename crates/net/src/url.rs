@@ -1,0 +1,102 @@
+//! Minimal URL handling: `http://host/path`.
+
+use crate::NetError;
+
+/// A parsed HTTP URL. Only the `http` scheme, a host, and a path are
+/// modeled; ports and query strings are out of the federation's needs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    /// Host name (the simulated network address).
+    pub host: String,
+    /// Absolute path, always starting with `/`.
+    pub path: String,
+}
+
+impl Url {
+    /// A URL from parts; a missing leading `/` on the path is added.
+    pub fn new(host: impl Into<String>, path: impl Into<String>) -> Url {
+        let mut path = path.into();
+        if !path.starts_with('/') {
+            path.insert(0, '/');
+        }
+        Url {
+            host: host.into(),
+            path,
+        }
+    }
+
+    /// Parses `http://host/path` (path defaults to `/`).
+    pub fn parse(s: &str) -> Result<Url, NetError> {
+        let rest = s.strip_prefix("http://").ok_or_else(|| NetError::BadUrl {
+            url: s.to_string(),
+            detail: "only http:// URLs are supported".into(),
+        })?;
+        if rest.is_empty() {
+            return Err(NetError::BadUrl {
+                url: s.to_string(),
+                detail: "missing host".into(),
+            });
+        }
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() || host.contains(char::is_whitespace) {
+            return Err(NetError::BadUrl {
+                url: s.to_string(),
+                detail: "invalid host".into(),
+            });
+        }
+        Ok(Url {
+            host: host.to_string(),
+            path: path.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http://{}{}", self.host, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let u = Url::parse("http://sdss.skyquery.net/services/soap").unwrap();
+        assert_eq!(u.host, "sdss.skyquery.net");
+        assert_eq!(u.path, "/services/soap");
+        assert_eq!(u.to_string(), "http://sdss.skyquery.net/services/soap");
+    }
+
+    #[test]
+    fn path_defaults_to_root() {
+        let u = Url::parse("http://portal").unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn new_normalizes_path() {
+        assert_eq!(Url::new("h", "x").path, "/x");
+        assert_eq!(Url::new("h", "/x").path, "/x");
+    }
+
+    #[test]
+    fn rejects_bad_urls() {
+        assert!(Url::parse("ftp://x").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http:// spaced/x").is_err());
+        assert!(Url::parse("no-scheme").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in ["http://a/b/c", "http://x.y.z/", "http://h/p?notspecial"] {
+            let u = Url::parse(s).unwrap();
+            assert_eq!(Url::parse(&u.to_string()).unwrap(), u);
+        }
+    }
+}

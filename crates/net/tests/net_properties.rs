@@ -1,0 +1,86 @@
+//! Property tests for the network substrate: framing round-trips and
+//! conserved byte accounting.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use skyquery_net::{Endpoint, HttpRequest, HttpResponse, Method, SimNetwork, Url};
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,12}".prop_filter("not content-length", |s| {
+        !s.eq_ignore_ascii_case("Content-Length")
+    })
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // No CR/LF or leading/trailing whitespace (stripped by parsing).
+    "[a-zA-Z0-9 /;=_.\"#-]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_roundtrip(
+        path in "/[a-z0-9/]{0,20}",
+        headers in proptest::collection::vec((header_name(), header_value()), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let req = HttpRequest {
+            method: Method::Post,
+            path,
+            headers,
+            body: body.into(),
+        };
+        let back = HttpRequest::parse(&req.to_bytes()).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_roundtrip(
+        headers in proptest::collection::vec((header_name(), header_value()), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let resp = HttpResponse {
+            status: skyquery_net::StatusCode::Ok,
+            headers,
+            body: body.into(),
+        };
+        let back = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn url_roundtrip(host in "[a-z][a-z0-9.]{0,15}", path in "/[a-z0-9/]{0,15}") {
+        let u = Url::new(host, path);
+        prop_assert_eq!(Url::parse(&u.to_string()).unwrap(), u);
+    }
+
+    #[test]
+    fn byte_accounting_conserved(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..10),
+    ) {
+        // Total bytes recorded must equal the sum of request + response
+        // wire lengths, message count must be 2 per send.
+        let net = SimNetwork::new();
+        let echo: Arc<dyn Endpoint> =
+            Arc::new(|_n: &SimNetwork, req: HttpRequest| HttpResponse::ok(req.body));
+        net.bind("server", echo);
+        let url = Url::new("server", "/");
+        let mut expected_bytes = 0u64;
+        for body in &payloads {
+            let req = HttpRequest {
+                method: Method::Post,
+                path: "/".into(),
+                headers: vec![],
+                body: body.clone().into(),
+            };
+            expected_bytes += req.wire_len() as u64;
+            let resp = net.send("client", &url, req).unwrap();
+            expected_bytes += resp.wire_len() as u64;
+        }
+        let total = net.metrics().total();
+        prop_assert_eq!(total.messages, payloads.len() as u64 * 2);
+        prop_assert_eq!(total.bytes, expected_bytes);
+    }
+}

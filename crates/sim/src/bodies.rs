@@ -1,0 +1,238 @@
+//! Synthetic body catalogs: the "true sky" every survey observes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyquery_htm::{SkyPoint, Vec3};
+
+/// One astronomical body (the paper's term for the real object behind
+/// per-archive observations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Stable body identifier (index into the catalog).
+    pub id: u64,
+    /// True position.
+    pub position: SkyPoint,
+    /// Intrinsic brightness (arbitrary flux units); surveys scale it.
+    pub flux: f64,
+    /// True class: galaxies vs stars (surveys label what they detect).
+    pub is_galaxy: bool,
+}
+
+/// Parameters of a body catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogParams {
+    /// Number of bodies.
+    pub count: usize,
+    /// Right ascension of the populated region's center, degrees.
+    pub center_ra_deg: f64,
+    /// Declination of the populated region's center, degrees.
+    pub center_dec_deg: f64,
+    /// Angular radius of the populated cap, degrees.
+    pub radius_deg: f64,
+    /// Fraction of bodies that are galaxies.
+    pub galaxy_fraction: f64,
+    /// Fraction of bodies placed inside clusters (0 = fully uniform sky).
+    pub cluster_fraction: f64,
+    /// Number of cluster centers scattered over the cap.
+    pub cluster_count: usize,
+    /// Gaussian radius of each cluster, degrees.
+    pub cluster_radius_deg: f64,
+    /// RNG seed (catalogs are fully deterministic given parameters).
+    pub seed: u64,
+}
+
+impl Default for CatalogParams {
+    fn default() -> Self {
+        CatalogParams {
+            count: 1000,
+            center_ra_deg: 185.0,
+            center_dec_deg: -0.5,
+            radius_deg: 1.0,
+            galaxy_fraction: 0.6,
+            cluster_fraction: 0.0,
+            cluster_count: 0,
+            cluster_radius_deg: 0.02,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated catalog of bodies.
+#[derive(Debug, Clone)]
+pub struct BodyCatalog {
+    /// The parameters that generated this catalog.
+    pub params: CatalogParams,
+    /// The bodies, id == index.
+    pub bodies: Vec<Body>,
+}
+
+impl BodyCatalog {
+    /// Generates a catalog: positions uniform within the cap (area-true:
+    /// uniform in `cos θ` radially, uniform azimuth), log-uniform fluxes.
+    pub fn generate(params: CatalogParams) -> BodyCatalog {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let center = SkyPoint::from_radec_deg(params.center_ra_deg, params.center_dec_deg)
+            .to_vec3();
+        let (u, w) = orthonormal_frame(center);
+        let cos_r = params.radius_deg.to_radians().cos();
+        // Cluster centers (galaxy clusters): uniform over the cap.
+        let uniform_point = |rng: &mut StdRng| {
+            let cos_t: f64 = rng.gen_range(cos_r..=1.0);
+            let sin_t = (1.0 - cos_t * cos_t).max(0.0).sqrt();
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            center
+                .scale(cos_t)
+                .add(u.scale(sin_t * phi.cos()))
+                .add(w.scale(sin_t * phi.sin()))
+                .unit()
+        };
+        let cluster_centers: Vec<Vec3> = (0..params.cluster_count)
+            .map(|_| uniform_point(&mut rng))
+            .collect();
+        let mut bodies = Vec::with_capacity(params.count);
+        for id in 0..params.count as u64 {
+            let clustered = !cluster_centers.is_empty()
+                && rng.gen_bool(params.cluster_fraction.clamp(0.0, 1.0));
+            let p = if clustered {
+                // Gaussian scatter around a random cluster center.
+                let c = cluster_centers[rng.gen_range(0..cluster_centers.len())];
+                let (cu, cw) = orthonormal_frame(c);
+                let r = params.cluster_radius_deg.to_radians();
+                let dx: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                let dy: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                c.add(cu.scale(dx * r)).add(cw.scale(dy * r)).unit()
+            } else {
+                uniform_point(&mut rng)
+            };
+            let flux = 10f64.powf(rng.gen_range(0.0..3.0));
+            bodies.push(Body {
+                id,
+                position: SkyPoint::from_vec3(p),
+                flux,
+                is_galaxy: rng.gen_bool(params.galaxy_fraction.clamp(0.0, 1.0)),
+            });
+        }
+        BodyCatalog { params, bodies }
+    }
+
+    /// Number of bodies.
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+}
+
+/// Two unit vectors orthogonal to `v` and each other.
+pub(crate) fn orthonormal_frame(v: Vec3) -> (Vec3, Vec3) {
+    let axis = if v.z.abs() < 0.9 {
+        Vec3::new(0.0, 0.0, 1.0)
+    } else {
+        Vec3::new(1.0, 0.0, 0.0)
+    };
+    let u = v.cross(axis).unit();
+    let w = v.cross(u).unit();
+    (u, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = CatalogParams::default();
+        let a = BodyCatalog::generate(p);
+        let b = BodyCatalog::generate(p);
+        assert_eq!(a.bodies.len(), b.bodies.len());
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.flux, y.flux);
+        }
+        let mut p2 = p;
+        p2.seed = 43;
+        let c = BodyCatalog::generate(p2);
+        assert_ne!(a.bodies[0].position, c.bodies[0].position);
+    }
+
+    #[test]
+    fn bodies_inside_cap() {
+        let p = CatalogParams {
+            count: 500,
+            radius_deg: 0.5,
+            ..CatalogParams::default()
+        };
+        let cat = BodyCatalog::generate(p);
+        let center = SkyPoint::from_radec_deg(p.center_ra_deg, p.center_dec_deg);
+        for b in &cat.bodies {
+            assert!(
+                b.position.separation(center).to_degrees() <= p.radius_deg + 1e-9,
+                "body {} outside cap",
+                b.id
+            );
+        }
+    }
+
+    #[test]
+    fn galaxy_fraction_roughly_respected() {
+        let p = CatalogParams {
+            count: 4000,
+            galaxy_fraction: 0.7,
+            ..CatalogParams::default()
+        };
+        let cat = BodyCatalog::generate(p);
+        let galaxies = cat.bodies.iter().filter(|b| b.is_galaxy).count() as f64;
+        let frac = galaxies / cat.len() as f64;
+        assert!((frac - 0.7).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn clustering_concentrates_bodies() {
+        let uniform = BodyCatalog::generate(CatalogParams {
+            count: 2000,
+            seed: 9,
+            ..CatalogParams::default()
+        });
+        let clustered = BodyCatalog::generate(CatalogParams {
+            count: 2000,
+            seed: 9,
+            cluster_fraction: 0.8,
+            cluster_count: 5,
+            cluster_radius_deg: 0.02,
+            ..CatalogParams::default()
+        });
+        // Mean nearest-neighbour distance should shrink sharply.
+        let mean_nn = |cat: &BodyCatalog| {
+            let sample = &cat.bodies[..300];
+            let mut total = 0.0;
+            for b in sample {
+                let mut best = f64::MAX;
+                for o in &cat.bodies {
+                    if o.id != b.id {
+                        let d = b.position.separation(o.position);
+                        if d < best {
+                            best = d;
+                        }
+                    }
+                }
+                total += best;
+            }
+            total / sample.len() as f64
+        };
+        let u = mean_nn(&uniform);
+        let c = mean_nn(&clustered);
+        assert!(c < u * 0.5, "clustered NN {c} vs uniform {u}");
+    }
+
+    #[test]
+    fn fluxes_positive_and_spread() {
+        let cat = BodyCatalog::generate(CatalogParams::default());
+        assert!(cat.bodies.iter().all(|b| b.flux >= 1.0 && b.flux <= 1000.0));
+        let min = cat.bodies.iter().map(|b| b.flux).fold(f64::MAX, f64::min);
+        let max = cat.bodies.iter().map(|b| b.flux).fold(0.0, f64::max);
+        assert!(max / min > 10.0, "flux range too narrow");
+    }
+}

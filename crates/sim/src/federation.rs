@@ -1,0 +1,202 @@
+//! Federation assembly: surveys → SkyNodes → registered Portal.
+
+use std::sync::Arc;
+
+use skyquery_core::{ArchiveInfo, Client, FederationConfig, Portal, SkyNode};
+use skyquery_net::{CostModel, SimNetwork, Url};
+
+use crate::bodies::{BodyCatalog, CatalogParams};
+use crate::survey::{Survey, SurveyParams};
+
+/// A running test federation: the network, the Portal, the SkyNodes, and
+/// the ground-truth catalog behind them.
+pub struct TestFederation {
+    /// The simulated network everything is bound to.
+    pub net: SimNetwork,
+    /// The mediator.
+    pub portal: Arc<Portal>,
+    /// The SkyNodes, in survey declaration order.
+    pub nodes: Vec<Arc<SkyNode>>,
+    /// The survey parameters used to build the nodes.
+    pub surveys: Vec<SurveyParams>,
+    /// The ground-truth body catalog behind every survey.
+    pub catalog: BodyCatalog,
+}
+
+impl TestFederation {
+    /// A [`Client`] attached to this federation's Portal.
+    pub fn client(&self, host: &str) -> Client {
+        Client::new(&self.net, host, self.portal.url())
+    }
+
+    /// The SkyNode for an archive name.
+    pub fn node(&self, archive: &str) -> Option<&Arc<SkyNode>> {
+        self.nodes
+            .iter()
+            .find(|n| n.info().name.eq_ignore_ascii_case(archive))
+    }
+}
+
+/// Builder for test federations.
+pub struct FederationBuilder {
+    catalog_params: CatalogParams,
+    surveys: Vec<SurveyParams>,
+    config: FederationConfig,
+    cost_model: CostModel,
+    register_via_soap: bool,
+}
+
+impl FederationBuilder {
+    /// A builder with a default catalog and no surveys yet.
+    pub fn new() -> FederationBuilder {
+        FederationBuilder {
+            catalog_params: CatalogParams::default(),
+            surveys: Vec::new(),
+            config: FederationConfig::default(),
+            cost_model: CostModel::free(),
+            register_via_soap: false,
+        }
+    }
+
+    /// The paper's three-archive setup (SDSS + 2MASS + FIRST analogues)
+    /// over a shared catalog of `bodies` bodies.
+    pub fn paper_triple(bodies: usize) -> FederationBuilder {
+        FederationBuilder::new()
+            .catalog(CatalogParams {
+                count: bodies,
+                ..CatalogParams::default()
+            })
+            .survey(SurveyParams::sdss_like())
+            .survey(SurveyParams::twomass_like())
+            .survey(SurveyParams::first_like())
+    }
+
+    /// Builder: sets the body-catalog parameters.
+    pub fn catalog(mut self, params: CatalogParams) -> FederationBuilder {
+        self.catalog_params = params;
+        self
+    }
+
+    /// Builder: adds a survey (one archive / SkyNode).
+    pub fn survey(mut self, params: SurveyParams) -> FederationBuilder {
+        self.surveys.push(params);
+        self
+    }
+
+    /// Builder: sets the Portal's execution configuration.
+    pub fn config(mut self, config: FederationConfig) -> FederationBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Builder: sets the network latency/bandwidth model.
+    pub fn cost_model(mut self, model: CostModel) -> FederationBuilder {
+        self.cost_model = model;
+        self
+    }
+
+    /// Register nodes through the Portal's SOAP Registration service
+    /// (exercising the §5.1 flow) instead of the local API.
+    pub fn register_via_soap(mut self) -> FederationBuilder {
+        self.register_via_soap = true;
+        self
+    }
+
+    /// Generates surveys, starts SkyNodes and Portal, and registers every
+    /// node.
+    pub fn build(self) -> TestFederation {
+        assert!(
+            !self.surveys.is_empty(),
+            "a federation needs at least one survey"
+        );
+        let net = SimNetwork::with_model(self.cost_model);
+        let portal = Portal::start(&net, "portal.skyquery.net", self.config);
+        let catalog = BodyCatalog::generate(self.catalog_params);
+        let mut nodes = Vec::new();
+        for params in &self.surveys {
+            let survey = Survey::observe(&catalog, params.clone());
+            let host = format!("{}.skyquery.net", params.name.to_ascii_lowercase());
+            let info = ArchiveInfo {
+                name: params.name.clone(),
+                sigma_arcsec: params.sigma_arcsec,
+                primary_table: params.table.clone(),
+                htm_depth: params.htm_depth,
+            };
+            let node = SkyNode::start(&net, host.clone(), info, survey.db);
+            if self.register_via_soap {
+                // The node calls the Portal's Registration service, which
+                // calls back into the node's Meta-data and Information
+                // services.
+                use skyquery_soap::{RpcCall, SoapValue};
+                let resp = skyquery_core::skynode::send_rpc(
+                    &net,
+                    &host,
+                    &portal.url(),
+                    &RpcCall::new("Register")
+                        .param("url", SoapValue::Str(node.url().to_string())),
+                )
+                .expect("registration succeeds");
+                assert_eq!(
+                    resp.require("archive").unwrap().as_str(),
+                    Some(params.name.as_str())
+                );
+            } else {
+                portal
+                    .register_node(&Url::new(host, "/soap"))
+                    .expect("registration succeeds");
+            }
+            nodes.push(node);
+        }
+        TestFederation {
+            net,
+            portal,
+            nodes,
+            surveys: self.surveys,
+            catalog,
+        }
+    }
+}
+
+impl Default for FederationBuilder {
+    fn default() -> Self {
+        FederationBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_registers_three_archives() {
+        let fed = FederationBuilder::paper_triple(300).build();
+        assert_eq!(
+            fed.portal.archives(),
+            vec!["FIRST".to_string(), "SDSS".into(), "TWOMASS".into()]
+        );
+        assert_eq!(fed.nodes.len(), 3);
+        let sdss = fed.portal.node("sdss").unwrap();
+        assert_eq!(sdss.info.primary_table, "Photo_Object");
+        assert!(sdss.catalog.primary_table().is_some());
+    }
+
+    #[test]
+    fn soap_registration_flow() {
+        let fed = FederationBuilder::paper_triple(100)
+            .register_via_soap()
+            .build();
+        assert_eq!(fed.portal.archives().len(), 3);
+        // Registration traffic happened: portal ↔ nodes links exist.
+        let m = fed.net.metrics();
+        assert!(m.link("sdss.skyquery.net", "portal.skyquery.net").messages > 0);
+        assert!(m.link("portal.skyquery.net", "sdss.skyquery.net").messages > 0);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let fed = FederationBuilder::paper_triple(100).build();
+        assert!(fed.node("SDSS").is_some());
+        assert!(fed.node("sdss").is_some());
+        assert!(fed.node("HUBBLE").is_none());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # skyquery-sim — synthetic sky surveys and federation builders
+//!
+//! The deployed SkyQuery federated the real SDSS, 2MASS, and FIRST
+//! archives. This crate is the substitution (DESIGN.md §4): a seeded,
+//! deterministic generator of synthetic surveys that share a common
+//! catalog of astronomical **bodies**, each survey observing a subset of
+//! them with its own Gaussian positional error, detection fraction, flux
+//! scaling, and type labels. Cross-match behaviour depends only on
+//! positions, σ's, densities, and schema shape — exactly what the
+//! generator controls.
+//!
+//! * [`bodies`] — body catalogs: uniform points within a spherical cap;
+//! * [`survey`] — per-survey observation model and archive databases with
+//!   the paper's primary-table schema;
+//! * [`federation`] — assembles networks of SkyNodes plus a Portal;
+//! * [`workload`] — query builders for the experiments.
+
+pub mod bodies;
+pub mod federation;
+pub mod survey;
+pub mod workload;
+
+pub use bodies::{Body, BodyCatalog, CatalogParams};
+pub use federation::{FederationBuilder, TestFederation};
+pub use survey::{Survey, SurveyParams};
+pub use workload::{paper_query, xmatch_query, QuerySpec};

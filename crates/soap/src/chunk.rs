@@ -1,0 +1,310 @@
+//! Chunked transfer of large result tables.
+//!
+//! The deployed SkyQuery hit a hard wall: "The XML parser at the SkyNode
+//! would run out of memory while parsing SOAP messages of about 10 MB. We
+//! worked around by dividing large data sets into smaller chunks" (§6).
+//!
+//! [`MessageLimits`] models the parser's capacity; senders use
+//! [`split_table`] to produce chunks whose encoded envelopes stay under
+//! the limit, tagging each with a [`ChunkHeader`]; receivers feed chunks
+//! to a [`Reassembler`], which verifies sequence completeness and schema
+//! consistency before yielding the whole table.
+
+use skyquery_xml::VoTable;
+
+use crate::SoapError;
+
+/// The receiving parser's message-size capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageLimits {
+    /// Maximum accepted envelope size in bytes.
+    pub max_message_bytes: usize,
+}
+
+impl MessageLimits {
+    /// The historical limit the paper reports (~10 MB).
+    pub fn paper_2002() -> MessageLimits {
+        MessageLimits {
+            max_message_bytes: 10 * 1024 * 1024,
+        }
+    }
+
+    /// A small limit for tests and benches.
+    pub fn tiny(max_message_bytes: usize) -> MessageLimits {
+        MessageLimits { max_message_bytes }
+    }
+
+    /// Checks an encoded message against the limit, mimicking the 2002
+    /// parser's failure mode (an error instead of an OOM).
+    pub fn admit(&self, encoded_len: usize) -> Result<(), SoapError> {
+        if encoded_len > self.max_message_bytes {
+            Err(SoapError::MessageTooLarge {
+                size: encoded_len,
+                limit: self.max_message_bytes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Sequence metadata accompanying each chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// Zero-based index of this chunk.
+    pub index: usize,
+    /// Total number of chunks in the transfer.
+    pub total: usize,
+    /// A transfer id so interleaved transfers cannot mix.
+    pub transfer_id: u64,
+}
+
+/// Splits a table into chunks whose *encoded* size stays under the limit.
+///
+/// The row budget is estimated from the actual encoded size of the full
+/// table and then verified per chunk; if a pathological row still exceeds
+/// the limit on its own, an error is returned (there is no way to ship it
+/// through the 2002 parser).
+pub fn split_table(
+    table: &VoTable,
+    limits: MessageLimits,
+    transfer_id: u64,
+) -> Result<Vec<(ChunkHeader, VoTable)>, SoapError> {
+    // Fast path: already small enough.
+    let full_len = table.to_xml().len();
+    if full_len <= limits.max_message_bytes {
+        return Ok(vec![(
+            ChunkHeader {
+                index: 0,
+                total: 1,
+                transfer_id,
+            },
+            table.clone(),
+        )]);
+    }
+    if table.row_count() == 0 {
+        // An empty table that still exceeds the limit means the schema
+        // alone is too large — nothing to chunk.
+        return Err(SoapError::MessageTooLarge {
+            size: full_len,
+            limit: limits.max_message_bytes,
+        });
+    }
+    // Estimate rows per chunk from average encoded row size, with headroom.
+    let header_len = {
+        let empty = VoTable::new(table.name.clone(), table.columns.clone());
+        empty.to_xml().len()
+    };
+    let avg_row = (full_len - header_len).max(1) as f64 / table.row_count() as f64;
+    let budget = limits.max_message_bytes.saturating_sub(header_len);
+    let mut rows_per_chunk = ((budget as f64 / avg_row) * 0.9) as usize;
+    rows_per_chunk = rows_per_chunk.max(1);
+
+    loop {
+        let tables = table.chunk_rows(rows_per_chunk);
+        // Verify every chunk admits; shrink and retry otherwise.
+        let mut ok = true;
+        for t in &tables {
+            if t.to_xml().len() > limits.max_message_bytes {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let total = tables.len();
+            return Ok(tables
+                .into_iter()
+                .enumerate()
+                .map(|(index, t)| {
+                    (
+                        ChunkHeader {
+                            index,
+                            total,
+                            transfer_id,
+                        },
+                        t,
+                    )
+                })
+                .collect());
+        }
+        if rows_per_chunk == 1 {
+            // A single row exceeds the parser limit.
+            return Err(SoapError::Chunking {
+                detail: "a single row exceeds the message size limit".into(),
+            });
+        }
+        rows_per_chunk /= 2;
+    }
+}
+
+/// Reassembles chunks into the original table.
+#[derive(Debug)]
+pub struct Reassembler {
+    transfer_id: u64,
+    total: usize,
+    received: Vec<Option<VoTable>>,
+    count: usize,
+}
+
+impl Reassembler {
+    /// Starts a transfer from its first observed chunk header.
+    pub fn new(header: ChunkHeader) -> Reassembler {
+        Reassembler {
+            transfer_id: header.transfer_id,
+            total: header.total.max(1),
+            received: vec![None; header.total.max(1)],
+            count: 0,
+        }
+    }
+
+    /// Accepts one chunk. Returns `true` when the transfer is complete.
+    pub fn accept(&mut self, header: ChunkHeader, table: VoTable) -> Result<bool, SoapError> {
+        if header.transfer_id != self.transfer_id {
+            return Err(SoapError::Chunking {
+                detail: format!(
+                    "chunk from transfer {} fed to reassembler for {}",
+                    header.transfer_id, self.transfer_id
+                ),
+            });
+        }
+        if header.total != self.total {
+            return Err(SoapError::Chunking {
+                detail: format!(
+                    "chunk declares total {} but transfer started with {}",
+                    header.total, self.total
+                ),
+            });
+        }
+        if header.index >= self.total {
+            return Err(SoapError::Chunking {
+                detail: format!("chunk index {} out of range 0..{}", header.index, self.total),
+            });
+        }
+        if self.received[header.index].is_some() {
+            return Err(SoapError::Chunking {
+                detail: format!("duplicate chunk {}", header.index),
+            });
+        }
+        self.received[header.index] = Some(table);
+        self.count += 1;
+        Ok(self.count == self.total)
+    }
+
+    /// Whether all chunks have arrived.
+    pub fn is_complete(&self) -> bool {
+        self.count == self.total
+    }
+
+    /// Yields the reassembled table; errors if incomplete or if chunk
+    /// schemas disagree.
+    pub fn finish(self) -> Result<VoTable, SoapError> {
+        if !self.is_complete() {
+            return Err(SoapError::Chunking {
+                detail: format!("transfer incomplete: {}/{} chunks", self.count, self.total),
+            });
+        }
+        let tables: Vec<VoTable> = self.received.into_iter().map(Option::unwrap).collect();
+        VoTable::concat(tables).map_err(SoapError::Xml)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyquery_xml::{VoColumn, VoType};
+
+    fn big_table(rows: usize) -> VoTable {
+        let mut t = VoTable::new(
+            "partial",
+            vec![
+                VoColumn::new("id", VoType::Id),
+                VoColumn::new("payload", VoType::Text),
+            ],
+        );
+        for i in 0..rows {
+            t.push_row(vec![
+                Some(i.to_string()),
+                Some(format!("row-{i}-{}", "x".repeat(40))),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn small_table_single_chunk() {
+        let t = big_table(3);
+        let chunks = split_table(&t, MessageLimits::paper_2002(), 1).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].0.total, 1);
+        assert_eq!(chunks[0].1, t);
+    }
+
+    #[test]
+    fn large_table_chunks_under_limit_and_reassembles() {
+        let t = big_table(200);
+        let limits = MessageLimits::tiny(2000);
+        let chunks = split_table(&t, limits, 42).unwrap();
+        assert!(chunks.len() > 1, "expected multiple chunks");
+        for (_, c) in &chunks {
+            assert!(c.to_xml().len() <= limits.max_message_bytes);
+        }
+        let mut r = Reassembler::new(chunks[0].0);
+        // Deliver out of order.
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        order.reverse();
+        let mut complete = false;
+        for i in order {
+            complete = r.accept(chunks[i].0, chunks[i].1.clone()).unwrap();
+        }
+        assert!(complete);
+        assert_eq!(r.finish().unwrap(), t);
+    }
+
+    #[test]
+    fn oversize_unchunked_message_rejected() {
+        let t = big_table(200);
+        let limits = MessageLimits::tiny(2000);
+        assert!(limits.admit(t.to_xml().len()).is_err());
+        assert!(limits.admit(100).is_ok());
+    }
+
+    #[test]
+    fn single_giant_row_cannot_ship() {
+        let mut t = VoTable::new("x", vec![VoColumn::new("blob", VoType::Text)]);
+        t.push_row(vec![Some("y".repeat(5000))]).unwrap();
+        let err = split_table(&t, MessageLimits::tiny(1000), 0).unwrap_err();
+        assert!(matches!(err, SoapError::Chunking { .. }));
+    }
+
+    #[test]
+    fn reassembler_rejects_duplicates_and_mixups() {
+        let t = big_table(100);
+        let chunks = split_table(&t, MessageLimits::tiny(2000), 7).unwrap();
+        let mut r = Reassembler::new(chunks[0].0);
+        r.accept(chunks[0].0, chunks[0].1.clone()).unwrap();
+        // Duplicate.
+        assert!(r.accept(chunks[0].0, chunks[0].1.clone()).is_err());
+        // Wrong transfer id.
+        let mut alien = chunks[1].0;
+        alien.transfer_id = 99;
+        assert!(r.accept(alien, chunks[1].1.clone()).is_err());
+        // Wrong declared total.
+        let mut liar = chunks[1].0;
+        liar.total += 1;
+        assert!(r.accept(liar, chunks[1].1.clone()).is_err());
+        // Premature finish.
+        assert!(!r.is_complete());
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = VoTable::new("empty", vec![VoColumn::new("id", VoType::Id)]);
+        let chunks = split_table(&t, MessageLimits::paper_2002(), 0).unwrap();
+        assert_eq!(chunks.len(), 1);
+        let mut r = Reassembler::new(chunks[0].0);
+        assert!(r.accept(chunks[0].0, chunks[0].1.clone()).unwrap());
+        assert_eq!(r.finish().unwrap().row_count(), 0);
+    }
+}

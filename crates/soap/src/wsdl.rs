@@ -1,0 +1,303 @@
+//! WSDL service descriptions.
+//!
+//! "WSDL consists of two distinct parts — service definition and service
+//! implementation" (§3.1). [`WsdlBuilder`] generates a document with both:
+//! abstract messages/portType (definition) and the SOAP/HTTP binding with
+//! a concrete endpoint address (implementation). SkyNodes publish one of
+//! these for their four services; the Portal publishes one for
+//! Registration and SkyQuery.
+
+use skyquery_xml::Element;
+
+use crate::{SoapError, SKYQUERY_NS};
+
+/// A named, typed parameter in an operation signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// Parameter name.
+    pub name: String,
+    /// One of the `SoapValue` type names: string, long, double, boolean,
+    /// table, xml, nil.
+    pub type_name: String,
+}
+
+impl ParamDef {
+    /// A named, typed parameter.
+    pub fn new(name: impl Into<String>, type_name: impl Into<String>) -> ParamDef {
+        ParamDef {
+            name: name.into(),
+            type_name: type_name.into(),
+        }
+    }
+}
+
+/// One operation (method) of a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation (method) name.
+    pub name: String,
+    /// Input parameters.
+    pub inputs: Vec<ParamDef>,
+    /// Output results.
+    pub outputs: Vec<ParamDef>,
+    /// Human-readable description, embedded in the WSDL.
+    pub documentation: String,
+}
+
+impl Operation {
+    /// An operation with no parameters yet.
+    pub fn new(name: impl Into<String>) -> Operation {
+        Operation {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            documentation: String::new(),
+        }
+    }
+
+    /// Builder: adds an input parameter.
+    pub fn input(mut self, name: &str, ty: &str) -> Operation {
+        self.inputs.push(ParamDef::new(name, ty));
+        self
+    }
+
+    /// Builder: adds an output result.
+    pub fn output(mut self, name: &str, ty: &str) -> Operation {
+        self.outputs.push(ParamDef::new(name, ty));
+        self
+    }
+
+    /// Builder: sets the documentation text.
+    pub fn doc(mut self, text: impl Into<String>) -> Operation {
+        self.documentation = text.into();
+        self
+    }
+}
+
+/// Builds a WSDL document for one service.
+#[derive(Debug, Clone)]
+pub struct WsdlBuilder {
+    service: String,
+    endpoint: String,
+    operations: Vec<Operation>,
+}
+
+impl WsdlBuilder {
+    /// A builder for `service` bound at `endpoint`.
+    pub fn new(service: impl Into<String>, endpoint: impl Into<String>) -> WsdlBuilder {
+        WsdlBuilder {
+            service: service.into(),
+            endpoint: endpoint.into(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Builder: adds an operation.
+    pub fn operation(mut self, op: Operation) -> WsdlBuilder {
+        self.operations.push(op);
+        self
+    }
+
+    /// Generates the document.
+    pub fn build(&self) -> Element {
+        let mut defs = Element::new("wsdl:definitions")
+            .with_attr("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/")
+            .with_attr("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/")
+            .with_attr("xmlns:tns", SKYQUERY_NS)
+            .with_attr("name", self.service.clone())
+            .with_attr("targetNamespace", SKYQUERY_NS);
+
+        // Service definition: messages and portType.
+        for op in &self.operations {
+            let mut input = Element::new("wsdl:message")
+                .with_attr("name", format!("{}Input", op.name));
+            for p in &op.inputs {
+                input = input.with_child(
+                    Element::new("wsdl:part")
+                        .with_attr("name", p.name.clone())
+                        .with_attr("type", format!("sq:{}", p.type_name)),
+                );
+            }
+            defs = defs.with_child(input);
+            let mut output = Element::new("wsdl:message")
+                .with_attr("name", format!("{}Output", op.name));
+            for p in &op.outputs {
+                output = output.with_child(
+                    Element::new("wsdl:part")
+                        .with_attr("name", p.name.clone())
+                        .with_attr("type", format!("sq:{}", p.type_name)),
+                );
+            }
+            defs = defs.with_child(output);
+        }
+        let mut port = Element::new("wsdl:portType")
+            .with_attr("name", format!("{}PortType", self.service));
+        for op in &self.operations {
+            let mut o = Element::new("wsdl:operation").with_attr("name", op.name.clone());
+            if !op.documentation.is_empty() {
+                o = o.with_child(
+                    Element::new("wsdl:documentation").with_text(op.documentation.clone()),
+                );
+            }
+            o = o
+                .with_child(
+                    Element::new("wsdl:input")
+                        .with_attr("message", format!("tns:{}Input", op.name)),
+                )
+                .with_child(
+                    Element::new("wsdl:output")
+                        .with_attr("message", format!("tns:{}Output", op.name)),
+                );
+            port = port.with_child(o);
+        }
+        defs = defs.with_child(port);
+
+        // Service implementation: SOAP binding over HTTP plus the port
+        // address.
+        let mut binding = Element::new("wsdl:binding")
+            .with_attr("name", format!("{}SoapBinding", self.service))
+            .with_attr("type", format!("tns:{}PortType", self.service))
+            .with_child(
+                Element::new("soap:binding")
+                    .with_attr("style", "rpc")
+                    .with_attr("transport", "http://schemas.xmlsoap.org/soap/http"),
+            );
+        for op in &self.operations {
+            binding = binding.with_child(
+                Element::new("wsdl:operation")
+                    .with_attr("name", op.name.clone())
+                    .with_child(
+                        Element::new("soap:operation")
+                            .with_attr("soapAction", format!("{SKYQUERY_NS}#{}", op.name)),
+                    ),
+            );
+        }
+        defs = defs.with_child(binding);
+        defs.with_child(
+            Element::new("wsdl:service")
+                .with_attr("name", self.service.clone())
+                .with_child(
+                    Element::new("wsdl:port")
+                        .with_attr("name", format!("{}Port", self.service))
+                        .with_attr("binding", format!("tns:{}SoapBinding", self.service))
+                        .with_child(
+                            Element::new("soap:address")
+                                .with_attr("location", self.endpoint.clone()),
+                        ),
+                ),
+        )
+    }
+
+    /// The document as XML text.
+    pub fn to_xml(&self) -> String {
+        self.build().to_pretty_xml()
+    }
+}
+
+/// Extracts operation names from a WSDL document (discovery-side helper).
+pub fn operation_names(wsdl: &Element) -> Result<Vec<String>, SoapError> {
+    let port = wsdl
+        .children_named("portType")
+        .next()
+        .ok_or_else(|| SoapError::Protocol {
+            detail: "WSDL has no portType".into(),
+        })?;
+    Ok(port
+        .children_named("operation")
+        .filter_map(|o| o.attr("name").map(String::from))
+        .collect())
+}
+
+/// Extracts the endpoint address from a WSDL document.
+pub fn endpoint_address(wsdl: &Element) -> Result<String, SoapError> {
+    wsdl.children_named("service")
+        .next()
+        .and_then(|s| s.children_named("port").next())
+        .and_then(|p| p.children_named("address").next())
+        .and_then(|a| a.attr("location").map(String::from))
+        .ok_or_else(|| SoapError::Protocol {
+            detail: "WSDL has no soap:address location".into(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skynode_wsdl() -> WsdlBuilder {
+        WsdlBuilder::new("SkyNode", "http://sdss.skyquery.net/soap")
+            .operation(
+                Operation::new("Information")
+                    .output("sigma_arcsec", "double")
+                    .output("primary_table", "string")
+                    .doc("Astronomy-specific constants of this archive"),
+            )
+            .operation(Operation::new("Metadata").output("catalog", "xml"))
+            .operation(
+                Operation::new("Query")
+                    .input("sql", "string")
+                    .output("count", "long"),
+            )
+            .operation(
+                Operation::new("CrossMatch")
+                    .input("plan", "xml")
+                    .input("step", "long")
+                    .output("partial", "table"),
+            )
+    }
+
+    #[test]
+    fn document_structure() {
+        let doc = skynode_wsdl().build();
+        assert_eq!(doc.name, "wsdl:definitions");
+        assert_eq!(operation_names(&doc).unwrap(), vec![
+            "Information",
+            "Metadata",
+            "Query",
+            "CrossMatch"
+        ]);
+        assert_eq!(
+            endpoint_address(&doc).unwrap(),
+            "http://sdss.skyquery.net/soap"
+        );
+        // 2 messages per operation + portType + binding + service.
+        assert_eq!(doc.children.len(), 4 * 2 + 3);
+    }
+
+    #[test]
+    fn xml_parses_back() {
+        let xml = skynode_wsdl().to_xml();
+        let doc = Element::parse(&xml).unwrap();
+        assert_eq!(operation_names(&doc).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn soap_actions_in_binding() {
+        let doc = skynode_wsdl().build();
+        let binding = doc.children_named("binding").next().unwrap();
+        let action = binding
+            .children_named("operation")
+            .next()
+            .unwrap()
+            .children_named("operation")
+            .next()
+            .unwrap()
+            .attr("soapAction")
+            .unwrap();
+        assert_eq!(action, "urn:skyquery#Information");
+    }
+
+    #[test]
+    fn helpers_reject_malformed() {
+        let empty = Element::new("wsdl:definitions");
+        assert!(operation_names(&empty).is_err());
+        assert!(endpoint_address(&empty).is_err());
+    }
+
+    #[test]
+    fn documentation_embedded() {
+        let doc = skynode_wsdl().build();
+        let xml = doc.to_xml();
+        assert!(xml.contains("Astronomy-specific constants"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors for lexing, parsing, evaluation, and decomposition.
+
+/// Errors raised anywhere in the SQL pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Parse error with position and expectation.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// What was expected vs found.
+        detail: String,
+    },
+    /// Evaluation failure (type error, unknown column, arithmetic fault).
+    Eval {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The query's structure violates the cross-match dialect rules
+    /// (e.g. two XMATCH clauses, AREA under OR, unknown alias).
+    Semantic {
+        /// The violated rule.
+        detail: String,
+    },
+}
+
+impl SqlError {
+    /// Shorthand constructor for [`SqlError::Eval`].
+    pub fn eval(detail: impl Into<String>) -> SqlError {
+        SqlError::Eval {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SqlError::Semantic`].
+    pub fn semantic(detail: impl Into<String>) -> SqlError {
+        SqlError::Semantic {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { offset, detail } => {
+                write!(f, "lexical error at byte {offset}: {detail}")
+            }
+            SqlError::Parse { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            SqlError::Eval { detail } => write!(f, "evaluation error: {detail}"),
+            SqlError::Semantic { detail } => write!(f, "semantic error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SqlError::Parse {
+            offset: 12,
+            detail: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

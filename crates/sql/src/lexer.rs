@@ -1,0 +1,482 @@
+//! Tokenizer for the cross-match dialect.
+
+use crate::error::SqlError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are case-insensitive and carried as distinct
+/// variants; all other words are `Ident` (original casing preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `SELECT`.
+    Select,
+    /// `FROM`.
+    From,
+    /// `WHERE`.
+    Where,
+    /// `AND`.
+    And,
+    /// `OR`.
+    Or,
+    /// `NOT`.
+    Not,
+    /// `AREA` (circular spatial range).
+    Area,
+    /// `POLYGON` (§6 polygon spatial range).
+    Polygon,
+    /// `XMATCH` (the probabilistic join clause).
+    XMatch,
+    /// `COUNT`.
+    Count,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `GROUP`.
+    Group,
+    /// `BY`.
+    By,
+    /// `ORDER`.
+    Order,
+    /// `ASC`.
+    Asc,
+    /// `DESC`.
+    Desc,
+    /// `LIMIT`.
+    Limit,
+    /// `AS`.
+    As,
+    /// `BETWEEN`.
+    Between,
+    /// `IN`.
+    In,
+    /// `LIKE`.
+    Like,
+    /// `IS`.
+    Is,
+    /// `NULL`.
+    Null,
+    /// `TRUE`.
+    True,
+    /// `FALSE`.
+    False,
+    /// A non-keyword word (identifier or bare string constant).
+    Ident(String),
+    /// A floating-point literal.
+    Number(f64),
+    /// An integer literal.
+    Int(i64),
+    /// A `'quoted'` string literal, unescaped.
+    Str(String),
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `:` (archive:table separator).
+    Colon,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `*`.
+    Star,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `!` (drop-out marker in XMATCH).
+    Bang,
+    /// `=`.
+    Eq,
+    /// `!=` or `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Int(n) => format!("integer {n}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Tokenizes a complete query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        let start = pos;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+                continue;
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                continue;
+            }
+            b',' => push1(&mut out, TokenKind::Comma, &mut pos, start),
+            b'.' => push1(&mut out, TokenKind::Dot, &mut pos, start),
+            b':' => push1(&mut out, TokenKind::Colon, &mut pos, start),
+            b'(' => push1(&mut out, TokenKind::LParen, &mut pos, start),
+            b')' => push1(&mut out, TokenKind::RParen, &mut pos, start),
+            b'*' => push1(&mut out, TokenKind::Star, &mut pos, start),
+            b'+' => push1(&mut out, TokenKind::Plus, &mut pos, start),
+            b'-' => push1(&mut out, TokenKind::Minus, &mut pos, start),
+            b'/' => push1(&mut out, TokenKind::Slash, &mut pos, start),
+            b'=' => push1(&mut out, TokenKind::Eq, &mut pos, start),
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
+                    pos += 2;
+                } else {
+                    push1(&mut out, TokenKind::Bang, &mut pos, start);
+                }
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(&b'=') => {
+                    out.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: start,
+                    });
+                    pos += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
+                    pos += 2;
+                }
+                _ => push1(&mut out, TokenKind::Lt, &mut pos, start),
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: start,
+                    });
+                    pos += 2;
+                } else {
+                    push1(&mut out, TokenKind::Gt, &mut pos, start);
+                }
+            }
+            b'\'' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        Some(&b'\'') => {
+                            // '' is an escaped quote.
+                            if bytes.get(pos + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                pos += 2;
+                            } else {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            pos += 1;
+                        }
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: start,
+                                detail: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let mut end = pos;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'0'..=b'9' => end += 1,
+                        // A '.' is part of the number only if followed by a
+                        // digit (so `1.x` lexes as 1, DOT, x).
+                        b'.' if !is_float
+                            && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) =>
+                        {
+                            is_float = true;
+                            end += 1;
+                        }
+                        b'e' | b'E'
+                            if matches!(
+                                bytes.get(end + 1),
+                                Some(b'0'..=b'9') | Some(b'+') | Some(b'-')
+                            ) =>
+                        {
+                            is_float = true;
+                            end += 2;
+                            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                                end += 1;
+                            }
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[pos..end];
+                let kind = if is_float {
+                    TokenKind::Number(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        detail: format!("bad number literal {text}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        detail: format!("bad integer literal {text}"),
+                    })?)
+                };
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
+                pos = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'#' => {
+                let mut end = pos + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let word = &input[pos..end];
+                let kind = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => TokenKind::Select,
+                    "FROM" => TokenKind::From,
+                    "WHERE" => TokenKind::Where,
+                    "AND" => TokenKind::And,
+                    "OR" => TokenKind::Or,
+                    "NOT" => TokenKind::Not,
+                    "AREA" => TokenKind::Area,
+                    "POLYGON" => TokenKind::Polygon,
+                    "XMATCH" => TokenKind::XMatch,
+                    "COUNT" => TokenKind::Count,
+                    "MIN" => TokenKind::Min,
+                    "MAX" => TokenKind::Max,
+                    "SUM" => TokenKind::Sum,
+                    "AVG" => TokenKind::Avg,
+                    "GROUP" => TokenKind::Group,
+                    "BY" => TokenKind::By,
+                    "ORDER" => TokenKind::Order,
+                    "ASC" => TokenKind::Asc,
+                    "DESC" => TokenKind::Desc,
+                    "LIMIT" => TokenKind::Limit,
+                    "AS" => TokenKind::As,
+                    "BETWEEN" => TokenKind::Between,
+                    "IN" => TokenKind::In,
+                    "LIKE" => TokenKind::Like,
+                    "IS" => TokenKind::Is,
+                    "NULL" => TokenKind::Null,
+                    "TRUE" => TokenKind::True,
+                    "FALSE" => TokenKind::False,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
+                pos = end;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: start,
+                    detail: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(out)
+}
+
+fn push1(out: &mut Vec<Token>, kind: TokenKind, pos: &mut usize, offset: usize) {
+    out.push(Token { kind, offset });
+    *pos += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        tokenize(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Where AnD xmatch AREA"),
+            vec![
+                TokenKind::Select,
+                TokenKind::From,
+                TokenKind::Where,
+                TokenKind::And,
+                TokenKind::XMatch,
+                TokenKind::Area,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        assert_eq!(
+            kinds("42 3.5 -0.5 1e3 2E-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Number(3.5),
+                TokenKind::Minus,
+                TokenKind::Number(0.5),
+                TokenKind::Number(1e3),
+                TokenKind::Number(2e-2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_names() {
+        assert_eq!(
+            kinds("SDSS:Photo_Object O"),
+            vec![
+                TokenKind::Ident("SDSS".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("Photo_Object".into()),
+                TokenKind::Ident("O".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("O.type"),
+            vec![
+                TokenKind::Ident("O".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("type".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("< <= > >= = != <> !"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Bang,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'GALAXY' 'it''s'"),
+            vec![
+                TokenKind::Str("GALAXY".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("SELECT -- comment\n 1"),
+            vec![TokenKind::Select, TokenKind::Int(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dot_not_consumed_by_int_before_ident() {
+        // `O.i_flux` after an int: `2.x` should not lex `.x` into the number.
+        assert_eq!(
+            kinds("2.i"),
+            vec![
+                TokenKind::Int(2),
+                TokenKind::Dot,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT ;").is_err());
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn temp_table_names() {
+        assert_eq!(
+            kinds("#tmp_1"),
+            vec![TokenKind::Ident("#tmp_1".into()), TokenKind::Eof]
+        );
+    }
+}

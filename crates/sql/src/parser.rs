@@ -1,0 +1,802 @@
+//! Recursive-descent parser for the cross-match dialect.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query      := SELECT select_list FROM table_list [WHERE expr]
+//!               [GROUP BY column {',' column}]
+//!               [ORDER BY order_key {',' order_key}] [LIMIT int]
+//! select_list:= select_item {',' select_item}
+//! select_item:= COUNT '(' '*' ')' [AS ident]
+//!             | agg_func '(' expr ')' [AS ident]      agg_func: count|min|max|sum|avg
+//!             | expr [AS ident]
+//! table_list := archive ':' table [alias] {',' …}
+//! order_key  := expr [ASC | DESC]
+//! expr       := or_expr
+//! or_expr    := and_expr { OR and_expr }
+//! and_expr   := not_expr { AND not_expr }
+//! not_expr   := [NOT] cmp_expr
+//! cmp_expr   := add_expr [ [NOT] BETWEEN add_expr AND add_expr
+//!                        | [NOT] IN '(' literal {',' literal} ')'
+//!                        | [NOT] LIKE string
+//!                        | IS [NOT] NULL
+//!                        | cmp_op add_expr ]
+//! add_expr   := mul_expr { ('+'|'-') mul_expr }
+//! mul_expr   := unary { ('*'|'/') unary }
+//! unary      := ['-'] primary
+//! primary    := literal | AREA '(' n ',' n ',' n ')'
+//!             | POLYGON '(' n {',' n} ')'  (≥ 3 vertex pairs, CCW)
+//!             | XMATCH '(' [!]alias {',' [!]alias} ')' ('<'|'<=') n
+//!             | ident '.' ident | ident | '(' expr ')'
+//! ```
+//!
+//! A bare identifier in expression position (e.g. the paper's
+//! `O.type = GALAXY`) is treated as a **string constant** — a documented
+//! dialect decision matching the paper's sample query.
+//!
+//! `XMATCH(...)` must be immediately compared with `<` or `<=` against a
+//! numeric threshold; the comparison folds into a single
+//! [`Expr::XMatch`] node.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a complete query.
+pub fn parse_query(input: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(q)
+}
+
+/// Parses a standalone expression (used in tests and for filters shipped
+/// to SkyNodes).
+pub fn parse_expr(input: &str) -> Result<Expr, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SqlError> {
+        if self.peek() == &kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn error(&self, detail: String) -> SqlError {
+        SqlError::Parse {
+            offset: self.offset(),
+            detail,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect(TokenKind::Select)?;
+        let mut select = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect(TokenKind::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        // Reject duplicate aliases up front.
+        for (i, t) in from.iter().enumerate() {
+            if from[..i].iter().any(|u| u.alias == t.alias) {
+                return Err(SqlError::semantic(format!(
+                    "duplicate table alias {}",
+                    t.alias
+                )));
+            }
+        }
+        let where_clause = if self.eat(&TokenKind::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat(&TokenKind::Group) {
+            self.expect(TokenKind::By)?;
+            group_by.push(self.group_key()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.group_key()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat(&TokenKind::Order) {
+            self.expect(TokenKind::By)?;
+            order_by.push(self.order_key()?);
+            while self.eat(&TokenKind::Comma) {
+                order_by.push(self.order_key()?);
+            }
+        }
+        let limit = if self.eat(&TokenKind::Limit) {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(self.error(format!(
+                        "LIMIT needs a non-negative integer, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    /// A GROUP BY key: a plain `alias.column` reference.
+    fn group_key(&mut self) -> Result<Expr, SqlError> {
+        let alias = self.ident("GROUP BY column")?;
+        self.expect(TokenKind::Dot)?;
+        let column = self.ident("GROUP BY column")?;
+        Ok(Expr::Column { alias, column })
+    }
+
+    /// An ORDER BY key: expression with optional ASC/DESC.
+    fn order_key(&mut self) -> Result<OrderKey, SqlError> {
+        let expr = self.expr()?;
+        let direction = if self.eat(&TokenKind::Desc) {
+            SortDirection::Desc
+        } else {
+            self.eat(&TokenKind::Asc);
+            SortDirection::Asc
+        };
+        Ok(OrderKey { expr, direction })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let func = match self.peek() {
+            TokenKind::Count => Some(AggFunc::Count),
+            TokenKind::Min => Some(AggFunc::Min),
+            TokenKind::Max => Some(AggFunc::Max),
+            TokenKind::Sum => Some(AggFunc::Sum),
+            TokenKind::Avg => Some(AggFunc::Avg),
+            _ => None,
+        };
+        if let Some(func) = func {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            // count(*) is its own select-item kind; an aliased
+            // `count(*) AS n` becomes count over the constant 1, which is
+            // row-count with an alias slot.
+            if func == AggFunc::Count && self.eat(&TokenKind::Star) {
+                self.expect(TokenKind::RParen)?;
+                if self.eat(&TokenKind::As) {
+                    let alias = Some(self.ident("select alias")?);
+                    return Ok(SelectItem::Aggregate {
+                        func: AggFunc::Count,
+                        arg: Expr::Literal(Literal::Int(1)),
+                        alias,
+                    });
+                }
+                return Ok(SelectItem::CountStar);
+            }
+            let arg = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let alias = if self.eat(&TokenKind::As) {
+                Some(self.ident("select alias")?)
+            } else {
+                None
+            };
+            return Ok(SelectItem::Aggregate { func, arg, alias });
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat(&TokenKind::As) {
+            Some(self.ident("select alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let archive = self.ident("archive name")?;
+        self.expect(TokenKind::Colon)?;
+        let table = self.ident("table name")?;
+        // Optional alias; defaults to the table name.
+        let alias = match self.peek() {
+            TokenKind::Ident(_) => self.ident("table alias")?,
+            _ => table.clone(),
+        };
+        Ok(TableRef {
+            archive,
+            table,
+            alias,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat(&TokenKind::Not) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SqlError> {
+        // XMATCH is special: it must head a `< threshold` comparison.
+        if self.peek() == &TokenKind::XMatch {
+            return self.xmatch_comparison();
+        }
+        let lhs = self.add_expr()?;
+        // Postfix predicate forms: [NOT] BETWEEN/IN/LIKE, IS [NOT] NULL.
+        let negated = if self.peek() == &TokenKind::Not
+            && matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Between) | Some(TokenKind::In) | Some(TokenKind::Like)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        match self.peek() {
+            TokenKind::Between => {
+                self.advance();
+                let lo = self.add_expr()?;
+                self.expect(TokenKind::And)?;
+                let hi = self.add_expr()?;
+                return Ok(Expr::Between {
+                    expr: Box::new(lhs),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                });
+            }
+            TokenKind::In => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let mut list = vec![self.in_list_literal()?];
+                while self.eat(&TokenKind::Comma) {
+                    list.push(self.in_list_literal()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                return Ok(Expr::InList {
+                    expr: Box::new(lhs),
+                    list,
+                    negated,
+                });
+            }
+            TokenKind::Like => {
+                self.advance();
+                let pattern = match self.advance() {
+                    TokenKind::Str(s) => s,
+                    other => {
+                        return Err(self.error(format!(
+                            "LIKE needs a string pattern, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                return Ok(Expr::Like {
+                    expr: Box::new(lhs),
+                    pattern,
+                    negated,
+                });
+            }
+            TokenKind::Is => {
+                self.advance();
+                let negated = self.eat(&TokenKind::Not);
+                self.expect(TokenKind::Null)?;
+                return Ok(Expr::IsNull {
+                    expr: Box::new(lhs),
+                    negated,
+                });
+            }
+            _ if negated => {
+                return Err(self.error(
+                    "NOT here must be followed by BETWEEN, IN, or LIKE".into(),
+                ))
+            }
+            _ => {}
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::NotEq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::LtEq => BinaryOp::LtEq,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::GtEq => BinaryOp::GtEq,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    /// A literal inside an IN list: literals, bare identifiers (string
+    /// constants, dialect rule), and signed numbers.
+    fn in_list_literal(&mut self) -> Result<Literal, SqlError> {
+        let neg = self.eat(&TokenKind::Minus);
+        let lit = match self.advance() {
+            TokenKind::Int(i) => Literal::Int(if neg { -i } else { i }),
+            TokenKind::Number(x) => Literal::Float(if neg { -x } else { x }),
+            TokenKind::Str(s) if !neg => Literal::Str(s),
+            TokenKind::Ident(s) if !neg => Literal::Str(s),
+            TokenKind::Null if !neg => Literal::Null,
+            TokenKind::True if !neg => Literal::Bool(true),
+            TokenKind::False if !neg => Literal::Bool(false),
+            other => {
+                return Err(self.error(format!(
+                    "IN list expects literals, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        Ok(lit)
+    }
+
+    fn xmatch_comparison(&mut self) -> Result<Expr, SqlError> {
+        self.expect(TokenKind::XMatch)?;
+        self.expect(TokenKind::LParen)?;
+        let mut terms = Vec::new();
+        loop {
+            let dropout = self.eat(&TokenKind::Bang);
+            let alias = self.ident("XMATCH archive alias")?;
+            terms.push(XMatchTerm { alias, dropout });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        // Accept `< t` or `<= t`.
+        let strict = match self.advance() {
+            TokenKind::Lt => true,
+            TokenKind::LtEq => false,
+            other => {
+                return Err(self.error(format!(
+                    "XMATCH must be followed by '<' or '<=' and a threshold, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let _ = strict; // the probabilistic bound treats both inclusively
+        let threshold = self.numeric_literal("XMATCH threshold")?;
+        if threshold <= 0.0 || !threshold.is_finite() {
+            return Err(SqlError::semantic(format!(
+                "XMATCH threshold must be a positive finite number, got {threshold}"
+            )));
+        }
+        if terms.iter().all(|t| t.dropout) {
+            return Err(SqlError::semantic(
+                "XMATCH needs at least one mandatory (non-!) archive",
+            ));
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for t in &terms {
+                if !seen.insert(t.alias.as_str()) {
+                    return Err(SqlError::semantic(format!(
+                        "alias {} appears twice in XMATCH",
+                        t.alias
+                    )));
+                }
+            }
+        }
+        Ok(Expr::XMatch(XMatchSpec { terms, threshold }))
+    }
+
+    fn numeric_literal(&mut self, what: &str) -> Result<f64, SqlError> {
+        let neg = self.eat(&TokenKind::Minus);
+        let v = match self.advance() {
+            TokenKind::Number(x) => x,
+            TokenKind::Int(i) => i as f64,
+            other => {
+                return Err(self.error(format!(
+                    "expected numeric {what}, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        Ok(if neg { -v } else { v })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Fold negation of numeric literals so `-3.5` is a single
+            // literal (keeps print→parse a fixpoint).
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Number(x) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(x)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Null => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Area => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let ra_deg = self.numeric_literal("AREA right ascension")?;
+                self.expect(TokenKind::Comma)?;
+                let dec_deg = self.numeric_literal("AREA declination")?;
+                self.expect(TokenKind::Comma)?;
+                let radius_arcmin = self.numeric_literal("AREA radius")?;
+                self.expect(TokenKind::RParen)?;
+                if radius_arcmin <= 0.0 || !radius_arcmin.is_finite() {
+                    return Err(SqlError::semantic(format!(
+                        "AREA radius must be a positive finite number, got {radius_arcmin}"
+                    )));
+                }
+                Ok(Expr::Area(AreaSpec {
+                    ra_deg,
+                    dec_deg,
+                    radius_arcmin,
+                }))
+            }
+            TokenKind::Polygon => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let mut coords = vec![self.numeric_literal("POLYGON coordinate")?];
+                while self.eat(&TokenKind::Comma) {
+                    coords.push(self.numeric_literal("POLYGON coordinate")?);
+                }
+                self.expect(TokenKind::RParen)?;
+                if coords.len() < 6 || coords.len() % 2 != 0 {
+                    return Err(SqlError::semantic(format!(
+                        "POLYGON needs an even number of coordinates (>= 6), got {}",
+                        coords.len()
+                    )));
+                }
+                let vertices = coords.chunks(2).map(|c| (c[0], c[1])).collect();
+                Ok(Expr::Polygon(PolygonSpec { vertices }))
+            }
+            TokenKind::XMatch => self.xmatch_comparison(),
+            TokenKind::Ident(first) => {
+                self.advance();
+                if self.eat(&TokenKind::Dot) {
+                    let column = self.ident("column name")?;
+                    Ok(Expr::Column {
+                        alias: first,
+                        column,
+                    })
+                } else {
+                    // Bare identifier: the paper writes `O.type = GALAXY`.
+                    // Treat it as a string constant.
+                    Ok(Expr::Literal(Literal::Str(first)))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §5.2 sample query, with flux clause parenthesized as
+    /// printed there.
+    pub const PAPER_QUERY: &str = "SELECT O.object_id, O.right_ascension, T.object_id \
+         FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P \
+         WHERE AREA(185.0, -0.5, 4.5) AND XMATCH(O, T, P) < 3.5 \
+           AND O.type = GALAXY AND (O.i_flux - T.i_flux) > 2";
+
+    #[test]
+    fn parses_paper_sample_query() {
+        let q = parse_query(PAPER_QUERY).unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.from[0].archive, "SDSS");
+        assert_eq!(q.from[0].table, "Photo_Object");
+        assert_eq!(q.from[0].alias, "O");
+        let w = q.where_clause.as_ref().unwrap();
+        let conjuncts = w.conjuncts();
+        assert_eq!(conjuncts.len(), 4);
+        assert!(matches!(conjuncts[0], Expr::Area(_)));
+        match conjuncts[1] {
+            Expr::XMatch(x) => {
+                assert_eq!(x.terms.len(), 3);
+                assert!((x.threshold - 3.5).abs() < 1e-12);
+                assert!(x.dropouts().is_empty());
+            }
+            other => panic!("expected XMATCH, got {other:?}"),
+        }
+        // Bare GALAXY parsed as string constant.
+        match conjuncts[2] {
+            Expr::Binary { op: BinaryOp::Eq, rhs, .. } => {
+                assert_eq!(**rhs, Expr::Literal(Literal::Str("GALAXY".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dropout_form() {
+        let q = parse_query(
+            "SELECT O.id FROM A:T1 O, B:T2 T, C:T3 P \
+             WHERE XMATCH(O, T, !P) < 3.5",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            Expr::XMatch(x) => {
+                assert_eq!(x.mandatory(), vec!["O", "T"]);
+                assert_eq!(x.dropouts(), vec!["P"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_select() {
+        let q = parse_query(
+            "SELECT count(*) FROM SDSS:Photo_Object O WHERE AREA(185.0, 0.5, 4.5) AND O.type = GALAXY",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec![SelectItem::CountStar]);
+    }
+
+    #[test]
+    fn alias_defaults_to_table_name() {
+        let q = parse_query("SELECT Photo.ra FROM SDSS:Photo").unwrap();
+        assert_eq!(q.from[0].alias, "Photo");
+    }
+
+    #[test]
+    fn select_alias_with_as() {
+        let q = parse_query("SELECT O.ra AS alpha FROM S:T O").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("alpha")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for sql in [
+            "SELECT O.a FROM S:T O WHERE O.x > 2 AND O.y = 'z'",
+            "SELECT O.a, T.b FROM S:T1 O, W:T2 T WHERE AREA(10.0, -5.0, 30.0) AND XMATCH(O, T) < 2.5",
+            "SELECT count(*) FROM S:T O WHERE O.x + 1 < O.y * 2",
+            "SELECT O.a FROM S:T O WHERE NOT O.flag = TRUE OR O.x = NULL",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let printed = q.to_string();
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(q2, q, "roundtrip failed for {sql} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn precedence_and_before_or() {
+        let e = parse_expr("a.x = 1 OR a.y = 2 AND a.z = 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Or, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("a.x + a.y * 2").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let e = parse_expr("-a.x < 3").unwrap();
+        assert!(matches!(
+            e,
+            Expr::Binary { op: BinaryOp::Lt, .. }
+        ));
+        let e = parse_expr("NOT a.flag = TRUE").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+    }
+
+    #[test]
+    fn xmatch_validation() {
+        // All drop-outs.
+        assert!(parse_query("SELECT O.a FROM S:T O WHERE XMATCH(!O) < 2").is_err());
+        // Duplicate alias.
+        assert!(parse_query("SELECT O.a FROM S:T O WHERE XMATCH(O, O) < 2").is_err());
+        // Missing comparison.
+        assert!(parse_query("SELECT O.a FROM S:T O WHERE XMATCH(O, T)").is_err());
+        // Non-positive threshold.
+        assert!(parse_query("SELECT O.a FROM S:T O, U:V T WHERE XMATCH(O, T) < 0").is_err());
+        // Greater-than form is not the dialect.
+        assert!(parse_query("SELECT O.a FROM S:T O, U:V T WHERE XMATCH(O, T) > 2").is_err());
+    }
+
+    #[test]
+    fn area_validation() {
+        assert!(parse_query("SELECT O.a FROM S:T O WHERE AREA(1.0, 2.0, 0)").is_err());
+        assert!(parse_query("SELECT O.a FROM S:T O WHERE AREA(1.0, 2.0)").is_err());
+        // Negative center coordinates are fine.
+        assert!(parse_query("SELECT O.a FROM S:T O WHERE AREA(-10.0, -2.0, 5.0)").is_ok());
+    }
+
+    #[test]
+    fn duplicate_from_alias_rejected() {
+        assert!(parse_query("SELECT O.a FROM S:T O, U:V O").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT O.a FROM S:T O extra garbage, here").is_err());
+    }
+
+    #[test]
+    fn parse_expr_entrypoint() {
+        let e = parse_expr("(O.i_flux - T.i_flux) > 2").unwrap();
+        assert_eq!(e.referenced_aliases(), vec!["O", "T"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The extended predicate forms — BETWEEN, IN, LIKE, IS NULL — parsing,
+//! printing, three-valued evaluation, and use as SkyNode-local clauses.
+
+use skyquery_sql::eval::like_match;
+use skyquery_sql::{decompose, parse_expr, parse_query, Bindings, SqlError};
+use skyquery_storage::Value;
+
+struct OneColumn(Value);
+
+impl Bindings for OneColumn {
+    fn resolve(&self, alias: &str, column: &str) -> Result<Value, SqlError> {
+        if alias == "O" && column == "v" {
+            Ok(self.0.clone())
+        } else {
+            Err(SqlError::eval(format!("unknown {alias}.{column}")))
+        }
+    }
+}
+
+fn eval(expr: &str, v: Value) -> Value {
+    parse_expr(expr).unwrap().eval(&OneColumn(v)).unwrap()
+}
+
+#[test]
+fn between_semantics() {
+    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(3)), Value::Bool(true));
+    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(1)), Value::Bool(true));
+    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(5)), Value::Bool(true));
+    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(6)), Value::Bool(false));
+    assert_eq!(
+        eval("O.v NOT BETWEEN 1 AND 5", Value::Int(6)),
+        Value::Bool(true)
+    );
+    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Null), Value::Null);
+    // Floats and cross-type.
+    assert_eq!(
+        eval("O.v BETWEEN 0.5 AND 1.5", Value::Float(1.0)),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn between_binds_tighter_than_and() {
+    // a BETWEEN 1 AND 2 AND a < 10: the second AND is a conjunction.
+    let e = parse_expr("O.v BETWEEN 1 AND 2 AND O.v < 10").unwrap();
+    assert_eq!(e.conjuncts().len(), 2);
+}
+
+#[test]
+fn in_list_semantics() {
+    let galaxy = Value::Text("GALAXY".into());
+    assert_eq!(
+        eval("O.v IN ('GALAXY', 'QSO')", galaxy.clone()),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval("O.v IN ('STAR', 'QSO')", galaxy.clone()),
+        Value::Bool(false)
+    );
+    assert_eq!(
+        eval("O.v NOT IN ('STAR', 'QSO')", galaxy.clone()),
+        Value::Bool(true)
+    );
+    // Bare identifiers are string constants (dialect rule).
+    assert_eq!(eval("O.v IN (GALAXY, STAR)", galaxy), Value::Bool(true));
+    // Numeric lists with negatives.
+    assert_eq!(eval("O.v IN (-1, 2, 3)", Value::Int(-1)), Value::Bool(true));
+    // NULL handling: no match + NULL in list → UNKNOWN; match wins.
+    assert_eq!(eval("O.v IN (1, NULL)", Value::Int(2)), Value::Null);
+    assert_eq!(eval("O.v IN (2, NULL)", Value::Int(2)), Value::Bool(true));
+    assert_eq!(eval("O.v IN (1, 2)", Value::Null), Value::Null);
+}
+
+#[test]
+fn like_semantics() {
+    let t = |s: &str| Value::Text(s.into());
+    assert_eq!(eval("O.v LIKE 'GAL%'", t("GALAXY")), Value::Bool(true));
+    assert_eq!(eval("O.v LIKE '%AXY'", t("GALAXY")), Value::Bool(true));
+    assert_eq!(eval("O.v LIKE 'G_LAXY'", t("GALAXY")), Value::Bool(true));
+    assert_eq!(eval("O.v LIKE 'g%'", t("GALAXY")), Value::Bool(false));
+    assert_eq!(eval("O.v NOT LIKE 'STAR%'", t("GALAXY")), Value::Bool(true));
+    assert_eq!(eval("O.v LIKE '%'", t("")), Value::Bool(true));
+    assert_eq!(eval("O.v LIKE '_'", t("")), Value::Bool(false));
+    assert_eq!(eval("O.v LIKE 'x%'", Value::Null), Value::Null);
+    // LIKE on a number is a type error.
+    assert!(parse_expr("O.v LIKE 'x'")
+        .unwrap()
+        .eval(&OneColumn(Value::Int(1)))
+        .is_err());
+}
+
+#[test]
+fn like_match_unit_cases() {
+    assert!(like_match("", ""));
+    assert!(like_match("%", "anything"));
+    assert!(like_match("a%b%c", "aXXbYYc"));
+    assert!(!like_match("a%b%c", "aXXbYY"));
+    assert!(like_match("%%%", ""));
+    assert!(like_match("_%_", "ab"));
+    assert!(!like_match("_%_", "a"));
+    assert!(like_match("a_c", "abc"));
+    assert!(!like_match("a_c", "ac"));
+}
+
+#[test]
+fn is_null_semantics() {
+    assert_eq!(eval("O.v IS NULL", Value::Null), Value::Bool(true));
+    assert_eq!(eval("O.v IS NULL", Value::Int(1)), Value::Bool(false));
+    assert_eq!(eval("O.v IS NOT NULL", Value::Int(1)), Value::Bool(true));
+    assert_eq!(eval("O.v IS NOT NULL", Value::Null), Value::Bool(false));
+}
+
+#[test]
+fn print_parse_roundtrip() {
+    for sql in [
+        "O.v BETWEEN 1 AND 5",
+        "O.v NOT BETWEEN 1.5 AND 2.5",
+        "O.v IN ('A', 'B', 3)",
+        "O.v NOT IN (1, -2)",
+        "O.v LIKE 'GAL%'",
+        "O.v NOT LIKE '%''s%'",
+        "O.v IS NULL",
+        "O.v IS NOT NULL",
+        "O.v BETWEEN 1 AND 2 AND O.v IS NOT NULL OR O.v IN (9)",
+    ] {
+        let e = parse_expr(sql).unwrap();
+        let printed = e.to_string();
+        let back = parse_expr(&printed).unwrap();
+        assert_eq!(back, e, "{sql} -> {printed}");
+    }
+}
+
+#[test]
+fn parse_errors() {
+    assert!(parse_expr("O.v BETWEEN 1").is_err());
+    assert!(parse_expr("O.v IN ()").is_err());
+    assert!(parse_expr("O.v IN (O.w)").is_err(), "IN needs literals");
+    assert!(parse_expr("O.v LIKE 5").is_err());
+    assert!(parse_expr("O.v IS 5").is_err());
+    assert!(parse_expr("O.v NOT = 5").is_err());
+}
+
+#[test]
+fn new_predicates_decompose_as_local_clauses() {
+    let q = parse_query(
+        "SELECT O.object_id FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T \
+         WHERE XMATCH(O, T) < 3.5 AND O.type IN ('GALAXY', 'QSO') \
+           AND O.i_flux BETWEEN 10 AND 100 AND T.type LIKE 'G%'",
+    )
+    .unwrap();
+    let d = decompose(q).unwrap();
+    assert_eq!(d.archive("O").unwrap().local_predicates.len(), 2);
+    assert_eq!(d.archive("T").unwrap().local_predicates.len(), 1);
+    // The performance queries carry the predicates verbatim.
+    let sql = d.performance_queries[0].to_sql();
+    assert!(sql.contains("IN ('GALAXY', 'QSO')"), "{sql}");
+    assert!(sql.contains("BETWEEN 10 AND 100"), "{sql}");
+}

@@ -1,0 +1,153 @@
+//! Property tests: printed queries reparse to the same AST, and expression
+//! evaluation respects NULL/Kleene invariants.
+
+use proptest::prelude::*;
+use skyquery_sql::{parse_expr, parse_query, BinaryOp, Expr, Literal, UnaryOp};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "AREA" | "POLYGON" | "XMATCH"
+                | "COUNT" | "AS" | "NULL" | "TRUE" | "FALSE" | "BETWEEN" | "IN" | "LIKE" | "IS"
+                | "MIN" | "MAX" | "SUM" | "AVG" | "GROUP" | "BY" | "ORDER" | "ASC" | "DESC"
+                | "LIMIT"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        (-1000i64..1000).prop_map(Literal::Int),
+        (-1000.0f64..1000.0)
+            .prop_filter("finite non-int-looking floats only", |x| x.fract() != 0.0)
+            .prop_map(Literal::Float),
+        "[a-zA-Z0-9 ']{0,8}".prop_map(Literal::Str),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        (ident(), ident()).prop_map(|(alias, column)| Expr::Column { alias, column }),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            }),
+            inner.prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Or),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+    ]
+}
+
+/// NOT binds looser than comparisons in our grammar (`NOT a = b` parses as
+/// `NOT (a = b)`), so a printed `NOT x` inside an arithmetic context can't
+/// reparse identically. Restrict the roundtrip property to NOT-free trees
+/// (NOT is covered by targeted unit tests in the parser).
+/// Mirrors the parser's constant folding of unary minus over numeric
+/// literals.
+fn fold_neg_literals(e: Expr) -> Expr {
+    match e {
+        Expr::Unary { op: UnaryOp::Neg, expr } => match fold_neg_literals(*expr) {
+            Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+            Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+            inner => Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            },
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(fold_neg_literals(*expr)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op,
+            lhs: Box::new(fold_neg_literals(*lhs)),
+            rhs: Box::new(fold_neg_literals(*rhs)),
+        },
+        other => other,
+    }
+}
+
+fn not_free(e: &Expr) -> bool {
+    match e {
+        Expr::Unary { op: UnaryOp::Not, .. } => false,
+        Expr::Unary { expr, .. } => not_free(expr),
+        Expr::Binary { lhs, rhs, .. } => not_free(lhs) && not_free(rhs),
+        _ => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr().prop_filter("not-free", not_free)) {
+        // The parser folds `-literal` into a negative literal, so compare
+        // against the folded form of the generated tree.
+        let e = fold_neg_literals(e);
+        let printed = e.to_string();
+        match parse_expr(&printed) {
+            Ok(back) => prop_assert_eq!(back, e, "printed: {}", printed),
+            Err(err) => prop_assert!(false, "reparse failed for {}: {}", printed, err),
+        }
+    }
+
+    #[test]
+    fn query_print_parse_roundtrip(
+        cols in proptest::collection::vec((ident(), ident()), 1..4),
+        tables in proptest::collection::vec((ident(), ident(), ident()), 1..4),
+    ) {
+        // Deduplicate aliases to keep the query legal.
+        let mut seen = std::collections::HashSet::new();
+        let tables: Vec<_> = tables.into_iter().filter(|(_, _, a)| seen.insert(a.clone())).collect();
+        let froms: Vec<String> = tables.iter().map(|(ar, t, al)| format!("{ar}:{t} {al}")).collect();
+        let selects: Vec<String> = cols.iter().map(|(a, c)| format!("{a}.{c}")).collect();
+        let sql = format!("SELECT {} FROM {}", selects.join(", "), froms.join(", "));
+        let q = parse_query(&sql).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q2, q);
+    }
+
+    #[test]
+    fn eval_never_panics(e in arb_expr()) {
+        // Constant-fold evaluation with no bindings either yields a value
+        // or an error — never a panic.
+        let _ = e.eval(&skyquery_sql::EmptyBindings);
+    }
+
+    #[test]
+    fn comparison_with_null_is_null(x in -100i64..100) {
+        let e = parse_expr(&format!("{x} = NULL")).unwrap();
+        prop_assert_eq!(e.eval(&skyquery_sql::EmptyBindings).unwrap(), skyquery_storage::Value::Null);
+    }
+}

@@ -1,0 +1,109 @@
+//! Storage engine error type.
+
+/// Errors raised by the archive engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// Referenced table does not exist.
+    UnknownTable {
+        /// The missing table's name.
+        name: String,
+    },
+    /// A table with this name already exists.
+    TableExists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Referenced column does not exist in the table.
+    UnknownColumn {
+        /// The table searched.
+        table: String,
+        /// The missing column.
+        column: String,
+    },
+    /// Row arity does not match the schema.
+    ArityMismatch {
+        /// The target table.
+        table: String,
+        /// The schema's column count.
+        expected: usize,
+        /// The row's value count.
+        got: usize,
+    },
+    /// A NULL was inserted into a NOT NULL column.
+    NullViolation {
+        /// The target table.
+        table: String,
+        /// The NOT NULL column.
+        column: String,
+    },
+    /// A value cannot be stored in / compared with the column type.
+    TypeMismatch {
+        /// What was attempted.
+        context: String,
+    },
+    /// A position-indexed table received a row with non-finite or missing
+    /// coordinates.
+    InvalidPosition {
+        /// The target table.
+        table: String,
+        /// The offending coordinate values.
+        detail: String,
+    },
+    /// Range search requested on a table without a position index.
+    NoPositionIndex {
+        /// The table lacking position metadata.
+        table: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownTable { name } => write!(f, "unknown table: {name}"),
+            StorageError::TableExists { name } => write!(f, "table already exists: {name}"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "row arity mismatch for {table}: expected {expected}, got {got}"
+            ),
+            StorageError::NullViolation { table, column } => {
+                write!(f, "NULL not allowed in {table}.{column}")
+            }
+            StorageError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            StorageError::InvalidPosition { table, detail } => {
+                write!(f, "invalid position in {table}: {detail}")
+            }
+            StorageError::NoPositionIndex { table } => {
+                write!(f, "table {table} has no position index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert!(e.to_string().contains("t.c"));
+        let e = StorageError::ArityMismatch {
+            table: "t".into(),
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Scan options and range-search results.
+
+use crate::table::RowId;
+
+/// Options controlling how scans charge the simulated buffer cache.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Whether row accesses touch the buffer cache (default true). Turned
+    /// off for introspection that shouldn't perturb cache experiments.
+    pub touch_cache: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions { touch_cache: true }
+    }
+}
+
+impl ScanOptions {
+    /// A scan that bypasses cache accounting.
+    pub fn untracked() -> ScanOptions {
+        ScanOptions { touch_cache: false }
+    }
+}
+
+/// A verified hit from a circular range search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeSearchHit {
+    /// The qualifying row.
+    pub row: RowId,
+    /// Angular separation from the search center, radians.
+    pub separation_rad: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert!(ScanOptions::default().touch_cache);
+        assert!(!ScanOptions::untracked().touch_cache);
+    }
+
+    #[test]
+    fn hit_carries_separation() {
+        let h = RangeSearchHit {
+            row: 3,
+            separation_rad: 0.001,
+        };
+        assert_eq!(h.row, 3);
+        assert!(h.separation_rad > 0.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Secondary indexes: an ordered value index and the HTM position index.
+
+use std::collections::BTreeMap;
+
+use skyquery_htm::{ConvexRegion, Cover, Mesh, RangeKind, SkyPoint};
+
+use crate::error::StorageError;
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// A `Value` wrapper giving the total `key_cmp` ordering, so values can be
+/// B-tree keys.
+#[derive(Debug, Clone)]
+pub struct Key(pub Value);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key_cmp(&other.0)
+    }
+}
+
+/// An ordered index over one column, mapping value → row ids.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    column: String,
+    map: BTreeMap<Key, Vec<RowId>>,
+}
+
+impl BTreeIndex {
+    /// Builds an index over `column` from the current table contents.
+    pub fn build(table: &Table, column: &str) -> Result<BTreeIndex, StorageError> {
+        let ci = table
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: table.name().to_string(),
+                column: column.to_string(),
+            })?;
+        let mut map: BTreeMap<Key, Vec<RowId>> = BTreeMap::new();
+        for (rid, row) in table.iter() {
+            map.entry(Key(row[ci].clone())).or_default().push(rid);
+        }
+        Ok(BTreeIndex {
+            column: column.to_string(),
+            map,
+        })
+    }
+
+    /// The indexed column's name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Registers a newly inserted row.
+    pub fn insert(&mut self, value: Value, rid: RowId) {
+        self.map.entry(Key(value)).or_default().push(rid);
+    }
+
+    /// Rows whose indexed value equals `v` (SQL semantics: NULL matches
+    /// nothing).
+    pub fn lookup(&self, v: &Value) -> &[RowId] {
+        if v.is_null() {
+            return &[];
+        }
+        self.map.get(&Key(v.clone())).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rows with indexed value in `[lo, hi]` (both optional, inclusive).
+    /// NULLs never qualify.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        use std::ops::Bound::*;
+        let lo_b = match lo {
+            Some(v) => Included(Key(v.clone())),
+            None => Excluded(Key(Value::Null)), // skip NULL bucket
+        };
+        let hi_b = match hi {
+            Some(v) => Included(Key(v.clone())),
+            None => Unbounded,
+        };
+        let mut out = Vec::new();
+        for (k, rids) in self.map.range((lo_b, hi_b)) {
+            if k.0.is_null() {
+                continue;
+            }
+            out.extend_from_slice(rids);
+        }
+        out
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A candidate produced by an HTM range probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HtmCandidate {
+    /// The candidate row.
+    pub row: RowId,
+    /// Whether the row's trixel was fully inside the search region (no
+    /// distance re-test needed) or partial (must be re-tested).
+    pub kind: RangeKind,
+}
+
+/// The HTM position index: rows sorted by the HTM ID of their position at a
+/// fixed mesh depth. A circular range search covers the circle with ID
+/// ranges and binary-searches this sorted list.
+#[derive(Debug, Clone)]
+pub struct HtmPositionIndex {
+    mesh: Mesh,
+    /// `(htm_id, row)` sorted by htm_id (then row).
+    entries: Vec<(u64, RowId)>,
+    /// True while `entries` is sorted; lazily restored after appends.
+    sorted: bool,
+}
+
+impl HtmPositionIndex {
+    /// An empty index at the given mesh depth.
+    pub fn new(depth: u8) -> HtmPositionIndex {
+        HtmPositionIndex {
+            mesh: Mesh::new(depth),
+            entries: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Builds the index from a table's position columns.
+    pub fn build(table: &Table, depth: u8) -> Result<HtmPositionIndex, StorageError> {
+        let pos = table
+            .schema()
+            .position
+            .as_ref()
+            .ok_or_else(|| StorageError::NoPositionIndex {
+                table: table.name().to_string(),
+            })?;
+        let ra_ci = table.schema().column_index(&pos.ra).unwrap();
+        let dec_ci = table.schema().column_index(&pos.dec).unwrap();
+        let mut idx = HtmPositionIndex::new(depth);
+        for (rid, row) in table.iter() {
+            let (ra, dec) = extract_position(table.name(), row, ra_ci, dec_ci)?;
+            idx.insert(SkyPoint::from_radec_deg(ra, dec), rid);
+        }
+        idx.ensure_sorted();
+        Ok(idx)
+    }
+
+    /// The index's mesh depth.
+    pub fn depth(&self) -> u8 {
+        self.mesh.depth()
+    }
+
+    /// The index's mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Number of indexed positions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers a row's position.
+    pub fn insert(&mut self, p: SkyPoint, rid: RowId) {
+        let id = self.mesh.locate(p).raw();
+        if let Some(&(last, _)) = self.entries.last() {
+            if id < last {
+                self.sorted = false;
+            }
+        }
+        self.entries.push((id, rid));
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.entries.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Candidate rows for a circular search centered at `center` with
+    /// radius `radius_rad`. `Full`-kind candidates are guaranteed inside;
+    /// `Partial` ones must be distance-tested by the caller.
+    pub fn search(&mut self, center: SkyPoint, radius_rad: f64) -> Vec<HtmCandidate> {
+        self.ensure_sorted();
+        let cover = Cover::circle(&self.mesh, center, radius_rad);
+        self.candidates_from_cover(&cover)
+    }
+
+    /// Candidate rows for an arbitrary convex region (the §6 polygon
+    /// extension uses this). Partial-kind candidates must be re-tested by
+    /// the caller with the region's `contains`.
+    pub fn search_region(&mut self, region: &dyn ConvexRegion) -> Vec<HtmCandidate> {
+        self.ensure_sorted();
+        let cover = Cover::region(&self.mesh, region);
+        self.candidates_from_cover(&cover)
+    }
+
+    fn candidates_from_cover(&self, cover: &Cover) -> Vec<HtmCandidate> {
+        let mut out = Vec::new();
+        for cr in cover.ranges() {
+            let lo = self.entries.partition_point(|&(id, _)| id < cr.range.lo);
+            let hi = self
+                .entries
+                .partition_point(|&(id, _)| id <= cr.range.hi);
+            for &(_, rid) in &self.entries[lo..hi] {
+                out.push(HtmCandidate {
+                    row: rid,
+                    kind: cr.kind,
+                });
+            }
+        }
+        out
+    }
+
+    /// Number of index entries probed (not rows returned) for a search —
+    /// the quantity HTM keeps small relative to a full scan.
+    pub fn probe_cost(&mut self, center: SkyPoint, radius_rad: f64) -> usize {
+        self.search(center, radius_rad).len()
+    }
+}
+
+/// Pulls finite `(ra, dec)` out of a row.
+pub(crate) fn extract_position(
+    table: &str,
+    row: &[Value],
+    ra_ci: usize,
+    dec_ci: usize,
+) -> Result<(f64, f64), StorageError> {
+    let ra = row[ra_ci].as_f64();
+    let dec = row[dec_ci].as_f64();
+    match (ra, dec) {
+        (Some(ra), Some(dec)) if ra.is_finite() && dec.is_finite() => Ok((ra, dec)),
+        _ => Err(StorageError::InvalidPosition {
+            table: table.to_string(),
+            detail: format!("ra={:?} dec={:?}", row[ra_ci], row[dec_ci]),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType, PositionColumns, TableSchema};
+
+    fn pos_table(points: &[(f64, f64)]) -> Table {
+        let schema = TableSchema::new(
+            "primary",
+            vec![
+                ColumnDef::new("object_id", DataType::Id),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+            ],
+        )
+        .with_position(PositionColumns::new("ra", "dec", 10))
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (i, &(ra, dec)) in points.iter().enumerate() {
+            t.insert(vec![
+                Value::Id(i as u64),
+                Value::Float(ra),
+                Value::Float(dec),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn btree_lookup_and_range() {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("v", DataType::Text).nullable(),
+            ],
+        ));
+        for i in 0..10i64 {
+            t.insert(vec![Value::Int(i % 3), Value::Null]).unwrap();
+        }
+        let idx = BTreeIndex::build(&t, "k").unwrap();
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.lookup(&Value::Int(0)).len(), 4); // rows 0,3,6,9
+        assert_eq!(idx.lookup(&Value::Int(5)).len(), 0);
+        assert_eq!(idx.lookup(&Value::Null).len(), 0);
+        let r = idx.range(Some(&Value::Int(1)), Some(&Value::Int(2)));
+        assert_eq!(r.len(), 6);
+        let all = idx.range(None, None);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn btree_range_skips_nulls() {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("k", DataType::Int).nullable()],
+        ));
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1)]).unwrap();
+        let idx = BTreeIndex::build(&t, "k").unwrap();
+        assert_eq!(idx.range(None, None), vec![1]);
+    }
+
+    #[test]
+    fn btree_unknown_column() {
+        let t = Table::new(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("k", DataType::Int)],
+        ));
+        assert!(BTreeIndex::build(&t, "missing").is_err());
+    }
+
+    #[test]
+    fn htm_search_finds_all_in_radius() {
+        // A tight cluster plus distant points.
+        let mut points = vec![
+            (185.0, -0.5),
+            (185.001, -0.5),
+            (185.0, -0.501),
+            (184.999, -0.499),
+        ];
+        points.extend([(30.0, 40.0), (200.0, 10.0), (185.0, 5.0)]);
+        let t = pos_table(&points);
+        let mut idx = HtmPositionIndex::build(&t, 12).unwrap();
+        let center = SkyPoint::from_radec_deg(185.0, -0.5);
+        let radius = 10.0 / 3600.0_f64; // 10 arcsec in degrees
+        let cands = idx.search(center, radius.to_radians());
+        // Verify: candidate set must include all 4 cluster rows.
+        let rows: Vec<RowId> = cands.iter().map(|c| c.row).collect();
+        for rid in 0..4 {
+            assert!(rows.contains(&rid), "row {rid} missing from candidates");
+        }
+        // And must exclude the far points after a distance re-test.
+        let confirmed: Vec<RowId> = cands
+            .iter()
+            .filter(|c| {
+                let ra = t.value(c.row, "ra").unwrap().as_f64().unwrap();
+                let dec = t.value(c.row, "dec").unwrap().as_f64().unwrap();
+                SkyPoint::from_radec_deg(ra, dec).separation(center) <= radius.to_radians()
+            })
+            .map(|c| c.row)
+            .collect();
+        assert_eq!(confirmed.len(), 4);
+    }
+
+    #[test]
+    fn htm_search_without_position_metadata_errors() {
+        let t = Table::new(TableSchema::new(
+            "noidx",
+            vec![ColumnDef::new("x", DataType::Float)],
+        ));
+        assert!(matches!(
+            HtmPositionIndex::build(&t, 8),
+            Err(StorageError::NoPositionIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn htm_incremental_insert_resorts() {
+        let mut idx = HtmPositionIndex::new(10);
+        // Insert in non-sorted sky order.
+        idx.insert(SkyPoint::from_radec_deg(300.0, 50.0), 0);
+        idx.insert(SkyPoint::from_radec_deg(10.0, -20.0), 1);
+        idx.insert(SkyPoint::from_radec_deg(10.001, -20.0), 2);
+        let cands = idx.search(SkyPoint::from_radec_deg(10.0, -20.0), 0.01);
+        let rows: Vec<RowId> = cands.iter().map(|c| c.row).collect();
+        assert!(rows.contains(&1) && rows.contains(&2));
+        assert!(!rows.contains(&0));
+    }
+
+    #[test]
+    fn htm_probe_cost_much_less_than_table() {
+        let mut points = Vec::new();
+        // Spread 2000 points over the sky plus 5 in the target circle.
+        for i in 0..2000 {
+            let ra = (i as f64 * 0.18) % 360.0;
+            let dec = ((i as f64 * 0.077) % 160.0) - 80.0;
+            points.push((ra, dec));
+        }
+        for k in 0..5 {
+            points.push((120.0 + k as f64 * 1e-4, 12.0));
+        }
+        let t = pos_table(&points);
+        let mut idx = HtmPositionIndex::build(&t, 10).unwrap();
+        let cost = idx.probe_cost(
+            SkyPoint::from_radec_deg(120.0, 12.0),
+            (30.0 / 3600.0_f64).to_radians(),
+        );
+        assert!(cost >= 5);
+        assert!(cost < 200, "probe cost {cost} too close to full scan");
+    }
+
+    #[test]
+    fn extract_position_rejects_nonfinite() {
+        let row = vec![Value::Float(f64::NAN), Value::Float(0.0)];
+        assert!(extract_position("t", &row, 0, 1).is_err());
+        let row = vec![Value::Null, Value::Float(0.0)];
+        assert!(extract_position("t", &row, 0, 1).is_err());
+        let row = vec![Value::Float(10.0), Value::Float(0.0)];
+        assert_eq!(extract_position("t", &row, 0, 1).unwrap(), (10.0, 0.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the archive engine: index results always agree
+//! with full scans, and inserts never corrupt invariants.
+
+use proptest::prelude::*;
+use skyquery_htm::SkyPoint;
+use skyquery_storage::{
+    BufferCache, ColumnDef, Database, DataType, PositionColumns, ScanOptions, TableSchema, Value,
+};
+
+fn pos_db(points: &[(f64, f64)], depth: u8) -> Database {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Id),
+            ColumnDef::new("ra", DataType::Float),
+            ColumnDef::new("dec", DataType::Float),
+        ],
+    )
+    .with_position(PositionColumns::new("ra", "dec", depth))
+    .unwrap();
+    let mut db = Database::with_cache("p", BufferCache::new(256, 16));
+    db.create_table(schema).unwrap();
+    for (i, &(ra, dec)) in points.iter().enumerate() {
+        db.insert(
+            "t",
+            vec![Value::Id(i as u64), Value::Float(ra), Value::Float(dec)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn sky_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..360.0, -85.0f64..85.0), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn htm_range_search_equals_linear(
+        points in sky_points(),
+        center_ra in 0.0f64..360.0,
+        center_dec in -85.0f64..85.0,
+        radius_deg in 0.01f64..30.0,
+        depth in 6u8..13,
+    ) {
+        let mut db = pos_db(&points, depth);
+        let center = SkyPoint::from_radec_deg(center_ra, center_dec);
+        let radius = radius_deg.to_radians();
+        let fast: Vec<usize> = db
+            .range_search("t", center, radius, ScanOptions::untracked())
+            .unwrap()
+            .into_iter()
+            .map(|h| h.row)
+            .collect();
+        let slow: Vec<usize> = db
+            .range_search_linear("t", center, radius, ScanOptions::untracked())
+            .unwrap()
+            .into_iter()
+            .map(|h| h.row)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn btree_lookup_equals_scan(
+        keys in proptest::collection::vec(-50i64..50, 0..200),
+        probe in -60i64..60,
+    ) {
+        let schema = TableSchema::new("k", vec![ColumnDef::new("v", DataType::Int)]);
+        let mut db = Database::new("b");
+        db.create_table(schema).unwrap();
+        // Build the index first so incremental maintenance is exercised.
+        db.create_btree_index("k", "v").unwrap();
+        for k in &keys {
+            db.insert("k", vec![Value::Int(*k)]).unwrap();
+        }
+        let via_index = db
+            .lookup_eq("k", "v", &Value::Int(probe), ScanOptions::untracked())
+            .unwrap();
+        let via_scan = db
+            .scan_filter("k", ScanOptions::untracked(), |_, row| {
+                row[0].sql_eq(&Value::Int(probe)).unwrap_or(false)
+            })
+            .unwrap();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn row_count_matches_inserts(
+        n in 0usize..100,
+    ) {
+        let schema = TableSchema::new("c", vec![ColumnDef::new("v", DataType::Int)]);
+        let mut db = Database::new("c");
+        db.create_table(schema).unwrap();
+        for i in 0..n {
+            db.insert("c", vec![Value::Int(i as i64)]).unwrap();
+        }
+        prop_assert_eq!(db.row_count("c").unwrap(), n);
+        prop_assert_eq!(
+            db.count_where("c", ScanOptions::untracked(), |_, _| true).unwrap(),
+            n
+        );
+    }
+
+    #[test]
+    fn range_search_hits_carry_true_separation(
+        points in sky_points(),
+        radius_deg in 0.1f64..10.0,
+    ) {
+        let mut db = pos_db(&points, 10);
+        let center = SkyPoint::from_radec_deg(180.0, 0.0);
+        let radius = radius_deg.to_radians();
+        for hit in db.range_search("t", center, radius, ScanOptions::untracked()).unwrap() {
+            prop_assert!(hit.separation_rad <= radius + 1e-12);
+            let row = db.table("t").unwrap().row(hit.row).unwrap().clone();
+            let p = SkyPoint::from_radec_deg(
+                row[1].as_f64().unwrap(),
+                row[2].as_f64().unwrap(),
+            );
+            prop_assert!((p.separation(center) - hit.separation_rad).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn temp_tables_isolated(
+        n_temps in 1usize..6,
+        rows_per in 0usize..10,
+    ) {
+        let schema = TableSchema::new("tmp", vec![ColumnDef::new("v", DataType::Int)]);
+        let mut db = Database::new("iso");
+        let mut names = Vec::new();
+        for _ in 0..n_temps {
+            names.push(db.create_temp_table(schema.clone()).unwrap());
+        }
+        for (i, name) in names.iter().enumerate() {
+            for r in 0..rows_per + i {
+                db.insert(name, vec![Value::Int(r as i64)]).unwrap();
+            }
+        }
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(db.row_count(name).unwrap(), rows_per + i);
+        }
+        for name in &names {
+            db.drop_table(name).unwrap();
+        }
+        prop_assert!(db.catalog().tables.is_empty());
+    }
+}

@@ -1,0 +1,410 @@
+//! A strict pull parser for the XML subset SkyQuery messages use.
+
+use crate::escape::unescape;
+use crate::XmlError;
+
+/// An event produced by [`XmlReader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>` (also produced for self-closing tags, followed
+    /// immediately by the matching `EndElement`).
+    StartElement {
+        /// The element name as written (including any prefix).
+        name: String,
+        /// Attributes in document order, values unescaped.
+        attributes: Vec<(String, String)>,
+    },
+    /// `</name>` or the synthetic close of a self-closing tag.
+    EndElement {
+        /// The closed element's name.
+        name: String,
+    },
+    /// Unescaped character data (entities expanded, CDATA verbatim).
+    /// Whitespace-only runs are reported as-is; structural consumers
+    /// decide whether they are formatting noise.
+    Text(String),
+    /// End of input. Returned exactly once; the document must be balanced.
+    Eof,
+}
+
+/// Pull parser over a complete in-memory document.
+///
+/// ```
+/// use skyquery_xml::{XmlReader, XmlEvent};
+/// let mut r = XmlReader::new("<a x=\"1\"><b>hi &amp; bye</b></a>");
+/// assert!(matches!(r.next_event().unwrap(), XmlEvent::StartElement { .. }));
+/// ```
+#[derive(Debug)]
+pub struct XmlReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    stack: Vec<String>,
+    /// Pending synthetic end element from a self-closing tag.
+    pending_end: Option<String>,
+    finished: bool,
+}
+
+impl<'a> XmlReader<'a> {
+    /// A reader over a complete document.
+    pub fn new(input: &'a str) -> XmlReader<'a> {
+        XmlReader {
+            input: input.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+            finished: false,
+        }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn err(&self, detail: impl Into<String>) -> XmlError {
+        XmlError::Malformed {
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, s: &str) -> Result<(), XmlError> {
+        let bytes = s.as_bytes();
+        while self.pos < self.input.len() {
+            if self.input[self.pos..].starts_with(bytes) {
+                self.pos += bytes.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof {
+            context: format!("scanning for {s}"),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let first = self.input[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return Err(self.err("names may not start with a digit, '-' or '.'"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Produces the next event.
+    pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            return Ok(XmlEvent::EndElement { name });
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if self.finished {
+                    return Err(self.err("read past end of document"));
+                }
+                if let Some(open) = self.stack.last() {
+                    return Err(XmlError::UnexpectedEof {
+                        context: format!("element <{open}> never closed"),
+                    });
+                }
+                self.finished = true;
+                return Ok(XmlEvent::Eof);
+            }
+            if self.peek() == Some(b'<') {
+                // Markup.
+                if self.starts_with("<!--") {
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                if self.starts_with("<![CDATA[") {
+                    self.pos += "<![CDATA[".len();
+                    let start = self.pos;
+                    self.skip_until("]]>")?;
+                    let raw = &self.input[start..self.pos - 3];
+                    return Ok(XmlEvent::Text(
+                        String::from_utf8_lossy(raw).into_owned(),
+                    ));
+                }
+                if self.starts_with("<?") {
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                if self.starts_with("<!") {
+                    // DOCTYPE and friends: unsupported, skip to '>'.
+                    self.skip_until(">")?;
+                    continue;
+                }
+                if self.starts_with("</") {
+                    self.pos += 2;
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after close-tag name"));
+                    }
+                    self.pos += 1;
+                    match self.stack.pop() {
+                        Some(open) if open == name => {
+                            return Ok(XmlEvent::EndElement { name })
+                        }
+                        Some(open) => {
+                            return Err(XmlError::TagMismatch {
+                                expected: open,
+                                found: name,
+                            })
+                        }
+                        None => {
+                            return Err(self.err(format!("close tag </{name}> with no open element")))
+                        }
+                    }
+                }
+                // Start tag.
+                self.pos += 1;
+                let name = self.read_name()?;
+                let mut attributes = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.pos += 1;
+                            self.stack.push(name.clone());
+                            return Ok(XmlEvent::StartElement { name, attributes });
+                        }
+                        Some(b'/') => {
+                            self.pos += 1;
+                            if self.peek() != Some(b'>') {
+                                return Err(self.err("expected '>' after '/'"));
+                            }
+                            self.pos += 1;
+                            self.stack.push(name.clone());
+                            self.pending_end = Some(name.clone());
+                            return Ok(XmlEvent::StartElement { name, attributes });
+                        }
+                        Some(_) => {
+                            let aname = self.read_name()?;
+                            self.skip_ws();
+                            if self.peek() != Some(b'=') {
+                                return Err(self.err(format!("attribute {aname} missing '='")));
+                            }
+                            self.pos += 1;
+                            self.skip_ws();
+                            let quote = match self.peek() {
+                                Some(q @ (b'"' | b'\'')) => q,
+                                _ => return Err(self.err("attribute value must be quoted")),
+                            };
+                            self.pos += 1;
+                            let start = self.pos;
+                            while self.peek().is_some_and(|c| c != quote) {
+                                self.pos += 1;
+                            }
+                            if self.peek().is_none() {
+                                return Err(XmlError::UnexpectedEof {
+                                    context: format!("attribute {aname}"),
+                                });
+                            }
+                            let raw =
+                                String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                            self.pos += 1;
+                            attributes.push((aname, unescape(&raw)?));
+                        }
+                        None => {
+                            return Err(XmlError::UnexpectedEof {
+                                context: format!("inside tag <{name}"),
+                            })
+                        }
+                    }
+                }
+            }
+            // Character data.
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            if self.stack.is_empty() {
+                // Whitespace between top-level constructs is fine; anything
+                // else is malformed.
+                if raw.trim().is_empty() {
+                    continue;
+                }
+                return Err(self.err("character data outside the root element"));
+            }
+            // Whitespace-only runs are reported too: only a consumer that
+            // knows the element structure (e.g. the DOM builder) can tell
+            // formatting noise from a meaningful all-space leaf value.
+            return Ok(XmlEvent::Text(unescape(&raw)?));
+        }
+    }
+
+    /// Collects all events until `Eof`, verifying well-formedness.
+    pub fn read_all(mut self) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut out = Vec::new();
+        loop {
+            let ev = self.next_event()?;
+            let done = ev == XmlEvent::Eof;
+            out.push(ev);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Vec<XmlEvent> {
+        XmlReader::new(s).read_all().unwrap()
+    }
+
+    #[test]
+    fn simple_nesting() {
+        let evs = events(r#"<a x="1"><b>hi</b></a>"#);
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![("x".into(), "1".into())]
+                },
+                XmlEvent::StartElement {
+                    name: "b".into(),
+                    attributes: vec![]
+                },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::EndElement { name: "b".into() },
+                XmlEvent::EndElement { name: "a".into() },
+                XmlEvent::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_produces_both_events() {
+        let evs = events("<a><b/></a>");
+        assert_eq!(
+            evs[1],
+            XmlEvent::StartElement {
+                name: "b".into(),
+                attributes: vec![]
+            }
+        );
+        assert_eq!(evs[2], XmlEvent::EndElement { name: "b".into() });
+    }
+
+    #[test]
+    fn entities_expanded() {
+        let evs = events("<a>x &amp; y &lt;z&gt;</a>");
+        assert_eq!(evs[1], XmlEvent::Text("x & y <z>".into()));
+    }
+
+    #[test]
+    fn attributes_unescaped_and_quoted_either_way() {
+        let evs = events(r#"<a x="a&amp;b" y='c"d'/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0], ("x".into(), "a&b".into()));
+                assert_eq!(attributes[1], ("y".into(), "c\"d".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_declarations_doctype_skipped() {
+        let evs = events(
+            "<?xml version=\"1.0\"?><!-- hello --><!DOCTYPE a><a><!-- inner -->t</a>",
+        );
+        assert_eq!(evs.len(), 4); // start, text, end, eof
+        assert_eq!(evs[1], XmlEvent::Text("t".into()));
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let evs = events("<a><![CDATA[1 < 2 & 3]]></a>");
+        assert_eq!(evs[1], XmlEvent::Text("1 < 2 & 3".into()));
+    }
+
+    #[test]
+    fn whitespace_between_elements_reported() {
+        let evs = events("<a>\n  <b>x</b>\n</a>");
+        // The pull layer reports the formatting runs; the DOM builder is
+        // responsible for discarding them.
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, XmlEvent::Text(t) if t.trim().is_empty())));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = XmlReader::new("<a><b></a></b>").read_all().unwrap_err();
+        assert!(matches!(err, XmlError::TagMismatch { .. }));
+    }
+
+    #[test]
+    fn unclosed_rejected() {
+        let err = XmlReader::new("<a><b>").read_all().unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn stray_close_rejected() {
+        assert!(XmlReader::new("</a>").read_all().is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(XmlReader::new("hello<a/>").read_all().is_err());
+        // but whitespace is fine
+        assert!(XmlReader::new("  <a/>  ").read_all().is_ok());
+    }
+
+    #[test]
+    fn bad_attribute_syntax_rejected() {
+        assert!(XmlReader::new("<a x=1/>").read_all().is_err());
+        assert!(XmlReader::new("<a x/>").read_all().is_err());
+        assert!(XmlReader::new("<a 1x=\"y\"/>").read_all().is_err());
+    }
+
+    #[test]
+    fn namespaced_names_pass_through() {
+        let evs = events(r#"<soap:Envelope xmlns:soap="u"><soap:Body/></soap:Envelope>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { name, .. } => assert_eq!(name, "soap:Envelope"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn offset_reported_on_error() {
+        let err = XmlReader::new("<a><b x=bad></b></a>").read_all().unwrap_err();
+        match err {
+            XmlError::Malformed { offset, .. } => assert!(offset > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The §6 transaction extension in action: "implement transaction
+//! processing for exchange of data between astronomy archives, and see
+//! how the stateless SOAP handles such complex requirements."
+//!
+//! Atomically copies a selection of SDSS galaxies into the TWOMASS
+//! archive with two-phase commit over SOAP, then shows the failure paths
+//! staying atomic.
+//!
+//! ```text
+//! cargo run --example data_exchange
+//! ```
+
+use skyquery_sim::FederationBuilder;
+
+fn main() {
+    let fed = FederationBuilder::paper_triple(2000).build();
+
+    println!("== Successful transfer (prepare → commit) ==");
+    let report = fed
+        .portal
+        .transfer_table(
+            "SDSS",
+            "SELECT O.object_id, O.ra, O.dec, O.i_flux FROM SDSS:Photo_Object O \
+             WHERE O.type = GALAXY AND O.i_flux > 300",
+            "TWOMASS",
+            "sdss_bright_galaxies",
+        )
+        .expect("transfer succeeds");
+    println!(
+        "txn {}: copied {} rows {} -> {} (table {})",
+        report.txn_id, report.rows_copied, report.source, report.destination, report.dest_table
+    );
+    let visible = fed
+        .node("TWOMASS")
+        .unwrap()
+        .with_db(|db| db.row_count("sdss_bright_galaxies").unwrap());
+    println!("rows visible at destination: {visible}");
+
+    println!("\n== No-vote path: incompatible destination schema ==");
+    fed.node("TWOMASS").unwrap().with_db(|db| {
+        db.create_table(skyquery_storage::TableSchema::new(
+            "conflicted",
+            vec![skyquery_storage::ColumnDef::new(
+                "something_else",
+                skyquery_storage::DataType::Text,
+            )],
+        ))
+        .unwrap();
+    });
+    let err = fed
+        .portal
+        .transfer_table(
+            "SDSS",
+            "SELECT O.object_id FROM SDSS:Photo_Object O",
+            "TWOMASS",
+            "conflicted",
+        )
+        .unwrap_err();
+    println!("prepare voted NO: {err}");
+    let rows = fed
+        .node("TWOMASS")
+        .unwrap()
+        .with_db(|db| db.row_count("conflicted").unwrap());
+    println!("destination table untouched: {rows} rows (atomicity held)");
+
+    println!("\n== Crash path: destination offline ==");
+    fed.net.unbind("first.skyquery.net");
+    let err = fed
+        .portal
+        .transfer_table(
+            "SDSS",
+            "SELECT O.object_id FROM SDSS:Photo_Object O",
+            "FIRST",
+            "copy",
+        )
+        .unwrap_err();
+    println!("coordinator aborted: {err}");
+
+    println!("\nSOAP traffic for the session:");
+    for ((from, to), stats) in fed.net.metrics().links() {
+        println!(
+            "  {from:<24} -> {to:<24} {:>3} messages {:>9} bytes",
+            stats.messages, stats.bytes
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 2 reproduced as a runnable scenario: two bodies, three
+//! archives, and the two XMATCH selections the figure illustrates.
+//!
+//! Body **a** is observed by archives O, T, and P, all within 3.5
+//! standard deviations of their mean position. Body **b** is observed by
+//! O and T, but its P observation lies far outside the bound. So:
+//!
+//! * `XMATCH(O, T, P)  < 3.5` selects `{a_O, a_T, a_P}`;
+//! * `XMATCH(O, T, !P) < 3.5` selects `{b_O, b_T}` (P is a *drop-out*).
+//!
+//! ```text
+//! cargo run --example figure2_semantics
+//! ```
+
+use skyquery_core::{ArchiveInfo, FederationConfig, Portal, SkyNode};
+use skyquery_net::{SimNetwork, Url};
+use skyquery_storage::{Database, Value};
+
+const ARCSEC: f64 = 1.0 / 3600.0;
+
+fn archive(
+    net: &SimNetwork,
+    portal: &Portal,
+    name: &str,
+    sigma_arcsec: f64,
+    objects: &[(u64, &str, f64, f64)],
+) {
+    let mut db = Database::new(name);
+    db.create_table(skyquery_sim::survey::primary_schema("objects", 14))
+        .unwrap();
+    for &(id, label, ra, dec) in objects {
+        println!("  {name}: object {id} = {label} at ({ra:.6}, {dec:.6})");
+        db.insert(
+            "objects",
+            vec![
+                Value::Id(id),
+                Value::Float(ra),
+                Value::Float(dec),
+                Value::Text("GALAXY".into()),
+                Value::Float(1.0),
+            ],
+        )
+        .unwrap();
+    }
+    let host = format!("{}.sky", name.to_lowercase());
+    SkyNode::start(
+        net,
+        host.clone(),
+        ArchiveInfo {
+            name: name.into(),
+            sigma_arcsec,
+            primary_table: "objects".into(),
+            htm_depth: 14,
+        },
+        db,
+    );
+    portal.register_node(&Url::new(host, "/soap")).unwrap();
+}
+
+fn main() {
+    let net = SimNetwork::new();
+    let portal = Portal::start(&net, "portal", FederationConfig::default());
+
+    println!("Populating the Figure 2 sky (σ = 0.2\" everywhere):\n");
+    // Observations of body a cluster around (185.0, -0.5); observations
+    // of body b around (185.01, -0.49) except b_P, which is 20σ off.
+    archive(
+        &net,
+        &portal,
+        "O",
+        0.2,
+        &[
+            (1, "a_O", 185.0, -0.5),
+            (2, "b_O", 185.01, -0.49),
+        ],
+    );
+    archive(
+        &net,
+        &portal,
+        "T",
+        0.2,
+        &[
+            (11, "a_T", 185.0 + 0.1 * ARCSEC, -0.5),
+            (12, "b_T", 185.01, -0.49 + 0.15 * ARCSEC),
+        ],
+    );
+    archive(
+        &net,
+        &portal,
+        "P",
+        0.2,
+        &[
+            (21, "a_P", 185.0, -0.5 - 0.12 * ARCSEC),
+            (22, "b_P (out of range)", 185.01, -0.49 + 20.0 * ARCSEC),
+        ],
+    );
+
+    let all = "SELECT O.object_id, T.object_id, P.object_id \
+               FROM O:objects O, T:objects T, P:objects P \
+               WHERE XMATCH(O, T, P) < 3.5";
+    println!("\nXMATCH(O, T, P) < 3.5   — all three archives mandatory:");
+    let (result, _) = portal.submit(all).unwrap();
+    println!("{}", result.to_ascii());
+    println!("→ the set {{a_O, a_T, a_P}} is the only cross match (body a).\n");
+
+    let dropout = "SELECT O.object_id, T.object_id \
+                   FROM O:objects O, T:objects T, P:objects P \
+                   WHERE XMATCH(O, T, !P) < 3.5";
+    println!("XMATCH(O, T, !P) < 3.5  — P is a drop-out (exclusive outer join):");
+    let (result, _) = portal.submit(dropout).unwrap();
+    println!("{}", result.to_ascii());
+    println!("→ body a is excluded (it HAS a P counterpart); body b survives.");
+}

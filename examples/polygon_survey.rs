@@ -1,0 +1,83 @@
+//! The §6 polygon extension in action: "queries on spatial objects …
+//! The AREA clause can also be extended to specify arbitrary polygons
+//! rather than just simple circles."
+//!
+//! Cross-matches two surveys inside a survey-stripe polygon and compares
+//! against the circumscribing circle.
+//!
+//! ```text
+//! cargo run --example polygon_survey
+//! ```
+
+use skyquery_sim::{FederationBuilder, QuerySpec};
+
+fn main() {
+    let fed = FederationBuilder::paper_triple(3000).build();
+
+    // A thin observation stripe: 1.6° wide, 0.3° tall — the shape real
+    // drift-scan surveys produce, poorly served by circles.
+    let stripe = vec![
+        (184.2, -0.65),
+        (185.8, -0.65),
+        (185.8, -0.35),
+        (184.2, -0.35),
+    ];
+    let polygon_sql = QuerySpec {
+        archives: vec![
+            ("SDSS".into(), "Photo_Object".into(), "O".into(), false),
+            ("TWOMASS".into(), "Photo_Primary".into(), "T".into(), false),
+        ],
+        threshold: 3.5,
+        area: None,
+        polygon: Some(stripe.clone()),
+        predicates: vec![],
+        select: vec!["O.object_id".into(), "T.object_id".into()],
+    }
+    .to_sql();
+
+    // The smallest circle covering the stripe (radius ≈ 0.82°).
+    let circle_sql = QuerySpec {
+        archives: vec![
+            ("SDSS".into(), "Photo_Object".into(), "O".into(), false),
+            ("TWOMASS".into(), "Photo_Primary".into(), "T".into(), false),
+        ],
+        threshold: 3.5,
+        area: Some((185.0, -0.5, 50.0)),
+        polygon: None,
+        predicates: vec![],
+        select: vec!["O.object_id".into(), "T.object_id".into()],
+    }
+    .to_sql();
+
+    println!("Stripe polygon: {stripe:?}\n");
+
+    fed.net.reset_metrics();
+    let (poly_result, _) = fed.portal.submit(&polygon_sql).expect("polygon query");
+    let poly_bytes = fed.net.metrics().total().bytes;
+
+    fed.net.reset_metrics();
+    let (circle_result, _) = fed.portal.submit(&circle_sql).expect("circle query");
+    let circle_bytes = fed.net.metrics().total().bytes;
+
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "region", "matches", "bytes moved"
+    );
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "stripe POLYGON", poly_result.row_count(), poly_bytes
+    );
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "circumscribing AREA circle",
+        circle_result.row_count(),
+        circle_bytes
+    );
+    println!(
+        "\nThe polygon retrieves {:.0}% of the circle's matches while moving {:.0}% of the bytes —",
+        100.0 * poly_result.row_count() as f64 / circle_result.row_count().max(1) as f64,
+        100.0 * poly_bytes as f64 / circle_bytes.max(1) as f64,
+    );
+    println!("exactly why the paper wanted polygons: the circle over-fetches everything");
+    println!("outside the stripe, and every extra row is XML on the wire.");
+}

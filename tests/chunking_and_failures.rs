@@ -1,0 +1,174 @@
+//! The §6 message-size workaround and failure injection: chunked
+//! transfers under small parser limits, the pre-workaround fault, node
+//! outages, and malformed inputs.
+
+use skyquery_core::{FederationConfig, FederationError};
+use skyquery_sim::{xmatch_query, FederationBuilder};
+
+fn two_archive_sql() -> String {
+    xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        3.5,
+        None,
+    )
+}
+
+#[test]
+fn chunked_transfer_preserves_results_under_tiny_limit() {
+    let fed = FederationBuilder::paper_triple(600).build();
+    let sql = two_archive_sql();
+    // Reference run with the default 10 MB limit (no chunking needed).
+    let (reference, _) = fed.portal.submit(&sql).unwrap();
+    assert!(reference.row_count() > 0);
+
+    // Now force a parser limit far below the partial-result size.
+    fed.portal.set_config(FederationConfig {
+        max_message_bytes: 20_000,
+        chunking: true,
+        ..FederationConfig::default()
+    });
+    fed.net.reset_metrics();
+    let (chunked, _) = fed.portal.submit(&sql).unwrap();
+    let key = |rs: &skyquery_core::ResultSet| {
+        let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(key(&chunked), key(&reference));
+
+    // The workaround multiplies messages: FetchChunk round trips appear.
+    let m = fed.net.metrics();
+    assert!(
+        m.total().messages > 10,
+        "expected chunk-fetch traffic, saw {} messages",
+        m.total().messages
+    );
+    // And no single message exceeded the limit by an order of magnitude
+    // (header overhead allows slack above the body budget).
+    for ((_, _), stats) in m.links() {
+        assert!(stats.bytes / stats.messages.max(1) < 40_000);
+    }
+}
+
+#[test]
+fn without_chunking_oversized_results_fault() {
+    let fed = FederationBuilder::paper_triple(600).build();
+    fed.portal.set_config(FederationConfig {
+        max_message_bytes: 20_000,
+        chunking: false, // the pre-workaround SOAP stack
+        ..FederationConfig::default()
+    });
+    let err = fed.portal.submit(&two_archive_sql()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("exceeds parser limit") || msg.contains("bytes"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn small_results_never_chunk() {
+    let fed = FederationBuilder::paper_triple(60).build();
+    fed.portal.set_config(FederationConfig {
+        max_message_bytes: 5 * 1024 * 1024,
+        chunking: true,
+        ..FederationConfig::default()
+    });
+    fed.net.reset_metrics();
+    fed.portal.submit(&two_archive_sql()).unwrap();
+    // Without chunking pressure the chain exchanges one call+response per
+    // hop plus performance queries: a small, bounded message count.
+    let m = fed.net.metrics().total();
+    assert!(m.messages <= 12, "unexpected extra traffic: {}", m.messages);
+}
+
+#[test]
+fn offline_node_surfaces_as_unreachable() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    // Take TWOMASS off the network after registration.
+    fed.net.unbind("twomass.skyquery.net");
+    let err = fed.portal.submit(&two_archive_sql()).unwrap_err();
+    match err {
+        FederationError::Net(e) => assert!(e.to_string().contains("unreachable")),
+        other => panic!("expected a network error, got {other}"),
+    }
+}
+
+#[test]
+fn mid_chain_node_failure_propagates_as_fault() {
+    let fed = FederationBuilder::paper_triple(200).build();
+    // Sabotage the seed archive (FIRST is smallest → seed): drop its
+    // primary table so the seed step fails *inside* the chain.
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        3.5,
+        None,
+    );
+    fed.node("FIRST")
+        .unwrap()
+        .with_db(|db| db.drop_table("Primary_Object"))
+        .unwrap();
+    let err = fed.portal.submit(&sql).unwrap_err();
+    // The storage error at FIRST crosses two SOAP hops as a Fault.
+    match err {
+        FederationError::Fault(f) => {
+            assert!(f.message.contains("unknown table"), "fault: {f}")
+        }
+        other => panic!("expected a SOAP fault, got {other}"),
+    }
+}
+
+#[test]
+fn malformed_sql_rejected_before_any_network_traffic() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    fed.net.reset_metrics();
+    assert!(fed.portal.submit("SELECT FROM WHERE").is_err());
+    assert!(fed.portal.submit("").is_err());
+    assert!(fed
+        .portal
+        .submit("SELECT O.a FROM SDSS:Photo_Object O") // no XMATCH
+        .is_err());
+    assert_eq!(fed.net.metrics().total().messages, 0);
+}
+
+#[test]
+fn client_sees_faults_from_bad_queries() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    let client = fed.client("user");
+    let err = client.query("SELECT broken").unwrap_err();
+    match err {
+        FederationError::Fault(f) => assert_eq!(f.code, "Client"),
+        other => panic!("expected fault, got {other}"),
+    }
+}
+
+#[test]
+fn query_on_nonexistent_table_fails_cleanly() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    let err = fed
+        .portal
+        .submit(&xmatch_query(
+            &[
+                ("SDSS", "NoSuchTable", "O"),
+                ("TWOMASS", "Photo_Primary", "T"),
+            ],
+            3.5,
+            None,
+        ))
+        .unwrap_err();
+    // The performance query reaches the SkyNode first, which faults with
+    // its storage error ("unknown table"); if it didn't, the planner's
+    // own catalog check ("has no table") would reject the plan.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("unknown table") || msg.contains("no table"),
+        "{msg}"
+    );
+}

@@ -1,0 +1,335 @@
+//! Correctness oracle tests: the distributed chained execution must
+//! produce exactly the match set an exhaustive centralized evaluation of
+//! the same likelihood math produces — across seeds, thresholds, and
+//! survey shapes.
+
+use skyquery_core::baseline::naive_match;
+use skyquery_htm::{SkyPoint, Vec3};
+use skyquery_sim::{xmatch_query, CatalogParams, FederationBuilder, SurveyParams};
+use skyquery_storage::Value;
+
+/// Pulls `(object_id, position)` pairs straight out of a node's database.
+fn objects_of(
+    fed: &skyquery_sim::TestFederation,
+    archive: &str,
+) -> (Vec<u64>, Vec<Vec3>) {
+    let node = fed.node(archive).unwrap();
+    let table = node.info().primary_table.clone();
+    node.with_db(|db| {
+        let t = db.table(&table).unwrap();
+        let mut ids = Vec::new();
+        let mut pos = Vec::new();
+        for (_, row) in t.iter() {
+            ids.push(row[0].as_id().unwrap());
+            pos.push(
+                SkyPoint::from_radec_deg(
+                    row[1].as_f64().unwrap(),
+                    row[2].as_f64().unwrap(),
+                )
+                .to_vec3(),
+            );
+        }
+        (ids, pos)
+    })
+}
+
+fn run_oracle(seed: u64, threshold: f64, bodies: usize) {
+    let mut sdss = SurveyParams::sdss_like();
+    sdss.seed = seed;
+    let mut twomass = SurveyParams::twomass_like();
+    twomass.seed = seed + 1;
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: bodies,
+            seed,
+            ..CatalogParams::default()
+        })
+        .survey(sdss)
+        .survey(twomass)
+        .build();
+
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        threshold,
+        None,
+    );
+    let (result, _) = fed.portal.submit(&sql).unwrap();
+    let mut distributed: Vec<(u64, u64)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+        .collect();
+    distributed.sort_unstable();
+
+    // Exhaustive oracle over the same observations.
+    let (ids_o, pos_o) = objects_of(&fed, "SDSS");
+    let (ids_t, pos_t) = objects_of(&fed, "TWOMASS");
+    let sigmas = [
+        (0.1 / 3600.0_f64).to_radians(),
+        (0.3 / 3600.0_f64).to_radians(),
+    ];
+    let mut brute: Vec<(u64, u64)> = naive_match(&[pos_o, pos_t], &sigmas, threshold)
+        .into_iter()
+        .map(|idx| (ids_o[idx[0]], ids_t[idx[1]]))
+        .collect();
+    brute.sort_unstable();
+
+    assert_eq!(
+        distributed, brute,
+        "distributed != centralized for seed {seed}, threshold {threshold}"
+    );
+    assert!(
+        !distributed.is_empty(),
+        "oracle run should produce matches (seed {seed})"
+    );
+}
+
+#[test]
+fn oracle_seed_1() {
+    run_oracle(11, 3.5, 250);
+}
+
+#[test]
+fn oracle_seed_2() {
+    run_oracle(12, 3.5, 250);
+}
+
+#[test]
+fn oracle_seed_3_tight_threshold() {
+    run_oracle(13, 1.5, 250);
+}
+
+#[test]
+fn oracle_seed_4_loose_threshold() {
+    run_oracle(14, 6.0, 200);
+}
+
+#[test]
+fn oracle_dense_cluster() {
+    // A dense field stresses the candidate search: many bodies within a
+    // few σ of each other produce ambiguous multi-matches that both
+    // evaluations must agree on.
+    let mut sdss = SurveyParams::sdss_like();
+    sdss.sigma_arcsec = 0.5;
+    sdss.seed = 77;
+    let mut twomass = SurveyParams::twomass_like();
+    twomass.sigma_arcsec = 0.8;
+    twomass.seed = 78;
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 300,
+            radius_deg: 0.02, // everything packed into ~72 arcsec
+            seed: 79,
+            ..CatalogParams::default()
+        })
+        .survey(sdss)
+        .survey(twomass)
+        .build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        3.0,
+        None,
+    );
+    let (result, _) = fed.portal.submit(&sql).unwrap();
+    let (ids_o, pos_o) = objects_of(&fed, "SDSS");
+    let (ids_t, pos_t) = objects_of(&fed, "TWOMASS");
+    let sigmas = [
+        (0.5 / 3600.0_f64).to_radians(),
+        (0.8 / 3600.0_f64).to_radians(),
+    ];
+    let brute = naive_match(&[pos_o.clone(), pos_t.clone()], &sigmas, 3.0);
+    let mut brute_ids: Vec<(u64, u64)> = brute
+        .into_iter()
+        .map(|idx| (ids_o[idx[0]], ids_t[idx[1]]))
+        .collect();
+    brute_ids.sort_unstable();
+    let mut distributed: Vec<(u64, u64)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+        .collect();
+    distributed.sort_unstable();
+    assert_eq!(distributed, brute_ids);
+    // Density check: the ambiguous field should produce more matches
+    // than bodies detected by both surveys would 1:1.
+    assert!(distributed.len() > 100, "got {}", distributed.len());
+}
+
+#[test]
+fn provenance_ground_truth_recall() {
+    // Bodies detected by both surveys with tight errors should almost
+    // all be recovered as cross matches (recall sanity, not exact).
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 500,
+            seed: 5,
+            ..CatalogParams::default()
+        })
+        .survey(SurveyParams::sdss_like())
+        .survey(SurveyParams::twomass_like())
+        .build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        3.5,
+        None,
+    );
+    let (result, _) = fed.portal.submit(&sql).unwrap();
+    let matched: std::collections::HashSet<(u64, u64)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+        .collect();
+
+    // Ground truth: bodies present in both provenance maps.
+    let sdss_node = fed.node("SDSS").unwrap();
+    let _ = sdss_node; // provenance lives in the Survey, rebuilt below
+    let catalog = &fed.catalog;
+    // Rebuild surveys deterministically to recover provenance.
+    let s = skyquery_sim::Survey::observe(catalog, SurveyParams::sdss_like());
+    let t = skyquery_sim::Survey::observe(catalog, SurveyParams::twomass_like());
+    let mut both = 0;
+    let mut recalled = 0;
+    let t_by_body: std::collections::HashMap<u64, u64> =
+        t.provenance.iter().map(|(o, b)| (*b, *o)).collect();
+    for (o_id, body) in &s.provenance {
+        if let Some(t_id) = t_by_body.get(body) {
+            both += 1;
+            if matched.contains(&(*o_id, *t_id)) {
+                recalled += 1;
+            }
+        }
+    }
+    let recall = recalled as f64 / both as f64;
+    // 3.5σ keeps ~99.8% of 2-D Gaussian pairs; allow generous slack.
+    assert!(recall > 0.97, "recall {recall} ({recalled}/{both})");
+}
+
+#[test]
+fn false_positive_rate_bounded() {
+    // With well-separated bodies, spurious matches (different bodies
+    // within 3.5σ) should be rare.
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 400,
+            radius_deg: 1.0,
+            seed: 21,
+            ..CatalogParams::default()
+        })
+        .survey(SurveyParams::sdss_like())
+        .survey(SurveyParams::twomass_like())
+        .build();
+    let (result, _) = fed
+        .portal
+        .submit(&xmatch_query(
+            &[
+                ("SDSS", "Photo_Object", "O"),
+                ("TWOMASS", "Photo_Primary", "T"),
+            ],
+            3.5,
+            None,
+        ))
+        .unwrap();
+    let s = skyquery_sim::Survey::observe(&fed.catalog, SurveyParams::sdss_like());
+    let t = skyquery_sim::Survey::observe(&fed.catalog, SurveyParams::twomass_like());
+    let mut wrong = 0;
+    for row in &result.rows {
+        let o = row[0].as_id().unwrap();
+        let tt = row[1].as_id().unwrap();
+        match (s.provenance.get(&o), t.provenance.get(&tt)) {
+            (Some(a), Some(b)) if a == b => {}
+            _ => wrong += 1,
+        }
+    }
+    let rate = wrong as f64 / result.row_count().max(1) as f64;
+    assert!(rate < 0.05, "false-match rate {rate}");
+}
+
+/// Guard: chained results carry usable values (no NULL ids).
+#[test]
+fn result_values_well_formed() {
+    let fed = FederationBuilder::paper_triple(300).build();
+    let (result, _) = fed
+        .portal
+        .submit(&xmatch_query(
+            &[
+                ("SDSS", "Photo_Object", "O"),
+                ("TWOMASS", "Photo_Primary", "T"),
+            ],
+            3.5,
+            None,
+        ))
+        .unwrap();
+    for row in &result.rows {
+        for v in row {
+            assert!(!matches!(v, Value::Null));
+        }
+    }
+}
+
+#[test]
+fn oracle_clustered_sky() {
+    // Galaxy-cluster fields pack many bodies within a few σ of each
+    // other — the hardest case for pruning correctness.
+    use skyquery_sim::CatalogParams;
+    let mut sdss = SurveyParams::sdss_like();
+    sdss.sigma_arcsec = 0.4;
+    sdss.seed = 501;
+    let mut twomass = SurveyParams::twomass_like();
+    twomass.sigma_arcsec = 0.6;
+    twomass.seed = 502;
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 400,
+            cluster_fraction: 0.7,
+            cluster_count: 4,
+            cluster_radius_deg: 0.001, // ~3.6 arcsec clusters
+            seed: 503,
+            ..CatalogParams::default()
+        })
+        .survey(sdss)
+        .survey(twomass)
+        .build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        3.0,
+        None,
+    );
+    let (result, _) = fed.portal.submit(&sql).unwrap();
+    let (ids_o, pos_o) = objects_of(&fed, "SDSS");
+    let (ids_t, pos_t) = objects_of(&fed, "TWOMASS");
+    let sigmas = [
+        (0.4 / 3600.0_f64).to_radians(),
+        (0.6 / 3600.0_f64).to_radians(),
+    ];
+    let mut brute: Vec<(u64, u64)> = naive_match(&[pos_o, pos_t], &sigmas, 3.0)
+        .into_iter()
+        .map(|idx| (ids_o[idx[0]], ids_t[idx[1]]))
+        .collect();
+    brute.sort_unstable();
+    let mut distributed: Vec<(u64, u64)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+        .collect();
+    distributed.sort_unstable();
+    assert_eq!(distributed, brute);
+    // Ambiguity check: clusters should force many-to-many matches.
+    let distinct_o: std::collections::HashSet<u64> =
+        distributed.iter().map(|(o, _)| *o).collect();
+    assert!(
+        distributed.len() > distinct_o.len(),
+        "expected ambiguous multi-matches in clustered fields"
+    );
+}

@@ -1,0 +1,215 @@
+//! Figure 2 semantics: the XMATCH clause with and without drop-outs.
+//!
+//! The paper's figure shows two bodies: body *a* is observed by all three
+//! archives O, T, P within 3.5σ of their mean; body *b*'s P-observation
+//! is out of range. So `XMATCH(O, T, P) < 3.5` selects {a_O, a_T, a_P}
+//! and `XMATCH(O, T, !P) < 3.5` selects {b_O, b_T}.
+
+use skyquery_core::{ArchiveInfo, Portal, SkyNode};
+use skyquery_net::SimNetwork;
+use skyquery_sim::{xmatch_query, QuerySpec};
+use skyquery_storage::{Database, Value};
+
+const ARCSEC: f64 = 1.0 / 3600.0;
+
+/// Builds the three archives of Figure 2 with hand-placed objects.
+///
+/// Body a ≈ (185.0, -0.5): all three observations within tight range.
+/// Body b ≈ (185.01, -0.49): O and T agree, P's observation is pushed
+/// ~20σ away (far outside any 3.5σ bound).
+fn figure2_federation() -> (SimNetwork, std::sync::Arc<Portal>) {
+    let net = SimNetwork::new();
+    let portal = Portal::start(&net, "portal", skyquery_core::FederationConfig::default());
+
+    let mk = |name: &str, sigma: f64, objects: &[(u64, f64, f64)]| {
+        let mut db = Database::new(name);
+        db.create_table(skyquery_sim::survey::primary_schema("objects", 14))
+            .unwrap();
+        for &(id, ra, dec) in objects {
+            db.insert(
+                "objects",
+                vec![
+                    Value::Id(id),
+                    Value::Float(ra),
+                    Value::Float(dec),
+                    Value::Text("GALAXY".into()),
+                    Value::Float(1.0),
+                ],
+            )
+            .unwrap();
+        }
+        let host = format!("{}.sky", name.to_lowercase());
+        SkyNode::start(
+            &net,
+            host.clone(),
+            ArchiveInfo {
+                name: name.into(),
+                sigma_arcsec: sigma,
+                primary_table: "objects".into(),
+                htm_depth: 14,
+            },
+            db,
+        );
+        portal
+            .register_node(&skyquery_net::Url::new(host, "/soap"))
+            .unwrap();
+    };
+
+    // a observations: tightly clustered around (185.0, -0.5).
+    // b observations: O and T agree near (185.01, -0.49); P's is far off.
+    mk(
+        "O",
+        0.2,
+        &[
+            (1, 185.0, -0.5),                      // a_O
+            (2, 185.01, -0.49),                    // b_O
+        ],
+    );
+    mk(
+        "T",
+        0.2,
+        &[
+            (11, 185.0 + 0.1 * ARCSEC, -0.5),      // a_T
+            (12, 185.01, -0.49 + 0.15 * ARCSEC),   // b_T
+        ],
+    );
+    mk(
+        "P",
+        0.2,
+        &[
+            (21, 185.0, -0.5 - 0.12 * ARCSEC),     // a_P (in range)
+            (22, 185.01, -0.49 + 20.0 * ARCSEC),   // b_P (out of range)
+        ],
+    );
+    (net, portal)
+}
+
+#[test]
+fn figure2_all_mandatory_selects_body_a() {
+    let (_net, portal) = figure2_federation();
+    let sql = xmatch_query(
+        &[("O", "objects", "O"), ("T", "objects", "T"), ("P", "objects", "P")],
+        3.5,
+        None,
+    );
+    let (result, _) = portal.submit(&sql).unwrap();
+    assert_eq!(result.row_count(), 1, "only body a matches in all three");
+    assert_eq!(result.rows[0][0], Value::Id(1)); // a_O
+    assert_eq!(result.rows[0][1], Value::Id(11)); // a_T
+    assert_eq!(result.rows[0][2], Value::Id(21)); // a_P
+}
+
+#[test]
+fn figure2_dropout_selects_body_b() {
+    let (_net, portal) = figure2_federation();
+    let sql = QuerySpec {
+        archives: vec![
+            ("O".into(), "objects".into(), "O".into(), false),
+            ("T".into(), "objects".into(), "T".into(), false),
+            ("P".into(), "objects".into(), "P".into(), true),
+        ],
+        threshold: 3.5,
+        area: None,
+        polygon: None,
+        predicates: vec![],
+        select: vec![],
+    }
+    .to_sql();
+    let (result, _) = portal.submit(&sql).unwrap();
+    assert_eq!(
+        result.row_count(),
+        1,
+        "only body b has no P counterpart within range"
+    );
+    assert_eq!(result.rows[0][0], Value::Id(2)); // b_O
+    assert_eq!(result.rows[0][1], Value::Id(12)); // b_T
+}
+
+#[test]
+fn dropout_and_mandatory_are_exclusive_partitions() {
+    // Every (O, T) pair selected by XMATCH(O, T) splits between
+    // XMATCH(O, T, P) (has P counterpart) and XMATCH(O, T, !P) (hasn't):
+    // here pairs are checked by id.
+    let (_net, portal) = figure2_federation();
+    let pairs = |sql: &str| -> Vec<(u64, u64)> {
+        let (r, _) = portal.submit(sql).unwrap();
+        r.rows
+            .iter()
+            .map(|row| (row[0].as_id().unwrap(), row[1].as_id().unwrap()))
+            .collect()
+    };
+    let base = pairs(&QuerySpec {
+        archives: vec![
+            ("O".into(), "objects".into(), "O".into(), false),
+            ("T".into(), "objects".into(), "T".into(), false),
+        ],
+        threshold: 3.5,
+        area: None,
+        polygon: None,
+        predicates: vec![],
+        select: vec!["O.object_id".into(), "T.object_id".into()],
+    }
+    .to_sql());
+    let with_p = pairs(&QuerySpec {
+        archives: vec![
+            ("O".into(), "objects".into(), "O".into(), false),
+            ("T".into(), "objects".into(), "T".into(), false),
+            ("P".into(), "objects".into(), "P".into(), false),
+        ],
+        threshold: 3.5,
+        area: None,
+        polygon: None,
+        predicates: vec![],
+        select: vec!["O.object_id".into(), "T.object_id".into()],
+    }
+    .to_sql());
+    let without_p = pairs(&QuerySpec {
+        archives: vec![
+            ("O".into(), "objects".into(), "O".into(), false),
+            ("T".into(), "objects".into(), "T".into(), false),
+            ("P".into(), "objects".into(), "P".into(), true),
+        ],
+        threshold: 3.5,
+        area: None,
+        polygon: None,
+        predicates: vec![],
+        select: vec!["O.object_id".into(), "T.object_id".into()],
+    }
+    .to_sql());
+    let mut union: Vec<(u64, u64)> = with_p.iter().chain(&without_p).copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    let mut base_sorted = base.clone();
+    base_sorted.sort_unstable();
+    assert_eq!(union, base_sorted, "partition must cover the base pairs");
+    for p in &with_p {
+        assert!(!without_p.contains(p), "partition must be disjoint");
+    }
+}
+
+#[test]
+fn dropout_with_local_predicate_only_considers_matching_rows() {
+    // If the drop-out archive's counterpart fails P's local predicate, it
+    // does not block the tuple.
+    let (_net, portal) = figure2_federation();
+    let sql = QuerySpec {
+        archives: vec![
+            ("O".into(), "objects".into(), "O".into(), false),
+            ("T".into(), "objects".into(), "T".into(), false),
+            ("P".into(), "objects".into(), "P".into(), true),
+        ],
+        threshold: 3.5,
+        area: None,
+        polygon: None,
+        // No P object has flux > 100, so the drop-out never fires.
+        predicates: vec!["P.i_flux > 100".into()],
+        select: vec![],
+    }
+    .to_sql();
+    let (result, _) = portal.submit(&sql).unwrap();
+    assert_eq!(
+        result.row_count(),
+        2,
+        "with the blocker filtered out, both bodies survive the drop-out"
+    );
+}

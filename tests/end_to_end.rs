@@ -1,0 +1,226 @@
+//! End-to-end federation tests: registration, the paper's sample query,
+//! execution traces, and plan ordering — the whole §5 pipeline over the
+//! simulated network.
+
+use skyquery_core::{FederationConfig, OrderingStrategy};
+use skyquery_sim::{paper_query, xmatch_query, FederationBuilder};
+use skyquery_storage::Value;
+
+#[test]
+fn paper_sample_query_end_to_end() {
+    let fed = FederationBuilder::paper_triple(800).build();
+    let (result, trace) = fed.portal.submit(&paper_query()).unwrap();
+    // Columns follow the SELECT list.
+    let names: Vec<&str> = result.columns.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["O.object_id", "O.ra", "T.object_id"]);
+    // FIRST detects ~15% of bodies and the flux clause is selective, so
+    // the result is a strict subset — but the setup guarantees some
+    // matches exist.
+    assert!(result.row_count() > 0, "expected some cross matches");
+    // The trace shows the Figure-3 progression.
+    let rendered = trace.render();
+    assert!(rendered.contains("submit"));
+    assert!(rendered.contains("performance quer"));
+    assert!(rendered.contains("plan"));
+    assert!(rendered.contains("cross match step"));
+    assert!(rendered.contains("relay"));
+}
+
+#[test]
+fn client_speaks_soap_to_portal() {
+    let fed = FederationBuilder::paper_triple(300).build();
+    let client = fed.client("astronomer.jhu.edu");
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        3.5,
+        Some((185.0, -0.5, 60.0)),
+    );
+    let (result, trace) = client.query(&sql).unwrap();
+    assert!(result.row_count() > 0);
+    assert!(!trace.is_empty());
+    // Client ↔ portal traffic is visible on the network.
+    let m = fed.net.metrics();
+    assert!(m.link("astronomer.jhu.edu", "portal.skyquery.net").messages > 0);
+}
+
+#[test]
+fn count_star_ordering_puts_smallest_archive_last() {
+    let fed = FederationBuilder::paper_triple(600).build();
+    let (_, trace) = fed
+        .portal
+        .submit(&xmatch_query(
+            &[
+                ("SDSS", "Photo_Object", "O"),
+                ("TWOMASS", "Photo_Primary", "T"),
+                ("FIRST", "Primary_Object", "P"),
+            ],
+            3.5,
+            None,
+        ))
+        .unwrap();
+    // SDSS detects ~95%, TWOMASS ~70%, FIRST ~15%: descending count
+    // order is O -> T -> P, so FIRST (smallest) seeds the chain.
+    let plan_line = trace
+        .events()
+        .iter()
+        .find(|e| e.action == "plan")
+        .expect("plan event")
+        .detail
+        .clone();
+    assert!(
+        plan_line.contains("O") && plan_line.ends_with(')'),
+        "plan line: {plan_line}"
+    );
+    let o_pos = plan_line.find("O(").expect("O in plan");
+    let t_pos = plan_line.find("T(").expect("T in plan");
+    let p_pos = plan_line.find("P(").expect("P in plan");
+    assert!(o_pos < t_pos && t_pos < p_pos, "plan order wrong: {plan_line}");
+}
+
+#[test]
+fn chain_vs_pull_to_portal_same_result() {
+    let fed = FederationBuilder::paper_triple(400).build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+        ],
+        3.5,
+        Some((185.0, -0.5, 45.0)),
+    );
+    let (chained, _) = fed.portal.submit(&sql).unwrap();
+    let pulled = fed.portal.submit_pull_to_portal(&sql).unwrap();
+    let key = |rs: &skyquery_core::ResultSet| {
+        let mut rows: Vec<(u64, u64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+            .collect();
+        rows.sort_unstable();
+        rows
+    };
+    assert_eq!(key(&chained), key(&pulled));
+    assert!(chained.row_count() > 0);
+}
+
+#[test]
+fn chain_transmits_fewer_bytes_than_pull() {
+    let fed = FederationBuilder::paper_triple(800).build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        3.5,
+        None,
+    );
+    fed.net.reset_metrics();
+    fed.portal.submit(&sql).unwrap();
+    let chained_bytes = fed.net.metrics().total().bytes;
+
+    fed.net.reset_metrics();
+    fed.portal.submit_pull_to_portal(&sql).unwrap();
+    let pulled_bytes = fed.net.metrics().total().bytes;
+
+    assert!(
+        chained_bytes < pulled_bytes,
+        "chained {chained_bytes} should beat pull-to-portal {pulled_bytes}"
+    );
+}
+
+#[test]
+fn ordering_strategies_agree_on_results() {
+    let fed = FederationBuilder::paper_triple(400).build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        3.5,
+        Some((185.0, -0.5, 45.0)),
+    );
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for ordering in [
+        OrderingStrategy::CountStarDescending,
+        OrderingStrategy::CountStarAscending,
+        OrderingStrategy::DeclarationOrder,
+        OrderingStrategy::Random(7),
+    ] {
+        fed.portal.set_config(FederationConfig {
+            ordering,
+            ..FederationConfig::default()
+        });
+        let (result, _) = fed.portal.submit(&sql).unwrap();
+        let mut rows = result.rows.clone();
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        match &reference {
+            None => reference = Some(rows),
+            Some(r) => assert_eq!(
+                &rows, r,
+                "§5.4: the XMATCH scheme is fully symmetric — order must not change results (ordering {ordering:?})"
+            ),
+        }
+    }
+}
+
+#[test]
+fn descending_order_transmits_least() {
+    let fed = FederationBuilder::paper_triple(800).build();
+    let sql = xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        3.5,
+        None,
+    );
+    let mut bytes = std::collections::HashMap::new();
+    for (name, ordering) in [
+        ("desc", OrderingStrategy::CountStarDescending),
+        ("asc", OrderingStrategy::CountStarAscending),
+    ] {
+        fed.portal.set_config(FederationConfig {
+            ordering,
+            ..FederationConfig::default()
+        });
+        fed.net.reset_metrics();
+        fed.portal.submit(&sql).unwrap();
+        bytes.insert(name, fed.net.metrics().total().bytes);
+    }
+    assert!(
+        bytes["desc"] < bytes["asc"],
+        "§5.3 claim: descending count order reduces transmission ({} vs {})",
+        bytes["desc"],
+        bytes["asc"]
+    );
+}
+
+#[test]
+fn unregistered_archive_is_a_planning_error() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    let err = fed
+        .portal
+        .submit(&xmatch_query(
+            &[("HUBBLE", "Objects", "H"), ("SDSS", "Photo_Object", "O")],
+            3.5,
+            None,
+        ))
+        .unwrap_err();
+    assert!(err.to_string().contains("not registered"), "{err}");
+}
+
+#[test]
+fn archive_can_leave_the_federation() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    assert!(fed.portal.unregister("FIRST"));
+    assert!(!fed.portal.unregister("FIRST"));
+    assert_eq!(fed.portal.archives().len(), 2);
+    let err = fed.portal.submit(&paper_query()).unwrap_err();
+    assert!(err.to_string().contains("not registered"));
+}

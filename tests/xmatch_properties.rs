@@ -1,0 +1,248 @@
+//! Property tests for the distributed cross-match: against randomized
+//! skies, the chained, pruned, HTM-backed evaluation must agree exactly
+//! with the exhaustive centralized oracle, and the likelihood math must
+//! respect its invariants.
+
+use proptest::prelude::*;
+use skyquery_core::baseline::naive_match;
+use skyquery_core::TupleState;
+use skyquery_core::{ArchiveInfo, FederationConfig, Portal, SkyNode};
+use skyquery_htm::{SkyPoint, Vec3};
+use skyquery_net::{SimNetwork, Url};
+use skyquery_storage::{Database, Value};
+
+const ARCSEC: f64 = 1.0 / 3600.0;
+
+/// Strategy: a cluster field — points scattered within a small window so
+/// matches actually occur.
+fn field(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (
+            (180.0f64..180.002), // ~7 arcsec window
+            (-0.001f64..0.001),
+        ),
+        0..n,
+    )
+}
+
+fn build_node(
+    net: &SimNetwork,
+    portal: &Portal,
+    name: &str,
+    sigma_arcsec: f64,
+    points: &[(f64, f64)],
+) {
+    let mut db = Database::new(name);
+    db.create_table(skyquery_sim::survey::primary_schema("objects", 14))
+        .unwrap();
+    for (i, &(ra, dec)) in points.iter().enumerate() {
+        db.insert(
+            "objects",
+            vec![
+                Value::Id(i as u64 + 1),
+                Value::Float(ra),
+                Value::Float(dec),
+                Value::Text("GALAXY".into()),
+                Value::Float(1.0),
+            ],
+        )
+        .unwrap();
+    }
+    let host = format!("{}.sky", name.to_lowercase());
+    SkyNode::start(
+        net,
+        host.clone(),
+        ArchiveInfo {
+            name: name.into(),
+            sigma_arcsec,
+            primary_table: "objects".into(),
+            htm_depth: 14,
+        },
+        db,
+    );
+    portal.register_node(&Url::new(host, "/soap")).unwrap();
+}
+
+fn to_vecs(points: &[(f64, f64)]) -> Vec<Vec3> {
+    points
+        .iter()
+        .map(|&(ra, dec)| SkyPoint::from_radec_deg(ra, dec).to_vec3())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_equals_oracle_two_archives(
+        a in field(25),
+        b in field(25),
+        sigma_a in 0.1f64..1.0,
+        sigma_b in 0.1f64..1.0,
+        threshold in 1.0f64..6.0,
+    ) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let net = SimNetwork::new();
+        let portal = Portal::start(&net, "portal", FederationConfig::default());
+        build_node(&net, &portal, "A", sigma_a, &a);
+        build_node(&net, &portal, "B", sigma_b, &b);
+        let sql = format!(
+            "SELECT A.object_id, B.object_id FROM A:objects A, B:objects B \
+             WHERE XMATCH(A, B) < {threshold:?}"
+        );
+        let (result, _) = portal.submit(&sql).unwrap();
+        let mut distributed: Vec<(u64, u64)> = result
+            .rows
+            .iter()
+            .map(|r| (r[0].as_id().unwrap(), r[1].as_id().unwrap()))
+            .collect();
+        distributed.sort_unstable();
+        let sigmas = [
+            (sigma_a * ARCSEC).to_radians(),
+            (sigma_b * ARCSEC).to_radians(),
+        ];
+        let mut oracle: Vec<(u64, u64)> =
+            naive_match(&[to_vecs(&a), to_vecs(&b)], &sigmas, threshold)
+                .into_iter()
+                .map(|idx| (idx[0] as u64 + 1, idx[1] as u64 + 1))
+                .collect();
+        oracle.sort_unstable();
+        prop_assert_eq!(distributed, oracle);
+    }
+
+    #[test]
+    fn distributed_equals_oracle_three_archives(
+        a in field(12),
+        b in field(12),
+        c in field(12),
+        threshold in 1.5f64..5.0,
+    ) {
+        prop_assume!(!a.is_empty() && !b.is_empty() && !c.is_empty());
+        let net = SimNetwork::new();
+        let portal = Portal::start(&net, "portal", FederationConfig::default());
+        build_node(&net, &portal, "A", 0.3, &a);
+        build_node(&net, &portal, "B", 0.5, &b);
+        build_node(&net, &portal, "C", 0.4, &c);
+        let sql = format!(
+            "SELECT A.object_id, B.object_id, C.object_id \
+             FROM A:objects A, B:objects B, C:objects C \
+             WHERE XMATCH(A, B, C) < {threshold:?}"
+        );
+        let (result, _) = portal.submit(&sql).unwrap();
+        let mut distributed: Vec<(u64, u64, u64)> = result
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_id().unwrap(),
+                    r[1].as_id().unwrap(),
+                    r[2].as_id().unwrap(),
+                )
+            })
+            .collect();
+        distributed.sort_unstable();
+        let sigmas = [
+            (0.3 * ARCSEC).to_radians(),
+            (0.5 * ARCSEC).to_radians(),
+            (0.4 * ARCSEC).to_radians(),
+        ];
+        let mut oracle: Vec<(u64, u64, u64)> =
+            naive_match(&[to_vecs(&a), to_vecs(&b), to_vecs(&c)], &sigmas, threshold)
+                .into_iter()
+                .map(|idx| (idx[0] as u64 + 1, idx[1] as u64 + 1, idx[2] as u64 + 1))
+                .collect();
+        oracle.sort_unstable();
+        prop_assert_eq!(distributed, oracle);
+    }
+
+    #[test]
+    fn dropout_complements_mandatory(
+        a in field(12),
+        b in field(12),
+        c in field(12),
+    ) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let net = SimNetwork::new();
+        let portal = Portal::start(&net, "portal", FederationConfig::default());
+        build_node(&net, &portal, "A", 0.3, &a);
+        build_node(&net, &portal, "B", 0.5, &b);
+        build_node(&net, &portal, "C", 0.4, &c);
+        let pairs = |sql: &str| -> Vec<(u64, u64)> {
+            let (r, _) = portal.submit(sql).unwrap();
+            let mut v: Vec<(u64, u64)> = r
+                .rows
+                .iter()
+                .map(|row| (row[0].as_id().unwrap(), row[1].as_id().unwrap()))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let base = pairs(
+            "SELECT A.object_id, B.object_id FROM A:objects A, B:objects B \
+             WHERE XMATCH(A, B) < 3.0",
+        );
+        let with_c = pairs(
+            "SELECT A.object_id, B.object_id FROM A:objects A, B:objects B, C:objects C \
+             WHERE XMATCH(A, B, C) < 3.0",
+        );
+        let without_c = pairs(
+            "SELECT A.object_id, B.object_id FROM A:objects A, B:objects B, C:objects C \
+             WHERE XMATCH(A, B, !C) < 3.0",
+        );
+        // Every pair that matches with some C plus every pair that matches
+        // with no C must cover the base pair set.
+        let mut union = with_c.clone();
+        union.extend(without_c.iter().copied());
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(union, base);
+        for p in &with_c {
+            prop_assert!(!without_c.contains(p));
+        }
+    }
+
+    #[test]
+    fn chi2_monotone_under_extension(
+        points in proptest::collection::vec(((180.0f64..180.001), (-0.0005f64..0.0005)), 2..6),
+        sigmas in proptest::collection::vec(0.1f64..1.0, 6),
+    ) {
+        let mut state: Option<TupleState> = None;
+        let mut prev = 0.0;
+        for (i, &(ra, dec)) in points.iter().enumerate() {
+            let p = SkyPoint::from_radec_deg(ra, dec).to_vec3();
+            let s = (sigmas[i % sigmas.len()] * ARCSEC).to_radians();
+            state = Some(match state {
+                None => TupleState::single(p, s),
+                Some(st) => st.extended(p, s),
+            });
+            let chi2 = state.unwrap().chi2_min();
+            // Allow the cancellation noise floor.
+            prop_assert!(chi2 + 1e-3 >= prev, "chi2 decreased: {prev} -> {chi2}");
+            prev = chi2;
+        }
+    }
+
+    #[test]
+    fn chi2_order_invariant(
+        points in proptest::collection::vec(((180.0f64..180.001), (-0.0005f64..0.0005)), 3..6),
+    ) {
+        let sigma = (0.4 * ARCSEC).to_radians();
+        let vecs: Vec<Vec3> = points
+            .iter()
+            .map(|&(ra, dec)| SkyPoint::from_radec_deg(ra, dec).to_vec3())
+            .collect();
+        let fwd = vecs
+            .iter()
+            .skip(1)
+            .fold(TupleState::single(vecs[0], sigma), |s, &p| s.extended(p, sigma));
+        let rev = vecs
+            .iter()
+            .rev()
+            .skip(1)
+            .fold(TupleState::single(*vecs.last().unwrap(), sigma), |s, &p| {
+                s.extended(p, sigma)
+            });
+        prop_assert!((fwd.chi2_min() - rev.chi2_min()).abs() < 1e-3);
+    }
+}
