@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the crossbeam API it uses: `thread::scope` with
+//! crossbeam's signature (the spawned closure receives the scope, and
+//! `scope` returns a `Result`), implemented on top of the standard
+//! library's `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape.
+
+    use std::any::Any;
+
+    /// A scope for spawning threads that may borrow from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope, runs `f` inside it, and joins any threads still
+    /// running when `f` returns. Unlike std's version this mirrors
+    /// crossbeam's `Result` return: `Err` only if a *non-joined* spawned
+    /// thread panicked — with std's scope underneath, such a panic
+    /// propagates instead, so in practice the result is always `Ok` and
+    /// callers' `.expect(..)` matches crossbeam's behaviour.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_borrows_and_joins() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -46,10 +46,7 @@ fn two_way(threshold: f64, residual: Option<&str>) -> String {
 
 fn print_tables() {
     println!("\n=== A1: archive HTM index depth ablation (2000 bodies) ===");
-    println!(
-        "{:<8} {:>12} {:>20}",
-        "depth", "matches", "row accesses"
-    );
+    println!("{:<8} {:>12} {:>20}", "depth", "matches", "row accesses");
     for depth in [8u8, 10, 12, 14, 16] {
         let fed = federation_with_depth(depth, 2000);
         // Row accesses charged to the node buffer caches during the

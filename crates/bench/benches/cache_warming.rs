@@ -33,8 +33,13 @@ fn print_tables() {
                     center.ra_deg + (k % 20) as f64 * 0.05 - 0.5,
                     center.dec_deg + (k / 20) as f64 * 0.05 - 0.25,
                 );
-                db.range_search(&table, c, (30.0 / 3600.0_f64).to_radians(), ScanOptions::default())
-                    .unwrap();
+                db.range_search(
+                    &table,
+                    c,
+                    (30.0 / 3600.0_f64).to_radians(),
+                    ScanOptions::default(),
+                )
+                .unwrap();
             }
         };
         let (cold, warm) = node.with_db(|db| {

@@ -77,9 +77,7 @@ fn bench(c: &mut Criterion) {
     let sql = query_with_flux_cut(0.0);
     let mut group = c.benchmark_group("e4_chain_vs_pull");
     group.sample_size(10);
-    group.bench_function("chained", |b| {
-        b.iter(|| fed.portal.submit(&sql).unwrap())
-    });
+    group.bench_function("chained", |b| b.iter(|| fed.portal.submit(&sql).unwrap()));
     group.bench_function("pull_to_portal", |b| {
         b.iter(|| fed.portal.submit_pull_to_portal(&sql).unwrap())
     });

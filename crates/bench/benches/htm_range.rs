@@ -50,7 +50,10 @@ fn print_tables() {
     println!("* rows touched by the cover (full + partial trixels)");
 
     println!("\n=== E6b: circle-cover size vs mesh depth (radius 10 arcmin) ===");
-    println!("{:<8} {:>12} {:>12} {:>12}", "depth", "ranges", "trixels", "full frac");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "depth", "ranges", "trixels", "full frac"
+    );
     for depth in [6u8, 8, 10, 12, 14] {
         let mesh = Mesh::new(depth);
         let cover = Cover::circle(&mesh, center, (10.0 / 60.0_f64).to_radians());

@@ -20,8 +20,7 @@ fn node_positions(fed: &skyquery_sim::TestFederation, archive: &str) -> Vec<Vec3
             .rows()
             .iter()
             .map(|r| {
-                SkyPoint::from_radec_deg(r[1].as_f64().unwrap(), r[2].as_f64().unwrap())
-                    .to_vec3()
+                SkyPoint::from_radec_deg(r[1].as_f64().unwrap(), r[2].as_f64().unwrap()).to_vec3()
             })
             .collect()
     })

@@ -154,10 +154,7 @@ fn print_table() {
     // Sanity: both paths are lossless.
     let rs = sample_result(200);
     assert_eq!(soap_roundtrip(&rs), rs);
-    assert_eq!(
-        binary::decode(&binary::encode(&rs), rs.columns.clone()),
-        rs
-    );
+    assert_eq!(binary::decode(&binary::encode(&rs), rs.columns.clone()), rs);
     println!("(XML inflates size ~2x here; the timed groups show the much larger CPU gap)\n");
 }
 

@@ -80,9 +80,7 @@ pub fn measure_bytes_pull(fed: &TestFederation, sql: &str) -> u64 {
 }
 
 /// A config preset with everything default but the given ordering.
-pub fn config_with_ordering(
-    ordering: skyquery_core::OrderingStrategy,
-) -> FederationConfig {
+pub fn config_with_ordering(ordering: skyquery_core::OrderingStrategy) -> FederationConfig {
     FederationConfig {
         ordering,
         ..FederationConfig::default()

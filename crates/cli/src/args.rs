@@ -8,6 +8,10 @@ pub struct Options {
     pub bodies: usize,
     /// Catalog RNG seed.
     pub seed: u64,
+    /// Cross-match worker threads per SkyNode (1 = sequential engine).
+    pub workers: usize,
+    /// Declination zone height in degrees for the parallel engine.
+    pub zone_height_deg: f64,
 }
 
 impl Default for Options {
@@ -15,6 +19,8 @@ impl Default for Options {
         Options {
             bodies: 2000,
             seed: 42,
+            workers: 1,
+            zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
         }
     }
 }
@@ -58,6 +64,24 @@ where
                     None => return Command::Help(Some("--seed needs a number".into())),
                 }
             }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => opts.workers = n,
+                    _ => return Command::Help(Some("--workers needs a number ≥ 1".into())),
+                }
+            }
+            "--zone-height" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(h) if h.is_finite() && h > 0.0 => opts.zone_height_deg = h,
+                    _ => {
+                        return Command::Help(Some(
+                            "--zone-height needs a positive number of degrees".into(),
+                        ))
+                    }
+                }
+            }
             "--help" | "-h" => return Command::Help(None),
             other if other.starts_with("--") => {
                 return Command::Help(Some(format!("unknown option {other}")))
@@ -96,8 +120,10 @@ COMMANDS:
     help             show this text
 
 OPTIONS:
-    --bodies <N>     synthetic bodies in the shared sky   [default: 2000]
-    --seed <N>       catalog RNG seed                     [default: 42]
+    --bodies <N>       synthetic bodies in the shared sky          [default: 2000]
+    --seed <N>         catalog RNG seed                            [default: 42]
+    --workers <N>      cross-match worker threads per SkyNode      [default: 1]
+    --zone-height <D>  declination zone height, degrees            [default: 0.1]
 "
 }
 
@@ -108,17 +134,32 @@ mod tests {
     #[test]
     fn defaults() {
         assert_eq!(parse_args(["demo"]), Command::Demo(Options::default()));
-        assert!(matches!(parse_args(Vec::<String>::new()), Command::Help(None)));
+        assert!(matches!(
+            parse_args(Vec::<String>::new()),
+            Command::Help(None)
+        ));
         assert!(matches!(parse_args(["help"]), Command::Help(None)));
         assert!(matches!(parse_args(["--help"]), Command::Help(None)));
     }
 
     #[test]
     fn options_parsed() {
-        match parse_args(["repl", "--bodies", "500", "--seed", "7"]) {
+        match parse_args([
+            "repl",
+            "--bodies",
+            "500",
+            "--seed",
+            "7",
+            "--workers",
+            "4",
+            "--zone-height",
+            "0.5",
+        ]) {
             Command::Repl(o) => {
                 assert_eq!(o.bodies, 500);
                 assert_eq!(o.seed, 7);
+                assert_eq!(o.workers, 4);
+                assert_eq!(o.zone_height_deg, 0.5);
             }
             other => panic!("{other:?}"),
         }
@@ -155,11 +196,27 @@ mod tests {
             parse_args(["launch"]),
             Command::Help(Some(msg)) if msg.contains("launch")
         ));
+        assert!(matches!(
+            parse_args(["--workers", "0", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--workers")
+        ));
+        assert!(matches!(
+            parse_args(["--zone-height", "-2", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--zone-height")
+        ));
     }
 
     #[test]
     fn usage_mentions_commands() {
-        for word in ["demo", "run", "repl", "--bodies", "--seed"] {
+        for word in [
+            "demo",
+            "run",
+            "repl",
+            "--bodies",
+            "--seed",
+            "--workers",
+            "--zone-height",
+        ] {
             assert!(usage().contains(word), "{word}");
         }
     }

@@ -25,6 +25,11 @@ impl Session {
                 seed: opts.seed,
                 ..CatalogParams::default()
             })
+            .config(FederationConfig {
+                xmatch_workers: opts.workers,
+                zone_height_deg: opts.zone_height_deg,
+                ..FederationConfig::default()
+            })
             .survey(skyquery_sim::SurveyParams::sdss_like())
             .survey(skyquery_sim::SurveyParams::twomass_like())
             .survey(skyquery_sim::SurveyParams::first_like())
@@ -112,11 +117,7 @@ impl Session {
             }
             Some("trace") => {
                 self.show_trace = !self.show_trace;
-                writeln!(
-                    out,
-                    "trace {}",
-                    if self.show_trace { "on" } else { "off" }
-                )?;
+                writeln!(out, "trace {}", if self.show_trace { "on" } else { "off" })?;
             }
             Some("rows") => match parts.next().and_then(|v| v.parse().ok()) {
                 Some(n) => {
@@ -238,6 +239,7 @@ mod tests {
         Session::new(&Options {
             bodies: 200,
             seed: 5,
+            ..Options::default()
         })
     }
 

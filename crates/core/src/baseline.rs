@@ -13,9 +13,7 @@
 use skyquery_htm::{SkyPoint, Vec3};
 use skyquery_soap::{RpcCall, SoapValue};
 use skyquery_sql::{decompose, parse_query};
-use skyquery_storage::{
-    BufferCache, ColumnDef, Database, DataType, PositionColumns, TableSchema,
-};
+use skyquery_storage::{BufferCache, ColumnDef, DataType, Database, PositionColumns, TableSchema};
 
 use crate::error::{FederationError, Result};
 use crate::plan::ExecutionPlan;
@@ -106,10 +104,7 @@ impl Portal {
                 ColumnDef::new("dec", DataType::Float),
             ];
             for c in select_cols.iter().skip(2) {
-                let dtype = schema
-                    .column(c)
-                    .map(|d| d.dtype)
-                    .unwrap_or(DataType::Float);
+                let dtype = schema.column(c).map(|d| d.dtype).unwrap_or(DataType::Float);
                 cols.push(ColumnDef::new(c.clone(), dtype).nullable());
             }
             let local_schema = TableSchema::new("pulled", cols)
@@ -144,6 +139,8 @@ impl Portal {
                 region: None,
                 local_predicate: None,
                 carried_columns: step.carried.clone(),
+                xmatch_workers: 1,
+                zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
             };
             let (set, _) = match (&current, step.dropout) {
                 (None, false) => seed_step(db, &cfg)?,
@@ -177,11 +174,7 @@ pub type MatchTuple = Vec<usize>;
 ///
 /// `archives[i]` lists unit-vector positions; `sigmas_rad[i]` is that
 /// archive's error. Returns index tuples with `χ²_min ≤ threshold²`.
-pub fn naive_match(
-    archives: &[Vec<Vec3>],
-    sigmas_rad: &[f64],
-    threshold: f64,
-) -> Vec<MatchTuple> {
+pub fn naive_match(archives: &[Vec<Vec3>], sigmas_rad: &[f64], threshold: f64) -> Vec<MatchTuple> {
     assert_eq!(archives.len(), sigmas_rad.len());
     let mut out = Vec::new();
     if archives.is_empty() || archives.iter().any(Vec::is_empty) {
@@ -237,10 +230,7 @@ impl Portal {
 impl ExecutionPlan {
     /// Total count-star estimate (diagnostics in benches).
     pub fn total_count_estimate(&self) -> u64 {
-        self.steps
-            .iter()
-            .filter_map(|s| s.count_estimate)
-            .sum()
+        self.steps.iter().filter_map(|s| s.count_estimate).sum()
     }
 }
 

@@ -46,10 +46,16 @@ impl Client {
         let mut trace = ExecutionTrace::new();
         if let Some(SoapValue::Xml(t)) = resp.get("trace") {
             for ev in t.children_named("Event") {
-                // Re-create events preserving the server's sequence.
+                // Re-create events preserving the server's sequence and
+                // its measured step durations.
                 let actor = ev.attr("actor").unwrap_or("?").to_string();
                 let action = ev.attr("action").unwrap_or("?").to_string();
-                trace.push(actor, action, ev.text.clone());
+                let elapsed = ev
+                    .attr("elapsed_us")
+                    .and_then(|v| v.parse().ok())
+                    .map(std::time::Duration::from_micros)
+                    .unwrap_or_default();
+                trace.push_with_elapsed(actor, action, ev.text.clone(), elapsed);
             }
         }
         Ok((result, trace))
@@ -60,7 +66,14 @@ impl Client {
     pub fn render_trace(events: &[TraceEvent]) -> String {
         let mut out = String::new();
         for e in events {
-            out.push_str(&format!("{:>2}. [{}] {}: {}\n", e.seq, e.actor, e.action, e.detail));
+            out.push_str(&format!(
+                "{:>2}. [{}] {}: {} (+{})\n",
+                e.seq,
+                e.actor,
+                e.action,
+                e.detail,
+                crate::trace::format_elapsed(e.elapsed)
+            ));
         }
         out
     }

@@ -71,11 +71,7 @@ impl Portal {
         })?;
         // Validate the query addresses the source archive (autonomy).
         let parsed = parse_query(select_sql).map_err(FederationError::Sql)?;
-        if parsed.from.len() != 1
-            || !parsed.from[0]
-                .archive
-                .eq_ignore_ascii_case(source_archive)
-        {
+        if parsed.from.len() != 1 || !parsed.from[0].archive.eq_ignore_ascii_case(source_archive) {
             return Err(FederationError::planning(format!(
                 "transfer query must select from exactly {source_archive}"
             )));
@@ -143,8 +139,7 @@ impl Portal {
 
         // Phase 2: commit (on any failure here, try to abort so staging
         // is not leaked, then surface the original error).
-        let commit =
-            RpcCall::new("CommitReceive").param("txn", SoapValue::Int(txn_id as i64));
+        let commit = RpcCall::new("CommitReceive").param("txn", SoapValue::Int(txn_id as i64));
         match send_rpc(&net, self.host(), &dest.url, &commit) {
             Ok(_) => Ok(TransferReport {
                 txn_id,
@@ -249,16 +244,16 @@ impl ExchangeState {
 
     /// Phase 2 commit: publish staged rows.
     pub fn commit(&mut self, db: &mut skyquery_storage::Database, txn: u64) -> Result<usize> {
-        let t = self.staged.remove(&txn).ok_or_else(|| {
-            FederationError::protocol(format!("unknown transaction {txn}"))
-        })?;
+        let t = self
+            .staged
+            .remove(&txn)
+            .ok_or_else(|| FederationError::protocol(format!("unknown transaction {txn}")))?;
         if !db.has_table(&t.dest_table) {
             let mut schema = t.schema.clone();
             schema.name = t.dest_table.clone();
             db.create_table(schema)?;
         }
-        let rows: Vec<skyquery_storage::Row> =
-            db.table(&t.staging_table)?.rows().to_vec();
+        let rows: Vec<skyquery_storage::Row> = db.table(&t.staging_table)?.rows().to_vec();
         let n = rows.len();
         for row in rows {
             db.insert(&t.dest_table, row)?;
@@ -269,9 +264,10 @@ impl ExchangeState {
 
     /// Phase 2 abort: drop staging.
     pub fn abort(&mut self, db: &mut skyquery_storage::Database, txn: u64) -> Result<()> {
-        let t = self.staged.remove(&txn).ok_or_else(|| {
-            FederationError::protocol(format!("unknown transaction {txn}"))
-        })?;
+        let t = self
+            .staged
+            .remove(&txn)
+            .ok_or_else(|| FederationError::protocol(format!("unknown transaction {txn}")))?;
         db.drop_table(&t.staging_table)?;
         Ok(())
     }
@@ -287,7 +283,7 @@ impl ExchangeState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skyquery_storage::{Database, DataType, Value};
+    use skyquery_storage::{DataType, Database, Value};
 
     fn rows() -> ResultSet {
         let mut rs = ResultSet::new(vec![
@@ -324,7 +320,13 @@ mod tests {
         let mut state = ExchangeState::new();
         let rs = rows();
         let n = state
-            .prepare(&mut db, 7, "imported", &schema_element(&rs, "imported"), &rs)
+            .prepare(
+                &mut db,
+                7,
+                "imported",
+                &schema_element(&rs, "imported"),
+                &rs,
+            )
             .unwrap();
         assert_eq!(n, 2);
         assert_eq!(state.pending(), vec![7]);
@@ -344,7 +346,13 @@ mod tests {
         let mut state = ExchangeState::new();
         let rs = rows();
         state
-            .prepare(&mut db, 9, "imported", &schema_element(&rs, "imported"), &rs)
+            .prepare(
+                &mut db,
+                9,
+                "imported",
+                &schema_element(&rs, "imported"),
+                &rs,
+            )
             .unwrap();
         state.abort(&mut db, 9).unwrap();
         assert!(!db.has_table("imported"));

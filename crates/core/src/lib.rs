@@ -11,6 +11,9 @@
 //!   Cross match services around one archive database (§5.1);
 //! * [`xmatch`] — the probabilistic cross-match algorithm and its
 //!   distributed, pruning evaluation (§5.4);
+//! * [`engine`] — pluggable cross-match execution engines (sequential
+//!   here; the zone-partitioned parallel engine lives in
+//!   `skyquery-zones`);
 //! * [`plan`] — the federated execution plan that daisy-chains between
 //!   SkyNodes (§5.3);
 //! * [`baseline`] — the strategies the paper argues against, for the
@@ -21,6 +24,7 @@
 
 pub mod baseline;
 pub mod client;
+pub mod engine;
 pub mod error;
 pub mod exchange;
 pub mod meta;
@@ -34,6 +38,7 @@ pub mod trace;
 pub mod xmatch;
 
 pub use client::Client;
+pub use engine::{CrossMatchEngine, SequentialEngine};
 pub use error::{FederationError, Result};
 pub use exchange::TransferReport;
 pub use meta::{ArchiveInfo, RegisteredNode};
@@ -43,4 +48,4 @@ pub use region::Region;
 pub use result::{ResultColumn, ResultSet};
 pub use skynode::SkyNode;
 pub use trace::{ExecutionTrace, TraceEvent};
-pub use xmatch::{PartialSet, PartialTuple, StepConfig, StepStats, TupleState};
+pub use xmatch::{PartialSet, PartialTuple, StepConfig, StepContext, StepStats, TupleState};

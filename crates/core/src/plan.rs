@@ -73,10 +73,29 @@ pub struct ExecutionPlan {
     /// (§6 workaround). With chunking off, an oversized partial result
     /// faults — the pre-workaround behaviour.
     pub chunking: bool,
+    /// Worker threads each node's cross-match engine may use per step.
+    /// 1 (the default) keeps the sequential path.
+    pub xmatch_workers: usize,
+    /// Declination zone height in degrees for the parallel zone engine.
+    pub zone_height_deg: f64,
 }
 
 /// Default parser limit: the ~10 MB the paper reports.
 pub const DEFAULT_MAX_MESSAGE_BYTES: usize = 10 * 1024 * 1024;
+
+/// Default declination zone height for the parallel zone engine, degrees.
+/// Candidate search radii are arcsecond-scale, so even a 0.1° zone dwarfs
+/// the overlap margin while still slicing a survey cap into enough zones
+/// to keep a worker pool busy.
+pub const DEFAULT_ZONE_HEIGHT_DEG: f64 = 0.1;
+
+/// Upper bound on plan length a node will accept. Each step is one
+/// archive in the daisy chain, and every hop nests a synchronous call
+/// frame, so an attacker-controlled step count is an attacker-controlled
+/// recursion depth: decoding rejects absurd plans outright. Real
+/// federations join a handful of archives; 64 is far beyond any query
+/// the dialect can express while keeping the chain's stack depth sane.
+pub const MAX_PLAN_STEPS: usize = 64;
 
 impl ExecutionPlan {
     /// Index of the seed step (the first to execute).
@@ -103,6 +122,8 @@ impl ExecutionPlan {
             region: self.region.clone(),
             local_predicate,
             carried_columns: step.carried.clone(),
+            xmatch_workers: self.xmatch_workers,
+            zone_height_deg: self.zone_height_deg,
         })
     }
 
@@ -123,7 +144,9 @@ impl ExecutionPlan {
         let mut plan = Element::new("Plan")
             .with_attr("threshold", format!("{:?}", self.threshold))
             .with_attr("max_message_bytes", self.max_message_bytes.to_string())
-            .with_attr("chunking", self.chunking.to_string());
+            .with_attr("chunking", self.chunking.to_string())
+            .with_attr("xmatch_workers", self.xmatch_workers.to_string())
+            .with_attr("zone_height_deg", format!("{:?}", self.zone_height_deg));
         if let Some(r) = &self.region {
             plan = plan.with_child(r.to_element());
         }
@@ -220,10 +243,7 @@ impl ExecutionPlan {
                 sigma_arcsec: attr("sigma_arcsec")?
                     .parse()
                     .map_err(|_| FederationError::protocol("bad sigma_arcsec"))?,
-                local_sql: se
-                    .children_named("Local")
-                    .next()
-                    .map(|l| l.text.clone()),
+                local_sql: se.children_named("Local").next().map(|l| l.text.clone()),
                 carried: se.children_named("Carry").map(|c| c.text.clone()).collect(),
                 residual_sql: se
                     .children_named("Residual")
@@ -234,6 +254,12 @@ impl ExecutionPlan {
         }
         if steps.is_empty() {
             return Err(FederationError::protocol("Plan has no steps"));
+        }
+        if steps.len() > MAX_PLAN_STEPS {
+            return Err(FederationError::protocol(format!(
+                "plan has {} steps, more than the {MAX_PLAN_STEPS} this node accepts",
+                steps.len()
+            )));
         }
         let (order_by, limit) = match e.children_named("OrderLimit").next() {
             Some(ol) => (
@@ -265,6 +291,18 @@ impl ExecutionPlan {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(DEFAULT_MAX_MESSAGE_BYTES),
             chunking: e.attr("chunking").map(|v| v == "true").unwrap_or(true),
+            // Plans from older peers omit the zone-engine knobs; absent
+            // (or degenerate) values fall back to the sequential path.
+            xmatch_workers: e
+                .attr("xmatch_workers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1)
+                .max(1),
+            zone_height_deg: e
+                .attr("zone_height_deg")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|h| h.is_finite() && *h > 0.0)
+                .unwrap_or(DEFAULT_ZONE_HEIGHT_DEG),
         })
     }
 }
@@ -326,6 +364,8 @@ mod tests {
             limit: Some(100),
             max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
             chunking: true,
+            xmatch_workers: 4,
+            zone_height_deg: 0.25,
         }
     }
 
@@ -372,6 +412,40 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(p.residuals(2).unwrap().is_empty());
         assert!(p.residuals(7).is_err());
+    }
+
+    #[test]
+    fn zone_knobs_roundtrip_and_reach_step_config() {
+        let p = demo_plan();
+        let back = ExecutionPlan::from_element(&p.to_element()).unwrap();
+        assert_eq!(back.xmatch_workers, 4);
+        assert!((back.zone_height_deg - 0.25).abs() < 1e-12);
+        let cfg = back.step_config(1).unwrap();
+        assert_eq!(cfg.xmatch_workers, 4);
+        assert!((cfg.zone_height_deg - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_plans_default_to_sequential() {
+        // A plan element written before the zone knobs existed.
+        let strip = |el: &mut Element| {
+            el.attributes
+                .retain(|(k, _)| k != "xmatch_workers" && k != "zone_height_deg");
+        };
+        let mut el = demo_plan().to_element();
+        strip(&mut el);
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.xmatch_workers, 1);
+        assert!((p.zone_height_deg - DEFAULT_ZONE_HEIGHT_DEG).abs() < 1e-12);
+        // Degenerate values are rejected in favour of safe defaults.
+        let mut el = demo_plan().to_element();
+        strip(&mut el);
+        let el = el
+            .with_attr("xmatch_workers", "0")
+            .with_attr("zone_height_deg", "-3.0");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.xmatch_workers, 1);
+        assert!(p.zone_height_deg > 0.0);
     }
 
     #[test]

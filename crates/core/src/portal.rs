@@ -13,7 +13,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use skyquery_net::{Endpoint, HttpRequest, HttpResponse, ServiceRecord, ServiceRegistry, SimNetwork, Url};
+use skyquery_net::{
+    Endpoint, HttpRequest, HttpResponse, ServiceRecord, ServiceRegistry, SimNetwork, Url,
+};
 use skyquery_soap::{RpcCall, RpcResponse, SoapValue};
 use skyquery_sql::{decompose, parse_query, DecomposedQuery, Expr};
 use skyquery_storage::{DataType, Value};
@@ -53,6 +55,12 @@ pub struct FederationConfig {
     /// Issue performance queries concurrently (the paper sends them as
     /// asynchronous SOAP messages).
     pub parallel_performance_queries: bool,
+    /// Worker threads each SkyNode may use for a cross-match step. `1`
+    /// preserves the sequential engine; larger values enable the
+    /// zone-partitioned parallel engine where one is installed.
+    pub xmatch_workers: usize,
+    /// Declination height (degrees) of each zone in the parallel engine.
+    pub zone_height_deg: f64,
 }
 
 impl Default for FederationConfig {
@@ -62,6 +70,8 @@ impl Default for FederationConfig {
             chunking: true,
             ordering: OrderingStrategy::CountStarDescending,
             parallel_performance_queries: true,
+            xmatch_workers: 1,
+            zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
         }
     }
 }
@@ -79,7 +89,11 @@ pub struct Portal {
 
 impl Portal {
     /// Creates a Portal and binds it to `host` on the network.
-    pub fn start(net: &SimNetwork, host: impl Into<String>, config: FederationConfig) -> Arc<Portal> {
+    pub fn start(
+        net: &SimNetwork,
+        host: impl Into<String>,
+        config: FederationConfig,
+    ) -> Arc<Portal> {
         let host = host.into();
         let registry = ServiceRegistry::new();
         registry.register(ServiceRecord {
@@ -135,7 +149,10 @@ impl Portal {
 
     /// The catalog entry for an archive.
     pub fn node(&self, archive: &str) -> Option<RegisteredNode> {
-        self.nodes.lock().get(&archive.to_ascii_uppercase()).cloned()
+        self.nodes
+            .lock()
+            .get(&archive.to_ascii_uppercase())
+            .cloned()
     }
 
     /// Registers the SkyNode at `url`: calls its Meta-data and Information
@@ -306,8 +323,7 @@ impl Portal {
         );
 
         // Steps 6–7: fire the daisy chain.
-        let (set, stats) =
-            invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0)?;
+        let (set, stats) = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0)?;
         for (alias, s) in &stats.entries {
             trace.push(
                 alias.clone(),
@@ -372,7 +388,10 @@ impl Portal {
                     .iter()
                     .map(|(alias, sql, url)| scope.spawn(move |_| run_one(alias, sql, url)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .collect()
             })
             .expect("scope does not panic");
             for r in results {
@@ -382,11 +401,7 @@ impl Portal {
         } else {
             for (alias, sql, url) in &jobs {
                 let (a, c) = run_one(alias, sql, url)?;
-                trace.push(
-                    "Portal",
-                    "performance query",
-                    format!("{sql} -> {c} [{a}]"),
-                );
+                trace.push("Portal", "performance query", format!("{sql} -> {c} [{a}]"));
                 out.insert(a, c);
             }
         }
@@ -440,12 +455,8 @@ impl Portal {
             }
         }
 
-        let ordered_aliases: Vec<&str> = dq
-            .xmatch
-            .dropouts()
-            .into_iter()
-            .chain(mandatory)
-            .collect();
+        let ordered_aliases: Vec<&str> =
+            dq.xmatch.dropouts().into_iter().chain(mandatory).collect();
 
         let mut steps = Vec::with_capacity(ordered_aliases.len());
         for alias in &ordered_aliases {
@@ -538,6 +549,8 @@ impl Portal {
             limit: dq.query.limit,
             max_message_bytes: config.max_message_bytes,
             chunking: config.chunking,
+            xmatch_workers: config.xmatch_workers.max(1),
+            zone_height_deg: config.zone_height_deg,
         })
     }
 }
@@ -663,11 +676,7 @@ fn project(plan: &ExecutionPlan, mut set: PartialSet) -> Result<ResultSet> {
                     .map(|c| c.dtype),
                 _ => None,
             }
-            .or_else(|| {
-                rows.iter()
-                    .filter_map(|r| r[i].data_type())
-                    .next()
-            })
+            .or_else(|| rows.iter().filter_map(|r| r[i].data_type()).next())
             .unwrap_or(DataType::Float);
             ResultColumn::new(name.clone(), dtype)
         })
@@ -711,8 +720,7 @@ impl Endpoint for Portal {
                         .ok_or_else(|| FederationError::protocol("url must be a string"))?;
                     let url = Url::parse(url_str).map_err(FederationError::Net)?;
                     let info = self.register_node(&url)?;
-                    Ok(RpcResponse::new("Register")
-                        .result("archive", SoapValue::Str(info.name)))
+                    Ok(RpcResponse::new("Register").result("archive", SoapValue::Str(info.name)))
                 }),
             // The SkyQuery service: accepts the user query from a Client.
             "SkyQuery" => call
@@ -730,6 +738,7 @@ impl Endpoint for Portal {
                                 .with_attr("seq", e.seq.to_string())
                                 .with_attr("actor", e.actor.clone())
                                 .with_attr("action", e.action.clone())
+                                .with_attr("elapsed_us", e.elapsed.as_micros().to_string())
                                 .with_text(e.detail.clone()),
                         );
                     }

@@ -97,8 +97,7 @@ pub fn execute_local(
         }
         None => match indexed_equality(db, &table, &alias, &predicates) {
             Some((column, value)) => {
-                let mut ids =
-                    db.lookup_eq(&table, &column, &value, ScanOptions::default())?;
+                let mut ids = db.lookup_eq(&table, &column, &value, ScanOptions::default())?;
                 ids.sort_unstable();
                 ids
             }
@@ -175,14 +174,16 @@ pub fn execute_local(
         // Plain column references keep their declared type; computed
         // expressions are typed FLOAT (the dialect's arithmetic domain).
         let dtype = match expr {
-            Expr::Column { column, .. } => schema
-                .column(column)
-                .ok_or_else(|| {
-                    FederationError::protocol(format!(
-                        "unknown column {column} in table {table}"
-                    ))
-                })?
-                .dtype,
+            Expr::Column { column, .. } => {
+                schema
+                    .column(column)
+                    .ok_or_else(|| {
+                        FederationError::protocol(format!(
+                            "unknown column {column} in table {table}"
+                        ))
+                    })?
+                    .dtype
+            }
             _ => skyquery_storage::DataType::Float,
         };
         columns.push(ResultColumn::new(name.clone(), dtype));
@@ -322,7 +323,11 @@ fn aggregate_rows(
             .group_by
             .iter()
             .map(|g| {
-                let b = RowBindings { alias, schema, row: &row };
+                let b = RowBindings {
+                    alias,
+                    schema,
+                    row: &row,
+                };
                 g.eval(&b).map_err(FederationError::Sql)
             })
             .collect::<Result<_>>()?;
@@ -344,8 +349,13 @@ fn aggregate_rows(
     for item in &query.select {
         let (name, dtype) = match item {
             SelectItem::CountStar => ("count(*)".to_string(), skyquery_storage::DataType::Int),
-            SelectItem::Aggregate { func, arg, alias: out } => (
-                out.clone().unwrap_or_else(|| format!("{}({arg})", func.name())),
+            SelectItem::Aggregate {
+                func,
+                arg,
+                alias: out,
+            } => (
+                out.clone()
+                    .unwrap_or_else(|| format!("{}({arg})", func.name())),
                 match func {
                     AggFunc::Count => skyquery_storage::DataType::Int,
                     AggFunc::Min | AggFunc::Max => match arg {
@@ -432,7 +442,11 @@ fn eval_aggregate(
     let mut values: Vec<Value> = Vec::with_capacity(rids.len());
     for &rid in rids {
         let row = db.table(table)?.row(rid).expect("row exists").clone();
-        let b = RowBindings { alias, schema, row: &row };
+        let b = RowBindings {
+            alias,
+            schema,
+            row: &row,
+        };
         let v = arg.eval(&b).map_err(FederationError::Sql)?;
         if !v.is_null() {
             values.push(v);
@@ -579,10 +593,8 @@ mod tests {
     #[test]
     fn xmatch_refused_locally() {
         let mut db = db();
-        let q = parse_query(
-            "SELECT O.object_id FROM SDSS:Photo_Object O WHERE XMATCH(O, T) < 3.5",
-        )
-        .unwrap();
+        let q = parse_query("SELECT O.object_id FROM SDSS:Photo_Object O WHERE XMATCH(O, T) < 3.5")
+            .unwrap();
         assert!(execute_local(&mut db, "SDSS", &q).is_err());
     }
 

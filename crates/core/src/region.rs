@@ -101,7 +101,10 @@ impl Region {
                 .with_attr("kind", "circle")
                 .with_attr("ra", format!("{:?}", center.ra_deg))
                 .with_attr("dec", format!("{:?}", center.dec_deg))
-                .with_attr("radius_arcmin", format!("{:?}", radius_rad.to_degrees() * 60.0)),
+                .with_attr(
+                    "radius_arcmin",
+                    format!("{:?}", radius_rad.to_degrees() * 60.0),
+                ),
             Region::Polygon(p) => {
                 let mut e = Element::new("Region").with_attr("kind", "polygon");
                 for v in p.vertices() {
@@ -224,8 +227,14 @@ mod tests {
         let back = Region::from_element(&r.to_element()).unwrap();
         match (&r, &back) {
             (
-                Region::Circle { center: c1, radius_rad: r1 },
-                Region::Circle { center: c2, radius_rad: r2 },
+                Region::Circle {
+                    center: c1,
+                    radius_rad: r1,
+                },
+                Region::Circle {
+                    center: c2,
+                    radius_rad: r2,
+                },
             ) => {
                 assert!(c1.separation(*c2) < 1e-12);
                 assert!((r1 - r2).abs() < 1e-15);

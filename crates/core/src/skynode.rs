@@ -27,13 +27,14 @@ use skyquery_sql::parse_query;
 use skyquery_storage::Database;
 use skyquery_xml::VoTable;
 
+use crate::engine::{default_engine, CrossMatchEngine};
 use crate::error::{FederationError, Result};
 use crate::exchange::ExchangeState;
 use crate::meta::{catalog_to_element, ArchiveInfo};
 use crate::plan::ExecutionPlan;
 use crate::query_exec::{execute_local, LocalQueryResult};
 use crate::trace::StatsChain;
-use crate::xmatch::{dropout_step, match_step, seed_step, PartialSet};
+use crate::xmatch::PartialSet;
 
 /// A SkyNode wrapping one archive database.
 pub struct SkyNode {
@@ -45,6 +46,8 @@ pub struct SkyNode {
     next_transfer: AtomicU64,
     /// Two-phase-commit staging for the data-exchange extension.
     exchange: Mutex<ExchangeState>,
+    /// Strategy executing the cross-match stored-procedure steps.
+    engine: Arc<dyn CrossMatchEngine>,
 }
 
 impl SkyNode {
@@ -55,6 +58,18 @@ impl SkyNode {
         info: ArchiveInfo,
         db: Database,
     ) -> Arc<SkyNode> {
+        SkyNode::start_with_engine(net, host, info, db, default_engine())
+    }
+
+    /// Like [`SkyNode::start`], but with an explicit cross-match engine
+    /// (e.g. the zone-partitioned parallel engine).
+    pub fn start_with_engine(
+        net: &SimNetwork,
+        host: impl Into<String>,
+        info: ArchiveInfo,
+        db: Database,
+        engine: Arc<dyn CrossMatchEngine>,
+    ) -> Arc<SkyNode> {
         let host = host.into();
         let node = Arc::new(SkyNode {
             info,
@@ -63,9 +78,15 @@ impl SkyNode {
             pending: Mutex::new(HashMap::new()),
             next_transfer: AtomicU64::new(1),
             exchange: Mutex::new(ExchangeState::new()),
+            engine,
         });
         net.bind(host, node.clone());
         node
+    }
+
+    /// The installed cross-match engine's name.
+    pub fn engine_name(&self) -> &str {
+        self.engine.name()
     }
 
     /// The archive's survey constants.
@@ -151,8 +172,9 @@ impl SkyNode {
                 let query = parse_query(&sql).map_err(FederationError::Sql)?;
                 let mut db = self.db.lock();
                 match execute_local(&mut db, &self.info.name, &query)? {
-                    LocalQueryResult::Count(n) => Ok(RpcResponse::new("Query")
-                        .result("count", SoapValue::Int(n as i64))),
+                    LocalQueryResult::Count(n) => {
+                        Ok(RpcResponse::new("Query").result("count", SoapValue::Int(n as i64)))
+                    }
                     LocalQueryResult::Rows(rs) => Ok(RpcResponse::new("Query")
                         .result("rows", SoapValue::Table(rs.to_votable("rows")))),
                 }
@@ -237,8 +259,7 @@ impl SkyNode {
             (None, StatsChain::new())
         } else {
             let next_url = plan.steps[step + 1].url.clone();
-            let (set, chain) =
-                invoke_cross_match(net, &self.host, &next_url, &plan, step + 1)?;
+            let (set, chain) = invoke_cross_match(net, &self.host, &next_url, &plan, step + 1)?;
             (Some(set), chain)
         };
 
@@ -246,9 +267,9 @@ impl SkyNode {
         let cfg = plan.step_config(step)?;
         let mut db = self.db.lock();
         let (mut set, stats) = match (&incoming, plan.steps[step].dropout) {
-            (None, false) => seed_step(&mut db, &cfg)?,
-            (Some(inc), false) => match_step(&mut db, &cfg, inc)?,
-            (Some(inc), true) => dropout_step(&mut db, &cfg, inc)?,
+            (None, false) => self.engine.seed(&mut db, &cfg)?,
+            (Some(inc), false) => self.engine.match_tuples(&mut db, &cfg, inc)?,
+            (Some(inc), true) => self.engine.dropout(&mut db, &cfg, inc)?,
             (None, true) => {
                 return Err(FederationError::protocol(
                     "a drop-out archive cannot be the seed of the chain",
@@ -316,9 +337,9 @@ impl SkyNode {
             .ok_or_else(|| FederationError::protocol("index must be an integer"))?
             as usize;
         let mut pending = self.pending.lock();
-        let chunks = pending.get(&transfer_id).ok_or_else(|| {
-            FederationError::protocol(format!("unknown transfer {transfer_id}"))
-        })?;
+        let chunks = pending
+            .get(&transfer_id)
+            .ok_or_else(|| FederationError::protocol(format!("unknown transfer {transfer_id}")))?;
         let (header, table) = chunks
             .get(index)
             .cloned()
@@ -447,7 +468,9 @@ pub fn send_rpc(
     call: &RpcCall,
 ) -> Result<RpcResponse> {
     let req = HttpRequest::soap_post(url.path.clone(), &call.soap_action(), call.to_xml());
-    let resp = net.send(from_host, url, req).map_err(FederationError::Net)?;
+    let resp = net
+        .send(from_host, url, req)
+        .map_err(FederationError::Net)?;
     let body = std::str::from_utf8(&resp.body)
         .map_err(|_| FederationError::protocol("response body is not UTF-8"))?;
     match RpcResponse::parse(body).map_err(FederationError::Soap)? {

@@ -1,6 +1,8 @@
 //! Execution traces: the observable record of Figure 3's steps, plus the
 //! per-node statistics chain that rides back with the partial results.
 
+use std::time::{Duration, Instant};
+
 use skyquery_xml::Element;
 
 use crate::error::{FederationError, Result};
@@ -17,27 +19,73 @@ pub struct TraceEvent {
     pub action: String,
     /// Free-form detail text.
     pub detail: String,
+    /// Wall-clock time spent since the previous event was recorded (for
+    /// the first event, since the trace was created): the duration of the
+    /// step this event concludes.
+    pub elapsed: Duration,
 }
 
 /// An append-only trace of a query execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecutionTrace {
     events: Vec<TraceEvent>,
+    /// When the previous event was recorded (trace creation initially).
+    last: Instant,
 }
 
+impl Default for ExecutionTrace {
+    fn default() -> ExecutionTrace {
+        ExecutionTrace::new()
+    }
+}
+
+/// Traces compare by recorded events; the internal clock is excluded.
+impl PartialEq for ExecutionTrace {
+    fn eq(&self, other: &ExecutionTrace) -> bool {
+        self.events == other.events
+    }
+}
+
+impl Eq for ExecutionTrace {}
+
 impl ExecutionTrace {
-    /// An empty trace.
+    /// An empty trace whose clock starts now.
     pub fn new() -> ExecutionTrace {
-        ExecutionTrace::default()
+        ExecutionTrace {
+            events: Vec::new(),
+            last: Instant::now(),
+        }
     }
 
-    /// Appends an event, assigning the next sequence number.
-    pub fn push(&mut self, actor: impl Into<String>, action: impl Into<String>, detail: impl Into<String>) {
+    /// Appends an event, assigning the next sequence number and measuring
+    /// the wall-clock time since the previous event.
+    pub fn push(
+        &mut self,
+        actor: impl Into<String>,
+        action: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last);
+        self.last = now;
+        self.push_with_elapsed(actor, action, detail, elapsed);
+    }
+
+    /// Appends an event with an externally measured duration (used when
+    /// reconstructing a server-side trace from the wire).
+    pub fn push_with_elapsed(
+        &mut self,
+        actor: impl Into<String>,
+        action: impl Into<String>,
+        detail: impl Into<String>,
+        elapsed: Duration,
+    ) {
         self.events.push(TraceEvent {
             seq: self.events.len() + 1,
             actor: actor.into(),
             action: action.into(),
             detail: detail.into(),
+            elapsed,
         });
     }
 
@@ -56,16 +104,37 @@ impl ExecutionTrace {
         self.events.is_empty()
     }
 
+    /// Total wall-clock time across all recorded events.
+    pub fn total_elapsed(&self) -> Duration {
+        self.events.iter().map(|e| e.elapsed).sum()
+    }
+
     /// Renders the trace as numbered lines (the Figure-3 view).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
             out.push_str(&format!(
-                "Step {:>2}  [{:^10}] {}: {}\n",
-                e.seq, e.actor, e.action, e.detail
+                "Step {:>2}  [{:^10}] {}: {}  (+{})\n",
+                e.seq,
+                e.actor,
+                e.action,
+                e.detail,
+                format_elapsed(e.elapsed)
             ));
         }
         out
+    }
+}
+
+/// Human-readable duration with microsecond floor, for trace rendering.
+pub fn format_elapsed(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
     }
 }
 
@@ -148,6 +217,32 @@ mod tests {
         let text = t.render();
         assert!(text.contains("Step  1"));
         assert!(text.contains("Portal"));
+    }
+
+    #[test]
+    fn events_record_wall_clock_durations() {
+        let mut t = ExecutionTrace::new();
+        std::thread::sleep(Duration::from_millis(2));
+        t.push("Portal", "plan", "built");
+        std::thread::sleep(Duration::from_millis(2));
+        t.push("SDSS", "match", "done");
+        assert!(t.events()[0].elapsed >= Duration::from_millis(1));
+        assert!(t.events()[1].elapsed >= Duration::from_millis(1));
+        assert_eq!(
+            t.total_elapsed(),
+            t.events()[0].elapsed + t.events()[1].elapsed
+        );
+        assert!(t.render().contains("(+"));
+    }
+
+    #[test]
+    fn explicit_durations_preserved() {
+        let mut t = ExecutionTrace::new();
+        t.push_with_elapsed("Portal", "plan", "built", Duration::from_micros(1500));
+        assert_eq!(t.events()[0].elapsed, Duration::from_micros(1500));
+        assert_eq!(format_elapsed(Duration::from_micros(1500)), "1.5ms");
+        assert_eq!(format_elapsed(Duration::from_micros(999)), "999µs");
+        assert_eq!(format_elapsed(Duration::from_secs(2)), "2.00s");
     }
 
     #[test]

@@ -27,7 +27,8 @@
 use skyquery_htm::{SkyPoint, Vec3};
 use skyquery_sql::{Bindings, Expr, RowBindings, SqlError};
 use skyquery_storage::{
-    ColumnDef, DataType, Database, PositionColumns, Row, ScanOptions, TableSchema, Value,
+    ColumnDef, DataType, Database, PositionColumns, RangeSearchHit, Row, ScanOptions, Table,
+    TableSchema, Value,
 };
 use skyquery_xml::VoTable;
 
@@ -234,6 +235,11 @@ pub struct StepConfig {
     pub local_predicate: Option<Expr>,
     /// Columns of this archive to append to surviving tuples.
     pub carried_columns: Vec<String>,
+    /// Worker threads this node's cross-match engine may use for the step
+    /// (1 = the sequential path).
+    pub xmatch_workers: usize,
+    /// Declination zone height in degrees for the parallel zone engine.
+    pub zone_height_deg: f64,
 }
 
 /// Evaluation statistics for one step (feeds the Figure-3 trace and the
@@ -248,14 +254,58 @@ pub struct StepStats {
     pub tuples_out: usize,
 }
 
+/// Precomputed per-step lookup state shared by the sequential step
+/// functions and the parallel zone engine: the step table's schema, its
+/// position column indexes, and the qualified columns the step appends.
+/// Building it once lets the per-tuple kernels run against plain `&Table`
+/// references, so zone workers never touch the database mutably.
+#[derive(Debug, Clone)]
+pub struct StepContext {
+    /// The step table's schema (cloned out of the database).
+    pub schema: TableSchema,
+    /// Column index of the table's right-ascension column.
+    pub ra_ci: usize,
+    /// Column index of the table's declination column.
+    pub dec_ci: usize,
+    /// Qualified result columns (`alias.column`) this step appends.
+    pub appended: Vec<ResultColumn>,
+}
+
+impl StepContext {
+    /// Resolves the context for one step against the archive database.
+    pub fn new(db: &Database, cfg: &StepConfig) -> Result<StepContext> {
+        let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
+        let schema = db.schema(&cfg.table)?.clone();
+        let appended = carried_result_columns(cfg, &schema)?;
+        Ok(StepContext {
+            schema,
+            ra_ci,
+            dec_ci,
+            appended,
+        })
+    }
+}
+
+/// The candidate search ball for extending one partial tuple: its
+/// maximum-likelihood center and the conservative pruning radius. `None`
+/// for a degenerate state with no defined best position — such tuples
+/// cannot be extended and silently leave the chain (in both the match and
+/// the drop-out step).
+pub fn probe_ball(state: &TupleState, cfg: &StepConfig) -> Option<(SkyPoint, f64)> {
+    let best = state.best_position()?;
+    Some((
+        SkyPoint::from_vec3(best),
+        state.search_radius(cfg.threshold, cfg.sigma_rad),
+    ))
+}
+
 fn position_columns(db: &Database, table: &str) -> Result<(PositionColumns, usize, usize)> {
     let schema = db.schema(table)?;
-    let pos = schema
-        .position
-        .clone()
-        .ok_or_else(|| FederationError::Storage(skyquery_storage::StorageError::NoPositionIndex {
+    let pos = schema.position.clone().ok_or_else(|| {
+        FederationError::Storage(skyquery_storage::StorageError::NoPositionIndex {
             table: table.to_string(),
-        }))?;
+        })
+    })?;
     let ra_ci = schema.column_index(&pos.ra).unwrap();
     let dec_ci = schema.column_index(&pos.dec).unwrap();
     Ok((pos, ra_ci, dec_ci))
@@ -276,10 +326,7 @@ fn row_passes(
     }
 }
 
-fn carried_result_columns(
-    cfg: &StepConfig,
-    schema: &TableSchema,
-) -> Result<Vec<ResultColumn>> {
+fn carried_result_columns(cfg: &StepConfig, schema: &TableSchema) -> Result<Vec<ResultColumn>> {
     cfg.carried_columns
         .iter()
         .map(|c| {
@@ -289,10 +336,7 @@ fn carried_result_columns(
                     cfg.alias, cfg.table
                 ))
             })?;
-            Ok(ResultColumn::new(
-                format!("{}.{}", cfg.alias, c),
-                def.dtype,
-            ))
+            Ok(ResultColumn::new(format!("{}.{}", cfg.alias, c), def.dtype))
         })
         .collect()
 }
@@ -342,6 +386,78 @@ pub fn seed_step(db: &mut Database, cfg: &StepConfig) -> Result<(PartialSet, Ste
     Ok((out, stats))
 }
 
+/// Filters one candidate row through the step's region and local
+/// predicate, returning its observation position when it qualifies. The
+/// order of checks (region, then predicate) is shared by the match and
+/// drop-out kernels.
+fn qualify_hit(cfg: &StepConfig, ctx: &StepContext, row: &Row) -> Result<Option<Vec3>> {
+    let ra = row[ctx.ra_ci].as_f64().expect("position column");
+    let dec = row[ctx.dec_ci].as_f64().expect("position column");
+    // The spatial range applies to every archive's objects.
+    if let Some(region) = &cfg.region {
+        if !region.contains(SkyPoint::from_radec_deg(ra, dec)) {
+            return Ok(None);
+        }
+    }
+    if !row_passes(cfg, &ctx.schema, row).map_err(FederationError::Sql)? {
+        return Ok(None);
+    }
+    Ok(Some(SkyPoint::from_radec_deg(ra, dec).to_vec3()))
+}
+
+/// Match kernel for one partial tuple: evaluates every candidate hit (in
+/// the hits' row-id order) and appends the surviving extensions to `out`.
+/// Runs against a read-only table reference so zone workers can share the
+/// archive across threads.
+pub fn extend_tuple(
+    cfg: &StepConfig,
+    ctx: &StepContext,
+    table: &Table,
+    state: &TupleState,
+    carried: &[Value],
+    hits: &[RangeSearchHit],
+    out: &mut Vec<PartialTuple>,
+) -> Result<()> {
+    for hit in hits {
+        let row = table.row(hit.row).expect("hit row exists");
+        let Some(pos) = qualify_hit(cfg, ctx, row)? else {
+            continue;
+        };
+        let new_state = state.extended(pos, cfg.sigma_rad);
+        if new_state.chi2_min() <= cfg.threshold * cfg.threshold {
+            let mut values = carried.to_vec();
+            values.extend(carried_values(cfg, &ctx.schema, row));
+            out.push(PartialTuple {
+                state: new_state,
+                values,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Drop-out kernel for one partial tuple: whether any candidate hit would
+/// keep the tuple within the threshold (in which case the drop-out step
+/// discards it).
+pub fn tuple_has_counterpart(
+    cfg: &StepConfig,
+    ctx: &StepContext,
+    table: &Table,
+    state: &TupleState,
+    hits: &[RangeSearchHit],
+) -> Result<bool> {
+    for hit in hits {
+        let row = table.row(hit.row).expect("hit row exists");
+        let Some(pos) = qualify_hit(cfg, ctx, row)? else {
+            continue;
+        };
+        if state.extended(pos, cfg.sigma_rad).chi2_min() <= cfg.threshold * cfg.threshold {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
 /// Materializes incoming tuples into a temp table (faithful to §5.3: the
 /// Cross match service "insert\[s\] the values in the database object into a
 /// temporary table"), then extends each against this archive's objects.
@@ -350,10 +466,9 @@ pub fn match_step(
     cfg: &StepConfig,
     incoming: &PartialSet,
 ) -> Result<(PartialSet, StepStats)> {
-    let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
-    let schema = db.schema(&cfg.table)?.clone();
+    let ctx = StepContext::new(db, cfg)?;
     let mut columns = incoming.columns.clone();
-    columns.extend(carried_result_columns(cfg, &schema)?);
+    columns.extend(ctx.appended.iter().cloned());
 
     let temp = materialize_temp(db, incoming)?;
 
@@ -367,49 +482,21 @@ pub fn match_step(
     // recovering each tuple's state and carried values.
     let temp_rows = db.table(&temp)?.rows().to_vec();
     for trow in &temp_rows {
-        let state = TupleState {
-            a: trow[0].as_f64().unwrap(),
-            ax: trow[1].as_f64().unwrap(),
-            ay: trow[2].as_f64().unwrap(),
-            az: trow[3].as_f64().unwrap(),
-        };
-        let Some(best) = state.best_position() else {
+        let (state, carried) = decode_materialized(trow);
+        let Some((center, radius)) = probe_ball(&state, cfg) else {
             continue;
         };
-        let radius = state.search_radius(cfg.threshold, cfg.sigma_rad);
-        let center = SkyPoint::from_vec3(best);
         let hits = db.range_search(&cfg.table, center, radius, ScanOptions::default())?;
         stats.candidates_probed += hits.len();
-        for hit in hits {
-            let row = db
-                .table(&cfg.table)?
-                .row(hit.row)
-                .expect("hit row exists")
-                .clone();
-            // The spatial range applies to every archive's objects.
-            if let Some(region) = &cfg.region {
-                let ra = row[ra_ci].as_f64().expect("position column");
-                let dec = row[dec_ci].as_f64().expect("position column");
-                if !region.contains(SkyPoint::from_radec_deg(ra, dec)) {
-                    continue;
-                }
-            }
-            if !row_passes(cfg, &schema, &row).map_err(FederationError::Sql)? {
-                continue;
-            }
-            let ra = row[ra_ci].as_f64().expect("position column");
-            let dec = row[dec_ci].as_f64().expect("position column");
-            let pos = SkyPoint::from_radec_deg(ra, dec).to_vec3();
-            let new_state = state.extended(pos, cfg.sigma_rad);
-            if new_state.chi2_min() <= cfg.threshold * cfg.threshold {
-                let mut values = trow[4..].to_vec();
-                values.extend(carried_values(cfg, &schema, &row));
-                out.tuples.push(PartialTuple {
-                    state: new_state,
-                    values,
-                });
-            }
-        }
+        extend_tuple(
+            cfg,
+            &ctx,
+            db.table(&cfg.table)?,
+            &state,
+            carried,
+            &hits,
+            &mut out.tuples,
+        )?;
     }
     db.drop_table(&temp)?;
     stats.tuples_out = out.len();
@@ -424,49 +511,19 @@ pub fn dropout_step(
     cfg: &StepConfig,
     incoming: &PartialSet,
 ) -> Result<(PartialSet, StepStats)> {
-    let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
-    let schema = db.schema(&cfg.table)?.clone();
+    let ctx = StepContext::new(db, cfg)?;
     let mut out = PartialSet::new(incoming.columns.clone());
     let mut stats = StepStats {
         tuples_in: incoming.len(),
         ..StepStats::default()
     };
     for tuple in &incoming.tuples {
-        let Some(best) = tuple.state.best_position() else {
+        let Some((center, radius)) = probe_ball(&tuple.state, cfg) else {
             continue;
         };
-        let radius = tuple.state.search_radius(cfg.threshold, cfg.sigma_rad);
-        let center = SkyPoint::from_vec3(best);
         let hits = db.range_search(&cfg.table, center, radius, ScanOptions::default())?;
         stats.candidates_probed += hits.len();
-        let mut matched = false;
-        for hit in hits {
-            let row = db
-                .table(&cfg.table)?
-                .row(hit.row)
-                .expect("hit row exists")
-                .clone();
-            if let Some(region) = &cfg.region {
-                let ra = row[ra_ci].as_f64().expect("position column");
-                let dec = row[dec_ci].as_f64().expect("position column");
-                if !region.contains(SkyPoint::from_radec_deg(ra, dec)) {
-                    continue;
-                }
-            }
-            if !row_passes(cfg, &schema, &row).map_err(FederationError::Sql)? {
-                continue;
-            }
-            let ra = row[ra_ci].as_f64().expect("position column");
-            let dec = row[dec_ci].as_f64().expect("position column");
-            let pos = SkyPoint::from_radec_deg(ra, dec).to_vec3();
-            if tuple.state.extended(pos, cfg.sigma_rad).chi2_min()
-                <= cfg.threshold * cfg.threshold
-            {
-                matched = true;
-                break;
-            }
-        }
-        if !matched {
+        if !tuple_has_counterpart(cfg, &ctx, db.table(&cfg.table)?, &tuple.state, &hits)? {
             out.tuples.push(tuple.clone());
         }
     }
@@ -524,8 +581,11 @@ pub fn apply_residuals(set: PartialSet, residuals: &[Expr]) -> Result<PartialSet
 }
 
 /// Inserts a partial set into a temp table (state + carried columns) and
-/// returns the table's name.
-fn materialize_temp(db: &mut Database, set: &PartialSet) -> Result<String> {
+/// returns the table's name. Public so the parallel zone engine can run
+/// the same §5.3 materialization — both engines then read tuple values
+/// back out of the temp rows, so schema conformance (e.g. numeric
+/// coercion on insert) cannot make their outputs diverge.
+pub fn materialize_temp(db: &mut Database, set: &PartialSet) -> Result<String> {
     let mut cols: Vec<ColumnDef> = STATE_COLS
         .iter()
         .map(|n| ColumnDef::new(*n, DataType::Float))
@@ -545,6 +605,20 @@ fn materialize_temp(db: &mut Database, set: &PartialSet) -> Result<String> {
         db.insert(&temp, row)?;
     }
     Ok(temp)
+}
+
+/// Splits a materialized temp-table row back into its tuple state and
+/// carried values (the inverse of [`materialize_temp`]'s row layout).
+pub fn decode_materialized(row: &Row) -> (TupleState, &[Value]) {
+    (
+        TupleState {
+            a: row[0].as_f64().expect("state column"),
+            ax: row[1].as_f64().expect("state column"),
+            ay: row[2].as_f64().expect("state column"),
+            az: row[3].as_f64().expect("state column"),
+        },
+        &row[4..],
+    )
 }
 
 #[cfg(test)]
@@ -599,6 +673,8 @@ mod tests {
             region: None,
             local_predicate: None,
             carried_columns: vec!["object_id".into()],
+            xmatch_workers: 1,
+            zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
         }
     }
 
@@ -650,7 +726,10 @@ mod tests {
         // §5.4: "This XMATCH scheme is fully symmetric; the particular
         // order of the archives considered doesn't matter."
         let pts = [
-            (SkyPoint::from_radec_deg(42.0, -7.0).to_vec3(), sigma_rad(0.1)),
+            (
+                SkyPoint::from_radec_deg(42.0, -7.0).to_vec3(),
+                sigma_rad(0.1),
+            ),
             (
                 SkyPoint::from_radec_deg(42.0 + 0.2 * ARCSEC, -7.0).to_vec3(),
                 sigma_rad(0.35),
@@ -693,7 +772,11 @@ mod tests {
         assert_eq!(matched.len(), 2, "two bodies have counterparts");
         // Carried columns are qualified.
         assert_eq!(
-            matched.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            matched
+                .columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["A.object_id", "B.object_id"]
         );
     }
@@ -724,10 +807,7 @@ mod tests {
     #[test]
     fn area_clause_limits_seed_and_match() {
         let mut a = archive("A", &[(10.0, 10.0, 1.0), (40.0, 10.0, 1.0)]);
-        let mut b = archive(
-            "B",
-            &[(10.0, 10.0, 1.0), (40.0, 10.0, 1.0)],
-        );
+        let mut b = archive("B", &[(10.0, 10.0, 1.0), (40.0, 10.0, 1.0)]);
         let area = Some(Region::Circle {
             center: SkyPoint::from_radec_deg(10.0, 10.0),
             radius_rad: 1.0_f64.to_radians(),

@@ -44,9 +44,9 @@ pub mod ranges;
 pub mod trixel;
 
 pub use cover::{ConvexRegion, Cover, CoverRange, RangeKind};
-pub use polygon::{ConvexPolygon, PolygonError};
 pub use geom::{angular_distance, Cap, SkyPoint, Vec3};
 pub use mesh::Mesh;
+pub use polygon::{ConvexPolygon, PolygonError};
 pub use ranges::IdRange;
 pub use trixel::{HtmId, Trixel, MAX_DEPTH};
 

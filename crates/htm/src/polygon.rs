@@ -189,13 +189,8 @@ mod tests {
 
     fn square() -> ConvexPolygon {
         // A 2°×2° square around (185, 0), CCW on the sky.
-        ConvexPolygon::from_radec_deg(&[
-            (184.0, -1.0),
-            (186.0, -1.0),
-            (186.0, 1.0),
-            (184.0, 1.0),
-        ])
-        .unwrap()
+        ConvexPolygon::from_radec_deg(&[(184.0, -1.0), (186.0, -1.0), (186.0, 1.0), (184.0, 1.0)])
+            .unwrap()
     }
 
     #[test]
@@ -206,7 +201,12 @@ mod tests {
         ));
         // Clockwise winding rejected.
         assert!(matches!(
-            ConvexPolygon::from_radec_deg(&[(184.0, 1.0), (186.0, 1.0), (186.0, -1.0), (184.0, -1.0)]),
+            ConvexPolygon::from_radec_deg(&[
+                (184.0, 1.0),
+                (186.0, 1.0),
+                (186.0, -1.0),
+                (184.0, -1.0)
+            ]),
             Err(PolygonError::NotConvexCcw(_))
         ));
         // Repeated vertex → degenerate edge.
@@ -295,8 +295,8 @@ mod tests {
 
     #[test]
     fn triangle_near_pole() {
-        let p = ConvexPolygon::from_radec_deg(&[(0.0, 85.0), (120.0, 85.0), (240.0, 85.0)])
-            .unwrap();
+        let p =
+            ConvexPolygon::from_radec_deg(&[(0.0, 85.0), (120.0, 85.0), (240.0, 85.0)]).unwrap();
         assert!(p.contains(SkyPoint::from_radec_deg(60.0, 89.0).to_vec3()));
         assert!(p.contains(SkyPoint::from_radec_deg(0.0, 90.0).to_vec3()));
         assert!(!p.contains(SkyPoint::from_radec_deg(0.0, 80.0).to_vec3()));

@@ -122,7 +122,11 @@ mod tests {
 
     #[test]
     fn ranges_contain_binary_search() {
-        let v = vec![IdRange::new(10, 20), IdRange::new(30, 50), IdRange::new(99, 99)];
+        let v = vec![
+            IdRange::new(10, 20),
+            IdRange::new(30, 50),
+            IdRange::new(99, 99),
+        ];
         for id in [10, 20, 30, 50, 99] {
             assert!(ranges_contain(&v, id), "{id}");
         }

@@ -101,11 +101,7 @@ impl HtmId {
             v /= 4;
         }
         // v is now the root id 8..16.
-        let (letter, root_digit) = if v < 12 {
-            ('S', v - 8)
-        } else {
-            ('N', v - 12)
-        };
+        let (letter, root_digit) = if v < 12 { ('S', v - 8) } else { ('N', v - 12) };
         let mut s = String::with_capacity(d + 2);
         s.push(letter);
         s.push(char::from_digit(root_digit as u32, 10).unwrap());
@@ -252,10 +248,30 @@ impl Trixel {
         let w1 = self.v0.add(self.v2).unit();
         let w2 = self.v0.add(self.v1).unit();
         [
-            Trixel { id: self.id.child(0), v0: self.v0, v1: w2, v2: w1 },
-            Trixel { id: self.id.child(1), v0: self.v1, v1: w0, v2: w2 },
-            Trixel { id: self.id.child(2), v0: self.v2, v1: w1, v2: w0 },
-            Trixel { id: self.id.child(3), v0: w0, v1: w1, v2: w2 },
+            Trixel {
+                id: self.id.child(0),
+                v0: self.v0,
+                v1: w2,
+                v2: w1,
+            },
+            Trixel {
+                id: self.id.child(1),
+                v0: self.v1,
+                v1: w0,
+                v2: w2,
+            },
+            Trixel {
+                id: self.id.child(2),
+                v0: self.v2,
+                v1: w1,
+                v2: w0,
+            },
+            Trixel {
+                id: self.id.child(3),
+                v0: w0,
+                v1: w1,
+                v2: w2,
+            },
         ]
     }
 
@@ -367,8 +383,8 @@ mod tests {
         let roots = Trixel::roots();
         for dec10 in -89..=89 {
             for ra10 in 0..36 {
-                let p = SkyPoint::from_radec_deg(ra10 as f64 * 10.0 + 0.123, dec10 as f64)
-                    .to_vec3();
+                let p =
+                    SkyPoint::from_radec_deg(ra10 as f64 * 10.0 + 0.123, dec10 as f64).to_vec3();
                 let n = roots.iter().filter(|t| t.contains(p)).count();
                 assert!(n >= 1, "point not covered at dec {dec10} ra {ra10}");
             }

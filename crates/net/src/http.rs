@@ -124,8 +124,7 @@ impl HttpRequest {
 
     /// The SOAPAction header with its quotes stripped.
     pub fn soap_action(&self) -> Option<&str> {
-        self.header("SOAPAction")
-            .map(|v| v.trim_matches('"'))
+        self.header("SOAPAction").map(|v| v.trim_matches('"'))
     }
 
     /// Serializes to wire bytes (HTTP/1.1 framing with Content-Length).
@@ -290,9 +289,7 @@ fn split_frame(input: &[u8]) -> Result<(&str, &[u8]), NetError> {
 /// Parsed headers plus the declared Content-Length, if any.
 type ParsedHeaders = (Vec<(String, String)>, Option<usize>);
 
-fn parse_headers<'a>(
-    lines: impl Iterator<Item = &'a str>,
-) -> Result<ParsedHeaders, NetError> {
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<ParsedHeaders, NetError> {
     let mut headers = Vec::new();
     let mut content_length = None;
     for line in lines {
@@ -363,7 +360,9 @@ mod tests {
 
     #[test]
     fn content_length_mismatch_rejected() {
-        let mut bytes = HttpRequest::soap_post("/p", "a", "12345").to_bytes().to_vec();
+        let mut bytes = HttpRequest::soap_post("/p", "a", "12345")
+            .to_bytes()
+            .to_vec();
         // Truncate the body.
         bytes.truncate(bytes.len() - 2);
         assert!(HttpRequest::parse(&bytes).is_err());

@@ -87,11 +87,7 @@ impl NetworkMetrics {
 
     /// All links, sorted for deterministic reporting.
     pub fn links(&self) -> Vec<((String, String), LinkStats)> {
-        let mut v: Vec<_> = self
-            .links
-            .iter()
-            .map(|(k, s)| (k.clone(), *s))
-            .collect();
+        let mut v: Vec<_> = self.links.iter().map(|(k, s)| (k.clone(), *s)).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }

@@ -39,9 +39,7 @@ impl ServiceRegistry {
     /// Registers (or re-registers) a service. Returns the previous record
     /// if the provider was already registered.
     pub fn register(&self, record: ServiceRecord) -> Option<ServiceRecord> {
-        self.records
-            .write()
-            .insert(record.provider.clone(), record)
+        self.records.write().insert(record.provider.clone(), record)
     }
 
     /// Removes a provider's registration.

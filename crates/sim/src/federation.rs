@@ -122,7 +122,16 @@ impl FederationBuilder {
                 primary_table: params.table.clone(),
                 htm_depth: params.htm_depth,
             };
-            let node = SkyNode::start(&net, host.clone(), info, survey.db);
+            // Every node gets the zone engine; with the default
+            // `xmatch_workers = 1` it delegates to the sequential kernels,
+            // so this changes nothing unless the config asks for workers.
+            let node = SkyNode::start_with_engine(
+                &net,
+                host.clone(),
+                info,
+                survey.db,
+                Arc::new(skyquery_zones::ZoneEngine::new()),
+            );
             if self.register_via_soap {
                 // The node calls the Portal's Registration service, which
                 // calls back into the node's Meta-data and Information
@@ -132,8 +141,7 @@ impl FederationBuilder {
                     &net,
                     &host,
                     &portal.url(),
-                    &RpcCall::new("Register")
-                        .param("url", SoapValue::Str(node.url().to_string())),
+                    &RpcCall::new("Register").param("url", SoapValue::Str(node.url().to_string())),
                 )
                 .expect("registration succeeds");
                 assert_eq!(

@@ -9,9 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr_free::sample_standard_normal;
 use skyquery_htm::SkyPoint;
-use skyquery_storage::{
-    ColumnDef, Database, DataType, PositionColumns, TableSchema, Value,
-};
+use skyquery_storage::{ColumnDef, DataType, Database, PositionColumns, TableSchema, Value};
 
 use crate::bodies::{orthonormal_frame, BodyCatalog};
 
@@ -113,8 +111,8 @@ impl Survey {
                 continue;
             }
             let observed = perturb(body.position, sigma_deg, &mut rng);
-            let flux = body.flux * params.flux_scale
-                * (1.0 + 0.05 * sample_standard_normal(&mut rng));
+            let flux =
+                body.flux * params.flux_scale * (1.0 + 0.05 * sample_standard_normal(&mut rng));
             let ty = if body.is_galaxy { "GALAXY" } else { "STAR" };
             db.insert(
                 &params.table,
@@ -131,8 +129,7 @@ impl Survey {
             object_id += 1;
         }
         // Spurious detections scattered over the same cap.
-        let n_false =
-            params.false_detections_per_1000 * catalog.len().div_ceil(1000);
+        let n_false = params.false_detections_per_1000 * catalog.len().div_ceil(1000);
         let cp = catalog.params;
         for _ in 0..n_false {
             let ra = cp.center_ra_deg + rng.gen_range(-cp.radius_deg..cp.radius_deg);
@@ -233,29 +230,26 @@ mod tests {
         let mut total = 0.0;
         let mut n = 0;
         for (oid, bid) in &s.provenance {
-            let row_ra = s
-                .db
-                .table(&s.params.table)
-                .unwrap()
-                .rows()
-                .iter()
-                .find(|r| r[0] == Value::Id(*oid))
-                .unwrap()[1]
-                .as_f64()
-                .unwrap();
-            let row_dec = s
-                .db
-                .table(&s.params.table)
-                .unwrap()
-                .rows()
-                .iter()
-                .find(|r| r[0] == Value::Id(*oid))
-                .unwrap()[2]
-                .as_f64()
-                .unwrap();
+            let row_ra =
+                s.db.table(&s.params.table)
+                    .unwrap()
+                    .rows()
+                    .iter()
+                    .find(|r| r[0] == Value::Id(*oid))
+                    .unwrap()[1]
+                    .as_f64()
+                    .unwrap();
+            let row_dec =
+                s.db.table(&s.params.table)
+                    .unwrap()
+                    .rows()
+                    .iter()
+                    .find(|r| r[0] == Value::Id(*oid))
+                    .unwrap()[2]
+                    .as_f64()
+                    .unwrap();
             let body = &cat.bodies[*bid as usize];
-            total += SkyPoint::from_radec_deg(row_ra, row_dec)
-                .separation_arcsec(body.position);
+            total += SkyPoint::from_radec_deg(row_ra, row_dec).separation_arcsec(body.position);
             n += 1;
             if n >= 200 {
                 break;

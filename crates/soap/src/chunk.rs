@@ -177,7 +177,10 @@ impl Reassembler {
         }
         if header.index >= self.total {
             return Err(SoapError::Chunking {
-                detail: format!("chunk index {} out of range 0..{}", header.index, self.total),
+                detail: format!(
+                    "chunk index {} out of range 0..{}",
+                    header.index, self.total
+                ),
             });
         }
         if self.received[header.index].is_some() {

@@ -53,7 +53,10 @@ impl Envelope {
                 detail: "missing SOAP envelope namespace".into(),
             });
         }
-        let header = root.child("Header").and_then(|h| h.children.first()).cloned();
+        let header = root
+            .child("Header")
+            .and_then(|h| h.children.first())
+            .cloned();
         let body_el = root.child("Body").ok_or_else(|| SoapError::Protocol {
             detail: "envelope has no Body".into(),
         })?;
@@ -99,8 +102,8 @@ mod tests {
 
     #[test]
     fn header_preserved() {
-        let env = Envelope::new(Element::new("x"))
-            .with_header(Element::new("TraceId").with_text("abc"));
+        let env =
+            Envelope::new(Element::new("x")).with_header(Element::new("TraceId").with_text("abc"));
         let back = Envelope::parse(&env.to_xml()).unwrap();
         assert_eq!(back.header.unwrap().text, "abc");
     }
@@ -112,7 +115,9 @@ mod tests {
 
     #[test]
     fn rejects_missing_namespace() {
-        assert!(Envelope::parse("<soap:Envelope><soap:Body><x/></soap:Body></soap:Envelope>").is_err());
+        assert!(
+            Envelope::parse("<soap:Envelope><soap:Body><x/></soap:Body></soap:Envelope>").is_err()
+        );
     }
 
     #[test]

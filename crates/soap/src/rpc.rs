@@ -69,12 +69,9 @@ impl SoapValue {
             "double" => SoapValue::Float(e.text.parse().map_err(|_| parse_err("double"))?),
             "boolean" => SoapValue::Bool(e.text.parse().map_err(|_| parse_err("boolean"))?),
             "table" => {
-                let t = e
-                    .children
-                    .first()
-                    .ok_or_else(|| SoapError::Protocol {
-                        detail: format!("table parameter {} has no VOTABLE child", e.name),
-                    })?;
+                let t = e.children.first().ok_or_else(|| SoapError::Protocol {
+                    detail: format!("table parameter {} has no VOTABLE child", e.name),
+                })?;
                 SoapValue::Table(VoTable::from_element(t)?)
             }
             "xml" => {
@@ -181,8 +178,7 @@ impl RpcCall {
 
     /// Encodes to a wire XML document.
     pub fn to_xml(&self) -> String {
-        let mut m = Element::new(format!("sq:{}", self.method))
-            .with_attr("xmlns:sq", SKYQUERY_NS);
+        let mut m = Element::new(format!("sq:{}", self.method)).with_attr("xmlns:sq", SKYQUERY_NS);
         for (name, value) in &self.params {
             m = m.with_child(value.encode_into(name));
         }
@@ -245,8 +241,8 @@ impl RpcResponse {
 
     /// Encodes to a wire XML document.
     pub fn to_xml(&self) -> String {
-        let mut m = Element::new(format!("sq:{}Response", self.method))
-            .with_attr("xmlns:sq", SKYQUERY_NS);
+        let mut m =
+            Element::new(format!("sq:{}Response", self.method)).with_attr("xmlns:sq", SKYQUERY_NS);
         for (name, value) in &self.results {
             m = m.with_child(value.encode_into(name));
         }
@@ -331,7 +327,10 @@ impl SoapFault {
             .map(|(_, l)| l)
             .unwrap_or(code_raw)
             .to_string();
-        let message = e.child_text("faultstring").map_err(SoapError::Xml)?.to_string();
+        let message = e
+            .child_text("faultstring")
+            .map_err(SoapError::Xml)?
+            .to_string();
         let detail = e
             .child("detail")
             .map(|d| d.text.clone())
@@ -375,7 +374,10 @@ mod tests {
     #[test]
     fn call_roundtrip_all_types() {
         let call = RpcCall::new("CrossMatch")
-            .param("plan", SoapValue::Xml(Element::new("Plan").with_leaf("step", "1")))
+            .param(
+                "plan",
+                SoapValue::Xml(Element::new("Plan").with_leaf("step", "1")),
+            )
             .param("threshold", SoapValue::Float(3.5))
             .param("depth", SoapValue::Int(12))
             .param("verbose", SoapValue::Bool(true))
@@ -386,16 +388,16 @@ mod tests {
         assert_eq!(back, call);
         assert_eq!(back.require("threshold").unwrap().as_f64(), Some(3.5));
         assert_eq!(back.require("depth").unwrap().as_i64(), Some(12));
-        assert_eq!(back.get("partial").unwrap().as_table().unwrap().row_count(), 1);
+        assert_eq!(
+            back.get("partial").unwrap().as_table().unwrap().row_count(),
+            1
+        );
         assert!(back.require("nope").is_err());
     }
 
     #[test]
     fn soap_action_format() {
-        assert_eq!(
-            RpcCall::new("Query").soap_action(),
-            "urn:skyquery#Query"
-        );
+        assert_eq!(RpcCall::new("Query").soap_action(), "urn:skyquery#Query");
     }
 
     #[test]

@@ -109,8 +109,8 @@ impl WsdlBuilder {
 
         // Service definition: messages and portType.
         for op in &self.operations {
-            let mut input = Element::new("wsdl:message")
-                .with_attr("name", format!("{}Input", op.name));
+            let mut input =
+                Element::new("wsdl:message").with_attr("name", format!("{}Input", op.name));
             for p in &op.inputs {
                 input = input.with_child(
                     Element::new("wsdl:part")
@@ -119,8 +119,8 @@ impl WsdlBuilder {
                 );
             }
             defs = defs.with_child(input);
-            let mut output = Element::new("wsdl:message")
-                .with_attr("name", format!("{}Output", op.name));
+            let mut output =
+                Element::new("wsdl:message").with_attr("name", format!("{}Output", op.name));
             for p in &op.outputs {
                 output = output.with_child(
                     Element::new("wsdl:part")
@@ -130,8 +130,8 @@ impl WsdlBuilder {
             }
             defs = defs.with_child(output);
         }
-        let mut port = Element::new("wsdl:portType")
-            .with_attr("name", format!("{}PortType", self.service));
+        let mut port =
+            Element::new("wsdl:portType").with_attr("name", format!("{}PortType", self.service));
         for op in &self.operations {
             let mut o = Element::new("wsdl:operation").with_attr("name", op.name.clone());
             if !op.documentation.is_empty() {
@@ -250,12 +250,10 @@ mod tests {
     fn document_structure() {
         let doc = skynode_wsdl().build();
         assert_eq!(doc.name, "wsdl:definitions");
-        assert_eq!(operation_names(&doc).unwrap(), vec![
-            "Information",
-            "Metadata",
-            "Query",
-            "CrossMatch"
-        ]);
+        assert_eq!(
+            operation_names(&doc).unwrap(),
+            vec!["Information", "Metadata", "Query", "CrossMatch"]
+        );
         assert_eq!(
             endpoint_address(&doc).unwrap(),
             "http://sdss.skyquery.net/soap"

@@ -2,7 +2,9 @@
 //! chunked transfers round-trip losslessly for arbitrary content.
 
 use proptest::prelude::*;
-use skyquery_soap::{chunk, MessageLimits, Reassembler, RpcCall, RpcResponse, SoapFault, SoapValue};
+use skyquery_soap::{
+    chunk, MessageLimits, Reassembler, RpcCall, RpcResponse, SoapFault, SoapValue,
+};
 use skyquery_xml::{VoColumn, VoTable, VoType};
 
 fn param_name() -> impl Strategy<Value = String> {

@@ -417,7 +417,13 @@ impl Expr {
                     write!(f, "-")?;
                     // `--x` would lex as a SQL comment; parenthesize a
                     // directly nested negation.
-                    if matches!(**expr, Expr::Unary { op: UnaryOp::Neg, .. }) {
+                    if matches!(
+                        **expr,
+                        Expr::Unary {
+                            op: UnaryOp::Neg,
+                            ..
+                        }
+                    ) {
                         write!(f, "(")?;
                         expr.fmt_prec(f, 0)?;
                         write!(f, ")")?;

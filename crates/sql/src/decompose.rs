@@ -91,10 +91,9 @@ impl DecomposedQuery {
 
 /// Decomposes a parsed cross-match query. See module docs for the rules.
 pub fn decompose(query: Query) -> Result<DecomposedQuery, SqlError> {
-    let where_clause = query
-        .where_clause
-        .clone()
-        .ok_or_else(|| SqlError::semantic("a cross-match query needs a WHERE clause with XMATCH"))?;
+    let where_clause = query.where_clause.clone().ok_or_else(|| {
+        SqlError::semantic("a cross-match query needs a WHERE clause with XMATCH")
+    })?;
 
     let conjuncts: Vec<Expr> = where_clause.conjuncts().into_iter().cloned().collect();
 
@@ -106,16 +105,12 @@ pub fn decompose(query: Query) -> Result<DecomposedQuery, SqlError> {
         match c {
             Expr::Area(a) => {
                 if region.replace(RegionSpec::Circle(a)).is_some() {
-                    return Err(SqlError::semantic(
-                        "more than one AREA/POLYGON clause",
-                    ));
+                    return Err(SqlError::semantic("more than one AREA/POLYGON clause"));
                 }
             }
             Expr::Polygon(p) => {
                 if region.replace(RegionSpec::Polygon(p)).is_some() {
-                    return Err(SqlError::semantic(
-                        "more than one AREA/POLYGON clause",
-                    ));
+                    return Err(SqlError::semantic("more than one AREA/POLYGON clause"));
                 }
             }
             Expr::XMatch(x) => {
@@ -134,8 +129,8 @@ pub fn decompose(query: Query) -> Result<DecomposedQuery, SqlError> {
         }
     }
 
-    let xmatch = xmatch
-        .ok_or_else(|| SqlError::semantic("a cross-match query needs an XMATCH clause"))?;
+    let xmatch =
+        xmatch.ok_or_else(|| SqlError::semantic("a cross-match query needs an XMATCH clause"))?;
 
     if !query.group_by.is_empty() {
         return Err(SqlError::semantic(
@@ -155,7 +150,9 @@ pub fn decompose(query: Query) -> Result<DecomposedQuery, SqlError> {
     // validated like select items below.
     for key in &query.order_by {
         if key.expr.contains_spatial() {
-            return Err(SqlError::semantic("ORDER BY cannot contain spatial clauses"));
+            return Err(SqlError::semantic(
+                "ORDER BY cannot contain spatial clauses",
+            ));
         }
         for (a, _) in key.expr.referenced_columns() {
             if query.table_for_alias(a).is_none() {
@@ -242,12 +239,7 @@ pub fn decompose(query: Query) -> Result<DecomposedQuery, SqlError> {
         std::collections::HashMap::new();
     for (a, c) in &selected {
         carried
-            .entry(
-                query
-                    .table_for_alias(a)
-                    .map(|t| t.alias.as_str())
-                    .unwrap(),
-            )
+            .entry(query.table_for_alias(a).map(|t| t.alias.as_str()).unwrap())
             .or_default()
             .insert(c.clone());
     }
@@ -441,10 +433,8 @@ mod tests {
 
     #[test]
     fn from_entry_outside_xmatch_rejected() {
-        let q = parse_query(
-            "SELECT O.a FROM S:T O, U:V T, W:X Y WHERE XMATCH(O, T) < 2.0",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT O.a FROM S:T O, U:V T, W:X Y WHERE XMATCH(O, T) < 2.0").unwrap();
         assert!(decompose(q).is_err());
     }
 
@@ -476,19 +466,14 @@ mod tests {
 
     #[test]
     fn count_star_in_cross_match_rejected() {
-        let q = parse_query(
-            "SELECT count(*) FROM S:T O, U:V T WHERE XMATCH(O, T) < 2.0",
-        )
-        .unwrap();
+        let q = parse_query("SELECT count(*) FROM S:T O, U:V T WHERE XMATCH(O, T) < 2.0").unwrap();
         assert!(decompose(q).is_err());
     }
 
     #[test]
     fn select_from_dropout_rejected() {
-        let q = parse_query(
-            "SELECT P.id FROM S:T O, U:V T, W:X P WHERE XMATCH(O, T, !P) < 2.0",
-        )
-        .unwrap();
+        let q = parse_query("SELECT P.id FROM S:T O, U:V T, W:X P WHERE XMATCH(O, T, !P) < 2.0")
+            .unwrap();
         assert!(decompose(q).is_err());
     }
 
@@ -504,10 +489,8 @@ mod tests {
 
     #[test]
     fn constant_conjunct_becomes_residual() {
-        let q = parse_query(
-            "SELECT O.a FROM S:T O, U:V T WHERE XMATCH(O, T) < 2.0 AND 1 = 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT O.a FROM S:T O, U:V T WHERE XMATCH(O, T) < 2.0 AND 1 = 2").unwrap();
         let d = decompose(q).unwrap();
         assert_eq!(d.residuals.len(), 1);
     }
@@ -529,7 +512,10 @@ mod tests {
         let q = parse_query("SELECT O.a FROM S:T O, U:V T WHERE XMATCH(O, T) < 2.0").unwrap();
         let d = decompose(q).unwrap();
         assert!(d.region.is_none());
-        assert_eq!(d.performance_queries[0].to_sql(), "SELECT count(*) FROM S:T O");
+        assert_eq!(
+            d.performance_queries[0].to_sql(),
+            "SELECT count(*) FROM S:T O"
+        );
     }
 
     #[test]

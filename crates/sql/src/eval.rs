@@ -46,9 +46,10 @@ impl Bindings for RowBindings<'_> {
                 self.alias
             )));
         }
-        let ci = self.schema.column_index(column).ok_or_else(|| {
-            SqlError::eval(format!("unknown column {alias}.{column}"))
-        })?;
+        let ci = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| SqlError::eval(format!("unknown column {alias}.{column}")))?;
         Ok(self.row[ci].clone())
     }
 }
@@ -133,12 +134,14 @@ impl Expr {
                 if v.is_null() || lo.is_null() || hi.is_null() {
                     return Ok(Value::Null);
                 }
-                let ge = v.sql_cmp(&lo).ok_or_else(|| {
-                    SqlError::eval(format!("cannot compare {v} with {lo}"))
-                })? != std::cmp::Ordering::Less;
-                let le = v.sql_cmp(&hi).ok_or_else(|| {
-                    SqlError::eval(format!("cannot compare {v} with {hi}"))
-                })? != std::cmp::Ordering::Greater;
+                let ge = v
+                    .sql_cmp(&lo)
+                    .ok_or_else(|| SqlError::eval(format!("cannot compare {v} with {lo}")))?
+                    != std::cmp::Ordering::Less;
+                let le = v
+                    .sql_cmp(&hi)
+                    .ok_or_else(|| SqlError::eval(format!("cannot compare {v} with {hi}")))?
+                    != std::cmp::Ordering::Greater;
                 Ok(Value::Bool((ge && le) != *negated))
             }
             Expr::InList {
@@ -206,12 +209,7 @@ impl Expr {
     }
 }
 
-fn eval_binary(
-    op: BinaryOp,
-    lhs: &Expr,
-    rhs: &Expr,
-    b: &dyn Bindings,
-) -> Result<Value, SqlError> {
+fn eval_binary(op: BinaryOp, lhs: &Expr, rhs: &Expr, b: &dyn Bindings) -> Result<Value, SqlError> {
     // Kleene logic short-circuits differently: FALSE AND x = FALSE even if
     // x is NULL, TRUE OR x = TRUE even if x is NULL.
     match op {
@@ -248,9 +246,9 @@ fn eval_binary(
         return Ok(Value::Null);
     }
     if op.is_comparison() {
-        let ord = l.sql_cmp(&r).ok_or_else(|| {
-            SqlError::eval(format!("cannot compare {l} with {r}"))
-        })?;
+        let ord = l
+            .sql_cmp(&r)
+            .ok_or_else(|| SqlError::eval(format!("cannot compare {l} with {r}")))?;
         use std::cmp::Ordering::*;
         let result = match op {
             BinaryOp::Eq => ord == Equal,
@@ -393,24 +391,49 @@ mod tests {
 
     #[test]
     fn null_propagation() {
-        let null_row = vec![Value::Float(1.0), Value::Int(1), Value::Null, Value::Bool(false)];
+        let null_row = vec![
+            Value::Float(1.0),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(false),
+        ];
         assert_eq!(eval("O.name = 'x'", null_row.clone()).unwrap(), Value::Null);
-        assert_eq!(eval("O.name = NULL", null_row.clone()).unwrap(), Value::Null);
+        assert_eq!(
+            eval("O.name = NULL", null_row.clone()).unwrap(),
+            Value::Null
+        );
         assert_eq!(eval("O.x + NULL", null_row).unwrap(), Value::Null);
     }
 
     #[test]
     fn kleene_logic() {
         // FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
-        assert_eq!(eval("1 = 2 AND O.name = 'x'", null_named()).unwrap(), Value::Bool(false));
-        assert_eq!(eval("1 = 1 OR O.name = 'x'", null_named()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval("1 = 2 AND O.name = 'x'", null_named()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval("1 = 1 OR O.name = 'x'", null_named()).unwrap(),
+            Value::Bool(true)
+        );
         // TRUE AND NULL = NULL; FALSE OR NULL = NULL.
-        assert_eq!(eval("1 = 1 AND O.name = 'x'", null_named()).unwrap(), Value::Null);
-        assert_eq!(eval("1 = 2 OR O.name = 'x'", null_named()).unwrap(), Value::Null);
+        assert_eq!(
+            eval("1 = 1 AND O.name = 'x'", null_named()).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval("1 = 2 OR O.name = 'x'", null_named()).unwrap(),
+            Value::Null
+        );
     }
 
     fn null_named() -> Vec<Value> {
-        vec![Value::Float(1.0), Value::Int(1), Value::Null, Value::Bool(true)]
+        vec![
+            Value::Float(1.0),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(true),
+        ]
     }
 
     #[test]

@@ -238,9 +238,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                         b'0'..=b'9' => end += 1,
                         // A '.' is part of the number only if followed by a
                         // digit (so `1.x` lexes as 1, DOT, x).
-                        b'.' if !is_float
-                            && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) =>
-                        {
+                        b'.' if !is_float && bytes.get(end + 1).is_some_and(u8::is_ascii_digit) => {
                             is_float = true;
                             end += 1;
                         }

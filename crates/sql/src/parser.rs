@@ -379,9 +379,7 @@ impl Parser {
                 });
             }
             _ if negated => {
-                return Err(self.error(
-                    "NOT here must be followed by BETWEEN, IN, or LIKE".into(),
-                ))
+                return Err(self.error("NOT here must be followed by BETWEEN, IN, or LIKE".into()))
             }
             _ => {}
         }
@@ -667,7 +665,11 @@ mod tests {
         }
         // Bare GALAXY parsed as string constant.
         match conjuncts[2] {
-            Expr::Binary { op: BinaryOp::Eq, rhs, .. } => {
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                rhs,
+                ..
+            } => {
                 assert_eq!(**rhs, Expr::Literal(Literal::Str("GALAXY".into())));
             }
             other => panic!("{other:?}"),
@@ -733,8 +735,18 @@ mod tests {
     fn precedence_and_before_or() {
         let e = parse_expr("a.x = 1 OR a.y = 2 AND a.z = 3").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Or, rhs, .. } => {
-                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -744,8 +756,18 @@ mod tests {
     fn arithmetic_precedence() {
         let e = parse_expr("a.x + a.y * 2").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Add, rhs, .. } => {
-                assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -756,10 +778,19 @@ mod tests {
         let e = parse_expr("-a.x < 3").unwrap();
         assert!(matches!(
             e,
-            Expr::Binary { op: BinaryOp::Lt, .. }
+            Expr::Binary {
+                op: BinaryOp::Lt,
+                ..
+            }
         ));
         let e = parse_expr("NOT a.flag = TRUE").unwrap();
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -23,10 +23,22 @@ fn eval(expr: &str, v: Value) -> Value {
 
 #[test]
 fn between_semantics() {
-    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(3)), Value::Bool(true));
-    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(1)), Value::Bool(true));
-    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(5)), Value::Bool(true));
-    assert_eq!(eval("O.v BETWEEN 1 AND 5", Value::Int(6)), Value::Bool(false));
+    assert_eq!(
+        eval("O.v BETWEEN 1 AND 5", Value::Int(3)),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval("O.v BETWEEN 1 AND 5", Value::Int(1)),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval("O.v BETWEEN 1 AND 5", Value::Int(5)),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval("O.v BETWEEN 1 AND 5", Value::Int(6)),
+        Value::Bool(false)
+    );
     assert_eq!(
         eval("O.v NOT BETWEEN 1 AND 5", Value::Int(6)),
         Value::Bool(true)

@@ -8,9 +8,33 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9_]{0,6}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "SELECT" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "AREA" | "POLYGON" | "XMATCH"
-                | "COUNT" | "AS" | "NULL" | "TRUE" | "FALSE" | "BETWEEN" | "IN" | "LIKE" | "IS"
-                | "MIN" | "MAX" | "SUM" | "AVG" | "GROUP" | "BY" | "ORDER" | "ASC" | "DESC"
+            "SELECT"
+                | "FROM"
+                | "WHERE"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "AREA"
+                | "POLYGON"
+                | "XMATCH"
+                | "COUNT"
+                | "AS"
+                | "NULL"
+                | "TRUE"
+                | "FALSE"
+                | "BETWEEN"
+                | "IN"
+                | "LIKE"
+                | "IS"
+                | "MIN"
+                | "MAX"
+                | "SUM"
+                | "AVG"
+                | "GROUP"
+                | "BY"
+                | "ORDER"
+                | "ASC"
+                | "DESC"
                 | "LIMIT"
         )
     })
@@ -77,7 +101,10 @@ fn arb_binop() -> impl Strategy<Value = BinaryOp> {
 /// literals.
 fn fold_neg_literals(e: Expr) -> Expr {
     match e {
-        Expr::Unary { op: UnaryOp::Neg, expr } => match fold_neg_literals(*expr) {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match fold_neg_literals(*expr) {
             Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
             Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
             inner => Expr::Unary {
@@ -100,7 +127,9 @@ fn fold_neg_literals(e: Expr) -> Expr {
 
 fn not_free(e: &Expr) -> bool {
     match e {
-        Expr::Unary { op: UnaryOp::Not, .. } => false,
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => false,
         Expr::Unary { expr, .. } => not_free(expr),
         Expr::Binary { lhs, rhs, .. } => not_free(lhs) && not_free(rhs),
         _ => true,

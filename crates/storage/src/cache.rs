@@ -201,7 +201,10 @@ mod tests {
 
     #[test]
     fn stats_cost_model() {
-        let s = CacheStats { hits: 10, misses: 5 };
+        let s = CacheStats {
+            hits: 10,
+            misses: 5,
+        };
         assert_eq!(s.accesses(), 15);
         assert!((s.cost(100.0) - (10.0 + 500.0)).abs() < 1e-12);
     }

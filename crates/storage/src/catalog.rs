@@ -60,10 +60,7 @@ mod tests {
         )
         .with_position(PositionColumns::new("ra", "dec", 10))
         .unwrap();
-        let spectra = TableSchema::new(
-            "spectra",
-            vec![ColumnDef::new("object_id", DataType::Id)],
-        );
+        let spectra = TableSchema::new("spectra", vec![ColumnDef::new("object_id", DataType::Id)]);
         Catalog {
             database: "TWOMASS".into(),
             tables: vec![

@@ -149,9 +149,11 @@ impl Database {
     }
 
     fn entry(&self, name: &str) -> Result<&TableEntry, StorageError> {
-        self.tables.get(name).ok_or_else(|| StorageError::UnknownTable {
-            name: name.to_string(),
-        })
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable {
+                name: name.to_string(),
+            })
     }
 
     /// Inserts a row, updating all indexes.
@@ -300,31 +302,13 @@ impl Database {
         let dec_ci = entry.table.schema().column_index(&pos.dec).unwrap();
         let epoch = entry.epoch;
 
-        let mut hits = Vec::new();
-        for cand in htm.search(center, radius_rad) {
-            if opts.touch_cache {
+        let candidates = htm.search(center, radius_rad);
+        if opts.touch_cache {
+            for cand in &candidates {
                 self.cache.touch_row(epoch, cand.row);
             }
-            let row = entry.table.row(cand.row).expect("index row exists");
-            let (ra, dec) = extract_position(table, row, ra_ci, dec_ci)?;
-            let sep = SkyPoint::from_radec_deg(ra, dec).separation(center);
-            match cand.kind {
-                RangeKind::Full => hits.push(RangeSearchHit {
-                    row: cand.row,
-                    separation_rad: sep,
-                }),
-                RangeKind::Partial => {
-                    if sep <= radius_rad + 1e-15 {
-                        hits.push(RangeSearchHit {
-                            row: cand.row,
-                            separation_rad: sep,
-                        });
-                    }
-                }
-            }
         }
-        hits.sort_by_key(|h| h.row);
-        Ok(hits)
+        resolve_range_candidates(&entry.table, ra_ci, dec_ci, center, radius_rad, &candidates)
     }
 
     /// Region search over a position-indexed table: like
@@ -391,14 +375,11 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownTable {
                 name: table.to_string(),
             })?;
-        let pos = entry
-            .table
-            .schema()
-            .position
-            .as_ref()
-            .ok_or_else(|| StorageError::NoPositionIndex {
+        let pos = entry.table.schema().position.as_ref().ok_or_else(|| {
+            StorageError::NoPositionIndex {
                 table: table.to_string(),
-            })?;
+            }
+        })?;
         let ra_ci = entry.table.schema().column_index(&pos.ra).unwrap();
         let dec_ci = entry.table.schema().column_index(&pos.dec).unwrap();
         let epoch = entry.epoch;
@@ -438,17 +419,13 @@ impl Database {
             }
             return Ok(rids);
         }
-        let ci = entry
-            .table
-            .schema()
-            .column_index(column)
-            .ok_or_else(|| StorageError::UnknownColumn {
+        let ci = entry.table.schema().column_index(column).ok_or_else(|| {
+            StorageError::UnknownColumn {
                 table: table.to_string(),
                 column: column.to_string(),
-            })?;
-        self.scan_filter(table, opts, |_, row| {
-            row[ci].sql_eq(value).unwrap_or(false)
-        })
+            }
+        })?;
+        self.scan_filter(table, opts, |_, row| row[ci].sql_eq(value).unwrap_or(false))
     }
 
     /// Buffer-cache statistics.
@@ -484,6 +461,44 @@ impl Database {
             tables,
         }
     }
+}
+
+/// Distance-tests HTM candidates against a table's stored positions,
+/// returning qualifying hits sorted by row id. `Full`-kind candidates are
+/// accepted outright; `Partial`-kind ones are re-tested against the
+/// radius. Factored out of [`Database::range_search`] so the parallel
+/// zone engine, probing per-zone indexes through shared references, runs
+/// the exact same classification — the two paths must agree bit-for-bit.
+pub fn resolve_range_candidates(
+    table: &Table,
+    ra_ci: usize,
+    dec_ci: usize,
+    center: SkyPoint,
+    radius_rad: f64,
+    candidates: &[crate::index::HtmCandidate],
+) -> Result<Vec<RangeSearchHit>, StorageError> {
+    let mut hits = Vec::new();
+    for cand in candidates {
+        let row = table.row(cand.row).expect("index row exists");
+        let (ra, dec) = extract_position(table.name(), row, ra_ci, dec_ci)?;
+        let sep = SkyPoint::from_radec_deg(ra, dec).separation(center);
+        match cand.kind {
+            RangeKind::Full => hits.push(RangeSearchHit {
+                row: cand.row,
+                separation_rad: sep,
+            }),
+            RangeKind::Partial => {
+                if sep <= radius_rad + 1e-15 {
+                    hits.push(RangeSearchHit {
+                        row: cand.row,
+                        separation_rad: sep,
+                    });
+                }
+            }
+        }
+    }
+    hits.sort_by_key(|h| h.row);
+    Ok(hits)
 }
 
 impl std::fmt::Debug for Database {
@@ -550,7 +565,9 @@ mod tests {
         let galaxies = db
             .count_where("photo_object", ScanOptions::default(), |s, row| {
                 let ci = s.column_index("type").unwrap();
-                row[ci].sql_eq(&Value::Text("GALAXY".into())).unwrap_or(false)
+                row[ci]
+                    .sql_eq(&Value::Text("GALAXY".into()))
+                    .unwrap_or(false)
             })
             .unwrap();
         assert_eq!(galaxies, 3);

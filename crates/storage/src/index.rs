@@ -40,13 +40,14 @@ pub struct BTreeIndex {
 impl BTreeIndex {
     /// Builds an index over `column` from the current table contents.
     pub fn build(table: &Table, column: &str) -> Result<BTreeIndex, StorageError> {
-        let ci = table
-            .schema()
-            .column_index(column)
-            .ok_or_else(|| StorageError::UnknownColumn {
-                table: table.name().to_string(),
-                column: column.to_string(),
-            })?;
+        let ci =
+            table
+                .schema()
+                .column_index(column)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: column.to_string(),
+                })?;
         let mut map: BTreeMap<Key, Vec<RowId>> = BTreeMap::new();
         for (rid, row) in table.iter() {
             map.entry(Key(row[ci].clone())).or_default().push(rid);
@@ -73,7 +74,10 @@ impl BTreeIndex {
         if v.is_null() {
             return &[];
         }
-        self.map.get(&Key(v.clone())).map(Vec::as_slice).unwrap_or(&[])
+        self.map
+            .get(&Key(v.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Rows with indexed value in `[lo, hi]` (both optional, inclusive).
@@ -138,13 +142,14 @@ impl HtmPositionIndex {
 
     /// Builds the index from a table's position columns.
     pub fn build(table: &Table, depth: u8) -> Result<HtmPositionIndex, StorageError> {
-        let pos = table
-            .schema()
-            .position
-            .as_ref()
-            .ok_or_else(|| StorageError::NoPositionIndex {
-                table: table.name().to_string(),
-            })?;
+        let pos =
+            table
+                .schema()
+                .position
+                .as_ref()
+                .ok_or_else(|| StorageError::NoPositionIndex {
+                    table: table.name().to_string(),
+                })?;
         let ra_ci = table.schema().column_index(&pos.ra).unwrap();
         let dec_ci = table.schema().column_index(&pos.dec).unwrap();
         let mut idx = HtmPositionIndex::new(depth);
@@ -187,11 +192,21 @@ impl HtmPositionIndex {
         self.entries.push((id, rid));
     }
 
-    fn ensure_sorted(&mut self) {
+    /// Restores the sorted order after out-of-order appends. A no-op when
+    /// already sorted; `search` calls this lazily, and concurrent readers
+    /// call it up front so [`HtmPositionIndex::search_sorted`] can probe
+    /// through a shared reference.
+    pub fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.entries.sort_unstable();
             self.sorted = true;
         }
+    }
+
+    /// Whether the entry list is currently in sorted order (and therefore
+    /// searchable through [`HtmPositionIndex::search_sorted`]).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
     }
 
     /// Candidate rows for a circular search centered at `center` with
@@ -199,6 +214,24 @@ impl HtmPositionIndex {
     /// `Partial` ones must be distance-tested by the caller.
     pub fn search(&mut self, center: SkyPoint, radius_rad: f64) -> Vec<HtmCandidate> {
         self.ensure_sorted();
+        let cover = Cover::circle(&self.mesh, center, radius_rad);
+        self.candidates_from_cover(&cover)
+    }
+
+    /// Read-only variant of [`HtmPositionIndex::search`] for concurrent
+    /// probing: the caller must have called
+    /// [`HtmPositionIndex::ensure_sorted`] first (the parallel zone engine
+    /// sorts each zone bucket once, then fans probes out across workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has unsorted appends, since a binary search
+    /// over an unsorted list would silently drop candidates.
+    pub fn search_sorted(&self, center: SkyPoint, radius_rad: f64) -> Vec<HtmCandidate> {
+        assert!(
+            self.sorted,
+            "HtmPositionIndex::search_sorted requires ensure_sorted() first"
+        );
         let cover = Cover::circle(&self.mesh, center, radius_rad);
         self.candidates_from_cover(&cover)
     }
@@ -216,9 +249,7 @@ impl HtmPositionIndex {
         let mut out = Vec::new();
         for cr in cover.ranges() {
             let lo = self.entries.partition_point(|&(id, _)| id < cr.range.lo);
-            let hi = self
-                .entries
-                .partition_point(|&(id, _)| id <= cr.range.hi);
+            let hi = self.entries.partition_point(|&(id, _)| id <= cr.range.hi);
             for &(_, rid) in &self.entries[lo..hi] {
                 out.push(HtmCandidate {
                     row: rid,
@@ -382,6 +413,29 @@ mod tests {
         let rows: Vec<RowId> = cands.iter().map(|c| c.row).collect();
         assert!(rows.contains(&1) && rows.contains(&2));
         assert!(!rows.contains(&0));
+    }
+
+    #[test]
+    fn search_sorted_matches_mutable_search() {
+        let mut idx = HtmPositionIndex::new(10);
+        idx.insert(SkyPoint::from_radec_deg(300.0, 50.0), 0);
+        idx.insert(SkyPoint::from_radec_deg(10.0, -20.0), 1);
+        idx.insert(SkyPoint::from_radec_deg(10.001, -20.0), 2);
+        assert!(!idx.is_sorted());
+        idx.ensure_sorted();
+        assert!(idx.is_sorted());
+        let center = SkyPoint::from_radec_deg(10.0, -20.0);
+        let mut m = idx.clone();
+        assert_eq!(idx.search_sorted(center, 0.01), m.search(center, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "ensure_sorted")]
+    fn search_sorted_rejects_unsorted_index() {
+        let mut idx = HtmPositionIndex::new(10);
+        idx.insert(SkyPoint::from_radec_deg(300.0, 50.0), 0);
+        idx.insert(SkyPoint::from_radec_deg(10.0, -20.0), 1);
+        idx.search_sorted(SkyPoint::from_radec_deg(10.0, -20.0), 0.01);
     }
 
     #[test]

@@ -34,10 +34,10 @@ pub mod value;
 
 pub use cache::{BufferCache, CacheStats};
 pub use catalog::{Catalog, TableStats};
-pub use engine::Database;
+pub use engine::{resolve_range_candidates, Database};
 pub use error::StorageError;
 pub use exec::{RangeSearchHit, ScanOptions};
-pub use index::{BTreeIndex, HtmPositionIndex};
+pub use index::{BTreeIndex, HtmCandidate, HtmPositionIndex};
 pub use schema::{ColumnDef, DataType, PositionColumns, TableSchema};
 pub use table::{Row, RowId, Table};
 pub use value::Value;

@@ -189,12 +189,10 @@ impl TableSchema {
                         column: col.name.clone(),
                     });
                 }
-                v.coerce(col.dtype).ok_or_else(|| StorageError::TypeMismatch {
-                    context: format!(
-                        "column {}.{} expects {}",
-                        self.name, col.name, col.dtype
-                    ),
-                })
+                v.coerce(col.dtype)
+                    .ok_or_else(|| StorageError::TypeMismatch {
+                        context: format!("column {}.{} expects {}", self.name, col.name, col.dtype),
+                    })
             })
             .collect()
     }
@@ -231,10 +229,7 @@ mod tests {
         let ok = demo_schema().with_position(PositionColumns::new("ra", "dec", 10));
         assert!(ok.is_ok());
         let bad_col = demo_schema().with_position(PositionColumns::new("nope", "dec", 10));
-        assert!(matches!(
-            bad_col,
-            Err(StorageError::UnknownColumn { .. })
-        ));
+        assert!(matches!(bad_col, Err(StorageError::UnknownColumn { .. })));
         let bad_type = demo_schema().with_position(PositionColumns::new("object_id", "dec", 10));
         assert!(matches!(bad_type, Err(StorageError::TypeMismatch { .. })));
     }

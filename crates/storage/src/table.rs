@@ -158,8 +158,12 @@ mod tests {
     fn approx_bytes_grows() {
         let mut t = table();
         let empty = t.approx_bytes();
-        t.insert(vec![Value::Id(1), Value::Float(1.0), Value::Text("hello".into())])
-            .unwrap();
+        t.insert(vec![
+            Value::Id(1),
+            Value::Float(1.0),
+            Value::Text("hello".into()),
+        ])
+        .unwrap();
         assert!(t.approx_bytes() > empty);
     }
 }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use skyquery_htm::SkyPoint;
 use skyquery_storage::{
-    BufferCache, ColumnDef, Database, DataType, PositionColumns, ScanOptions, TableSchema, Value,
+    BufferCache, ColumnDef, DataType, Database, PositionColumns, ScanOptions, TableSchema, Value,
 };
 
 fn pos_db(points: &[(f64, f64)], depth: u8) -> Database {

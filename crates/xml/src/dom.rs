@@ -234,7 +234,10 @@ mod tests {
         let back = Element::parse(&e.to_pretty_xml()).unwrap();
         // Pretty printing introduces no semantic change for element-only
         // content; leaf text survives exactly.
-        assert_eq!(back.child("Body").unwrap().child_text("Method").unwrap(), "CrossMatch");
+        assert_eq!(
+            back.child("Body").unwrap().child_text("Method").unwrap(),
+            "CrossMatch"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn attr_escaping_includes_quotes() {
-        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        assert_eq!(
+            escape_attr(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
     }
 
     #[test]

@@ -145,9 +145,7 @@ impl<'a> XmlReader<'a> {
                     let start = self.pos;
                     self.skip_until("]]>")?;
                     let raw = &self.input[start..self.pos - 3];
-                    return Ok(XmlEvent::Text(
-                        String::from_utf8_lossy(raw).into_owned(),
-                    ));
+                    return Ok(XmlEvent::Text(String::from_utf8_lossy(raw).into_owned()));
                 }
                 if self.starts_with("<?") {
                     self.skip_until("?>")?;
@@ -167,9 +165,7 @@ impl<'a> XmlReader<'a> {
                     }
                     self.pos += 1;
                     match self.stack.pop() {
-                        Some(open) if open == name => {
-                            return Ok(XmlEvent::EndElement { name })
-                        }
+                        Some(open) if open == name => return Ok(XmlEvent::EndElement { name }),
                         Some(open) => {
                             return Err(XmlError::TagMismatch {
                                 expected: open,
@@ -177,7 +173,9 @@ impl<'a> XmlReader<'a> {
                             })
                         }
                         None => {
-                            return Err(self.err(format!("close tag </{name}> with no open element")))
+                            return Err(
+                                self.err(format!("close tag </{name}> with no open element"))
+                            )
                         }
                     }
                 }
@@ -336,9 +334,7 @@ mod tests {
 
     #[test]
     fn comments_declarations_doctype_skipped() {
-        let evs = events(
-            "<?xml version=\"1.0\"?><!-- hello --><!DOCTYPE a><a><!-- inner -->t</a>",
-        );
+        let evs = events("<?xml version=\"1.0\"?><!-- hello --><!DOCTYPE a><a><!-- inner -->t</a>");
         assert_eq!(evs.len(), 4); // start, text, end, eof
         assert_eq!(evs[1], XmlEvent::Text("t".into()));
     }
@@ -401,7 +397,9 @@ mod tests {
 
     #[test]
     fn offset_reported_on_error() {
-        let err = XmlReader::new("<a><b x=bad></b></a>").read_all().unwrap_err();
+        let err = XmlReader::new("<a><b x=bad></b></a>")
+            .read_all()
+            .unwrap_err();
         match err {
             XmlError::Malformed { offset, .. } => assert!(offset > 0),
             other => panic!("unexpected {other:?}"),

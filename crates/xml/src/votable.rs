@@ -356,7 +356,10 @@ mod tests {
     #[test]
     fn parse_rejects_wrong_root_and_bad_datatype() {
         assert!(VoTable::parse("<NOTVOTABLE/>").is_err());
-        assert!(VoTable::parse(r#"<VOTABLE name="x"><FIELD name="a" datatype="varchar"/></VOTABLE>"#).is_err());
+        assert!(VoTable::parse(
+            r#"<VOTABLE name="x"><FIELD name="a" datatype="varchar"/></VOTABLE>"#
+        )
+        .is_err());
     }
 
     #[test]

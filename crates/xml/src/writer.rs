@@ -52,7 +52,8 @@ impl XmlWriter {
 
     /// Writes the standard XML declaration. Call before any element.
     pub fn declaration(&mut self) -> &mut Self {
-        self.buf.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        self.buf
+            .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
         self.newline();
         self
     }

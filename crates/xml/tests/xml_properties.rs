@@ -6,9 +6,8 @@ use skyquery_xml::votable::format_f64;
 use skyquery_xml::{Element, VoColumn, VoTable, VoType};
 
 fn name_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z_][A-Za-z0-9_.-]{0,10}".prop_filter("no leading digit variants", |s| {
-        !s.starts_with(['-', '.'])
-    })
+    "[A-Za-z_][A-Za-z0-9_.-]{0,10}"
+        .prop_filter("no leading digit variants", |s| !s.starts_with(['-', '.']))
 }
 
 fn text_strategy() -> impl Strategy<Value = String> {

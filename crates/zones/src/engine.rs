@@ -1,0 +1,273 @@
+//! The zone-partitioned parallel cross-match engine.
+//!
+//! The engine reproduces the sequential stored-procedure steps *exactly* —
+//! same output tuples, same order, same statistics — while running the
+//! per-tuple kernels concurrently:
+//!
+//! 1. incoming tuples are materialized into the §5.3 temp table and read
+//!    back (sharing the sequential path's schema conformance), then
+//!    bucketed into declination zones by their maximum-likelihood
+//!    position;
+//! 2. each zone task gets the archive rows inside its padded declination
+//!    band and a worker builds a private HTM index over just those rows —
+//!    the full-table index is never touched, so workers need only shared
+//!    `&Table` access;
+//! 3. a crossbeam scoped worker pool pulls tasks off an atomic cursor and
+//!    runs the shared match / drop-out kernels from `skyquery_core::xmatch`
+//!    against the zone-local index;
+//! 4. outcomes are merged back into incoming-tuple order.
+//!
+//! Equality with the sequential engine holds because the HTM cover of a
+//! probe ball depends only on the mesh (identical at both index scales),
+//! full-cover rows are geometrically guaranteed to lie inside the padded
+//! band, and partial-cover rows are verified by the same distance test —
+//! so every tuple sees the identical candidate hit list it would have seen
+//! against the full-table index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use skyquery_core::engine::CrossMatchEngine;
+use skyquery_core::error::{FederationError, Result};
+use skyquery_core::xmatch::{
+    decode_materialized, dropout_step, extend_tuple, match_step, materialize_temp, probe_ball,
+    tuple_has_counterpart, PartialSet, StepConfig, StepContext, StepStats,
+};
+use skyquery_htm::SkyPoint;
+use skyquery_storage::{resolve_range_candidates, Database, HtmPositionIndex, Table};
+
+use crate::merge::{
+    merge_dropout, merge_match, zone_reports, TupleAction, TupleOutcome, ZoneReport,
+};
+use crate::partition::{partition, sorted_declinations, TupleProbe, ZonePlan, ZoneTask};
+use crate::zonemap::ZoneMap;
+
+/// A [`CrossMatchEngine`] running match and drop-out steps across a pool
+/// of zone workers. With `xmatch_workers <= 1` (the default federation
+/// configuration) every step delegates to the sequential kernels, so
+/// installing the engine unconditionally is safe.
+#[derive(Debug, Default)]
+pub struct ZoneEngine {
+    /// Per-zone summaries of the most recent partitioned step.
+    last_reports: Mutex<Vec<ZoneReport>>,
+}
+
+impl ZoneEngine {
+    /// Creates the engine.
+    pub fn new() -> ZoneEngine {
+        ZoneEngine::default()
+    }
+
+    /// Per-zone summaries of the most recent partitioned step (empty
+    /// until the engine has run a parallel step). Diagnostics only.
+    pub fn last_zone_reports(&self) -> Vec<ZoneReport> {
+        self.last_reports.lock().expect("reports lock").clone()
+    }
+
+    /// Splits the non-degenerate tuples of a step into zone tasks.
+    fn plan_step<I>(cfg: &StepConfig, table: &Table, dec_ci: usize, states: I) -> ZonePlan
+    where
+        I: Iterator<Item = Option<(SkyPoint, f64)>>,
+    {
+        let mut probes = Vec::new();
+        let mut degenerate = 0usize;
+        for (index, ball) in states.enumerate() {
+            match ball {
+                Some((center, radius_rad)) => probes.push(TupleProbe {
+                    index,
+                    center,
+                    radius_rad,
+                }),
+                None => degenerate += 1,
+            }
+        }
+        let map = ZoneMap::new(cfg.zone_height_deg);
+        let decs = sorted_declinations(table, dec_ci);
+        partition(&map, probes, &decs, degenerate)
+    }
+}
+
+impl CrossMatchEngine for ZoneEngine {
+    fn name(&self) -> &str {
+        "zones"
+    }
+
+    fn match_tuples(
+        &self,
+        db: &mut Database,
+        cfg: &StepConfig,
+        incoming: &PartialSet,
+    ) -> Result<(PartialSet, StepStats)> {
+        if cfg.xmatch_workers <= 1 {
+            return match_step(db, cfg, incoming);
+        }
+        let ctx = StepContext::new(db, cfg)?;
+        let mut columns = incoming.columns.clone();
+        columns.extend(ctx.appended.iter().cloned());
+
+        // Materialize and read back through the temp table exactly like
+        // the sequential step, so schema conformance (e.g. numeric
+        // coercion) cannot make the two engines diverge.
+        let temp = materialize_temp(db, incoming)?;
+        let temp_rows = db.table(&temp)?.rows().to_vec();
+        db.drop_table(&temp)?;
+        let table = db.table(&cfg.table)?;
+
+        let plan = ZoneEngine::plan_step(
+            cfg,
+            table,
+            ctx.dec_ci,
+            temp_rows
+                .iter()
+                .map(|trow| probe_ball(&decode_materialized(trow).0, cfg)),
+        );
+        *self.last_reports.lock().expect("reports lock") = zone_reports(&plan.tasks);
+
+        let outcomes = run_zone_tasks(
+            table,
+            &ctx,
+            &plan.tasks,
+            cfg.xmatch_workers,
+            &|task: &ZoneTask, index: &HtmPositionIndex| {
+                let mut out = Vec::with_capacity(task.probes.len());
+                for probe in &task.probes {
+                    let cands = index.search_sorted(probe.center, probe.radius_rad);
+                    let hits = resolve_range_candidates(
+                        table,
+                        ctx.ra_ci,
+                        ctx.dec_ci,
+                        probe.center,
+                        probe.radius_rad,
+                        &cands,
+                    )
+                    .map_err(FederationError::Storage)?;
+                    let (state, carried) = decode_materialized(&temp_rows[probe.index]);
+                    let mut extensions = Vec::new();
+                    extend_tuple(cfg, &ctx, table, &state, carried, &hits, &mut extensions)?;
+                    out.push(TupleOutcome {
+                        index: probe.index,
+                        probed: hits.len(),
+                        action: TupleAction::Extend(extensions),
+                    });
+                }
+                Ok(out)
+            },
+        )?;
+        Ok(merge_match(columns, incoming.len(), outcomes))
+    }
+
+    fn dropout(
+        &self,
+        db: &mut Database,
+        cfg: &StepConfig,
+        incoming: &PartialSet,
+    ) -> Result<(PartialSet, StepStats)> {
+        if cfg.xmatch_workers <= 1 {
+            return dropout_step(db, cfg, incoming);
+        }
+        let ctx = StepContext::new(db, cfg)?;
+        let table = db.table(&cfg.table)?;
+
+        let plan = ZoneEngine::plan_step(
+            cfg,
+            table,
+            ctx.dec_ci,
+            incoming.tuples.iter().map(|t| probe_ball(&t.state, cfg)),
+        );
+        *self.last_reports.lock().expect("reports lock") = zone_reports(&plan.tasks);
+
+        let outcomes = run_zone_tasks(
+            table,
+            &ctx,
+            &plan.tasks,
+            cfg.xmatch_workers,
+            &|task: &ZoneTask, index: &HtmPositionIndex| {
+                let mut out = Vec::with_capacity(task.probes.len());
+                for probe in &task.probes {
+                    let cands = index.search_sorted(probe.center, probe.radius_rad);
+                    let hits = resolve_range_candidates(
+                        table,
+                        ctx.ra_ci,
+                        ctx.dec_ci,
+                        probe.center,
+                        probe.radius_rad,
+                        &cands,
+                    )
+                    .map_err(FederationError::Storage)?;
+                    let state = &incoming.tuples[probe.index].state;
+                    let keep = !tuple_has_counterpart(cfg, &ctx, table, state, &hits)?;
+                    out.push(TupleOutcome {
+                        index: probe.index,
+                        probed: hits.len(),
+                        action: if keep {
+                            TupleAction::Keep
+                        } else {
+                            TupleAction::Drop
+                        },
+                    });
+                }
+                Ok(out)
+            },
+        )?;
+        Ok(merge_dropout(incoming, outcomes))
+    }
+}
+
+/// Runs zone tasks on a scoped worker pool. Workers pull tasks off an
+/// atomic cursor (cheap dynamic load balancing — dense zones near the
+/// galactic plane can be arbitrarily heavier than sparse ones), build the
+/// zone-local HTM index, and hand it to the step kernel.
+fn run_zone_tasks<K>(
+    table: &Table,
+    ctx: &StepContext,
+    tasks: &[ZoneTask],
+    workers: usize,
+    kernel: &K,
+) -> Result<Vec<TupleOutcome>>
+where
+    K: Fn(&ZoneTask, &HtmPositionIndex) -> Result<Vec<TupleOutcome>> + Sync,
+{
+    let depth = ctx
+        .schema
+        .position
+        .as_ref()
+        .expect("cross-match table has a position index")
+        .htm_depth;
+    let threads = workers.min(tasks.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let worker = || -> Result<Vec<TupleOutcome>> {
+        let mut local = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else {
+                break;
+            };
+            let mut index = HtmPositionIndex::new(depth);
+            for &rid in &task.rows {
+                let row = table.row(rid).expect("partitioned row exists");
+                let ra = row[ctx.ra_ci].as_f64().expect("position column");
+                let dec = row[ctx.dec_ci].as_f64().expect("position column");
+                index.insert(SkyPoint::from_radec_deg(ra, dec), rid);
+            }
+            index.ensure_sorted();
+            local.extend(kernel(task, &index)?);
+        }
+        Ok(local)
+    };
+
+    let joined = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|_| s.spawn(|_| worker())).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .collect::<Vec<std::result::Result<_, _>>>()
+    })
+    .expect("zone worker scope");
+
+    let mut outcomes = Vec::new();
+    for result in joined {
+        let worker_outcomes = result.unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;
+        outcomes.extend(worker_outcomes);
+    }
+    Ok(outcomes)
+}

@@ -1,0 +1,113 @@
+//! Fixed-height declination zones.
+//!
+//! The sky is sliced into horizontal bands of equal declination height —
+//! the classic "zones" decomposition for spherical cross-matching. A zone
+//! index is a pure function of declination, so partitioning never needs
+//! the mesh: tuples land in the zone of their maximum-likelihood position,
+//! and archive rows are bucketed by declination bands widened with a
+//! per-zone overlap margin.
+
+use skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG;
+
+/// Smallest admissible zone height. Below this the zone *count* stays
+/// bounded but the partitioner would degenerate into one tuple per task;
+/// it also guards the division in [`ZoneMap::zone_of`].
+const MIN_HEIGHT_DEG: f64 = 1e-4;
+
+/// A slicing of declination `[-90°, +90°]` into fixed-height zones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneMap {
+    height_deg: f64,
+    count: usize,
+}
+
+impl ZoneMap {
+    /// Builds a map with the given zone height in degrees. Non-finite,
+    /// zero, or negative heights fall back to the federation default;
+    /// valid heights are clamped into `[MIN_HEIGHT_DEG, 180]`.
+    pub fn new(height_deg: f64) -> ZoneMap {
+        let height = if height_deg.is_finite() && height_deg > 0.0 {
+            height_deg.clamp(MIN_HEIGHT_DEG, 180.0)
+        } else {
+            DEFAULT_ZONE_HEIGHT_DEG
+        };
+        let count = (180.0 / height).ceil().max(1.0) as usize;
+        ZoneMap {
+            height_deg: height,
+            count,
+        }
+    }
+
+    /// The (possibly clamped) zone height in degrees.
+    pub fn height_deg(&self) -> f64 {
+        self.height_deg
+    }
+
+    /// Number of zones covering the sphere.
+    pub fn zone_count(&self) -> usize {
+        self.count
+    }
+
+    /// The zone containing the given declination. Out-of-range inputs are
+    /// clamped to the polar zones.
+    pub fn zone_of(&self, dec_deg: f64) -> usize {
+        let idx = ((dec_deg + 90.0) / self.height_deg).floor();
+        if idx.is_nan() || idx < 0.0 {
+            return 0;
+        }
+        (idx as usize).min(self.count - 1)
+    }
+
+    /// The `[lo, hi)` declination bounds of a zone (the last zone closes
+    /// at exactly +90°).
+    pub fn bounds(&self, zone: usize) -> (f64, f64) {
+        let lo = -90.0 + zone as f64 * self.height_deg;
+        let hi = (lo + self.height_deg).min(90.0);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_sphere() {
+        let m = ZoneMap::new(10.0);
+        assert_eq!(m.zone_count(), 18);
+        assert_eq!(m.zone_of(-90.0), 0);
+        assert_eq!(m.zone_of(0.0), 9);
+        // +90 is clamped into the last zone.
+        assert_eq!(m.zone_of(90.0), 17);
+        let (lo, hi) = m.bounds(17);
+        assert_eq!((lo, hi), (80.0, 90.0));
+    }
+
+    #[test]
+    fn degenerate_heights_fall_back() {
+        for h in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(ZoneMap::new(h).height_deg(), DEFAULT_ZONE_HEIGHT_DEG);
+        }
+        // Tiny heights are clamped, keeping the zone count bounded.
+        assert!(ZoneMap::new(1e-12).zone_count() <= 1_800_000);
+        // Oversized heights yield a single zone.
+        assert_eq!(ZoneMap::new(500.0).zone_count(), 1);
+    }
+
+    #[test]
+    fn zone_of_matches_bounds() {
+        let m = ZoneMap::new(0.37);
+        for dec in [-89.99, -45.3, -0.01, 0.0, 12.345, 89.99] {
+            let z = m.zone_of(dec);
+            let (lo, hi) = m.bounds(z);
+            assert!(lo <= dec && (dec < hi || (z == m.zone_count() - 1 && dec <= hi)));
+        }
+    }
+
+    #[test]
+    fn out_of_range_declinations_clamp() {
+        let m = ZoneMap::new(1.0);
+        assert_eq!(m.zone_of(-1000.0), 0);
+        assert_eq!(m.zone_of(1000.0), m.zone_count() - 1);
+    }
+}

@@ -69,10 +69,7 @@ fn main() {
         &portal,
         "O",
         0.2,
-        &[
-            (1, "a_O", 185.0, -0.5),
-            (2, "b_O", 185.01, -0.49),
-        ],
+        &[(1, "a_O", 185.0, -0.5), (2, "b_O", 185.01, -0.49)],
     );
     archive(
         &net,

@@ -33,7 +33,10 @@ fn main() {
     );
 
     let strategies: [(&str, OrderingStrategy); 4] = [
-        ("count-star descending*", OrderingStrategy::CountStarDescending),
+        (
+            "count-star descending*",
+            OrderingStrategy::CountStarDescending,
+        ),
         ("count-star ascending", OrderingStrategy::CountStarAscending),
         ("declaration order", OrderingStrategy::DeclarationOrder),
         ("random (seed 3)", OrderingStrategy::Random(3)),
@@ -48,7 +51,11 @@ fn main() {
         let m = fed.net.metrics().total();
         println!(
             "{:<26} {:>10} {:>12} {:>10.2}s {:>8}",
-            name, m.messages, m.bytes, m.sim_seconds, result.row_count()
+            name,
+            m.messages,
+            m.bytes,
+            m.sim_seconds,
+            result.row_count()
         );
     }
 

@@ -59,13 +59,12 @@ fn main() {
     let (circle_result, _) = fed.portal.submit(&circle_sql).expect("circle query");
     let circle_bytes = fed.net.metrics().total().bytes;
 
+    println!("{:<28} {:>10} {:>14}", "region", "matches", "bytes moved");
     println!(
         "{:<28} {:>10} {:>14}",
-        "region", "matches", "bytes moved"
-    );
-    println!(
-        "{:<28} {:>10} {:>14}",
-        "stripe POLYGON", poly_result.row_count(), poly_bytes
+        "stripe POLYGON",
+        poly_result.row_count(),
+        poly_bytes
     );
     println!(
         "{:<28} {:>10} {:>14}",

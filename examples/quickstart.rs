@@ -47,8 +47,15 @@ fn main() {
     // Transmission accounting: the quantity the count-star ordering
     // minimizes.
     let m = fed.net.metrics();
-    println!("Network totals: {} messages, {} bytes", m.total().messages, m.total().bytes);
+    println!(
+        "Network totals: {} messages, {} bytes",
+        m.total().messages,
+        m.total().bytes
+    );
     for ((from, to), stats) in m.links() {
-        println!("  {from:<26} -> {to:<26} {:>6} msgs {:>10} bytes", stats.messages, stats.bytes);
+        println!(
+            "  {from:<26} -> {to:<26} {:>6} msgs {:>10} bytes",
+            stats.messages, stats.bytes
+        );
     }
 }

@@ -9,10 +9,7 @@ use skyquery_sim::{xmatch_query, CatalogParams, FederationBuilder, SurveyParams}
 use skyquery_storage::Value;
 
 /// Pulls `(object_id, position)` pairs straight out of a node's database.
-fn objects_of(
-    fed: &skyquery_sim::TestFederation,
-    archive: &str,
-) -> (Vec<u64>, Vec<Vec3>) {
+fn objects_of(fed: &skyquery_sim::TestFederation, archive: &str) -> (Vec<u64>, Vec<Vec3>) {
     let node = fed.node(archive).unwrap();
     let table = node.info().primary_table.clone();
     node.with_db(|db| {
@@ -22,11 +19,8 @@ fn objects_of(
         for (_, row) in t.iter() {
             ids.push(row[0].as_id().unwrap());
             pos.push(
-                SkyPoint::from_radec_deg(
-                    row[1].as_f64().unwrap(),
-                    row[2].as_f64().unwrap(),
-                )
-                .to_vec3(),
+                SkyPoint::from_radec_deg(row[1].as_f64().unwrap(), row[2].as_f64().unwrap())
+                    .to_vec3(),
             );
         }
         (ids, pos)
@@ -326,8 +320,7 @@ fn oracle_clustered_sky() {
     distributed.sort_unstable();
     assert_eq!(distributed, brute);
     // Ambiguity check: clusters should force many-to-many matches.
-    let distinct_o: std::collections::HashSet<u64> =
-        distributed.iter().map(|(o, _)| *o).collect();
+    let distinct_o: std::collections::HashSet<u64> = distributed.iter().map(|(o, _)| *o).collect();
     assert!(
         distributed.len() > distinct_o.len(),
         "expected ambiguous multi-matches in clustered fields"

@@ -61,24 +61,24 @@ fn figure2_federation() -> (SimNetwork, std::sync::Arc<Portal>) {
         "O",
         0.2,
         &[
-            (1, 185.0, -0.5),                      // a_O
-            (2, 185.01, -0.49),                    // b_O
+            (1, 185.0, -0.5),   // a_O
+            (2, 185.01, -0.49), // b_O
         ],
     );
     mk(
         "T",
         0.2,
         &[
-            (11, 185.0 + 0.1 * ARCSEC, -0.5),      // a_T
-            (12, 185.01, -0.49 + 0.15 * ARCSEC),   // b_T
+            (11, 185.0 + 0.1 * ARCSEC, -0.5),    // a_T
+            (12, 185.01, -0.49 + 0.15 * ARCSEC), // b_T
         ],
     );
     mk(
         "P",
         0.2,
         &[
-            (21, 185.0, -0.5 - 0.12 * ARCSEC),     // a_P (in range)
-            (22, 185.01, -0.49 + 20.0 * ARCSEC),   // b_P (out of range)
+            (21, 185.0, -0.5 - 0.12 * ARCSEC),   // a_P (in range)
+            (22, 185.01, -0.49 + 20.0 * ARCSEC), // b_P (out of range)
         ],
     );
     (net, portal)
@@ -88,7 +88,11 @@ fn figure2_federation() -> (SimNetwork, std::sync::Arc<Portal>) {
 fn figure2_all_mandatory_selects_body_a() {
     let (_net, portal) = figure2_federation();
     let sql = xmatch_query(
-        &[("O", "objects", "O"), ("T", "objects", "T"), ("P", "objects", "P")],
+        &[
+            ("O", "objects", "O"),
+            ("T", "objects", "T"),
+            ("P", "objects", "P"),
+        ],
         3.5,
         None,
     );
@@ -138,44 +142,50 @@ fn dropout_and_mandatory_are_exclusive_partitions() {
             .map(|row| (row[0].as_id().unwrap(), row[1].as_id().unwrap()))
             .collect()
     };
-    let base = pairs(&QuerySpec {
-        archives: vec![
-            ("O".into(), "objects".into(), "O".into(), false),
-            ("T".into(), "objects".into(), "T".into(), false),
-        ],
-        threshold: 3.5,
-        area: None,
-        polygon: None,
-        predicates: vec![],
-        select: vec!["O.object_id".into(), "T.object_id".into()],
-    }
-    .to_sql());
-    let with_p = pairs(&QuerySpec {
-        archives: vec![
-            ("O".into(), "objects".into(), "O".into(), false),
-            ("T".into(), "objects".into(), "T".into(), false),
-            ("P".into(), "objects".into(), "P".into(), false),
-        ],
-        threshold: 3.5,
-        area: None,
-        polygon: None,
-        predicates: vec![],
-        select: vec!["O.object_id".into(), "T.object_id".into()],
-    }
-    .to_sql());
-    let without_p = pairs(&QuerySpec {
-        archives: vec![
-            ("O".into(), "objects".into(), "O".into(), false),
-            ("T".into(), "objects".into(), "T".into(), false),
-            ("P".into(), "objects".into(), "P".into(), true),
-        ],
-        threshold: 3.5,
-        area: None,
-        polygon: None,
-        predicates: vec![],
-        select: vec!["O.object_id".into(), "T.object_id".into()],
-    }
-    .to_sql());
+    let base = pairs(
+        &QuerySpec {
+            archives: vec![
+                ("O".into(), "objects".into(), "O".into(), false),
+                ("T".into(), "objects".into(), "T".into(), false),
+            ],
+            threshold: 3.5,
+            area: None,
+            polygon: None,
+            predicates: vec![],
+            select: vec!["O.object_id".into(), "T.object_id".into()],
+        }
+        .to_sql(),
+    );
+    let with_p = pairs(
+        &QuerySpec {
+            archives: vec![
+                ("O".into(), "objects".into(), "O".into(), false),
+                ("T".into(), "objects".into(), "T".into(), false),
+                ("P".into(), "objects".into(), "P".into(), false),
+            ],
+            threshold: 3.5,
+            area: None,
+            polygon: None,
+            predicates: vec![],
+            select: vec!["O.object_id".into(), "T.object_id".into()],
+        }
+        .to_sql(),
+    );
+    let without_p = pairs(
+        &QuerySpec {
+            archives: vec![
+                ("O".into(), "objects".into(), "O".into(), false),
+                ("T".into(), "objects".into(), "T".into(), false),
+                ("P".into(), "objects".into(), "P".into(), true),
+            ],
+            threshold: 3.5,
+            area: None,
+            polygon: None,
+            predicates: vec![],
+            select: vec!["O.object_id".into(), "T.object_id".into()],
+        }
+        .to_sql(),
+    );
     let mut union: Vec<(u64, u64)> = with_p.iter().chain(&without_p).copied().collect();
     union.sort_unstable();
     union.dedup();

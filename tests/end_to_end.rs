@@ -77,7 +77,10 @@ fn count_star_ordering_puts_smallest_archive_last() {
     let o_pos = plan_line.find("O(").expect("O in plan");
     let t_pos = plan_line.find("T(").expect("T in plan");
     let p_pos = plan_line.find("P(").expect("P in plan");
-    assert!(o_pos < t_pos && t_pos < p_pos, "plan order wrong: {plan_line}");
+    assert!(
+        o_pos < t_pos && t_pos < p_pos,
+        "plan order wrong: {plan_line}"
+    );
 }
 
 #[test]

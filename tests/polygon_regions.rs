@@ -17,25 +17,28 @@ fn polygon_query(vertices: Vec<(f64, f64)>) -> String {
         area: None,
         polygon: Some(vertices),
         predicates: vec![],
-        select: vec!["O.object_id".into(), "O.ra".into(), "O.dec".into(), "T.object_id".into()],
+        select: vec![
+            "O.object_id".into(),
+            "O.ra".into(),
+            "O.dec".into(),
+            "T.object_id".into(),
+        ],
     }
     .to_sql()
 }
 
 /// A 0.8° × 0.8° CCW square centered on the synthetic sky.
 fn square_vertices() -> Vec<(f64, f64)> {
-    vec![
-        (184.6, -0.9),
-        (185.4, -0.9),
-        (185.4, -0.1),
-        (184.6, -0.1),
-    ]
+    vec![(184.6, -0.9), (185.4, -0.9), (185.4, -0.1), (184.6, -0.1)]
 }
 
 #[test]
 fn polygon_query_end_to_end() {
     let fed = FederationBuilder::paper_triple(1200).build();
-    let (result, _) = fed.portal.submit(&polygon_query(square_vertices())).unwrap();
+    let (result, _) = fed
+        .portal
+        .submit(&polygon_query(square_vertices()))
+        .unwrap();
     assert!(result.row_count() > 0, "square should contain matches");
     // Every returned O position must be inside the polygon.
     let poly = ConvexPolygon::from_radec_deg(&square_vertices()).unwrap();
@@ -66,7 +69,12 @@ fn polygon_is_subset_of_circumscribing_circle() {
         area: Some((185.0, -0.5, 60.0)), // 1° radius ⊇ the 0.8° square
         polygon: None,
         predicates: vec![],
-        select: vec!["O.object_id".into(), "O.ra".into(), "O.dec".into(), "T.object_id".into()],
+        select: vec![
+            "O.object_id".into(),
+            "O.ra".into(),
+            "O.dec".into(),
+            "T.object_id".into(),
+        ],
     }
     .to_sql();
     let (circle_result, _) = fed.portal.submit(&circle_sql).unwrap();
@@ -95,7 +103,10 @@ fn polygon_agrees_with_postfilter_oracle() {
     let fed = FederationBuilder::paper_triple(800).build();
     let poly = ConvexPolygon::from_radec_deg(&square_vertices()).unwrap();
 
-    let (poly_result, _) = fed.portal.submit(&polygon_query(square_vertices())).unwrap();
+    let (poly_result, _) = fed
+        .portal
+        .submit(&polygon_query(square_vertices()))
+        .unwrap();
 
     let whole_sql = QuerySpec {
         archives: vec![
@@ -234,7 +245,10 @@ fn region_type_consistency() {
 #[test]
 fn polygon_results_carry_no_nulls() {
     let fed = FederationBuilder::paper_triple(400).build();
-    let (result, _) = fed.portal.submit(&polygon_query(square_vertices())).unwrap();
+    let (result, _) = fed
+        .portal
+        .submit(&polygon_query(square_vertices()))
+        .unwrap();
     for row in &result.rows {
         for v in row {
             assert!(!matches!(v, Value::Null));

@@ -8,7 +8,7 @@ use skyquery_core::skynode::send_rpc;
 use skyquery_sim::{FederationBuilder, QuerySpec};
 use skyquery_soap::{RpcCall, SoapValue};
 use skyquery_sql::parse_query;
-use skyquery_storage::{ColumnDef, Database, DataType, TableSchema, Value};
+use skyquery_storage::{ColumnDef, DataType, Database, TableSchema, Value};
 
 fn stats_db() -> Database {
     let mut db = Database::new("SDSS");
@@ -126,9 +126,8 @@ fn aggregate_mode_validations() {
     let q = parse_query("SELECT O.id, count(*) FROM SDSS:obj O GROUP BY O.type").unwrap();
     assert!(execute_local(&mut db, "SDSS", &q).is_err());
     // ORDER BY non-key in aggregate mode.
-    let q =
-        parse_query("SELECT O.type, count(*) FROM SDSS:obj O GROUP BY O.type ORDER BY O.flux")
-            .unwrap();
+    let q = parse_query("SELECT O.type, count(*) FROM SDSS:obj O GROUP BY O.type ORDER BY O.flux")
+        .unwrap();
     assert!(execute_local(&mut db, "SDSS", &q).is_err());
 }
 
@@ -203,11 +202,7 @@ fn federated_order_by_and_limit() {
     let (result, _) = fed.portal.submit(&sql).unwrap();
     assert_eq!(result.row_count(), 5);
     // Rows are in descending flux order.
-    let fluxes: Vec<f64> = result
-        .rows
-        .iter()
-        .map(|r| r[1].as_f64().unwrap())
-        .collect();
+    let fluxes: Vec<f64> = result.rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
     for w in fluxes.windows(2) {
         assert!(w[0] >= w[1], "not sorted: {fluxes:?}");
     }
@@ -263,7 +258,10 @@ fn explain_renders_the_plan_without_executing() {
         threshold: 3.5,
         area: Some((185.0, -0.5, 30.0)),
         polygon: None,
-        predicates: vec!["O.type = 'GALAXY'".into(), "(O.i_flux - T.i_flux) > 2".into()],
+        predicates: vec![
+            "O.type = 'GALAXY'".into(),
+            "(O.i_flux - T.i_flux) > 2".into(),
+        ],
         select: vec!["O.object_id".into(), "T.object_id".into()],
     }
     .to_sql()
@@ -292,10 +290,8 @@ fn equality_pushdown_uses_the_type_index() {
     let total = node.with_db(|db| db.row_count("Photo_Object").unwrap());
     let (galaxies, accesses) = node.with_db(|db| {
         db.reset_cache_stats();
-        let q = parse_query(
-            "SELECT O.object_id FROM SDSS:Photo_Object O WHERE O.type = 'GALAXY'",
-        )
-        .unwrap();
+        let q = parse_query("SELECT O.object_id FROM SDSS:Photo_Object O WHERE O.type = 'GALAXY'")
+            .unwrap();
         let rs = match execute_local(db, "SDSS", &q).unwrap() {
             LocalQueryResult::Rows(rs) => rs,
             other => panic!("{other:?}"),

@@ -31,6 +31,8 @@ fn malicious_long_plan_overflows_stack() {
         limit: None,
         max_message_bytes: usize::MAX / 2,
         chunking: true,
+        xmatch_workers: 1,
+        zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
     };
     let res = send_rpc(
         &fed.net,

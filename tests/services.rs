@@ -30,12 +30,16 @@ fn metadata_service_describes_full_schema() {
     let fed = fed();
     let node = fed.node("TWOMASS").unwrap();
     let resp = send_rpc(&fed.net, "probe", &node.url(), &RpcCall::new("Metadata")).unwrap();
-    let catalog =
-        catalog_from_element(resp.require("catalog").unwrap().as_xml().unwrap()).unwrap();
+    let catalog = catalog_from_element(resp.require("catalog").unwrap().as_xml().unwrap()).unwrap();
     assert_eq!(catalog.database, "TWOMASS");
     let table = catalog.table("Photo_Primary").unwrap();
     assert!(table.row_count > 0);
-    let names: Vec<&str> = table.schema.columns.iter().map(|c| c.name.as_str()).collect();
+    let names: Vec<&str> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
     assert_eq!(names, vec!["object_id", "ra", "dec", "type", "i_flux"]);
     assert!(table.schema.position.is_some());
 }
@@ -64,8 +68,7 @@ fn query_service_answers_projections_and_counts() {
         &RpcCall::new("Query").param(
             "sql",
             SoapValue::Str(
-                "SELECT O.object_id, O.i_flux FROM SDSS:Photo_Object O WHERE O.i_flux > 500"
-                    .into(),
+                "SELECT O.object_id, O.i_flux FROM SDSS:Photo_Object O WHERE O.i_flux > 500".into(),
             ),
         ),
     )
@@ -78,8 +81,13 @@ fn query_service_answers_projections_and_counts() {
 fn unknown_service_faults_with_client_error() {
     let fed = fed();
     let node = fed.node("FIRST").unwrap();
-    let err = send_rpc(&fed.net, "probe", &node.url(), &RpcCall::new("SelfDestruct"))
-        .unwrap_err();
+    let err = send_rpc(
+        &fed.net,
+        "probe",
+        &node.url(),
+        &RpcCall::new("SelfDestruct"),
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("unknown service"), "{err}");
 }
 
@@ -108,7 +116,13 @@ fn wsdl_describes_all_services_with_endpoint() {
     let node = fed.node("SDSS").unwrap();
     let doc = Element::parse(&node.wsdl()).unwrap();
     let ops = wsdl::operation_names(&doc).unwrap();
-    for expected in ["Information", "Metadata", "Query", "CrossMatch", "FetchChunk"] {
+    for expected in [
+        "Information",
+        "Metadata",
+        "Query",
+        "CrossMatch",
+        "FetchChunk",
+    ] {
         assert!(ops.contains(&expected.to_string()), "missing {expected}");
     }
     assert_eq!(
@@ -144,8 +158,7 @@ fn skyquery_service_faults_on_unregistered_archive() {
         &RpcCall::new("SkyQuery").param(
             "sql",
             SoapValue::Str(
-                "SELECT H.x FROM HUBBLE:T H, SDSS:Photo_Object O WHERE XMATCH(H, O) < 3.0"
-                    .into(),
+                "SELECT H.x FROM HUBBLE:T H, SDSS:Photo_Object O WHERE XMATCH(H, O) < 3.0".into(),
             ),
         ),
     )
@@ -178,6 +191,8 @@ fn cross_match_call_with_bad_step_faults() {
         limit: None,
         max_message_bytes: 10 * 1024 * 1024,
         chunking: true,
+        xmatch_workers: 1,
+        zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
     };
     let err = send_rpc(
         &fed.net,
