@@ -12,6 +12,9 @@ pub struct Options {
     pub workers: usize,
     /// Declination zone height in degrees for the parallel engine.
     pub zone_height_deg: f64,
+    /// Split oversized transfers on zone boundaries (the pipelined path);
+    /// `false` falls back to plain byte-budget chunking.
+    pub zone_chunking: bool,
 }
 
 impl Default for Options {
@@ -21,6 +24,7 @@ impl Default for Options {
             seed: 42,
             workers: 1,
             zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
+            zone_chunking: true,
         }
     }
 }
@@ -82,6 +86,7 @@ where
                     }
                 }
             }
+            "--no-zone-chunking" => opts.zone_chunking = false,
             "--help" | "-h" => return Command::Help(None),
             other if other.starts_with("--") => {
                 return Command::Help(Some(format!("unknown option {other}")))
@@ -124,6 +129,7 @@ OPTIONS:
     --seed <N>         catalog RNG seed                            [default: 42]
     --workers <N>      cross-match worker threads per SkyNode      [default: 1]
     --zone-height <D>  declination zone height, degrees            [default: 0.1]
+    --no-zone-chunking legacy byte-budget chunking for oversized transfers
 "
 }
 
@@ -160,7 +166,12 @@ mod tests {
                 assert_eq!(o.seed, 7);
                 assert_eq!(o.workers, 4);
                 assert_eq!(o.zone_height_deg, 0.5);
+                assert!(o.zone_chunking, "zone chunking defaults on");
             }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(["demo", "--no-zone-chunking"]) {
+            Command::Demo(o) => assert!(!o.zone_chunking),
             other => panic!("{other:?}"),
         }
         // Options may precede the command.
@@ -216,6 +227,7 @@ mod tests {
             "--seed",
             "--workers",
             "--zone-height",
+            "--no-zone-chunking",
         ] {
             assert!(usage().contains(word), "{word}");
         }

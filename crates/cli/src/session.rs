@@ -28,6 +28,7 @@ impl Session {
             .config(FederationConfig {
                 xmatch_workers: opts.workers,
                 zone_height_deg: opts.zone_height_deg,
+                zone_chunking: opts.zone_chunking,
                 ..FederationConfig::default()
             })
             .survey(skyquery_sim::SurveyParams::sdss_like())
@@ -188,6 +189,17 @@ impl Session {
                 }
                 _ => writeln!(out, "usage: \\chunking on|off")?,
             },
+            Some("zonechunking") => match parts.next() {
+                Some(word @ ("on" | "off")) => {
+                    let enabled = word == "on";
+                    self.fed.portal.set_config(FederationConfig {
+                        zone_chunking: enabled,
+                        ..self.fed.portal.config()
+                    });
+                    writeln!(out, "zone-aware chunking {word}")?;
+                }
+                _ => writeln!(out, "usage: \\zonechunking on|off")?,
+            },
             Some("transfer") => {
                 // \transfer SRC DEST TABLE SELECT …
                 let src = parts.next();
@@ -226,6 +238,7 @@ pub fn meta_help() -> &'static str {
   \\ordering desc|asc|decl|random    plan ordering strategy
   \\limit <bytes>                    SOAP parser message limit
   \\chunking on|off                  §6 chunked-transfer workaround
+  \\zonechunking on|off              zone-aware pipelined transfer chunks
   \\transfer <src> <dst> <tbl> <sql> transactional table copy (2PC)
   \\help                             this text
   \\quit                             leave"
@@ -285,6 +298,9 @@ mod tests {
         assert!(out.contains("50000"));
         let (_, out) = drive(&mut s, "\\chunking off");
         assert!(out.contains("chunking off"));
+        let (_, out) = drive(&mut s, "\\zonechunking off");
+        assert!(out.contains("zone-aware chunking off"));
+        assert!(!s.fed.portal.config().zone_chunking);
         let (_, out) = drive(&mut s, "\\nonsense");
         assert!(out.contains("unknown meta-command"));
         let (more, _) = drive(&mut s, "\\quit");

@@ -35,10 +35,12 @@ pub mod region;
 pub mod result;
 pub mod skynode;
 pub mod trace;
+pub mod transfer;
 pub mod xmatch;
 
 pub use client::Client;
 pub use engine::{CrossMatchEngine, SequentialEngine};
+pub use engine::{PartialIngest, StepKind};
 pub use error::{FederationError, Result};
 pub use exchange::TransferReport;
 pub use meta::{ArchiveInfo, RegisteredNode};
@@ -46,6 +48,7 @@ pub use plan::{ExecutionPlan, PlanStep};
 pub use portal::{FederationConfig, OrderingStrategy, Portal};
 pub use region::Region;
 pub use result::{ResultColumn, ResultSet};
-pub use skynode::SkyNode;
+pub use skynode::{SkyNode, SkyNodeBuilder};
 pub use trace::{ExecutionTrace, TraceEvent};
+pub use transfer::{ChunkStream, IncomingPartial, TransferChunk};
 pub use xmatch::{PartialSet, PartialTuple, StepConfig, StepContext, StepStats, TupleState};

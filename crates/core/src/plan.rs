@@ -78,6 +78,11 @@ pub struct ExecutionPlan {
     pub xmatch_workers: usize,
     /// Declination zone height in degrees for the parallel zone engine.
     pub zone_height_deg: f64,
+    /// Whether oversized partial results are split on declination-zone
+    /// boundaries (carrying a sequence column and per-chunk zone ranges)
+    /// so receivers can pipeline zone processing with the transfer.
+    /// `false` keeps the legacy byte-budget split.
+    pub zone_chunking: bool,
 }
 
 /// Default parser limit: the ~10 MB the paper reports.
@@ -146,7 +151,8 @@ impl ExecutionPlan {
             .with_attr("max_message_bytes", self.max_message_bytes.to_string())
             .with_attr("chunking", self.chunking.to_string())
             .with_attr("xmatch_workers", self.xmatch_workers.to_string())
-            .with_attr("zone_height_deg", format!("{:?}", self.zone_height_deg));
+            .with_attr("zone_height_deg", format!("{:?}", self.zone_height_deg))
+            .with_attr("zone_chunking", self.zone_chunking.to_string());
         if let Some(r) = &self.region {
             plan = plan.with_child(r.to_element());
         }
@@ -303,6 +309,12 @@ impl ExecutionPlan {
                 .and_then(|v| v.parse::<f64>().ok())
                 .filter(|h| h.is_finite() && *h > 0.0)
                 .unwrap_or(DEFAULT_ZONE_HEIGHT_DEG),
+            // Plans from peers predating zone-aware transfer omit the
+            // attribute; absent means the legacy byte-budget split.
+            zone_chunking: e
+                .attr("zone_chunking")
+                .map(|v| v == "true")
+                .unwrap_or(false),
         })
     }
 }
@@ -366,6 +378,7 @@ mod tests {
             chunking: true,
             xmatch_workers: 4,
             zone_height_deg: 0.25,
+            zone_chunking: true,
         }
     }
 
@@ -446,6 +459,19 @@ mod tests {
         let p = ExecutionPlan::from_element(&el).unwrap();
         assert_eq!(p.xmatch_workers, 1);
         assert!(p.zone_height_deg > 0.0);
+    }
+
+    #[test]
+    fn legacy_plans_default_to_byte_budget_chunking() {
+        // A plan element written before the zone-aware transfer existed
+        // must fall back to the plain byte-budget split.
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| k != "zone_chunking");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert!(!p.zone_chunking);
+        // The attribute round-trips when present.
+        let back = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
+        assert!(back.zone_chunking);
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct FederationConfig {
     pub xmatch_workers: usize,
     /// Declination height (degrees) of each zone in the parallel engine.
     pub zone_height_deg: f64,
+    /// Whether oversized partial results are split on zone boundaries so
+    /// downstream nodes can pipeline zone processing with the transfer.
+    pub zone_chunking: bool,
 }
 
 impl Default for FederationConfig {
@@ -72,6 +75,7 @@ impl Default for FederationConfig {
             parallel_performance_queries: true,
             xmatch_workers: 1,
             zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
+            zone_chunking: true,
         }
     }
 }
@@ -551,6 +555,7 @@ impl Portal {
             chunking: config.chunking,
             xmatch_workers: config.xmatch_workers.max(1),
             zone_height_deg: config.zone_height_deg,
+            zone_chunking: config.zone_chunking,
         })
     }
 }

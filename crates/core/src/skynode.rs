@@ -4,37 +4,197 @@
 //! its DBMS and other platform specific details." A SkyNode exposes the
 //! four Web services of §5.1 — **Information**, **Meta-data**, **Query**,
 //! and **Cross match** — plus the `FetchChunk` continuation used by the
-//! §6 chunking workaround, all dispatched by `SOAPAction` over the
-//! simulated HTTP transport.
+//! §6 chunking workaround and the data-exchange two-phase-commit methods,
+//! all dispatched by `SOAPAction` through a single [service-method
+//! registry](SkyNode::service_names) that also generates the node's WSDL.
 //!
 //! The Cross match service is the daisy-chain participant: on a call with
 //! step index `i` it first calls step `i+1` (unless it is the seed), then
 //! runs its own stored-procedure step on the returned partial results,
 //! applies any residual clauses scheduled at this step, and returns the
-//! new partial set (chunked when oversized) to its caller.
+//! new partial set (chunked when oversized) to its caller. When the
+//! upstream reply is chunked, the node does not wait for the whole set:
+//! it feeds each chunk to the engine's [incremental ingest
+//! session](crate::engine::PartialIngest) as it arrives, releasing the
+//! database lock between chunks, so zone workers can process completed
+//! zones while later chunks are still in flight.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use skyquery_htm::SkyPoint;
 use skyquery_net::{Endpoint, HttpRequest, HttpResponse, SimNetwork, Url};
 use skyquery_soap::{
-    ChunkHeader, MessageLimits, Operation, Reassembler, RpcCall, RpcResponse, SoapValue,
+    ChunkHeader, ChunkManifest, MessageLimits, Operation, RpcCall, RpcResponse, SoapValue,
     WsdlBuilder,
 };
 use skyquery_sql::parse_query;
 use skyquery_storage::Database;
 use skyquery_xml::VoTable;
 
-use crate::engine::{default_engine, CrossMatchEngine};
+use crate::engine::{default_engine, CrossMatchEngine, PartialIngest, StepKind};
 use crate::error::{FederationError, Result};
 use crate::exchange::ExchangeState;
 use crate::meta::{catalog_to_element, ArchiveInfo};
 use crate::plan::ExecutionPlan;
 use crate::query_exec::{execute_local, LocalQueryResult};
 use crate::trace::StatsChain;
+use crate::transfer::{open_cross_match, zone_label, IncomingPartial};
 use crate::xmatch::PartialSet;
+
+pub use crate::transfer::{invoke_cross_match, send_rpc};
+
+/// One entry in the SOAPAction dispatch table: the method name, its WSDL
+/// operation, and its handler. A single registry drives both
+/// [`SkyNode::handle_call`] dispatch and [`SkyNode::wsdl`] generation, so
+/// a method cannot be served without being described (or vice versa).
+struct ServiceMethod {
+    name: &'static str,
+    operation: fn() -> Operation,
+    handler: fn(&SkyNode, &SimNetwork, &RpcCall) -> Result<RpcResponse>,
+}
+
+/// Every service method a SkyNode answers, in WSDL order.
+const SERVICES: &[ServiceMethod] = &[
+    ServiceMethod {
+        name: "Information",
+        operation: || {
+            Operation::new("Information")
+                .output("info", "xml")
+                .doc("Astronomy-specific constants: σ, primary table, HTM depth")
+        },
+        handler: SkyNode::handle_information,
+    },
+    ServiceMethod {
+        name: "Metadata",
+        operation: || {
+            Operation::new("Metadata")
+                .output("catalog", "xml")
+                .doc("Complete schema information for the Portal's catalog")
+        },
+        handler: SkyNode::handle_metadata,
+    },
+    ServiceMethod {
+        name: "Query",
+        operation: || {
+            Operation::new("Query")
+                .input("sql", "string")
+                .output("count", "long")
+                .output("rows", "table")
+                .doc("General-purpose single-archive queries (performance queries)")
+        },
+        handler: SkyNode::handle_query,
+    },
+    ServiceMethod {
+        name: "CrossMatch",
+        operation: || {
+            Operation::new("CrossMatch")
+                .input("plan", "xml")
+                .input("step", "long")
+                .output("partial", "table")
+                .output("manifest", "xml")
+                .output("stats", "xml")
+                .doc("One step of the federated cross-match chain")
+        },
+        handler: |node, net, call| node.handle_cross_match(net, call),
+    },
+    ServiceMethod {
+        name: "FetchChunk",
+        operation: || {
+            Operation::new("FetchChunk")
+                .input("transfer_id", "long")
+                .input("index", "long")
+                .output("chunk", "table")
+                .doc("Chunked-transfer continuation for oversized partial results")
+        },
+        handler: |node, _net, call| node.handle_fetch_chunk(call),
+    },
+    ServiceMethod {
+        name: "PrepareReceive",
+        operation: || {
+            Operation::new("PrepareReceive")
+                .input("txn", "long")
+                .input("dest_table", "string")
+                .input("schema", "xml")
+                .input("rows", "table")
+                .output("staged", "long")
+                .doc("Data-exchange 2PC: stage rows for an incoming transfer")
+        },
+        handler: SkyNode::handle_prepare_receive,
+    },
+    ServiceMethod {
+        name: "CommitReceive",
+        operation: || {
+            Operation::new("CommitReceive")
+                .input("txn", "long")
+                .output("published", "long")
+                .doc("Data-exchange 2PC: publish a staged transfer")
+        },
+        handler: SkyNode::handle_commit_receive,
+    },
+    ServiceMethod {
+        name: "AbortReceive",
+        operation: || {
+            Operation::new("AbortReceive")
+                .input("txn", "long")
+                .output("aborted", "boolean")
+                .doc("Data-exchange 2PC: discard a staged transfer")
+        },
+        handler: SkyNode::handle_abort_receive,
+    },
+];
+
+/// Configures and starts a [`SkyNode`].
+///
+/// ```no_run
+/// # use skyquery_core::skynode::SkyNodeBuilder;
+/// # use skyquery_core::meta::ArchiveInfo;
+/// # fn demo(net: &skyquery_net::SimNetwork, info: ArchiveInfo, db: skyquery_storage::Database) {
+/// let node = SkyNodeBuilder::new(info, db).start(net, "sdss.example.org");
+/// # }
+/// ```
+pub struct SkyNodeBuilder {
+    info: ArchiveInfo,
+    db: Database,
+    engine: Arc<dyn CrossMatchEngine>,
+}
+
+impl SkyNodeBuilder {
+    /// A builder for a node wrapping `db`, using the default sequential
+    /// engine until [`SkyNodeBuilder::engine`] installs another.
+    pub fn new(info: ArchiveInfo, db: Database) -> SkyNodeBuilder {
+        SkyNodeBuilder {
+            info,
+            db,
+            engine: default_engine(),
+        }
+    }
+
+    /// Installs a cross-match engine (e.g. the zone-partitioned parallel
+    /// engine from `skyquery-zones`).
+    pub fn engine(mut self, engine: Arc<dyn CrossMatchEngine>) -> SkyNodeBuilder {
+        self.engine = engine;
+        self
+    }
+
+    /// Starts the node and binds it to `host` on the network.
+    pub fn start(self, net: &SimNetwork, host: impl Into<String>) -> Arc<SkyNode> {
+        let host = host.into();
+        let node = Arc::new(SkyNode {
+            info: self.info,
+            host: host.clone(),
+            db: Mutex::new(self.db),
+            pending: Mutex::new(HashMap::new()),
+            next_transfer: AtomicU64::new(1),
+            exchange: Mutex::new(ExchangeState::new()),
+            engine: self.engine,
+        });
+        net.bind(host, node.clone());
+        node
+    }
+}
 
 /// A SkyNode wrapping one archive database.
 pub struct SkyNode {
@@ -52,17 +212,18 @@ pub struct SkyNode {
 
 impl SkyNode {
     /// Creates a SkyNode and binds it to `host` on the network.
+    #[deprecated(note = "use SkyNodeBuilder::new(info, db).start(net, host)")]
     pub fn start(
         net: &SimNetwork,
         host: impl Into<String>,
         info: ArchiveInfo,
         db: Database,
     ) -> Arc<SkyNode> {
-        SkyNode::start_with_engine(net, host, info, db, default_engine())
+        SkyNodeBuilder::new(info, db).start(net, host)
     }
 
-    /// Like [`SkyNode::start`], but with an explicit cross-match engine
-    /// (e.g. the zone-partitioned parallel engine).
+    /// Like `SkyNode::start`, but with an explicit cross-match engine.
+    #[deprecated(note = "use SkyNodeBuilder::new(info, db).engine(engine).start(net, host)")]
     pub fn start_with_engine(
         net: &SimNetwork,
         host: impl Into<String>,
@@ -70,18 +231,9 @@ impl SkyNode {
         db: Database,
         engine: Arc<dyn CrossMatchEngine>,
     ) -> Arc<SkyNode> {
-        let host = host.into();
-        let node = Arc::new(SkyNode {
-            info,
-            host: host.clone(),
-            db: Mutex::new(db),
-            pending: Mutex::new(HashMap::new()),
-            next_transfer: AtomicU64::new(1),
-            exchange: Mutex::new(ExchangeState::new()),
-            engine,
-        });
-        net.bind(host, node.clone());
-        node
+        SkyNodeBuilder::new(info, db)
+            .engine(engine)
+            .start(net, host)
     }
 
     /// The installed cross-match engine's name.
@@ -116,114 +268,97 @@ impl SkyNode {
         self.exchange.lock().pending()
     }
 
-    /// The WSDL document describing this node's services (§3.1).
+    /// Every SOAPAction method this node dispatches, in WSDL order.
+    pub fn service_names() -> Vec<&'static str> {
+        SERVICES.iter().map(|s| s.name).collect()
+    }
+
+    /// The WSDL document describing this node's services (§3.1),
+    /// generated from the same registry that dispatches them.
     pub fn wsdl(&self) -> String {
-        WsdlBuilder::new("SkyNode", self.url().to_string())
-            .operation(
-                Operation::new("Information")
-                    .output("info", "xml")
-                    .doc("Astronomy-specific constants: σ, primary table, HTM depth"),
-            )
-            .operation(
-                Operation::new("Metadata")
-                    .output("catalog", "xml")
-                    .doc("Complete schema information for the Portal's catalog"),
-            )
-            .operation(
-                Operation::new("Query")
-                    .input("sql", "string")
-                    .output("count", "long")
-                    .output("rows", "table")
-                    .doc("General-purpose single-archive queries (performance queries)"),
-            )
-            .operation(
-                Operation::new("CrossMatch")
-                    .input("plan", "xml")
-                    .input("step", "long")
-                    .output("partial", "table")
-                    .output("stats", "xml")
-                    .doc("One step of the federated cross-match chain"),
-            )
-            .operation(
-                Operation::new("FetchChunk")
-                    .input("transfer_id", "long")
-                    .input("index", "long")
-                    .output("chunk", "table")
-                    .doc("Chunked-transfer continuation for oversized partial results"),
-            )
-            .to_xml()
+        let mut builder = WsdlBuilder::new("SkyNode", self.url().to_string());
+        for service in SERVICES {
+            builder = builder.operation((service.operation)());
+        }
+        builder.to_xml()
     }
 
     fn handle_call(&self, net: &SimNetwork, call: RpcCall) -> Result<RpcResponse> {
-        match call.method.as_str() {
-            "Information" => Ok(RpcResponse::new("Information")
-                .result("info", SoapValue::Xml(self.info.to_element()))),
-            "Metadata" => {
-                let catalog = self.db.lock().catalog();
-                Ok(RpcResponse::new("Metadata")
-                    .result("catalog", SoapValue::Xml(catalog_to_element(&catalog))))
-            }
-            "Query" => {
-                let sql = call
-                    .require("sql")?
-                    .as_str()
-                    .ok_or_else(|| FederationError::protocol("sql parameter must be a string"))?
-                    .to_string();
-                let query = parse_query(&sql).map_err(FederationError::Sql)?;
-                let mut db = self.db.lock();
-                match execute_local(&mut db, &self.info.name, &query)? {
-                    LocalQueryResult::Count(n) => {
-                        Ok(RpcResponse::new("Query").result("count", SoapValue::Int(n as i64)))
-                    }
-                    LocalQueryResult::Rows(rs) => Ok(RpcResponse::new("Query")
-                        .result("rows", SoapValue::Table(rs.to_votable("rows")))),
-                }
-            }
-            "CrossMatch" => self.handle_cross_match(net, &call),
-            "FetchChunk" => self.handle_fetch_chunk(&call),
-            // Data-exchange extension (§6): two-phase commit participant.
-            "PrepareReceive" => {
-                let txn = require_u64(&call, "txn")?;
-                let dest_table = call
-                    .require("dest_table")?
-                    .as_str()
-                    .ok_or_else(|| FederationError::protocol("dest_table must be a string"))?
-                    .to_string();
-                let schema = call
-                    .require("schema")?
-                    .as_xml()
-                    .ok_or_else(|| FederationError::protocol("schema must be xml"))?
-                    .clone();
-                let rows = crate::result::ResultSet::from_votable(
-                    call.require("rows")?
-                        .as_table()
-                        .ok_or_else(|| FederationError::protocol("rows must be a table"))?,
-                )?;
-                let mut db = self.db.lock();
-                let staged =
-                    self.exchange
-                        .lock()
-                        .prepare(&mut db, txn, &dest_table, &schema, &rows)?;
-                Ok(RpcResponse::new("PrepareReceive")
-                    .result("staged", SoapValue::Int(staged as i64)))
-            }
-            "CommitReceive" => {
-                let txn = require_u64(&call, "txn")?;
-                let mut db = self.db.lock();
-                let published = self.exchange.lock().commit(&mut db, txn)?;
-                Ok(RpcResponse::new("CommitReceive")
-                    .result("published", SoapValue::Int(published as i64)))
-            }
-            "AbortReceive" => {
-                let txn = require_u64(&call, "txn")?;
-                let mut db = self.db.lock();
-                self.exchange.lock().abort(&mut db, txn)?;
-                Ok(RpcResponse::new("AbortReceive").result("aborted", SoapValue::Bool(true)))
-            }
-            other => Err(FederationError::protocol(format!(
-                "unknown service {other}"
+        match SERVICES.iter().find(|s| s.name == call.method) {
+            Some(service) => (service.handler)(self, net, &call),
+            None => Err(FederationError::protocol(format!(
+                "unknown service {}",
+                call.method
             ))),
         }
+    }
+
+    fn handle_information(&self, _net: &SimNetwork, _call: &RpcCall) -> Result<RpcResponse> {
+        Ok(RpcResponse::new("Information").result("info", SoapValue::Xml(self.info.to_element())))
+    }
+
+    fn handle_metadata(&self, _net: &SimNetwork, _call: &RpcCall) -> Result<RpcResponse> {
+        let catalog = self.db.lock().catalog();
+        Ok(RpcResponse::new("Metadata")
+            .result("catalog", SoapValue::Xml(catalog_to_element(&catalog))))
+    }
+
+    fn handle_query(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let sql = call
+            .require("sql")?
+            .as_str()
+            .ok_or_else(|| FederationError::protocol("sql parameter must be a string"))?
+            .to_string();
+        let query = parse_query(&sql).map_err(FederationError::Sql)?;
+        let mut db = self.db.lock();
+        match execute_local(&mut db, &self.info.name, &query)? {
+            LocalQueryResult::Count(n) => {
+                Ok(RpcResponse::new("Query").result("count", SoapValue::Int(n as i64)))
+            }
+            LocalQueryResult::Rows(rs) => {
+                Ok(RpcResponse::new("Query")
+                    .result("rows", SoapValue::Table(rs.to_votable("rows"))))
+            }
+        }
+    }
+
+    fn handle_prepare_receive(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let txn = require_u64(call, "txn")?;
+        let dest_table = call
+            .require("dest_table")?
+            .as_str()
+            .ok_or_else(|| FederationError::protocol("dest_table must be a string"))?
+            .to_string();
+        let schema = call
+            .require("schema")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("schema must be xml"))?
+            .clone();
+        let rows = crate::result::ResultSet::from_votable(
+            call.require("rows")?
+                .as_table()
+                .ok_or_else(|| FederationError::protocol("rows must be a table"))?,
+        )?;
+        let mut db = self.db.lock();
+        let staged = self
+            .exchange
+            .lock()
+            .prepare(&mut db, txn, &dest_table, &schema, &rows)?;
+        Ok(RpcResponse::new("PrepareReceive").result("staged", SoapValue::Int(staged as i64)))
+    }
+
+    fn handle_commit_receive(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let txn = require_u64(call, "txn")?;
+        let mut db = self.db.lock();
+        let published = self.exchange.lock().commit(&mut db, txn)?;
+        Ok(RpcResponse::new("CommitReceive").result("published", SoapValue::Int(published as i64)))
+    }
+
+    fn handle_abort_receive(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let txn = require_u64(call, "txn")?;
+        let mut db = self.db.lock();
+        self.exchange.lock().abort(&mut db, txn)?;
+        Ok(RpcResponse::new("AbortReceive").result("aborted", SoapValue::Bool(true)))
     }
 
     fn handle_cross_match(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
@@ -254,29 +389,41 @@ impl SkyNode {
             )));
         }
 
-        // Daisy chain: obtain the partial results from the next step.
-        let (incoming, mut stats_chain) = if step == plan.seed_index() {
-            (None, StatsChain::new())
-        } else {
-            let next_url = plan.steps[step + 1].url.clone();
-            let (set, chain) = invoke_cross_match(net, &self.host, &next_url, &plan, step + 1)?;
-            (Some(set), chain)
-        };
-
-        // Run this node's stored-procedure step.
         let cfg = plan.step_config(step)?;
-        let mut db = self.db.lock();
-        let (mut set, stats) = match (&incoming, plan.steps[step].dropout) {
-            (None, false) => self.engine.seed(&mut db, &cfg)?,
-            (Some(inc), false) => self.engine.match_tuples(&mut db, &cfg, inc)?,
-            (Some(inc), true) => self.engine.dropout(&mut db, &cfg, inc)?,
-            (None, true) => {
+        let dropout = plan.steps[step].dropout;
+
+        // Daisy chain: obtain the partial results from the next step,
+        // then run this node's stored-procedure step on them.
+        let (mut set, stats, mut stats_chain) = if step == plan.seed_index() {
+            if dropout {
                 return Err(FederationError::protocol(
                     "a drop-out archive cannot be the seed of the chain",
-                ))
+                ));
             }
+            let mut db = self.db.lock();
+            let (set, stats) = self.engine.seed(&mut db, &cfg)?;
+            (set, stats, StatsChain::new())
+        } else {
+            let next_url = plan.steps[step + 1].url.clone();
+            let (incoming, chain) = open_cross_match(net, &self.host, &next_url, &plan, step + 1)?;
+            let kind = if dropout {
+                StepKind::Dropout
+            } else {
+                StepKind::Match
+            };
+            let (set, stats) = match incoming {
+                IncomingPartial::Inline(inc) => {
+                    let mut db = self.db.lock();
+                    match kind {
+                        StepKind::Match => self.engine.match_tuples(&mut db, &cfg, &inc)?,
+                        StepKind::Dropout => self.engine.dropout(&mut db, &cfg, &inc)?,
+                    }
+                }
+                IncomingPartial::Chunked(stream) => self.ingest_chunked(stream, &cfg, kind)?,
+            };
+            (set, stats, chain)
         };
-        drop(db);
+
         // Residual clauses scheduled at this step.
         let residuals = plan.residuals(step)?;
         if !residuals.is_empty() {
@@ -287,8 +434,55 @@ impl SkyNode {
         self.encode_partial_response(&plan, set, stats_chain)
     }
 
+    /// Feeds a chunked upstream reply to the engine's incremental ingest
+    /// session as chunks arrive. The database lock is taken per chunk and
+    /// released before the next `FetchChunk` round-trip — both to overlap
+    /// engine work with the transfer and because the daisy chain may
+    /// revisit this very node at an earlier step.
+    fn ingest_chunked(
+        &self,
+        mut stream: crate::transfer::ChunkStream<'_>,
+        cfg: &crate::xmatch::StepConfig,
+        kind: StepKind,
+    ) -> Result<(PartialSet, crate::xmatch::StepStats)> {
+        let mut session: Option<Box<dyn PartialIngest + '_>> = None;
+        let mut next_seq = 0u64;
+        while let Some(chunk) = stream.fetch_next()? {
+            let set = PartialSet::from_votable(&chunk.table)?;
+            let columns = set.columns;
+            let pairs: Vec<_> = match chunk.seqs {
+                Some(seqs) => seqs
+                    .into_iter()
+                    .map(|s| s as usize)
+                    .zip(set.tuples)
+                    .collect(),
+                None => set
+                    .tuples
+                    .into_iter()
+                    .map(|t| {
+                        let i = next_seq as usize;
+                        next_seq += 1;
+                        (i, t)
+                    })
+                    .collect(),
+            };
+            let mut db = self.db.lock();
+            let session = match session.as_mut() {
+                Some(s) => s,
+                None => session.insert(self.engine.begin_partial(&mut db, cfg, kind, columns)?),
+            };
+            session.ingest(&mut db, pairs)?;
+        }
+        let session = session
+            .ok_or_else(|| FederationError::protocol("chunked transfer delivered zero chunks"))?;
+        session.finish(&mut self.db.lock())
+    }
+
     /// Encodes a partial set, chunking when the monolithic response would
-    /// exceed the plan's message limit.
+    /// exceed the plan's message limit. Chunked replies return a typed
+    /// [`ChunkManifest`]; with the plan's `zone_chunking` knob on, chunks
+    /// are split on declination-zone boundaries and carry the `__seq`
+    /// sequence column so the receiver can pipeline zone processing.
     fn encode_partial_response(
         &self,
         plan: &ExecutionPlan,
@@ -314,23 +508,41 @@ impl SkyNode {
             ));
         }
         let transfer_id = self.next_transfer.fetch_add(1, Ordering::Relaxed);
-        let chunks = skyquery_soap::chunk::split_table(&table, limits, transfer_id)
-            .map_err(FederationError::Soap)?;
-        let total = chunks.len();
+        let (manifest, chunks) = if plan.zone_chunking {
+            // Zone labels from each tuple's current best position;
+            // degenerate tuples (no position) go to zone 0.
+            let zones: Vec<u32> = set
+                .tuples
+                .iter()
+                .map(|t| {
+                    t.state
+                        .best_position()
+                        .map(|v| zone_label(SkyPoint::from_vec3(v).dec_deg, plan.zone_height_deg))
+                        .unwrap_or(0)
+                })
+                .collect();
+            skyquery_soap::chunk::split_table_zoned(
+                &table,
+                limits,
+                transfer_id,
+                &zones,
+                plan.zone_height_deg,
+            )
+            .map_err(FederationError::Soap)?
+        } else {
+            let chunks = skyquery_soap::chunk::split_table(&table, limits, transfer_id)
+                .map_err(FederationError::Soap)?;
+            let rows: Vec<usize> = chunks.iter().map(|(_, t)| t.row_count()).collect();
+            (ChunkManifest::legacy(transfer_id, &rows), chunks)
+        };
         self.pending.lock().insert(transfer_id, chunks);
         Ok(RpcResponse::new("CrossMatch")
-            .result("chunked", SoapValue::Bool(true))
-            .result("transfer_id", SoapValue::Int(transfer_id as i64))
-            .result("chunks", SoapValue::Int(total as i64))
+            .result("manifest", SoapValue::Xml(manifest.to_element()))
             .result("stats", SoapValue::Xml(stats_chain.to_element())))
     }
 
     fn handle_fetch_chunk(&self, call: &RpcCall) -> Result<RpcResponse> {
-        let transfer_id = call
-            .require("transfer_id")?
-            .as_i64()
-            .ok_or_else(|| FederationError::protocol("transfer_id must be an integer"))?
-            as u64;
+        let transfer_id = require_u64(call, "transfer_id")?;
         let index = call
             .require("index")?
             .as_i64()
@@ -390,91 +602,25 @@ fn require_u64(call: &RpcCall, name: &str) -> Result<u64> {
         .ok_or_else(|| FederationError::protocol(format!("{name} must be a non-negative integer")))
 }
 
-/// Client side of the Cross match service: sends the call, handles the
-/// chunked-transfer continuation, and decodes partial set plus stats.
-/// Shared by SkyNodes (calling the next node) and the Portal (calling the
-/// first).
-pub fn invoke_cross_match(
-    net: &SimNetwork,
-    from_host: &str,
-    url: &Url,
-    plan: &ExecutionPlan,
-    step: usize,
-) -> Result<(PartialSet, StatsChain)> {
-    let call = RpcCall::new("CrossMatch")
-        .param("plan", SoapValue::Xml(plan.to_element()))
-        .param("step", SoapValue::Int(step as i64));
-    let resp = send_rpc(net, from_host, url, &call)?;
-    let stats = StatsChain::from_element(
-        resp.require("stats")?
-            .as_xml()
-            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
-    )?;
-    if let Some(SoapValue::Bool(true)) = resp.get("chunked") {
-        let transfer_id = resp
-            .require("transfer_id")?
-            .as_i64()
-            .ok_or_else(|| FederationError::protocol("transfer_id must be an integer"))?;
-        let total = resp
-            .require("chunks")?
-            .as_i64()
-            .ok_or_else(|| FederationError::protocol("chunks must be an integer"))?
-            as usize;
-        let mut reassembler: Option<Reassembler> = None;
-        for index in 0..total {
-            let fetch = RpcCall::new("FetchChunk")
-                .param("transfer_id", SoapValue::Int(transfer_id))
-                .param("index", SoapValue::Int(index as i64));
-            let chunk_resp = send_rpc(net, from_host, url, &fetch)?;
-            let header = ChunkHeader {
-                index: chunk_resp
-                    .require("index")?
-                    .as_i64()
-                    .ok_or_else(|| FederationError::protocol("chunk index"))?
-                    as usize,
-                total: chunk_resp
-                    .require("total")?
-                    .as_i64()
-                    .ok_or_else(|| FederationError::protocol("chunk total"))?
-                    as usize,
-                transfer_id: transfer_id as u64,
-            };
-            let table = chunk_resp
-                .require("chunk")?
-                .as_table()
-                .ok_or_else(|| FederationError::protocol("chunk must be a table"))?
-                .clone();
-            let r = reassembler.get_or_insert_with(|| Reassembler::new(header));
-            r.accept(header, table).map_err(FederationError::Soap)?;
-        }
-        let table = reassembler
-            .ok_or_else(|| FederationError::protocol("chunked transfer with zero chunks"))?
-            .finish()
-            .map_err(FederationError::Soap)?;
-        return Ok((PartialSet::from_votable(&table)?, stats));
-    }
-    let table = resp
-        .require("partial")?
-        .as_table()
-        .ok_or_else(|| FederationError::protocol("partial must be a table"))?;
-    Ok((PartialSet::from_votable(table)?, stats))
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Sends one RPC and decodes the response, surfacing faults as errors.
-pub fn send_rpc(
-    net: &SimNetwork,
-    from_host: &str,
-    url: &Url,
-    call: &RpcCall,
-) -> Result<RpcResponse> {
-    let req = HttpRequest::soap_post(url.path.clone(), &call.soap_action(), call.to_xml());
-    let resp = net
-        .send(from_host, url, req)
-        .map_err(FederationError::Net)?;
-    let body = std::str::from_utf8(&resp.body)
-        .map_err(|_| FederationError::protocol("response body is not UTF-8"))?;
-    match RpcResponse::parse(body).map_err(FederationError::Soap)? {
-        Ok(r) => Ok(r),
-        Err(fault) => Err(FederationError::Fault(fault)),
+    #[test]
+    fn wsdl_describes_every_dispatched_method() {
+        // The registry drives both dispatch and WSDL, so every method a
+        // node answers must appear in its service description — including
+        // the data-exchange methods the hand-written WSDL used to omit.
+        let names = SkyNode::service_names();
+        assert!(names.contains(&"CrossMatch"));
+        assert!(names.contains(&"PrepareReceive"));
+        assert!(names.contains(&"CommitReceive"));
+        assert!(names.contains(&"AbortReceive"));
+        assert_eq!(names.len(), SERVICES.len());
+        // Registry names are unique (duplicate entries would shadow).
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
     }
 }

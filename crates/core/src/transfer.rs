@@ -1,0 +1,313 @@
+//! Typed client side of the chunked Cross match transfer (paper §6).
+//!
+//! The original workaround shipped oversized partial sets as an ad-hoc
+//! `chunked`/`transfer_id`/`chunks` triple of SOAP results; this module
+//! replaces that with the typed [`ChunkManifest`] from `skyquery-soap`
+//! and exposes the transfer as a *stream*: [`open_cross_match`] returns
+//! either an inline [`PartialSet`] or a [`ChunkStream`] whose chunks the
+//! caller pulls one `FetchChunk` round-trip at a time. When the sender's
+//! plan enables `zone_chunking`, chunks never straddle a declination-zone
+//! boundary and each carries its zone range plus the original row indices
+//! (the `__seq` column), so a receiving node can hand completed zones to
+//! its cross-match engine while later chunks are still in flight.
+//!
+//! Byte-identity: every tuple carries its index in the sender's set, and
+//! the receiver restores that order, so chunk sizing, zone grouping, and
+//! arrival order are transport details that can never change the result.
+
+use skyquery_net::{HttpRequest, SimNetwork, Url};
+use skyquery_soap::{ChunkManifest, RpcCall, RpcResponse, SoapValue, ZoneRange};
+use skyquery_xml::VoTable;
+
+use crate::error::{FederationError, Result};
+use crate::plan::{ExecutionPlan, DEFAULT_ZONE_HEIGHT_DEG};
+use crate::trace::StatsChain;
+use crate::xmatch::{PartialSet, PartialTuple};
+
+/// The declination-zone label a sender stamps on outgoing tuples.
+///
+/// Replicates the zone formula of the `skyquery-zones` partitioner (fixed
+/// bands of `height_deg` starting at dec −90°, non-finite or non-positive
+/// heights falling back to the default, clamped to the band count) so the
+/// wire format and the engine agree on zone boundaries without this crate
+/// depending on the zones crate. Agreement is an *efficiency* property —
+/// the receiver merges by tuple index, so a mislabeled zone could only
+/// cost overlap, never correctness — but a cross-check test in
+/// `skyquery-zones` keeps the two formulas identical.
+pub fn zone_label(dec_deg: f64, height_deg: f64) -> u32 {
+    let height = if height_deg.is_finite() && height_deg > 0.0 {
+        height_deg.clamp(1e-4, 180.0)
+    } else {
+        DEFAULT_ZONE_HEIGHT_DEG
+    };
+    let count = (180.0 / height).ceil().max(1.0) as usize;
+    let raw = ((dec_deg + 90.0) / height).floor();
+    let zone = if raw.is_nan() || raw < 0.0 {
+        0
+    } else {
+        raw as usize
+    };
+    zone.min(count - 1) as u32
+}
+
+/// One chunk pulled off a [`ChunkStream`].
+#[derive(Debug, Clone)]
+pub struct TransferChunk {
+    /// Position in the transfer (`0..manifest.total_chunks()`).
+    pub index: usize,
+    /// Inclusive zone range covered, when the transfer is zone-aware.
+    pub zones: Option<ZoneRange>,
+    /// Original row index of each payload row in the sender's set, when
+    /// the transfer is zone-aware (`None` for legacy byte-budget chunks,
+    /// which arrive in row order).
+    pub seqs: Option<Vec<u64>>,
+    /// The payload rows (sequence column already stripped).
+    pub table: VoTable,
+}
+
+/// An open chunked transfer: the manifest plus a cursor over `FetchChunk`
+/// continuations. Dropping the stream abandons the transfer (the sender
+/// frees it when the last chunk is served).
+pub struct ChunkStream<'a> {
+    net: &'a SimNetwork,
+    from_host: String,
+    url: Url,
+    manifest: ChunkManifest,
+    next: usize,
+}
+
+impl ChunkStream<'_> {
+    /// The transfer's manifest (chunk count, row counts, zone ranges).
+    pub fn manifest(&self) -> &ChunkManifest {
+        &self.manifest
+    }
+
+    /// Fetches the next chunk, or `None` when the transfer is complete.
+    ///
+    /// Validates the served chunk against the manifest (transfer id,
+    /// index, total, row count) and records per-chunk wire metrics on the
+    /// network.
+    pub fn fetch_next(&mut self) -> Result<Option<TransferChunk>> {
+        if self.next >= self.manifest.total_chunks() {
+            return Ok(None);
+        }
+        let index = self.next;
+        let call = RpcCall::new("FetchChunk")
+            .param(
+                "transfer_id",
+                SoapValue::Int(self.manifest.transfer_id as i64),
+            )
+            .param("index", SoapValue::Int(index as i64));
+        let resp = send_rpc(self.net, &self.from_host, &self.url, &call)?;
+        let served_index = require_usize(&resp, "index")?;
+        let served_total = require_usize(&resp, "total")?;
+        let served_id = require_usize(&resp, "transfer_id")? as u64;
+        if served_id != self.manifest.transfer_id
+            || served_index != index
+            || served_total != self.manifest.total_chunks()
+        {
+            return Err(FederationError::protocol(format!(
+                "FetchChunk served chunk {served_index}/{served_total} of transfer \
+                 {served_id}, expected {index}/{} of {}",
+                self.manifest.total_chunks(),
+                self.manifest.transfer_id
+            )));
+        }
+        let table = resp
+            .require("chunk")?
+            .as_table()
+            .ok_or_else(|| FederationError::protocol("chunk must be a table"))?
+            .clone();
+        self.net.record_chunk(
+            &self.url.host,
+            &self.from_host,
+            table.to_xml().len(),
+            table.row_count(),
+        );
+        let info = &self.manifest.chunks[index];
+        let (seqs, table) = if self.manifest.is_zoned() {
+            let (seqs, payload) =
+                skyquery_soap::chunk::take_seq_column(&table).map_err(FederationError::Soap)?;
+            (Some(seqs), payload)
+        } else {
+            (None, table)
+        };
+        if table.row_count() != info.rows {
+            return Err(FederationError::protocol(format!(
+                "chunk {index} carries {} rows, manifest promised {}",
+                table.row_count(),
+                info.rows
+            )));
+        }
+        self.next = index + 1;
+        Ok(Some(TransferChunk {
+            index,
+            zones: info.zones,
+            seqs,
+            table,
+        }))
+    }
+
+    /// Drains the stream and reassembles the sender's partial set in its
+    /// original row order — the monolithic view for callers (such as the
+    /// Portal) that have no incremental ingest path.
+    pub fn collect_set(mut self) -> Result<PartialSet> {
+        let mut columns = None;
+        let mut tuples: Vec<(u64, PartialTuple)> = Vec::with_capacity(self.manifest.total_rows);
+        let mut next_seq = 0u64;
+        while let Some(chunk) = self.fetch_next()? {
+            let set = PartialSet::from_votable(&chunk.table)?;
+            columns.get_or_insert(set.columns);
+            match chunk.seqs {
+                Some(seqs) => tuples.extend(seqs.into_iter().zip(set.tuples)),
+                None => {
+                    for t in set.tuples {
+                        tuples.push((next_seq, t));
+                        next_seq += 1;
+                    }
+                }
+            }
+        }
+        tuples.sort_by_key(|(seq, _)| *seq);
+        for (expected, (seq, _)) in tuples.iter().enumerate() {
+            if *seq != expected as u64 {
+                return Err(FederationError::protocol(format!(
+                    "reassembled transfer is not a permutation of 0..{}: saw \
+                     sequence {seq} at position {expected}",
+                    tuples.len()
+                )));
+            }
+        }
+        let columns = columns
+            .ok_or_else(|| FederationError::protocol("chunked transfer with zero chunks"))?;
+        Ok(PartialSet {
+            columns,
+            tuples: tuples.into_iter().map(|(_, t)| t).collect(),
+        })
+    }
+}
+
+/// What a Cross match call handed back: the whole set inline, or an open
+/// chunk stream to pull.
+pub enum IncomingPartial<'a> {
+    /// The response fit under the message limit.
+    Inline(PartialSet),
+    /// The response was chunked; pull chunks with [`ChunkStream::fetch_next`].
+    Chunked(ChunkStream<'a>),
+}
+
+/// Calls the Cross match service for `step` and opens the reply without
+/// draining it: inline sets decode immediately, chunked replies return a
+/// [`ChunkStream`] so the caller can overlap processing with the
+/// remaining `FetchChunk` round-trips.
+pub fn open_cross_match<'a>(
+    net: &'a SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    step: usize,
+) -> Result<(IncomingPartial<'a>, StatsChain)> {
+    let call = RpcCall::new("CrossMatch")
+        .param("plan", SoapValue::Xml(plan.to_element()))
+        .param("step", SoapValue::Int(step as i64));
+    let resp = send_rpc(net, from_host, url, &call)?;
+    let stats = StatsChain::from_element(
+        resp.require("stats")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
+    )?;
+    if let Some(value) = resp.get("manifest") {
+        let manifest_el = value
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("manifest must be xml"))?;
+        let manifest = ChunkManifest::from_element(manifest_el).map_err(FederationError::Soap)?;
+        let stream = ChunkStream {
+            net,
+            from_host: from_host.to_string(),
+            url: url.clone(),
+            manifest,
+            next: 0,
+        };
+        return Ok((IncomingPartial::Chunked(stream), stats));
+    }
+    let table = resp
+        .require("partial")?
+        .as_table()
+        .ok_or_else(|| FederationError::protocol("partial must be a table"))?;
+    Ok((
+        IncomingPartial::Inline(PartialSet::from_votable(table)?),
+        stats,
+    ))
+}
+
+/// Client side of the Cross match service: sends the call, drains any
+/// chunked-transfer continuation, and decodes partial set plus stats.
+/// The blocking convenience over [`open_cross_match`], shared by the
+/// Portal and by tests; SkyNodes use the streaming form directly.
+pub fn invoke_cross_match(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    step: usize,
+) -> Result<(PartialSet, StatsChain)> {
+    let (incoming, stats) = open_cross_match(net, from_host, url, plan, step)?;
+    match incoming {
+        IncomingPartial::Inline(set) => Ok((set, stats)),
+        IncomingPartial::Chunked(stream) => Ok((stream.collect_set()?, stats)),
+    }
+}
+
+/// Sends one RPC and decodes the response, surfacing faults as errors.
+pub fn send_rpc(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    call: &RpcCall,
+) -> Result<RpcResponse> {
+    let req = HttpRequest::soap_post(url.path.clone(), &call.soap_action(), call.to_xml());
+    let resp = net
+        .send(from_host, url, req)
+        .map_err(FederationError::Net)?;
+    let body = std::str::from_utf8(&resp.body)
+        .map_err(|_| FederationError::protocol("response body is not UTF-8"))?;
+    match RpcResponse::parse(body).map_err(FederationError::Soap)? {
+        Ok(r) => Ok(r),
+        Err(fault) => Err(FederationError::Fault(fault)),
+    }
+}
+
+fn require_usize(resp: &RpcResponse, name: &str) -> Result<usize> {
+    resp.require(name)?
+        .as_i64()
+        .filter(|v| *v >= 0)
+        .map(|v| v as usize)
+        .ok_or_else(|| FederationError::protocol(format!("{name} must be a non-negative integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_label_follows_the_band_formula() {
+        // Bands of 0.1° from −90: dec −90 → 0, dec 0 → 900, dec +90 →
+        // clamped to the last band (1799).
+        assert_eq!(zone_label(-90.0, 0.1), 0);
+        assert_eq!(zone_label(0.0, 0.1), 900);
+        assert_eq!(zone_label(90.0, 0.1), 1799);
+        // Non-positive / non-finite heights fall back to the default.
+        assert_eq!(
+            zone_label(0.0, 0.0),
+            zone_label(0.0, DEFAULT_ZONE_HEIGHT_DEG)
+        );
+        assert_eq!(
+            zone_label(0.0, f64::NAN),
+            zone_label(0.0, DEFAULT_ZONE_HEIGHT_DEG)
+        );
+        // NaN declination lands in zone 0, matching the partitioner.
+        assert_eq!(zone_label(f64::NAN, 0.1), 0);
+        // Tiny heights are clamped so the band count stays bounded.
+        assert_eq!(zone_label(90.0, 1e-9), zone_label(90.0, 1e-4));
+    }
+}

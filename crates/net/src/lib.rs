@@ -25,7 +25,7 @@ pub mod sim;
 pub mod url;
 
 pub use http::{HttpRequest, HttpResponse, Method, StatusCode};
-pub use metrics::{CostModel, LinkStats, NetworkMetrics};
+pub use metrics::{ChunkFlowStats, CostModel, LinkStats, NetworkMetrics};
 pub use registry::{ServiceRecord, ServiceRegistry};
 pub use sim::{Endpoint, SimNetwork};
 pub use url::Url;

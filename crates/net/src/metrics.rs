@@ -54,11 +54,33 @@ impl LinkStats {
     }
 }
 
+/// Counters for the chunked-transfer continuation on one directed link:
+/// how much of the link's traffic flowed as `FetchChunk` payload chunks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChunkFlowStats {
+    /// Payload chunks served over the link.
+    pub chunks: u64,
+    /// Encoded payload bytes across those chunks.
+    pub bytes: u64,
+    /// Table rows carried across those chunks.
+    pub rows: u64,
+}
+
+impl ChunkFlowStats {
+    fn record(&mut self, bytes: usize, rows: usize) {
+        self.chunks += 1;
+        self.bytes += bytes as u64;
+        self.rows += rows as u64;
+    }
+}
+
 /// Aggregated network metrics: per-directed-link and total.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkMetrics {
     links: HashMap<(String, String), LinkStats>,
     total: LinkStats,
+    chunk_flows: HashMap<(String, String), ChunkFlowStats>,
+    chunk_total: ChunkFlowStats,
 }
 
 impl NetworkMetrics {
@@ -75,6 +97,43 @@ impl NetworkMetrics {
             .or_default()
             .record(bytes, seconds);
         self.total.record(bytes, seconds);
+    }
+
+    /// Records one chunked-transfer payload chunk of `bytes` / `rows`
+    /// flowing from `from` to `to`. The chunk's framed message is already
+    /// counted by [`NetworkMetrics::record`]; this tracks the transfer
+    /// pattern itself (chunk counts, payload bytes, rows) so experiments
+    /// can compare monolithic and pipelined transfers.
+    pub fn record_chunk(&mut self, from: &str, to: &str, bytes: usize, rows: usize) {
+        self.chunk_flows
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .record(bytes, rows);
+        self.chunk_total.record(bytes, rows);
+    }
+
+    /// Chunk-flow stats for one directed link.
+    pub fn chunk_flow(&self, from: &str, to: &str) -> ChunkFlowStats {
+        self.chunk_flows
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All chunk flows, sorted for deterministic reporting.
+    pub fn chunk_flows(&self) -> Vec<((String, String), ChunkFlowStats)> {
+        let mut v: Vec<_> = self
+            .chunk_flows
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Grand chunk-flow totals.
+    pub fn chunk_total(&self) -> ChunkFlowStats {
+        self.chunk_total
     }
 
     /// Stats for one directed link.
@@ -101,6 +160,8 @@ impl NetworkMetrics {
     pub fn reset(&mut self) {
         self.links.clear();
         self.total = LinkStats::default();
+        self.chunk_flows.clear();
+        self.chunk_total = ChunkFlowStats::default();
     }
 }
 
@@ -132,6 +193,24 @@ mod tests {
         assert_eq!(m.link("sdss", "portal").messages, 0);
         assert_eq!(m.total().bytes, 160);
         assert_eq!(m.total().messages, 3);
+    }
+
+    #[test]
+    fn chunk_flow_accounting() {
+        let mut m = NetworkMetrics::new();
+        m.record_chunk("sdss", "first", 100, 3);
+        m.record_chunk("sdss", "first", 40, 1);
+        m.record_chunk("first", "portal", 10, 1);
+        assert_eq!(m.chunk_flow("sdss", "first").chunks, 2);
+        assert_eq!(m.chunk_flow("sdss", "first").bytes, 140);
+        assert_eq!(m.chunk_flow("sdss", "first").rows, 4);
+        // Directed: reverse link untouched.
+        assert_eq!(m.chunk_flow("first", "sdss"), ChunkFlowStats::default());
+        assert_eq!(m.chunk_total().chunks, 3);
+        assert_eq!(m.chunk_flows().len(), 2);
+        m.reset();
+        assert_eq!(m.chunk_total(), ChunkFlowStats::default());
+        assert!(m.chunk_flows().is_empty());
     }
 
     #[test]

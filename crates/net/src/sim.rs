@@ -99,6 +99,16 @@ impl SimNetwork {
         Ok(resp)
     }
 
+    /// Records one chunked-transfer payload chunk flowing `from → to`
+    /// (see [`NetworkMetrics::record_chunk`]). Called by the transfer
+    /// layer as it pulls `FetchChunk` continuations.
+    pub fn record_chunk(&self, from: &str, to: &str, bytes: usize, rows: usize) {
+        self.inner
+            .metrics
+            .lock()
+            .record_chunk(from, to, bytes, rows);
+    }
+
     /// Snapshot of the accumulated metrics.
     pub fn metrics(&self) -> NetworkMetrics {
         self.inner.metrics.lock().clone()

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use skyquery_core::{ArchiveInfo, Client, FederationConfig, Portal, SkyNode};
+use skyquery_core::{ArchiveInfo, Client, FederationConfig, Portal, SkyNode, SkyNodeBuilder};
 use skyquery_net::{CostModel, SimNetwork, Url};
 
 use crate::bodies::{BodyCatalog, CatalogParams};
@@ -125,13 +125,9 @@ impl FederationBuilder {
             // Every node gets the zone engine; with the default
             // `xmatch_workers = 1` it delegates to the sequential kernels,
             // so this changes nothing unless the config asks for workers.
-            let node = SkyNode::start_with_engine(
-                &net,
-                host.clone(),
-                info,
-                survey.db,
-                Arc::new(skyquery_zones::ZoneEngine::new()),
-            );
+            let node = SkyNodeBuilder::new(info, survey.db)
+                .engine(Arc::new(skyquery_zones::ZoneEngine::new()))
+                .start(&net, host.clone());
             if self.register_via_soap {
                 // The node calls the Portal's Registration service, which
                 // calls back into the node's Meta-data and Information

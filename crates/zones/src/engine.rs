@@ -27,12 +27,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use skyquery_core::engine::CrossMatchEngine;
+use skyquery_core::engine::{BufferingIngest, CrossMatchEngine, PartialIngest, StepKind};
 use skyquery_core::error::{FederationError, Result};
 use skyquery_core::xmatch::{
     decode_materialized, dropout_step, extend_tuple, match_step, materialize_temp, probe_ball,
     tuple_has_counterpart, PartialSet, StepConfig, StepContext, StepStats,
 };
+use skyquery_core::ResultColumn;
 use skyquery_htm::SkyPoint;
 use skyquery_storage::{resolve_range_candidates, Database, HtmPositionIndex, Table};
 
@@ -50,6 +51,8 @@ use crate::zonemap::ZoneMap;
 pub struct ZoneEngine {
     /// Per-zone summaries of the most recent partitioned step.
     last_reports: Mutex<Vec<ZoneReport>>,
+    /// Timing summary of the most recent streaming ingest session.
+    last_pipeline: Mutex<Option<crate::stream::PipelineReport>>,
 }
 
 impl ZoneEngine {
@@ -62,6 +65,22 @@ impl ZoneEngine {
     /// until the engine has run a parallel step). Diagnostics only.
     pub fn last_zone_reports(&self) -> Vec<ZoneReport> {
         self.last_reports.lock().expect("reports lock").clone()
+    }
+
+    /// Timing summary of the most recent streaming ingest session (`None`
+    /// until a chunked transfer has been pipelined). Diagnostics only.
+    pub fn last_pipeline_report(&self) -> Option<crate::stream::PipelineReport> {
+        *self.last_pipeline.lock().expect("pipeline lock")
+    }
+
+    /// Stores a finished streaming session's diagnostics.
+    pub(crate) fn record_stream(
+        &self,
+        reports: Vec<ZoneReport>,
+        pipeline: crate::stream::PipelineReport,
+    ) {
+        *self.last_reports.lock().expect("reports lock") = reports;
+        *self.last_pipeline.lock().expect("pipeline lock") = Some(pipeline);
     }
 
     /// Splits the non-degenerate tuples of a step into zone tasks.
@@ -211,13 +230,39 @@ impl CrossMatchEngine for ZoneEngine {
         )?;
         Ok(merge_dropout(incoming, outcomes))
     }
+
+    fn begin_partial<'a>(
+        &'a self,
+        db: &mut Database,
+        cfg: &StepConfig,
+        kind: StepKind,
+        columns: Vec<ResultColumn>,
+    ) -> Result<Box<dyn PartialIngest + 'a>> {
+        if cfg.xmatch_workers <= 1 {
+            // Sequential mode: buffer and delegate, exactly like the
+            // default engine.
+            return Ok(Box::new(BufferingIngest::new(
+                self,
+                cfg.clone(),
+                kind,
+                columns,
+            )));
+        }
+        Ok(Box::new(crate::stream::ZoneIngest::begin(
+            self,
+            db,
+            cfg.clone(),
+            kind,
+            columns,
+        )?))
+    }
 }
 
 /// Runs zone tasks on a scoped worker pool. Workers pull tasks off an
 /// atomic cursor (cheap dynamic load balancing — dense zones near the
 /// galactic plane can be arbitrarily heavier than sparse ones), build the
 /// zone-local HTM index, and hand it to the step kernel.
-fn run_zone_tasks<K>(
+pub(crate) fn run_zone_tasks<K>(
     table: &Table,
     ctx: &StepContext,
     tasks: &[ZoneTask],

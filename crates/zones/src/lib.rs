@@ -14,7 +14,7 @@
 //! same tuples, same order, same `chi2_min`, same statistics.
 //!
 //! * [`zonemap`] — the declination slicing;
-//! * [`partition`] — tuple bucketing and padded archive bands;
+//! * [`mod@partition`] — tuple bucketing and padded archive bands;
 //! * [`engine`] — the [`ZoneEngine`] worker pool implementing
 //!   `skyquery_core::engine::CrossMatchEngine`;
 //! * [`merge`] — deterministic reassembly and per-zone reports.
@@ -26,9 +26,11 @@
 pub mod engine;
 pub mod merge;
 pub mod partition;
+pub mod stream;
 pub mod zonemap;
 
 pub use engine::ZoneEngine;
 pub use merge::{merge_dropout, merge_match, zone_reports, TupleAction, TupleOutcome, ZoneReport};
 pub use partition::{partition, sorted_declinations, TupleProbe, ZonePlan, ZoneTask};
+pub use stream::PipelineReport;
 pub use zonemap::ZoneMap;

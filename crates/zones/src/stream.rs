@@ -1,0 +1,335 @@
+//! Incremental (streaming) ingest for the zone engine.
+//!
+//! When a chunked partial-result transfer is in flight, the receiving
+//! node feeds chunks to the engine as they arrive instead of buffering
+//! the whole set. [`ZoneIngest`] is the zone engine's session: each
+//! chunk is partitioned into declination zones and run through the zone
+//! worker pool *immediately*, overlapping engine work with the remaining
+//! `FetchChunk` round-trips. With zone-aware chunking on the sender, a
+//! chunk's tuples share a narrow declination range, so the zone-local
+//! HTM indexes built per chunk stay small.
+//!
+//! Byte-identity with the batch path holds tuple-by-tuple: a tuple's
+//! outcome depends only on its own probe ball and the archive rows
+//! within it (the padded band always covers the ball, and hits are
+//! verified by exact distance), so processing any subset of tuples in
+//! any chunk order and merging outcomes by the tuples' original indices
+//! reproduces the whole-set run exactly — including statistics, since
+//! per-tuple probe counts are independent too.
+
+use std::time::{Duration, Instant};
+
+use skyquery_core::engine::{PartialIngest, StepKind};
+use skyquery_core::error::{FederationError, Result};
+use skyquery_core::xmatch::{
+    decode_materialized, extend_tuple, materialize_temp, probe_ball, tuple_has_counterpart,
+    PartialSet, PartialTuple, StepConfig, StepContext, StepStats,
+};
+use skyquery_core::ResultColumn;
+use skyquery_storage::{resolve_range_candidates, Database, HtmPositionIndex, Table};
+
+use crate::engine::{run_zone_tasks, ZoneEngine};
+use crate::merge::{merge_match, zone_reports, TupleAction, TupleOutcome, ZoneReport};
+use crate::partition::{partition, sorted_declinations, TupleProbe, ZoneTask};
+use crate::zonemap::ZoneMap;
+
+/// Timing summary of the most recent streaming ingest session: how far
+/// ahead of the transfer the zone workers ran. All durations are
+/// measured from the session's start (the first chunk's arrival).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// Chunks ingested.
+    pub chunks: usize,
+    /// Tuples ingested across all chunks.
+    pub tuples: usize,
+    /// Zone tasks executed across all chunks.
+    pub zones_processed: usize,
+    /// When the first zone task batch completed — the pipelined path has
+    /// results this early, while a buffering receiver would still be
+    /// fetching chunks.
+    pub first_zone_done: Option<Duration>,
+    /// When the last chunk was handed to the session.
+    pub last_chunk_ingested: Option<Duration>,
+    /// When the session finished (merge complete).
+    pub finished: Duration,
+}
+
+/// The zone engine's [`PartialIngest`] session: partitions and runs each
+/// chunk on arrival, merging outcomes by original tuple index at finish.
+pub struct ZoneIngest<'a> {
+    engine: &'a ZoneEngine,
+    cfg: StepConfig,
+    kind: StepKind,
+    columns_in: Vec<ResultColumn>,
+    ctx: StepContext,
+    map: ZoneMap,
+    /// Sorted archive declinations (with row ids), computed once: every
+    /// chunk's zone tasks slice their padded bands out of this.
+    decs: Vec<(f64, usize)>,
+    /// Outcomes accumulated across chunks, indexed by original position
+    /// in the sender's set.
+    outcomes: Vec<TupleOutcome>,
+    /// Every original index seen, for the dense-permutation check.
+    indices_seen: Vec<usize>,
+    reports: Vec<ZoneReport>,
+    started: Instant,
+    chunks: usize,
+    zones_processed: usize,
+    first_zone_done: Option<Duration>,
+    last_chunk_ingested: Option<Duration>,
+}
+
+impl<'a> ZoneIngest<'a> {
+    /// Opens a session: snapshots the step context and the archive's
+    /// declination distribution so per-chunk work is partition + probe.
+    pub(crate) fn begin(
+        engine: &'a ZoneEngine,
+        db: &mut Database,
+        cfg: StepConfig,
+        kind: StepKind,
+        columns_in: Vec<ResultColumn>,
+    ) -> Result<ZoneIngest<'a>> {
+        let ctx = StepContext::new(db, &cfg)?;
+        let table = db.table(&cfg.table)?;
+        let decs = sorted_declinations(table, ctx.dec_ci);
+        let map = ZoneMap::new(cfg.zone_height_deg);
+        Ok(ZoneIngest {
+            engine,
+            cfg,
+            kind,
+            columns_in,
+            ctx,
+            map,
+            decs,
+            outcomes: Vec::new(),
+            indices_seen: Vec::new(),
+            reports: Vec::new(),
+            started: Instant::now(),
+            chunks: 0,
+            zones_processed: 0,
+            first_zone_done: None,
+            last_chunk_ingested: None,
+        })
+    }
+
+    /// Partitions `probes` (chunk-local indices) and runs the zone pool,
+    /// remapping outcome indices back to the sender's numbering.
+    fn run_chunk<K>(
+        &mut self,
+        table: &Table,
+        probes: Vec<TupleProbe>,
+        degenerate: usize,
+        global: &[usize],
+        kernel: &K,
+    ) -> Result<()>
+    where
+        K: Fn(&ZoneTask, &HtmPositionIndex) -> Result<Vec<TupleOutcome>> + Sync,
+    {
+        let plan = partition(&self.map, probes, &self.decs, degenerate);
+        self.reports.extend(zone_reports(&plan.tasks));
+        let ran_zones = !plan.tasks.is_empty();
+        let outcomes = run_zone_tasks(
+            table,
+            &self.ctx,
+            &plan.tasks,
+            self.cfg.xmatch_workers,
+            kernel,
+        )?;
+        self.outcomes.extend(outcomes.into_iter().map(|mut o| {
+            o.index = global[o.index];
+            o
+        }));
+        self.zones_processed += plan.tasks.len();
+        if ran_zones && self.first_zone_done.is_none() {
+            self.first_zone_done = Some(self.started.elapsed());
+        }
+        Ok(())
+    }
+}
+
+impl PartialIngest for ZoneIngest<'_> {
+    fn ingest(&mut self, db: &mut Database, chunk: Vec<(usize, PartialTuple)>) -> Result<()> {
+        self.chunks += 1;
+        self.last_chunk_ingested = Some(self.started.elapsed());
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let (global, tuples): (Vec<usize>, Vec<PartialTuple>) = chunk.into_iter().unzip();
+        self.indices_seen.extend(&global);
+        match self.kind {
+            StepKind::Match => {
+                // Round-trip the chunk through the §5.3 temp table so
+                // schema conformance matches the sequential path.
+                let mini = PartialSet {
+                    columns: self.columns_in.clone(),
+                    tuples,
+                };
+                let temp = materialize_temp(db, &mini)?;
+                let temp_rows = db.table(&temp)?.rows().to_vec();
+                db.drop_table(&temp)?;
+                let table = db.table(&self.cfg.table)?;
+
+                let mut probes = Vec::new();
+                let mut degenerate = 0usize;
+                for (index, trow) in temp_rows.iter().enumerate() {
+                    match probe_ball(&decode_materialized(trow).0, &self.cfg) {
+                        Some((center, radius_rad)) => probes.push(TupleProbe {
+                            index,
+                            center,
+                            radius_rad,
+                        }),
+                        None => degenerate += 1,
+                    }
+                }
+                let cfg = self.cfg.clone();
+                let ctx_ra = self.ctx.ra_ci;
+                let ctx_dec = self.ctx.dec_ci;
+                // The borrow checker can't see that the kernel only reads
+                // `ctx` while `self` mutates bookkeeping, so clone the
+                // small context pieces the kernel needs.
+                let ctx = StepContext {
+                    schema: self.ctx.schema.clone(),
+                    ra_ci: ctx_ra,
+                    dec_ci: ctx_dec,
+                    appended: self.ctx.appended.clone(),
+                };
+                self.run_chunk(
+                    table,
+                    probes,
+                    degenerate,
+                    &global,
+                    &|task: &ZoneTask, index: &HtmPositionIndex| {
+                        let mut out = Vec::with_capacity(task.probes.len());
+                        for probe in &task.probes {
+                            let cands = index.search_sorted(probe.center, probe.radius_rad);
+                            let hits = resolve_range_candidates(
+                                table,
+                                ctx.ra_ci,
+                                ctx.dec_ci,
+                                probe.center,
+                                probe.radius_rad,
+                                &cands,
+                            )
+                            .map_err(FederationError::Storage)?;
+                            let (state, carried) = decode_materialized(&temp_rows[probe.index]);
+                            let mut extensions = Vec::new();
+                            extend_tuple(
+                                &cfg,
+                                &ctx,
+                                table,
+                                &state,
+                                carried,
+                                &hits,
+                                &mut extensions,
+                            )?;
+                            out.push(TupleOutcome {
+                                index: probe.index,
+                                probed: hits.len(),
+                                action: TupleAction::Extend(extensions),
+                            });
+                        }
+                        Ok(out)
+                    },
+                )
+            }
+            StepKind::Dropout => {
+                let table = db.table(&self.cfg.table)?;
+                let mut probes = Vec::new();
+                let mut degenerate = 0usize;
+                for (index, tuple) in tuples.iter().enumerate() {
+                    match probe_ball(&tuple.state, &self.cfg) {
+                        Some((center, radius_rad)) => probes.push(TupleProbe {
+                            index,
+                            center,
+                            radius_rad,
+                        }),
+                        None => degenerate += 1,
+                    }
+                }
+                let cfg = self.cfg.clone();
+                let ctx = StepContext {
+                    schema: self.ctx.schema.clone(),
+                    ra_ci: self.ctx.ra_ci,
+                    dec_ci: self.ctx.dec_ci,
+                    appended: self.ctx.appended.clone(),
+                };
+                let tuples_ref = &tuples;
+                self.run_chunk(
+                    table,
+                    probes,
+                    degenerate,
+                    &global,
+                    &|task: &ZoneTask, index: &HtmPositionIndex| {
+                        let mut out = Vec::with_capacity(task.probes.len());
+                        for probe in &task.probes {
+                            let cands = index.search_sorted(probe.center, probe.radius_rad);
+                            let hits = resolve_range_candidates(
+                                table,
+                                ctx.ra_ci,
+                                ctx.dec_ci,
+                                probe.center,
+                                probe.radius_rad,
+                                &cands,
+                            )
+                            .map_err(FederationError::Storage)?;
+                            let tuple = &tuples_ref[probe.index];
+                            let keep =
+                                !tuple_has_counterpart(&cfg, &ctx, table, &tuple.state, &hits)?;
+                            out.push(TupleOutcome {
+                                index: probe.index,
+                                probed: hits.len(),
+                                // Encode keep/drop as an extension so the
+                                // match merge reassembles both step kinds:
+                                // a kept tuple passes through unchanged, a
+                                // dropped one contributes nothing.
+                                action: TupleAction::Extend(if keep {
+                                    vec![tuple.clone()]
+                                } else {
+                                    Vec::new()
+                                }),
+                            });
+                        }
+                        Ok(out)
+                    },
+                )
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>, _db: &mut Database) -> Result<(PartialSet, StepStats)> {
+        let mut this = *self;
+        // The accumulated indices must form a dense 0..n — anything else
+        // means the transfer dropped or duplicated tuples.
+        this.indices_seen.sort_unstable();
+        for (expected, index) in this.indices_seen.iter().enumerate() {
+            if *index != expected {
+                return Err(FederationError::protocol(format!(
+                    "incremental transfer is not a permutation of 0..{}: saw index {index} at position {expected}",
+                    this.indices_seen.len()
+                )));
+            }
+        }
+        let columns = match this.kind {
+            StepKind::Match => {
+                let mut columns = this.columns_in;
+                columns.extend(this.ctx.appended.iter().cloned());
+                columns
+            }
+            StepKind::Dropout => this.columns_in,
+        };
+        let total = this.indices_seen.len();
+        let merged = merge_match(columns, total, this.outcomes);
+        this.engine.record_stream(
+            this.reports,
+            PipelineReport {
+                chunks: this.chunks,
+                tuples: total,
+                zones_processed: this.zones_processed,
+                first_zone_done: this.first_zone_done,
+                last_chunk_ingested: this.last_chunk_ingested,
+                finished: this.started.elapsed(),
+            },
+        );
+        Ok(merged)
+    }
+}

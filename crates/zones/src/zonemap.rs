@@ -95,6 +95,41 @@ mod tests {
     }
 
     #[test]
+    fn wire_zone_label_agrees_with_the_map() {
+        // The transfer layer stamps outgoing tuples with
+        // `skyquery_core::transfer::zone_label`, which replicates this
+        // map's formula so sender and engine agree on zone boundaries
+        // without a crate dependency in that direction. Keep them
+        // identical.
+        for height in [
+            1e-9,
+            1e-4,
+            0.05,
+            0.1,
+            0.37,
+            5.0,
+            180.0,
+            500.0,
+            0.0,
+            f64::NAN,
+        ] {
+            let m = ZoneMap::new(height);
+            for i in 0..=1800 {
+                let dec = -90.0 + 0.1 * i as f64;
+                assert_eq!(
+                    skyquery_core::transfer::zone_label(dec, height) as usize,
+                    m.zone_of(dec),
+                    "dec {dec} height {height}"
+                );
+            }
+            assert_eq!(
+                skyquery_core::transfer::zone_label(f64::NAN, height) as usize,
+                m.zone_of(f64::NAN)
+            );
+        }
+    }
+
+    #[test]
     fn zone_of_matches_bounds() {
         let m = ZoneMap::new(0.37);
         for dec in [-89.99, -45.3, -0.01, 0.0, 12.345, 89.99] {

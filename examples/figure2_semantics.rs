@@ -12,7 +12,7 @@
 //! cargo run --example figure2_semantics
 //! ```
 
-use skyquery_core::{ArchiveInfo, FederationConfig, Portal, SkyNode};
+use skyquery_core::{ArchiveInfo, FederationConfig, Portal, SkyNodeBuilder};
 use skyquery_net::{SimNetwork, Url};
 use skyquery_storage::{Database, Value};
 
@@ -43,9 +43,7 @@ fn archive(
         .unwrap();
     }
     let host = format!("{}.sky", name.to_lowercase());
-    SkyNode::start(
-        net,
-        host.clone(),
+    SkyNodeBuilder::new(
         ArchiveInfo {
             name: name.into(),
             sigma_arcsec,
@@ -53,7 +51,8 @@ fn archive(
             htm_depth: 14,
         },
         db,
-    );
+    )
+    .start(net, host.clone());
     portal.register_node(&Url::new(host, "/soap")).unwrap();
 }
 

@@ -2,8 +2,10 @@
 //! transfers under small parser limits, the pre-workaround fault, node
 //! outages, and malformed inputs.
 
-use skyquery_core::{FederationConfig, FederationError};
-use skyquery_sim::{xmatch_query, FederationBuilder};
+use skyquery_core::skynode::send_rpc;
+use skyquery_core::{ExecutionPlan, FederationConfig, FederationError, PlanStep};
+use skyquery_sim::{xmatch_query, FederationBuilder, TestFederation};
+use skyquery_soap::{ChunkManifest, RpcCall, SoapValue};
 
 fn two_archive_sql() -> String {
     xmatch_query(
@@ -83,6 +85,113 @@ fn small_results_never_chunk() {
     // hop plus performance queries: a small, bounded message count.
     let m = fed.net.metrics().total();
     assert!(m.messages <= 12, "unexpected extra traffic: {}", m.messages);
+}
+
+/// Calls CrossMatch directly at a node with a single-step (seed-only)
+/// plan and a tiny message budget, returning the transfer's manifest so
+/// tests can drive the FetchChunk continuation by hand.
+fn open_seed_transfer(fed: &TestFederation) -> ChunkManifest {
+    let node = fed.node("SDSS").unwrap();
+    let plan = ExecutionPlan {
+        threshold: 3.0,
+        region: None,
+        steps: vec![PlanStep {
+            alias: "O".into(),
+            archive: "SDSS".into(),
+            table: "Photo_Object".into(),
+            url: node.url(),
+            dropout: false,
+            sigma_arcsec: 0.1,
+            local_sql: None,
+            carried: vec!["object_id".into()],
+            residual_sql: vec![],
+            count_estimate: None,
+        }],
+        select: vec![("O.object_id".into(), None)],
+        order_by: vec![],
+        limit: None,
+        max_message_bytes: 3_000,
+        chunking: true,
+        xmatch_workers: 1,
+        zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
+        zone_chunking: true,
+    };
+    let resp = send_rpc(
+        &fed.net,
+        "tester",
+        &node.url(),
+        &RpcCall::new("CrossMatch")
+            .param("plan", SoapValue::Xml(plan.to_element()))
+            .param("step", SoapValue::Int(0)),
+    )
+    .expect("cross match succeeds");
+    let manifest = resp
+        .require("manifest")
+        .expect("tiny budget forces a chunked reply")
+        .as_xml()
+        .expect("manifest is xml")
+        .clone();
+    ChunkManifest::from_element(&manifest).expect("manifest decodes")
+}
+
+fn fetch_chunk(
+    fed: &TestFederation,
+    transfer_id: u64,
+    index: usize,
+) -> Result<skyquery_soap::RpcResponse, FederationError> {
+    let node = fed.node("SDSS").unwrap();
+    send_rpc(
+        &fed.net,
+        "tester",
+        &node.url(),
+        &RpcCall::new("FetchChunk")
+            .param("transfer_id", SoapValue::Int(transfer_id as i64))
+            .param("index", SoapValue::Int(index as i64)),
+    )
+}
+
+#[test]
+fn fetch_chunk_with_missing_index_faults() {
+    let fed = FederationBuilder::paper_triple(400).build();
+    let manifest = open_seed_transfer(&fed);
+    assert!(manifest.total_chunks() > 1, "budget must force chunking");
+    let err = fetch_chunk(&fed, manifest.transfer_id, manifest.total_chunks() + 5).unwrap_err();
+    assert!(err.to_string().contains("no chunk"), "{err}");
+    // The bad index did not tear down the transfer: chunk 0 still serves.
+    fetch_chunk(&fed, manifest.transfer_id, 0).expect("transfer survives a bad index");
+}
+
+#[test]
+fn out_of_order_fetch_frees_transfer_after_last_chunk() {
+    let fed = FederationBuilder::paper_triple(400).build();
+    let manifest = open_seed_transfer(&fed);
+    let last = manifest.total_chunks() - 1;
+    assert!(last > 0, "budget must force multiple chunks");
+    // Serving the final chunk frees the transfer — an out-of-order reader
+    // that jumps to the end loses the rest.
+    fetch_chunk(&fed, manifest.transfer_id, last).expect("last chunk serves");
+    let err = fetch_chunk(&fed, manifest.transfer_id, 0).unwrap_err();
+    assert!(err.to_string().contains("unknown transfer"), "{err}");
+}
+
+#[test]
+fn transfer_freed_after_ordered_drain() {
+    let fed = FederationBuilder::paper_triple(400).build();
+    let manifest = open_seed_transfer(&fed);
+    for index in 0..manifest.total_chunks() {
+        let resp = fetch_chunk(&fed, manifest.transfer_id, index).expect("in-order fetch");
+        assert_eq!(resp.require("index").unwrap().as_i64(), Some(index as i64));
+    }
+    // The node frees the transfer with the last chunk; re-fetching faults.
+    let err = fetch_chunk(&fed, manifest.transfer_id, 0).unwrap_err();
+    assert!(err.to_string().contains("unknown transfer"), "{err}");
+}
+
+#[test]
+fn fetch_chunk_for_unknown_transfer_faults() {
+    let fed = FederationBuilder::paper_triple(100).build();
+    let err = fetch_chunk(&fed, 424242, 0).unwrap_err();
+    assert!(err.to_string().contains("unknown transfer"), "{err}");
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! is out of range. So `XMATCH(O, T, P) < 3.5` selects {a_O, a_T, a_P}
 //! and `XMATCH(O, T, !P) < 3.5` selects {b_O, b_T}.
 
-use skyquery_core::{ArchiveInfo, Portal, SkyNode};
+use skyquery_core::{ArchiveInfo, Portal, SkyNodeBuilder};
 use skyquery_net::SimNetwork;
 use skyquery_sim::{xmatch_query, QuerySpec};
 use skyquery_storage::{Database, Value};
@@ -39,9 +39,7 @@ fn figure2_federation() -> (SimNetwork, std::sync::Arc<Portal>) {
             .unwrap();
         }
         let host = format!("{}.sky", name.to_lowercase());
-        SkyNode::start(
-            &net,
-            host.clone(),
+        SkyNodeBuilder::new(
             ArchiveInfo {
                 name: name.into(),
                 sigma_arcsec: sigma,
@@ -49,7 +47,8 @@ fn figure2_federation() -> (SimNetwork, std::sync::Arc<Portal>) {
                 htm_depth: 14,
             },
             db,
-        );
+        )
+        .start(&net, host.clone());
         portal
             .register_node(&skyquery_net::Url::new(host, "/soap"))
             .unwrap();

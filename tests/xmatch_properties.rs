@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use skyquery_core::baseline::naive_match;
 use skyquery_core::TupleState;
-use skyquery_core::{ArchiveInfo, FederationConfig, Portal, SkyNode};
+use skyquery_core::{ArchiveInfo, FederationConfig, Portal, SkyNodeBuilder};
 use skyquery_htm::{SkyPoint, Vec3};
 use skyquery_net::{SimNetwork, Url};
 use skyquery_storage::{Database, Value};
@@ -49,9 +49,7 @@ fn build_node(
         .unwrap();
     }
     let host = format!("{}.sky", name.to_lowercase());
-    SkyNode::start(
-        net,
-        host.clone(),
+    SkyNodeBuilder::new(
         ArchiveInfo {
             name: name.into(),
             sigma_arcsec,
@@ -59,7 +57,8 @@ fn build_node(
             htm_depth: 14,
         },
         db,
-    );
+    )
+    .start(net, host.clone());
     portal.register_node(&Url::new(host, "/soap")).unwrap();
 }
 

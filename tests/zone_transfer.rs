@@ -1,0 +1,147 @@
+//! Zone-aware streaming chunk transfer: byte-identity parity suite.
+//!
+//! The pipelined path — zone-boundary chunk splitting on the sender,
+//! incremental per-chunk ingest on the receiver — must be a pure
+//! transport optimization: for every worker count, zone height, and
+//! message budget, query results must be **byte-identical** to a
+//! monolithic (unchunked) run, and to the legacy byte-budget chunking
+//! the §6 workaround shipped with.
+
+use proptest::prelude::*;
+use skyquery_core::{FederationConfig, ResultSet};
+use skyquery_sim::{xmatch_query, FederationBuilder, TestFederation};
+
+fn three_archive_sql() -> String {
+    xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        3.5,
+        None,
+    )
+}
+
+fn run_with(fed: &TestFederation, sql: &str, config: FederationConfig) -> ResultSet {
+    fed.portal.set_config(config);
+    let (rs, _) = fed.portal.submit(sql).expect("query succeeds");
+    rs
+}
+
+/// One federation reused across the sweep (building surveys dominates
+/// test time; config is per-submit).
+fn federation() -> TestFederation {
+    FederationBuilder::paper_triple(500).build()
+}
+
+#[test]
+fn pipelined_transfer_is_byte_identical_to_monolithic() {
+    let fed = federation();
+    let sql = three_archive_sql();
+    // Reference: monolithic transfer (limit far above any message).
+    let reference = run_with(&fed, &sql, FederationConfig::default());
+    assert!(reference.row_count() > 0, "sweep needs matches to move");
+
+    for workers in [1usize, 2, 8] {
+        for zone_height_deg in [0.05f64, 0.1, 0.5, 5.0] {
+            for max_message_bytes in [2_000usize, 20_000, 10_000_000] {
+                let rs = run_with(
+                    &fed,
+                    &sql,
+                    FederationConfig {
+                        max_message_bytes,
+                        chunking: true,
+                        zone_chunking: true,
+                        xmatch_workers: workers,
+                        zone_height_deg,
+                        ..FederationConfig::default()
+                    },
+                );
+                assert_eq!(
+                    rs, reference,
+                    "workers={workers} height={zone_height_deg} budget={max_message_bytes}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_byte_budget_chunking_still_byte_identical() {
+    let fed = federation();
+    let sql = three_archive_sql();
+    let reference = run_with(&fed, &sql, FederationConfig::default());
+    for workers in [1usize, 8] {
+        let rs = run_with(
+            &fed,
+            &sql,
+            FederationConfig {
+                max_message_bytes: 4_000,
+                chunking: true,
+                zone_chunking: false, // pre-zone-aware plans
+                xmatch_workers: workers,
+                ..FederationConfig::default()
+            },
+        );
+        assert_eq!(rs, reference, "legacy path, workers={workers}");
+    }
+}
+
+#[test]
+fn chunk_flow_metrics_record_the_pipelined_transfer() {
+    let fed = federation();
+    let sql = three_archive_sql();
+    fed.portal.set_config(FederationConfig {
+        max_message_bytes: 3_000,
+        zone_chunking: true,
+        ..FederationConfig::default()
+    });
+    fed.net.reset_metrics();
+    fed.portal.submit(&sql).unwrap();
+    let flows = fed.net.metrics();
+    let total = flows.chunk_total();
+    assert!(total.chunks > 1, "tiny budget must force chunked transfers");
+    assert!(total.bytes > 0 && total.rows > 0);
+    // Chunks flowed along the daisy chain (node→node), not just to the
+    // portal: at least one inter-node link carries chunk traffic.
+    let node_links = flows
+        .chunk_flows()
+        .iter()
+        .filter(|((from, to), _)| from.contains("skyquery.net") && to.contains("skyquery.net"))
+        .count();
+    assert!(node_links >= 1, "flows: {:?}", flows.chunk_flows());
+
+    // Monolithic budget: no chunk flows at all.
+    fed.portal.set_config(FederationConfig::default());
+    fed.net.reset_metrics();
+    fed.portal.submit(&sql).unwrap();
+    assert_eq!(fed.net.metrics().chunk_total().chunks, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized corner of the sweep: any (budget, height, workers)
+    /// combination stays byte-identical to the monolithic reference.
+    #[test]
+    fn pipelined_parity_holds_for_random_configs(
+        max_message_bytes in 1_500usize..60_000,
+        zone_height_deg in 0.02f64..10.0,
+        workers in 1usize..8,
+        zone_chunking in any::<bool>(),
+    ) {
+        let fed = FederationBuilder::paper_triple(180).build();
+        let sql = three_archive_sql();
+        let reference = run_with(&fed, &sql, FederationConfig::default());
+        let rs = run_with(&fed, &sql, FederationConfig {
+            max_message_bytes,
+            chunking: true,
+            zone_chunking,
+            xmatch_workers: workers,
+            zone_height_deg,
+            ..FederationConfig::default()
+        });
+        prop_assert_eq!(rs, reference);
+    }
+}
