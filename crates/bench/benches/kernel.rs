@@ -1,0 +1,235 @@
+//! Columnar vs HTM cross-match kernel — §5.4's per-tuple probe loop.
+//!
+//! Table: wall-clock time of one sequential match step at 10k and 100k
+//! archive rows under each kernel, with rows/sec (incoming tuples pushed
+//! through the step per second), ns/probe, and the speedup of the
+//! columnar kernel over the HTM kernel. The two kernels must be
+//! byte-identical — the table asserts it — so the speedup is free.
+//!
+//! Results are also written to `BENCH_kernel.json` at the repository
+//! root so the numbers ride with the tree. Criterion then times a
+//! smaller configuration per kernel.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyquery_core::xmatch::{
+    match_step, MatchKernel, PartialSet, PartialTuple, StepConfig, TupleState,
+};
+use skyquery_core::ResultColumn;
+use skyquery_htm::SkyPoint;
+use skyquery_storage::{
+    BufferCache, ColumnDef, DataType, Database, PositionColumns, TableSchema, Value,
+};
+
+const ARCSEC: f64 = 1.0 / 3600.0;
+
+/// Deterministic xorshift so the bench needs no RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// An archive of `rows` objects scattered over a 20° band of sky.
+fn archive(rows: usize) -> Database {
+    let mut db = Database::with_cache("bench", BufferCache::new(1 << 16, 64));
+    let schema = TableSchema::new(
+        "objects",
+        vec![
+            ColumnDef::new("object_id", DataType::Id),
+            ColumnDef::new("ra", DataType::Float),
+            ColumnDef::new("dec", DataType::Float),
+        ],
+    )
+    .with_position(PositionColumns::new("ra", "dec", 14))
+    .unwrap();
+    db.create_table(schema).unwrap();
+    let mut rng = Rng(0x5eed_cafe);
+    for i in 0..rows {
+        let ra = 180.0 + 20.0 * rng.next_f64();
+        let dec = -10.0 + 20.0 * rng.next_f64();
+        db.insert(
+            "objects",
+            vec![Value::Id(i as u64 + 1), Value::Float(ra), Value::Float(dec)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Incoming 1-tuples: perturbed re-observations of every `stride`-th
+/// archive object (so a good fraction of probes find a counterpart).
+fn incoming(db: &Database, sigma_arcsec: f64, stride: usize) -> PartialSet {
+    let sigma_rad = (sigma_arcsec * ARCSEC).to_radians();
+    let table = db.table("objects").unwrap();
+    let mut set = PartialSet::new(vec![ResultColumn::new("S.object_id", DataType::Id)]);
+    let mut rng = Rng(0xfeed_beef);
+    for (rid, row) in table.iter() {
+        if rid % stride != 0 {
+            continue;
+        }
+        let ra = row[1].as_f64().unwrap() + 0.3 * ARCSEC * (rng.next_f64() - 0.5);
+        let dec = row[2].as_f64().unwrap() + 0.3 * ARCSEC * (rng.next_f64() - 0.5);
+        set.tuples.push(PartialTuple {
+            state: TupleState::single(SkyPoint::from_radec_deg(ra, dec).to_vec3(), sigma_rad),
+            values: vec![row[0].clone()],
+        });
+    }
+    set
+}
+
+fn cfg(kernel: MatchKernel) -> StepConfig {
+    StepConfig {
+        alias: "B".into(),
+        table: "objects".into(),
+        sigma_rad: (0.2 * ARCSEC).to_radians(),
+        threshold: 3.5,
+        region: None,
+        local_predicate: None,
+        carried_columns: vec!["object_id".into()],
+        xmatch_workers: 1,
+        zone_height_deg: 0.1,
+        kernel,
+    }
+}
+
+/// One measured configuration, for the table and the JSON artifact.
+struct Measurement {
+    rows: usize,
+    tuples: usize,
+    htm_ms: f64,
+    columnar_ms: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.htm_ms / self.columnar_ms
+    }
+
+    fn rows_per_sec(&self, ms: f64) -> f64 {
+        self.tuples as f64 / (ms / 1e3)
+    }
+
+    fn ns_per_probe(&self, ms: f64) -> f64 {
+        ms * 1e6 / self.tuples as f64
+    }
+}
+
+/// Best-of-`iters` wall clock of one sequential match step.
+fn time_step(db: &mut Database, kernel: MatchKernel, set: &PartialSet, iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        match_step(db, &cfg(kernel), set).unwrap();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn measure(rows: usize, stride: usize, iters: usize) -> Measurement {
+    let mut db = archive(rows);
+    let set = incoming(&db, 0.2, stride);
+    // Prewarm both kernels outside the timed region — the HTM index sort
+    // and the columnar layout build are both one-time costs — and assert
+    // byte-identity while at it.
+    let (htm_out, htm_stats) = match_step(&mut db, &cfg(MatchKernel::Htm), &set).unwrap();
+    let (col_out, col_stats) = match_step(&mut db, &cfg(MatchKernel::Columnar), &set).unwrap();
+    assert!(
+        htm_out == col_out && htm_stats == col_stats,
+        "kernels diverged at {rows} rows"
+    );
+    let htm_ms = time_step(&mut db, MatchKernel::Htm, &set, iters);
+    let columnar_ms = time_step(&mut db, MatchKernel::Columnar, &set, iters);
+    Measurement {
+        rows,
+        tuples: set.len(),
+        htm_ms,
+        columnar_ms,
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let mut configs = String::new();
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            configs.push_str(",\n");
+        }
+        configs.push_str(&format!(
+            "    {{\"archive_rows\": {}, \"incoming_tuples\": {}, \
+             \"htm_ms\": {:.3}, \"columnar_ms\": {:.3}, \
+             \"htm_rows_per_sec\": {:.0}, \"columnar_rows_per_sec\": {:.0}, \
+             \"htm_ns_per_probe\": {:.0}, \"columnar_ns_per_probe\": {:.0}, \
+             \"columnar_speedup\": {:.2}, \"byte_identical\": true}}",
+            m.rows,
+            m.tuples,
+            m.htm_ms,
+            m.columnar_ms,
+            m.rows_per_sec(m.htm_ms),
+            m.rows_per_sec(m.columnar_ms),
+            m.ns_per_probe(m.htm_ms),
+            m.ns_per_probe(m.columnar_ms),
+            m.speedup(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"kernel\",\n  \"step\": \"sequential match, zone height 0.1°, σ=0.2\\\", threshold 3.5\",\n  \"configs\": [\n{configs}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn print_tables() {
+    println!("\n=== kernel: columnar vs HTM, one sequential match step ===");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10} {:>14} {:>14}",
+        "rows", "tuples", "htm (ms)", "col (ms)", "speedup", "htm rows/s", "col rows/s"
+    );
+    let mut measurements = Vec::new();
+    for &(rows, stride, iters) in &[(10_000usize, 2usize, 5usize), (100_000, 4, 3)] {
+        let m = measure(rows, stride, iters);
+        println!(
+            "{:<12} {:>10} {:>12.1} {:>12.1} {:>9.2}x {:>14.0} {:>14.0}",
+            m.rows,
+            m.tuples,
+            m.htm_ms,
+            m.columnar_ms,
+            m.speedup(),
+            m.rows_per_sec(m.htm_ms),
+            m.rows_per_sec(m.columnar_ms),
+        );
+        measurements.push(m);
+    }
+    write_json(&measurements);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("kernel_match_step");
+    group.sample_size(10);
+    let mut db = archive(20_000);
+    let set = incoming(&db, 0.2, 4);
+    for kernel in [MatchKernel::Htm, MatchKernel::Columnar] {
+        // Prewarm so neither kernel pays its one-time setup in the loop.
+        match_step(&mut db, &cfg(kernel), &set).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("kernel", kernel.as_str()),
+            &kernel,
+            |b, &k| b.iter(|| match_step(&mut db, &cfg(k), &set).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,7 +13,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skyquery_core::engine::CrossMatchEngine;
-use skyquery_core::xmatch::{match_step, PartialSet, PartialTuple, StepConfig, TupleState};
+use skyquery_core::xmatch::{
+    match_step, MatchKernel, PartialSet, PartialTuple, StepConfig, TupleState,
+};
 use skyquery_core::ResultColumn;
 use skyquery_htm::SkyPoint;
 use skyquery_storage::{
@@ -94,6 +96,7 @@ fn cfg(workers: usize) -> StepConfig {
         carried_columns: vec!["object_id".into()],
         xmatch_workers: workers,
         zone_height_deg: 0.5,
+        kernel: MatchKernel::Htm,
     }
 }
 

@@ -15,6 +15,8 @@ pub struct Options {
     /// Split oversized transfers on zone boundaries (the pipelined path);
     /// `false` falls back to plain byte-budget chunking.
     pub zone_chunking: bool,
+    /// Probe kernel for cross-match steps (columnar or HTM).
+    pub kernel: skyquery_core::MatchKernel,
 }
 
 impl Default for Options {
@@ -25,6 +27,7 @@ impl Default for Options {
             workers: 1,
             zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
             zone_chunking: true,
+            kernel: skyquery_core::MatchKernel::default(),
         }
     }
 }
@@ -86,6 +89,18 @@ where
                     }
                 }
             }
+            "--kernel" => {
+                i += 1;
+                match args
+                    .get(i)
+                    .and_then(|v| skyquery_core::MatchKernel::parse(v))
+                {
+                    Some(k) => opts.kernel = k,
+                    None => {
+                        return Command::Help(Some("--kernel needs columnar or htm".into()));
+                    }
+                }
+            }
             "--no-zone-chunking" => opts.zone_chunking = false,
             "--help" | "-h" => return Command::Help(None),
             other if other.starts_with("--") => {
@@ -129,6 +144,7 @@ OPTIONS:
     --seed <N>         catalog RNG seed                            [default: 42]
     --workers <N>      cross-match worker threads per SkyNode      [default: 1]
     --zone-height <D>  declination zone height, degrees            [default: 0.1]
+    --kernel <K>       cross-match probe kernel: columnar | htm    [default: columnar]
     --no-zone-chunking legacy byte-budget chunking for oversized transfers
 "
 }
@@ -160,6 +176,8 @@ mod tests {
             "4",
             "--zone-height",
             "0.5",
+            "--kernel",
+            "htm",
         ]) {
             Command::Repl(o) => {
                 assert_eq!(o.bodies, 500);
@@ -167,9 +185,15 @@ mod tests {
                 assert_eq!(o.workers, 4);
                 assert_eq!(o.zone_height_deg, 0.5);
                 assert!(o.zone_chunking, "zone chunking defaults on");
+                assert_eq!(o.kernel, skyquery_core::MatchKernel::Htm);
             }
             other => panic!("{other:?}"),
         }
+        assert_eq!(
+            Options::default().kernel,
+            skyquery_core::MatchKernel::Columnar,
+            "columnar kernel is the default"
+        );
         match parse_args(["demo", "--no-zone-chunking"]) {
             Command::Demo(o) => assert!(!o.zone_chunking),
             other => panic!("{other:?}"),
@@ -215,6 +239,10 @@ mod tests {
             parse_args(["--zone-height", "-2", "demo"]),
             Command::Help(Some(msg)) if msg.contains("--zone-height")
         ));
+        assert!(matches!(
+            parse_args(["--kernel", "quadtree", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--kernel")
+        ));
     }
 
     #[test]
@@ -227,6 +255,7 @@ mod tests {
             "--seed",
             "--workers",
             "--zone-height",
+            "--kernel",
             "--no-zone-chunking",
         ] {
             assert!(usage().contains(word), "{word}");

@@ -29,6 +29,7 @@ impl Session {
                 xmatch_workers: opts.workers,
                 zone_height_deg: opts.zone_height_deg,
                 zone_chunking: opts.zone_chunking,
+                kernel: opts.kernel,
                 ..FederationConfig::default()
             })
             .survey(skyquery_sim::SurveyParams::sdss_like())
@@ -200,6 +201,16 @@ impl Session {
                 }
                 _ => writeln!(out, "usage: \\zonechunking on|off")?,
             },
+            Some("kernel") => match parts.next().and_then(skyquery_core::MatchKernel::parse) {
+                Some(k) => {
+                    self.fed.portal.set_config(FederationConfig {
+                        kernel: k,
+                        ..self.fed.portal.config()
+                    });
+                    writeln!(out, "cross-match kernel set to {k}")?;
+                }
+                None => writeln!(out, "usage: \\kernel columnar|htm")?,
+            },
             Some("transfer") => {
                 // \transfer SRC DEST TABLE SELECT …
                 let src = parts.next();
@@ -239,6 +250,7 @@ pub fn meta_help() -> &'static str {
   \\limit <bytes>                    SOAP parser message limit
   \\chunking on|off                  §6 chunked-transfer workaround
   \\zonechunking on|off              zone-aware pipelined transfer chunks
+  \\kernel columnar|htm              cross-match probe kernel (byte-identical)
   \\transfer <src> <dst> <tbl> <sql> transactional table copy (2PC)
   \\help                             this text
   \\quit                             leave"
@@ -301,6 +313,14 @@ mod tests {
         let (_, out) = drive(&mut s, "\\zonechunking off");
         assert!(out.contains("zone-aware chunking off"));
         assert!(!s.fed.portal.config().zone_chunking);
+        let (_, out) = drive(&mut s, "\\kernel htm");
+        assert!(out.contains("kernel set to htm"));
+        assert_eq!(
+            s.fed.portal.config().kernel,
+            skyquery_core::MatchKernel::Htm
+        );
+        let (_, out) = drive(&mut s, "\\kernel quadtree");
+        assert!(out.contains("usage: \\kernel"));
         let (_, out) = drive(&mut s, "\\nonsense");
         assert!(out.contains("unknown meta-command"));
         let (more, _) = drive(&mut s, "\\quit");

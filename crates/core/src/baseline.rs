@@ -141,6 +141,7 @@ impl Portal {
                 carried_columns: step.carried.clone(),
                 xmatch_workers: 1,
                 zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
+                kernel: plan.kernel,
             };
             let (set, _) = match (&current, step.dropout) {
                 (None, false) => seed_step(db, &cfg)?,

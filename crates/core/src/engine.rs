@@ -238,6 +238,7 @@ mod tests {
             carried_columns: vec!["object_id".into()],
             xmatch_workers: 1,
             zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
+            kernel: crate::xmatch::MatchKernel::default(),
         }
     }
 

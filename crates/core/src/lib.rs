@@ -51,4 +51,6 @@ pub use result::{ResultColumn, ResultSet};
 pub use skynode::{SkyNode, SkyNodeBuilder};
 pub use trace::{ExecutionTrace, TraceEvent};
 pub use transfer::{ChunkStream, IncomingPartial, TransferChunk};
-pub use xmatch::{PartialSet, PartialTuple, StepConfig, StepContext, StepStats, TupleState};
+pub use xmatch::{
+    MatchKernel, PartialSet, PartialTuple, StepConfig, StepContext, StepStats, TupleState,
+};

@@ -19,7 +19,7 @@ use skyquery_xml::Element;
 use crate::region::Region;
 
 use crate::error::{FederationError, Result};
-use crate::xmatch::StepConfig;
+use crate::xmatch::{MatchKernel, StepConfig};
 
 /// One entry of the plan list.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +83,10 @@ pub struct ExecutionPlan {
     /// so receivers can pipeline zone processing with the transfer.
     /// `false` keeps the legacy byte-budget split.
     pub zone_chunking: bool,
+    /// Candidate-probe kernel each node uses for its match/drop-out step.
+    /// Both kernels produce byte-identical results, so this is purely a
+    /// performance knob and is safe to default when absent on the wire.
+    pub kernel: MatchKernel,
 }
 
 /// Default parser limit: the ~10 MB the paper reports.
@@ -129,6 +133,7 @@ impl ExecutionPlan {
             carried_columns: step.carried.clone(),
             xmatch_workers: self.xmatch_workers,
             zone_height_deg: self.zone_height_deg,
+            kernel: self.kernel,
         })
     }
 
@@ -152,7 +157,8 @@ impl ExecutionPlan {
             .with_attr("chunking", self.chunking.to_string())
             .with_attr("xmatch_workers", self.xmatch_workers.to_string())
             .with_attr("zone_height_deg", format!("{:?}", self.zone_height_deg))
-            .with_attr("zone_chunking", self.zone_chunking.to_string());
+            .with_attr("zone_chunking", self.zone_chunking.to_string())
+            .with_attr("kernel", self.kernel.as_str());
         if let Some(r) = &self.region {
             plan = plan.with_child(r.to_element());
         }
@@ -315,6 +321,13 @@ impl ExecutionPlan {
                 .attr("zone_chunking")
                 .map(|v| v == "true")
                 .unwrap_or(false),
+            // Absent or unknown kernel names fall back to the default —
+            // both kernels are byte-identical, so mixed-version chains
+            // stay correct either way.
+            kernel: e
+                .attr("kernel")
+                .and_then(MatchKernel::parse)
+                .unwrap_or_default(),
         })
     }
 }
@@ -379,6 +392,7 @@ mod tests {
             xmatch_workers: 4,
             zone_height_deg: 0.25,
             zone_chunking: true,
+            kernel: MatchKernel::Htm,
         }
     }
 
@@ -459,6 +473,25 @@ mod tests {
         let p = ExecutionPlan::from_element(&el).unwrap();
         assert_eq!(p.xmatch_workers, 1);
         assert!(p.zone_height_deg > 0.0);
+    }
+
+    #[test]
+    fn legacy_plans_default_to_columnar_kernel() {
+        // Plans from peers predating the kernel knob omit the attribute;
+        // unknown names also fall back (both kernels are byte-identical,
+        // so this is always safe).
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| k != "kernel");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.kernel, MatchKernel::Columnar);
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| k != "kernel");
+        let el = el.with_attr("kernel", "quadtree");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.kernel, MatchKernel::Columnar);
+        // A named kernel round-trips.
+        let p = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
+        assert_eq!(p.kernel, MatchKernel::Htm);
     }
 
     #[test]

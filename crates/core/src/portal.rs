@@ -27,6 +27,7 @@ use crate::region::Region;
 use crate::result::{ResultColumn, ResultSet};
 use crate::skynode::{invoke_cross_match, send_rpc};
 use crate::trace::ExecutionTrace;
+use crate::xmatch::MatchKernel;
 use crate::xmatch::{PartialSet, TupleBindings};
 
 /// How the Portal orders the mandatory archives in the plan list.
@@ -64,6 +65,9 @@ pub struct FederationConfig {
     /// Whether oversized partial results are split on zone boundaries so
     /// downstream nodes can pipeline zone processing with the transfer.
     pub zone_chunking: bool,
+    /// Candidate-probe kernel the nodes use for match/drop-out steps
+    /// (columnar zone buckets by default; HTM as the legacy fallback).
+    pub kernel: MatchKernel,
 }
 
 impl Default for FederationConfig {
@@ -76,6 +80,7 @@ impl Default for FederationConfig {
             xmatch_workers: 1,
             zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
             zone_chunking: true,
+            kernel: MatchKernel::default(),
         }
     }
 }
@@ -333,8 +338,13 @@ impl Portal {
                 alias.clone(),
                 "cross match step",
                 format!(
-                    "tuples in {}, candidates probed {}, tuples out {}",
-                    s.tuples_in, s.candidates_probed, s.tuples_out
+                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}",
+                    s.tuples_in,
+                    s.candidates_probed,
+                    s.candidates_examined,
+                    s.chi2_accepted,
+                    s.scratch_reuse,
+                    s.tuples_out
                 ),
             );
         }
@@ -556,6 +566,7 @@ impl Portal {
             xmatch_workers: config.xmatch_workers.max(1),
             zone_height_deg: config.zone_height_deg,
             zone_chunking: config.zone_chunking,
+            kernel: config.kernel,
         })
     }
 }

@@ -167,6 +167,9 @@ impl StatsChain {
                     .with_attr("alias", alias.clone())
                     .with_attr("tuples_in", s.tuples_in.to_string())
                     .with_attr("candidates", s.candidates_probed.to_string())
+                    .with_attr("examined", s.candidates_examined.to_string())
+                    .with_attr("accepted", s.chi2_accepted.to_string())
+                    .with_attr("scratch_reuse", s.scratch_reuse.to_string())
                     .with_attr("tuples_out", s.tuples_out.to_string()),
             );
         }
@@ -188,12 +191,19 @@ impl StatsChain {
                     FederationError::protocol(format!("StatsChain step missing {name}"))
                 })
             };
+            // Kernel counters were added after the original wire format;
+            // entries from older peers simply report them as zero.
+            let lenient =
+                |name: &str| -> usize { se.attr(name).and_then(|v| v.parse().ok()).unwrap_or(0) };
             chain.push(
                 se.attr("alias")
                     .ok_or_else(|| FederationError::protocol("StatsChain step missing alias"))?,
                 StepStats {
                     tuples_in: num("tuples_in")?,
                     candidates_probed: num("candidates")?,
+                    candidates_examined: lenient("examined"),
+                    chi2_accepted: lenient("accepted"),
+                    scratch_reuse: lenient("scratch_reuse"),
                     tuples_out: num("tuples_out")?,
                 },
             );
@@ -253,6 +263,9 @@ mod tests {
             StepStats {
                 tuples_in: 0,
                 candidates_probed: 120,
+                candidates_examined: 400,
+                chi2_accepted: 80,
+                scratch_reuse: 97,
                 tuples_out: 80,
             },
         );
@@ -261,11 +274,40 @@ mod tests {
             StepStats {
                 tuples_in: 80,
                 candidates_probed: 300,
+                candidates_examined: 512,
+                chi2_accepted: 12,
+                scratch_reuse: 60,
                 tuples_out: 12,
             },
         );
         let back = StatsChain::from_element(&c.to_element()).unwrap();
         assert_eq!(back, c);
+        // The kernel counters survive the wire exactly (== ignores them,
+        // so compare the fields directly).
+        for ((_, b), (_, o)) in back.entries.iter().zip(&c.entries) {
+            assert_eq!(b.candidates_examined, o.candidates_examined);
+            assert_eq!(b.chi2_accepted, o.chi2_accepted);
+            assert_eq!(b.scratch_reuse, o.scratch_reuse);
+        }
+    }
+
+    #[test]
+    fn stats_chain_tolerates_missing_kernel_counters() {
+        // A chain element written before the kernel counters existed.
+        let el = Element::new("StatsChain").with_child(
+            Element::new("Step")
+                .with_attr("alias", "T")
+                .with_attr("tuples_in", "3")
+                .with_attr("candidates", "7")
+                .with_attr("tuples_out", "2"),
+        );
+        let c = StatsChain::from_element(&el).unwrap();
+        assert_eq!(c.entries.len(), 1);
+        let s = c.entries[0].1;
+        assert_eq!(s.candidates_probed, 7);
+        assert_eq!(s.candidates_examined, 0);
+        assert_eq!(s.chi2_accepted, 0);
+        assert_eq!(s.scratch_reuse, 0);
     }
 
     #[test]

@@ -27,8 +27,8 @@
 use skyquery_htm::{SkyPoint, Vec3};
 use skyquery_sql::{Bindings, Expr, RowBindings, SqlError};
 use skyquery_storage::{
-    ColumnDef, DataType, Database, PositionColumns, RangeSearchHit, Row, ScanOptions, Table,
-    TableSchema, Value,
+    ColumnDef, DataType, Database, PositionColumns, ProbeScratch, RangeSearchHit, Row, ScanOptions,
+    Table, TableSchema, Value,
 };
 use skyquery_xml::VoTable;
 
@@ -217,6 +217,47 @@ impl PartialSet {
     }
 }
 
+/// Selects the candidate-probe implementation for the match and drop-out
+/// steps. Both kernels are byte-identical on outputs (the parity suite
+/// enforces this); the HTM path stays as the region-query engine and as
+/// the oracle in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchKernel {
+    /// Columnar structure-of-arrays zone kernel: declination-zone buckets
+    /// with binary-searched RA windows over packed unit vectors, probed
+    /// through a reusable scratch (the default).
+    #[default]
+    Columnar,
+    /// HTM trixel cover plus candidate walk (the original path).
+    Htm,
+}
+
+impl MatchKernel {
+    /// Canonical lowercase name (`columnar` / `htm`), used by the plan
+    /// wire format and the CLI knob.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MatchKernel::Columnar => "columnar",
+            MatchKernel::Htm => "htm",
+        }
+    }
+
+    /// Parses a kernel name; `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<MatchKernel> {
+        match s {
+            "columnar" => Some(MatchKernel::Columnar),
+            "htm" => Some(MatchKernel::Htm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MatchKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Per-node configuration of one cross-match step, extracted from the
 /// federated execution plan.
 #[derive(Debug, Clone)]
@@ -240,19 +281,49 @@ pub struct StepConfig {
     pub xmatch_workers: usize,
     /// Declination zone height in degrees for the parallel zone engine.
     pub zone_height_deg: f64,
+    /// Candidate-probe kernel for the match/drop-out steps.
+    pub kernel: MatchKernel,
 }
 
 /// Evaluation statistics for one step (feeds the Figure-3 trace and the
 /// pruning experiment E7).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Equality is engine-invariant: it compares only the counters that are a
+/// pure function of the step's inputs (`tuples_in`, `candidates_probed`,
+/// `chi2_accepted`, `tuples_out`). `candidates_examined` depends on the
+/// kernel and index granularity, and `scratch_reuse` on worker
+/// scheduling, so — like `ExecutionTrace` excluding its clock — they are
+/// deliberately outside `==`; parity tests can therefore compare stats
+/// across kernels and worker counts.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StepStats {
     /// Partial tuples received from the previous step.
     pub tuples_in: usize,
-    /// Candidate extensions evaluated at this node.
+    /// Candidate extensions evaluated at this node (rows inside the probe
+    /// ball, before the chi² filter).
     pub candidates_probed: usize,
+    /// Rows whose exact separation was computed (the kernel's candidate
+    /// window: HTM cover entries or columnar zone-window rows).
+    pub candidates_examined: usize,
+    /// Candidates that passed the chi² threshold (for drop-out steps: the
+    /// number of tuples for which a counterpart was found).
+    pub chi2_accepted: usize,
+    /// Probes that completed without growing the kernel's scratch buffers
+    /// — i.e. zero-allocation probes.
+    pub scratch_reuse: usize,
     /// Partial tuples forwarded to the next step.
     pub tuples_out: usize,
 }
+
+impl PartialEq for StepStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples_in == other.tuples_in
+            && self.candidates_probed == other.candidates_probed
+            && self.chi2_accepted == other.chi2_accepted
+            && self.tuples_out == other.tuples_out
+    }
+}
+impl Eq for StepStats {}
 
 /// Precomputed per-step lookup state shared by the sequential step
 /// functions and the parallel zone engine: the step table's schema, its
@@ -269,6 +340,9 @@ pub struct StepContext {
     pub dec_ci: usize,
     /// Qualified result columns (`alias.column`) this step appends.
     pub appended: Vec<ResultColumn>,
+    /// Column indexes of the carried columns, precomputed so the match
+    /// kernel appends values by index instead of by name lookup.
+    pub carried_ci: Vec<usize>,
 }
 
 impl StepContext {
@@ -277,11 +351,17 @@ impl StepContext {
         let (_, ra_ci, dec_ci) = position_columns(db, &cfg.table)?;
         let schema = db.schema(&cfg.table)?.clone();
         let appended = carried_result_columns(cfg, &schema)?;
+        let carried_ci = cfg
+            .carried_columns
+            .iter()
+            .map(|c| schema.column_index(c).expect("validated above"))
+            .collect();
         Ok(StepContext {
             schema,
             ra_ci,
             dec_ci,
             appended,
+            carried_ci,
         })
     }
 }
@@ -368,6 +448,9 @@ pub fn seed_step(db: &mut Database, cfg: &StepConfig) -> Result<(PartialSet, Ste
         None => db.scan_filter(&cfg.table, ScanOptions::default(), |_, _| true)?,
     };
     stats.candidates_probed = row_ids.len();
+    // The seed step has one kernel: every selected row is both examined
+    // and probed, and the rows passing the local predicate are "accepted".
+    stats.candidates_examined = row_ids.len();
 
     for rid in row_ids {
         let row = db.table(&cfg.table)?.row(rid).expect("row exists").clone();
@@ -382,6 +465,7 @@ pub fn seed_step(db: &mut Database, cfg: &StepConfig) -> Result<(PartialSet, Ste
             values: carried_values(cfg, &schema, &row),
         });
     }
+    stats.chi2_accepted = out.len();
     stats.tuples_out = out.len();
     Ok((out, stats))
 }
@@ -406,9 +490,9 @@ fn qualify_hit(cfg: &StepConfig, ctx: &StepContext, row: &Row) -> Result<Option<
 }
 
 /// Match kernel for one partial tuple: evaluates every candidate hit (in
-/// the hits' row-id order) and appends the surviving extensions to `out`.
-/// Runs against a read-only table reference so zone workers can share the
-/// archive across threads.
+/// the hits' row-id order) and appends the surviving extensions to `out`,
+/// returning how many passed the chi² threshold. Runs against a read-only
+/// table reference so zone workers can share the archive across threads.
 pub fn extend_tuple(
     cfg: &StepConfig,
     ctx: &StepContext,
@@ -417,7 +501,27 @@ pub fn extend_tuple(
     carried: &[Value],
     hits: &[RangeSearchHit],
     out: &mut Vec<PartialTuple>,
-) -> Result<()> {
+) -> Result<usize> {
+    let mut staging = Vec::new();
+    extend_tuple_staged(cfg, ctx, table, state, carried, hits, &mut staging, out)
+}
+
+/// [`extend_tuple`] with an external carried-value staging buffer (the
+/// columnar kernel's [`ProbeScratch`] supplies one), so a long probe loop
+/// stages appended values without per-tuple allocation; the staged values
+/// then *move* into the exact-capacity output row.
+#[allow(clippy::too_many_arguments)] // extend_tuple plus the staging sink
+pub fn extend_tuple_staged(
+    cfg: &StepConfig,
+    ctx: &StepContext,
+    table: &Table,
+    state: &TupleState,
+    carried: &[Value],
+    hits: &[RangeSearchHit],
+    staging: &mut Vec<Value>,
+    out: &mut Vec<PartialTuple>,
+) -> Result<usize> {
+    let mut accepted = 0usize;
     for hit in hits {
         let row = table.row(hit.row).expect("hit row exists");
         let Some(pos) = qualify_hit(cfg, ctx, row)? else {
@@ -425,15 +529,21 @@ pub fn extend_tuple(
         };
         let new_state = state.extended(pos, cfg.sigma_rad);
         if new_state.chi2_min() <= cfg.threshold * cfg.threshold {
-            let mut values = carried.to_vec();
-            values.extend(carried_values(cfg, &ctx.schema, row));
+            staging.clear();
+            for &ci in &ctx.carried_ci {
+                staging.push(row[ci].clone());
+            }
+            let mut values = Vec::with_capacity(carried.len() + staging.len());
+            values.extend_from_slice(carried);
+            values.append(staging);
             out.push(PartialTuple {
                 state: new_state,
                 values,
             });
+            accepted += 1;
         }
     }
-    Ok(())
+    Ok(accepted)
 }
 
 /// Drop-out kernel for one partial tuple: whether any candidate hit would
@@ -481,24 +591,63 @@ pub fn match_step(
     // Walk the temp table (charging the cache like a real join would),
     // recovering each tuple's state and carried values.
     let temp_rows = db.table(&temp)?.rows().to_vec();
-    for trow in &temp_rows {
-        let (state, carried) = decode_materialized(trow);
-        let Some((center, radius)) = probe_ball(&state, cfg) else {
-            continue;
-        };
-        let hits = db.range_search(&cfg.table, center, radius, ScanOptions::default())?;
-        stats.candidates_probed += hits.len();
-        extend_tuple(
-            cfg,
-            &ctx,
-            db.table(&cfg.table)?,
-            &state,
-            carried,
-            &hits,
-            &mut out.tuples,
-        )?;
+    match cfg.kernel {
+        MatchKernel::Htm => {
+            for trow in &temp_rows {
+                let (state, carried) = decode_materialized(trow);
+                let Some((center, radius)) = probe_ball(&state, cfg) else {
+                    continue;
+                };
+                let (hits, examined) =
+                    db.range_search_counted(&cfg.table, center, radius, ScanOptions::default())?;
+                stats.candidates_probed += hits.len();
+                stats.candidates_examined += examined;
+                stats.chi2_accepted += extend_tuple(
+                    cfg,
+                    &ctx,
+                    db.table(&cfg.table)?,
+                    &state,
+                    carried,
+                    &hits,
+                    &mut out.tuples,
+                )?;
+            }
+            db.drop_table(&temp)?;
+        }
+        MatchKernel::Columnar => {
+            // Drop the temp before taking shared borrows; the rows are
+            // already copied out.
+            db.drop_table(&temp)?;
+            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?;
+            let table = db.table(&cfg.table)?;
+            let cols = db
+                .columnar_positions(&cfg.table)
+                .expect("ensure_columnar above");
+            let mut scratch = ProbeScratch::new();
+            for trow in &temp_rows {
+                let (state, carried) = decode_materialized(trow);
+                let Some((center, radius)) = probe_ball(&state, cfg) else {
+                    continue;
+                };
+                let probe = cols.probe(center, radius, &mut scratch);
+                stats.candidates_examined += probe.examined;
+                stats.scratch_reuse += usize::from(probe.reused);
+                let (hits, staging) = scratch.parts();
+                stats.candidates_probed += hits.len();
+                stats.chi2_accepted += extend_tuple_staged(
+                    cfg,
+                    &ctx,
+                    table,
+                    &state,
+                    carried,
+                    hits,
+                    staging,
+                    &mut out.tuples,
+                )?;
+            }
+        }
     }
-    db.drop_table(&temp)?;
     stats.tuples_out = out.len();
     Ok((out, stats))
 }
@@ -517,14 +666,46 @@ pub fn dropout_step(
         tuples_in: incoming.len(),
         ..StepStats::default()
     };
-    for tuple in &incoming.tuples {
-        let Some((center, radius)) = probe_ball(&tuple.state, cfg) else {
-            continue;
-        };
-        let hits = db.range_search(&cfg.table, center, radius, ScanOptions::default())?;
-        stats.candidates_probed += hits.len();
-        if !tuple_has_counterpart(cfg, &ctx, db.table(&cfg.table)?, &tuple.state, &hits)? {
-            out.tuples.push(tuple.clone());
+    match cfg.kernel {
+        MatchKernel::Htm => {
+            for tuple in &incoming.tuples {
+                let Some((center, radius)) = probe_ball(&tuple.state, cfg) else {
+                    continue;
+                };
+                let (hits, examined) =
+                    db.range_search_counted(&cfg.table, center, radius, ScanOptions::default())?;
+                stats.candidates_probed += hits.len();
+                stats.candidates_examined += examined;
+                let found =
+                    tuple_has_counterpart(cfg, &ctx, db.table(&cfg.table)?, &tuple.state, &hits)?;
+                stats.chi2_accepted += usize::from(found);
+                if !found {
+                    out.tuples.push(tuple.clone());
+                }
+            }
+        }
+        MatchKernel::Columnar => {
+            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?;
+            let table = db.table(&cfg.table)?;
+            let cols = db
+                .columnar_positions(&cfg.table)
+                .expect("ensure_columnar above");
+            let mut scratch = ProbeScratch::new();
+            for tuple in &incoming.tuples {
+                let Some((center, radius)) = probe_ball(&tuple.state, cfg) else {
+                    continue;
+                };
+                let probe = cols.probe(center, radius, &mut scratch);
+                stats.candidates_examined += probe.examined;
+                stats.scratch_reuse += usize::from(probe.reused);
+                stats.candidates_probed += scratch.hits().len();
+                let found = tuple_has_counterpart(cfg, &ctx, table, &tuple.state, scratch.hits())?;
+                stats.chi2_accepted += usize::from(found);
+                if !found {
+                    out.tuples.push(tuple.clone());
+                }
+            }
         }
     }
     stats.tuples_out = out.len();
@@ -675,6 +856,7 @@ mod tests {
             carried_columns: vec!["object_id".into()],
             xmatch_workers: 1,
             zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
+            kernel: MatchKernel::default(),
         }
     }
 
@@ -967,6 +1149,51 @@ mod tests {
         };
         let residual = parse_expr("O.y > 2").unwrap();
         assert!(apply_residuals(set, &[residual]).is_err());
+    }
+
+    #[test]
+    fn kernels_agree_on_match_and_dropout() {
+        let objs: Vec<(f64, f64, f64)> = (0..40)
+            .map(|i| {
+                (
+                    10.0 + (i as f64 * 0.37) % 2.0,
+                    -5.0 + (i as f64 * 0.23) % 2.0,
+                    i as f64,
+                )
+            })
+            .collect();
+        let shifted: Vec<(f64, f64, f64)> = objs
+            .iter()
+            .map(|&(ra, dec, f)| (ra + 0.1 * ARCSEC, dec - 0.05 * ARCSEC, f))
+            .collect();
+        let mut a = archive("A", &objs);
+        let (seed, _) = seed_step(&mut a, &cfg("A", 0.3, 3.5)).unwrap();
+
+        let run = |kernel: MatchKernel| {
+            let mut b = archive("B", &shifted);
+            let mut c = cfg("B", 0.3, 3.5);
+            c.kernel = kernel;
+            let matched = match_step(&mut b, &c, &seed).unwrap();
+            let dropped = dropout_step(&mut b, &c, &seed).unwrap();
+            (matched, dropped)
+        };
+        let columnar = run(MatchKernel::Columnar);
+        let htm = run(MatchKernel::Htm);
+        assert_eq!(columnar.0, htm.0, "match step must be byte-identical");
+        assert_eq!(columnar.1, htm.1, "drop-out step must be byte-identical");
+        assert!(!columnar.0 .0.is_empty());
+        // The columnar kernel reuses its scratch after the first probe.
+        assert!(columnar.0 .1.scratch_reuse > 0);
+    }
+
+    #[test]
+    fn match_kernel_names_round_trip() {
+        for k in [MatchKernel::Columnar, MatchKernel::Htm] {
+            assert_eq!(MatchKernel::parse(k.as_str()), Some(k));
+            assert_eq!(format!("{k}"), k.as_str());
+        }
+        assert_eq!(MatchKernel::parse("quadtree"), None);
+        assert_eq!(MatchKernel::default(), MatchKernel::Columnar);
     }
 
     #[test]

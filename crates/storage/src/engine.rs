@@ -7,6 +7,7 @@ use skyquery_htm::{RangeKind, SkyPoint};
 
 use crate::cache::{BufferCache, CacheStats};
 use crate::catalog::{Catalog, TableStats};
+use crate::columnar::ColumnarPositions;
 use crate::error::StorageError;
 use crate::exec::{RangeSearchHit, ScanOptions};
 use crate::index::{extract_position, BTreeIndex, HtmPositionIndex};
@@ -23,6 +24,9 @@ struct TableEntry {
     epoch: u64,
     htm: Option<HtmPositionIndex>,
     btrees: HashMap<String, BTreeIndex>,
+    /// Columnar SoA snapshot of the position columns for the cross-match
+    /// kernel; rebuilt lazily and invalidated by any row insert.
+    columnar: Option<ColumnarPositions>,
     temp: bool,
 }
 
@@ -84,6 +88,7 @@ impl Database {
                 epoch: self.next_epoch,
                 htm,
                 btrees: HashMap::new(),
+                columnar: None,
                 temp: false,
             },
         );
@@ -109,6 +114,7 @@ impl Database {
                 epoch: self.next_epoch,
                 htm,
                 btrees: HashMap::new(),
+                columnar: None,
                 temp: true,
             },
         );
@@ -178,6 +184,8 @@ impl Database {
             _ => None,
         };
         let rid = entry.table.insert_conformed(row);
+        // Any mutation invalidates the columnar position snapshot.
+        entry.columnar = None;
         let stored = entry.table.row(rid).expect("row just inserted");
         if let (Some(htm), Some(p)) = (entry.htm.as_mut(), position) {
             htm.insert(p, rid);
@@ -309,6 +317,92 @@ impl Database {
             }
         }
         resolve_range_candidates(&entry.table, ra_ci, dec_ci, center, radius_rad, &candidates)
+    }
+
+    /// [`Database::range_search`] plus the number of HTM candidates
+    /// examined, so callers can report probe-pruning efficiency.
+    pub fn range_search_counted(
+        &mut self,
+        table: &str,
+        center: SkyPoint,
+        radius_rad: f64,
+        opts: ScanOptions,
+    ) -> Result<(Vec<RangeSearchHit>, usize), StorageError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::UnknownTable {
+                name: table.to_string(),
+            })?;
+        let htm = entry
+            .htm
+            .as_mut()
+            .ok_or_else(|| StorageError::NoPositionIndex {
+                table: table.to_string(),
+            })?;
+        let pos = entry
+            .table
+            .schema()
+            .position
+            .as_ref()
+            .expect("htm index implies position metadata");
+        let ra_ci = entry.table.schema().column_index(&pos.ra).unwrap();
+        let dec_ci = entry.table.schema().column_index(&pos.dec).unwrap();
+        let epoch = entry.epoch;
+
+        let candidates = htm.search(center, radius_rad);
+        if opts.touch_cache {
+            for cand in &candidates {
+                self.cache.touch_row(epoch, cand.row);
+            }
+        }
+        let examined = candidates.len();
+        let hits =
+            resolve_range_candidates(&entry.table, ra_ci, dec_ci, center, radius_rad, &candidates)?;
+        Ok((hits, examined))
+    }
+
+    /// Builds (or keeps) the columnar position snapshot for `table` at the
+    /// requested zone height. A no-op when a snapshot for the same
+    /// requested height is already cached; any insert invalidates it.
+    pub fn ensure_columnar(
+        &mut self,
+        table: &str,
+        zone_height_deg: f64,
+    ) -> Result<(), StorageError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::UnknownTable {
+                name: table.to_string(),
+            })?;
+        let pos = entry.table.schema().position.as_ref().ok_or_else(|| {
+            StorageError::NoPositionIndex {
+                table: table.to_string(),
+            }
+        })?;
+        let ra_ci = entry.table.schema().column_index(&pos.ra).unwrap();
+        let dec_ci = entry.table.schema().column_index(&pos.dec).unwrap();
+        let stale = match &entry.columnar {
+            Some(c) => c.requested_height_deg().to_bits() != zone_height_deg.to_bits(),
+            None => true,
+        };
+        if stale {
+            entry.columnar = Some(ColumnarPositions::build(
+                &entry.table,
+                ra_ci,
+                dec_ci,
+                zone_height_deg,
+            )?);
+        }
+        Ok(())
+    }
+
+    /// The cached columnar snapshot for `table`, if one is valid. Borrowed
+    /// immutably so it can coexist with [`Database::table`]; call
+    /// [`Database::ensure_columnar`] first.
+    pub fn columnar_positions(&self, table: &str) -> Option<&ColumnarPositions> {
+        self.tables.get(table).and_then(|e| e.columnar.as_ref())
     }
 
     /// Region search over a position-indexed table: like
@@ -478,6 +572,26 @@ pub fn resolve_range_candidates(
     candidates: &[crate::index::HtmCandidate],
 ) -> Result<Vec<RangeSearchHit>, StorageError> {
     let mut hits = Vec::new();
+    resolve_range_candidates_into(
+        table, ra_ci, dec_ci, center, radius_rad, candidates, &mut hits,
+    )?;
+    Ok(hits)
+}
+
+/// Buffer-reusing variant of [`resolve_range_candidates`]: clears `hits`
+/// and fills it in place, so a long probe loop can amortize the hit
+/// allocation the same way the columnar kernel's scratch does.
+#[allow(clippy::too_many_arguments)] // mirrors resolve_range_candidates + sink
+pub fn resolve_range_candidates_into(
+    table: &Table,
+    ra_ci: usize,
+    dec_ci: usize,
+    center: SkyPoint,
+    radius_rad: f64,
+    candidates: &[crate::index::HtmCandidate],
+    hits: &mut Vec<RangeSearchHit>,
+) -> Result<(), StorageError> {
+    hits.clear();
     for cand in candidates {
         let row = table.row(cand.row).expect("index row exists");
         let (ra, dec) = extract_position(table.name(), row, ra_ci, dec_ci)?;
@@ -498,7 +612,7 @@ pub fn resolve_range_candidates(
         }
     }
     hits.sort_by_key(|h| h.row);
-    Ok(hits)
+    Ok(())
 }
 
 impl std::fmt::Debug for Database {
@@ -701,6 +815,85 @@ mod tests {
         assert_eq!(cat.tables[0].schema.name, "photo_object");
         assert_eq!(cat.tables[0].row_count, 5);
         assert!(cat.tables[0].approx_bytes > 0);
+    }
+
+    #[test]
+    fn columnar_cache_built_reused_and_invalidated() {
+        use crate::columnar::ProbeScratch;
+        let mut db = demo_db();
+        assert!(db.columnar_positions("photo_object").is_none());
+        db.ensure_columnar("photo_object", 0.5).unwrap();
+        let built = db.columnar_positions("photo_object").unwrap();
+        assert_eq!(built.len(), 5);
+        assert_eq!(built.requested_height_deg(), 0.5);
+
+        // The columnar probe agrees with the HTM range search.
+        let center = SkyPoint::from_radec_deg(185.0, -0.5);
+        let radius = (10.0 / 60.0_f64).to_radians();
+        let mut scratch = ProbeScratch::new();
+        db.columnar_positions("photo_object")
+            .unwrap()
+            .probe(center, radius, &mut scratch);
+        let htm = db
+            .range_search("photo_object", center, radius, ScanOptions::untracked())
+            .unwrap();
+        assert_eq!(scratch.hits(), htm.as_slice());
+
+        // A different requested height rebuilds; an insert invalidates.
+        db.ensure_columnar("photo_object", 1.0).unwrap();
+        assert_eq!(
+            db.columnar_positions("photo_object")
+                .unwrap()
+                .requested_height_deg(),
+            1.0
+        );
+        db.insert(
+            "photo_object",
+            vec![
+                Value::Id(6),
+                Value::Float(1.0),
+                Value::Float(1.0),
+                Value::Text("STAR".into()),
+                Value::Float(1.0),
+            ],
+        )
+        .unwrap();
+        assert!(db.columnar_positions("photo_object").is_none());
+        db.ensure_columnar("photo_object", 1.0).unwrap();
+        assert_eq!(db.columnar_positions("photo_object").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn ensure_columnar_requires_position_metadata() {
+        let mut db = Database::new("x");
+        db.create_table(TableSchema::new(
+            "plain",
+            vec![ColumnDef::new("a", DataType::Int)],
+        ))
+        .unwrap();
+        assert!(matches!(
+            db.ensure_columnar("plain", 0.1),
+            Err(StorageError::NoPositionIndex { .. })
+        ));
+        assert!(matches!(
+            db.ensure_columnar("missing", 0.1),
+            Err(StorageError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn range_search_counted_matches_range_search() {
+        let mut db = demo_db();
+        let center = SkyPoint::from_radec_deg(185.0, -0.5);
+        let radius = (10.0 / 60.0_f64).to_radians();
+        let plain = db
+            .range_search("photo_object", center, radius, ScanOptions::untracked())
+            .unwrap();
+        let (counted, examined) = db
+            .range_search_counted("photo_object", center, radius, ScanOptions::untracked())
+            .unwrap();
+        assert_eq!(plain, counted);
+        assert!(examined >= counted.len());
     }
 
     #[test]

@@ -30,6 +30,49 @@ impl Ord for Key {
     }
 }
 
+/// Borrowed-key view for probing the B-tree without cloning the probe
+/// `Value`: both `Key` and a bare `Value` present themselves as
+/// `dyn LookupKey`, and `BTreeMap` probes through
+/// `Borrow<dyn LookupKey + '_>`.
+trait LookupKey {
+    fn value(&self) -> &Value;
+}
+
+impl LookupKey for Key {
+    fn value(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl LookupKey for Value {
+    fn value(&self) -> &Value {
+        self
+    }
+}
+
+impl<'a> std::borrow::Borrow<dyn LookupKey + 'a> for Key {
+    fn borrow(&self) -> &(dyn LookupKey + 'a) {
+        self
+    }
+}
+
+impl PartialEq for dyn LookupKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.value().key_cmp(other.value()) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for dyn LookupKey + '_ {}
+impl PartialOrd for dyn LookupKey + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for dyn LookupKey + '_ {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.value().key_cmp(other.value())
+    }
+}
+
 /// An ordered index over one column, mapping value → row ids.
 #[derive(Debug, Clone)]
 pub struct BTreeIndex {
@@ -69,31 +112,35 @@ impl BTreeIndex {
     }
 
     /// Rows whose indexed value equals `v` (SQL semantics: NULL matches
-    /// nothing).
+    /// nothing). Probes through a borrowed key — no `Value` clone.
     pub fn lookup(&self, v: &Value) -> &[RowId] {
         if v.is_null() {
             return &[];
         }
         self.map
-            .get(&Key(v.clone()))
+            .get(v as &dyn LookupKey)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
     /// Rows with indexed value in `[lo, hi]` (both optional, inclusive).
-    /// NULLs never qualify.
+    /// NULLs never qualify. Bounds are compared through borrowed keys —
+    /// no `Value` clones.
     pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
         use std::ops::Bound::*;
-        let lo_b = match lo {
-            Some(v) => Included(Key(v.clone())),
-            None => Excluded(Key(Value::Null)), // skip NULL bucket
+        // `key_cmp` sorts NULL first, so an open lower bound excludes the
+        // NULL bucket by starting just above it.
+        const NULL: Value = Value::Null;
+        let lo_b: std::ops::Bound<&dyn LookupKey> = match lo {
+            Some(v) => Included(v as &dyn LookupKey),
+            None => Excluded(&NULL as &dyn LookupKey), // skip NULL bucket
         };
-        let hi_b = match hi {
-            Some(v) => Included(Key(v.clone())),
+        let hi_b: std::ops::Bound<&dyn LookupKey> = match hi {
+            Some(v) => Included(v as &dyn LookupKey),
             None => Unbounded,
         };
         let mut out = Vec::new();
-        for (k, rids) in self.map.range((lo_b, hi_b)) {
+        for (k, rids) in self.map.range::<dyn LookupKey, _>((lo_b, hi_b)) {
             if k.0.is_null() {
                 continue;
             }

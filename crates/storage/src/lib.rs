@@ -24,6 +24,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod columnar;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -34,7 +35,8 @@ pub mod value;
 
 pub use cache::{BufferCache, CacheStats};
 pub use catalog::{Catalog, TableStats};
-pub use engine::{resolve_range_candidates, Database};
+pub use columnar::{ColumnarPositions, ProbeScratch, ProbeStats};
+pub use engine::{resolve_range_candidates, resolve_range_candidates_into, Database};
 pub use error::StorageError;
 pub use exec::{RangeSearchHit, ScanOptions};
 pub use index::{BTreeIndex, HtmCandidate, HtmPositionIndex};

@@ -8,13 +8,16 @@
 //!    back (sharing the sequential path's schema conformance), then
 //!    bucketed into declination zones by their maximum-likelihood
 //!    position;
-//! 2. each zone task gets the archive rows inside its padded declination
-//!    band and a worker builds a private HTM index over just those rows —
-//!    the full-table index is never touched, so workers need only shared
-//!    `&Table` access;
+//! 2. each zone task gets a probing mode: with the default columnar
+//!    kernel, the archive's shared [`ColumnarPositions`] layout (built
+//!    once, zone ranges scanned directly); with the HTM kernel, a private
+//!    HTM index built over the archive rows inside the task's padded
+//!    declination band — either way workers need only shared `&Table`
+//!    access;
 //! 3. a crossbeam scoped worker pool pulls tasks off an atomic cursor and
 //!    runs the shared match / drop-out kernels from `skyquery_core::xmatch`
-//!    against the zone-local index;
+//!    against a per-worker `ZoneProber` whose scratch buffers stay warm
+//!    across tasks;
 //! 4. outcomes are merged back into incoming-tuple order.
 //!
 //! Equality with the sequential engine holds because the HTM cover of a
@@ -22,7 +25,9 @@
 //! full-cover rows are geometrically guaranteed to lie inside the padded
 //! band, and partial-cover rows are verified by the same distance test —
 //! so every tuple sees the identical candidate hit list it would have seen
-//! against the full-table index.
+//! against the full-table index. The columnar mode's zone-range scan is
+//! held to the same contract: every hit is verified by the exact distance
+//! test, so both modes produce the identical hit list for every probe.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -30,12 +35,15 @@ use std::sync::Mutex;
 use skyquery_core::engine::{BufferingIngest, CrossMatchEngine, PartialIngest, StepKind};
 use skyquery_core::error::{FederationError, Result};
 use skyquery_core::xmatch::{
-    decode_materialized, dropout_step, extend_tuple, match_step, materialize_temp, probe_ball,
-    tuple_has_counterpart, PartialSet, StepConfig, StepContext, StepStats,
+    decode_materialized, dropout_step, extend_tuple_staged, match_step, materialize_temp,
+    probe_ball, tuple_has_counterpart, MatchKernel, PartialSet, StepConfig, StepContext, StepStats,
 };
 use skyquery_core::ResultColumn;
 use skyquery_htm::SkyPoint;
-use skyquery_storage::{resolve_range_candidates, Database, HtmPositionIndex, Table};
+use skyquery_storage::{
+    resolve_range_candidates_into, ColumnarPositions, Database, HtmPositionIndex, ProbeScratch,
+    ProbeStats, RangeSearchHit, Table, Value,
+};
 
 use crate::merge::{
     merge_dropout, merge_match, zone_reports, TupleAction, TupleOutcome, ZoneReport,
@@ -130,7 +138,15 @@ impl CrossMatchEngine for ZoneEngine {
         let temp = materialize_temp(db, incoming)?;
         let temp_rows = db.table(&temp)?.rows().to_vec();
         db.drop_table(&temp)?;
+        if cfg.kernel == MatchKernel::Columnar {
+            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?;
+        }
         let table = db.table(&cfg.table)?;
+        let columnar = match cfg.kernel {
+            MatchKernel::Columnar => db.columnar_positions(&cfg.table),
+            MatchKernel::Htm => None,
+        };
 
         let plan = ZoneEngine::plan_step(
             cfg,
@@ -145,27 +161,33 @@ impl CrossMatchEngine for ZoneEngine {
         let outcomes = run_zone_tasks(
             table,
             &ctx,
+            columnar,
             &plan.tasks,
             cfg.xmatch_workers,
-            &|task: &ZoneTask, index: &HtmPositionIndex| {
+            &|task: &ZoneTask, prober: &mut ZoneProber<'_>| {
                 let mut out = Vec::with_capacity(task.probes.len());
                 for probe in &task.probes {
-                    let cands = index.search_sorted(probe.center, probe.radius_rad);
-                    let hits = resolve_range_candidates(
-                        table,
-                        ctx.ra_ci,
-                        ctx.dec_ci,
-                        probe.center,
-                        probe.radius_rad,
-                        &cands,
-                    )
-                    .map_err(FederationError::Storage)?;
+                    let pstats = prober.probe(probe.center, probe.radius_rad)?;
                     let (state, carried) = decode_materialized(&temp_rows[probe.index]);
                     let mut extensions = Vec::new();
-                    extend_tuple(cfg, &ctx, table, &state, carried, &hits, &mut extensions)?;
+                    let (hits, staging) = prober.parts();
+                    let probed = hits.len();
+                    let accepted = extend_tuple_staged(
+                        cfg,
+                        &ctx,
+                        table,
+                        &state,
+                        carried,
+                        hits,
+                        staging,
+                        &mut extensions,
+                    )?;
                     out.push(TupleOutcome {
                         index: probe.index,
-                        probed: hits.len(),
+                        probed,
+                        examined: pstats.examined,
+                        accepted,
+                        reused: usize::from(pstats.reused),
                         action: TupleAction::Extend(extensions),
                     });
                 }
@@ -185,7 +207,15 @@ impl CrossMatchEngine for ZoneEngine {
             return dropout_step(db, cfg, incoming);
         }
         let ctx = StepContext::new(db, cfg)?;
+        if cfg.kernel == MatchKernel::Columnar {
+            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?;
+        }
         let table = db.table(&cfg.table)?;
+        let columnar = match cfg.kernel {
+            MatchKernel::Columnar => db.columnar_positions(&cfg.table),
+            MatchKernel::Htm => None,
+        };
 
         let plan = ZoneEngine::plan_step(
             cfg,
@@ -198,30 +228,25 @@ impl CrossMatchEngine for ZoneEngine {
         let outcomes = run_zone_tasks(
             table,
             &ctx,
+            columnar,
             &plan.tasks,
             cfg.xmatch_workers,
-            &|task: &ZoneTask, index: &HtmPositionIndex| {
+            &|task: &ZoneTask, prober: &mut ZoneProber<'_>| {
                 let mut out = Vec::with_capacity(task.probes.len());
                 for probe in &task.probes {
-                    let cands = index.search_sorted(probe.center, probe.radius_rad);
-                    let hits = resolve_range_candidates(
-                        table,
-                        ctx.ra_ci,
-                        ctx.dec_ci,
-                        probe.center,
-                        probe.radius_rad,
-                        &cands,
-                    )
-                    .map_err(FederationError::Storage)?;
+                    let pstats = prober.probe(probe.center, probe.radius_rad)?;
                     let state = &incoming.tuples[probe.index].state;
-                    let keep = !tuple_has_counterpart(cfg, &ctx, table, state, &hits)?;
+                    let found = tuple_has_counterpart(cfg, &ctx, table, state, prober.hits())?;
                     out.push(TupleOutcome {
                         index: probe.index,
-                        probed: hits.len(),
-                        action: if keep {
-                            TupleAction::Keep
-                        } else {
+                        probed: prober.hits().len(),
+                        examined: pstats.examined,
+                        accepted: usize::from(found),
+                        reused: usize::from(pstats.reused),
+                        action: if found {
                             TupleAction::Drop
+                        } else {
+                            TupleAction::Keep
                         },
                     });
                 }
@@ -258,19 +283,85 @@ impl CrossMatchEngine for ZoneEngine {
     }
 }
 
+/// Per-worker probing state handed to the zone step kernels: the probing
+/// mode (a private zone-local HTM index, or the shared archive-wide
+/// columnar layout) plus the worker's reusable scratch buffers. Both
+/// modes fill the same scratch hit buffer with the identical verified
+/// hit list — exact distance test, `sep <= radius + 1e-15`, sorted by
+/// row id — so the choice of mode can never change step output.
+pub(crate) struct ZoneProber<'a> {
+    mode: ProberMode<'a>,
+    table: &'a Table,
+    ra_ci: usize,
+    dec_ci: usize,
+    scratch: &'a mut ProbeScratch,
+}
+
+enum ProberMode<'a> {
+    /// A private HTM index over the zone's padded declination band.
+    Htm(HtmPositionIndex),
+    /// The archive-wide columnar layout, shared read-only across workers.
+    Columnar(&'a ColumnarPositions),
+}
+
+impl ZoneProber<'_> {
+    /// Fills the scratch hit buffer with the verified candidates inside
+    /// the probe ball and returns the kernel counters.
+    pub(crate) fn probe(&mut self, center: SkyPoint, radius_rad: f64) -> Result<ProbeStats> {
+        match &self.mode {
+            ProberMode::Htm(index) => {
+                let cands = index.search_sorted(center, radius_rad);
+                resolve_range_candidates_into(
+                    self.table,
+                    self.ra_ci,
+                    self.dec_ci,
+                    center,
+                    radius_rad,
+                    &cands,
+                    self.scratch.hits_mut(),
+                )
+                .map_err(FederationError::Storage)?;
+                // The HTM path allocates the candidate cover per probe, so
+                // it never reports a zero-allocation probe — mirroring the
+                // sequential HTM arm, whose scratch_reuse is always zero.
+                Ok(ProbeStats {
+                    examined: cands.len(),
+                    reused: false,
+                })
+            }
+            ProberMode::Columnar(cols) => Ok(cols.probe(center, radius_rad, self.scratch)),
+        }
+    }
+
+    /// The verified hits of the most recent probe, sorted by row id.
+    pub(crate) fn hits(&self) -> &[RangeSearchHit] {
+        self.scratch.hits()
+    }
+
+    /// The hits plus the carried-value staging buffer, for feeding
+    /// `extend_tuple_staged` without per-tuple allocation.
+    pub(crate) fn parts(&mut self) -> (&[RangeSearchHit], &mut Vec<Value>) {
+        self.scratch.parts()
+    }
+}
+
 /// Runs zone tasks on a scoped worker pool. Workers pull tasks off an
 /// atomic cursor (cheap dynamic load balancing — dense zones near the
-/// galactic plane can be arbitrarily heavier than sparse ones), build the
-/// zone-local HTM index, and hand it to the step kernel.
+/// galactic plane can be arbitrarily heavier than sparse ones), set up
+/// the task's probing mode — the shared columnar layout when one is
+/// supplied, otherwise a private zone-local HTM index — and hand a
+/// [`ZoneProber`] wrapping it and the worker's scratch to the step
+/// kernel.
 pub(crate) fn run_zone_tasks<K>(
     table: &Table,
     ctx: &StepContext,
+    columnar: Option<&ColumnarPositions>,
     tasks: &[ZoneTask],
     workers: usize,
     kernel: &K,
 ) -> Result<Vec<TupleOutcome>>
 where
-    K: Fn(&ZoneTask, &HtmPositionIndex) -> Result<Vec<TupleOutcome>> + Sync,
+    K: Fn(&ZoneTask, &mut ZoneProber<'_>) -> Result<Vec<TupleOutcome>> + Sync,
 {
     let depth = ctx
         .schema
@@ -282,20 +373,36 @@ where
     let cursor = AtomicUsize::new(0);
     let worker = || -> Result<Vec<TupleOutcome>> {
         let mut local = Vec::new();
+        // One scratch per worker: buffers stay warm across every task the
+        // worker pulls, so steady-state probing is allocation-free.
+        let mut scratch = ProbeScratch::new();
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(task) = tasks.get(i) else {
                 break;
             };
-            let mut index = HtmPositionIndex::new(depth);
-            for &rid in &task.rows {
-                let row = table.row(rid).expect("partitioned row exists");
-                let ra = row[ctx.ra_ci].as_f64().expect("position column");
-                let dec = row[ctx.dec_ci].as_f64().expect("position column");
-                index.insert(SkyPoint::from_radec_deg(ra, dec), rid);
-            }
-            index.ensure_sorted();
-            local.extend(kernel(task, &index)?);
+            let mode = match columnar {
+                Some(cols) => ProberMode::Columnar(cols),
+                None => {
+                    let mut index = HtmPositionIndex::new(depth);
+                    for &rid in &task.rows {
+                        let row = table.row(rid).expect("partitioned row exists");
+                        let ra = row[ctx.ra_ci].as_f64().expect("position column");
+                        let dec = row[ctx.dec_ci].as_f64().expect("position column");
+                        index.insert(SkyPoint::from_radec_deg(ra, dec), rid);
+                    }
+                    index.ensure_sorted();
+                    ProberMode::Htm(index)
+                }
+            };
+            let mut prober = ZoneProber {
+                mode,
+                table,
+                ra_ci: ctx.ra_ci,
+                dec_ci: ctx.dec_ci,
+                scratch: &mut scratch,
+            };
+            local.extend(kernel(task, &mut prober)?);
         }
         Ok(local)
     };

@@ -18,6 +18,15 @@ pub struct TupleOutcome {
     /// Verified candidate hits evaluated for this tuple (feeds
     /// `StepStats::candidates_probed`).
     pub probed: usize,
+    /// Candidate rows whose exact separation the kernel computed (feeds
+    /// `StepStats::candidates_examined`).
+    pub examined: usize,
+    /// Candidates passing the chi² acceptance test (feeds
+    /// `StepStats::chi2_accepted`).
+    pub accepted: usize,
+    /// Probes served entirely from warm scratch buffers, 0 or 1 (feeds
+    /// `StepStats::scratch_reuse`).
+    pub reused: usize,
     /// The step-kind-specific result.
     pub action: TupleAction,
 }
@@ -47,6 +56,9 @@ pub fn merge_match(
     };
     for outcome in outcomes {
         stats.candidates_probed += outcome.probed;
+        stats.candidates_examined += outcome.examined;
+        stats.chi2_accepted += outcome.accepted;
+        stats.scratch_reuse += outcome.reused;
         match outcome.action {
             TupleAction::Extend(exts) => out.tuples.extend(exts),
             TupleAction::Keep | TupleAction::Drop => {
@@ -72,6 +84,9 @@ pub fn merge_dropout(
     };
     for outcome in outcomes {
         stats.candidates_probed += outcome.probed;
+        stats.candidates_examined += outcome.examined;
+        stats.chi2_accepted += outcome.accepted;
+        stats.scratch_reuse += outcome.reused;
         match outcome.action {
             TupleAction::Keep => out.tuples.push(incoming.tuples[outcome.index].clone()),
             TupleAction::Drop => {}
@@ -131,17 +146,26 @@ mod tests {
                 TupleOutcome {
                     index: 2,
                     probed: 4,
+                    examined: 9,
+                    accepted: 1,
+                    reused: 1,
                     action: TupleAction::Extend(vec![tuple(2.0)]),
                 },
                 TupleOutcome {
                     index: 0,
                     probed: 1,
+                    examined: 2,
+                    accepted: 2,
+                    reused: 0,
                     action: TupleAction::Extend(vec![tuple(0.0), tuple(0.5)]),
                 },
             ],
         );
         assert_eq!(stats.tuples_in, 3);
         assert_eq!(stats.candidates_probed, 5);
+        assert_eq!(stats.candidates_examined, 11);
+        assert_eq!(stats.chi2_accepted, 3);
+        assert_eq!(stats.scratch_reuse, 1);
         assert_eq!(stats.tuples_out, 3);
         let decs: Vec<i64> = set
             .tuples
@@ -166,21 +190,33 @@ mod tests {
                 TupleOutcome {
                     index: 2,
                     probed: 2,
+                    examined: 4,
+                    accepted: 0,
+                    reused: 1,
                     action: TupleAction::Keep,
                 },
                 TupleOutcome {
                     index: 1,
                     probed: 3,
+                    examined: 6,
+                    accepted: 1,
+                    reused: 1,
                     action: TupleAction::Drop,
                 },
                 TupleOutcome {
                     index: 0,
                     probed: 0,
+                    examined: 0,
+                    accepted: 0,
+                    reused: 0,
                     action: TupleAction::Keep,
                 },
             ],
         );
         assert_eq!(stats.candidates_probed, 5);
+        assert_eq!(stats.candidates_examined, 10);
+        assert_eq!(stats.chi2_accepted, 1);
+        assert_eq!(stats.scratch_reuse, 2);
         assert_eq!(set.tuples.len(), 2);
         assert_eq!(set.tuples[0], incoming.tuples[0]);
         assert_eq!(set.tuples[1], incoming.tuples[2]);

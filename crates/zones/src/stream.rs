@@ -22,13 +22,13 @@ use std::time::{Duration, Instant};
 use skyquery_core::engine::{PartialIngest, StepKind};
 use skyquery_core::error::{FederationError, Result};
 use skyquery_core::xmatch::{
-    decode_materialized, extend_tuple, materialize_temp, probe_ball, tuple_has_counterpart,
-    PartialSet, PartialTuple, StepConfig, StepContext, StepStats,
+    decode_materialized, extend_tuple_staged, materialize_temp, probe_ball, tuple_has_counterpart,
+    MatchKernel, PartialSet, PartialTuple, StepConfig, StepContext, StepStats,
 };
 use skyquery_core::ResultColumn;
-use skyquery_storage::{resolve_range_candidates, Database, HtmPositionIndex, Table};
+use skyquery_storage::{ColumnarPositions, Database, Table};
 
-use crate::engine::{run_zone_tasks, ZoneEngine};
+use crate::engine::{run_zone_tasks, ZoneEngine, ZoneProber};
 use crate::merge::{merge_match, zone_reports, TupleAction, TupleOutcome, ZoneReport};
 use crate::partition::{partition, sorted_declinations, TupleProbe, ZoneTask};
 use crate::zonemap::ZoneMap;
@@ -90,6 +90,12 @@ impl<'a> ZoneIngest<'a> {
         columns_in: Vec<ResultColumn>,
     ) -> Result<ZoneIngest<'a>> {
         let ctx = StepContext::new(db, &cfg)?;
+        if cfg.kernel == MatchKernel::Columnar {
+            // Warm the columnar layout before the first chunk arrives, so
+            // per-chunk work stays partition + probe.
+            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?;
+        }
         let table = db.table(&cfg.table)?;
         let decs = sorted_declinations(table, ctx.dec_ci);
         let map = ZoneMap::new(cfg.zone_height_deg);
@@ -117,13 +123,14 @@ impl<'a> ZoneIngest<'a> {
     fn run_chunk<K>(
         &mut self,
         table: &Table,
+        columnar: Option<&ColumnarPositions>,
         probes: Vec<TupleProbe>,
         degenerate: usize,
         global: &[usize],
         kernel: &K,
     ) -> Result<()>
     where
-        K: Fn(&ZoneTask, &HtmPositionIndex) -> Result<Vec<TupleOutcome>> + Sync,
+        K: Fn(&ZoneTask, &mut ZoneProber<'_>) -> Result<Vec<TupleOutcome>> + Sync,
     {
         let plan = partition(&self.map, probes, &self.decs, degenerate);
         self.reports.extend(zone_reports(&plan.tasks));
@@ -131,6 +138,7 @@ impl<'a> ZoneIngest<'a> {
         let outcomes = run_zone_tasks(
             table,
             &self.ctx,
+            columnar,
             &plan.tasks,
             self.cfg.xmatch_workers,
             kernel,
@@ -167,7 +175,17 @@ impl PartialIngest for ZoneIngest<'_> {
                 let temp = materialize_temp(db, &mini)?;
                 let temp_rows = db.table(&temp)?.rows().to_vec();
                 db.drop_table(&temp)?;
+                if self.cfg.kernel == MatchKernel::Columnar {
+                    // Cheap no-op unless an insert invalidated the cache
+                    // since the session began.
+                    db.ensure_columnar(&self.cfg.table, self.cfg.zone_height_deg)
+                        .map_err(FederationError::Storage)?;
+                }
                 let table = db.table(&self.cfg.table)?;
+                let columnar = match self.cfg.kernel {
+                    MatchKernel::Columnar => db.columnar_positions(&self.cfg.table),
+                    MatchKernel::Htm => None,
+                };
 
                 let mut probes = Vec::new();
                 let mut degenerate = 0usize;
@@ -182,49 +200,46 @@ impl PartialIngest for ZoneIngest<'_> {
                     }
                 }
                 let cfg = self.cfg.clone();
-                let ctx_ra = self.ctx.ra_ci;
-                let ctx_dec = self.ctx.dec_ci;
                 // The borrow checker can't see that the kernel only reads
                 // `ctx` while `self` mutates bookkeeping, so clone the
                 // small context pieces the kernel needs.
                 let ctx = StepContext {
                     schema: self.ctx.schema.clone(),
-                    ra_ci: ctx_ra,
-                    dec_ci: ctx_dec,
+                    ra_ci: self.ctx.ra_ci,
+                    dec_ci: self.ctx.dec_ci,
                     appended: self.ctx.appended.clone(),
+                    carried_ci: self.ctx.carried_ci.clone(),
                 };
                 self.run_chunk(
                     table,
+                    columnar,
                     probes,
                     degenerate,
                     &global,
-                    &|task: &ZoneTask, index: &HtmPositionIndex| {
+                    &|task: &ZoneTask, prober: &mut ZoneProber<'_>| {
                         let mut out = Vec::with_capacity(task.probes.len());
                         for probe in &task.probes {
-                            let cands = index.search_sorted(probe.center, probe.radius_rad);
-                            let hits = resolve_range_candidates(
-                                table,
-                                ctx.ra_ci,
-                                ctx.dec_ci,
-                                probe.center,
-                                probe.radius_rad,
-                                &cands,
-                            )
-                            .map_err(FederationError::Storage)?;
+                            let pstats = prober.probe(probe.center, probe.radius_rad)?;
                             let (state, carried) = decode_materialized(&temp_rows[probe.index]);
                             let mut extensions = Vec::new();
-                            extend_tuple(
+                            let (hits, staging) = prober.parts();
+                            let probed = hits.len();
+                            let accepted = extend_tuple_staged(
                                 &cfg,
                                 &ctx,
                                 table,
                                 &state,
                                 carried,
-                                &hits,
+                                hits,
+                                staging,
                                 &mut extensions,
                             )?;
                             out.push(TupleOutcome {
                                 index: probe.index,
-                                probed: hits.len(),
+                                probed,
+                                examined: pstats.examined,
+                                accepted,
+                                reused: usize::from(pstats.reused),
                                 action: TupleAction::Extend(extensions),
                             });
                         }
@@ -233,7 +248,15 @@ impl PartialIngest for ZoneIngest<'_> {
                 )
             }
             StepKind::Dropout => {
+                if self.cfg.kernel == MatchKernel::Columnar {
+                    db.ensure_columnar(&self.cfg.table, self.cfg.zone_height_deg)
+                        .map_err(FederationError::Storage)?;
+                }
                 let table = db.table(&self.cfg.table)?;
+                let columnar = match self.cfg.kernel {
+                    MatchKernel::Columnar => db.columnar_positions(&self.cfg.table),
+                    MatchKernel::Htm => None,
+                };
                 let mut probes = Vec::new();
                 let mut degenerate = 0usize;
                 for (index, tuple) in tuples.iter().enumerate() {
@@ -252,40 +275,41 @@ impl PartialIngest for ZoneIngest<'_> {
                     ra_ci: self.ctx.ra_ci,
                     dec_ci: self.ctx.dec_ci,
                     appended: self.ctx.appended.clone(),
+                    carried_ci: self.ctx.carried_ci.clone(),
                 };
                 let tuples_ref = &tuples;
                 self.run_chunk(
                     table,
+                    columnar,
                     probes,
                     degenerate,
                     &global,
-                    &|task: &ZoneTask, index: &HtmPositionIndex| {
+                    &|task: &ZoneTask, prober: &mut ZoneProber<'_>| {
                         let mut out = Vec::with_capacity(task.probes.len());
                         for probe in &task.probes {
-                            let cands = index.search_sorted(probe.center, probe.radius_rad);
-                            let hits = resolve_range_candidates(
-                                table,
-                                ctx.ra_ci,
-                                ctx.dec_ci,
-                                probe.center,
-                                probe.radius_rad,
-                                &cands,
-                            )
-                            .map_err(FederationError::Storage)?;
+                            let pstats = prober.probe(probe.center, probe.radius_rad)?;
                             let tuple = &tuples_ref[probe.index];
-                            let keep =
-                                !tuple_has_counterpart(&cfg, &ctx, table, &tuple.state, &hits)?;
+                            let found = tuple_has_counterpart(
+                                &cfg,
+                                &ctx,
+                                table,
+                                &tuple.state,
+                                prober.hits(),
+                            )?;
                             out.push(TupleOutcome {
                                 index: probe.index,
-                                probed: hits.len(),
+                                probed: prober.hits().len(),
+                                examined: pstats.examined,
+                                accepted: usize::from(found),
+                                reused: usize::from(pstats.reused),
                                 // Encode keep/drop as an extension so the
                                 // match merge reassembles both step kinds:
                                 // a kept tuple passes through unchanged, a
                                 // dropped one contributes nothing.
-                                action: TupleAction::Extend(if keep {
-                                    vec![tuple.clone()]
-                                } else {
+                                action: TupleAction::Extend(if found {
                                     Vec::new()
+                                } else {
+                                    vec![tuple.clone()]
                                 }),
                             });
                         }

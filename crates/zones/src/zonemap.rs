@@ -130,6 +130,55 @@ mod tests {
     }
 
     #[test]
+    fn columnar_layout_agrees_with_the_map() {
+        // The storage crate's columnar position layout re-derives this
+        // map's zone formula (storage cannot depend on this crate); the
+        // columnar kernel scans the zone ranges that partitioning
+        // computed with *this* map, so the two bucketings must stay
+        // identical for every height and declination.
+        use skyquery_storage::{
+            BufferCache, ColumnDef, DataType, Database, PositionColumns, TableSchema, Value,
+        };
+        let mut db = Database::with_cache("agree", BufferCache::new(4096, 16));
+        let schema = TableSchema::new(
+            "objects",
+            vec![
+                ColumnDef::new("object_id", DataType::Id),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+            ],
+        )
+        .with_position(PositionColumns::new("ra", "dec", 14))
+        .unwrap();
+        db.create_table(schema).unwrap();
+        db.insert(
+            "objects",
+            vec![Value::Id(1), Value::Float(10.0), Value::Float(0.0)],
+        )
+        .unwrap();
+        for height in [1e-9, 1e-4, 0.05, 0.1, 0.37, 5.0, 180.0, 500.0, 0.0, -3.0] {
+            let m = ZoneMap::new(height);
+            db.ensure_columnar("objects", height).unwrap();
+            let cols = db.columnar_positions("objects").unwrap();
+            assert_eq!(cols.zone_count(), m.zone_count(), "height {height}");
+            assert_eq!(
+                cols.height_deg().to_bits(),
+                m.height_deg().to_bits(),
+                "height {height}"
+            );
+            for i in 0..=1800 {
+                let dec = -90.0 + 0.1 * i as f64;
+                assert_eq!(
+                    cols.zone_of_dec(dec),
+                    m.zone_of(dec),
+                    "dec {dec} height {height}"
+                );
+            }
+            assert_eq!(cols.zone_of_dec(f64::NAN), m.zone_of(f64::NAN));
+        }
+    }
+
+    #[test]
     fn zone_of_matches_bounds() {
         let m = ZoneMap::new(0.37);
         for dec in [-89.99, -45.3, -0.01, 0.0, 12.345, 89.99] {

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use skyquery_core::engine::CrossMatchEngine;
 use skyquery_core::xmatch::{
-    dropout_step, match_step, PartialSet, PartialTuple, StepConfig, TupleState,
+    dropout_step, match_step, MatchKernel, PartialSet, PartialTuple, StepConfig, TupleState,
 };
 use skyquery_core::ResultColumn;
 use skyquery_htm::SkyPoint;
@@ -61,6 +61,7 @@ fn cfg(sigma_arcsec: f64, threshold: f64, workers: usize, zone_height_deg: f64) 
         carried_columns: vec!["object_id".into()],
         xmatch_workers: workers,
         zone_height_deg,
+        kernel: MatchKernel::Htm,
     }
 }
 

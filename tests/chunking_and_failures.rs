@@ -115,6 +115,7 @@ fn open_seed_transfer(fed: &TestFederation) -> ChunkManifest {
         xmatch_workers: 1,
         zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
         zone_chunking: true,
+        kernel: Default::default(),
     };
     let resp = send_rpc(
         &fed.net,

@@ -34,6 +34,7 @@ fn malicious_long_plan_overflows_stack() {
         xmatch_workers: 1,
         zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
         zone_chunking: true,
+        kernel: Default::default(),
     };
     let res = send_rpc(
         &fed.net,
