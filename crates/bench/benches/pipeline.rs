@@ -135,6 +135,7 @@ fn plan(c: &Chain, workers: usize, max_message_bytes: usize, zone_chunking: bool
         zone_height_deg: 0.5,
         zone_chunking,
         kernel: Default::default(),
+        retry: Default::default(),
     }
 }
 

@@ -17,6 +17,10 @@ pub struct Options {
     pub zone_chunking: bool,
     /// Probe kernel for cross-match steps (columnar or HTM).
     pub kernel: skyquery_core::MatchKernel,
+    /// Retry attempts for every federation RPC (1 = no retries).
+    pub retries: u32,
+    /// First retry's backoff in simulated seconds (doubles per retry).
+    pub retry_backoff_s: f64,
 }
 
 impl Default for Options {
@@ -28,6 +32,19 @@ impl Default for Options {
             zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
             zone_chunking: true,
             kernel: skyquery_core::MatchKernel::default(),
+            retries: skyquery_core::RetryPolicy::default().max_attempts,
+            retry_backoff_s: skyquery_core::RetryPolicy::default().backoff_base_s,
+        }
+    }
+}
+
+impl Options {
+    /// The retry policy these options describe.
+    pub fn retry_policy(&self) -> skyquery_core::RetryPolicy {
+        skyquery_core::RetryPolicy {
+            max_attempts: self.retries,
+            backoff_base_s: self.retry_backoff_s,
+            ..skyquery_core::RetryPolicy::default()
         }
     }
 }
@@ -101,6 +118,24 @@ where
                     }
                 }
             }
+            "--retries" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => opts.retries = n,
+                    _ => return Command::Help(Some("--retries needs a number ≥ 1".into())),
+                }
+            }
+            "--retry-backoff" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(s) if s.is_finite() && s >= 0.0 => opts.retry_backoff_s = s,
+                    _ => {
+                        return Command::Help(Some(
+                            "--retry-backoff needs a non-negative number of seconds".into(),
+                        ))
+                    }
+                }
+            }
             "--no-zone-chunking" => opts.zone_chunking = false,
             "--help" | "-h" => return Command::Help(None),
             other if other.starts_with("--") => {
@@ -145,6 +180,8 @@ OPTIONS:
     --workers <N>      cross-match worker threads per SkyNode      [default: 1]
     --zone-height <D>  declination zone height, degrees            [default: 0.1]
     --kernel <K>       cross-match probe kernel: columnar | htm    [default: columnar]
+    --retries <N>      RPC attempts before a node is unhealthy     [default: 3]
+    --retry-backoff <S> first retry backoff, simulated seconds     [default: 0.05]
     --no-zone-chunking legacy byte-budget chunking for oversized transfers
 "
 }
@@ -178,6 +215,10 @@ mod tests {
             "0.5",
             "--kernel",
             "htm",
+            "--retries",
+            "5",
+            "--retry-backoff",
+            "0.2",
         ]) {
             Command::Repl(o) => {
                 assert_eq!(o.bodies, 500);
@@ -186,6 +227,9 @@ mod tests {
                 assert_eq!(o.zone_height_deg, 0.5);
                 assert!(o.zone_chunking, "zone chunking defaults on");
                 assert_eq!(o.kernel, skyquery_core::MatchKernel::Htm);
+                assert_eq!(o.retries, 5);
+                assert_eq!(o.retry_backoff_s, 0.2);
+                assert_eq!(o.retry_policy().max_attempts, 5);
             }
             other => panic!("{other:?}"),
         }
@@ -243,6 +287,14 @@ mod tests {
             parse_args(["--kernel", "quadtree", "demo"]),
             Command::Help(Some(msg)) if msg.contains("--kernel")
         ));
+        assert!(matches!(
+            parse_args(["--retries", "0", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--retries")
+        ));
+        assert!(matches!(
+            parse_args(["--retry-backoff", "-1", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--retry-backoff")
+        ));
     }
 
     #[test]
@@ -256,6 +308,8 @@ mod tests {
             "--workers",
             "--zone-height",
             "--kernel",
+            "--retries",
+            "--retry-backoff",
             "--no-zone-chunking",
         ] {
             assert!(usage().contains(word), "{word}");

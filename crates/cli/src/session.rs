@@ -5,6 +5,7 @@
 use std::io::Write;
 
 use skyquery_core::{FederationConfig, OrderingStrategy};
+use skyquery_net::FaultPlan;
 use skyquery_sim::{CatalogParams, FederationBuilder, TestFederation};
 
 use crate::args::Options;
@@ -14,6 +15,9 @@ pub struct Session {
     fed: TestFederation,
     show_trace: bool,
     max_rows: usize,
+    /// The accumulated fault plan; `\faults` commands extend it and
+    /// re-arm the network with a fresh copy.
+    faults: FaultPlan,
 }
 
 impl Session {
@@ -30,6 +34,7 @@ impl Session {
                 zone_height_deg: opts.zone_height_deg,
                 zone_chunking: opts.zone_chunking,
                 kernel: opts.kernel,
+                retry: opts.retry_policy(),
                 ..FederationConfig::default()
             })
             .survey(skyquery_sim::SurveyParams::sdss_like())
@@ -40,7 +45,16 @@ impl Session {
             fed,
             show_trace: false,
             max_rows: 20,
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Resolves an archive name (or raw host) to a network host.
+    fn resolve_host(&self, name: &str) -> String {
+        self.fed
+            .node(name)
+            .map(|n| n.url().host.clone())
+            .unwrap_or_else(|| name.to_string())
     }
 
     /// The underlying federation (for inspection in tests).
@@ -211,6 +225,85 @@ impl Session {
                 }
                 None => writeln!(out, "usage: \\kernel columnar|htm")?,
             },
+            Some("faults") => {
+                let usage =
+                    "usage: \\faults [down|500|truncate|garbage <archive> <n> | latency <archive> <s> | clear]";
+                match parts.next() {
+                    None => {
+                        let m = self.fed.net.metrics();
+                        writeln!(
+                            out,
+                            "fault injection {}",
+                            if self.fed.net.has_faults() {
+                                "armed"
+                            } else {
+                                "idle"
+                            }
+                        )?;
+                        for ((from, to, kind), n) in m.faults() {
+                            writeln!(out, "{from:<26} -> {to:<26} {kind:<16} x{n}")?;
+                        }
+                        let r = m.retry_total();
+                        writeln!(
+                            out,
+                            "{} retries, {:.3}s simulated backoff",
+                            r.retries, r.backoff_seconds
+                        )?;
+                        let unhealthy = self.fed.portal.unhealthy_hosts();
+                        if !unhealthy.is_empty() {
+                            writeln!(out, "unhealthy: {}", unhealthy.join(", "))?;
+                        }
+                    }
+                    Some("clear") => {
+                        self.faults = FaultPlan::new();
+                        self.fed.net.clear_faults();
+                        writeln!(out, "fault plan cleared")?;
+                    }
+                    Some(kind @ ("down" | "500" | "truncate" | "garbage" | "latency")) => {
+                        let target = parts.next().map(|a| self.resolve_host(a));
+                        let amount = parts.next().and_then(|v| v.parse::<f64>().ok());
+                        match (target, amount) {
+                            (Some(host), Some(x)) if x.is_finite() && x >= 0.0 => {
+                                let plan = std::mem::take(&mut self.faults);
+                                self.faults = match kind {
+                                    "down" => plan.host_down_for(&host, x as u32),
+                                    "500" => plan.server_errors(&host, x as u32),
+                                    "truncate" => plan.truncated_bodies(&host, x as u32),
+                                    "garbage" => plan.garbage_bodies(&host, x as u32),
+                                    _ => plan.added_latency(&host, x),
+                                };
+                                // Re-arming restarts every bounded rule's budget.
+                                self.fed.net.install_faults(self.faults.clone());
+                                writeln!(out, "armed: {kind} on {host}")?;
+                            }
+                            _ => writeln!(out, "{usage}")?,
+                        }
+                    }
+                    Some(_) => writeln!(out, "{usage}")?,
+                }
+            }
+            Some("retry") => {
+                let attempts = parts.next().and_then(|v| v.parse::<u32>().ok());
+                let backoff = parts.next().and_then(|v| v.parse::<f64>().ok());
+                match attempts {
+                    Some(n) if n >= 1 => {
+                        let mut cfg = self.fed.portal.config();
+                        cfg.retry.max_attempts = n;
+                        if let Some(b) = backoff {
+                            if b.is_finite() && b >= 0.0 {
+                                cfg.retry.backoff_base_s = b;
+                            }
+                        }
+                        self.fed.portal.set_config(cfg);
+                        writeln!(
+                            out,
+                            "retry policy: {} attempts, {}s base backoff",
+                            cfg.retry.max_attempts, cfg.retry.backoff_base_s
+                        )?;
+                    }
+                    _ => writeln!(out, "usage: \\retry <attempts> [backoff-seconds]")?,
+                }
+            }
             Some("transfer") => {
                 // \transfer SRC DEST TABLE SELECT …
                 let src = parts.next();
@@ -251,6 +344,8 @@ pub fn meta_help() -> &'static str {
   \\chunking on|off                  §6 chunked-transfer workaround
   \\zonechunking on|off              zone-aware pipelined transfer chunks
   \\kernel columnar|htm              cross-match probe kernel (byte-identical)
+  \\faults [<kind> <archive> <n>]    inject network faults / show fault+retry tallies
+  \\retry <attempts> [backoff]       RPC retry policy (attempts, base backoff seconds)
   \\transfer <src> <dst> <tbl> <sql> transactional table copy (2PC)
   \\help                             this text
   \\quit                             leave"
@@ -349,6 +444,33 @@ mod tests {
         assert!(out.contains("rows SDSS -> TWOMASS"), "{out}");
         let (_, out) = drive(&mut s, "\\transfer nope");
         assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn faults_meta_command_arms_and_recovers() {
+        let mut s = session();
+        let (_, out) = drive(&mut s, "\\faults");
+        assert!(out.contains("fault injection idle"), "{out}");
+        let (_, out) = drive(&mut s, "\\retry 4 0.01");
+        assert!(out.contains("4 attempts"), "{out}");
+        // Knock TWOMASS down for 2 requests; retries ride over it.
+        let (_, out) = drive(&mut s, "\\faults down TWOMASS 2");
+        assert!(out.contains("armed: down on twomass.skyquery.net"), "{out}");
+        let (ok, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
+        );
+        assert!(ok, "query should recover through retries: {out}");
+        let (_, out) = drive(&mut s, "\\faults");
+        assert!(out.contains("host-down"), "{out}");
+        assert!(out.contains("2 retries"), "{out}");
+        let (_, out) = drive(&mut s, "\\faults clear");
+        assert!(out.contains("cleared"));
+        let (_, out) = drive(&mut s, "\\faults wat");
+        assert!(out.contains("usage"), "{out}");
+        let (_, out) = drive(&mut s, "\\retry zero");
+        assert!(out.contains("usage"), "{out}");
     }
 
     #[test]

@@ -28,6 +28,36 @@ pub enum FederationError {
         /// The violated expectation.
         detail: String,
     },
+    /// A non-2xx HTTP response that did not carry a well-formed SOAP
+    /// fault (a crashed worker, a proxy error page).
+    Http {
+        /// The numeric status code.
+        status: u16,
+        /// The host that answered.
+        host: String,
+    },
+    /// A host kept failing retryably until the retry budget ran out; the
+    /// caller should treat the node as unhealthy and degrade, not panic.
+    NodeUnhealthy {
+        /// The failing host.
+        host: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final attempt's failure.
+        cause: Box<FederationError>,
+    },
+    /// A two-phase-commit commit failed *and* the follow-up abort also
+    /// failed, so the participant may hold an orphaned staging table.
+    AbortFailed {
+        /// The transaction left undecided at the participant.
+        txn: u64,
+        /// The participant host.
+        host: String,
+        /// Why the commit failed.
+        commit: Box<FederationError>,
+        /// Why the abort failed.
+        abort: Box<FederationError>,
+    },
 }
 
 impl FederationError {
@@ -52,6 +82,32 @@ impl FederationError {
             FederationError::Sql(e) => SoapFault::client(e.to_string()),
             FederationError::Protocol { detail } => SoapFault::client(detail.clone()),
             other => SoapFault::server(other.to_string()),
+        }
+    }
+
+    /// Whether re-sending the failed call could plausibly succeed.
+    ///
+    /// Retryable failures are *transport-level*: the message may not have
+    /// reached the service, or the reply was damaged on the way back
+    /// (unreachable host, corrupt frame, endpoint crash, 5xx without a
+    /// SOAP fault, undecodable response body). Everything a remote
+    /// service *decided* — a well-formed SOAP fault, an SQL or storage
+    /// error, a protocol violation, a 4xx — is deterministic and fatal;
+    /// retrying would just repeat it. `MessageTooLarge` is the one SOAP
+    /// error that is deterministic (the payload will be oversized every
+    /// time), so it is fatal too.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            FederationError::Net(e) => !matches!(e, NetError::BadUrl { .. }),
+            FederationError::Http { status, .. } => *status >= 500,
+            FederationError::Soap(e) => !matches!(e, SoapError::MessageTooLarge { .. }),
+            FederationError::NodeUnhealthy { .. } => false,
+            FederationError::Sql(_)
+            | FederationError::Storage(_)
+            | FederationError::Fault(_)
+            | FederationError::Planning { .. }
+            | FederationError::Protocol { .. }
+            | FederationError::AbortFailed { .. } => false,
         }
     }
 }
@@ -97,6 +153,27 @@ impl std::fmt::Display for FederationError {
             FederationError::Fault(fault) => write!(f, "{fault}"),
             FederationError::Planning { detail } => write!(f, "planning error: {detail}"),
             FederationError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            FederationError::Http { status, host } => {
+                write!(f, "HTTP {status} from {host} (no SOAP fault in body)")
+            }
+            FederationError::NodeUnhealthy {
+                host,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "node {host} unhealthy after {attempts} attempts: {cause}"
+            ),
+            FederationError::AbortFailed {
+                txn,
+                host,
+                commit,
+                abort,
+            } => write!(
+                f,
+                "transaction {txn} left undecided at {host}: commit failed ({commit}); \
+                 abort also failed ({abort})"
+            ),
         }
     }
 }
@@ -122,6 +199,60 @@ mod tests {
 
         let passthrough = FederationError::Fault(SoapFault::client("x"));
         assert_eq!(passthrough.to_fault(), SoapFault::client("x"));
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        // Transport-level failures: the call may never have executed.
+        assert!(
+            FederationError::Net(NetError::HostUnreachable { host: "h".into() }).is_retryable()
+        );
+        assert!(FederationError::Net(NetError::BadFrame { detail: "x".into() }).is_retryable());
+        assert!(FederationError::Http {
+            status: 500,
+            host: "h".into()
+        }
+        .is_retryable());
+        assert!(FederationError::Soap(SoapError::Protocol { detail: "x".into() }).is_retryable());
+        // Deterministic outcomes: retrying would repeat them.
+        assert!(!FederationError::Net(NetError::BadUrl {
+            url: "u".into(),
+            detail: "d".into()
+        })
+        .is_retryable());
+        assert!(!FederationError::Http {
+            status: 404,
+            host: "h".into()
+        }
+        .is_retryable());
+        assert!(
+            !FederationError::Soap(SoapError::MessageTooLarge { size: 9, limit: 1 }).is_retryable()
+        );
+        assert!(!FederationError::Fault(SoapFault::server("boom")).is_retryable());
+        assert!(!FederationError::Sql(SqlError::semantic("x")).is_retryable());
+        assert!(!FederationError::protocol("x").is_retryable());
+        // Exhausted budgets don't restart budgets.
+        assert!(!FederationError::NodeUnhealthy {
+            host: "h".into(),
+            attempts: 3,
+            cause: Box::new(FederationError::Net(NetError::HostUnreachable {
+                host: "h".into()
+            })),
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn unhealthy_display_includes_cause() {
+        let e = FederationError::NodeUnhealthy {
+            host: "first.org".into(),
+            attempts: 3,
+            cause: Box::new(FederationError::protocol("missing results")),
+        };
+        let text = e.to_string();
+        assert!(text.contains("first.org"));
+        assert!(text.contains("3 attempts"));
+        assert!(text.contains("missing results"));
     }
 
     #[test]

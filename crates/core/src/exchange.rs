@@ -34,7 +34,7 @@ use crate::error::{FederationError, Result};
 use crate::meta::{catalog_from_element, catalog_to_element};
 use crate::portal::Portal;
 use crate::result::ResultSet;
-use crate::skynode::send_rpc;
+use crate::transfer::send_rpc_with;
 
 /// Outcome of a completed transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,11 +79,13 @@ impl Portal {
 
         // Pull the rows.
         let net = self.portal_net();
-        let resp = send_rpc(
+        let retry = self.config().retry;
+        let resp = send_rpc_with(
             &net,
             self.host(),
             &source.url,
             &RpcCall::new("Query").param("sql", SoapValue::Str(select_sql.to_string())),
+            retry,
         )?;
         let table = resp
             .require("rows")?
@@ -124,7 +126,7 @@ impl Portal {
             .param("dest_table", SoapValue::Str(dest_table.to_string()))
             .param("schema", SoapValue::Xml(schema_el))
             .param("rows", SoapValue::Table(rows.to_votable("transfer")));
-        let vote = send_rpc(&net, self.host(), &dest.url, &prepare);
+        let vote = send_rpc_with(&net, self.host(), &dest.url, &prepare, retry);
         let staged = match vote {
             Ok(resp) => resp
                 .require("staged")?
@@ -138,9 +140,11 @@ impl Portal {
         };
 
         // Phase 2: commit (on any failure here, try to abort so staging
-        // is not leaked, then surface the original error).
+        // is not leaked, then surface the original error — and if the
+        // abort *also* fails, say so: the participant may be holding an
+        // undecided staging table, and the caller must know).
         let commit = RpcCall::new("CommitReceive").param("txn", SoapValue::Int(txn_id as i64));
-        match send_rpc(&net, self.host(), &dest.url, &commit) {
+        match send_rpc_with(&net, self.host(), &dest.url, &commit, retry) {
             Ok(_) => Ok(TransferReport {
                 txn_id,
                 rows_copied: staged as usize,
@@ -151,8 +155,21 @@ impl Portal {
             Err(commit_err) => {
                 let abort =
                     RpcCall::new("AbortReceive").param("txn", SoapValue::Int(txn_id as i64));
-                let _ = send_rpc(&net, self.host(), &dest.url, &abort);
-                Err(commit_err)
+                match send_rpc_with(&net, self.host(), &dest.url, &abort, retry) {
+                    Ok(_) => {
+                        net.record_fault(self.host(), &dest.url.host, "exchange-abort");
+                        Err(commit_err)
+                    }
+                    Err(abort_err) => {
+                        net.record_fault(self.host(), &dest.url.host, "exchange-abort-failed");
+                        Err(FederationError::AbortFailed {
+                            txn: txn_id,
+                            host: dest.url.host.clone(),
+                            commit: Box::new(commit_err),
+                            abort: Box::new(abort_err),
+                        })
+                    }
+                }
             }
         }
     }

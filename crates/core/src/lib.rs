@@ -33,6 +33,7 @@ pub mod portal;
 pub mod query_exec;
 pub mod region;
 pub mod result;
+pub mod retry;
 pub mod skynode;
 pub mod trace;
 pub mod transfer;
@@ -48,9 +49,10 @@ pub use plan::{ExecutionPlan, PlanStep};
 pub use portal::{FederationConfig, OrderingStrategy, Portal};
 pub use region::Region;
 pub use result::{ResultColumn, ResultSet};
+pub use retry::RetryPolicy;
 pub use skynode::{SkyNode, SkyNodeBuilder};
 pub use trace::{ExecutionTrace, TraceEvent};
-pub use transfer::{ChunkStream, IncomingPartial, TransferChunk};
+pub use transfer::{send_rpc, send_rpc_with, ChunkStream, IncomingPartial, TransferChunk};
 pub use xmatch::{
     MatchKernel, PartialSet, PartialTuple, StepConfig, StepContext, StepStats, TupleState,
 };

@@ -19,6 +19,7 @@ use skyquery_xml::Element;
 use crate::region::Region;
 
 use crate::error::{FederationError, Result};
+use crate::retry::RetryPolicy;
 use crate::xmatch::{MatchKernel, StepConfig};
 
 /// One entry of the plan list.
@@ -87,6 +88,10 @@ pub struct ExecutionPlan {
     /// Both kernels produce byte-identical results, so this is purely a
     /// performance knob and is safe to default when absent on the wire.
     pub kernel: MatchKernel,
+    /// Retry policy every participant applies to its onward calls
+    /// (daisy-chain hops, `FetchChunk` continuations). Travels with the
+    /// plan so one submission retries consistently along the chain.
+    pub retry: RetryPolicy,
 }
 
 /// Default parser limit: the ~10 MB the paper reports.
@@ -158,7 +163,14 @@ impl ExecutionPlan {
             .with_attr("xmatch_workers", self.xmatch_workers.to_string())
             .with_attr("zone_height_deg", format!("{:?}", self.zone_height_deg))
             .with_attr("zone_chunking", self.zone_chunking.to_string())
-            .with_attr("kernel", self.kernel.as_str());
+            .with_attr("kernel", self.kernel.as_str())
+            .with_attr("retry_attempts", self.retry.max_attempts.to_string())
+            .with_attr(
+                "retry_backoff_s",
+                format!("{:?}", self.retry.backoff_base_s),
+            )
+            .with_attr("retry_factor", format!("{:?}", self.retry.backoff_factor))
+            .with_attr("retry_deadline_s", format!("{:?}", self.retry.deadline_s));
         if let Some(r) = &self.region {
             plan = plan.with_child(r.to_element());
         }
@@ -328,6 +340,34 @@ impl ExecutionPlan {
                 .attr("kernel")
                 .and_then(MatchKernel::parse)
                 .unwrap_or_default(),
+            // Plans from peers predating the retry layer omit the retry
+            // attributes; each falls back to the default policy's value
+            // independently, so a partially-attributed plan stays sane.
+            retry: {
+                let default = RetryPolicy::default();
+                RetryPolicy {
+                    max_attempts: e
+                        .attr("retry_attempts")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(default.max_attempts)
+                        .max(1),
+                    backoff_base_s: e
+                        .attr("retry_backoff_s")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|v| v.is_finite() && *v >= 0.0)
+                        .unwrap_or(default.backoff_base_s),
+                    backoff_factor: e
+                        .attr("retry_factor")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|v| v.is_finite() && *v >= 1.0)
+                        .unwrap_or(default.backoff_factor),
+                    deadline_s: e
+                        .attr("retry_deadline_s")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|v| v.is_finite() && *v > 0.0)
+                        .unwrap_or(default.deadline_s),
+                }
+            },
         })
     }
 }
@@ -393,6 +433,12 @@ mod tests {
             zone_height_deg: 0.25,
             zone_chunking: true,
             kernel: MatchKernel::Htm,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                backoff_base_s: 0.02,
+                backoff_factor: 3.0,
+                deadline_s: 12.0,
+            },
         }
     }
 
@@ -505,6 +551,39 @@ mod tests {
         // The attribute round-trips when present.
         let back = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
         assert!(back.zone_chunking);
+    }
+
+    #[test]
+    fn legacy_plans_default_to_default_retry_policy() {
+        // Plans from peers predating the retry layer omit the attributes.
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| !k.starts_with("retry_"));
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.retry, RetryPolicy::default());
+        // Degenerate values are clamped/defaulted.
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| !k.starts_with("retry_"));
+        let el = el
+            .with_attr("retry_attempts", "0")
+            .with_attr("retry_backoff_s", "-1.0")
+            .with_attr("retry_factor", "0.1")
+            .with_attr("retry_deadline_s", "NaN");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.retry.max_attempts, 1);
+        assert_eq!(
+            p.retry.backoff_base_s,
+            RetryPolicy::default().backoff_base_s
+        );
+        assert_eq!(
+            p.retry.backoff_factor,
+            RetryPolicy::default().backoff_factor
+        );
+        assert_eq!(p.retry.deadline_s, RetryPolicy::default().deadline_s);
+        // A customized policy round-trips (exercised by element_roundtrip
+        // too, since demo_plan carries a non-default policy).
+        let back = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
+        assert_eq!(back.retry.max_attempts, 4);
+        assert_eq!(back.retry.backoff_factor, 3.0);
     }
 
     #[test]

@@ -25,8 +25,10 @@ use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode};
 use crate::plan::{ExecutionPlan, PlanStep, DEFAULT_MAX_MESSAGE_BYTES};
 use crate::region::Region;
 use crate::result::{ResultColumn, ResultSet};
-use crate::skynode::{invoke_cross_match, send_rpc};
+use crate::retry::RetryPolicy;
+use crate::skynode::invoke_cross_match;
 use crate::trace::ExecutionTrace;
+use crate::transfer::send_rpc_with;
 use crate::xmatch::MatchKernel;
 use crate::xmatch::{PartialSet, TupleBindings};
 
@@ -68,6 +70,9 @@ pub struct FederationConfig {
     /// Candidate-probe kernel the nodes use for match/drop-out steps
     /// (columnar zone buckets by default; HTM as the legacy fallback).
     pub kernel: MatchKernel,
+    /// Retry policy for every federation RPC the Portal issues and, via
+    /// the plan, every onward call along the daisy chain.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FederationConfig {
@@ -81,6 +86,7 @@ impl Default for FederationConfig {
             zone_height_deg: crate::plan::DEFAULT_ZONE_HEIGHT_DEG,
             zone_chunking: true,
             kernel: MatchKernel::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -94,6 +100,10 @@ pub struct Portal {
     /// UDDI-style repository of the federation's services (§3.1:
     /// "services can register themselves and be discovered").
     registry: ServiceRegistry,
+    /// Hosts that exhausted a retry budget, and how often. A successful
+    /// contact clears the host — unhealthiness is an observation, not a
+    /// ban; the autonomous archive may come back any time.
+    health: Mutex<HashMap<String, u64>>,
 }
 
 impl Portal {
@@ -117,6 +127,7 @@ impl Portal {
             config: Mutex::new(config),
             nodes: Mutex::new(HashMap::new()),
             registry,
+            health: Mutex::new(HashMap::new()),
         });
         net.bind(host, portal.clone());
         portal
@@ -149,6 +160,43 @@ impl Portal {
         *self.config.lock()
     }
 
+    /// Hosts currently considered unhealthy (they exhausted a retry
+    /// budget more recently than they answered), sorted.
+    pub fn unhealthy_hosts(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.health.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Folds one RPC outcome into the health book-keeping: exhausting a
+    /// retry budget marks the host unhealthy, any success clears it.
+    fn note_health<T>(&self, result: &Result<T>) {
+        match result {
+            Err(FederationError::NodeUnhealthy { host, .. }) => {
+                *self.health.lock().entry(host.clone()).or_default() += 1;
+            }
+            Err(_) => {}
+            Ok(_) => {}
+        }
+    }
+
+    /// Records a successful contact with `host`, clearing any unhealthy
+    /// mark.
+    fn note_healthy(&self, host: &str) {
+        self.health.lock().remove(host);
+    }
+
+    /// Sends one RPC under the configured retry policy, updating the
+    /// health book-keeping from the outcome.
+    fn call(&self, url: &Url, call: &RpcCall) -> Result<RpcResponse> {
+        let result = send_rpc_with(&self.net, &self.host, url, call, self.config().retry);
+        self.note_health(&result);
+        if result.is_ok() {
+            self.note_healthy(&url.host);
+        }
+        result
+    }
+
     /// Registered archive names, sorted.
     pub fn archives(&self) -> Vec<String> {
         let mut v: Vec<String> = self.nodes.lock().keys().cloned().collect();
@@ -167,14 +215,14 @@ impl Portal {
     /// Registers the SkyNode at `url`: calls its Meta-data and Information
     /// services and catalogs the results (§5.1 registration flow).
     pub fn register_node(&self, url: &Url) -> Result<ArchiveInfo> {
-        let info_resp = send_rpc(&self.net, &self.host, url, &RpcCall::new("Information"))?;
+        let info_resp = self.call(url, &RpcCall::new("Information"))?;
         let info = ArchiveInfo::from_element(
             info_resp
                 .require("info")?
                 .as_xml()
                 .ok_or_else(|| FederationError::protocol("info must be xml"))?,
         )?;
-        let meta_resp = send_rpc(&self.net, &self.host, url, &RpcCall::new("Metadata"))?;
+        let meta_resp = self.call(url, &RpcCall::new("Metadata"))?;
         let catalog = catalog_from_element(
             meta_resp
                 .require("catalog")?
@@ -290,6 +338,15 @@ impl Portal {
     pub fn submit(&self, sql: &str) -> Result<(ResultSet, ExecutionTrace)> {
         let mut trace = ExecutionTrace::new();
         trace.push("Client", "submit", format!("query: {sql}"));
+        // Retries and injected faults anywhere in the submission —
+        // performance queries or the daisy chain — show up as metric
+        // deltas; surface them in the trace so recovery is visible.
+        let before = self.net.metrics();
+        let (retries_before, backoff_before, faults_before) = (
+            before.retry_total().retries,
+            before.retry_total().backoff_seconds,
+            before.fault_total(),
+        );
         let query = parse_query(sql).map_err(FederationError::Sql)?;
         let dq = decompose(query).map_err(FederationError::Sql)?;
 
@@ -332,7 +389,26 @@ impl Portal {
         );
 
         // Steps 6–7: fire the daisy chain.
-        let (set, stats) = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0)?;
+        let chain = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0);
+        let after = self.net.metrics();
+        let (retries, backoff, faults) = (
+            after.retry_total().retries - retries_before,
+            after.retry_total().backoff_seconds - backoff_before,
+            after.fault_total() - faults_before,
+        );
+        if retries > 0 || faults > 0 {
+            trace.push(
+                "Portal",
+                "recovery",
+                format!(
+                    "{retries} retries ({backoff:.3}s backoff), {faults} fault events \
+                     during submission"
+                ),
+            );
+        }
+        self.note_health(&chain);
+        let (set, stats) = chain?;
+        self.note_healthy(&plan.steps[0].url.host);
         for (alias, s) in &stats.entries {
             trace.push(
                 alias.clone(),
@@ -383,9 +459,7 @@ impl Portal {
             .collect::<Result<Vec<_>>>()?;
 
         let run_one = |alias: &str, sql: &str, url: &Url| -> Result<(String, u64)> {
-            let resp = send_rpc(
-                &self.net,
-                &self.host,
+            let resp = self.call(
                 url,
                 &RpcCall::new("Query").param("sql", SoapValue::Str(sql.to_string())),
             )?;
@@ -567,6 +641,7 @@ impl Portal {
             zone_height_deg: config.zone_height_deg,
             zone_chunking: config.zone_chunking,
             kernel: config.kernel,
+            retry: config.retry,
         })
     }
 }

@@ -1,0 +1,119 @@
+//! Bounded retry with exponential backoff for federation RPCs.
+//!
+//! The paper's federation is built from autonomous archives that fail
+//! independently, so every network call in the daisy chain can fail
+//! transiently. A [`RetryPolicy`] bounds how hard a caller tries: a
+//! maximum attempt count, exponential backoff between attempts, and a
+//! per-call deadline on the total time spent waiting. Backoff is charged
+//! to the *simulated* clock (via `SimNetwork::record_retry`) — nothing
+//! sleeps — so retry behaviour is deterministic and observable in
+//! `NetworkMetrics`.
+//!
+//! Which failures are worth retrying is the other half of the story:
+//! [`FederationError::is_retryable`](crate::FederationError::is_retryable)
+//! classifies transport-level failures (unreachable host, corrupt frame,
+//! 5xx) as retryable and everything that a remote service *decided*
+//! (SOAP faults, SQL errors, protocol violations) as fatal, so a
+//! deterministic error is never hammered with useless re-sends.
+
+/// Bounded-attempt retry policy for one federation RPC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries). Clamped to
+    /// at least 1.
+    pub max_attempts: u32,
+    /// Simulated seconds waited before the first retry.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff after each further failure.
+    pub backoff_factor: f64,
+    /// Ceiling on the *total* simulated seconds a call may spend backing
+    /// off; once the next wait would cross it, the call gives up early.
+    pub deadline_s: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms base doubling each time, 30 s deadline —
+    /// sized to the simulated 2002-era links.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.05,
+            backoff_factor: 2.0,
+            deadline_s: 30.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy with `attempts` total attempts and the default backoff.
+    pub fn with_attempts(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Total attempts, never less than one.
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Simulated seconds to wait before attempt `attempt` (2-based: the
+    /// wait before the first retry is `backoff_base_s`).
+    pub fn backoff_before(&self, attempt: u32) -> f64 {
+        debug_assert!(attempt >= 2, "attempt 1 has no backoff");
+        let base = if self.backoff_base_s.is_finite() && self.backoff_base_s >= 0.0 {
+            self.backoff_base_s
+        } else {
+            0.0
+        };
+        let factor = if self.backoff_factor.is_finite() && self.backoff_factor >= 1.0 {
+            self.backoff_factor
+        } else {
+            1.0
+        };
+        base * factor.powi(attempt as i32 - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_none() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.attempts(), 3);
+        assert!((p.backoff_before(2) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_before(3) - 0.10).abs() < 1e-12);
+        assert!((p.backoff_before(4) - 0.20).abs() < 1e-12);
+        assert_eq!(RetryPolicy::none().attempts(), 1);
+        assert_eq!(RetryPolicy::with_attempts(5).attempts(), 5);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            backoff_base_s: f64::NAN,
+            backoff_factor: -3.0,
+            deadline_s: 30.0,
+        };
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(p.backoff_before(2), 0.0);
+        let p = RetryPolicy {
+            backoff_factor: 0.5,
+            ..RetryPolicy::default()
+        };
+        // Sub-unit factors would shrink the wait; clamp to constant.
+        assert!((p.backoff_before(5) - p.backoff_base_s).abs() < 1e-12);
+    }
+}

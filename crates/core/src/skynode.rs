@@ -112,6 +112,16 @@ const SERVICES: &[ServiceMethod] = &[
         handler: |node, _net, call| node.handle_fetch_chunk(call),
     },
     ServiceMethod {
+        name: "AbortTransfer",
+        operation: || {
+            Operation::new("AbortTransfer")
+                .input("transfer_id", "long")
+                .output("aborted", "boolean")
+                .doc("Free an open chunked transfer without serving its remaining chunks")
+        },
+        handler: |node, _net, call| node.handle_abort_transfer(call),
+    },
+    ServiceMethod {
         name: "PrepareReceive",
         operation: || {
             Operation::new("PrepareReceive")
@@ -211,31 +221,6 @@ pub struct SkyNode {
 }
 
 impl SkyNode {
-    /// Creates a SkyNode and binds it to `host` on the network.
-    #[deprecated(note = "use SkyNodeBuilder::new(info, db).start(net, host)")]
-    pub fn start(
-        net: &SimNetwork,
-        host: impl Into<String>,
-        info: ArchiveInfo,
-        db: Database,
-    ) -> Arc<SkyNode> {
-        SkyNodeBuilder::new(info, db).start(net, host)
-    }
-
-    /// Like `SkyNode::start`, but with an explicit cross-match engine.
-    #[deprecated(note = "use SkyNodeBuilder::new(info, db).engine(engine).start(net, host)")]
-    pub fn start_with_engine(
-        net: &SimNetwork,
-        host: impl Into<String>,
-        info: ArchiveInfo,
-        db: Database,
-        engine: Arc<dyn CrossMatchEngine>,
-    ) -> Arc<SkyNode> {
-        SkyNodeBuilder::new(info, db)
-            .engine(engine)
-            .start(net, host)
-    }
-
     /// The installed cross-match engine's name.
     pub fn engine_name(&self) -> &str {
         self.engine.name()
@@ -565,6 +550,25 @@ impl SkyNode {
             .result("index", SoapValue::Int(header.index as i64))
             .result("total", SoapValue::Int(header.total as i64))
             .result("transfer_id", SoapValue::Int(header.transfer_id as i64)))
+    }
+
+    /// Frees an open chunked transfer a receiver abandoned mid-stream.
+    /// Idempotent: an unknown id (already drained, already aborted, or a
+    /// duplicate abort after a retried call) answers `aborted = false`
+    /// rather than faulting, so best-effort cleanup never cascades.
+    fn handle_abort_transfer(&self, call: &RpcCall) -> Result<RpcResponse> {
+        let transfer_id = require_u64(call, "transfer_id")?;
+        let freed = self.pending.lock().remove(&transfer_id).is_some();
+        Ok(RpcResponse::new("AbortTransfer").result("aborted", SoapValue::Bool(freed)))
+    }
+
+    /// Outgoing chunked transfers still awaiting `FetchChunk` calls —
+    /// a leak detector for tests: after every client has drained or
+    /// aborted, this should be empty.
+    pub fn open_transfers(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 

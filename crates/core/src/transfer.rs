@@ -15,12 +15,13 @@
 //! the receiver restores that order, so chunk sizing, zone grouping, and
 //! arrival order are transport details that can never change the result.
 
-use skyquery_net::{HttpRequest, SimNetwork, Url};
+use skyquery_net::{HttpRequest, NetError, SimNetwork, Url};
 use skyquery_soap::{ChunkManifest, RpcCall, RpcResponse, SoapValue, ZoneRange};
 use skyquery_xml::VoTable;
 
 use crate::error::{FederationError, Result};
 use crate::plan::{ExecutionPlan, DEFAULT_ZONE_HEIGHT_DEG};
+use crate::retry::RetryPolicy;
 use crate::trace::StatsChain;
 use crate::xmatch::{PartialSet, PartialTuple};
 
@@ -66,14 +67,22 @@ pub struct TransferChunk {
 }
 
 /// An open chunked transfer: the manifest plus a cursor over `FetchChunk`
-/// continuations. Dropping the stream abandons the transfer (the sender
-/// frees it when the last chunk is served).
+/// continuations. The sender frees the transfer when the last chunk is
+/// served; a stream dropped *mid-transfer* sends a best-effort
+/// `AbortTransfer` from its `Drop` impl (outcome recorded in the network
+/// metrics as `transfer-abort` / `transfer-abort-failed`) so the
+/// sender-side session is not leaked. Call [`ChunkStream::abort`] to do
+/// the same explicitly and observe the result.
 pub struct ChunkStream<'a> {
     net: &'a SimNetwork,
     from_host: String,
     url: Url,
     manifest: ChunkManifest,
     next: usize,
+    retry: RetryPolicy,
+    /// The sender-side session is known to be gone: fully drained,
+    /// explicitly aborted, or abort already attempted from `Drop`.
+    closed: bool,
 }
 
 impl ChunkStream<'_> {
@@ -98,7 +107,7 @@ impl ChunkStream<'_> {
                 SoapValue::Int(self.manifest.transfer_id as i64),
             )
             .param("index", SoapValue::Int(index as i64));
-        let resp = send_rpc(self.net, &self.from_host, &self.url, &call)?;
+        let resp = send_rpc_with(self.net, &self.from_host, &self.url, &call, self.retry)?;
         let served_index = require_usize(&resp, "index")?;
         let served_total = require_usize(&resp, "total")?;
         let served_id = require_usize(&resp, "transfer_id")? as u64;
@@ -140,12 +149,44 @@ impl ChunkStream<'_> {
             )));
         }
         self.next = index + 1;
+        if self.next == self.manifest.total_chunks() {
+            // The sender frees the transfer on serving the last chunk.
+            self.closed = true;
+        }
         Ok(Some(TransferChunk {
             index,
             zones: info.zones,
             seqs,
             table,
         }))
+    }
+
+    /// Tells the sender to free this transfer without serving the
+    /// remaining chunks. Idempotent: a drained, already-aborted, or
+    /// never-started stream is a no-op. The outcome is tallied in the
+    /// network metrics (`transfer-abort` on success,
+    /// `transfer-abort-failed` when the abort call itself failed).
+    pub fn abort(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        let call = RpcCall::new("AbortTransfer").param(
+            "transfer_id",
+            SoapValue::Int(self.manifest.transfer_id as i64),
+        );
+        match send_rpc_with(self.net, &self.from_host, &self.url, &call, self.retry) {
+            Ok(_) => {
+                self.net
+                    .record_fault(&self.from_host, &self.url.host, "transfer-abort");
+                Ok(())
+            }
+            Err(e) => {
+                self.net
+                    .record_fault(&self.from_host, &self.url.host, "transfer-abort-failed");
+                Err(e)
+            }
+        }
     }
 
     /// Drains the stream and reassembles the sender's partial set in its
@@ -187,6 +228,19 @@ impl ChunkStream<'_> {
     }
 }
 
+impl Drop for ChunkStream<'_> {
+    /// Best-effort cleanup for a stream abandoned mid-transfer (an error
+    /// in `collect_set`, or a caller that bailed): tell the sender to
+    /// free the session rather than leak it forever. One attempt, no
+    /// retries — the outcome is recorded in the metrics either way.
+    fn drop(&mut self) {
+        if !self.closed {
+            self.retry = RetryPolicy::none();
+            let _ = self.abort();
+        }
+    }
+}
+
 /// What a Cross match call handed back: the whole set inline, or an open
 /// chunk stream to pull.
 pub enum IncomingPartial<'a> {
@@ -210,7 +264,7 @@ pub fn open_cross_match<'a>(
     let call = RpcCall::new("CrossMatch")
         .param("plan", SoapValue::Xml(plan.to_element()))
         .param("step", SoapValue::Int(step as i64));
-    let resp = send_rpc(net, from_host, url, &call)?;
+    let resp = send_rpc_with(net, from_host, url, &call, plan.retry)?;
     let stats = StatsChain::from_element(
         resp.require("stats")?
             .as_xml()
@@ -227,6 +281,8 @@ pub fn open_cross_match<'a>(
             url: url.clone(),
             manifest,
             next: 0,
+            retry: plan.retry,
+            closed: false,
         };
         return Ok((IncomingPartial::Chunked(stream), stats));
     }
@@ -258,8 +314,68 @@ pub fn invoke_cross_match(
     }
 }
 
-/// Sends one RPC and decodes the response, surfacing faults as errors.
+/// Sends one RPC with the default [`RetryPolicy`] and decodes the
+/// response, surfacing faults as errors.
 pub fn send_rpc(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    call: &RpcCall,
+) -> Result<RpcResponse> {
+    send_rpc_with(net, from_host, url, call, RetryPolicy::default())
+}
+
+/// Sends one RPC under an explicit [`RetryPolicy`].
+///
+/// Retryable failures (see [`FederationError::is_retryable`]) are re-sent
+/// up to the policy's attempt budget, waiting exponentially longer in
+/// *simulated* time before each retry (recorded on the caller→callee link
+/// via `SimNetwork::record_retry`; nothing sleeps) and stopping early if
+/// the next wait would cross the policy's deadline. Fatal errors pass
+/// through unchanged on whichever attempt they occur. When the budget is
+/// exhausted after actual retries, the last failure is wrapped in
+/// [`FederationError::NodeUnhealthy`] so the caller can degrade
+/// gracefully; with a one-attempt policy the error surfaces unwrapped.
+pub fn send_rpc_with(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    call: &RpcCall,
+    policy: RetryPolicy,
+) -> Result<RpcResponse> {
+    let mut waited = 0.0f64;
+    let mut attempts_made = 0u32;
+    let mut last_err: Option<FederationError> = None;
+    for attempt in 1..=policy.attempts() {
+        if attempt > 1 {
+            let backoff = policy.backoff_before(attempt);
+            if waited + backoff > policy.deadline_s {
+                break;
+            }
+            waited += backoff;
+            net.record_retry(from_host, &url.host, backoff);
+        }
+        attempts_made = attempt;
+        match send_rpc_once(net, from_host, url, call) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if e.is_retryable() => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    let cause = last_err.expect("retry loop makes at least one attempt");
+    if attempts_made > 1 {
+        Err(FederationError::NodeUnhealthy {
+            host: url.host.clone(),
+            attempts: attempts_made,
+            cause: Box::new(cause),
+        })
+    } else {
+        Err(cause)
+    }
+}
+
+/// One attempt: send, check the HTTP status line, decode the body.
+fn send_rpc_once(
     net: &SimNetwork,
     from_host: &str,
     url: &Url,
@@ -269,8 +385,26 @@ pub fn send_rpc(
     let resp = net
         .send(from_host, url, req)
         .map_err(FederationError::Net)?;
-    let body = std::str::from_utf8(&resp.body)
-        .map_err(|_| FederationError::protocol("response body is not UTF-8"))?;
+    // An undecodable body is transport damage, not a protocol decision —
+    // BadFrame keeps it retryable.
+    let body = std::str::from_utf8(&resp.body).map_err(|_| {
+        FederationError::Net(NetError::BadFrame {
+            detail: "response body is not UTF-8".into(),
+        })
+    })?;
+    if !resp.status.is_success() {
+        // SOAP faults ride HTTP 500 per the binding: a well-formed fault
+        // body is the service's (deterministic) answer. Anything else —
+        // including a body that claims success despite the status line —
+        // is a broken server.
+        if let Ok(Err(fault)) = RpcResponse::parse(body) {
+            return Err(FederationError::Fault(fault));
+        }
+        return Err(FederationError::Http {
+            status: resp.status.code(),
+            host: url.host.clone(),
+        });
+    }
     match RpcResponse::parse(body).map_err(FederationError::Soap)? {
         Ok(r) => Ok(r),
         Err(fault) => Err(FederationError::Fault(fault)),

@@ -18,14 +18,16 @@
 //! §5.3). All accounting is thread-safe; the Portal issues performance
 //! queries from worker threads.
 
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod sim;
 pub mod url;
 
+pub use fault::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule};
 pub use http::{HttpRequest, HttpResponse, Method, StatusCode};
-pub use metrics::{ChunkFlowStats, CostModel, LinkStats, NetworkMetrics};
+pub use metrics::{ChunkFlowStats, CostModel, LinkStats, NetworkMetrics, RetryStats};
 pub use registry::{ServiceRecord, ServiceRegistry};
 pub use sim::{Endpoint, SimNetwork};
 pub use url::Url;

@@ -1,6 +1,6 @@
 //! Transmission accounting: the quantity SkyQuery's planner minimizes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Latency/bandwidth model for simulated transfer time.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +74,23 @@ impl ChunkFlowStats {
     }
 }
 
+/// Retry accounting for one directed link: attempts beyond the first,
+/// plus the simulated seconds spent backing off between them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryStats {
+    /// Re-sends after a retryable failure (attempt 2 and later).
+    pub retries: u64,
+    /// Simulated seconds waited in exponential backoff.
+    pub backoff_seconds: f64,
+}
+
+impl RetryStats {
+    fn record(&mut self, backoff_seconds: f64) {
+        self.retries += 1;
+        self.backoff_seconds += backoff_seconds;
+    }
+}
+
 /// Aggregated network metrics: per-directed-link and total.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkMetrics {
@@ -81,6 +98,11 @@ pub struct NetworkMetrics {
     total: LinkStats,
     chunk_flows: HashMap<(String, String), ChunkFlowStats>,
     chunk_total: ChunkFlowStats,
+    retries: HashMap<(String, String), RetryStats>,
+    retry_total: RetryStats,
+    // BTreeMap: fault tallies are read far more often than written and
+    // reports want them sorted.
+    faults: BTreeMap<(String, String, String), u64>,
 }
 
 impl NetworkMetrics {
@@ -136,6 +158,74 @@ impl NetworkMetrics {
         self.chunk_total
     }
 
+    /// Records one retry of a call `from → to` after `backoff_seconds`
+    /// of simulated exponential backoff.
+    pub fn record_retry(&mut self, from: &str, to: &str, backoff_seconds: f64) {
+        self.retries
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .record(backoff_seconds);
+        self.retry_total.record(backoff_seconds);
+    }
+
+    /// Retry stats for one directed link.
+    pub fn retry(&self, from: &str, to: &str) -> RetryStats {
+        self.retries
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All per-link retry stats, sorted for deterministic reporting.
+    pub fn retries(&self) -> Vec<((String, String), RetryStats)> {
+        let mut v: Vec<_> = self.retries.iter().map(|(k, s)| (k.clone(), *s)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Grand retry totals.
+    pub fn retry_total(&self) -> RetryStats {
+        self.retry_total
+    }
+
+    /// Tallies one fault event of `kind` observed on the link `from → to`
+    /// (an injected network fault, or a recorded recovery action such as
+    /// a transfer abort).
+    pub fn record_fault(&mut self, from: &str, to: &str, kind: &str) {
+        *self
+            .faults
+            .entry((from.to_string(), to.to_string(), kind.to_string()))
+            .or_default() += 1;
+    }
+
+    /// Count of one fault kind on one directed link.
+    pub fn fault_count(&self, from: &str, to: &str, kind: &str) -> u64 {
+        self.faults
+            .get(&(from.to_string(), to.to_string(), kind.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All fault tallies as `((from, to, kind), count)`, sorted.
+    pub fn faults(&self) -> Vec<((String, String, String), u64)> {
+        self.faults.iter().map(|(k, n)| (k.clone(), *n)).collect()
+    }
+
+    /// Total fault events across all links and kinds.
+    pub fn fault_total(&self) -> u64 {
+        self.faults.values().sum()
+    }
+
+    /// Adds injected latency (a fault-plan delay, not transfer time) to
+    /// the link's and the total simulated clock.
+    pub fn record_injected_latency(&mut self, from: &str, to: &str, seconds: f64) {
+        self.links
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .sim_seconds += seconds;
+        self.total.sim_seconds += seconds;
+    }
+
     /// Stats for one directed link.
     pub fn link(&self, from: &str, to: &str) -> LinkStats {
         self.links
@@ -162,6 +252,9 @@ impl NetworkMetrics {
         self.total = LinkStats::default();
         self.chunk_flows.clear();
         self.chunk_total = ChunkFlowStats::default();
+        self.retries.clear();
+        self.retry_total = RetryStats::default();
+        self.faults.clear();
     }
 }
 
@@ -211,6 +304,39 @@ mod tests {
         m.reset();
         assert_eq!(m.chunk_total(), ChunkFlowStats::default());
         assert!(m.chunk_flows().is_empty());
+    }
+
+    #[test]
+    fn retry_and_fault_accounting() {
+        let mut m = NetworkMetrics::new();
+        m.record_retry("portal", "sdss", 0.05);
+        m.record_retry("portal", "sdss", 0.10);
+        m.record_retry("sdss", "first", 0.05);
+        assert_eq!(m.retry("portal", "sdss").retries, 2);
+        assert!((m.retry("portal", "sdss").backoff_seconds - 0.15).abs() < 1e-12);
+        // Directed: reverse link untouched.
+        assert_eq!(m.retry("sdss", "portal"), RetryStats::default());
+        assert_eq!(m.retry_total().retries, 3);
+        assert_eq!(m.retries().len(), 2);
+
+        m.record_fault("portal", "sdss", "host-down");
+        m.record_fault("portal", "sdss", "host-down");
+        m.record_fault("sdss", "first", "garbage-body");
+        assert_eq!(m.fault_count("portal", "sdss", "host-down"), 2);
+        assert_eq!(m.fault_count("portal", "sdss", "http-500"), 0);
+        assert_eq!(m.fault_total(), 3);
+        assert_eq!(m.faults().len(), 2);
+
+        m.record_injected_latency("portal", "sdss", 0.5);
+        assert!((m.link("portal", "sdss").sim_seconds - 0.5).abs() < 1e-12);
+        assert!((m.total().sim_seconds - 0.5).abs() < 1e-12);
+        // Injected latency is time, not a message.
+        assert_eq!(m.link("portal", "sdss").messages, 0);
+
+        m.reset();
+        assert_eq!(m.retry_total(), RetryStats::default());
+        assert_eq!(m.fault_total(), 0);
+        assert!(m.faults().is_empty());
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
-use crate::http::{HttpRequest, HttpResponse};
+use crate::fault::{FaultInjector, FaultOutcome, FaultPlan, Interception};
+use crate::http::{HttpRequest, HttpResponse, StatusCode};
 use crate::metrics::{CostModel, NetworkMetrics};
 use crate::url::Url;
 use crate::NetError;
@@ -38,6 +40,7 @@ struct Inner {
     hosts: RwLock<HashMap<String, Arc<dyn Endpoint>>>,
     metrics: Mutex<NetworkMetrics>,
     model: CostModel,
+    faults: Mutex<Option<FaultInjector>>,
 }
 
 impl SimNetwork {
@@ -53,6 +56,7 @@ impl SimNetwork {
                 hosts: RwLock::new(HashMap::new()),
                 metrics: Mutex::new(NetworkMetrics::new()),
                 model,
+                faults: Mutex::new(None),
             }),
         }
     }
@@ -76,8 +80,18 @@ impl SimNetwork {
 
     /// Sends a request from `from` to the URL's host, recording request
     /// and response bytes on the two directed links. The endpoint runs
-    /// synchronously on the caller's thread.
+    /// synchronously on the caller's thread. An installed
+    /// [`FaultPlan`] is consulted first and may fail the connection,
+    /// short-circuit with a 500, delay the request, or corrupt the
+    /// response on the way back — every injection is tallied in
+    /// [`NetworkMetrics`].
     pub fn send(&self, from: &str, url: &Url, req: HttpRequest) -> Result<HttpResponse, NetError> {
+        let verdict = self.intercept(from, &url.host, &req);
+        if verdict.outcome == Some(FaultOutcome::HostDown) {
+            return Err(NetError::HostUnreachable {
+                host: url.host.clone(),
+            });
+        }
         let endpoint = self
             .inner
             .hosts
@@ -91,12 +105,92 @@ impl SimNetwork {
             let mut m = self.inner.metrics.lock();
             m.record(from, &url.host, req.wire_len(), &self.inner.model);
         }
-        let resp = endpoint.handle(self, req);
+        let resp = match verdict.outcome {
+            // The service behind the front door is broken: the request is
+            // consumed but a bare (non-SOAP) 500 comes back.
+            Some(FaultOutcome::ServerError) => HttpResponse {
+                status: StatusCode::InternalServerError,
+                headers: vec![("Content-Type".into(), "text/plain".into())],
+                body: Bytes::copy_from_slice(b"injected server error"),
+            },
+            _ => {
+                let mut resp = endpoint.handle(self, req);
+                match verdict.outcome {
+                    Some(FaultOutcome::TruncateBody) => {
+                        resp.body = Bytes::copy_from_slice(&resp.body[..resp.body.len() / 2]);
+                    }
+                    Some(FaultOutcome::GarbageBody) => {
+                        resp.body = Bytes::copy_from_slice(&[0xFF, 0xFE, 0x00, 0xDE, 0xAD, 0xBE]);
+                    }
+                    _ => {}
+                }
+                resp
+            }
+        };
         {
             let mut m = self.inner.metrics.lock();
             m.record(&url.host, from, resp.wire_len(), &self.inner.model);
         }
         Ok(resp)
+    }
+
+    /// Runs the fault injector (if any) over one outgoing request,
+    /// tallying fired rules and injected latency into the metrics.
+    fn intercept(&self, from: &str, to_host: &str, req: &HttpRequest) -> Interception {
+        let (verdict, fired) = match self.inner.faults.lock().as_mut() {
+            Some(injector) => injector.intercept(to_host, req),
+            None => return Interception::default(),
+        };
+        if !fired.is_empty() || verdict.latency_s > 0.0 {
+            let mut m = self.inner.metrics.lock();
+            for label in fired {
+                m.record_fault(from, to_host, label);
+            }
+            if verdict.latency_s > 0.0 {
+                m.record_injected_latency(from, to_host, verdict.latency_s);
+            }
+        }
+        verdict
+    }
+
+    /// Installs a fault plan, replacing any previous one. An empty plan
+    /// clears injection entirely.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.lock() = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// Removes any installed fault plan (a healthy network again).
+    pub fn clear_faults(&self) {
+        *self.inner.faults.lock() = None;
+    }
+
+    /// Whether a fault plan with live rules is installed.
+    pub fn has_faults(&self) -> bool {
+        self.inner
+            .faults
+            .lock()
+            .as_ref()
+            .is_some_and(|inj| inj.is_live())
+    }
+
+    /// Records one retry of a call `from → to` after `backoff_seconds`
+    /// of simulated backoff (see [`NetworkMetrics::record_retry`]).
+    /// Called by the retry layer above; the simulated clock advances by
+    /// the backoff instead of sleeping.
+    pub fn record_retry(&self, from: &str, to: &str, backoff_seconds: f64) {
+        let mut m = self.inner.metrics.lock();
+        m.record_retry(from, to, backoff_seconds);
+        m.record_injected_latency(from, to, backoff_seconds);
+    }
+
+    /// Tallies a fault event observed by a higher layer (e.g. a
+    /// best-effort transfer abort) alongside the injected-fault counts.
+    pub fn record_fault(&self, from: &str, to: &str, kind: &str) {
+        self.inner.metrics.lock().record_fault(from, to, kind);
     }
 
     /// Records one chunked-transfer payload chunk flowing `from → to`
@@ -223,6 +317,85 @@ mod tests {
         .unwrap();
         // Round trip = 2 messages = 2 simulated seconds.
         assert!((net.metrics().total().sim_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_down_fault_fails_bound_host_then_recovers() {
+        let net = SimNetwork::new();
+        net.bind("n", echo());
+        net.install_faults(FaultPlan::new().host_down_for("n", 2));
+        let url = Url::parse("http://n/").unwrap();
+        for _ in 0..2 {
+            let err = net.send("c", &url, HttpRequest::soap_post("/", "a", "x"));
+            assert!(matches!(err, Err(NetError::HostUnreachable { .. })));
+        }
+        let resp = net
+            .send("c", &url, HttpRequest::soap_post("/", "a", "x"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::Ok);
+        let m = net.metrics();
+        assert_eq!(m.fault_count("c", "n", "host-down"), 2);
+        // Failed connections move no bytes: only the surviving round trip.
+        assert_eq!(m.link("c", "n").messages, 1);
+        assert!(!net.has_faults());
+    }
+
+    #[test]
+    fn server_error_fault_short_circuits_endpoint() {
+        let net = SimNetwork::new();
+        net.bind("n", echo());
+        net.install_faults(FaultPlan::new().server_errors("n", 1));
+        let url = Url::parse("http://n/").unwrap();
+        let resp = net
+            .send("c", &url, HttpRequest::soap_post("/", "a", "x"))
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::InternalServerError);
+        assert_eq!(&resp.body[..], b"injected server error");
+        assert_eq!(net.metrics().fault_count("c", "n", "http-500"), 1);
+        // The request is consumed and the 500 comes back: a round trip.
+        assert_eq!(net.metrics().total().messages, 2);
+    }
+
+    #[test]
+    fn body_corruption_faults() {
+        let net = SimNetwork::new();
+        net.bind("n", echo());
+        let url = Url::parse("http://n/").unwrap();
+        net.install_faults(FaultPlan::new().truncated_bodies("n", 1));
+        let resp = net
+            .send("c", &url, HttpRequest::soap_post("/", "a", "0123456789"))
+            .unwrap();
+        assert_eq!(&resp.body[..], b"01234");
+        net.install_faults(FaultPlan::new().garbage_bodies("n", 1));
+        let resp = net
+            .send("c", &url, HttpRequest::soap_post("/", "a", "0123456789"))
+            .unwrap();
+        assert!(std::str::from_utf8(&resp.body).is_err());
+        let m = net.metrics();
+        assert_eq!(m.fault_count("c", "n", "truncated-body"), 1);
+        assert_eq!(m.fault_count("c", "n", "garbage-body"), 1);
+    }
+
+    #[test]
+    fn injected_latency_and_retry_accounting() {
+        let net = SimNetwork::new();
+        net.bind("n", echo());
+        net.install_faults(FaultPlan::new().added_latency("n", 0.5));
+        net.send(
+            "c",
+            &Url::parse("http://n/").unwrap(),
+            HttpRequest::soap_post("/", "a", ""),
+        )
+        .unwrap();
+        assert!((net.metrics().link("c", "n").sim_seconds - 0.5).abs() < 1e-12);
+        net.record_retry("c", "n", 0.05);
+        let m = net.metrics();
+        assert_eq!(m.retry("c", "n").retries, 1);
+        assert!((m.retry("c", "n").backoff_seconds - 0.05).abs() < 1e-12);
+        // Backoff advances the simulated clock too.
+        assert!((m.link("c", "n").sim_seconds - 0.55).abs() < 1e-12);
+        net.clear_faults();
+        assert!(!net.has_faults());
     }
 
     #[test]

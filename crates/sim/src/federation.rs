@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use skyquery_core::{ArchiveInfo, Client, FederationConfig, Portal, SkyNode, SkyNodeBuilder};
-use skyquery_net::{CostModel, SimNetwork, Url};
+use skyquery_net::{CostModel, FaultPlan, SimNetwork, Url};
 
 use crate::bodies::{BodyCatalog, CatalogParams};
 use crate::survey::{Survey, SurveyParams};
@@ -44,6 +44,7 @@ pub struct FederationBuilder {
     config: FederationConfig,
     cost_model: CostModel,
     register_via_soap: bool,
+    faults: FaultPlan,
 }
 
 impl FederationBuilder {
@@ -55,6 +56,7 @@ impl FederationBuilder {
             config: FederationConfig::default(),
             cost_model: CostModel::free(),
             register_via_soap: false,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -99,6 +101,14 @@ impl FederationBuilder {
     /// (exercising the §5.1 flow) instead of the local API.
     pub fn register_via_soap(mut self) -> FederationBuilder {
         self.register_via_soap = true;
+        self
+    }
+
+    /// Builder: installs a fault-injection plan on the network. Faults
+    /// are armed *after* registration, so the federation always builds
+    /// cleanly; only query traffic sees them.
+    pub fn faults(mut self, plan: FaultPlan) -> FederationBuilder {
+        self.faults = plan;
         self
     }
 
@@ -151,6 +161,7 @@ impl FederationBuilder {
             }
             nodes.push(node);
         }
+        net.install_faults(self.faults);
         TestFederation {
             net,
             portal,

@@ -116,6 +116,7 @@ fn open_seed_transfer(fed: &TestFederation) -> ChunkManifest {
         zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
         zone_chunking: true,
         kernel: Default::default(),
+        retry: Default::default(),
     };
     let resp = send_rpc(
         &fed.net,
@@ -200,11 +201,23 @@ fn offline_node_surfaces_as_unreachable() {
     let fed = FederationBuilder::paper_triple(100).build();
     // Take TWOMASS off the network after registration.
     fed.net.unbind("twomass.skyquery.net");
+    // The portal retries the unreachable host until the budget runs out,
+    // then reports the node unhealthy with the transport cause attached.
     let err = fed.portal.submit(&two_archive_sql()).unwrap_err();
     match err {
-        FederationError::Net(e) => assert!(e.to_string().contains("unreachable")),
-        other => panic!("expected a network error, got {other}"),
+        FederationError::NodeUnhealthy { host, cause, .. } => {
+            assert_eq!(host, "twomass.skyquery.net");
+            match *cause {
+                FederationError::Net(e) => assert!(e.to_string().contains("unreachable")),
+                other => panic!("expected a network cause, got {other}"),
+            }
+        }
+        other => panic!("expected NodeUnhealthy, got {other}"),
     }
+    assert_eq!(
+        fed.portal.unhealthy_hosts(),
+        vec!["twomass.skyquery.net".to_string()]
+    );
 }
 
 #[test]

@@ -35,6 +35,7 @@ fn malicious_long_plan_overflows_stack() {
         zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
         zone_chunking: true,
         kernel: Default::default(),
+        retry: Default::default(),
     };
     let res = send_rpc(
         &fed.net,

@@ -36,9 +36,15 @@ fn node_answering_garbage_xml_yields_protocol_error() {
             None,
         ))
         .unwrap_err();
+    // A garbage reply is indistinguishable from wire damage, so it is
+    // retried; the canned endpoint keeps answering garbage, the budget
+    // runs out, and the SOAP decode failure surfaces as the cause.
     match err {
-        FederationError::Soap(_) => {}
-        other => panic!("expected a SOAP-layer error, got {other}"),
+        FederationError::NodeUnhealthy { cause, .. } => match *cause {
+            FederationError::Soap(_) => {}
+            other => panic!("expected a SOAP-layer cause, got {other}"),
+        },
+        other => panic!("expected NodeUnhealthy, got {other}"),
     }
 }
 

@@ -195,6 +195,7 @@ fn cross_match_call_with_bad_step_faults() {
         zone_height_deg: skyquery_core::plan::DEFAULT_ZONE_HEIGHT_DEG,
         zone_chunking: true,
         kernel: Default::default(),
+        retry: Default::default(),
     };
     let err = send_rpc(
         &fed.net,
