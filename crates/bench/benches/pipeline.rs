@@ -136,6 +136,7 @@ fn plan(c: &Chain, workers: usize, max_message_bytes: usize, zone_chunking: bool
         zone_chunking,
         kernel: Default::default(),
         retry: Default::default(),
+        lease_ttl_s: skyquery_core::plan::DEFAULT_LEASE_TTL_S,
     }
 }
 

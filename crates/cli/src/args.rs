@@ -21,6 +21,9 @@ pub struct Options {
     pub retries: u32,
     /// First retry's backoff in simulated seconds (doubles per retry).
     pub retry_backoff_s: f64,
+    /// How the Portal drives the chain: the recursive daisy chain, or
+    /// checkpointed execution with failover re-planning.
+    pub chain_mode: skyquery_core::ChainMode,
 }
 
 impl Default for Options {
@@ -34,6 +37,7 @@ impl Default for Options {
             kernel: skyquery_core::MatchKernel::default(),
             retries: skyquery_core::RetryPolicy::default().max_attempts,
             retry_backoff_s: skyquery_core::RetryPolicy::default().backoff_base_s,
+            chain_mode: skyquery_core::ChainMode::default(),
         }
     }
 }
@@ -136,6 +140,20 @@ where
                     }
                 }
             }
+            "--chain" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("recursive") => opts.chain_mode = skyquery_core::ChainMode::Recursive,
+                    Some("checkpointed") => {
+                        opts.chain_mode = skyquery_core::ChainMode::Checkpointed
+                    }
+                    _ => {
+                        return Command::Help(Some(
+                            "--chain needs recursive or checkpointed".into(),
+                        ))
+                    }
+                }
+            }
             "--no-zone-chunking" => opts.zone_chunking = false,
             "--help" | "-h" => return Command::Help(None),
             other if other.starts_with("--") => {
@@ -182,6 +200,7 @@ OPTIONS:
     --kernel <K>       cross-match probe kernel: columnar | htm    [default: columnar]
     --retries <N>      RPC attempts before a node is unhealthy     [default: 3]
     --retry-backoff <S> first retry backoff, simulated seconds     [default: 0.05]
+    --chain <M>        chain driver: recursive | checkpointed      [default: recursive]
     --no-zone-chunking legacy byte-budget chunking for oversized transfers
 "
 }
@@ -219,6 +238,8 @@ mod tests {
             "5",
             "--retry-backoff",
             "0.2",
+            "--chain",
+            "checkpointed",
         ]) {
             Command::Repl(o) => {
                 assert_eq!(o.bodies, 500);
@@ -230,6 +251,7 @@ mod tests {
                 assert_eq!(o.retries, 5);
                 assert_eq!(o.retry_backoff_s, 0.2);
                 assert_eq!(o.retry_policy().max_attempts, 5);
+                assert_eq!(o.chain_mode, skyquery_core::ChainMode::Checkpointed);
             }
             other => panic!("{other:?}"),
         }
@@ -295,6 +317,10 @@ mod tests {
             parse_args(["--retry-backoff", "-1", "demo"]),
             Command::Help(Some(msg)) if msg.contains("--retry-backoff")
         ));
+        assert!(matches!(
+            parse_args(["--chain", "telepathic", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--chain")
+        ));
     }
 
     #[test]
@@ -310,6 +336,7 @@ mod tests {
             "--kernel",
             "--retries",
             "--retry-backoff",
+            "--chain",
             "--no-zone-chunking",
         ] {
             assert!(usage().contains(word), "{word}");

@@ -4,7 +4,7 @@
 
 use std::io::Write;
 
-use skyquery_core::{FederationConfig, OrderingStrategy};
+use skyquery_core::{ChainMode, FederationConfig, HostState, OrderingStrategy};
 use skyquery_net::FaultPlan;
 use skyquery_sim::{CatalogParams, FederationBuilder, TestFederation};
 
@@ -35,6 +35,7 @@ impl Session {
                 zone_chunking: opts.zone_chunking,
                 kernel: opts.kernel,
                 retry: opts.retry_policy(),
+                chain_mode: opts.chain_mode,
                 ..FederationConfig::default()
             })
             .survey(skyquery_sim::SurveyParams::sdss_like())
@@ -227,7 +228,7 @@ impl Session {
             },
             Some("faults") => {
                 let usage =
-                    "usage: \\faults [down|500|truncate|garbage <archive> <n> | latency <archive> <s> | clear]";
+                    "usage: \\faults [down|step|500|truncate|garbage <archive> <n> | latency <archive> <s> | clear]";
                 match parts.next() {
                     None => {
                         let m = self.fed.net.metrics();
@@ -259,7 +260,7 @@ impl Session {
                         self.fed.net.clear_faults();
                         writeln!(out, "fault plan cleared")?;
                     }
-                    Some(kind @ ("down" | "500" | "truncate" | "garbage" | "latency")) => {
+                    Some(kind @ ("down" | "step" | "500" | "truncate" | "garbage" | "latency")) => {
                         let target = parts.next().map(|a| self.resolve_host(a));
                         let amount = parts.next().and_then(|v| v.parse::<f64>().ok());
                         match (target, amount) {
@@ -267,6 +268,17 @@ impl Session {
                                 let plan = std::mem::take(&mut self.faults);
                                 self.faults = match kind {
                                     "down" => plan.host_down_for(&host, x as u32),
+                                    // Outage scoped to chain steps only: performance
+                                    // queries and checkpoint fetches stay clean, so the
+                                    // checkpointed driver's re-plan path is reachable.
+                                    "step" => plan.rule(
+                                        skyquery_net::FaultRule::new(
+                                            skyquery_net::FaultKind::HostDown,
+                                        )
+                                        .host(&host)
+                                        .action("ExecuteStep")
+                                        .times(x as u32),
+                                    ),
                                     "500" => plan.server_errors(&host, x as u32),
                                     "truncate" => plan.truncated_bodies(&host, x as u32),
                                     "garbage" => plan.garbage_bodies(&host, x as u32),
@@ -281,6 +293,67 @@ impl Session {
                     }
                     Some(_) => writeln!(out, "{usage}")?,
                 }
+            }
+            Some("chain") => match parts.next() {
+                Some(word @ ("recursive" | "checkpointed")) => {
+                    let mode = if word == "checkpointed" {
+                        ChainMode::Checkpointed
+                    } else {
+                        ChainMode::Recursive
+                    };
+                    self.fed.portal.set_config(FederationConfig {
+                        chain_mode: mode,
+                        ..self.fed.portal.config()
+                    });
+                    writeln!(out, "chain driver: {word}")?;
+                }
+                _ => writeln!(out, "usage: \\chain recursive|checkpointed")?,
+            },
+            Some("health") => {
+                if let Some("probe") = parts.next() {
+                    let probed = self.fed.portal.probe_unhealthy_hosts();
+                    if probed.is_empty() {
+                        writeln!(out, "no unhealthy hosts to probe")?;
+                    }
+                    for (host, ok) in probed {
+                        writeln!(
+                            out,
+                            "probe {host}: {}",
+                            if ok { "ok -> probation" } else { "failed" }
+                        )?;
+                    }
+                }
+                let report = self.fed.portal.health_report();
+                if report.is_empty() {
+                    writeln!(out, "all hosts healthy")?;
+                }
+                for (host, h) in report {
+                    let state = match h.state {
+                        HostState::Unhealthy => "unhealthy",
+                        HostState::Probation => "probation",
+                    };
+                    writeln!(out, "{host:<26} {state:<10} {} strikes", h.strikes)?;
+                }
+                for node in &self.fed.nodes {
+                    writeln!(
+                        out,
+                        "{:<26} {} leases ({} transfers, {} checkpoints, {} txns) · {} steps executed",
+                        node.url().host,
+                        node.active_leases(),
+                        node.open_transfers().len(),
+                        node.checkpoints().len(),
+                        node.pending_exchange_txns().len(),
+                        node.executed_steps()
+                    )?;
+                }
+                let m = self.fed.net.metrics();
+                writeln!(
+                    out,
+                    "{} replans · {} resumes · {} degraded continuations",
+                    m.node_event_total("replan"),
+                    m.node_event_total("resume"),
+                    m.node_event_total("degraded")
+                )?;
             }
             Some("retry") => {
                 let attempts = parts.next().and_then(|v| v.parse::<u32>().ok());
@@ -345,7 +418,10 @@ pub fn meta_help() -> &'static str {
   \\zonechunking on|off              zone-aware pipelined transfer chunks
   \\kernel columnar|htm              cross-match probe kernel (byte-identical)
   \\faults [<kind> <archive> <n>]    inject network faults / show fault+retry tallies
+                                    (kinds: down step 500 truncate garbage latency)
   \\retry <attempts> [backoff]       RPC retry policy (attempts, base backoff seconds)
+  \\chain recursive|checkpointed     chain driver (daisy chain vs survivable resume)
+  \\health [probe]                   host health, leases, replan/resume counters
   \\transfer <src> <dst> <tbl> <sql> transactional table copy (2PC)
   \\help                             this text
   \\quit                             leave"
@@ -471,6 +547,71 @@ mod tests {
         assert!(out.contains("usage"), "{out}");
         let (_, out) = drive(&mut s, "\\retry zero");
         assert!(out.contains("usage"), "{out}");
+    }
+
+    #[test]
+    fn chain_meta_command_switches_driver() {
+        let mut s = session();
+        assert_eq!(s.fed.portal.config().chain_mode, ChainMode::Recursive);
+        let (_, out) = drive(&mut s, "\\chain checkpointed");
+        assert!(out.contains("chain driver: checkpointed"), "{out}");
+        assert_eq!(s.fed.portal.config().chain_mode, ChainMode::Checkpointed);
+        let (ok, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
+        );
+        assert!(ok, "checkpointed chain runs from the REPL: {out}");
+        let (_, out) = drive(&mut s, "\\chain sideways");
+        assert!(out.contains("usage: \\chain"), "{out}");
+    }
+
+    #[test]
+    fn health_meta_command_reports_state() {
+        let mut s = session();
+        let (_, out) = drive(&mut s, "\\health");
+        assert!(out.contains("all hosts healthy"), "{out}");
+        assert!(out.contains("sdss.skyquery.net"), "{out}");
+        assert!(out.contains("replans"), "{out}");
+        // Exhaust retries against TWOMASS so the portal marks it unhealthy,
+        // then probe it back to probation once the outage clears.
+        drive(&mut s, "\\retry 2 0.0");
+        drive(&mut s, "\\faults down TWOMASS 9");
+        let (_, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
+        );
+        assert!(
+            out.starts_with("error:"),
+            "outage outlasts the retry budget: {out}"
+        );
+        let (_, out) = drive(&mut s, "\\health");
+        assert!(out.contains("unhealthy"), "{out}");
+        drive(&mut s, "\\faults clear");
+        let (_, out) = drive(&mut s, "\\health probe");
+        assert!(out.contains("ok -> probation"), "{out}");
+        assert!(out.contains("probation"), "{out}");
+    }
+
+    #[test]
+    fn step_fault_drives_replan_and_resume() {
+        let mut s = session();
+        drive(&mut s, "\\chain checkpointed");
+        // Down for exactly the retry budget, scoped to ExecuteStep: the
+        // portal re-plans around TWOMASS and resumes from the checkpoint.
+        let (_, out) = drive(&mut s, "\\faults step TWOMASS 3");
+        assert!(out.contains("armed: step on twomass.skyquery.net"), "{out}");
+        let (_, out) = drive(
+            &mut s,
+            "SELECT O.object_id, T.object_id, P.object_id \
+             FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P \
+             WHERE XMATCH(O, T, P) < 3.5",
+        );
+        assert!(out.contains("bytes on the wire"), "query recovers: {out}");
+        let (_, out) = drive(&mut s, "\\health");
+        assert!(out.contains("1 replans"), "{out}");
+        assert!(out.contains("1 resumes"), "{out}");
     }
 
     #[test]

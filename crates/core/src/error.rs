@@ -46,6 +46,19 @@ pub enum FederationError {
         /// The final attempt's failure.
         cause: Box<FederationError>,
     },
+    /// A leased node-side resource (checkpoint, transfer session, staged
+    /// exchange transaction) is unknown at the node — never created,
+    /// already released, or reclaimed by the janitor after its TTL
+    /// lapsed. Deterministic: the resource will not come back, so the
+    /// caller must restart the work that created it rather than retry.
+    LeaseExpired {
+        /// The resource kind (`checkpoint`, `transfer`, `txn`).
+        kind: String,
+        /// The id the caller presented.
+        id: u64,
+        /// The node that no longer holds it.
+        host: String,
+    },
     /// A two-phase-commit commit failed *and* the follow-up abort also
     /// failed, so the participant may hold an orphaned staging table.
     AbortFailed {
@@ -81,6 +94,8 @@ impl FederationError {
             FederationError::Fault(f) => f.clone(),
             FederationError::Sql(e) => SoapFault::client(e.to_string()),
             FederationError::Protocol { detail } => SoapFault::client(detail.clone()),
+            // The caller presented a stale id: its fault, deterministically.
+            e @ FederationError::LeaseExpired { .. } => SoapFault::client(e.to_string()),
             other => SoapFault::server(other.to_string()),
         }
     }
@@ -107,6 +122,7 @@ impl FederationError {
             | FederationError::Fault(_)
             | FederationError::Planning { .. }
             | FederationError::Protocol { .. }
+            | FederationError::LeaseExpired { .. }
             | FederationError::AbortFailed { .. } => false,
         }
     }
@@ -164,6 +180,12 @@ impl std::fmt::Display for FederationError {
                 f,
                 "node {host} unhealthy after {attempts} attempts: {cause}"
             ),
+            FederationError::LeaseExpired { kind, id, host } => {
+                write!(
+                    f,
+                    "{kind} {id} is not leased at {host} (expired or released)"
+                )
+            }
             FederationError::AbortFailed {
                 txn,
                 host,
@@ -199,6 +221,16 @@ mod tests {
 
         let passthrough = FederationError::Fault(SoapFault::client("x"));
         assert_eq!(passthrough.to_fault(), SoapFault::client("x"));
+
+        // A stale lease is the caller's (deterministic) problem.
+        let lease = FederationError::LeaseExpired {
+            kind: "checkpoint".into(),
+            id: 9,
+            host: "sdss".into(),
+        };
+        assert_eq!(lease.to_fault().code, "Client");
+        assert!(!lease.is_retryable());
+        assert!(lease.to_string().contains("checkpoint 9"));
     }
 
     #[test]

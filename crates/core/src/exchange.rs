@@ -182,10 +182,17 @@ fn next_txn_id() -> u64 {
 }
 
 /// Participant-side staging state, owned by each SkyNode.
+///
+/// Every staged transaction carries a TTL lease against the node's
+/// simulated clock ([`crate::lease::LeaseTable`]): a coordinator that
+/// crashes between prepare and decision no longer strands a staging
+/// table forever — the node's janitor sweep ([`ExchangeState::sweep`])
+/// aborts the orphan once its lease lapses.
 #[derive(Debug, Default)]
 pub struct ExchangeState {
-    /// txn id → (destination table, staging temp-table name, schema).
-    staged: std::collections::HashMap<u64, StagedTransfer>,
+    /// txn id → (destination table, staging temp-table name, schema),
+    /// leased.
+    staged: crate::lease::LeaseTable<StagedTransfer>,
 }
 
 #[derive(Debug)]
@@ -201,7 +208,11 @@ impl ExchangeState {
         ExchangeState::default()
     }
 
-    /// Phase 1 at the participant: validate and stage.
+    /// Phase 1 at the participant: validate and stage. The stage is held
+    /// under a lease of `ttl_s` simulated seconds from `now_s`; an
+    /// undecided transaction whose coordinator never returns is aborted
+    /// by [`ExchangeState::sweep`] once the lease lapses.
+    #[allow(clippy::too_many_arguments)]
     pub fn prepare(
         &mut self,
         db: &mut skyquery_storage::Database,
@@ -209,8 +220,10 @@ impl ExchangeState {
         dest_table: &str,
         schema_el: &Element,
         rows: &ResultSet,
+        now_s: f64,
+        ttl_s: f64,
     ) -> Result<usize> {
-        if self.staged.contains_key(&txn) {
+        if self.staged.contains(txn) {
             return Err(FederationError::protocol(format!(
                 "transaction {txn} already prepared"
             )));
@@ -255,6 +268,8 @@ impl ExchangeState {
                 staging_table: staging,
                 schema,
             },
+            now_s,
+            ttl_s,
         );
         Ok(n)
     }
@@ -263,7 +278,7 @@ impl ExchangeState {
     pub fn commit(&mut self, db: &mut skyquery_storage::Database, txn: u64) -> Result<usize> {
         let t = self
             .staged
-            .remove(&txn)
+            .remove(txn)
             .ok_or_else(|| FederationError::protocol(format!("unknown transaction {txn}")))?;
         if !db.has_table(&t.dest_table) {
             let mut schema = t.schema.clone();
@@ -283,17 +298,36 @@ impl ExchangeState {
     pub fn abort(&mut self, db: &mut skyquery_storage::Database, txn: u64) -> Result<()> {
         let t = self
             .staged
-            .remove(&txn)
+            .remove(txn)
             .ok_or_else(|| FederationError::protocol(format!("unknown transaction {txn}")))?;
         db.drop_table(&t.staging_table)?;
         Ok(())
     }
 
+    /// Extends the lease of a staged transaction to a full TTL from
+    /// `now_s`. Returns whether the transaction was staged.
+    pub fn renew(&mut self, txn: u64, now_s: f64) -> bool {
+        self.staged.renew(txn, now_s)
+    }
+
+    /// Janitor sweep: aborts every staged transaction whose lease expired
+    /// at or before `now_s`, dropping its staging table. Returns the
+    /// reclaimed transaction ids, sorted.
+    pub fn sweep(&mut self, db: &mut skyquery_storage::Database, now_s: f64) -> Vec<u64> {
+        self.staged
+            .sweep(now_s)
+            .into_iter()
+            .map(|(txn, t)| {
+                // Best-effort: a missing staging table is already gone.
+                let _ = db.drop_table(&t.staging_table);
+                txn
+            })
+            .collect()
+    }
+
     /// Transactions currently awaiting a decision.
     pub fn pending(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.staged.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.staged.ids()
     }
 }
 
@@ -343,6 +377,8 @@ mod tests {
                 "imported",
                 &schema_element(&rs, "imported"),
                 &rs,
+                0.0,
+                60.0,
             )
             .unwrap();
         assert_eq!(n, 2);
@@ -369,6 +405,8 @@ mod tests {
                 "imported",
                 &schema_element(&rs, "imported"),
                 &rs,
+                0.0,
+                60.0,
             )
             .unwrap();
         state.abort(&mut db, 9).unwrap();
@@ -384,8 +422,8 @@ mod tests {
         let mut state = ExchangeState::new();
         let rs = rows();
         let el = schema_element(&rs, "t");
-        state.prepare(&mut db, 1, "t", &el, &rs).unwrap();
-        assert!(state.prepare(&mut db, 1, "t", &el, &rs).is_err());
+        state.prepare(&mut db, 1, "t", &el, &rs, 0.0, 60.0).unwrap();
+        assert!(state.prepare(&mut db, 1, "t", &el, &rs, 0.0, 60.0).is_err());
     }
 
     #[test]
@@ -394,9 +432,9 @@ mod tests {
         let mut state = ExchangeState::new();
         let rs = rows();
         let el = schema_element(&rs, "t");
-        state.prepare(&mut db, 1, "t", &el, &rs).unwrap();
+        state.prepare(&mut db, 1, "t", &el, &rs, 0.0, 60.0).unwrap();
         state.commit(&mut db, 1).unwrap();
-        state.prepare(&mut db, 2, "t", &el, &rs).unwrap();
+        state.prepare(&mut db, 2, "t", &el, &rs, 0.0, 60.0).unwrap();
         state.commit(&mut db, 2).unwrap();
         assert_eq!(db.row_count("t").unwrap(), 4);
     }
@@ -412,7 +450,7 @@ mod tests {
         let mut state = ExchangeState::new();
         let rs = rows();
         let el = schema_element(&rs, "t");
-        assert!(state.prepare(&mut db, 1, "t", &el, &rs).is_err());
+        assert!(state.prepare(&mut db, 1, "t", &el, &rs, 0.0, 60.0).is_err());
         assert!(state.pending().is_empty());
         // Nothing staged, existing table untouched.
         assert_eq!(db.row_count("t").unwrap(), 0);
@@ -424,5 +462,28 @@ mod tests {
         let mut state = ExchangeState::new();
         assert!(state.commit(&mut db, 42).is_err());
         assert!(state.abort(&mut db, 42).is_err());
+    }
+
+    #[test]
+    fn sweep_aborts_expired_stages_only() {
+        let mut db = Database::new("dest");
+        let mut state = ExchangeState::new();
+        let rs = rows();
+        let el = schema_element(&rs, "t");
+        state.prepare(&mut db, 1, "t", &el, &rs, 0.0, 5.0).unwrap();
+        state.prepare(&mut db, 2, "t", &el, &rs, 0.0, 50.0).unwrap();
+        assert!(state.sweep(&mut db, 4.0).is_empty());
+        // Renewal keeps an otherwise-expiring stage alive.
+        assert!(state.renew(1, 4.0));
+        assert!(state.sweep(&mut db, 8.0).is_empty());
+        assert_eq!(state.sweep(&mut db, 9.0), vec![1]);
+        assert_eq!(state.pending(), vec![2]);
+        // Nothing published by the sweep.
+        assert!(!db.has_table("t"));
+        // A swept transaction is decided: late commit is rejected.
+        assert!(state.commit(&mut db, 1).is_err());
+        // Txn 2's staging survived the sweep and still commits cleanly.
+        assert_eq!(state.commit(&mut db, 2).unwrap(), rs.row_count());
+        assert_eq!(db.row_count("t").unwrap(), rs.row_count());
     }
 }

@@ -27,6 +27,7 @@ pub mod client;
 pub mod engine;
 pub mod error;
 pub mod exchange;
+pub mod lease;
 pub mod meta;
 pub mod plan;
 pub mod portal;
@@ -44,9 +45,10 @@ pub use engine::{CrossMatchEngine, SequentialEngine};
 pub use engine::{PartialIngest, StepKind};
 pub use error::{FederationError, Result};
 pub use exchange::TransferReport;
+pub use lease::LeaseTable;
 pub use meta::{ArchiveInfo, RegisteredNode};
 pub use plan::{ExecutionPlan, PlanStep};
-pub use portal::{FederationConfig, OrderingStrategy, Portal};
+pub use portal::{ChainMode, FederationConfig, HostHealth, HostState, OrderingStrategy, Portal};
 pub use region::Region;
 pub use result::{ResultColumn, ResultSet};
 pub use retry::RetryPolicy;

@@ -92,10 +92,22 @@ pub struct ExecutionPlan {
     /// (daisy-chain hops, `FetchChunk` continuations). Travels with the
     /// plan so one submission retries consistently along the chain.
     pub retry: RetryPolicy,
+    /// TTL, in simulated seconds, of every lease this submission creates
+    /// on a SkyNode — checkpointed partial sets, chunked-transfer
+    /// sessions, staged exchange transactions. A node's janitor sweep
+    /// reclaims anything whose lease expires unrenewed, so an abandoned
+    /// query can never leak node-side state forever.
+    pub lease_ttl_s: f64,
 }
 
 /// Default parser limit: the ~10 MB the paper reports.
 pub const DEFAULT_MAX_MESSAGE_BYTES: usize = 10 * 1024 * 1024;
+
+/// Default lease TTL in simulated seconds. Generous relative to any
+/// single submission (whose waits are dominated by retry backoff, itself
+/// bounded by the 30 s default deadline per call), so a live query never
+/// loses a lease, while an abandoned one is reclaimed on the next sweep.
+pub const DEFAULT_LEASE_TTL_S: f64 = 300.0;
 
 /// Default declination zone height for the parallel zone engine, degrees.
 /// Candidate search radii are arcsecond-scale, so even a 0.1° zone dwarfs
@@ -170,7 +182,9 @@ impl ExecutionPlan {
                 format!("{:?}", self.retry.backoff_base_s),
             )
             .with_attr("retry_factor", format!("{:?}", self.retry.backoff_factor))
-            .with_attr("retry_deadline_s", format!("{:?}", self.retry.deadline_s));
+            .with_attr("retry_deadline_s", format!("{:?}", self.retry.deadline_s))
+            .with_attr("retry_jitter", format!("{:?}", self.retry.jitter))
+            .with_attr("lease_ttl_s", format!("{:?}", self.lease_ttl_s));
         if let Some(r) = &self.region {
             plan = plan.with_child(r.to_element());
         }
@@ -366,8 +380,20 @@ impl ExecutionPlan {
                         .and_then(|v| v.parse::<f64>().ok())
                         .filter(|v| v.is_finite() && *v > 0.0)
                         .unwrap_or(default.deadline_s),
+                    jitter: e
+                        .attr("retry_jitter")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|v| v.is_finite() && (0.0..1.0).contains(v))
+                        .unwrap_or(default.jitter),
                 }
             },
+            // Plans from peers predating leases omit the attribute; the
+            // default TTL keeps their node-side state reclaimable.
+            lease_ttl_s: e
+                .attr("lease_ttl_s")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .unwrap_or(DEFAULT_LEASE_TTL_S),
         })
     }
 }
@@ -438,7 +464,9 @@ mod tests {
                 backoff_base_s: 0.02,
                 backoff_factor: 3.0,
                 deadline_s: 12.0,
+                jitter: 0.25,
             },
+            lease_ttl_s: 120.0,
         }
     }
 
@@ -584,6 +612,28 @@ mod tests {
         let back = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
         assert_eq!(back.retry.max_attempts, 4);
         assert_eq!(back.retry.backoff_factor, 3.0);
+    }
+
+    #[test]
+    fn legacy_plans_default_to_default_lease_ttl() {
+        // Plans from peers predating leases omit the attribute.
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| k != "lease_ttl_s");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.lease_ttl_s, DEFAULT_LEASE_TTL_S);
+        // Degenerate TTLs fall back rather than making leases stillborn.
+        let mut el = demo_plan().to_element();
+        el.attributes.retain(|(k, _)| k != "lease_ttl_s");
+        let el = el.with_attr("lease_ttl_s", "-5.0");
+        let p = ExecutionPlan::from_element(&el).unwrap();
+        assert_eq!(p.lease_ttl_s, DEFAULT_LEASE_TTL_S);
+        // A customized TTL round-trips.
+        let back = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
+        assert_eq!(back.lease_ttl_s, 120.0);
+        // The jitter attribute rides the retry_ prefix: stripped plans
+        // (see legacy_plans_default_to_default_retry_policy) default it,
+        // and a customized value round-trips.
+        assert_eq!(back.retry.jitter, 0.25);
     }
 
     #[test]

@@ -22,13 +22,15 @@ use skyquery_storage::{DataType, Value};
 
 use crate::error::{FederationError, Result};
 use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode};
-use crate::plan::{ExecutionPlan, PlanStep, DEFAULT_MAX_MESSAGE_BYTES};
+use crate::plan::{ExecutionPlan, PlanStep, DEFAULT_LEASE_TTL_S, DEFAULT_MAX_MESSAGE_BYTES};
 use crate::region::Region;
 use crate::result::{ResultColumn, ResultSet};
 use crate::retry::RetryPolicy;
 use crate::skynode::invoke_cross_match;
-use crate::trace::ExecutionTrace;
-use crate::transfer::send_rpc_with;
+use crate::trace::{ExecutionTrace, StatsChain};
+use crate::transfer::{
+    open_checkpoint, release_checkpoint, renew_lease, send_rpc_with, IncomingPartial,
+};
 use crate::xmatch::MatchKernel;
 use crate::xmatch::{PartialSet, TupleBindings};
 
@@ -44,6 +46,42 @@ pub enum OrderingStrategy {
     DeclarationOrder,
     /// Random order from a seeded generator (experiment baseline).
     Random(u64),
+}
+
+/// How the Portal drives the federated cross-match chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChainMode {
+    /// The paper's daisy chain: one recursive Cross match call that
+    /// unwinds from the seed back to the Portal. A mid-chain failure
+    /// aborts the whole submission.
+    #[default]
+    Recursive,
+    /// Portal-driven checkpointed execution: one `ExecuteStep` call per
+    /// archive, each committing its partial set as a leased checkpoint
+    /// on the executing node. A mid-chain failure re-plans the remaining
+    /// steps around the failed node and resumes from the last good
+    /// checkpoint instead of re-running the committed prefix.
+    Checkpointed,
+}
+
+/// Observation state of a host the Portal has marked unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostState {
+    /// The host exhausted a retry budget and has not answered since.
+    Unhealthy,
+    /// Half-open: a cheap Information-service probe succeeded, so the
+    /// host is trusted for real traffic again — but its strike history
+    /// is retained until a real call clears it entirely.
+    Probation,
+}
+
+/// Health book-keeping the Portal maintains for one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostHealth {
+    /// How many times the host exhausted a retry budget.
+    pub strikes: u64,
+    /// The current observation state.
+    pub state: HostState,
 }
 
 /// Federation-wide execution knobs.
@@ -73,6 +111,13 @@ pub struct FederationConfig {
     /// Retry policy for every federation RPC the Portal issues and, via
     /// the plan, every onward call along the daisy chain.
     pub retry: RetryPolicy,
+    /// How the chain is driven: the paper's recursive daisy chain, or
+    /// portal-driven checkpointed execution with failover re-planning.
+    pub chain_mode: ChainMode,
+    /// Lease TTL (simulated seconds) granted on every transfer session,
+    /// exchange transaction, and checkpoint created for this
+    /// federation's queries; node janitors reclaim anything older.
+    pub lease_ttl_s: f64,
 }
 
 impl Default for FederationConfig {
@@ -87,6 +132,8 @@ impl Default for FederationConfig {
             zone_chunking: true,
             kernel: MatchKernel::default(),
             retry: RetryPolicy::default(),
+            chain_mode: ChainMode::default(),
+            lease_ttl_s: DEFAULT_LEASE_TTL_S,
         }
     }
 }
@@ -100,11 +147,16 @@ pub struct Portal {
     /// UDDI-style repository of the federation's services (§3.1:
     /// "services can register themselves and be discovered").
     registry: ServiceRegistry,
-    /// Hosts that exhausted a retry budget, and how often. A successful
-    /// contact clears the host — unhealthiness is an observation, not a
-    /// ban; the autonomous archive may come back any time.
-    health: Mutex<HashMap<String, u64>>,
+    /// Hosts that exhausted a retry budget, with strike counts and a
+    /// half-open probation state. A successful real contact clears the
+    /// host — unhealthiness is an observation, not a ban; the autonomous
+    /// archive may come back any time.
+    health: Mutex<HashMap<String, HostHealth>>,
 }
+
+/// How often a failing mandatory step may be deferred (moved to the
+/// earliest mandatory slot) before the Portal gives up on the query.
+const MAX_STEP_DEFERRALS: u64 = 2;
 
 impl Portal {
     /// Creates a Portal and binds it to `host` on the network.
@@ -161,29 +213,106 @@ impl Portal {
     }
 
     /// Hosts currently considered unhealthy (they exhausted a retry
-    /// budget more recently than they answered), sorted.
+    /// budget more recently than they answered or passed a probe),
+    /// sorted. Hosts in probation are excluded.
     pub fn unhealthy_hosts(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.health.lock().keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .health
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.state == HostState::Unhealthy)
+            .map(|(host, _)| host.clone())
+            .collect();
         v.sort();
         v
     }
 
-    /// Folds one RPC outcome into the health book-keeping: exhausting a
-    /// retry budget marks the host unhealthy, any success clears it.
+    /// The full health book, sorted by host — for the REPL's `\health`
+    /// view. Healthy hosts (no strikes on record) do not appear.
+    pub fn health_report(&self) -> Vec<(String, HostHealth)> {
+        let mut v: Vec<(String, HostHealth)> = self
+            .health
+            .lock()
+            .iter()
+            .map(|(host, h)| (host.clone(), *h))
+            .collect();
+        v.sort_by(|(a, _), (b, _)| a.cmp(b));
+        v
+    }
+
+    /// Records one failure in the health book-keeping: exhausting a
+    /// retry budget adds a strike and (re)marks the host unhealthy.
+    fn note_failure(&self, e: &FederationError) {
+        if let FederationError::NodeUnhealthy { host, .. } = e {
+            let mut health = self.health.lock();
+            let h = health.entry(host.clone()).or_insert(HostHealth {
+                strikes: 0,
+                state: HostState::Unhealthy,
+            });
+            h.strikes += 1;
+            h.state = HostState::Unhealthy;
+        }
+    }
+
+    /// Folds one RPC outcome into the health book-keeping.
     fn note_health<T>(&self, result: &Result<T>) {
-        match result {
-            Err(FederationError::NodeUnhealthy { host, .. }) => {
-                *self.health.lock().entry(host.clone()).or_default() += 1;
-            }
-            Err(_) => {}
-            Ok(_) => {}
+        if let Err(e) = result {
+            self.note_failure(e);
         }
     }
 
     /// Records a successful contact with `host`, clearing any unhealthy
-    /// mark.
+    /// mark (and its strike history).
     fn note_healthy(&self, host: &str) {
         self.health.lock().remove(host);
+    }
+
+    /// Half-open recovery probe: one cheap Information-service call with
+    /// no retries. Success moves an unhealthy host to probation (real
+    /// traffic may flow again); failure adds a strike. Returns whether
+    /// the probe succeeded. Probing an unknown host returns `false`.
+    pub fn probe_host(&self, host: &str) -> bool {
+        let url = self
+            .nodes
+            .lock()
+            .values()
+            .find(|n| n.url.host == host)
+            .map(|n| n.url.clone());
+        let Some(url) = url else { return false };
+        let ok = send_rpc_with(
+            &self.net,
+            &self.host,
+            &url,
+            &RpcCall::new("Information"),
+            RetryPolicy::none(),
+        )
+        .is_ok();
+        let mut health = self.health.lock();
+        if ok {
+            if let Some(h) = health.get_mut(host) {
+                h.state = HostState::Probation;
+            }
+        } else {
+            let h = health.entry(host.to_string()).or_insert(HostHealth {
+                strikes: 0,
+                state: HostState::Unhealthy,
+            });
+            h.strikes += 1;
+            h.state = HostState::Unhealthy;
+        }
+        ok
+    }
+
+    /// Probes every currently unhealthy host once; returns each host with
+    /// its probe outcome.
+    pub fn probe_unhealthy_hosts(&self) -> Vec<(String, bool)> {
+        self.unhealthy_hosts()
+            .into_iter()
+            .map(|h| {
+                let ok = self.probe_host(&h);
+                (h, ok)
+            })
+            .collect()
     }
 
     /// Sends one RPC under the configured retry policy, updating the
@@ -388,8 +517,21 @@ impl Portal {
             ),
         );
 
-        // Steps 6–7: fire the daisy chain.
-        let chain = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0);
+        // Steps 6–7: fire the chain — the paper's recursive daisy chain,
+        // or the portal-driven checkpointed walk (per-step health
+        // book-keeping happens inside the walk).
+        let chain_mode = self.config().chain_mode;
+        let chain = match chain_mode {
+            ChainMode::Recursive => {
+                let r = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0);
+                self.note_health(&r);
+                if r.is_ok() {
+                    self.note_healthy(&plan.steps[0].url.host);
+                }
+                r
+            }
+            ChainMode::Checkpointed => self.run_checkpointed_chain(&plan, &mut trace),
+        };
         let after = self.net.metrics();
         let (retries, backoff, faults) = (
             after.retry_total().retries - retries_before,
@@ -406,9 +548,7 @@ impl Portal {
                 ),
             );
         }
-        self.note_health(&chain);
         let (set, stats) = chain?;
-        self.note_healthy(&plan.steps[0].url.host);
         for (alias, s) in &stats.entries {
             trace.push(
                 alias.clone(),
@@ -433,6 +573,171 @@ impl Portal {
             format!("{} matched tuples to client", result.row_count()),
         );
         Ok((result, trace))
+    }
+
+    /// Drives the plan step by step from the Portal
+    /// ([`ChainMode::Checkpointed`]). Each `ExecuteStep` call commits the
+    /// step's partial set as a leased checkpoint on the executing node;
+    /// only the checkpoint id, row count, and statistics travel back. On
+    /// a mid-chain `NodeUnhealthy` failure the Portal re-plans: a failing
+    /// drop-out archive is skipped (`degraded`), a failing mandatory
+    /// archive is deferred behind the other mandatory steps (`replan`) —
+    /// in both cases execution resumes from the last good checkpoint
+    /// without re-running any committed step.
+    fn run_checkpointed_chain(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &mut ExecutionTrace,
+    ) -> Result<(PartialSet, StatsChain)> {
+        let mut remaining: Vec<PlanStep> = plan.steps.clone();
+        let mut executed: Vec<String> = Vec::new();
+        let mut deferrals: HashMap<String, u64> = HashMap::new();
+        let mut checkpoint: Option<(Url, u64)> = None;
+        let mut stats = StatsChain::new();
+        let mut recovering = false;
+
+        while !remaining.is_empty() {
+            // The plan list keeps drop-outs at the head; execution walks
+            // from the tail (the seed) toward the head.
+            let idx = remaining.len() - 1;
+            let step = remaining[idx].clone();
+            let mut sub_plan = plan.clone();
+            sub_plan.steps = remaining.clone();
+            let mut call = RpcCall::new("ExecuteStep")
+                .param("plan", SoapValue::Xml(sub_plan.to_element()))
+                .param("step", SoapValue::Int(idx as i64));
+            if let Some((cp_url, cp_id)) = &checkpoint {
+                call = call
+                    .param("checkpoint_url", SoapValue::Str(cp_url.to_string()))
+                    .param("checkpoint_id", SoapValue::Int(*cp_id as i64));
+            }
+            match send_rpc_with(&self.net, &self.host, &step.url, &call, plan.retry) {
+                Ok(resp) => {
+                    let cp_id = resp
+                        .require("checkpoint")?
+                        .as_i64()
+                        .filter(|v| *v >= 0)
+                        .ok_or_else(|| {
+                            FederationError::protocol("checkpoint must be a non-negative integer")
+                        })? as u64;
+                    let rows = resp.require("rows")?.as_i64().unwrap_or(-1);
+                    let chain = StatsChain::from_element(
+                        resp.require("stats")?
+                            .as_xml()
+                            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
+                    )?;
+                    stats.entries.extend(chain.entries);
+                    // The new checkpoint supersedes the previous one:
+                    // release it best-effort (if the holder is
+                    // unreachable, its janitor reclaims the lease).
+                    if let Some((prev_url, prev_id)) = checkpoint.take() {
+                        let _ = release_checkpoint(
+                            &self.net,
+                            &self.host,
+                            &prev_url,
+                            prev_id,
+                            RetryPolicy::none(),
+                        );
+                    }
+                    checkpoint = Some((step.url.clone(), cp_id));
+                    self.note_healthy(&step.url.host);
+                    if recovering {
+                        recovering = false;
+                        trace.push(
+                            "Portal",
+                            "resume",
+                            format!(
+                                "chain resumed at {} (checkpoint {cp_id}, {rows} rows)",
+                                step.alias
+                            ),
+                        );
+                        self.net.record_node_event(&self.host, "resume");
+                    }
+                    executed.push(step.alias.clone());
+                    remaining.pop();
+                }
+                Err(e) => {
+                    if !matches!(e, FederationError::NodeUnhealthy { .. }) {
+                        return Err(e);
+                    }
+                    self.note_failure(&e);
+                    // Keep the surviving prefix alive while re-planning.
+                    if let Some((cp_url, cp_id)) = &checkpoint {
+                        let _ = renew_lease(
+                            &self.net,
+                            &self.host,
+                            cp_url,
+                            "checkpoint",
+                            *cp_id,
+                            RetryPolicy::none(),
+                        );
+                    }
+                    if step.dropout {
+                        // A drop-out archive is optional: continue without
+                        // it and flag the result as degraded — unless the
+                        // plan routed residuals or carried columns through
+                        // it, where skipping would change the query's
+                        // meaning rather than its completeness.
+                        if !step.residual_sql.is_empty() || !step.carried.is_empty() {
+                            return Err(e);
+                        }
+                        trace.push(
+                            "Portal",
+                            "degraded",
+                            format!(
+                                "optional archive {} unreachable; continuing without its \
+                                 drop-out filter",
+                                step.alias
+                            ),
+                        );
+                        self.net.record_node_event(&self.host, "degraded");
+                        remaining.pop();
+                        recovering = true;
+                    } else {
+                        // A failing mandatory step is deferred to the
+                        // earliest mandatory slot (it will execute last);
+                        // the node may recover in the meantime.
+                        let first_mandatory = remaining
+                            .iter()
+                            .position(|s| !s.dropout)
+                            .expect("the failing step itself is mandatory");
+                        let tries = deferrals.entry(step.alias.clone()).or_insert(0);
+                        if *tries >= MAX_STEP_DEFERRALS || remaining.len() - first_mandatory < 2 {
+                            return Err(e);
+                        }
+                        *tries += 1;
+                        let failed = remaining.pop().expect("loop guard");
+                        remaining.insert(first_mandatory, failed);
+                        replace_residuals(&mut remaining, &executed)?;
+                        trace.push(
+                            "Portal",
+                            "replan",
+                            format!(
+                                "deferred {} after failure; new order: {}",
+                                step.alias,
+                                remaining
+                                    .iter()
+                                    .rev()
+                                    .map(|s| s.alias.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(" -> ")
+                            ),
+                        );
+                        self.net.record_node_event(&self.host, "replan");
+                        recovering = true;
+                    }
+                }
+            }
+        }
+
+        let (url, id) = checkpoint
+            .ok_or_else(|| FederationError::planning("checkpointed chain committed no steps"))?;
+        let set = match open_checkpoint(&self.net, &self.host, &url, plan, id)? {
+            IncomingPartial::Inline(set) => set,
+            IncomingPartial::Chunked(stream) => stream.collect_set()?,
+        };
+        let _ = release_checkpoint(&self.net, &self.host, &url, id, RetryPolicy::none());
+        Ok((set, stats))
     }
 
     /// Runs the count-star performance queries, in parallel when
@@ -642,6 +947,7 @@ impl Portal {
             zone_chunking: config.zone_chunking,
             kernel: config.kernel,
             retry: config.retry,
+            lease_ttl_s: config.lease_ttl_s,
         })
     }
 }
@@ -672,6 +978,34 @@ impl Portal {
 /// Final projection, shared with the pull-to-portal baseline.
 pub(crate) fn project_for_baseline(plan: &ExecutionPlan, set: PartialSet) -> Result<ResultSet> {
     project(plan, set)
+}
+
+/// Re-attaches residual clauses after a re-plan: each residual moves to
+/// the earliest remaining processing position where every alias it
+/// references is bound — either carried in the checkpointed tuples
+/// (already executed) or joined by a remaining step.
+fn replace_residuals(remaining: &mut [PlanStep], executed: &[String]) -> Result<()> {
+    let pool: Vec<String> = remaining
+        .iter_mut()
+        .flat_map(|s| std::mem::take(&mut s.residual_sql))
+        .collect();
+    let n = remaining.len();
+    let alias_order: Vec<String> = remaining.iter().map(|s| s.alias.clone()).collect();
+    for sql in pool {
+        let expr = skyquery_sql::parse_expr(&sql).map_err(FederationError::Sql)?;
+        let mut max_pos = 0usize;
+        for a in expr.referenced_aliases() {
+            if executed.iter().any(|e| e == a) {
+                continue; // already bound in the checkpointed tuples
+            }
+            let i = alias_order.iter().position(|x| x == a).ok_or_else(|| {
+                FederationError::planning(format!("residual references unknown alias {a}"))
+            })?;
+            max_pos = max_pos.max(n - 1 - i);
+        }
+        remaining[n - 1 - max_pos].residual_sql.push(sql);
+    }
+    Ok(())
 }
 
 /// Processing position at which a residual becomes evaluable.

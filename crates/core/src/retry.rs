@@ -29,17 +29,29 @@ pub struct RetryPolicy {
     /// Ceiling on the *total* simulated seconds a call may spend backing
     /// off; once the next wait would cross it, the call gives up early.
     pub deadline_s: f64,
+    /// Decorrelation half-width for the jittered backoff, as a fraction
+    /// of the exponential wait (`0.0` = pure exponential backoff, `0.5`
+    /// = each wait lands anywhere in ±50% of the nominal value). Jitter
+    /// spreads simultaneous retriers so a recovering node is not hit by
+    /// a synchronized burst; it is seeded deterministically from the
+    /// attempt number and the link's host names, so runs stay
+    /// reproducible. Clamped to `[0, 1)`.
+    pub jitter: f64,
 }
 
+/// Default decorrelation half-width (±50% of the nominal wait).
+pub const DEFAULT_RETRY_JITTER: f64 = 0.5;
+
 impl Default for RetryPolicy {
-    /// Three attempts, 50 ms base doubling each time, 30 s deadline —
-    /// sized to the simulated 2002-era links.
+    /// Three attempts, 50 ms base doubling each time, 30 s deadline,
+    /// ±50% decorrelated jitter — sized to the simulated 2002-era links.
     fn default() -> RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff_base_s: 0.05,
             backoff_factor: 2.0,
             deadline_s: 30.0,
+            jitter: DEFAULT_RETRY_JITTER,
         }
     }
 }
@@ -82,6 +94,49 @@ impl RetryPolicy {
         };
         base * factor.powi(attempt as i32 - 2)
     }
+
+    /// The wait actually charged before attempt `attempt` of a call from
+    /// `from_host` to `to_host`: the exponential [`backoff_before`] wait
+    /// scaled by a deterministic decorrelation factor in
+    /// `[1 − jitter, 1 + jitter)`. The factor is a pure function of the
+    /// attempt and the directed link, so the schedule is reproducible,
+    /// strictly positive whenever the nominal wait is, and different for
+    /// every (link, attempt) pair — callers that failed together retry
+    /// apart.
+    ///
+    /// [`backoff_before`]: RetryPolicy::backoff_before
+    pub fn backoff_before_jittered(&self, attempt: u32, from_host: &str, to_host: &str) -> f64 {
+        let nominal = self.backoff_before(attempt);
+        let j = if self.jitter.is_finite() {
+            self.jitter.clamp(0.0, 0.999)
+        } else {
+            0.0
+        };
+        if j == 0.0 || nominal == 0.0 {
+            return nominal;
+        }
+        // FNV-1a over the link identity and attempt, whitened through
+        // xorshift64*, mapped to a unit float.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in from_host
+            .as_bytes()
+            .iter()
+            .chain([0u8].iter())
+            .chain(to_host.as_bytes())
+            .chain([0u8].iter())
+            .chain(attempt.to_le_bytes().iter())
+        {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h | 1;
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let whitened = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let unit = (whitened >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        nominal * (1.0 + j * (2.0 * unit - 1.0))
+    }
 }
 
 #[cfg(test)]
@@ -106,14 +161,40 @@ mod tests {
             backoff_base_s: f64::NAN,
             backoff_factor: -3.0,
             deadline_s: 30.0,
+            jitter: f64::NAN,
         };
         assert_eq!(p.attempts(), 1);
         assert_eq!(p.backoff_before(2), 0.0);
+        // NaN jitter degrades to the pure exponential wait.
+        assert_eq!(p.backoff_before_jittered(2, "a", "b"), 0.0);
         let p = RetryPolicy {
             backoff_factor: 0.5,
             ..RetryPolicy::default()
         };
         // Sub-unit factors would shrink the wait; clamp to constant.
         assert!((p.backoff_before(5) - p.backoff_base_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_decorrelated() {
+        let p = RetryPolicy::default();
+        let w = p.backoff_before_jittered(2, "portal", "sdss");
+        // Deterministic: same (link, attempt) → same wait.
+        assert_eq!(w, p.backoff_before_jittered(2, "portal", "sdss"));
+        // Bounded by the ±jitter envelope and strictly positive.
+        let nominal = p.backoff_before(2);
+        assert!(w > 0.0);
+        assert!(w >= nominal * (1.0 - p.jitter) - 1e-12);
+        assert!(w < nominal * (1.0 + p.jitter));
+        // Decorrelated: other links and attempts land elsewhere.
+        assert_ne!(w, p.backoff_before_jittered(2, "portal", "twomass"));
+        assert_ne!(w, p.backoff_before_jittered(2, "sdss", "twomass"));
+        assert_ne!(w, p.backoff_before_jittered(3, "portal", "sdss"));
+        // jitter = 0 restores the pure exponential schedule.
+        let pure = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(pure.backoff_before_jittered(3, "a", "b"), nominal * 2.0);
     }
 }

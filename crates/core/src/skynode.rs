@@ -19,7 +19,6 @@
 //! database lock between chunks, so zone workers can process completed
 //! zones while later chunks are still in flight.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -37,11 +36,12 @@ use skyquery_xml::VoTable;
 use crate::engine::{default_engine, CrossMatchEngine, PartialIngest, StepKind};
 use crate::error::{FederationError, Result};
 use crate::exchange::ExchangeState;
+use crate::lease::LeaseTable;
 use crate::meta::{catalog_to_element, ArchiveInfo};
-use crate::plan::ExecutionPlan;
+use crate::plan::{ExecutionPlan, DEFAULT_LEASE_TTL_S};
 use crate::query_exec::{execute_local, LocalQueryResult};
 use crate::trace::StatsChain;
-use crate::transfer::{open_cross_match, zone_label, IncomingPartial};
+use crate::transfer::{open_checkpoint, open_cross_match, zone_label, IncomingPartial};
 use crate::xmatch::PartialSet;
 
 pub use crate::transfer::{invoke_cross_match, send_rpc};
@@ -109,7 +109,7 @@ const SERVICES: &[ServiceMethod] = &[
                 .output("chunk", "table")
                 .doc("Chunked-transfer continuation for oversized partial results")
         },
-        handler: |node, _net, call| node.handle_fetch_chunk(call),
+        handler: |node, net, call| node.handle_fetch_chunk(net, call),
     },
     ServiceMethod {
         name: "AbortTransfer",
@@ -120,6 +120,54 @@ const SERVICES: &[ServiceMethod] = &[
                 .doc("Free an open chunked transfer without serving its remaining chunks")
         },
         handler: |node, _net, call| node.handle_abort_transfer(call),
+    },
+    ServiceMethod {
+        name: "ExecuteStep",
+        operation: || {
+            Operation::new("ExecuteStep")
+                .input("plan", "xml")
+                .input("step", "long")
+                .input("checkpoint_url", "string")
+                .input("checkpoint_id", "long")
+                .output("checkpoint", "long")
+                .output("rows", "long")
+                .output("stats", "xml")
+                .doc("One portal-driven cross-match step; result retained as a leased checkpoint")
+        },
+        handler: |node, net, call| node.handle_execute_step(net, call),
+    },
+    ServiceMethod {
+        name: "FetchCheckpoint",
+        operation: || {
+            Operation::new("FetchCheckpoint")
+                .input("plan", "xml")
+                .input("checkpoint_id", "long")
+                .output("partial", "table")
+                .output("manifest", "xml")
+                .doc("Serve (and lease-renew) a checkpointed partial set")
+        },
+        handler: |node, net, call| node.handle_fetch_checkpoint(net, call),
+    },
+    ServiceMethod {
+        name: "ReleaseCheckpoint",
+        operation: || {
+            Operation::new("ReleaseCheckpoint")
+                .input("checkpoint_id", "long")
+                .output("released", "boolean")
+                .doc("Free a checkpointed partial set that is no longer needed")
+        },
+        handler: |node, net, call| node.handle_release_checkpoint(net, call),
+    },
+    ServiceMethod {
+        name: "RenewLease",
+        operation: || {
+            Operation::new("RenewLease")
+                .input("kind", "string")
+                .input("id", "long")
+                .output("renewed", "boolean")
+                .doc("Extend the TTL lease on a checkpoint, transfer, or staged transaction")
+        },
+        handler: |node, net, call| node.handle_renew_lease(net, call),
     },
     ServiceMethod {
         name: "PrepareReceive",
@@ -196,8 +244,11 @@ impl SkyNodeBuilder {
             info: self.info,
             host: host.clone(),
             db: Mutex::new(self.db),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(LeaseTable::new()),
             next_transfer: AtomicU64::new(1),
+            checkpoints: Mutex::new(LeaseTable::new()),
+            next_checkpoint: AtomicU64::new(1),
+            executed_steps: AtomicU64::new(0),
             exchange: Mutex::new(ExchangeState::new()),
             engine: self.engine,
         });
@@ -211,9 +262,19 @@ pub struct SkyNode {
     info: ArchiveInfo,
     host: String,
     db: Mutex<Database>,
-    /// Outgoing chunked transfers awaiting FetchChunk calls.
-    pending: Mutex<HashMap<u64, Vec<(ChunkHeader, VoTable)>>>,
+    /// Outgoing chunked transfers awaiting FetchChunk calls, leased.
+    pending: Mutex<LeaseTable<Vec<(ChunkHeader, VoTable)>>>,
     next_transfer: AtomicU64,
+    /// Checkpointed partial sets retained for portal-driven stepwise
+    /// execution, leased: the committed result of each `ExecuteStep`
+    /// stays here until the Portal releases it (or its lease lapses), so
+    /// a mid-chain failure can resume without re-running this step.
+    checkpoints: Mutex<LeaseTable<PartialSet>>,
+    next_checkpoint: AtomicU64,
+    /// Successful cross-match step executions (seed, match, or drop-out)
+    /// performed by this node — the no-re-execution witness for the
+    /// survivability tests.
+    executed_steps: AtomicU64,
     /// Two-phase-commit staging for the data-exchange extension.
     exchange: Mutex<ExchangeState>,
     /// Strategy executing the cross-match stored-procedure steps.
@@ -253,6 +314,52 @@ impl SkyNode {
         self.exchange.lock().pending()
     }
 
+    /// Checkpointed partial sets currently leased, sorted by id — a leak
+    /// detector for tests: after a query completes and releases its
+    /// checkpoints (or their leases lapse and a sweep runs), this should
+    /// be empty.
+    pub fn checkpoints(&self) -> Vec<u64> {
+        self.checkpoints.lock().ids()
+    }
+
+    /// Total node-side resources currently under lease: open chunked
+    /// transfers, checkpointed partial sets, and staged exchange
+    /// transactions.
+    pub fn active_leases(&self) -> usize {
+        self.pending.lock().len()
+            + self.checkpoints.lock().len()
+            + self.exchange.lock().pending().len()
+    }
+
+    /// How many cross-match steps this node has successfully executed
+    /// (via either the recursive `CrossMatch` chain or the stepwise
+    /// `ExecuteStep` service). Checkpoint resume must *not* grow this on
+    /// nodes whose steps already committed.
+    pub fn executed_steps(&self) -> u64 {
+        self.executed_steps.load(Ordering::Relaxed)
+    }
+
+    /// Janitor sweep: reclaims every lease that expired at or before the
+    /// network's current simulated time — orphaned chunked transfers,
+    /// checkpointed partial sets, and staged exchange transactions (whose
+    /// staging tables are dropped). Runs at the front of every request
+    /// this node serves, and tests call it directly after advancing the
+    /// clock. Returns how many resources were reclaimed; each is tallied
+    /// as a `lease-expired` node event in the network metrics.
+    pub fn sweep_leases(&self, net: &SimNetwork) -> usize {
+        let now = net.now_s();
+        let mut reclaimed = self.pending.lock().sweep(now).len();
+        reclaimed += self.checkpoints.lock().sweep(now).len();
+        reclaimed += {
+            let mut db = self.db.lock();
+            self.exchange.lock().sweep(&mut db, now).len()
+        };
+        for _ in 0..reclaimed {
+            net.record_node_event(&self.host, "lease-expired");
+        }
+        reclaimed
+    }
+
     /// Every SOAPAction method this node dispatches, in WSDL order.
     pub fn service_names() -> Vec<&'static str> {
         SERVICES.iter().map(|s| s.name).collect()
@@ -269,6 +376,9 @@ impl SkyNode {
     }
 
     fn handle_call(&self, net: &SimNetwork, call: RpcCall) -> Result<RpcResponse> {
+        // Janitor first: any request is an opportunity to reclaim leases
+        // that lapsed while the node sat idle.
+        self.sweep_leases(net);
         match SERVICES.iter().find(|s| s.name == call.method) {
             Some(service) => (service.handler)(self, net, &call),
             None => Err(FederationError::protocol(format!(
@@ -307,7 +417,7 @@ impl SkyNode {
         }
     }
 
-    fn handle_prepare_receive(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+    fn handle_prepare_receive(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
         let txn = require_u64(call, "txn")?;
         let dest_table = call
             .require("dest_table")?
@@ -325,10 +435,18 @@ impl SkyNode {
                 .ok_or_else(|| FederationError::protocol("rows must be a table"))?,
         )?;
         let mut db = self.db.lock();
-        let staged = self
-            .exchange
-            .lock()
-            .prepare(&mut db, txn, &dest_table, &schema, &rows)?;
+        // PrepareReceive predates plans and carries no TTL of its own;
+        // the default lease keeps an undecided stage reclaimable.
+        let staged = self.exchange.lock().prepare(
+            &mut db,
+            txn,
+            &dest_table,
+            &schema,
+            &rows,
+            net.now_s(),
+            DEFAULT_LEASE_TTL_S,
+        )?;
+        net.record_node_event(&self.host, "lease-granted");
         Ok(RpcResponse::new("PrepareReceive").result("staged", SoapValue::Int(staged as i64)))
     }
 
@@ -346,7 +464,10 @@ impl SkyNode {
         Ok(RpcResponse::new("AbortReceive").result("aborted", SoapValue::Bool(true)))
     }
 
-    fn handle_cross_match(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+    /// Decodes and validates the `plan`/`step` pair every cross-match
+    /// entry point carries: the step must exist and address this node
+    /// (autonomy check).
+    fn decode_plan_step(&self, call: &RpcCall) -> Result<(ExecutionPlan, usize)> {
         let plan_el = call
             .require("plan")?
             .as_xml()
@@ -363,7 +484,6 @@ impl SkyNode {
                 plan.steps.len()
             )));
         }
-        // Autonomy check: this call must be addressed to us.
         if !plan.steps[step]
             .archive
             .eq_ignore_ascii_case(&self.info.name)
@@ -373,7 +493,11 @@ impl SkyNode {
                 plan.steps[step].archive, self.info.name
             )));
         }
+        Ok((plan, step))
+    }
 
+    fn handle_cross_match(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let (plan, step) = self.decode_plan_step(call)?;
         let cfg = plan.step_config(step)?;
         let dropout = plan.steps[step].dropout;
 
@@ -414,9 +538,177 @@ impl SkyNode {
         if !residuals.is_empty() {
             set = crate::xmatch::apply_residuals(set, &residuals)?;
         }
+        self.executed_steps.fetch_add(1, Ordering::Relaxed);
         stats_chain.push(plan.steps[step].alias.clone(), stats);
 
-        self.encode_partial_response(&plan, set, stats_chain)
+        self.encode_set_response(net, &plan, "CrossMatch", set, Some(&stats_chain))
+    }
+
+    /// One portal-driven step of the checkpointed chain. Unlike
+    /// `CrossMatch`, the node does not call the next step itself: the
+    /// Portal supplies the input (the previous step's checkpoint, or
+    /// nothing for the seed), and the result is retained here as a fresh
+    /// leased checkpoint — only its id, row count, and statistics travel
+    /// back. A failure *later* in the chain can then resume from this
+    /// checkpoint without re-running the step.
+    fn handle_execute_step(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let (plan, step) = self.decode_plan_step(call)?;
+        let cfg = plan.step_config(step)?;
+        let dropout = plan.steps[step].dropout;
+
+        let input = match call.get("checkpoint_id") {
+            Some(v) => {
+                let id = v.as_i64().filter(|v| *v >= 0).ok_or_else(|| {
+                    FederationError::protocol("checkpoint_id must be a non-negative integer")
+                })? as u64;
+                let url_str = call
+                    .require("checkpoint_url")?
+                    .as_str()
+                    .ok_or_else(|| FederationError::protocol("checkpoint_url must be a string"))?;
+                Some((Url::parse(url_str).map_err(FederationError::Net)?, id))
+            }
+            None => None,
+        };
+
+        let (mut set, stats) = match input {
+            None => {
+                if dropout {
+                    return Err(FederationError::protocol(
+                        "a drop-out archive cannot be the seed of the chain",
+                    ));
+                }
+                let mut db = self.db.lock();
+                self.engine.seed(&mut db, &cfg)?
+            }
+            Some((cp_url, cp_id)) => {
+                let kind = if dropout {
+                    StepKind::Dropout
+                } else {
+                    StepKind::Match
+                };
+                if cp_url.host == self.host {
+                    // The previous step ran here too: read the checkpoint
+                    // locally (renewing its lease) instead of fetching it
+                    // over the wire from ourselves.
+                    let inc = {
+                        let mut cps = self.checkpoints.lock();
+                        cps.renew(cp_id, net.now_s());
+                        cps.get(cp_id)
+                            .cloned()
+                            .ok_or_else(|| FederationError::LeaseExpired {
+                                kind: "checkpoint".into(),
+                                id: cp_id,
+                                host: self.host.clone(),
+                            })?
+                    };
+                    net.record_node_event(&self.host, "lease-renewed");
+                    let mut db = self.db.lock();
+                    match kind {
+                        StepKind::Match => self.engine.match_tuples(&mut db, &cfg, &inc)?,
+                        StepKind::Dropout => self.engine.dropout(&mut db, &cfg, &inc)?,
+                    }
+                } else {
+                    match open_checkpoint(net, &self.host, &cp_url, &plan, cp_id)? {
+                        IncomingPartial::Inline(inc) => {
+                            let mut db = self.db.lock();
+                            match kind {
+                                StepKind::Match => self.engine.match_tuples(&mut db, &cfg, &inc)?,
+                                StepKind::Dropout => self.engine.dropout(&mut db, &cfg, &inc)?,
+                            }
+                        }
+                        IncomingPartial::Chunked(stream) => {
+                            self.ingest_chunked(stream, &cfg, kind)?
+                        }
+                    }
+                }
+            }
+        };
+
+        let residuals = plan.residuals(step)?;
+        if !residuals.is_empty() {
+            set = crate::xmatch::apply_residuals(set, &residuals)?;
+        }
+        self.executed_steps.fetch_add(1, Ordering::Relaxed);
+
+        let rows = set.tuples.len();
+        let cp_id = self.next_checkpoint.fetch_add(1, Ordering::Relaxed);
+        self.checkpoints
+            .lock()
+            .insert(cp_id, set, net.now_s(), plan.lease_ttl_s);
+        net.record_node_event(&self.host, "lease-granted");
+        let mut chain = StatsChain::new();
+        chain.push(plan.steps[step].alias.clone(), stats);
+        Ok(RpcResponse::new("ExecuteStep")
+            .result("checkpoint", SoapValue::Int(cp_id as i64))
+            .result("rows", SoapValue::Int(rows as i64))
+            .result("stats", SoapValue::Xml(chain.to_element())))
+    }
+
+    /// Serves a checkpointed partial set (inline or chunked under the
+    /// plan's message limit), renewing its lease — fetching is also
+    /// keeping-alive. A stale id answers a deterministic
+    /// [`FederationError::LeaseExpired`] fault: the checkpoint will not
+    /// come back, so the caller must re-plan rather than retry.
+    fn handle_fetch_checkpoint(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let plan_el = call
+            .require("plan")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("plan must be xml"))?;
+        let plan = ExecutionPlan::from_element(plan_el)?;
+        let id = require_u64(call, "checkpoint_id")?;
+        let set = {
+            let mut cps = self.checkpoints.lock();
+            if !cps.renew(id, net.now_s()) {
+                return Err(FederationError::LeaseExpired {
+                    kind: "checkpoint".into(),
+                    id,
+                    host: self.host.clone(),
+                });
+            }
+            cps.get(id).cloned().expect("renewed above")
+        };
+        net.record_node_event(&self.host, "lease-renewed");
+        self.encode_set_response(net, &plan, "FetchCheckpoint", set, None)
+    }
+
+    /// Frees a checkpointed partial set. Idempotent: an unknown id
+    /// (already released, or reclaimed by the janitor) answers
+    /// `released = false` rather than faulting, so best-effort cleanup
+    /// never cascades.
+    fn handle_release_checkpoint(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let id = require_u64(call, "checkpoint_id")?;
+        let released = self.checkpoints.lock().remove(id).is_some();
+        if released {
+            net.record_node_event(&self.host, "checkpoint-released");
+        }
+        Ok(RpcResponse::new("ReleaseCheckpoint").result("released", SoapValue::Bool(released)))
+    }
+
+    /// Extends the lease on one of this node's resources. Idempotent: an
+    /// unknown id answers `renewed = false`, telling the caller the
+    /// resource is gone for good.
+    fn handle_renew_lease(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let kind = call
+            .require("kind")?
+            .as_str()
+            .ok_or_else(|| FederationError::protocol("kind must be a string"))?
+            .to_string();
+        let id = require_u64(call, "id")?;
+        let now = net.now_s();
+        let renewed = match kind.as_str() {
+            "checkpoint" => self.checkpoints.lock().renew(id, now),
+            "transfer" => self.pending.lock().renew(id, now),
+            "txn" => self.exchange.lock().renew(id, now),
+            other => {
+                return Err(FederationError::protocol(format!(
+                    "unknown lease kind {other} (expected checkpoint, transfer, or txn)"
+                )))
+            }
+        };
+        if renewed {
+            net.record_node_event(&self.host, "lease-renewed");
+        }
+        Ok(RpcResponse::new("RenewLease").result("renewed", SoapValue::Bool(renewed)))
     }
 
     /// Feeds a chunked upstream reply to the engine's incremental ingest
@@ -463,22 +755,29 @@ impl SkyNode {
         session.finish(&mut self.db.lock())
     }
 
-    /// Encodes a partial set, chunking when the monolithic response would
-    /// exceed the plan's message limit. Chunked replies return a typed
-    /// [`ChunkManifest`]; with the plan's `zone_chunking` knob on, chunks
-    /// are split on declination-zone boundaries and carry the `__seq`
-    /// sequence column so the receiver can pipeline zone processing.
-    fn encode_partial_response(
+    /// Encodes a partial set under `method`, chunking when the monolithic
+    /// response would exceed the plan's message limit. Chunked replies
+    /// return a typed [`ChunkManifest`] and lease the sender-side session
+    /// under the plan's TTL; with the plan's `zone_chunking` knob on,
+    /// chunks are split on declination-zone boundaries and carry the
+    /// `__seq` sequence column so the receiver can pipeline zone
+    /// processing.
+    fn encode_set_response(
         &self,
+        net: &SimNetwork,
         plan: &ExecutionPlan,
+        method: &'static str,
         set: PartialSet,
-        stats_chain: StatsChain,
+        stats_chain: Option<&StatsChain>,
     ) -> Result<RpcResponse> {
         let limits = MessageLimits::tiny(plan.max_message_bytes);
         let table = set.to_votable();
-        let monolithic = RpcResponse::new("CrossMatch")
-            .result("partial", SoapValue::Table(table.clone()))
-            .result("stats", SoapValue::Xml(stats_chain.to_element()));
+        let with_stats = |resp: RpcResponse| match stats_chain {
+            Some(c) => resp.result("stats", SoapValue::Xml(c.to_element())),
+            None => resp,
+        };
+        let monolithic =
+            with_stats(RpcResponse::new(method).result("partial", SoapValue::Table(table.clone())));
         let encoded_len = monolithic.to_xml().len();
         if encoded_len <= plan.max_message_bytes {
             return Ok(monolithic);
@@ -520,13 +819,16 @@ impl SkyNode {
             let rows: Vec<usize> = chunks.iter().map(|(_, t)| t.row_count()).collect();
             (ChunkManifest::legacy(transfer_id, &rows), chunks)
         };
-        self.pending.lock().insert(transfer_id, chunks);
-        Ok(RpcResponse::new("CrossMatch")
-            .result("manifest", SoapValue::Xml(manifest.to_element()))
-            .result("stats", SoapValue::Xml(stats_chain.to_element())))
+        self.pending
+            .lock()
+            .insert(transfer_id, chunks, net.now_s(), plan.lease_ttl_s);
+        net.record_node_event(&self.host, "lease-granted");
+        Ok(with_stats(
+            RpcResponse::new(method).result("manifest", SoapValue::Xml(manifest.to_element())),
+        ))
     }
 
-    fn handle_fetch_chunk(&self, call: &RpcCall) -> Result<RpcResponse> {
+    fn handle_fetch_chunk(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
         let transfer_id = require_u64(call, "transfer_id")?;
         let index = call
             .require("index")?
@@ -534,16 +836,23 @@ impl SkyNode {
             .ok_or_else(|| FederationError::protocol("index must be an integer"))?
             as usize;
         let mut pending = self.pending.lock();
+        // Each continuation renews the session's lease: a live receiver
+        // never loses a transfer mid-stream, however slowly it pulls.
+        pending.renew(transfer_id, net.now_s());
         let chunks = pending
-            .get(&transfer_id)
-            .ok_or_else(|| FederationError::protocol(format!("unknown transfer {transfer_id}")))?;
+            .get(transfer_id)
+            .ok_or_else(|| FederationError::LeaseExpired {
+                kind: "transfer".into(),
+                id: transfer_id,
+                host: self.host.clone(),
+            })?;
         let (header, table) = chunks
             .get(index)
             .cloned()
             .ok_or_else(|| FederationError::protocol(format!("no chunk {index}")))?;
         // Free the transfer once the last chunk has been served.
         if index + 1 == header.total {
-            pending.remove(&transfer_id);
+            pending.remove(transfer_id);
         }
         Ok(RpcResponse::new("FetchChunk")
             .result("chunk", SoapValue::Table(table))
@@ -558,7 +867,7 @@ impl SkyNode {
     /// rather than faulting, so best-effort cleanup never cascades.
     fn handle_abort_transfer(&self, call: &RpcCall) -> Result<RpcResponse> {
         let transfer_id = require_u64(call, "transfer_id")?;
-        let freed = self.pending.lock().remove(&transfer_id).is_some();
+        let freed = self.pending.lock().remove(transfer_id).is_some();
         Ok(RpcResponse::new("AbortTransfer").result("aborted", SoapValue::Bool(freed)))
     }
 
@@ -566,9 +875,7 @@ impl SkyNode {
     /// a leak detector for tests: after every client has drained or
     /// aborted, this should be empty.
     pub fn open_transfers(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.pending.lock().keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.pending.lock().ids()
     }
 }
 

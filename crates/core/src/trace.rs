@@ -109,6 +109,20 @@ impl ExecutionTrace {
         self.events.iter().map(|e| e.elapsed).sum()
     }
 
+    /// Whether any event carries this action label. The survivability
+    /// path records its decisions as `replan` / `resume` / `degraded`
+    /// events, and a `degraded` event is the flag that a drop-out archive
+    /// was skipped — callers check it before trusting result
+    /// completeness.
+    pub fn contains_action(&self, action: &str) -> bool {
+        self.events.iter().any(|e| e.action == action)
+    }
+
+    /// All events carrying this action label, in order.
+    pub fn events_with_action(&self, action: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.action == action).collect()
+    }
+
     /// Renders the trace as numbered lines (the Figure-3 view).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -227,6 +241,9 @@ mod tests {
         let text = t.render();
         assert!(text.contains("Step  1"));
         assert!(text.contains("Portal"));
+        assert!(t.contains_action("decompose"));
+        assert!(!t.contains_action("degraded"));
+        assert_eq!(t.events_with_action("submit").len(), 1);
     }
 
     #[test]

@@ -270,6 +270,20 @@ pub fn open_cross_match<'a>(
             .as_xml()
             .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
     )?;
+    let incoming = decode_partial(net, from_host, url, plan, &resp)?;
+    Ok((incoming, stats))
+}
+
+/// Decodes a manifest-or-inline partial-set response (the shared shape of
+/// `CrossMatch` and `FetchCheckpoint` replies): a `manifest` result opens
+/// a [`ChunkStream`], a `partial` result decodes inline.
+fn decode_partial<'a>(
+    net: &'a SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    resp: &RpcResponse,
+) -> Result<IncomingPartial<'a>> {
     if let Some(value) = resp.get("manifest") {
         let manifest_el = value
             .as_xml()
@@ -284,16 +298,70 @@ pub fn open_cross_match<'a>(
             retry: plan.retry,
             closed: false,
         };
-        return Ok((IncomingPartial::Chunked(stream), stats));
+        return Ok(IncomingPartial::Chunked(stream));
     }
     let table = resp
         .require("partial")?
         .as_table()
         .ok_or_else(|| FederationError::protocol("partial must be a table"))?;
-    Ok((
-        IncomingPartial::Inline(PartialSet::from_votable(table)?),
-        stats,
-    ))
+    Ok(IncomingPartial::Inline(PartialSet::from_votable(table)?))
+}
+
+/// Calls the `FetchCheckpoint` service at `url` for a checkpointed
+/// partial set and opens the reply without draining it. The holder
+/// renews the checkpoint's lease as a side effect, so fetching is also
+/// keeping-alive. The plan supplies the retry policy and the message
+/// limits the holder chunks against.
+pub fn open_checkpoint<'a>(
+    net: &'a SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    checkpoint_id: u64,
+) -> Result<IncomingPartial<'a>> {
+    let call = RpcCall::new("FetchCheckpoint")
+        .param("plan", SoapValue::Xml(plan.to_element()))
+        .param("checkpoint_id", SoapValue::Int(checkpoint_id as i64));
+    let resp = send_rpc_with(net, from_host, url, &call, plan.retry)?;
+    decode_partial(net, from_host, url, plan, &resp)
+}
+
+/// Asks the node at `url` to extend the lease on one of its resources
+/// (`kind` is `checkpoint`, `transfer`, or `txn`). Returns whether the
+/// resource was still leased — `false` means it is gone for good and the
+/// caller must redo the work that created it.
+pub fn renew_lease(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    kind: &str,
+    id: u64,
+    retry: RetryPolicy,
+) -> Result<bool> {
+    let call = RpcCall::new("RenewLease")
+        .param("kind", SoapValue::Str(kind.to_string()))
+        .param("id", SoapValue::Int(id as i64));
+    let resp = send_rpc_with(net, from_host, url, &call, retry)?;
+    resp.require("renewed")?
+        .as_bool()
+        .ok_or_else(|| FederationError::protocol("renewed must be a boolean"))
+}
+
+/// Asks the node at `url` to release a checkpointed partial set.
+/// Idempotent at the node (an already-released id answers `false`), so
+/// callers can fire it best-effort after every committed step.
+pub fn release_checkpoint(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    id: u64,
+    retry: RetryPolicy,
+) -> Result<bool> {
+    let call = RpcCall::new("ReleaseCheckpoint").param("checkpoint_id", SoapValue::Int(id as i64));
+    let resp = send_rpc_with(net, from_host, url, &call, retry)?;
+    resp.require("released")?
+        .as_bool()
+        .ok_or_else(|| FederationError::protocol("released must be a boolean"))
 }
 
 /// Client side of the Cross match service: sends the call, drains any
@@ -331,7 +399,10 @@ pub fn send_rpc(
 /// up to the policy's attempt budget, waiting exponentially longer in
 /// *simulated* time before each retry (recorded on the caller→callee link
 /// via `SimNetwork::record_retry`; nothing sleeps) and stopping early if
-/// the next wait would cross the policy's deadline. Fatal errors pass
+/// the next wait would cross the policy's deadline. Each wait is spread
+/// by the policy's deterministic decorrelated jitter
+/// ([`RetryPolicy::backoff_before_jittered`]) so callers that failed
+/// together do not hammer a recovering node in lockstep. Fatal errors pass
 /// through unchanged on whichever attempt they occur. When the budget is
 /// exhausted after actual retries, the last failure is wrapped in
 /// [`FederationError::NodeUnhealthy`] so the caller can degrade
@@ -348,7 +419,7 @@ pub fn send_rpc_with(
     let mut last_err: Option<FederationError> = None;
     for attempt in 1..=policy.attempts() {
         if attempt > 1 {
-            let backoff = policy.backoff_before(attempt);
+            let backoff = policy.backoff_before_jittered(attempt, from_host, &url.host);
             if waited + backoff > policy.deadline_s {
                 break;
             }

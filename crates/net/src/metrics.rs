@@ -103,6 +103,10 @@ pub struct NetworkMetrics {
     // BTreeMap: fault tallies are read far more often than written and
     // reports want them sorted.
     faults: BTreeMap<(String, String, String), u64>,
+    // Survivability events that happen *at* a host rather than on a link:
+    // lease grants/renewals/expiries, checkpoint releases, portal
+    // replan/resume/degrade decisions. Sorted for deterministic reports.
+    node_events: BTreeMap<(String, String), u64>,
 }
 
 impl NetworkMetrics {
@@ -216,6 +220,41 @@ impl NetworkMetrics {
         self.faults.values().sum()
     }
 
+    /// Tallies one survivability event of `kind` observed at `host` (a
+    /// lease grant/renewal/expiry, a checkpoint release, or a portal
+    /// replan/resume/degrade decision).
+    pub fn record_node_event(&mut self, host: &str, kind: &str) {
+        *self
+            .node_events
+            .entry((host.to_string(), kind.to_string()))
+            .or_default() += 1;
+    }
+
+    /// Count of one node-event kind at one host.
+    pub fn node_event_count(&self, host: &str, kind: &str) -> u64 {
+        self.node_events
+            .get(&(host.to_string(), kind.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total count of one node-event kind across all hosts.
+    pub fn node_event_total(&self, kind: &str) -> u64 {
+        self.node_events
+            .iter()
+            .filter(|((_, k), _)| k == kind)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// All node-event tallies as `((host, kind), count)`, sorted.
+    pub fn node_events(&self) -> Vec<((String, String), u64)> {
+        self.node_events
+            .iter()
+            .map(|(k, n)| (k.clone(), *n))
+            .collect()
+    }
+
     /// Adds injected latency (a fault-plan delay, not transfer time) to
     /// the link's and the total simulated clock.
     pub fn record_injected_latency(&mut self, from: &str, to: &str, seconds: f64) {
@@ -255,6 +294,7 @@ impl NetworkMetrics {
         self.retries.clear();
         self.retry_total = RetryStats::default();
         self.faults.clear();
+        self.node_events.clear();
     }
 }
 
@@ -337,6 +377,24 @@ mod tests {
         assert_eq!(m.retry_total(), RetryStats::default());
         assert_eq!(m.fault_total(), 0);
         assert!(m.faults().is_empty());
+    }
+
+    #[test]
+    fn node_event_accounting() {
+        let mut m = NetworkMetrics::new();
+        m.record_node_event("sdss", "lease-granted");
+        m.record_node_event("sdss", "lease-granted");
+        m.record_node_event("sdss", "lease-expired");
+        m.record_node_event("twomass", "lease-granted");
+        assert_eq!(m.node_event_count("sdss", "lease-granted"), 2);
+        assert_eq!(m.node_event_count("sdss", "replan"), 0);
+        assert_eq!(m.node_event_total("lease-granted"), 3);
+        assert_eq!(m.node_events().len(), 3);
+        // Sorted by (host, kind).
+        assert_eq!(m.node_events()[0].0 .0, "sdss");
+        m.reset();
+        assert_eq!(m.node_event_total("lease-granted"), 0);
+        assert!(m.node_events().is_empty());
     }
 
     #[test]

@@ -203,6 +203,30 @@ impl SimNetwork {
             .record_chunk(from, to, bytes, rows);
     }
 
+    /// Tallies a survivability event at `host` (lease grant/renewal/
+    /// expiry, checkpoint release, portal replan/resume/degrade) — see
+    /// [`NetworkMetrics::record_node_event`].
+    pub fn record_node_event(&self, host: &str, kind: &str) {
+        self.inner.metrics.lock().record_node_event(host, kind);
+    }
+
+    /// The current simulated time in seconds: the total simulated seconds
+    /// accumulated across all links (transfer time, injected latency, and
+    /// retry backoff). Leases are charged against this clock.
+    pub fn now_s(&self) -> f64 {
+        self.inner.metrics.lock().total().sim_seconds
+    }
+
+    /// Advances the simulated clock by `seconds` without moving any
+    /// bytes (experiments and tests use this to age leases past their
+    /// TTL). Accounted as injected latency on a synthetic `clock` link.
+    pub fn advance_clock(&self, seconds: f64) {
+        self.inner
+            .metrics
+            .lock()
+            .record_injected_latency("clock", "clock", seconds);
+    }
+
     /// Snapshot of the accumulated metrics.
     pub fn metrics(&self) -> NetworkMetrics {
         self.inner.metrics.lock().clone()

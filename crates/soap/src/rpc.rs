@@ -118,6 +118,14 @@ impl SoapValue {
         }
     }
 
+    /// Boolean view (`None` on type mismatch).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            SoapValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Table view (`None` on type mismatch).
     pub fn as_table(&self) -> Option<&VoTable> {
         match self {

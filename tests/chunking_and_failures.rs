@@ -117,6 +117,7 @@ fn open_seed_transfer(fed: &TestFederation) -> ChunkManifest {
         zone_chunking: true,
         kernel: Default::default(),
         retry: Default::default(),
+        lease_ttl_s: skyquery_core::plan::DEFAULT_LEASE_TTL_S,
     };
     let resp = send_rpc(
         &fed.net,
@@ -173,7 +174,7 @@ fn out_of_order_fetch_frees_transfer_after_last_chunk() {
     // that jumps to the end loses the rest.
     fetch_chunk(&fed, manifest.transfer_id, last).expect("last chunk serves");
     let err = fetch_chunk(&fed, manifest.transfer_id, 0).unwrap_err();
-    assert!(err.to_string().contains("unknown transfer"), "{err}");
+    assert!(err.to_string().contains("is not leased"), "{err}");
 }
 
 #[test]
@@ -186,14 +187,14 @@ fn transfer_freed_after_ordered_drain() {
     }
     // The node frees the transfer with the last chunk; re-fetching faults.
     let err = fetch_chunk(&fed, manifest.transfer_id, 0).unwrap_err();
-    assert!(err.to_string().contains("unknown transfer"), "{err}");
+    assert!(err.to_string().contains("is not leased"), "{err}");
 }
 
 #[test]
 fn fetch_chunk_for_unknown_transfer_faults() {
     let fed = FederationBuilder::paper_triple(100).build();
     let err = fetch_chunk(&fed, 424242, 0).unwrap_err();
-    assert!(err.to_string().contains("unknown transfer"), "{err}");
+    assert!(err.to_string().contains("is not leased"), "{err}");
 }
 
 #[test]

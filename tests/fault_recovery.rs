@@ -393,6 +393,7 @@ fn tiny_budget_plan(fed: &TestFederation) -> ExecutionPlan {
         zone_chunking: true,
         kernel: Default::default(),
         retry: Default::default(),
+        lease_ttl_s: skyquery_core::plan::DEFAULT_LEASE_TTL_S,
     }
 }
 

@@ -36,6 +36,7 @@ fn malicious_long_plan_overflows_stack() {
         zone_chunking: true,
         kernel: Default::default(),
         retry: Default::default(),
+        lease_ttl_s: skyquery_core::plan::DEFAULT_LEASE_TTL_S,
     };
     let res = send_rpc(
         &fed.net,

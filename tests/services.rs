@@ -196,6 +196,7 @@ fn cross_match_call_with_bad_step_faults() {
         zone_chunking: true,
         kernel: Default::default(),
         retry: Default::default(),
+        lease_ttl_s: skyquery_core::plan::DEFAULT_LEASE_TTL_S,
     };
     let err = send_rpc(
         &fed.net,
