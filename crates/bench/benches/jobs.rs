@@ -1,0 +1,123 @@
+//! Experiment E13 — queue throughput and wait latency for the
+//! multi-tenant job service.
+//!
+//! Table: jobs/sec drained and p50/p95 queue wait (simulated seconds)
+//! over a fixed 128-job backlog as the tenant population grows from 1
+//! to 64 — the fair scheduler's bookkeeping must stay cheap and waits
+//! must stay bounded as the tenant table widens. Criterion times one
+//! submit → drain cycle.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skyquery_bench::triple_federation;
+use skyquery_jobs::{JobClient, JobService, JobServiceConfig, QuotaClass};
+use skyquery_sim::TestFederation;
+use std::sync::Arc;
+
+const BACKLOG: usize = 128;
+
+/// Cheap two-archive queries so the bench measures the queue, not the
+/// cross-match kernel.
+const QUERIES: [&str; 2] = [
+    "SELECT O.object_id, T.object_id \
+     FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T \
+     WHERE XMATCH(O, T) < 3.0 \
+     ORDER BY O.object_id, T.object_id",
+    "SELECT T.object_id, P.object_id \
+     FROM TWOMASS:Photo_Primary T, FIRST:Primary_Object P \
+     WHERE XMATCH(T, P) < 3.0 \
+     ORDER BY T.object_id, P.object_id",
+];
+
+fn classes() -> [QuotaClass; 3] {
+    [QuotaClass::Free, QuotaClass::Standard, QuotaClass::Premium]
+}
+
+fn service_for(fed: &TestFederation) -> Arc<JobService> {
+    JobService::start(
+        &fed.net,
+        "jobs.skyquery.net",
+        fed.portal.clone(),
+        JobServiceConfig {
+            max_running: 4,
+            tenant_max_running: 2,
+            // The backlog must fit whole, even when one tenant owns it.
+            tenant_max_queued: BACKLOG,
+            max_queued: BACKLOG,
+            ..JobServiceConfig::default()
+        },
+    )
+}
+
+/// Submits the backlog round-robin across `tenants` tenants and drains
+/// it, advancing the simulated clock per quantum so waits accumulate.
+/// Returns (wall seconds, sorted per-job waits in simulated seconds).
+fn submit_and_drain(tenants: usize) -> (f64, Vec<f64>) {
+    let fed = triple_federation(150);
+    let svc = service_for(&fed);
+    let cli = JobClient::new(&fed.net, "bench-driver", svc.url());
+    let class_pool = classes();
+
+    let started = Instant::now();
+    let mut ids = Vec::with_capacity(BACKLOG);
+    for i in 0..BACKLOG {
+        let tenant = format!("tenant-{}", i % tenants);
+        let class = class_pool[(i % tenants) % class_pool.len()];
+        let (id, _) = cli
+            .submit_with(&tenant, QUERIES[i % QUERIES.len()], 0, class, None)
+            .expect("backlog fits the queue bounds");
+        ids.push(id);
+    }
+    while svc.pump() {
+        fed.net.advance_clock(0.1);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut waits: Vec<f64> = ids
+        .iter()
+        .map(|&id| cli.poll(id).expect("record lease lives").wait_s)
+        .collect();
+    waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (wall_s, waits)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn print_table() {
+    println!("\n=== E13: job-queue throughput vs tenant population ({BACKLOG} jobs) ===");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>14}",
+        "tenants", "jobs/sec", "p50 wait (s)", "p95 wait (s)", "max wait (s)"
+    );
+    for tenants in [1usize, 8, 64] {
+        let (wall_s, waits) = submit_and_drain(tenants);
+        println!(
+            "{:<10} {:>10.0} {:>14.1} {:>14.1} {:>14.1}",
+            tenants,
+            BACKLOG as f64 / wall_s,
+            percentile(&waits, 0.50),
+            percentile(&waits, 0.95),
+            waits.last().copied().unwrap_or(0.0),
+        );
+    }
+    println!("(waits are simulated seconds — 0.1 s per scheduler quantum)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e13_job_queue");
+    group.sample_size(10);
+    for tenants in [1usize, 8, 64] {
+        group.bench_function(format!("submit_drain_{tenants}_tenants"), |b| {
+            b.iter(|| submit_and_drain(tenants))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

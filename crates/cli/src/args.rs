@@ -24,6 +24,9 @@ pub struct Options {
     /// How the Portal drives the chain: the recursive daisy chain, or
     /// checkpointed execution with failover re-planning.
     pub chain_mode: skyquery_core::ChainMode,
+    /// Start the asynchronous job service alongside the Portal (the REPL
+    /// starts it lazily on first `\submit` either way; this pre-arms it).
+    pub jobs: bool,
 }
 
 impl Default for Options {
@@ -38,6 +41,7 @@ impl Default for Options {
             retries: skyquery_core::RetryPolicy::default().max_attempts,
             retry_backoff_s: skyquery_core::RetryPolicy::default().backoff_base_s,
             chain_mode: skyquery_core::ChainMode::default(),
+            jobs: false,
         }
     }
 }
@@ -155,6 +159,7 @@ where
                 }
             }
             "--no-zone-chunking" => opts.zone_chunking = false,
+            "--jobs" => opts.jobs = true,
             "--help" | "-h" => return Command::Help(None),
             other if other.starts_with("--") => {
                 return Command::Help(Some(format!("unknown option {other}")))
@@ -202,6 +207,7 @@ OPTIONS:
     --retry-backoff <S> first retry backoff, simulated seconds     [default: 0.05]
     --chain <M>        chain driver: recursive | checkpointed      [default: recursive]
     --no-zone-chunking legacy byte-budget chunking for oversized transfers
+    --jobs             start the async job service (REPL: \\submit, \\jobs)
 "
 }
 
@@ -264,6 +270,11 @@ mod tests {
             Command::Demo(o) => assert!(!o.zone_chunking),
             other => panic!("{other:?}"),
         }
+        match parse_args(["repl", "--jobs"]) {
+            Command::Repl(o) => assert!(o.jobs),
+            other => panic!("{other:?}"),
+        }
+        assert!(!Options::default().jobs, "the job service is opt-in");
         // Options may precede the command.
         match parse_args(["--bodies", "10", "demo"]) {
             Command::Demo(o) => assert_eq!(o.bodies, 10),
@@ -338,6 +349,7 @@ mod tests {
             "--retry-backoff",
             "--chain",
             "--no-zone-chunking",
+            "--jobs",
         ] {
             assert!(usage().contains(word), "{word}");
         }

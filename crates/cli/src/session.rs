@@ -3,12 +3,20 @@
 //! tests can drive the whole session headlessly.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use skyquery_core::{ChainMode, FederationConfig, HostState, OrderingStrategy};
+use skyquery_jobs::{JobClient, JobService, JobServiceConfig};
 use skyquery_net::FaultPlan;
 use skyquery_sim::{CatalogParams, FederationBuilder, TestFederation};
 
 use crate::args::Options;
+
+/// The session's job service plus the client it submits through.
+struct JobsHandle {
+    svc: Arc<JobService>,
+    cli: JobClient,
+}
 
 /// A live session: federation + display settings.
 pub struct Session {
@@ -18,6 +26,9 @@ pub struct Session {
     /// The accumulated fault plan; `\faults` commands extend it and
     /// re-arm the network with a fresh copy.
     faults: FaultPlan,
+    /// The async job service, started by `--jobs` or lazily on the first
+    /// `\submit`.
+    jobs: Option<JobsHandle>,
 }
 
 impl Session {
@@ -42,12 +53,32 @@ impl Session {
             .survey(skyquery_sim::SurveyParams::twomass_like())
             .survey(skyquery_sim::SurveyParams::first_like())
             .build();
-        Session {
+        let mut session = Session {
             fed,
             show_trace: false,
             max_rows: 20,
             faults: FaultPlan::new(),
+            jobs: None,
+        };
+        if opts.jobs {
+            session.ensure_jobs();
         }
+        session
+    }
+
+    /// Starts the job service on first use; answers the live handle.
+    fn ensure_jobs(&mut self) -> &JobsHandle {
+        if self.jobs.is_none() {
+            let svc = JobService::start(
+                &self.fed.net,
+                "jobs.skyquery.net",
+                self.fed.portal.clone(),
+                JobServiceConfig::default(),
+            );
+            let cli = JobClient::new(&self.fed.net, "repl-client", svc.url());
+            self.jobs = Some(JobsHandle { svc, cli });
+        }
+        self.jobs.as_ref().expect("just initialized")
     }
 
     /// Resolves an archive name (or raw host) to a network host.
@@ -90,15 +121,7 @@ impl Session {
                 if self.show_trace {
                     writeln!(out, "{}", trace.render())?;
                 }
-                let shown = result.row_count().min(self.max_rows);
-                let mut head = skyquery_core::ResultSet::new(result.columns.clone());
-                for row in result.rows.iter().take(shown) {
-                    head.push_row(row.clone()).expect("same columns");
-                }
-                write!(out, "{}", head.to_ascii())?;
-                if shown < result.row_count() {
-                    writeln!(out, "… ({} more rows)", result.row_count() - shown)?;
-                }
+                self.print_result(&result, out)?;
                 let m = self.fed.net.metrics().total();
                 writeln!(
                     out,
@@ -114,6 +137,24 @@ impl Session {
             }
         }
         Ok(true)
+    }
+
+    /// Renders a result table truncated to the session's row limit.
+    fn print_result(
+        &self,
+        result: &skyquery_core::ResultSet,
+        out: &mut dyn Write,
+    ) -> std::io::Result<()> {
+        let shown = result.row_count().min(self.max_rows);
+        let mut head = skyquery_core::ResultSet::new(result.columns.clone());
+        for row in result.rows.iter().take(shown) {
+            head.push_row(row.clone()).expect("same columns");
+        }
+        write!(out, "{}", head.to_ascii())?;
+        if shown < result.row_count() {
+            writeln!(out, "… ({} more rows)", result.row_count() - shown)?;
+        }
+        Ok(())
     }
 
     fn handle_meta(&mut self, meta: &str, out: &mut dyn Write) -> std::io::Result<bool> {
@@ -397,6 +438,102 @@ impl Session {
                     _ => writeln!(out, "usage: \\transfer <src> <dest> <table> <select sql>")?,
                 }
             }
+            Some("submit") => {
+                let sql: String = parts.collect::<Vec<_>>().join(" ");
+                if sql.trim().is_empty() {
+                    writeln!(out, "usage: \\submit <cross-match sql>")?;
+                } else {
+                    self.ensure_jobs();
+                    let h = self.jobs.as_ref().expect("ensured");
+                    match h.cli.submit("repl", &sql) {
+                        Ok(id) => writeln!(
+                            out,
+                            "job {id} queued — \\jobs to list, \\jobs run to drive, \
+                             \\jobs fetch {id} for rows"
+                        )?,
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+            }
+            Some("jobs") => {
+                let usage = "usage: \\jobs [run | fetch <id> | cancel <id>]";
+                self.ensure_jobs();
+                match parts.next() {
+                    None => {
+                        let h = self.jobs.as_ref().expect("ensured");
+                        let states = h.svc.job_states();
+                        if states.is_empty() {
+                            writeln!(out, "no jobs")?;
+                        }
+                        for (id, _) in &states {
+                            match h.svc.poll(*id) {
+                                Ok(st) => writeln!(
+                                    out,
+                                    "job {id:>4}  {:<10} wait {:>7.2}s  run {:>6.2}s{}{}",
+                                    st.state.to_string(),
+                                    st.wait_s,
+                                    st.run_s,
+                                    st.result_rows
+                                        .map(|r| format!("  {r} rows"))
+                                        .unwrap_or_default(),
+                                    st.error.map(|e| format!("  {e}")).unwrap_or_default()
+                                )?,
+                                Err(e) => writeln!(out, "job {id:>4}  {e}")?,
+                            }
+                        }
+                        writeln!(
+                            out,
+                            "{} queued · {} running",
+                            h.svc.queued().len(),
+                            h.svc.running().len()
+                        )?;
+                        let t = self.fed.net.metrics().job_total();
+                        writeln!(
+                            out,
+                            "totals: {} submitted, {} rejected, {} succeeded, {} failed, \
+                             {} cancelled, {} expired",
+                            t.submitted, t.rejected, t.succeeded, t.failed, t.cancelled, t.expired
+                        )?;
+                    }
+                    Some("run") => {
+                        let h = self.jobs.as_ref().expect("ensured");
+                        let quanta = h.svc.run_until_idle(1_000_000);
+                        writeln!(
+                            out,
+                            "drove {quanta} scheduler quanta; {} jobs still queued",
+                            h.svc.queued().len()
+                        )?;
+                    }
+                    Some("fetch") => match parts.next().and_then(|v| v.parse::<u64>().ok()) {
+                        Some(id) => {
+                            let fetched = self.jobs.as_ref().expect("ensured").cli.fetch(id);
+                            match fetched {
+                                Ok(result) => {
+                                    self.print_result(&result, out)?;
+                                    writeln!(out, "{} rows", result.row_count())?;
+                                }
+                                Err(e) => writeln!(out, "error: {e}")?,
+                            }
+                        }
+                        None => writeln!(out, "{usage}")?,
+                    },
+                    Some("cancel") => match parts.next().and_then(|v| v.parse::<u64>().ok()) {
+                        Some(id) => {
+                            let h = self.jobs.as_ref().expect("ensured");
+                            match h.cli.cancel(id) {
+                                Ok(true) => writeln!(out, "job {id} cancelled")?,
+                                Ok(false) => writeln!(
+                                    out,
+                                    "job {id} was already finished (held resources freed)"
+                                )?,
+                                Err(e) => writeln!(out, "error: {e}")?,
+                            }
+                        }
+                        None => writeln!(out, "{usage}")?,
+                    },
+                    Some(_) => writeln!(out, "{usage}")?,
+                }
+            }
             Some(other) => writeln!(out, "unknown meta-command \\{other} (try \\help)")?,
             None => {}
         }
@@ -423,6 +560,8 @@ pub fn meta_help() -> &'static str {
   \\chain recursive|checkpointed     chain driver (daisy chain vs survivable resume)
   \\health [probe]                   host health, leases, replan/resume counters
   \\transfer <src> <dst> <tbl> <sql> transactional table copy (2PC)
+  \\submit <sql>                     queue the query as an async job
+  \\jobs [run|fetch <id>|cancel <id>] list jobs / drive the queue / get results
   \\help                             this text
   \\quit                             leave"
 }
@@ -624,5 +763,48 @@ mod tests {
              TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5",
         );
         assert!(out.contains("cross match step"), "{out}");
+    }
+
+    #[test]
+    fn jobs_meta_commands() {
+        let mut s = session();
+        assert!(s.jobs.is_none(), "the job service starts lazily");
+        let (_, out) = drive(&mut s, "\\submit");
+        assert!(out.contains("usage: \\submit"), "{out}");
+        let (_, out) = drive(
+            &mut s,
+            "\\submit SELECT O.object_id, T.object_id FROM SDSS:Photo_Object O, \
+             TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 3.5 \
+             ORDER BY O.object_id, T.object_id",
+        );
+        assert!(out.contains("job 1 queued"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs");
+        assert!(out.contains("1 queued · 0 running"), "{out}");
+        assert!(out.contains("1 submitted"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs run");
+        assert!(out.contains("scheduler quanta"), "{out}");
+        assert!(out.contains("0 jobs still queued"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs");
+        assert!(out.contains("succeeded"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs fetch 1");
+        assert!(out.contains("O.object_id"), "{out}");
+        assert!(out.contains("rows"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs cancel 1");
+        assert!(out.contains("already finished"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs wat");
+        assert!(out.contains("usage: \\jobs"), "{out}");
+        let (_, out) = drive(&mut s, "\\jobs fetch");
+        assert!(out.contains("usage: \\jobs"), "{out}");
+    }
+
+    #[test]
+    fn jobs_flag_pre_arms_the_service() {
+        let s = Session::new(&Options {
+            bodies: 200,
+            seed: 5,
+            jobs: true,
+            ..Options::default()
+        });
+        assert!(s.jobs.is_some());
     }
 }

@@ -59,6 +59,19 @@ pub enum FederationError {
         /// The node that no longer holds it.
         host: String,
     },
+    /// The job service refused a submission: the tenant's queued-job
+    /// quota, its concurrent-chain quota, or the global queue bound is
+    /// exhausted. Deterministic from the caller's point of view — the
+    /// same submission against the same queue state is refused every
+    /// time — so it maps to a *client* SOAP fault and must never burn a
+    /// retry budget; the client should back off and resubmit later (or
+    /// drain its own queue first).
+    JobRejected {
+        /// The tenant whose submission was refused.
+        tenant: String,
+        /// Which limit was hit.
+        reason: String,
+    },
     /// A two-phase-commit commit failed *and* the follow-up abort also
     /// failed, so the participant may hold an orphaned staging table.
     AbortFailed {
@@ -96,6 +109,9 @@ impl FederationError {
             FederationError::Protocol { detail } => SoapFault::client(detail.clone()),
             // The caller presented a stale id: its fault, deterministically.
             e @ FederationError::LeaseExpired { .. } => SoapFault::client(e.to_string()),
+            // An admission-control refusal is the caller's problem too:
+            // retrying the identical submission cannot succeed.
+            e @ FederationError::JobRejected { .. } => SoapFault::client(e.to_string()),
             other => SoapFault::server(other.to_string()),
         }
     }
@@ -123,6 +139,7 @@ impl FederationError {
             | FederationError::Planning { .. }
             | FederationError::Protocol { .. }
             | FederationError::LeaseExpired { .. }
+            | FederationError::JobRejected { .. }
             | FederationError::AbortFailed { .. } => false,
         }
     }
@@ -186,6 +203,9 @@ impl std::fmt::Display for FederationError {
                     "{kind} {id} is not leased at {host} (expired or released)"
                 )
             }
+            FederationError::JobRejected { tenant, reason } => {
+                write!(f, "job submission for tenant {tenant} rejected: {reason}")
+            }
             FederationError::AbortFailed {
                 txn,
                 host,
@@ -231,6 +251,17 @@ mod tests {
         assert_eq!(lease.to_fault().code, "Client");
         assert!(!lease.is_retryable());
         assert!(lease.to_string().contains("checkpoint 9"));
+
+        // An admission refusal is a deterministic client fault too: the
+        // retry layer must never spend budget re-sending it.
+        let rejected = FederationError::JobRejected {
+            tenant: "alice".into(),
+            reason: "queue full (16 jobs queued)".into(),
+        };
+        assert_eq!(rejected.to_fault().code, "Client");
+        assert!(!rejected.is_retryable());
+        assert!(rejected.to_string().contains("alice"));
+        assert!(rejected.to_string().contains("queue full"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod query_exec;
 pub mod region;
 pub mod result;
 pub mod retry;
+pub mod service;
 pub mod skynode;
 pub mod trace;
 pub mod transfer;
@@ -48,13 +49,18 @@ pub use exchange::TransferReport;
 pub use lease::LeaseTable;
 pub use meta::{ArchiveInfo, RegisteredNode};
 pub use plan::{ExecutionPlan, PlanStep};
-pub use portal::{ChainMode, FederationConfig, HostHealth, HostState, OrderingStrategy, Portal};
+pub use portal::{
+    ChainMode, CheckpointedWalk, FederationConfig, HostHealth, HostState, OrderingStrategy, Portal,
+};
 pub use region::Region;
 pub use result::{ResultColumn, ResultSet};
 pub use retry::RetryPolicy;
+pub use service::ServiceMethod;
 pub use skynode::{SkyNode, SkyNodeBuilder};
 pub use trace::{ExecutionTrace, TraceEvent};
-pub use transfer::{send_rpc, send_rpc_with, ChunkStream, IncomingPartial, TransferChunk};
+pub use transfer::{
+    open_chunk_stream, send_rpc, send_rpc_with, ChunkStream, IncomingPartial, TransferChunk,
+};
 pub use xmatch::{
     MatchKernel, PartialSet, PartialTuple, StepConfig, StepContext, StepStats, TupleState,
 };

@@ -462,20 +462,13 @@ impl Portal {
         Ok(out)
     }
 
-    /// Submits a cross-match query; returns the result set and the
-    /// execution trace (the Figure-3 record).
-    pub fn submit(&self, sql: &str) -> Result<(ResultSet, ExecutionTrace)> {
-        let mut trace = ExecutionTrace::new();
-        trace.push("Client", "submit", format!("query: {sql}"));
-        // Retries and injected faults anywhere in the submission —
-        // performance queries or the daisy chain — show up as metric
-        // deltas; surface them in the trace so recovery is visible.
-        let before = self.net.metrics();
-        let (retries_before, backoff_before, faults_before) = (
-            before.retry_total().retries,
-            before.retry_total().backoff_seconds,
-            before.fault_total(),
-        );
+    /// Plans a query without firing the chain: parse, decompose, run the
+    /// count-star performance queries (steps 2–4 of Figure 3), and build
+    /// the federated execution plan (step 5), recording the same trace
+    /// events a full submission would. The job service plans here once at
+    /// admission, then drives [`Portal::execute_plan`] (or a stepwise
+    /// [`CheckpointedWalk`]) separately.
+    pub fn plan_query(&self, sql: &str, trace: &mut ExecutionTrace) -> Result<ExecutionPlan> {
         let query = parse_query(sql).map_err(FederationError::Sql)?;
         let dq = decompose(query).map_err(FederationError::Sql)?;
 
@@ -491,7 +484,7 @@ impl Portal {
         );
 
         // Steps 3–4: run performance queries against the Query services.
-        let counts = self.run_performance_queries(&dq, &mut trace)?;
+        let counts = self.run_performance_queries(&dq, trace)?;
 
         // Step 5: build the plan.
         let plan = self.build_plan(&dq, &counts)?;
@@ -516,22 +509,53 @@ impl Portal {
                     .join(" -> ")
             ),
         );
+        Ok(plan)
+    }
 
-        // Steps 6–7: fire the chain — the paper's recursive daisy chain,
-        // or the portal-driven checkpointed walk (per-step health
-        // book-keeping happens inside the walk).
-        let chain_mode = self.config().chain_mode;
-        let chain = match chain_mode {
+    /// Fires the chain for a prepared plan (steps 6–7 of Figure 3) under
+    /// the configured chain mode — the paper's recursive daisy chain, or
+    /// the portal-driven checkpointed walk (per-step health book-keeping
+    /// happens inside the walk).
+    pub fn execute_plan(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &mut ExecutionTrace,
+    ) -> Result<(PartialSet, StatsChain)> {
+        match self.config().chain_mode {
             ChainMode::Recursive => {
-                let r = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, &plan, 0);
+                let r = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, plan, 0);
                 self.note_health(&r);
                 if r.is_ok() {
                     self.note_healthy(&plan.steps[0].url.host);
                 }
                 r
             }
-            ChainMode::Checkpointed => self.run_checkpointed_chain(&plan, &mut trace),
-        };
+            ChainMode::Checkpointed => self.run_checkpointed_chain(plan, trace),
+        }
+    }
+
+    /// Applies the plan's final ORDER BY / LIMIT / SELECT projection
+    /// (step 8 of Figure 3) to a matched partial set.
+    pub fn project_result(plan: &ExecutionPlan, set: PartialSet) -> Result<ResultSet> {
+        project(plan, set)
+    }
+
+    /// Submits a cross-match query; returns the result set and the
+    /// execution trace (the Figure-3 record).
+    pub fn submit(&self, sql: &str) -> Result<(ResultSet, ExecutionTrace)> {
+        let mut trace = ExecutionTrace::new();
+        trace.push("Client", "submit", format!("query: {sql}"));
+        // Retries and injected faults anywhere in the submission —
+        // performance queries or the daisy chain — show up as metric
+        // deltas; surface them in the trace so recovery is visible.
+        let before = self.net.metrics();
+        let (retries_before, backoff_before, faults_before) = (
+            before.retry_total().retries,
+            before.retry_total().backoff_seconds,
+            before.fault_total(),
+        );
+        let plan = self.plan_query(sql, &mut trace)?;
+        let chain = self.execute_plan(&plan, &mut trace);
         let after = self.net.metrics();
         let (retries, backoff, faults) = (
             after.retry_total().retries - retries_before,
@@ -589,155 +613,16 @@ impl Portal {
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
     ) -> Result<(PartialSet, StatsChain)> {
-        let mut remaining: Vec<PlanStep> = plan.steps.clone();
-        let mut executed: Vec<String> = Vec::new();
-        let mut deferrals: HashMap<String, u64> = HashMap::new();
-        let mut checkpoint: Option<(Url, u64)> = None;
-        let mut stats = StatsChain::new();
-        let mut recovering = false;
-
-        while !remaining.is_empty() {
-            // The plan list keeps drop-outs at the head; execution walks
-            // from the tail (the seed) toward the head.
-            let idx = remaining.len() - 1;
-            let step = remaining[idx].clone();
-            let mut sub_plan = plan.clone();
-            sub_plan.steps = remaining.clone();
-            let mut call = RpcCall::new("ExecuteStep")
-                .param("plan", SoapValue::Xml(sub_plan.to_element()))
-                .param("step", SoapValue::Int(idx as i64));
-            if let Some((cp_url, cp_id)) = &checkpoint {
-                call = call
-                    .param("checkpoint_url", SoapValue::Str(cp_url.to_string()))
-                    .param("checkpoint_id", SoapValue::Int(*cp_id as i64));
-            }
-            match send_rpc_with(&self.net, &self.host, &step.url, &call, plan.retry) {
-                Ok(resp) => {
-                    let cp_id = resp
-                        .require("checkpoint")?
-                        .as_i64()
-                        .filter(|v| *v >= 0)
-                        .ok_or_else(|| {
-                            FederationError::protocol("checkpoint must be a non-negative integer")
-                        })? as u64;
-                    let rows = resp.require("rows")?.as_i64().unwrap_or(-1);
-                    let chain = StatsChain::from_element(
-                        resp.require("stats")?
-                            .as_xml()
-                            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
-                    )?;
-                    stats.entries.extend(chain.entries);
-                    // The new checkpoint supersedes the previous one:
-                    // release it best-effort (if the holder is
-                    // unreachable, its janitor reclaims the lease).
-                    if let Some((prev_url, prev_id)) = checkpoint.take() {
-                        let _ = release_checkpoint(
-                            &self.net,
-                            &self.host,
-                            &prev_url,
-                            prev_id,
-                            RetryPolicy::none(),
-                        );
-                    }
-                    checkpoint = Some((step.url.clone(), cp_id));
-                    self.note_healthy(&step.url.host);
-                    if recovering {
-                        recovering = false;
-                        trace.push(
-                            "Portal",
-                            "resume",
-                            format!(
-                                "chain resumed at {} (checkpoint {cp_id}, {rows} rows)",
-                                step.alias
-                            ),
-                        );
-                        self.net.record_node_event(&self.host, "resume");
-                    }
-                    executed.push(step.alias.clone());
-                    remaining.pop();
-                }
-                Err(e) => {
-                    if !matches!(e, FederationError::NodeUnhealthy { .. }) {
-                        return Err(e);
-                    }
-                    self.note_failure(&e);
-                    // Keep the surviving prefix alive while re-planning.
-                    if let Some((cp_url, cp_id)) = &checkpoint {
-                        let _ = renew_lease(
-                            &self.net,
-                            &self.host,
-                            cp_url,
-                            "checkpoint",
-                            *cp_id,
-                            RetryPolicy::none(),
-                        );
-                    }
-                    if step.dropout {
-                        // A drop-out archive is optional: continue without
-                        // it and flag the result as degraded — unless the
-                        // plan routed residuals or carried columns through
-                        // it, where skipping would change the query's
-                        // meaning rather than its completeness.
-                        if !step.residual_sql.is_empty() || !step.carried.is_empty() {
-                            return Err(e);
-                        }
-                        trace.push(
-                            "Portal",
-                            "degraded",
-                            format!(
-                                "optional archive {} unreachable; continuing without its \
-                                 drop-out filter",
-                                step.alias
-                            ),
-                        );
-                        self.net.record_node_event(&self.host, "degraded");
-                        remaining.pop();
-                        recovering = true;
-                    } else {
-                        // A failing mandatory step is deferred to the
-                        // earliest mandatory slot (it will execute last);
-                        // the node may recover in the meantime.
-                        let first_mandatory = remaining
-                            .iter()
-                            .position(|s| !s.dropout)
-                            .expect("the failing step itself is mandatory");
-                        let tries = deferrals.entry(step.alias.clone()).or_insert(0);
-                        if *tries >= MAX_STEP_DEFERRALS || remaining.len() - first_mandatory < 2 {
-                            return Err(e);
-                        }
-                        *tries += 1;
-                        let failed = remaining.pop().expect("loop guard");
-                        remaining.insert(first_mandatory, failed);
-                        replace_residuals(&mut remaining, &executed)?;
-                        trace.push(
-                            "Portal",
-                            "replan",
-                            format!(
-                                "deferred {} after failure; new order: {}",
-                                step.alias,
-                                remaining
-                                    .iter()
-                                    .rev()
-                                    .map(|s| s.alias.as_str())
-                                    .collect::<Vec<_>>()
-                                    .join(" -> ")
-                            ),
-                        );
-                        self.net.record_node_event(&self.host, "replan");
-                        recovering = true;
-                    }
-                }
+        let mut walk = CheckpointedWalk::new(plan);
+        while !walk.is_done() {
+            if let Err(e) = walk.step(self, trace) {
+                // The last good checkpoint will never be resumed: free it
+                // now instead of waiting for the holder's janitor.
+                walk.release(self);
+                return Err(e);
             }
         }
-
-        let (url, id) = checkpoint
-            .ok_or_else(|| FederationError::planning("checkpointed chain committed no steps"))?;
-        let set = match open_checkpoint(&self.net, &self.host, &url, plan, id)? {
-            IncomingPartial::Inline(set) => set,
-            IncomingPartial::Chunked(stream) => stream.collect_set()?,
-        };
-        let _ = release_checkpoint(&self.net, &self.host, &url, id, RetryPolicy::none());
-        Ok((set, stats))
+        walk.finish(self)
     }
 
     /// Runs the count-star performance queries, in parallel when
@@ -949,6 +834,238 @@ impl Portal {
             retry: config.retry,
             lease_ttl_s: config.lease_ttl_s,
         })
+    }
+}
+
+/// Portal-driven stepwise execution of one plan, one `ExecuteStep` call
+/// at a time ([`ChainMode::Checkpointed`]).
+///
+/// `Portal::submit` drives a walk to completion in a tight loop; the job
+/// service interleaves many walks — one [`CheckpointedWalk::step`] per
+/// scheduler quantum — so a long chain from one tenant cannot monopolize
+/// the Portal, and a cancellation between quanta can
+/// [release](CheckpointedWalk::release) the retained checkpoint
+/// immediately instead of leaking it until its lease lapses.
+///
+/// Each successful step commits its partial set as a leased checkpoint
+/// on the executing node; only the checkpoint id, row count, and
+/// statistics travel back. On a mid-chain `NodeUnhealthy` failure the
+/// walk re-plans: a failing drop-out archive is skipped (`degraded`), a
+/// failing mandatory archive is deferred behind the other mandatory
+/// steps (`replan`) — in both cases execution resumes from the last good
+/// checkpoint without re-running any committed step.
+pub struct CheckpointedWalk {
+    plan: ExecutionPlan,
+    /// Steps not yet executed, in plan-list order (drop-outs at the
+    /// head); execution walks from the tail (the seed) toward the head.
+    remaining: Vec<PlanStep>,
+    executed: Vec<String>,
+    deferrals: HashMap<String, u64>,
+    /// The last good checkpoint: where the committed prefix lives.
+    checkpoint: Option<(Url, u64)>,
+    stats: StatsChain,
+    recovering: bool,
+}
+
+impl CheckpointedWalk {
+    /// A walk over `plan` with no steps executed yet.
+    pub fn new(plan: &ExecutionPlan) -> CheckpointedWalk {
+        CheckpointedWalk {
+            plan: plan.clone(),
+            remaining: plan.steps.clone(),
+            executed: Vec::new(),
+            deferrals: HashMap::new(),
+            checkpoint: None,
+            stats: StatsChain::new(),
+            recovering: false,
+        }
+    }
+
+    /// Whether every step has executed (or been skipped as degraded).
+    pub fn is_done(&self) -> bool {
+        self.remaining.is_empty()
+    }
+
+    /// Steps not yet executed.
+    pub fn steps_remaining(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Aliases of the steps already committed, in execution order.
+    pub fn executed(&self) -> &[String] {
+        &self.executed
+    }
+
+    /// Executes (or re-plans around) the next step of the chain. A
+    /// returned error is fatal for the walk: the caller should
+    /// [release](CheckpointedWalk::release) the retained checkpoint and
+    /// abandon the query.
+    pub fn step(&mut self, portal: &Portal, trace: &mut ExecutionTrace) -> Result<()> {
+        let idx = match self.remaining.len().checked_sub(1) {
+            Some(i) => i,
+            None => return Ok(()),
+        };
+        let step = self.remaining[idx].clone();
+        let mut sub_plan = self.plan.clone();
+        sub_plan.steps = self.remaining.clone();
+        let mut call = RpcCall::new("ExecuteStep")
+            .param("plan", SoapValue::Xml(sub_plan.to_element()))
+            .param("step", SoapValue::Int(idx as i64));
+        if let Some((cp_url, cp_id)) = &self.checkpoint {
+            call = call
+                .param("checkpoint_url", SoapValue::Str(cp_url.to_string()))
+                .param("checkpoint_id", SoapValue::Int(*cp_id as i64));
+        }
+        match send_rpc_with(&portal.net, &portal.host, &step.url, &call, self.plan.retry) {
+            Ok(resp) => {
+                let cp_id = resp
+                    .require("checkpoint")?
+                    .as_i64()
+                    .filter(|v| *v >= 0)
+                    .ok_or_else(|| {
+                        FederationError::protocol("checkpoint must be a non-negative integer")
+                    })? as u64;
+                let rows = resp.require("rows")?.as_i64().unwrap_or(-1);
+                let chain = StatsChain::from_element(
+                    resp.require("stats")?
+                        .as_xml()
+                        .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
+                )?;
+                self.stats.entries.extend(chain.entries);
+                // The new checkpoint supersedes the previous one:
+                // release it best-effort (if the holder is
+                // unreachable, its janitor reclaims the lease).
+                if let Some((prev_url, prev_id)) = self.checkpoint.take() {
+                    let _ = release_checkpoint(
+                        &portal.net,
+                        &portal.host,
+                        &prev_url,
+                        prev_id,
+                        RetryPolicy::none(),
+                    );
+                }
+                self.checkpoint = Some((step.url.clone(), cp_id));
+                portal.note_healthy(&step.url.host);
+                if self.recovering {
+                    self.recovering = false;
+                    trace.push(
+                        "Portal",
+                        "resume",
+                        format!(
+                            "chain resumed at {} (checkpoint {cp_id}, {rows} rows)",
+                            step.alias
+                        ),
+                    );
+                    portal.net.record_node_event(&portal.host, "resume");
+                }
+                self.executed.push(step.alias.clone());
+                self.remaining.pop();
+                Ok(())
+            }
+            Err(e) => {
+                if !matches!(e, FederationError::NodeUnhealthy { .. }) {
+                    return Err(e);
+                }
+                portal.note_failure(&e);
+                // Keep the surviving prefix alive while re-planning.
+                if let Some((cp_url, cp_id)) = &self.checkpoint {
+                    let _ = renew_lease(
+                        &portal.net,
+                        &portal.host,
+                        cp_url,
+                        "checkpoint",
+                        *cp_id,
+                        RetryPolicy::none(),
+                    );
+                }
+                if step.dropout {
+                    // A drop-out archive is optional: continue without
+                    // it and flag the result as degraded — unless the
+                    // plan routed residuals or carried columns through
+                    // it, where skipping would change the query's
+                    // meaning rather than its completeness.
+                    if !step.residual_sql.is_empty() || !step.carried.is_empty() {
+                        return Err(e);
+                    }
+                    trace.push(
+                        "Portal",
+                        "degraded",
+                        format!(
+                            "optional archive {} unreachable; continuing without its \
+                             drop-out filter",
+                            step.alias
+                        ),
+                    );
+                    portal.net.record_node_event(&portal.host, "degraded");
+                    self.remaining.pop();
+                    self.recovering = true;
+                    Ok(())
+                } else {
+                    // A failing mandatory step is deferred to the
+                    // earliest mandatory slot (it will execute last);
+                    // the node may recover in the meantime.
+                    let first_mandatory = self
+                        .remaining
+                        .iter()
+                        .position(|s| !s.dropout)
+                        .expect("the failing step itself is mandatory");
+                    let tries = self.deferrals.entry(step.alias.clone()).or_insert(0);
+                    if *tries >= MAX_STEP_DEFERRALS || self.remaining.len() - first_mandatory < 2 {
+                        return Err(e);
+                    }
+                    *tries += 1;
+                    let failed = self.remaining.pop().expect("indexed above");
+                    self.remaining.insert(first_mandatory, failed);
+                    replace_residuals(&mut self.remaining, &self.executed)?;
+                    trace.push(
+                        "Portal",
+                        "replan",
+                        format!(
+                            "deferred {} after failure; new order: {}",
+                            step.alias,
+                            self.remaining
+                                .iter()
+                                .rev()
+                                .map(|s| s.alias.as_str())
+                                .collect::<Vec<_>>()
+                                .join(" -> ")
+                        ),
+                    );
+                    portal.net.record_node_event(&portal.host, "replan");
+                    self.recovering = true;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Collects the final checkpoint (the matched partial set) and
+    /// releases it. The checkpoint is freed best-effort even when
+    /// collection fails — a dead walk must not pin node resources until
+    /// a janitor sweep.
+    pub fn finish(mut self, portal: &Portal) -> Result<(PartialSet, StatsChain)> {
+        let (url, id) = self
+            .checkpoint
+            .take()
+            .ok_or_else(|| FederationError::planning("checkpointed chain committed no steps"))?;
+        let collected =
+            open_checkpoint(&portal.net, &portal.host, &url, &self.plan, id).and_then(|incoming| {
+                match incoming {
+                    IncomingPartial::Inline(set) => Ok(set),
+                    IncomingPartial::Chunked(stream) => stream.collect_set(),
+                }
+            });
+        let _ = release_checkpoint(&portal.net, &portal.host, &url, id, RetryPolicy::none());
+        Ok((collected?, self.stats))
+    }
+
+    /// Best-effort release of the retained checkpoint — the cleanup path
+    /// for a failed or cancelled walk. Idempotent; if the holder is
+    /// unreachable, its janitor reclaims the lease at TTL instead.
+    pub fn release(&mut self, portal: &Portal) {
+        if let Some((url, id)) = self.checkpoint.take() {
+            let _ = release_checkpoint(&portal.net, &portal.host, &url, id, RetryPolicy::none());
+        }
     }
 }
 

@@ -1,0 +1,85 @@
+//! Generic SOAPAction service-method registry.
+//!
+//! Both the SkyNode wrapper and the job service expose a table of SOAP
+//! methods where a single registry entry supplies the method name, its
+//! WSDL [`Operation`], and the handler dispatched for it. Keeping the
+//! three together means a method cannot be served without being described
+//! in the service's WSDL (or vice versa) — the §3.1 discipline that
+//! "WSDL consists of two distinct parts" stays mechanically enforced.
+
+use skyquery_net::SimNetwork;
+use skyquery_soap::{Operation, RpcCall, RpcResponse, WsdlBuilder};
+
+use crate::error::{FederationError, Result};
+
+/// One entry in a SOAPAction dispatch table for a service of type `T`:
+/// the method name, its WSDL operation, and its handler.
+pub struct ServiceMethod<T: ?Sized> {
+    /// The SOAPAction method name this entry answers.
+    pub name: &'static str,
+    /// Produces the WSDL operation describing the method.
+    pub operation: fn() -> Operation,
+    /// Invoked when a call names this method.
+    pub handler: fn(&T, &SimNetwork, &RpcCall) -> Result<RpcResponse>,
+}
+
+/// Dispatches `call` through `services`, answering a protocol error for
+/// a method the registry does not list.
+pub fn dispatch<T: ?Sized>(
+    services: &[ServiceMethod<T>],
+    target: &T,
+    net: &SimNetwork,
+    call: &RpcCall,
+) -> Result<RpcResponse> {
+    match services.iter().find(|s| s.name == call.method) {
+        Some(service) => (service.handler)(target, net, call),
+        None => Err(FederationError::protocol(format!(
+            "unknown service {}",
+            call.method
+        ))),
+    }
+}
+
+/// Every method name in `services`, in registry (WSDL) order.
+pub fn method_names<T: ?Sized>(services: &[ServiceMethod<T>]) -> Vec<&'static str> {
+    services.iter().map(|s| s.name).collect()
+}
+
+/// Generates the WSDL document for `service` bound at `endpoint` from
+/// the same registry that dispatches its calls.
+pub fn wsdl<T: ?Sized>(services: &[ServiceMethod<T>], service: &str, endpoint: &str) -> String {
+    let mut builder = WsdlBuilder::new(service, endpoint);
+    for s in services {
+        builder = builder.operation((s.operation)());
+    }
+    builder.to_xml()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyquery_soap::SoapValue;
+
+    struct Echo;
+
+    const METHODS: &[ServiceMethod<Echo>] = &[ServiceMethod {
+        name: "Ping",
+        operation: || Operation::new("Ping").output("pong", "boolean"),
+        handler: |_echo, _net, _call| {
+            Ok(RpcResponse::new("Ping").result("pong", SoapValue::Bool(true)))
+        },
+    }];
+
+    #[test]
+    fn dispatch_and_describe() {
+        let net = SimNetwork::new();
+        let ok = dispatch(METHODS, &Echo, &net, &RpcCall::new("Ping")).unwrap();
+        assert_eq!(ok.method, "Ping");
+        let err = dispatch(METHODS, &Echo, &net, &RpcCall::new("Nope")).unwrap_err();
+        assert!(err.to_string().contains("unknown service"));
+        assert_eq!(method_names(METHODS), vec!["Ping"]);
+        let doc = wsdl(METHODS, "Echo", "http://echo.example.org/soap");
+        assert!(doc.contains("Ping"));
+        assert!(doc.contains("http://echo.example.org/soap"));
+    }
+}

@@ -27,7 +27,6 @@ use skyquery_htm::SkyPoint;
 use skyquery_net::{Endpoint, HttpRequest, HttpResponse, SimNetwork, Url};
 use skyquery_soap::{
     ChunkHeader, ChunkManifest, MessageLimits, Operation, RpcCall, RpcResponse, SoapValue,
-    WsdlBuilder,
 };
 use skyquery_sql::parse_query;
 use skyquery_storage::Database;
@@ -40,24 +39,18 @@ use crate::lease::LeaseTable;
 use crate::meta::{catalog_to_element, ArchiveInfo};
 use crate::plan::{ExecutionPlan, DEFAULT_LEASE_TTL_S};
 use crate::query_exec::{execute_local, LocalQueryResult};
+use crate::service::ServiceMethod;
 use crate::trace::StatsChain;
 use crate::transfer::{open_checkpoint, open_cross_match, zone_label, IncomingPartial};
 use crate::xmatch::PartialSet;
 
 pub use crate::transfer::{invoke_cross_match, send_rpc};
 
-/// One entry in the SOAPAction dispatch table: the method name, its WSDL
-/// operation, and its handler. A single registry drives both
-/// [`SkyNode::handle_call`] dispatch and [`SkyNode::wsdl`] generation, so
-/// a method cannot be served without being described (or vice versa).
-struct ServiceMethod {
-    name: &'static str,
-    operation: fn() -> Operation,
-    handler: fn(&SkyNode, &SimNetwork, &RpcCall) -> Result<RpcResponse>,
-}
-
-/// Every service method a SkyNode answers, in WSDL order.
-const SERVICES: &[ServiceMethod] = &[
+/// Every service method a SkyNode answers, in WSDL order. A single
+/// registry drives both [`SkyNode::handle_call`] dispatch and
+/// [`SkyNode::wsdl`] generation (see [`crate::service`]), so a method
+/// cannot be served without being described (or vice versa).
+const SERVICES: &[ServiceMethod<SkyNode>] = &[
     ServiceMethod {
         name: "Information",
         operation: || {
@@ -362,30 +355,20 @@ impl SkyNode {
 
     /// Every SOAPAction method this node dispatches, in WSDL order.
     pub fn service_names() -> Vec<&'static str> {
-        SERVICES.iter().map(|s| s.name).collect()
+        crate::service::method_names(SERVICES)
     }
 
     /// The WSDL document describing this node's services (§3.1),
     /// generated from the same registry that dispatches them.
     pub fn wsdl(&self) -> String {
-        let mut builder = WsdlBuilder::new("SkyNode", self.url().to_string());
-        for service in SERVICES {
-            builder = builder.operation((service.operation)());
-        }
-        builder.to_xml()
+        crate::service::wsdl(SERVICES, "SkyNode", &self.url().to_string())
     }
 
     fn handle_call(&self, net: &SimNetwork, call: RpcCall) -> Result<RpcResponse> {
         // Janitor first: any request is an opportunity to reclaim leases
         // that lapsed while the node sat idle.
         self.sweep_leases(net);
-        match SERVICES.iter().find(|s| s.name == call.method) {
-            Some(service) => (service.handler)(self, net, &call),
-            None => Err(FederationError::protocol(format!(
-                "unknown service {}",
-                call.method
-            ))),
-        }
+        crate::service::dispatch(SERVICES, self, net, &call)
     }
 
     fn handle_information(&self, _net: &SimNetwork, _call: &RpcCall) -> Result<RpcResponse> {

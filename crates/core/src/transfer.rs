@@ -241,6 +241,30 @@ impl Drop for ChunkStream<'_> {
     }
 }
 
+/// Opens a client-side cursor over an already-announced chunked transfer:
+/// the caller has a [`ChunkManifest`] from some service's reply and pulls
+/// the chunks with `FetchChunk` continuations against `url`. This is how
+/// the job service's `FetchResults` pagination reuses the zone-chunk
+/// transfer machinery: the manifest rides back in the `FetchResults`
+/// reply, and the job client drains the stream chunk by chunk.
+pub fn open_chunk_stream<'a>(
+    net: &'a SimNetwork,
+    from_host: &str,
+    url: &Url,
+    manifest: ChunkManifest,
+    retry: RetryPolicy,
+) -> ChunkStream<'a> {
+    ChunkStream {
+        net,
+        from_host: from_host.to_string(),
+        url: url.clone(),
+        manifest,
+        next: 0,
+        retry,
+        closed: false,
+    }
+}
+
 /// What a Cross match call handed back: the whole set inline, or an open
 /// chunk stream to pull.
 pub enum IncomingPartial<'a> {

@@ -27,7 +27,9 @@ pub mod url;
 
 pub use fault::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultRule};
 pub use http::{HttpRequest, HttpResponse, Method, StatusCode};
-pub use metrics::{ChunkFlowStats, CostModel, LinkStats, NetworkMetrics, RetryStats};
+pub use metrics::{
+    ChunkFlowStats, CostModel, LinkStats, NetworkMetrics, RetryStats, TenantJobStats,
+};
 pub use registry::{ServiceRecord, ServiceRegistry};
 pub use sim::{Endpoint, SimNetwork};
 pub use url::Url;

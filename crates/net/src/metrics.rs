@@ -91,6 +91,69 @@ impl RetryStats {
     }
 }
 
+/// Per-tenant counters for the asynchronous job service: admission
+/// outcomes, simulated queue-wait and run time, and the contention
+/// tallies the fairness assertions read (how often the tenant had a
+/// backlog while admission slots were being granted, and how many of
+/// those grants it won).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantJobStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Submissions refused by the admission controller (quota/queue full).
+    pub rejected: u64,
+    /// Jobs admitted from the queue into the execution pool.
+    pub admitted: u64,
+    /// Jobs that finished with a committed result.
+    pub succeeded: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+    /// Jobs cancelled by their owner.
+    pub cancelled: u64,
+    /// Jobs whose leased state was reclaimed by the janitor.
+    pub expired: u64,
+    /// Simulated seconds spent queued (submission → admission), summed.
+    pub wait_seconds: f64,
+    /// Simulated seconds spent executing (admission → terminal), summed.
+    pub run_seconds: f64,
+    /// Admission rounds in which this tenant had queued work while at
+    /// least one other tenant did too.
+    pub contended_rounds: u64,
+    /// Of those contended rounds, how many this tenant won.
+    pub admitted_contended: u64,
+}
+
+impl TenantJobStats {
+    fn absorb(&mut self, other: &TenantJobStats) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.admitted += other.admitted;
+        self.succeeded += other.succeeded;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.expired += other.expired;
+        self.wait_seconds += other.wait_seconds;
+        self.run_seconds += other.run_seconds;
+        self.contended_rounds += other.contended_rounds;
+        self.admitted_contended += other.admitted_contended;
+    }
+
+    /// Jobs that reached a terminal state.
+    pub fn terminal(&self) -> u64 {
+        self.succeeded + self.failed + self.cancelled + self.expired
+    }
+
+    /// Fraction of contended admission rounds this tenant won (`None`
+    /// until it has actually contended).
+    pub fn contended_share(&self) -> Option<f64> {
+        if self.contended_rounds == 0 {
+            None
+        } else {
+            Some(self.admitted_contended as f64 / self.contended_rounds as f64)
+        }
+    }
+}
+
 /// Aggregated network metrics: per-directed-link and total.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkMetrics {
@@ -107,6 +170,9 @@ pub struct NetworkMetrics {
     // lease grants/renewals/expiries, checkpoint releases, portal
     // replan/resume/degrade decisions. Sorted for deterministic reports.
     node_events: BTreeMap<(String, String), u64>,
+    // Job-service accounting keyed by tenant id. Sorted so fairness
+    // reports are deterministic.
+    jobs: BTreeMap<String, TenantJobStats>,
 }
 
 impl NetworkMetrics {
@@ -255,6 +321,78 @@ impl NetworkMetrics {
             .collect()
     }
 
+    /// Records one job accepted into `tenant`'s queue.
+    pub fn record_job_submitted(&mut self, tenant: &str) {
+        self.jobs.entry(tenant.to_string()).or_default().submitted += 1;
+    }
+
+    /// Records one submission refused by the admission controller.
+    pub fn record_job_rejected(&mut self, tenant: &str) {
+        self.jobs.entry(tenant.to_string()).or_default().rejected += 1;
+    }
+
+    /// Records one job admitted into the execution pool after
+    /// `wait_seconds` of simulated queue latency.
+    pub fn record_job_admitted(&mut self, tenant: &str, wait_seconds: f64) {
+        let s = self.jobs.entry(tenant.to_string()).or_default();
+        s.admitted += 1;
+        s.wait_seconds += wait_seconds;
+    }
+
+    /// Records one job reaching the terminal state `outcome`
+    /// (`succeeded`, `failed`, `cancelled`, or `expired`) after
+    /// `run_seconds` of simulated execution time.
+    pub fn record_job_finished(&mut self, tenant: &str, outcome: &str, run_seconds: f64) {
+        let s = self.jobs.entry(tenant.to_string()).or_default();
+        match outcome {
+            "succeeded" => s.succeeded += 1,
+            "failed" => s.failed += 1,
+            "cancelled" => s.cancelled += 1,
+            _ => s.expired += 1,
+        }
+        s.run_seconds += run_seconds;
+    }
+
+    /// Reclassifies one previously-succeeded job as expired: its result
+    /// lease lapsed before the owner fetched it, so the janitor reclaimed
+    /// the rows. Keeps [`TenantJobStats::terminal`] single-counted — the
+    /// job moves between terminal buckets rather than landing in both.
+    pub fn record_job_expired(&mut self, tenant: &str) {
+        let s = self.jobs.entry(tenant.to_string()).or_default();
+        s.expired += 1;
+        s.succeeded = s.succeeded.saturating_sub(1);
+    }
+
+    /// Records one contended admission round for `tenant` (it had queued
+    /// work while another tenant did too); `won` marks the tenant the
+    /// scheduler actually admitted.
+    pub fn record_job_contention(&mut self, tenant: &str, won: bool) {
+        let s = self.jobs.entry(tenant.to_string()).or_default();
+        s.contended_rounds += 1;
+        if won {
+            s.admitted_contended += 1;
+        }
+    }
+
+    /// Job counters for one tenant.
+    pub fn job_stats(&self, tenant: &str) -> TenantJobStats {
+        self.jobs.get(tenant).copied().unwrap_or_default()
+    }
+
+    /// All per-tenant job counters, sorted by tenant id.
+    pub fn job_stats_all(&self) -> Vec<(String, TenantJobStats)> {
+        self.jobs.iter().map(|(k, s)| (k.clone(), *s)).collect()
+    }
+
+    /// Job counters summed across all tenants.
+    pub fn job_total(&self) -> TenantJobStats {
+        let mut total = TenantJobStats::default();
+        for s in self.jobs.values() {
+            total.absorb(s);
+        }
+        total
+    }
+
     /// Adds injected latency (a fault-plan delay, not transfer time) to
     /// the link's and the total simulated clock.
     pub fn record_injected_latency(&mut self, from: &str, to: &str, seconds: f64) {
@@ -295,6 +433,7 @@ impl NetworkMetrics {
         self.retry_total = RetryStats::default();
         self.faults.clear();
         self.node_events.clear();
+        self.jobs.clear();
     }
 }
 
@@ -395,6 +534,48 @@ mod tests {
         m.reset();
         assert_eq!(m.node_event_total("lease-granted"), 0);
         assert!(m.node_events().is_empty());
+    }
+
+    #[test]
+    fn job_accounting() {
+        let mut m = NetworkMetrics::new();
+        m.record_job_submitted("alice");
+        m.record_job_submitted("alice");
+        m.record_job_rejected("alice");
+        m.record_job_submitted("bob");
+        m.record_job_admitted("alice", 2.5);
+        m.record_job_admitted("alice", 1.5);
+        m.record_job_finished("alice", "succeeded", 3.0);
+        m.record_job_finished("alice", "failed", 1.0);
+        m.record_job_finished("bob", "cancelled", 0.0);
+        m.record_job_contention("alice", true);
+        m.record_job_contention("bob", false);
+        let a = m.job_stats("alice");
+        assert_eq!(a.submitted, 2);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.admitted, 2);
+        assert!((a.wait_seconds - 4.0).abs() < 1e-12);
+        assert!((a.run_seconds - 4.0).abs() < 1e-12);
+        assert_eq!(a.succeeded, 1);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.terminal(), 2);
+        assert_eq!(a.contended_share(), Some(1.0));
+        assert_eq!(m.job_stats("bob").cancelled, 1);
+        assert_eq!(m.job_stats("bob").contended_share(), Some(0.0));
+        // Unknown tenants read as zero, and have no contended share.
+        assert_eq!(m.job_stats("carol"), TenantJobStats::default());
+        assert_eq!(m.job_stats("carol").contended_share(), None);
+        // Sorted report + totals.
+        let all = m.job_stats_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "alice");
+        let total = m.job_total();
+        assert_eq!(total.submitted, 3);
+        assert_eq!(total.terminal(), 3);
+        assert_eq!(total.contended_rounds, 2);
+        m.reset();
+        assert!(m.job_stats_all().is_empty());
+        assert_eq!(m.job_total(), TenantJobStats::default());
     }
 
     #[test]

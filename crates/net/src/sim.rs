@@ -210,6 +210,49 @@ impl SimNetwork {
         self.inner.metrics.lock().record_node_event(host, kind);
     }
 
+    /// Records one job accepted into `tenant`'s queue — see
+    /// [`NetworkMetrics::record_job_submitted`].
+    pub fn record_job_submitted(&self, tenant: &str) {
+        self.inner.metrics.lock().record_job_submitted(tenant);
+    }
+
+    /// Records one submission refused by the admission controller — see
+    /// [`NetworkMetrics::record_job_rejected`].
+    pub fn record_job_rejected(&self, tenant: &str) {
+        self.inner.metrics.lock().record_job_rejected(tenant);
+    }
+
+    /// Records one job admitted into the execution pool after
+    /// `wait_seconds` of simulated queue latency — see
+    /// [`NetworkMetrics::record_job_admitted`].
+    pub fn record_job_admitted(&self, tenant: &str, wait_seconds: f64) {
+        self.inner
+            .metrics
+            .lock()
+            .record_job_admitted(tenant, wait_seconds);
+    }
+
+    /// Records one job reaching a terminal state — see
+    /// [`NetworkMetrics::record_job_finished`].
+    pub fn record_job_finished(&self, tenant: &str, outcome: &str, run_seconds: f64) {
+        self.inner
+            .metrics
+            .lock()
+            .record_job_finished(tenant, outcome, run_seconds);
+    }
+
+    /// Reclassifies one succeeded job as expired — see
+    /// [`NetworkMetrics::record_job_expired`].
+    pub fn record_job_expired(&self, tenant: &str) {
+        self.inner.metrics.lock().record_job_expired(tenant);
+    }
+
+    /// Records one contended admission round for `tenant` — see
+    /// [`NetworkMetrics::record_job_contention`].
+    pub fn record_job_contention(&self, tenant: &str, won: bool) {
+        self.inner.metrics.lock().record_job_contention(tenant, won);
+    }
+
     /// The current simulated time in seconds: the total simulated seconds
     /// accumulated across all links (transfer time, injected latency, and
     /// retry backoff). Leases are charged against this clock.

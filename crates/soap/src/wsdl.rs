@@ -19,15 +19,25 @@ pub struct ParamDef {
     /// One of the `SoapValue` type names: string, long, double, boolean,
     /// table, xml, nil.
     pub type_name: String,
+    /// Whether the caller may omit the parameter (rendered as
+    /// `minOccurs="0"` on the message part). Defaults to required.
+    pub optional: bool,
 }
 
 impl ParamDef {
-    /// A named, typed parameter.
+    /// A named, typed, required parameter.
     pub fn new(name: impl Into<String>, type_name: impl Into<String>) -> ParamDef {
         ParamDef {
             name: name.into(),
             type_name: type_name.into(),
+            optional: false,
         }
+    }
+
+    /// Builder: marks the parameter optional.
+    pub fn optional(mut self) -> ParamDef {
+        self.optional = true;
+        self
     }
 }
 
@@ -58,6 +68,13 @@ impl Operation {
     /// Builder: adds an input parameter.
     pub fn input(mut self, name: &str, ty: &str) -> Operation {
         self.inputs.push(ParamDef::new(name, ty));
+        self
+    }
+
+    /// Builder: adds an input parameter the caller may omit (the job
+    /// service's priority/quota-class/idempotency-key inputs).
+    pub fn input_opt(mut self, name: &str, ty: &str) -> Operation {
+        self.inputs.push(ParamDef::new(name, ty).optional());
         self
     }
 
@@ -112,11 +129,13 @@ impl WsdlBuilder {
             let mut input =
                 Element::new("wsdl:message").with_attr("name", format!("{}Input", op.name));
             for p in &op.inputs {
-                input = input.with_child(
-                    Element::new("wsdl:part")
-                        .with_attr("name", p.name.clone())
-                        .with_attr("type", format!("sq:{}", p.type_name)),
-                );
+                let mut part = Element::new("wsdl:part")
+                    .with_attr("name", p.name.clone())
+                    .with_attr("type", format!("sq:{}", p.type_name));
+                if p.optional {
+                    part = part.with_attr("minOccurs", "0");
+                }
+                input = input.with_child(part);
             }
             defs = defs.with_child(input);
             let mut output =

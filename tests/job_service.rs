@@ -1,0 +1,439 @@
+//! Integration tests for the multi-tenant asynchronous job service.
+//!
+//! The invariants under test:
+//!
+//! * a job's fetched result is byte-identical to the same query run
+//!   synchronously through the Portal, in both chain modes;
+//! * an oversized result paginates through the chunked-transfer
+//!   machinery and the pagination sessions drain afterwards;
+//! * an admission-control refusal is a deterministic `Client` SOAP fault
+//!   the retry policy never re-sends;
+//! * quotas admit exactly up to the bound; priorities order jobs within
+//!   a tenant but never invert fairness across tenants;
+//! * duplicate submissions under one client reference are idempotent;
+//! * polling an unknown or swept job answers `LeaseExpired`, and an
+//!   unfetched result decays `Succeeded → Expired` at its TTL;
+//! * cancelling an in-flight checkpointed chain releases every retained
+//!   checkpoint and transfer session immediately — no TTL wait;
+//! * the generated WSDL describes every job method.
+
+use std::sync::Arc;
+
+use skyquery_core::{ChainMode, FederationConfig, FederationError, RetryPolicy};
+use skyquery_jobs::{JobClient, JobService, JobServiceConfig, JobState, QuotaClass};
+use skyquery_sim::{FederationBuilder, TestFederation};
+use skyquery_soap::wsdl;
+use skyquery_xml::Element;
+
+const JOBS_HOST: &str = "jobs.skyquery.net";
+
+/// Three mandatory archives with a total ORDER BY, so equal match *sets*
+/// render to equal bytes regardless of execution order.
+fn ordered_three_sql() -> &'static str {
+    "SELECT O.object_id, T.object_id, P.object_id \
+     FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P \
+     WHERE XMATCH(O, T, P) < 3.5 \
+     ORDER BY O.object_id, T.object_id, P.object_id"
+}
+
+fn federation(mode: ChainMode) -> TestFederation {
+    let fed = FederationBuilder::paper_triple(200).build();
+    fed.portal.set_config(FederationConfig {
+        chain_mode: mode,
+        ..fed.portal.config()
+    });
+    fed
+}
+
+fn job_service(fed: &TestFederation, config: JobServiceConfig) -> Arc<JobService> {
+    JobService::start(&fed.net, JOBS_HOST, fed.portal.clone(), config)
+}
+
+fn client(fed: &TestFederation, svc: &JobService, name: &str) -> JobClient {
+    JobClient::new(&fed.net, name, svc.url())
+}
+
+/// Drives the service to quiescence, recording the order in which jobs
+/// entered the execution pool.
+fn run_recording_admissions(svc: &JobService) -> Vec<u64> {
+    let mut order: Vec<u64> = Vec::new();
+    for _ in 0..100_000 {
+        let progressed = svc.pump();
+        for id in svc.running() {
+            if !order.contains(&id) {
+                order.push(id);
+            }
+        }
+        if !progressed {
+            return order;
+        }
+    }
+    panic!("job service failed to quiesce");
+}
+
+#[test]
+fn fetched_result_is_byte_identical_to_synchronous_portal() {
+    for mode in [ChainMode::Recursive, ChainMode::Checkpointed] {
+        let fed = federation(mode);
+        let (reference, _) = fed.portal.submit(ordered_three_sql()).unwrap();
+        let svc = job_service(&fed, JobServiceConfig::default());
+        let cli = client(&fed, &svc, "alice-web");
+
+        let id = cli.submit("alice", ordered_three_sql()).unwrap();
+        svc.run_until_idle(100_000);
+
+        let status = cli.poll(id).unwrap();
+        assert_eq!(status.state, JobState::Succeeded, "mode {mode:?}");
+        assert_eq!(status.result_rows, Some(reference.row_count()));
+        assert!(status.error.is_none());
+
+        let fetched = cli.fetch(id).unwrap();
+        assert_eq!(
+            fetched.to_votable("result").to_xml(),
+            reference.to_votable("result").to_xml(),
+            "mode {mode:?}: async result diverged from synchronous Portal run"
+        );
+    }
+}
+
+#[test]
+fn oversized_results_paginate_through_chunked_transfer_and_drain() {
+    let fed = federation(ChainMode::Recursive);
+    let (reference, _) = fed.portal.submit(ordered_three_sql()).unwrap();
+    assert!(
+        reference.row_count() > 4,
+        "test premise: a multi-row result"
+    );
+    // Squeeze the federation's message limit under the result VOTable's
+    // size, so the job's result cannot ride one SOAP reply. (Not too far
+    // under: intermediate partial-set rows are wider than result rows
+    // and still must fit one per chunk.)
+    let limit = reference.to_votable("result").to_xml().len() * 3 / 4;
+    fed.portal.set_config(FederationConfig {
+        max_message_bytes: limit,
+        ..fed.portal.config()
+    });
+    let svc = job_service(&fed, JobServiceConfig::default());
+    let cli = client(&fed, &svc, "alice-web");
+
+    let id = cli.submit("alice", ordered_three_sql()).unwrap();
+    svc.run_until_idle(100_000);
+    let status = cli.poll(id).unwrap();
+    assert_eq!(
+        status.state,
+        JobState::Succeeded,
+        "job error: {:?}",
+        status.error
+    );
+
+    let chunks_before = fed.net.metrics().chunk_total().chunks;
+    let fetched = cli.fetch(id).unwrap();
+    let chunks_after = fed.net.metrics().chunk_total().chunks;
+
+    assert_eq!(
+        fetched.to_votable("result").to_xml(),
+        reference.to_votable("result").to_xml(),
+        "paginated result diverged"
+    );
+    assert!(
+        chunks_after > chunks_before,
+        "the fetch should have streamed FetchChunk continuations"
+    );
+    assert!(
+        svc.open_transfers().is_empty(),
+        "serving the last chunk must free the pagination session"
+    );
+}
+
+#[test]
+fn queue_full_rejection_is_a_deterministic_client_fault_never_retried() {
+    let fed = federation(ChainMode::Recursive);
+    let svc = job_service(
+        &fed,
+        JobServiceConfig {
+            tenant_max_queued: 2,
+            max_queued: 4,
+            ..JobServiceConfig::default()
+        },
+    );
+    // A retry-happy client: the refusal must still surface immediately.
+    let cli = client(&fed, &svc, "alice-web").with_retry(RetryPolicy::default());
+
+    cli.submit("alice", ordered_three_sql()).unwrap();
+    cli.submit("alice", ordered_three_sql()).unwrap();
+
+    let retries_before = fed.net.metrics().retry_total().retries;
+    let err = cli.submit("alice", ordered_three_sql()).unwrap_err();
+    let retries_after = fed.net.metrics().retry_total().retries;
+
+    match &err {
+        FederationError::Fault(f) => {
+            assert_eq!(f.code, "Client", "admission refusal must be a Client fault");
+            assert!(
+                f.message.contains("rejected") && f.message.contains("alice"),
+                "fault names the tenant and the refusal: {}",
+                f.message
+            );
+        }
+        other => panic!("expected a SOAP fault, got {other}"),
+    }
+    assert!(!err.is_retryable(), "a quota refusal is deterministic");
+    assert_eq!(
+        retries_after, retries_before,
+        "the retry policy must not have re-sent the refused submission"
+    );
+    assert_eq!(fed.net.metrics().job_stats("alice").rejected, 1);
+
+    // The native API surfaces the typed error (the wire flattens it to a
+    // fault; in-process callers keep the structure).
+    match svc.submit("alice", ordered_three_sql(), 0, QuotaClass::Free, None) {
+        Err(FederationError::JobRejected { tenant, .. }) => assert_eq!(tenant, "alice"),
+        other => panic!("expected JobRejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn quota_exactly_reached_admits_the_bound_and_not_one_more() {
+    let fed = federation(ChainMode::Checkpointed);
+    let svc = job_service(
+        &fed,
+        JobServiceConfig {
+            max_running: 4,
+            tenant_max_running: 1,
+            tenant_max_queued: 2,
+            ..JobServiceConfig::default()
+        },
+    );
+    let cli = client(&fed, &svc, "alice-web");
+
+    // Exactly at the queue bound: both accepted.
+    let a = cli.submit("alice", ordered_three_sql()).unwrap();
+    let b = cli.submit("alice", ordered_three_sql()).unwrap();
+
+    // One pump admits: the concurrent-chain cap (1) holds the second job
+    // back even though the pool (4) has room.
+    svc.pump();
+    assert_eq!(svc.running().len(), 1, "tenant_max_running caps the pool");
+    assert_eq!(svc.queued().len(), 1);
+
+    svc.run_until_idle(100_000);
+    for id in [a, b] {
+        assert_eq!(cli.poll(id).unwrap().state, JobState::Succeeded);
+    }
+}
+
+#[test]
+fn priorities_order_within_a_tenant_but_never_across_tenants() {
+    let fed = federation(ChainMode::Recursive);
+    let svc = job_service(
+        &fed,
+        JobServiceConfig {
+            max_running: 1,
+            tenant_max_running: 1,
+            ..JobServiceConfig::default()
+        },
+    );
+    let cli = client(&fed, &svc, "web");
+
+    // Alice floods first with a high- and a low-priority job; Bob's
+    // single low-priority job arrives last. Equal weights.
+    let (a_high, _) = cli
+        .submit_with("alice", ordered_three_sql(), 5, QuotaClass::Standard, None)
+        .unwrap();
+    let (a_low, _) = cli
+        .submit_with("alice", ordered_three_sql(), 1, QuotaClass::Standard, None)
+        .unwrap();
+    let (b_low, _) = cli
+        .submit_with("bob", ordered_three_sql(), 0, QuotaClass::Standard, None)
+        .unwrap();
+
+    let order = run_recording_admissions(&svc);
+    // Within alice: the high-priority job runs before the low one.
+    // Across tenants: bob's job is NOT starved behind alice's whole
+    // backlog — fair queuing interleaves him after alice's first win,
+    // despite every alice job outranking his on raw priority.
+    assert_eq!(
+        order,
+        vec![a_high, b_low, a_low],
+        "expected within-tenant priority order and cross-tenant fairness"
+    );
+    for id in [a_high, a_low, b_low] {
+        assert_eq!(cli.poll(id).unwrap().state, JobState::Succeeded);
+    }
+}
+
+#[test]
+fn duplicate_submissions_under_one_client_ref_are_idempotent() {
+    let fed = federation(ChainMode::Recursive);
+    let svc = job_service(&fed, JobServiceConfig::default());
+    let cli = client(&fed, &svc, "alice-web");
+
+    let (first, dup) = cli
+        .submit_with(
+            "alice",
+            ordered_three_sql(),
+            0,
+            QuotaClass::Standard,
+            Some("req-42"),
+        )
+        .unwrap();
+    assert!(!dup);
+    let (second, dup) = cli
+        .submit_with(
+            "alice",
+            ordered_three_sql(),
+            0,
+            QuotaClass::Standard,
+            Some("req-42"),
+        )
+        .unwrap();
+    assert!(dup, "the second submission must be flagged as a duplicate");
+    assert_eq!(first, second);
+    assert_eq!(svc.job_states().len(), 1, "no second job was queued");
+
+    // Idempotency holds across the job's whole record lifetime: even
+    // after it finishes, the same reference answers the same id.
+    svc.run_until_idle(100_000);
+    let (third, dup) = cli
+        .submit_with(
+            "alice",
+            ordered_three_sql(),
+            0,
+            QuotaClass::Standard,
+            Some("req-42"),
+        )
+        .unwrap();
+    assert!(dup);
+    assert_eq!(first, third);
+
+    // A different tenant's identical reference is a different job.
+    let (other, dup) = cli
+        .submit_with(
+            "bob",
+            ordered_three_sql(),
+            0,
+            QuotaClass::Standard,
+            Some("req-42"),
+        )
+        .unwrap();
+    assert!(!dup);
+    assert_ne!(first, other);
+}
+
+#[test]
+fn unknown_and_swept_jobs_answer_lease_expired() {
+    let fed = federation(ChainMode::Recursive);
+    let svc = job_service(
+        &fed,
+        JobServiceConfig {
+            result_ttl_s: 30.0,
+            record_ttl_s: 120.0,
+            ..JobServiceConfig::default()
+        },
+    );
+    let cli = client(&fed, &svc, "alice-web");
+
+    // Unknown id: a deterministic Client fault naming the job lease.
+    match cli.poll(999).unwrap_err() {
+        FederationError::Fault(f) => {
+            assert_eq!(f.code, "Client");
+            assert!(f.message.contains("job"), "fault: {}", f.message);
+        }
+        other => panic!("expected a fault, got {other}"),
+    }
+    match svc.poll(999) {
+        Err(FederationError::LeaseExpired { kind, id, .. }) => {
+            assert_eq!(kind, "job");
+            assert_eq!(id, 999);
+        }
+        other => panic!("expected LeaseExpired, got {other:?}"),
+    }
+
+    // An unfetched result decays Succeeded → Expired at its TTL...
+    let id = cli.submit("alice", ordered_three_sql()).unwrap();
+    svc.run_until_idle(100_000);
+    assert_eq!(cli.poll(id).unwrap().state, JobState::Succeeded);
+    fed.net.advance_clock(31.0);
+    let status = cli.poll(id).unwrap();
+    assert_eq!(status.state, JobState::Expired);
+    assert!(status.result_rows.is_none(), "reclaimed rows are gone");
+    assert!(svc.held_results().is_empty());
+    assert_eq!(fed.net.metrics().job_stats("alice").expired, 1);
+    assert_eq!(
+        fed.net.metrics().job_stats("alice").succeeded,
+        0,
+        "expiry reclassifies the terminal outcome, not double-counts it"
+    );
+    match cli.fetch(id).unwrap_err() {
+        FederationError::Fault(f) => {
+            assert!(f.message.contains("result"), "fault: {}", f.message)
+        }
+        other => panic!("expected a fault, got {other}"),
+    }
+
+    // ...and once the record lease lapses too, the job id itself is gone.
+    fed.net.advance_clock(120.0);
+    match svc.poll(id) {
+        Err(FederationError::LeaseExpired { kind, .. }) => assert_eq!(kind, "job"),
+        other => panic!("expected LeaseExpired, got {other:?}"),
+    }
+    assert_eq!(svc.active_leases(), 0, "everything drained");
+}
+
+#[test]
+fn cancelling_an_inflight_chain_releases_checkpoints_immediately() {
+    let fed = federation(ChainMode::Checkpointed);
+    let svc = job_service(&fed, JobServiceConfig::default());
+    let cli = client(&fed, &svc, "alice-web");
+
+    let id = cli.submit("alice", ordered_three_sql()).unwrap();
+    // Admit, plan, then execute the first chain step — the walk now
+    // retains a checkpoint on some archive.
+    svc.pump();
+    svc.pump();
+    svc.pump();
+    assert_eq!(cli.poll(id).unwrap().state, JobState::Running);
+    let retained: usize = fed.nodes.iter().map(|n| n.checkpoints().len()).sum();
+    assert!(retained > 0, "test premise: the walk holds a checkpoint");
+
+    assert!(cli.cancel(id).unwrap());
+
+    // Immediately — no clock advance, no janitor sweep — every archive
+    // is clean: the checkpoint release rode the cancellation itself.
+    for node in &fed.nodes {
+        assert!(
+            node.checkpoints().is_empty(),
+            "{} still retains checkpoints after cancel",
+            node.info().name
+        );
+        assert!(node.open_transfers().is_empty());
+        assert_eq!(node.active_leases(), 0);
+    }
+    assert!(svc.held_results().is_empty());
+    assert!(svc.running().is_empty());
+    let status = cli.poll(id).unwrap();
+    assert_eq!(status.state, JobState::Cancelled);
+    assert_eq!(fed.net.metrics().job_stats("alice").cancelled, 1);
+
+    // Cancelling a terminal job is a no-op answer, not an error.
+    assert!(!cli.cancel(id).unwrap());
+    // And the pool is free for the next job.
+    let id2 = cli.submit("alice", ordered_three_sql()).unwrap();
+    svc.run_until_idle(100_000);
+    assert_eq!(cli.poll(id2).unwrap().state, JobState::Succeeded);
+}
+
+#[test]
+fn wsdl_describes_every_job_method() {
+    let fed = federation(ChainMode::Recursive);
+    let svc = job_service(&fed, JobServiceConfig::default());
+    let doc = Element::parse(&svc.wsdl()).unwrap();
+    let ops = wsdl::operation_names(&doc).unwrap();
+    for method in JobService::service_names() {
+        assert!(
+            ops.iter().any(|o| o == method),
+            "WSDL is missing {method}: {ops:?}"
+        );
+    }
+    assert_eq!(wsdl::endpoint_address(&doc).unwrap(), svc.url().to_string());
+}
