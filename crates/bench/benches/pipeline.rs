@@ -83,6 +83,7 @@ fn chain(rows: usize) -> Chain {
             sigma_arcsec: 0.2,
             primary_table: "objects".into(),
             htm_depth: 14,
+            extent: None,
         },
         archive("MATCH", rows, 0xfeed_beef, 0.2),
     )
@@ -94,6 +95,7 @@ fn chain(rows: usize) -> Chain {
             sigma_arcsec: 0.2,
             primary_table: "objects".into(),
             htm_depth: 14,
+            extent: None,
         },
         archive("SEED", rows, 0xdead_ce11, 0.0),
     )
@@ -118,6 +120,7 @@ fn plan(c: &Chain, workers: usize, max_message_bytes: usize, zone_chunking: bool
         carried: vec!["object_id".into()],
         residual_sql: vec![],
         count_estimate: None,
+        shards: vec![],
     };
     ExecutionPlan {
         threshold: 3.5,

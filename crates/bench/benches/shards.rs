@@ -1,0 +1,201 @@
+//! Experiment E14 — scatter-gather cross-match across shard counts.
+//!
+//! Table: for 1/2/4/8 declination-zone shards per archive, the
+//! end-to-end submit wall time, the merged-result throughput
+//! (rows/sec of final output), and the pure gather cost — the
+//! time-to-merge of recombining a fixed 40k-tuple seed output from
+//! that many shards. Byte-identity against the single-node baseline is
+//! asserted while measuring, so the numbers can't drift from the
+//! semantics.
+//!
+//! Results are also written to `BENCH_shards.json` at the repository
+//! root so the numbers ride with the tree. Criterion then times one
+//! submit per shard count.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyquery_core::shard::{merge_seed, RANK_COL};
+use skyquery_core::{PartialSet, PartialTuple, ResultColumn, StepStats, TupleState};
+use skyquery_sim::{xmatch_query, FederationBuilder, TestFederation};
+use skyquery_storage::{DataType, Value};
+
+const BODIES: usize = 1200;
+const MERGE_TUPLES: usize = 40_000;
+
+fn federation(shards: usize) -> TestFederation {
+    FederationBuilder::paper_triple(BODIES)
+        .shards(shards)
+        .build()
+}
+
+fn query() -> String {
+    xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        4.0,
+        None,
+    )
+}
+
+/// A synthetic seed output of `total` tuples dealt round-robin over
+/// `shards` parts, each carrying the rank column the gather strips.
+fn seed_parts(total: usize, shards: usize) -> Vec<(PartialSet, StepStats)> {
+    let columns = vec![
+        ResultColumn::new("O.object_id", DataType::Id),
+        ResultColumn::new(format!("O.{RANK_COL}"), DataType::Id),
+    ];
+    (0..shards)
+        .map(|s| {
+            let tuples: Vec<PartialTuple> = (s..total)
+                .step_by(shards)
+                .map(|rank| PartialTuple {
+                    state: TupleState {
+                        a: rank as f64,
+                        ax: 1.0,
+                        ay: 0.0,
+                        az: 0.0,
+                    },
+                    values: vec![Value::Id(rank as u64), Value::Id(rank as u64)],
+                })
+                .collect();
+            let stats = StepStats {
+                tuples_out: tuples.len(),
+                ..StepStats::default()
+            };
+            (
+                PartialSet {
+                    columns: columns.clone(),
+                    tuples,
+                },
+                stats,
+            )
+        })
+        .collect()
+}
+
+struct Measurement {
+    shards: usize,
+    rows: usize,
+    submit_ms: f64,
+    merge_ms: f64,
+}
+
+impl Measurement {
+    fn merged_rows_per_sec(&self) -> f64 {
+        self.rows as f64 / (self.submit_ms / 1000.0)
+    }
+    fn merge_tuples_per_sec(&self) -> f64 {
+        MERGE_TUPLES as f64 / (self.merge_ms / 1000.0)
+    }
+}
+
+/// One shard count: asserts parity against `reference`, then times the
+/// submit and the synthetic 40k-tuple gather.
+fn measure(shards: usize, reference: &str, iters: usize) -> Measurement {
+    let fed = federation(shards);
+    let sql = query();
+    let (result, _) = fed.portal.submit(&sql).expect("bench query runs");
+    assert_eq!(
+        result.to_ascii(),
+        reference,
+        "{shards}-shard result diverged from the single-node baseline"
+    );
+    let started = Instant::now();
+    for _ in 0..iters {
+        fed.portal.submit(&sql).expect("bench query runs");
+    }
+    let submit_ms = started.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+
+    let parts = seed_parts(MERGE_TUPLES, shards);
+    let started = Instant::now();
+    for _ in 0..iters {
+        let (merged, _) = merge_seed(&parts, "O").expect("merge succeeds");
+        assert_eq!(merged.len(), MERGE_TUPLES);
+    }
+    let merge_ms = started.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+
+    Measurement {
+        shards,
+        rows: result.row_count(),
+        submit_ms,
+        merge_ms,
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let mut configs = String::new();
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            configs.push_str(",\n");
+        }
+        configs.push_str(&format!(
+            "    {{\"shards\": {}, \"result_rows\": {}, \"submit_ms\": {:.3}, \
+             \"merged_rows_per_sec\": {:.0}, \"merge_40k_ms\": {:.3}, \
+             \"merge_tuples_per_sec\": {:.0}, \"byte_identical\": true}}",
+            m.shards,
+            m.rows,
+            m.submit_ms,
+            m.merged_rows_per_sec(),
+            m.merge_ms,
+            m.merge_tuples_per_sec(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"shards\",\n  \"step\": \"3-way cross-match, {BODIES} bodies, \
+         threshold 4.0, zone shards per archive\",\n  \"configs\": [\n{configs}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn print_tables() {
+    println!("\n=== E14: scatter-gather vs shard count ({BODIES} bodies, 3 archives) ===");
+    println!(
+        "{:<8} {:>8} {:>12} {:>16} {:>14} {:>16}",
+        "shards", "rows", "submit (ms)", "merged rows/s", "merge40k (ms)", "merge tuples/s"
+    );
+    let baseline = federation(1);
+    let (reference, _) = baseline.portal.submit(&query()).expect("baseline runs");
+    let reference = reference.to_ascii();
+    let mut measurements = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let m = measure(shards, &reference, 3);
+        println!(
+            "{:<8} {:>8} {:>12.1} {:>16.0} {:>14.2} {:>16.0}",
+            m.shards,
+            m.rows,
+            m.submit_ms,
+            m.merged_rows_per_sec(),
+            m.merge_ms,
+            m.merge_tuples_per_sec(),
+        );
+        measurements.push(m);
+    }
+    write_json(&measurements);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let mut group = c.benchmark_group("e14_shards");
+    group.sample_size(10);
+    for &shards in &[1usize, 4] {
+        let fed = federation(shards);
+        let sql = query();
+        group.bench_with_input(BenchmarkId::new("submit", shards), &shards, |b, _| {
+            b.iter(|| fed.portal.submit(&sql).expect("bench query runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

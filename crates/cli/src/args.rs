@@ -27,6 +27,9 @@ pub struct Options {
     /// Start the asynchronous job service alongside the Portal (the REPL
     /// starts it lazily on first `\submit` either way; this pre-arms it).
     pub jobs: bool,
+    /// Declination-zone shards per archive (1 = one SkyNode per archive;
+    /// more splits each archive across a scatter-gather shard group).
+    pub shards: usize,
 }
 
 impl Default for Options {
@@ -42,6 +45,7 @@ impl Default for Options {
             retry_backoff_s: skyquery_core::RetryPolicy::default().backoff_base_s,
             chain_mode: skyquery_core::ChainMode::default(),
             jobs: false,
+            shards: 1,
         }
     }
 }
@@ -158,6 +162,13 @@ where
                     }
                 }
             }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => opts.shards = n,
+                    _ => return Command::Help(Some("--shards needs a number ≥ 1".into())),
+                }
+            }
             "--no-zone-chunking" => opts.zone_chunking = false,
             "--jobs" => opts.jobs = true,
             "--help" | "-h" => return Command::Help(None),
@@ -206,6 +217,7 @@ OPTIONS:
     --retries <N>      RPC attempts before a node is unhealthy     [default: 3]
     --retry-backoff <S> first retry backoff, simulated seconds     [default: 0.05]
     --chain <M>        chain driver: recursive | checkpointed      [default: recursive]
+    --shards <N>       declination-zone shards per archive         [default: 1]
     --no-zone-chunking legacy byte-budget chunking for oversized transfers
     --jobs             start the async job service (REPL: \\submit, \\jobs)
 "
@@ -246,6 +258,8 @@ mod tests {
             "0.2",
             "--chain",
             "checkpointed",
+            "--shards",
+            "4",
         ]) {
             Command::Repl(o) => {
                 assert_eq!(o.bodies, 500);
@@ -258,6 +272,7 @@ mod tests {
                 assert_eq!(o.retry_backoff_s, 0.2);
                 assert_eq!(o.retry_policy().max_attempts, 5);
                 assert_eq!(o.chain_mode, skyquery_core::ChainMode::Checkpointed);
+                assert_eq!(o.shards, 4);
             }
             other => panic!("{other:?}"),
         }
@@ -275,6 +290,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(!Options::default().jobs, "the job service is opt-in");
+        assert_eq!(Options::default().shards, 1, "sharding is opt-in");
         // Options may precede the command.
         match parse_args(["--bodies", "10", "demo"]) {
             Command::Demo(o) => assert_eq!(o.bodies, 10),
@@ -332,6 +348,10 @@ mod tests {
             parse_args(["--chain", "telepathic", "demo"]),
             Command::Help(Some(msg)) if msg.contains("--chain")
         ));
+        assert!(matches!(
+            parse_args(["--shards", "0", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--shards")
+        ));
     }
 
     #[test]
@@ -348,6 +368,7 @@ mod tests {
             "--retries",
             "--retry-backoff",
             "--chain",
+            "--shards",
             "--no-zone-chunking",
             "--jobs",
         ] {

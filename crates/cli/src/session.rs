@@ -52,6 +52,7 @@ impl Session {
             .survey(skyquery_sim::SurveyParams::sdss_like())
             .survey(skyquery_sim::SurveyParams::twomass_like())
             .survey(skyquery_sim::SurveyParams::first_like())
+            .shards(opts.shards)
             .build();
         let mut session = Session {
             fed,

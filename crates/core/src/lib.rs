@@ -36,6 +36,7 @@ pub mod region;
 pub mod result;
 pub mod retry;
 pub mod service;
+pub mod shard;
 pub mod skynode;
 pub mod trace;
 pub mod transfer;
@@ -47,8 +48,8 @@ pub use engine::{PartialIngest, StepKind};
 pub use error::{FederationError, Result};
 pub use exchange::TransferReport;
 pub use lease::LeaseTable;
-pub use meta::{ArchiveInfo, RegisteredNode};
-pub use plan::{ExecutionPlan, PlanStep};
+pub use meta::{ArchiveInfo, RegisteredNode, Registration, ZoneExtent};
+pub use plan::{ExecutionPlan, PlanShard, PlanStep};
 pub use portal::{
     ChainMode, CheckpointedWalk, FederationConfig, HostHealth, HostState, OrderingStrategy, Portal,
 };

@@ -6,6 +6,99 @@ use skyquery_xml::Element;
 
 use crate::error::{FederationError, Result};
 
+/// A declination-zone range — the first-class addressing unit for shards
+/// of one logical archive. An archive split across several SkyNodes
+/// publishes, per shard, the contiguous range of declination it owns, on
+/// the same fixed zone grid the partitioner and the columnar store pin
+/// (`floor((dec + 90) / height)` bands from dec −90°).
+///
+/// The range is half-open at the top (`dec_lo ≤ dec < dec_hi`) except
+/// that a range ending at +90° also owns the pole itself, so a shard
+/// group whose extents tile `[−90°, +90°]` covers every object exactly
+/// once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneExtent {
+    /// Inclusive lower declination bound, degrees.
+    pub dec_lo_deg: f64,
+    /// Exclusive upper declination bound, degrees (inclusive at +90°).
+    pub dec_hi_deg: f64,
+}
+
+impl ZoneExtent {
+    /// A validated extent: bounds must be finite and non-empty.
+    pub fn new(dec_lo_deg: f64, dec_hi_deg: f64) -> Result<ZoneExtent> {
+        if !dec_lo_deg.is_finite() || !dec_hi_deg.is_finite() || dec_lo_deg >= dec_hi_deg {
+            return Err(FederationError::protocol(format!(
+                "ZoneExtent [{dec_lo_deg}, {dec_hi_deg}) is not a finite non-empty range"
+            )));
+        }
+        Ok(ZoneExtent {
+            dec_lo_deg,
+            dec_hi_deg,
+        })
+    }
+
+    /// The whole sky — what an unsharded archive owns, and what a peer
+    /// that predates zone-range addressing is assumed to own.
+    pub fn full_sky() -> ZoneExtent {
+        ZoneExtent {
+            dec_lo_deg: -90.0,
+            dec_hi_deg: 90.0,
+        }
+    }
+
+    /// Whether this extent covers the whole sky.
+    pub fn is_full_sky(&self) -> bool {
+        self.dec_lo_deg <= -90.0 && self.dec_hi_deg >= 90.0
+    }
+
+    /// Whether a declination falls inside this extent (half-open at the
+    /// top, except at the +90° pole).
+    pub fn contains_dec(&self, dec_deg: f64) -> bool {
+        dec_deg >= self.dec_lo_deg
+            && (dec_deg < self.dec_hi_deg || (dec_deg == 90.0 && self.dec_hi_deg >= 90.0))
+    }
+
+    /// Encodes as the optional `ZoneExtent` wire element carried inside
+    /// Information payloads.
+    pub fn to_element(&self) -> Element {
+        Element::new("ZoneExtent")
+            .with_attr("dec_lo", format!("{:?}", self.dec_lo_deg))
+            .with_attr("dec_hi", format!("{:?}", self.dec_hi_deg))
+    }
+
+    /// Decodes the wire element, rejecting non-finite or empty ranges.
+    pub fn from_element(e: &Element) -> Result<ZoneExtent> {
+        if e.name != "ZoneExtent" {
+            return Err(FederationError::protocol(format!(
+                "expected ZoneExtent element, found {}",
+                e.name
+            )));
+        }
+        let attr = |name: &str| -> Result<f64> {
+            e.attr(name)
+                .ok_or_else(|| {
+                    FederationError::protocol(format!("ZoneExtent missing attribute {name}"))
+                })?
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| FederationError::protocol(format!("ZoneExtent bad {name}")))
+        };
+        let extent = ZoneExtent {
+            dec_lo_deg: attr("dec_lo")?,
+            dec_hi_deg: attr("dec_hi")?,
+        };
+        if extent.dec_lo_deg >= extent.dec_hi_deg {
+            return Err(FederationError::protocol(format!(
+                "ZoneExtent is empty: dec_lo {} >= dec_hi {}",
+                extent.dec_lo_deg, extent.dec_hi_deg
+            )));
+        }
+        Ok(extent)
+    }
+}
+
 /// The astronomy-specific constants an archive publishes through its
 /// Information service (§5.1: "object position estimation errors, the
 /// name of primary table that stores the position of objects, etc.").
@@ -19,6 +112,10 @@ pub struct ArchiveInfo {
     pub primary_table: String,
     /// HTM mesh depth of the archive's position index.
     pub htm_depth: u8,
+    /// The declination-zone range this node owns when it is one shard of
+    /// a sharded archive. `None` (the wire default, and what nodes
+    /// predating zone-range addressing send) means the whole sky.
+    pub extent: Option<ZoneExtent>,
 }
 
 impl ArchiveInfo {
@@ -27,21 +124,40 @@ impl ArchiveInfo {
         (self.sigma_arcsec / 3600.0).to_radians()
     }
 
-    /// Encodes as the Information service's wire payload.
+    /// The zone range this node owns: its published extent, or the whole
+    /// sky for an unsharded (or pre-sharding) node.
+    pub fn owned_extent(&self) -> ZoneExtent {
+        self.extent.unwrap_or_else(ZoneExtent::full_sky)
+    }
+
+    /// Encodes as the Information service's wire payload. The optional
+    /// `ZoneExtent` child versions the payload: absent means full sky,
+    /// so peers predating zone-range addressing interoperate unchanged.
     pub fn to_element(&self) -> Element {
-        Element::new("ArchiveInfo")
+        let mut el = Element::new("ArchiveInfo")
             .with_attr("name", self.name.clone())
             .with_attr("sigma_arcsec", format!("{:?}", self.sigma_arcsec))
             .with_attr("primary_table", self.primary_table.clone())
-            .with_attr("htm_depth", self.htm_depth.to_string())
+            .with_attr("htm_depth", self.htm_depth.to_string());
+        if let Some(extent) = &self.extent {
+            el = el.with_child(extent.to_element());
+        }
+        el
     }
 
-    /// Decodes the Information service's wire payload.
+    /// Decodes the Information service's wire payload. A missing
+    /// `ZoneExtent` child means the node owns the whole sky (the
+    /// pre-sharding wire format); a present-but-malformed one is an
+    /// error, not a silent full-sky fallback.
     pub fn from_element(e: &Element) -> Result<ArchiveInfo> {
         let attr = |name: &str| {
             e.attr(name).ok_or_else(|| {
                 FederationError::protocol(format!("ArchiveInfo missing attribute {name}"))
             })
+        };
+        let extent = match e.children_named("ZoneExtent").next() {
+            Some(ze) => Some(ZoneExtent::from_element(ze)?),
+            None => None,
         };
         Ok(ArchiveInfo {
             name: attr("name")?.to_string(),
@@ -52,8 +168,28 @@ impl ArchiveInfo {
             htm_depth: attr("htm_depth")?
                 .parse()
                 .map_err(|_| FederationError::protocol("bad htm_depth"))?,
+            extent,
         })
     }
+}
+
+/// What [`Portal::register_node`](crate::Portal::register_node) hands
+/// back: a summary of the registration, not the raw Information payload.
+/// With sharded archives a registration is one shard joining a group, so
+/// the interesting facts are the group-level ones — which logical archive
+/// it joined, what zone range it owns, and how large the group now is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// The logical archive the node registered under.
+    pub archive: String,
+    /// The zone range the registering node owns (full sky if it did not
+    /// publish one).
+    pub extent: ZoneExtent,
+    /// How many physical shards the archive's group now has, including
+    /// the one just registered.
+    pub shard_count: usize,
+    /// Tables in the registering node's catalog.
+    pub table_count: usize,
 }
 
 /// Encodes a storage catalog as the Meta-data service's XML payload.
@@ -107,7 +243,15 @@ pub fn catalog_from_element(e: &Element) -> Result<Catalog> {
             .attr("rows")
             .and_then(|r| r.parse().ok())
             .ok_or_else(|| FederationError::protocol("Table missing rows"))?;
-        let approx_bytes: usize = te.attr("bytes").and_then(|r| r.parse().ok()).unwrap_or(0);
+        // Absent is back-compat (peers predating size estimates), but a
+        // present-yet-unparseable value is corruption — defaulting it to
+        // 0 would silently skew the planner's size estimates.
+        let approx_bytes: usize = match te.attr("bytes") {
+            None => 0,
+            Some(raw) => raw.parse().map_err(|_| {
+                FederationError::protocol(format!("Table {name} has malformed bytes {raw:?}"))
+            })?,
+        };
         let mut columns = Vec::new();
         for ce in te.children_named("Column") {
             let cname = ce
@@ -165,6 +309,11 @@ impl RegisteredNode {
     pub fn table_schema(&self, table: &str) -> Option<&TableSchema> {
         self.catalog.table(table).map(|t| &t.schema)
     }
+
+    /// The zone range this physical node owns (full sky when unsharded).
+    pub fn extent(&self) -> ZoneExtent {
+        self.info.owned_extent()
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +326,7 @@ mod tests {
             sigma_arcsec: 0.1,
             primary_table: "Photo_Object".into(),
             htm_depth: 12,
+            extent: None,
         }
     }
 
@@ -192,6 +342,81 @@ mod tests {
     fn archive_info_rejects_missing_fields() {
         let e = Element::new("ArchiveInfo").with_attr("name", "X");
         assert!(ArchiveInfo::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn archive_info_extent_roundtrip() {
+        // A sharded node's Information payload carries its zone range.
+        let mut i = info();
+        i.extent = Some(ZoneExtent {
+            dec_lo_deg: -90.0,
+            dec_hi_deg: 0.3,
+        });
+        let back = ArchiveInfo::from_element(&i.to_element()).unwrap();
+        assert_eq!(back, i);
+        assert_eq!(
+            back.owned_extent(),
+            ZoneExtent {
+                dec_lo_deg: -90.0,
+                dec_hi_deg: 0.3,
+            }
+        );
+    }
+
+    #[test]
+    fn archive_info_without_extent_means_full_sky() {
+        // The pre-sharding wire format: no ZoneExtent child. Old nodes
+        // interoperate and are treated as owning the whole sky.
+        let back = ArchiveInfo::from_element(&info().to_element()).unwrap();
+        assert_eq!(back.extent, None);
+        assert!(back.owned_extent().is_full_sky());
+    }
+
+    #[test]
+    fn archive_info_rejects_malformed_extent() {
+        // A present-but-garbled extent is an error, never a silent
+        // full-sky fallback — that would double-count a shard's rows.
+        for child in [
+            Element::new("ZoneExtent").with_attr("dec_lo", "0.0"),
+            Element::new("ZoneExtent")
+                .with_attr("dec_lo", "NaN")
+                .with_attr("dec_hi", "1.0"),
+            Element::new("ZoneExtent")
+                .with_attr("dec_lo", "0.0")
+                .with_attr("dec_hi", "garbage"),
+            Element::new("ZoneExtent")
+                .with_attr("dec_lo", "5.0")
+                .with_attr("dec_hi", "5.0"),
+        ] {
+            let el = info().to_element().with_child(child);
+            assert!(ArchiveInfo::from_element(&el).is_err());
+        }
+    }
+
+    #[test]
+    fn zone_extent_semantics() {
+        let full = ZoneExtent::full_sky();
+        assert!(full.is_full_sky());
+        assert!(full.contains_dec(-90.0));
+        assert!(full.contains_dec(90.0));
+        let band = ZoneExtent {
+            dec_lo_deg: 0.0,
+            dec_hi_deg: 45.0,
+        };
+        assert!(!band.is_full_sky());
+        assert!(band.contains_dec(0.0));
+        assert!(band.contains_dec(44.999));
+        assert!(!band.contains_dec(45.0), "half-open at the top");
+        assert!(!band.contains_dec(-0.001));
+        // The topmost band of a tiling owns the pole itself.
+        let top = ZoneExtent {
+            dec_lo_deg: 45.0,
+            dec_hi_deg: 90.0,
+        };
+        assert!(top.contains_dec(90.0));
+        // Round-trip.
+        assert_eq!(ZoneExtent::from_element(&band.to_element()).unwrap(), band);
+        assert!(ZoneExtent::from_element(&Element::new("NotExtent")).is_err());
     }
 
     #[test]
@@ -217,6 +442,31 @@ mod tests {
         };
         let back = catalog_from_element(&catalog_to_element(&cat)).unwrap();
         assert_eq!(back, cat);
+    }
+
+    #[test]
+    fn catalog_bytes_attribute_absent_is_zero_but_garbled_is_rejected() {
+        let table = |bytes: Option<&str>| {
+            let mut te = Element::new("Table")
+                .with_attr("name", "t")
+                .with_attr("rows", "1");
+            if let Some(b) = bytes {
+                te = te.with_attr("bytes", b);
+            }
+            Element::new("Catalog")
+                .with_attr("database", "X")
+                .with_child(te)
+        };
+        // Absent: back-compat with peers predating size estimates.
+        let cat = catalog_from_element(&table(None)).unwrap();
+        assert_eq!(cat.tables[0].approx_bytes, 0);
+        // Present and well-formed.
+        let cat = catalog_from_element(&table(Some("4567"))).unwrap();
+        assert_eq!(cat.tables[0].approx_bytes, 4567);
+        // Present but garbled: rejected, not silently zeroed (a zero
+        // would skew the planner's size estimates).
+        assert!(catalog_from_element(&table(Some("not-a-number"))).is_err());
+        assert!(catalog_from_element(&table(Some("-3"))).is_err());
     }
 
     #[test]

@@ -19,8 +19,19 @@ use skyquery_xml::Element;
 use crate::region::Region;
 
 use crate::error::{FederationError, Result};
+use crate::meta::ZoneExtent;
 use crate::retry::RetryPolicy;
 use crate::xmatch::{MatchKernel, StepConfig};
+
+/// One physical shard of a sharded archive addressed by a plan step: the
+/// SkyNode that owns one declination-zone range of the archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanShard {
+    /// SOAP endpoint of the shard's SkyNode.
+    pub url: Url,
+    /// The zone range this shard owns.
+    pub extent: ZoneExtent,
+}
 
 /// One entry of the plan list.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +42,8 @@ pub struct PlanStep {
     pub archive: String,
     /// The table queried at this archive.
     pub table: String,
-    /// SOAP endpoint of the SkyNode.
+    /// SOAP endpoint of the SkyNode (the primary shard when the archive
+    /// is sharded).
     pub url: Url,
     /// Whether this archive is a drop-out (`!` in XMATCH).
     pub dropout: bool,
@@ -45,8 +57,14 @@ pub struct PlanStep {
     /// processing, as dialect SQL.
     pub residual_sql: Vec<String>,
     /// The count-star estimate that ordered this step (None for
-    /// drop-outs, which get no performance query).
+    /// drop-outs, which get no performance query). For a sharded archive
+    /// this is the sum of the shards' estimates.
     pub count_estimate: Option<u64>,
+    /// The physical shards of this archive, by zone range, when the
+    /// archive is split across several SkyNodes. Empty (the legacy wire
+    /// default) means the single node at `url` owns the whole archive
+    /// and the step executes un-scattered.
+    pub shards: Vec<PlanShard>,
 }
 
 /// The complete plan.
@@ -127,6 +145,13 @@ impl ExecutionPlan {
     /// Index of the seed step (the first to execute).
     pub fn seed_index(&self) -> usize {
         self.steps.len() - 1
+    }
+
+    /// Whether any step addresses a sharded archive — such a plan is
+    /// driven by the Portal's scatter-gather executor rather than the
+    /// node-to-node daisy chain.
+    pub fn has_shards(&self) -> bool {
+        self.steps.iter().any(|s| !s.shards.is_empty())
     }
 
     /// Builds the [`StepConfig`] the cross-match stored procedure needs at
@@ -231,6 +256,14 @@ impl ExecutionPlan {
             for r in &step.residual_sql {
                 se = se.with_child(Element::new("Residual").with_text(r.clone()));
             }
+            for shard in &step.shards {
+                se = se.with_child(
+                    Element::new("Shard")
+                        .with_attr("url", shard.url.to_string())
+                        .with_attr("dec_lo", format!("{:?}", shard.extent.dec_lo_deg))
+                        .with_attr("dec_hi", format!("{:?}", shard.extent.dec_hi_deg)),
+                );
+            }
             plan = plan.with_child(se);
         }
         plan
@@ -288,6 +321,31 @@ impl ExecutionPlan {
                     .map(|r| r.text.clone())
                     .collect(),
                 count_estimate: se.attr("count").and_then(|c| c.parse().ok()),
+                // Plans from peers predating sharded archives carry no
+                // Shard children; empty means the single node at `url`.
+                shards: se
+                    .children_named("Shard")
+                    .map(|sh| -> Result<PlanShard> {
+                        let url = sh.attr("url").ok_or_else(|| {
+                            FederationError::protocol("Shard missing attribute url")
+                        })?;
+                        let dec = |name: &str| -> Result<f64> {
+                            sh.attr(name)
+                                .and_then(|v| v.parse::<f64>().ok())
+                                .filter(|v| v.is_finite())
+                                .ok_or_else(|| {
+                                    FederationError::protocol(format!("Shard bad {name}"))
+                                })
+                        };
+                        Ok(PlanShard {
+                            url: Url::parse(url).map_err(FederationError::Net)?,
+                            extent: ZoneExtent {
+                                dec_lo_deg: dec("dec_lo")?,
+                                dec_hi_deg: dec("dec_hi")?,
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
             });
         }
         if steps.is_empty() {
@@ -421,6 +479,7 @@ mod tests {
                     carried: vec![],
                     residual_sql: vec![],
                     count_estimate: None,
+                    shards: vec![],
                 },
                 PlanStep {
                     alias: "O".into(),
@@ -433,6 +492,7 @@ mod tests {
                     carried: vec!["object_id".into(), "i_flux".into()],
                     residual_sql: vec!["O.i_flux - T.i_flux > 2".into()],
                     count_estimate: Some(1200),
+                    shards: vec![],
                 },
                 PlanStep {
                     alias: "T".into(),
@@ -445,6 +505,7 @@ mod tests {
                     carried: vec!["object_id".into(), "i_flux".into()],
                     residual_sql: vec![],
                     count_estimate: Some(800),
+                    shards: vec![],
                 },
             ],
             select: vec![
@@ -634,6 +695,60 @@ mod tests {
         // (see legacy_plans_default_to_default_retry_policy) default it,
         // and a customized value round-trips.
         assert_eq!(back.retry.jitter, 0.25);
+    }
+
+    #[test]
+    fn shard_lists_roundtrip() {
+        let mut p = demo_plan();
+        p.steps[1].shards = vec![
+            PlanShard {
+                url: Url::new("sdss-s0.skyquery.net", "/soap"),
+                extent: ZoneExtent::new(-90.0, 0.0).unwrap(),
+            },
+            PlanShard {
+                url: Url::new("sdss-s1.skyquery.net", "/soap"),
+                extent: ZoneExtent::new(0.0, 90.0).unwrap(),
+            },
+        ];
+        let back = ExecutionPlan::from_element(&p.to_element()).unwrap();
+        assert_eq!(back, p);
+        assert!(back.has_shards());
+        assert!(!demo_plan().has_shards());
+    }
+
+    #[test]
+    fn legacy_plans_default_to_no_shards() {
+        // A plan element written before shard addressing existed carries
+        // no Shard children; decoding leaves every step un-scattered.
+        let p = ExecutionPlan::from_element(&demo_plan().to_element()).unwrap();
+        assert!(p.steps.iter().all(|s| s.shards.is_empty()));
+        // A Shard child missing its url, or with a garbled extent, is a
+        // protocol error rather than a silently dropped shard.
+        let mut el = demo_plan().to_element();
+        for child in &mut el.children {
+            if child.name == "Step" {
+                child.children.push(
+                    Element::new("Shard")
+                        .with_attr("dec_lo", "-90")
+                        .with_attr("dec_hi", "90"),
+                );
+                break;
+            }
+        }
+        assert!(ExecutionPlan::from_element(&el).is_err());
+        let mut el = demo_plan().to_element();
+        for child in &mut el.children {
+            if child.name == "Step" {
+                child.children.push(
+                    Element::new("Shard")
+                        .with_attr("url", "http://h/soap")
+                        .with_attr("dec_lo", "NaN")
+                        .with_attr("dec_hi", "90"),
+                );
+                break;
+            }
+        }
+        assert!(ExecutionPlan::from_element(&el).is_err());
     }
 
     #[test]

@@ -21,18 +21,22 @@ use skyquery_sql::{decompose, parse_query, DecomposedQuery, Expr};
 use skyquery_storage::{DataType, Value};
 
 use crate::error::{FederationError, Result};
-use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode};
-use crate::plan::{ExecutionPlan, PlanStep, DEFAULT_LEASE_TTL_S, DEFAULT_MAX_MESSAGE_BYTES};
+use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode, Registration};
+use crate::plan::{
+    ExecutionPlan, PlanShard, PlanStep, DEFAULT_LEASE_TTL_S, DEFAULT_MAX_MESSAGE_BYTES,
+};
 use crate::region::Region;
 use crate::result::{ResultColumn, ResultSet};
 use crate::retry::RetryPolicy;
+use crate::shard;
 use crate::skynode::invoke_cross_match;
 use crate::trace::{ExecutionTrace, StatsChain};
 use crate::transfer::{
-    open_checkpoint, release_checkpoint, renew_lease, send_rpc_with, IncomingPartial,
+    invoke_scatter_step, open_checkpoint, release_checkpoint, renew_lease, send_rpc_with,
+    IncomingPartial,
 };
 use crate::xmatch::MatchKernel;
-use crate::xmatch::{PartialSet, TupleBindings};
+use crate::xmatch::{PartialSet, StepStats, TupleBindings};
 
 /// How the Portal orders the mandatory archives in the plan list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,7 +147,11 @@ pub struct Portal {
     host: String,
     net: SimNetwork,
     config: Mutex<FederationConfig>,
-    nodes: Mutex<HashMap<String, RegisteredNode>>,
+    /// Shard groups keyed by upper-cased logical archive name. Each
+    /// group holds the archive's physical shards sorted by the zone
+    /// range they own (then by host); an unsharded archive is a group of
+    /// one full-sky node.
+    nodes: Mutex<HashMap<String, Vec<RegisteredNode>>>,
     /// UDDI-style repository of the federation's services (§3.1:
     /// "services can register themselves and be discovered").
     registry: ServiceRegistry,
@@ -276,6 +284,7 @@ impl Portal {
             .nodes
             .lock()
             .values()
+            .flatten()
             .find(|n| n.url.host == host)
             .map(|n| n.url.clone());
         let Some(url) = url else { return false };
@@ -333,17 +342,74 @@ impl Portal {
         v
     }
 
-    /// The catalog entry for an archive.
+    /// The catalog entry for a logical archive: its primary shard (the
+    /// one owning the lowest declination range). Metadata — schema, σ,
+    /// primary table — is identical across a shard group, so this is the
+    /// right entry point for planning lookups; use
+    /// [`Portal::shards_of`] for the physical membership.
     pub fn node(&self, archive: &str) -> Option<RegisteredNode> {
         self.nodes
             .lock()
             .get(&archive.to_ascii_uppercase())
+            .and_then(|group| group.first().cloned())
+    }
+
+    /// All physical shards of a logical archive, sorted by the zone
+    /// range they own (an unsharded archive is a group of one full-sky
+    /// node). Empty if the archive is not registered.
+    pub fn shards_of(&self, archive: &str) -> Vec<RegisteredNode> {
+        self.nodes
+            .lock()
+            .get(&archive.to_ascii_uppercase())
             .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The UDDI provider name one shard registers under: the archive
+    /// name for the group's primary shard, `name@host` for the rest.
+    fn provider_name(index: usize, node: &RegisteredNode) -> String {
+        if index == 0 {
+            node.info.name.clone()
+        } else {
+            format!("{}@{}", node.info.name, node.url.host)
+        }
+    }
+
+    /// Rewrites the registry records of one shard group from scratch:
+    /// membership and ordering may both have changed, so stale provider
+    /// names are dropped before the group re-registers.
+    fn sync_registry(&self, name: &str, group: &[RegisteredNode]) {
+        self.registry.unregister(name);
+        for n in group {
+            self.registry
+                .unregister(&format!("{}@{}", n.info.name, n.url.host));
+        }
+        for (i, n) in group.iter().enumerate() {
+            let extent = n.extent();
+            let range = if extent.is_full_sky() {
+                String::new()
+            } else {
+                format!(", dec [{}, {})", extent.dec_lo_deg, extent.dec_hi_deg)
+            };
+            self.registry.register(ServiceRecord {
+                provider: Self::provider_name(i, n),
+                category: "SkyNode".into(),
+                url: n.url.clone(),
+                description: format!(
+                    "σ={}\" archive, primary table {}{range}",
+                    n.info.sigma_arcsec, n.info.primary_table
+                ),
+            });
+        }
     }
 
     /// Registers the SkyNode at `url`: calls its Meta-data and Information
-    /// services and catalogs the results (§5.1 registration flow).
-    pub fn register_node(&self, url: &Url) -> Result<ArchiveInfo> {
+    /// services and catalogs the results (§5.1 registration flow). A node
+    /// publishing a [`crate::meta::ZoneExtent`] joins its archive's shard
+    /// group as the owner of that zone range; re-registering from the
+    /// same host replaces the previous entry. Returns a [`Registration`]
+    /// summary of what the Portal now knows about the archive.
+    pub fn register_node(&self, url: &Url) -> Result<Registration> {
         let info_resp = self.call(url, &RpcCall::new("Information"))?;
         let info = ArchiveInfo::from_element(
             info_resp
@@ -358,31 +424,56 @@ impl Portal {
                 .as_xml()
                 .ok_or_else(|| FederationError::protocol("catalog must be xml"))?,
         )?;
+        let table_count = catalog.tables.len();
         let node = RegisteredNode {
             info: info.clone(),
             url: url.clone(),
             catalog,
         };
-        self.nodes
-            .lock()
-            .insert(info.name.to_ascii_uppercase(), node);
-        self.registry.register(ServiceRecord {
-            provider: info.name.clone(),
-            category: "SkyNode".into(),
-            url: url.clone(),
-            description: format!(
-                "σ={}\" archive, primary table {}",
-                info.sigma_arcsec, info.primary_table
-            ),
-        });
-        Ok(info)
+        let group = {
+            let mut nodes = self.nodes.lock();
+            let group = nodes.entry(info.name.to_ascii_uppercase()).or_default();
+            group.retain(|n| n.url.host != url.host);
+            group.push(node);
+            group.sort_by(|a, b| {
+                a.extent()
+                    .dec_lo_deg
+                    .total_cmp(&b.extent().dec_lo_deg)
+                    .then_with(|| a.url.host.cmp(&b.url.host))
+            });
+            group.clone()
+        };
+        self.sync_registry(&info.name, &group);
+        Ok(Registration {
+            archive: info.name.clone(),
+            extent: info.owned_extent(),
+            shard_count: group.len(),
+            table_count,
+        })
     }
 
-    /// Removes an archive from the federation.
+    /// Registers the SkyNode at `url` and returns its raw
+    /// [`ArchiveInfo`], as `register_node` did before shard groups.
+    #[deprecated(note = "use register_node, which returns a Registration summary; \
+                         fetch shard details with shards_of")]
+    pub fn register_node_info(&self, url: &Url) -> Result<ArchiveInfo> {
+        let reg = self.register_node(url)?;
+        Ok(self
+            .shards_of(&reg.archive)
+            .into_iter()
+            .find(|n| n.url.host == url.host)
+            .expect("the node was just registered")
+            .info)
+    }
+
+    /// Removes a logical archive — every shard of it — from the
+    /// federation.
     pub fn unregister(&self, archive: &str) -> bool {
         let removed = self.nodes.lock().remove(&archive.to_ascii_uppercase());
-        if let Some(node) = &removed {
-            self.registry.unregister(&node.info.name);
+        if let Some(group) = &removed {
+            for (i, n) in group.iter().enumerate() {
+                self.registry.unregister(&Self::provider_name(i, n));
+            }
         }
         removed.is_some()
     }
@@ -521,7 +612,15 @@ impl Portal {
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
     ) -> Result<(PartialSet, StatsChain)> {
-        match self.config().chain_mode {
+        let mode = self.config().chain_mode;
+        if plan.has_shards() {
+            // A plan addressing any sharded archive is driven step by
+            // step from the Portal, scattering each step to the owning
+            // shards; the node-to-node daisy chain cannot express a
+            // scatter.
+            return self.run_scatter_chain(plan, trace, mode);
+        }
+        match mode {
             ChainMode::Recursive => {
                 let r = invoke_cross_match(&self.net, &self.host, &plan.steps[0].url, plan, 0);
                 self.note_health(&r);
@@ -625,6 +724,270 @@ impl Portal {
         walk.finish(self)
     }
 
+    /// Drives a plan with sharded steps from the Portal, seed to head.
+    /// Each step is scattered in parallel to the shards that own it
+    /// (`ScatterStep` calls), the shard outputs are merged
+    /// deterministically ([`crate::shard`]), and the merged set — held
+    /// in Portal memory — is both the next step's input and the chain's
+    /// checkpoint; shards retain no per-query state between steps.
+    ///
+    /// Under [`ChainMode::Recursive`] any failure aborts the submission
+    /// (the daisy chain's semantics). Under [`ChainMode::Checkpointed`]
+    /// the executor re-plans exactly like [`CheckpointedWalk`]: a
+    /// drop-out step that lost *some* shards degrades to the shards
+    /// that answered, a drop-out step that lost *all* shards is skipped
+    /// (unless residuals or carried columns route through it), and a
+    /// failing mandatory step is deferred behind the other mandatory
+    /// steps — resuming from the in-memory merged set without
+    /// re-running any committed step.
+    fn run_scatter_chain(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &mut ExecutionTrace,
+        mode: ChainMode,
+    ) -> Result<(PartialSet, StatsChain)> {
+        let mut remaining = plan.steps.clone();
+        let mut executed: Vec<String> = Vec::new();
+        let mut deferrals: HashMap<String, u64> = HashMap::new();
+        let mut current: Option<PartialSet> = None;
+        let mut stats = StatsChain::new();
+        let mut recovering = false;
+        while let Some(idx) = remaining.len().checked_sub(1) {
+            let step = remaining[idx].clone();
+            let mut sub_plan = plan.clone();
+            sub_plan.steps = remaining.clone();
+            match self.scatter_step(&sub_plan, idx, current.as_ref(), mode, trace) {
+                Ok((set, st, degraded)) => {
+                    stats.push(step.alias.clone(), st);
+                    if recovering && !degraded {
+                        recovering = false;
+                        trace.push(
+                            "Portal",
+                            "resume",
+                            format!("chain resumed at {} ({} rows)", step.alias, set.len()),
+                        );
+                        self.net.record_node_event(&self.host, "resume");
+                    }
+                    if degraded {
+                        recovering = true;
+                    }
+                    current = Some(set);
+                    executed.push(step.alias.clone());
+                    remaining.pop();
+                }
+                Err(e) => {
+                    if mode == ChainMode::Recursive
+                        || !matches!(e, FederationError::NodeUnhealthy { .. })
+                    {
+                        return Err(e);
+                    }
+                    if step.dropout {
+                        // Optional archive entirely unreachable:
+                        // continue without its filter — unless the plan
+                        // routed residuals or carried columns through
+                        // it, where skipping would change the query's
+                        // meaning rather than its completeness.
+                        if !step.residual_sql.is_empty() || !step.carried.is_empty() {
+                            return Err(e);
+                        }
+                        trace.push(
+                            "Portal",
+                            "degraded",
+                            format!(
+                                "optional archive {} unreachable; continuing without its \
+                                 drop-out filter",
+                                step.alias
+                            ),
+                        );
+                        self.net.record_node_event(&self.host, "degraded");
+                        remaining.pop();
+                        recovering = true;
+                    } else {
+                        let first_mandatory = remaining
+                            .iter()
+                            .position(|s| !s.dropout)
+                            .expect("the failing step itself is mandatory");
+                        let tries = deferrals.entry(step.alias.clone()).or_insert(0);
+                        if *tries >= MAX_STEP_DEFERRALS || remaining.len() - first_mandatory < 2 {
+                            return Err(e);
+                        }
+                        *tries += 1;
+                        let failed = remaining.pop().expect("indexed above");
+                        remaining.insert(first_mandatory, failed);
+                        replace_residuals(&mut remaining, &executed)?;
+                        trace.push(
+                            "Portal",
+                            "replan",
+                            format!(
+                                "deferred {} after failure; new order: {}",
+                                step.alias,
+                                remaining
+                                    .iter()
+                                    .rev()
+                                    .map(|s| s.alias.as_str())
+                                    .collect::<Vec<_>>()
+                                    .join(" -> ")
+                            ),
+                        );
+                        self.net.record_node_event(&self.host, "replan");
+                        recovering = true;
+                    }
+                }
+            }
+        }
+        let set =
+            current.ok_or_else(|| FederationError::planning("scatter chain committed no steps"))?;
+        Ok((set, stats))
+    }
+
+    /// Scatters one step (`idx`, the tail of `plan.steps`) to its owning
+    /// shards in parallel and gathers the replies into one merged
+    /// partial set plus the step's merged statistics. The third return
+    /// is a `degraded` flag: `true` when a drop-out step lost shards
+    /// but was answered from the rest (Checkpointed mode only).
+    fn scatter_step(
+        &self,
+        plan: &ExecutionPlan,
+        idx: usize,
+        input: Option<&PartialSet>,
+        mode: ChainMode,
+        trace: &mut ExecutionTrace,
+    ) -> Result<(PartialSet, StepStats, bool)> {
+        let step = &plan.steps[idx];
+        let targets: Vec<Url> = if step.shards.is_empty() {
+            vec![step.url.clone()]
+        } else {
+            step.shards.iter().map(|s| s.url.clone()).collect()
+        };
+        let multi = targets.len() > 1;
+        let dropout = step.dropout;
+
+        // When scattered, a non-drop-out step additionally carries the
+        // shard table's rank column so the gather can restore the
+        // single-node output order; the input set is tagged with each
+        // tuple's index for the same reason.
+        let mut wire_plan = plan.clone();
+        if multi && !dropout {
+            wire_plan.steps[idx]
+                .carried
+                .push(shard::RANK_COL.to_string());
+        }
+        let input_table = input.map(|set| {
+            if multi {
+                shard::tag_with_src(set).to_votable()
+            } else {
+                set.to_votable()
+            }
+        });
+
+        let net = &self.net;
+        let host = &self.host;
+        let wire = &wire_plan;
+        let tbl = input_table.as_ref();
+        let results: Vec<Result<(PartialSet, StatsChain)>> = if multi {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = targets
+                    .iter()
+                    .map(|url| {
+                        scope.spawn(move |_| invoke_scatter_step(net, host, url, wire, idx, tbl))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .collect()
+            })
+            .expect("scope does not panic")
+        } else {
+            targets
+                .iter()
+                .map(|url| invoke_scatter_step(net, host, url, wire, idx, tbl))
+                .collect()
+        };
+
+        for (url, r) in targets.iter().zip(&results) {
+            self.note_health(r);
+            if r.is_ok() {
+                self.note_healthy(&url.host);
+            }
+        }
+
+        let mut parts: Vec<(PartialSet, StepStats)> = Vec::new();
+        let mut errs: Vec<(String, FederationError)> = Vec::new();
+        for (url, r) in targets.iter().zip(results) {
+            match r {
+                Ok((set, chain)) => {
+                    let st = chain
+                        .entries
+                        .into_iter()
+                        .next()
+                        .map(|(_, s)| s)
+                        .unwrap_or_default();
+                    parts.push((set, st));
+                }
+                Err(e) => errs.push((url.host.clone(), e)),
+            }
+        }
+
+        if !errs.is_empty() {
+            let all_unhealthy = errs
+                .iter()
+                .all(|(_, e)| matches!(e, FederationError::NodeUnhealthy { .. }));
+            // A drop-out step may degrade to the shards that answered:
+            // intersecting over fewer shards only weakens the filter,
+            // which is a completeness loss, not a correctness one.
+            let degradable =
+                mode == ChainMode::Checkpointed && dropout && multi && !parts.is_empty();
+            if !(all_unhealthy && degradable) {
+                // Prefer surfacing a fatal error so the driver aborts
+                // rather than deferring a step that can never succeed.
+                let fatal = errs
+                    .iter()
+                    .position(|(_, e)| !matches!(e, FederationError::NodeUnhealthy { .. }))
+                    .unwrap_or(0);
+                return Err(errs.swap_remove(fatal).1);
+            }
+            let lost: Vec<&str> = errs.iter().map(|(h, _)| h.as_str()).collect();
+            trace.push(
+                "Portal",
+                "degraded",
+                format!(
+                    "drop-out {}: shard(s) {} unreachable; intersecting over {} answering \
+                     shard(s)",
+                    step.alias,
+                    lost.join(", "),
+                    parts.len()
+                ),
+            );
+            self.net.record_node_event(&self.host, "degraded");
+            let (set, st) = shard::merge_dropout(&parts)?;
+            return Ok((set, st, true));
+        }
+
+        let (set, st) = if !multi {
+            parts.into_iter().next().expect("one target answered")
+        } else if input.is_none() {
+            shard::merge_seed(&parts, &step.alias)?
+        } else if dropout {
+            shard::merge_dropout(&parts)?
+        } else {
+            shard::merge_match(&parts, &step.alias)?
+        };
+        if multi {
+            trace.push(
+                "Portal",
+                "scatter",
+                format!(
+                    "{}: {} shards -> {} rows merged",
+                    step.alias,
+                    targets.len(),
+                    set.len()
+                ),
+            );
+        }
+        Ok((set, st, false))
+    }
+
     /// Runs the count-star performance queries, in parallel when
     /// configured (the paper passes them "as asynchronous SOAP messages").
     fn run_performance_queries(
@@ -634,19 +997,23 @@ impl Portal {
     ) -> Result<HashMap<String, u64>> {
         let config = self.config();
         let mut out = HashMap::new();
-        let jobs: Vec<(String, String, Url)> = dq
-            .performance_queries
-            .iter()
-            .map(|pq| -> Result<(String, String, Url)> {
-                let node = self.node(&pq.archive).ok_or_else(|| {
-                    FederationError::planning(format!(
-                        "archive {} is not registered with the Portal",
-                        pq.archive
-                    ))
-                })?;
-                Ok((pq.alias.clone(), pq.to_sql(), node.url))
-            })
-            .collect::<Result<Vec<_>>>()?;
+        // One job per (alias, shard): each shard counts its own zone
+        // range and the Portal sums the estimates per alias, so a
+        // sharded archive orders the plan exactly as its single-node
+        // equivalent would.
+        let mut jobs: Vec<(String, String, Url)> = Vec::new();
+        for pq in &dq.performance_queries {
+            let group = self.shards_of(&pq.archive);
+            if group.is_empty() {
+                return Err(FederationError::planning(format!(
+                    "archive {} is not registered with the Portal",
+                    pq.archive
+                )));
+            }
+            for n in group {
+                jobs.push((pq.alias.clone(), pq.to_sql(), n.url));
+            }
+        }
 
         let run_one = |alias: &str, sql: &str, url: &Url| -> Result<(String, u64)> {
             let resp = self.call(
@@ -674,13 +1041,13 @@ impl Portal {
             .expect("scope does not panic");
             for r in results {
                 let (alias, count) = r?;
-                out.insert(alias, count);
+                *out.entry(alias).or_insert(0) += count;
             }
         } else {
             for (alias, sql, url) in &jobs {
                 let (a, c) = run_one(alias, sql, url)?;
                 trace.push("Portal", "performance query", format!("{sql} -> {c} [{a}]"));
-                out.insert(a, c);
+                *out.entry(a).or_insert(0) += c;
             }
         }
         if config.parallel_performance_queries && !jobs.is_empty() {
@@ -760,6 +1127,21 @@ impl Portal {
                     slice.table.archive, slice.table.table
                 )));
             }
+            // A shard group of more than one node makes this step a
+            // scatter-gather step: the plan lists every shard with the
+            // zone range it owns.
+            let group = self.shards_of(&slice.table.archive);
+            let shards = if group.len() > 1 {
+                group
+                    .iter()
+                    .map(|n| PlanShard {
+                        url: n.url.clone(),
+                        extent: n.extent(),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             steps.push(PlanStep {
                 alias: slice.table.alias.clone(),
                 archive: node.info.name.clone(),
@@ -771,6 +1153,7 @@ impl Portal {
                 carried: slice.carried_columns.clone(),
                 residual_sql: Vec::new(),
                 count_estimate: counts.get(slice.table.alias.as_str()).copied(),
+                shards,
             });
         }
 
@@ -1261,8 +1644,10 @@ impl Endpoint for Portal {
                         .as_str()
                         .ok_or_else(|| FederationError::protocol("url must be a string"))?;
                     let url = Url::parse(url_str).map_err(FederationError::Net)?;
-                    let info = self.register_node(&url)?;
-                    Ok(RpcResponse::new("Register").result("archive", SoapValue::Str(info.name)))
+                    let reg = self.register_node(&url)?;
+                    Ok(RpcResponse::new("Register")
+                        .result("archive", SoapValue::Str(reg.archive))
+                        .result("shards", SoapValue::Int(reg.shard_count as i64)))
                 }),
             // The SkyQuery service: accepts the user query from a Client.
             "SkyQuery" => call

@@ -1,0 +1,444 @@
+//! Scatter-gather merge discipline for sharded archives.
+//!
+//! When one logical archive is split across several SkyNodes by
+//! declination-zone range ([`crate::meta::ZoneExtent`]), the Portal
+//! scatters each chain step to every owning shard and gathers the
+//! partial sets back into one set that is **byte-identical** to what the
+//! single-node chain would have produced. Two synthetic columns make the
+//! gather deterministic with zero changes to the match kernels:
+//!
+//! * [`SRC_COL`] — appended by the Portal to the *input* set before
+//!   scattering; each tuple carries its index in the merged input. The
+//!   kernels copy incoming values untouched, so every output tuple still
+//!   knows which input tuple spawned it.
+//! * [`RANK_COL`] — a physical column of every shard table recording the
+//!   row's insertion rank in the unsharded archive. Carried (qualified
+//!   as `alias.__rank`) through scattered seed/match steps, it recovers
+//!   the single-node row-id order within each input group.
+//!
+//! The single-node kernels emit matches grouped by incoming tuple, and
+//! within a group in table row-id order; a shard's local row-id order is
+//! the global rank order restricted to that shard. Sorting the
+//! concatenated shard outputs by `(__src, __rank)` therefore reproduces
+//! the single-node output exactly, after which both synthetic columns
+//! are stripped. Drop-out steps filter instead of extend: a tuple
+//! survives the merged drop-out iff it survived on **every** shard
+//! (no shard found a counterpart and no shard's residual rejected it).
+
+use std::collections::HashSet;
+
+use skyquery_storage::{DataType, Value};
+
+use crate::error::{FederationError, Result};
+use crate::result::ResultColumn;
+use crate::xmatch::{PartialSet, PartialTuple, StepStats};
+
+/// Synthetic column the Portal appends to the input set before
+/// scattering a step: each tuple's index in the merged input set.
+pub const SRC_COL: &str = "__src";
+
+/// Synthetic per-row shard-table column: the row's insertion rank in the
+/// unsharded archive. Qualified as `alias.__rank` when carried.
+pub const RANK_COL: &str = "__rank";
+
+/// The qualified name under which `alias`'s rank column travels in a
+/// partial set.
+pub fn qualified_rank(alias: &str) -> String {
+    format!("{alias}.{RANK_COL}")
+}
+
+/// Returns a copy of `set` with the [`SRC_COL`] column appended, tagging
+/// every tuple with its current index.
+pub fn tag_with_src(set: &PartialSet) -> PartialSet {
+    let mut columns = set.columns.clone();
+    columns.push(ResultColumn::new(SRC_COL, DataType::Id));
+    let tuples = set
+        .tuples
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut values = t.values.clone();
+            values.push(Value::Id(i as u64));
+            PartialTuple {
+                state: t.state,
+                values,
+            }
+        })
+        .collect();
+    PartialSet { columns, tuples }
+}
+
+fn column_index(set: &PartialSet, name: &str) -> Result<usize> {
+    set.columns
+        .iter()
+        .position(|c| c.name == name)
+        .ok_or_else(|| {
+            FederationError::protocol(format!("scattered partial set missing column {name}"))
+        })
+}
+
+fn strip_column(set: &mut PartialSet, idx: usize) {
+    set.columns.remove(idx);
+    for t in &mut set.tuples {
+        t.values.remove(idx);
+    }
+}
+
+fn id_at(t: &PartialTuple, idx: usize) -> Result<u64> {
+    match t.values.get(idx) {
+        Some(Value::Id(v)) => Ok(*v),
+        other => Err(FederationError::protocol(format!(
+            "merge key column holds {other:?}, expected an Id"
+        ))),
+    }
+}
+
+fn check_parts(parts: &[(PartialSet, StepStats)]) -> Result<&PartialSet> {
+    let (first, _) = parts
+        .first()
+        .ok_or_else(|| FederationError::protocol("scatter gathered no partial sets"))?;
+    for (set, _) in parts {
+        if set.columns != first.columns {
+            return Err(FederationError::protocol(
+                "shards returned partial sets with differing schemas",
+            ));
+        }
+    }
+    Ok(first)
+}
+
+/// Merges the shard outputs of a scattered **seed** step: concatenates,
+/// sorts by the seed table's rank, strips the rank column. Stats fields
+/// all sum — a seed step has no input tuples and every shard row is
+/// examined exactly once somewhere.
+pub fn merge_seed(
+    parts: &[(PartialSet, StepStats)],
+    alias: &str,
+) -> Result<(PartialSet, StepStats)> {
+    let first = check_parts(parts)?;
+    let rank_idx = column_index(first, &qualified_rank(alias))?;
+    let mut stats = StepStats::default();
+    let mut keyed = Vec::new();
+    for (set, st) in parts {
+        stats.tuples_in += st.tuples_in;
+        stats.candidates_probed += st.candidates_probed;
+        stats.candidates_examined += st.candidates_examined;
+        stats.chi2_accepted += st.chi2_accepted;
+        stats.scratch_reuse += st.scratch_reuse;
+        for t in &set.tuples {
+            keyed.push((id_at(t, rank_idx)?, t.clone()));
+        }
+    }
+    keyed.sort_by_key(|(rank, _)| *rank);
+    let mut merged = PartialSet {
+        columns: first.columns.clone(),
+        tuples: keyed.into_iter().map(|(_, t)| t).collect(),
+    };
+    strip_column(&mut merged, rank_idx);
+    stats.tuples_out = merged.tuples.len();
+    Ok((merged, stats))
+}
+
+/// Merges the shard outputs of a scattered **match** step: concatenates,
+/// stable-sorts by `(input index, matched row's rank)`, strips both
+/// synthetic columns. Probe-side stats sum across shards (they partition
+/// the probed table); `tuples_in` is the common input size.
+pub fn merge_match(
+    parts: &[(PartialSet, StepStats)],
+    alias: &str,
+) -> Result<(PartialSet, StepStats)> {
+    let first = check_parts(parts)?;
+    let src_idx = column_index(first, SRC_COL)?;
+    let rank_idx = column_index(first, &qualified_rank(alias))?;
+    let mut stats = StepStats {
+        tuples_in: parts[0].1.tuples_in,
+        ..StepStats::default()
+    };
+    let mut keyed = Vec::new();
+    for (set, st) in parts {
+        stats.candidates_probed += st.candidates_probed;
+        stats.candidates_examined += st.candidates_examined;
+        stats.chi2_accepted += st.chi2_accepted;
+        stats.scratch_reuse += st.scratch_reuse;
+        for t in &set.tuples {
+            keyed.push(((id_at(t, src_idx)?, id_at(t, rank_idx)?), t.clone()));
+        }
+    }
+    keyed.sort_by_key(|(key, _)| *key);
+    let mut merged = PartialSet {
+        columns: first.columns.clone(),
+        tuples: keyed.into_iter().map(|(_, t)| t).collect(),
+    };
+    let (hi, lo) = if src_idx > rank_idx {
+        (src_idx, rank_idx)
+    } else {
+        (rank_idx, src_idx)
+    };
+    strip_column(&mut merged, hi);
+    strip_column(&mut merged, lo);
+    stats.tuples_out = merged.tuples.len();
+    Ok((merged, stats))
+}
+
+/// Merges the shard outputs of a scattered **drop-out** step: a tuple
+/// survives iff its input index appears in *every* participating shard's
+/// output (no shard found a counterpart; no shard's residual rejected
+/// it). Output order is the input order, recovered from the first
+/// shard's output, which the drop-out kernel keeps input-ordered.
+///
+/// `parts` may be a subset of the shard group: the Checkpointed driver
+/// degrades a partially failed drop-out step by intersecting over the
+/// shards that answered, mirroring the single-node degraded skip.
+pub fn merge_dropout(parts: &[(PartialSet, StepStats)]) -> Result<(PartialSet, StepStats)> {
+    let first = check_parts(parts)?;
+    let src_idx = column_index(first, SRC_COL)?;
+    let n = parts[0].1.tuples_in;
+    // Degenerate tuples are dropped identically by every shard (the
+    // degeneracy is a property of the tuple, not of shard data), so the
+    // first shard's ledger recovers their count.
+    let degen = n
+        .checked_sub(parts[0].1.chi2_accepted + parts[0].1.tuples_out)
+        .ok_or_else(|| FederationError::protocol("drop-out shard stats are inconsistent"))?;
+    let mut stats = StepStats {
+        tuples_in: n,
+        ..StepStats::default()
+    };
+    let mut survivors: Option<HashSet<u64>> = None;
+    for (set, st) in parts {
+        if st.tuples_in != n {
+            return Err(FederationError::protocol(
+                "drop-out shards disagree on input size",
+            ));
+        }
+        stats.candidates_probed += st.candidates_probed;
+        stats.candidates_examined += st.candidates_examined;
+        stats.scratch_reuse += st.scratch_reuse;
+        let mut ids = HashSet::with_capacity(set.tuples.len());
+        for t in &set.tuples {
+            ids.insert(id_at(t, src_idx)?);
+        }
+        survivors = Some(match survivors {
+            None => ids,
+            Some(s) => s.intersection(&ids).copied().collect(),
+        });
+    }
+    let survivors = survivors.expect("check_parts guarantees at least one part");
+    let mut tuples = Vec::new();
+    for t in &first.tuples {
+        if survivors.contains(&id_at(t, src_idx)?) {
+            tuples.push(t.clone());
+        }
+    }
+    let mut merged = PartialSet {
+        columns: first.columns.clone(),
+        tuples,
+    };
+    strip_column(&mut merged, src_idx);
+    stats.tuples_out = merged.tuples.len();
+    stats.chi2_accepted = n - degen - stats.tuples_out;
+    Ok((merged, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmatch::TupleState;
+
+    fn state(tag: f64) -> TupleState {
+        TupleState {
+            a: tag,
+            ax: 1.0,
+            ay: 0.0,
+            az: 0.0,
+        }
+    }
+
+    fn set(columns: &[(&str, DataType)], rows: Vec<Vec<Value>>) -> PartialSet {
+        PartialSet {
+            columns: columns
+                .iter()
+                .map(|(n, d)| ResultColumn::new(*n, *d))
+                .collect(),
+            tuples: rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, values)| PartialTuple {
+                    state: state(i as f64),
+                    values,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn src_tagging_appends_index_column() {
+        let s = set(
+            &[("O.object_id", DataType::Id)],
+            vec![vec![Value::Id(7)], vec![Value::Id(9)]],
+        );
+        let tagged = tag_with_src(&s);
+        assert_eq!(tagged.columns.last().unwrap().name, SRC_COL);
+        assert_eq!(tagged.tuples[0].values, vec![Value::Id(7), Value::Id(0)]);
+        assert_eq!(tagged.tuples[1].values, vec![Value::Id(9), Value::Id(1)]);
+        // The original carried values and state are untouched.
+        assert_eq!(tagged.tuples[1].state, s.tuples[1].state);
+    }
+
+    #[test]
+    fn seed_merge_restores_rank_order_and_strips_rank() {
+        let cols: &[(&str, DataType)] =
+            &[("S.object_id", DataType::Id), ("S.__rank", DataType::Id)];
+        let shard0 = set(
+            cols,
+            vec![
+                vec![Value::Id(100), Value::Id(0)],
+                vec![Value::Id(102), Value::Id(3)],
+            ],
+        );
+        let shard1 = set(
+            cols,
+            vec![
+                vec![Value::Id(101), Value::Id(1)],
+                vec![Value::Id(103), Value::Id(2)],
+            ],
+        );
+        let st = |out: usize| StepStats {
+            tuples_out: out,
+            candidates_examined: out,
+            ..StepStats::default()
+        };
+        let (merged, stats) = merge_seed(&[(shard0, st(2)), (shard1, st(2))], "S").unwrap();
+        assert_eq!(merged.columns.len(), 1);
+        let ids: Vec<_> = merged.tuples.iter().map(|t| t.values[0].clone()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                Value::Id(100),
+                Value::Id(101),
+                Value::Id(103),
+                Value::Id(102)
+            ]
+        );
+        assert_eq!(stats.tuples_out, 4);
+        assert_eq!(stats.candidates_examined, 4);
+    }
+
+    #[test]
+    fn match_merge_orders_by_src_then_rank() {
+        let cols: &[(&str, DataType)] = &[
+            ("O.object_id", DataType::Id),
+            (SRC_COL, DataType::Id),
+            ("T.__rank", DataType::Id),
+        ];
+        // Input tuple 0 matched rows rank 5 (shard1) and rank 2 (shard0);
+        // input tuple 1 matched rank 4 (shard0) only.
+        let shard0 = set(
+            cols,
+            vec![
+                vec![Value::Id(10), Value::Id(0), Value::Id(2)],
+                vec![Value::Id(11), Value::Id(1), Value::Id(4)],
+            ],
+        );
+        let shard1 = set(cols, vec![vec![Value::Id(10), Value::Id(0), Value::Id(5)]]);
+        let st = StepStats {
+            tuples_in: 2,
+            candidates_probed: 3,
+            ..StepStats::default()
+        };
+        let (merged, stats) = merge_match(&[(shard0, st), (shard1, st)], "T").unwrap();
+        assert_eq!(merged.columns.len(), 1);
+        let ids: Vec<_> = merged.tuples.iter().map(|t| t.values[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Id(10), Value::Id(10), Value::Id(11)]);
+        // (src 0, rank 2) sorts before (src 0, rank 5).
+        assert_eq!(merged.tuples[0].state, state(0.0));
+        assert_eq!(merged.tuples[1].state, state(0.0));
+        assert_eq!(stats.tuples_in, 2);
+        assert_eq!(stats.candidates_probed, 6);
+        assert_eq!(stats.tuples_out, 3);
+    }
+
+    #[test]
+    fn dropout_merge_intersects_survivors() {
+        let cols: &[(&str, DataType)] = &[("O.object_id", DataType::Id), (SRC_COL, DataType::Id)];
+        // 4 inputs. Shard0 found counterparts for src 1; shard1 for src 2.
+        // Survivors of the merged drop-out: src 0 and 3.
+        let shard0 = set(
+            cols,
+            vec![
+                vec![Value::Id(10), Value::Id(0)],
+                vec![Value::Id(12), Value::Id(2)],
+                vec![Value::Id(13), Value::Id(3)],
+            ],
+        );
+        let shard1 = set(
+            cols,
+            vec![
+                vec![Value::Id(10), Value::Id(0)],
+                vec![Value::Id(11), Value::Id(1)],
+                vec![Value::Id(13), Value::Id(3)],
+            ],
+        );
+        let st = |found: usize| StepStats {
+            tuples_in: 4,
+            chi2_accepted: found,
+            tuples_out: 3,
+            ..StepStats::default()
+        };
+        let (merged, stats) = merge_dropout(&[(shard0, st(1)), (shard1, st(1))]).unwrap();
+        assert_eq!(merged.columns.len(), 1);
+        let ids: Vec<_> = merged.tuples.iter().map(|t| t.values[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Id(10), Value::Id(13)]);
+        assert_eq!(stats.tuples_in, 4);
+        assert_eq!(stats.tuples_out, 2);
+        // No degenerate inputs: everything not surviving had a counterpart.
+        assert_eq!(stats.chi2_accepted, 2);
+    }
+
+    #[test]
+    fn dropout_merge_accounts_for_degenerate_inputs() {
+        let cols: &[(&str, DataType)] = &[(SRC_COL, DataType::Id)];
+        // 5 inputs, 1 degenerate (dropped on every shard without a
+        // counterpart); shard0 found 1 counterpart, shard1 found none.
+        let shard0 = set(
+            cols,
+            vec![vec![Value::Id(0)], vec![Value::Id(2)], vec![Value::Id(3)]],
+        );
+        let shard1 = set(
+            cols,
+            vec![
+                vec![Value::Id(0)],
+                vec![Value::Id(1)],
+                vec![Value::Id(2)],
+                vec![Value::Id(3)],
+            ],
+        );
+        let st = |found: usize, out: usize| StepStats {
+            tuples_in: 5,
+            chi2_accepted: found,
+            tuples_out: out,
+            ..StepStats::default()
+        };
+        let (merged, stats) = merge_dropout(&[(shard0, st(1, 3)), (shard1, st(0, 4))]).unwrap();
+        assert_eq!(merged.tuples.len(), 3);
+        assert_eq!(stats.chi2_accepted, 1);
+        assert_eq!(stats.tuples_out, 3);
+    }
+
+    #[test]
+    fn merges_reject_inconsistent_parts() {
+        assert!(merge_dropout(&[]).is_err());
+        let a = set(&[(SRC_COL, DataType::Id)], vec![vec![Value::Id(0)]]);
+        let b = set(&[("other", DataType::Id)], vec![vec![Value::Id(0)]]);
+        let st = StepStats {
+            tuples_in: 1,
+            tuples_out: 1,
+            ..StepStats::default()
+        };
+        assert!(merge_dropout(&[(a.clone(), st), (b, st)]).is_err());
+        // A non-Id merge key is a protocol error, not a panic.
+        let bad = set(&[(SRC_COL, DataType::Id)], vec![vec![Value::Float(1.0)]]);
+        assert!(merge_dropout(&[(bad, st)]).is_err());
+        // Missing the rank column.
+        assert!(merge_seed(&[(a, st)], "S").is_err());
+    }
+}

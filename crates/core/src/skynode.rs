@@ -130,6 +130,20 @@ const SERVICES: &[ServiceMethod<SkyNode>] = &[
         handler: |node, net, call| node.handle_execute_step(net, call),
     },
     ServiceMethod {
+        name: "ScatterStep",
+        operation: || {
+            Operation::new("ScatterStep")
+                .input("plan", "xml")
+                .input("step", "long")
+                .input("input", "table")
+                .output("partial", "table")
+                .output("manifest", "xml")
+                .output("stats", "xml")
+                .doc("One scattered cross-match step against this shard's zone range")
+        },
+        handler: |node, net, call| node.handle_scatter_step(net, call),
+    },
+    ServiceMethod {
         name: "FetchCheckpoint",
         operation: || {
             Operation::new("FetchCheckpoint")
@@ -625,6 +639,52 @@ impl SkyNode {
             .result("checkpoint", SoapValue::Int(cp_id as i64))
             .result("rows", SoapValue::Int(rows as i64))
             .result("stats", SoapValue::Xml(chain.to_element())))
+    }
+
+    /// One scattered step of a sharded archive: the Portal supplies the
+    /// input partial set inline (absent for the seed), this shard runs
+    /// the step against the zone range it owns, and the output travels
+    /// straight back (inline or chunked). Unlike `ExecuteStep`, no
+    /// checkpoint is retained here — the Portal's merged set between
+    /// steps *is* the scatter chain's checkpoint, so a shard holds no
+    /// per-query state beyond a chunked-reply transfer session.
+    fn handle_scatter_step(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let (plan, step) = self.decode_plan_step(call)?;
+        let cfg = plan.step_config(step)?;
+        let dropout = plan.steps[step].dropout;
+
+        let (mut set, stats) = match call.get("input") {
+            None => {
+                if dropout {
+                    return Err(FederationError::protocol(
+                        "a drop-out archive cannot be the seed of the chain",
+                    ));
+                }
+                let mut db = self.db.lock();
+                self.engine.seed(&mut db, &cfg)?
+            }
+            Some(v) => {
+                let table = v
+                    .as_table()
+                    .ok_or_else(|| FederationError::protocol("input must be a table"))?;
+                let inc = PartialSet::from_votable(table)?;
+                let mut db = self.db.lock();
+                if dropout {
+                    self.engine.dropout(&mut db, &cfg, &inc)?
+                } else {
+                    self.engine.match_tuples(&mut db, &cfg, &inc)?
+                }
+            }
+        };
+
+        let residuals = plan.residuals(step)?;
+        if !residuals.is_empty() {
+            set = crate::xmatch::apply_residuals(set, &residuals)?;
+        }
+        self.executed_steps.fetch_add(1, Ordering::Relaxed);
+        let mut chain = StatsChain::new();
+        chain.push(plan.steps[step].alias.clone(), stats);
+        self.encode_set_response(net, &plan, "ScatterStep", set, Some(&chain))
     }
 
     /// Serves a checkpointed partial set (inline or chunked under the

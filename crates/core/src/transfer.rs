@@ -406,6 +406,39 @@ pub fn invoke_cross_match(
     }
 }
 
+/// Client side of the `ScatterStep` service: asks one shard to run plan
+/// step `step` against its zone range, seeding when `input` is absent or
+/// extending/filtering the supplied input set otherwise. Drains any
+/// chunked continuation and returns the shard's partial set plus its
+/// single-entry stats chain. Used by the Portal's scatter-gather
+/// executor, which merges the per-shard replies deterministically
+/// ([`crate::shard`]).
+pub fn invoke_scatter_step(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    step: usize,
+    input: Option<&VoTable>,
+) -> Result<(PartialSet, StatsChain)> {
+    let mut call = RpcCall::new("ScatterStep")
+        .param("plan", SoapValue::Xml(plan.to_element()))
+        .param("step", SoapValue::Int(step as i64));
+    if let Some(table) = input {
+        call = call.param("input", SoapValue::Table(table.clone()));
+    }
+    let resp = send_rpc_with(net, from_host, url, &call, plan.retry)?;
+    let stats = StatsChain::from_element(
+        resp.require("stats")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
+    )?;
+    match decode_partial(net, from_host, url, plan, &resp)? {
+        IncomingPartial::Inline(set) => Ok((set, stats)),
+        IncomingPartial::Chunked(stream) => Ok((stream.collect_set()?, stats)),
+    }
+}
+
 /// Sends one RPC with the default [`RetryPolicy`] and decodes the
 /// response, surfacing faults as errors.
 pub fn send_rpc(

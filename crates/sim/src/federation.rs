@@ -29,11 +29,20 @@ impl TestFederation {
         Client::new(&self.net, host, self.portal.url())
     }
 
-    /// The SkyNode for an archive name.
+    /// The SkyNode for an archive name (the first shard, when the
+    /// archive is sharded).
     pub fn node(&self, archive: &str) -> Option<&Arc<SkyNode>> {
         self.nodes
             .iter()
             .find(|n| n.info().name.eq_ignore_ascii_case(archive))
+    }
+
+    /// Every SkyNode of an archive's shard group, in zone-range order.
+    pub fn shard_nodes(&self, archive: &str) -> Vec<&Arc<SkyNode>> {
+        self.nodes
+            .iter()
+            .filter(|n| n.info().name.eq_ignore_ascii_case(archive))
+            .collect()
     }
 }
 
@@ -45,6 +54,7 @@ pub struct FederationBuilder {
     cost_model: CostModel,
     register_via_soap: bool,
     faults: FaultPlan,
+    shards: usize,
 }
 
 impl FederationBuilder {
@@ -57,6 +67,7 @@ impl FederationBuilder {
             cost_model: CostModel::free(),
             register_via_soap: false,
             faults: FaultPlan::new(),
+            shards: 1,
         }
     }
 
@@ -104,6 +115,16 @@ impl FederationBuilder {
         self
     }
 
+    /// Builder: splits every archive into `n` declination-zone shards,
+    /// each served by its own SkyNode (`{name}-s{i}.skyquery.net`)
+    /// publishing the zone range it owns. `1` (the default) keeps the
+    /// single-node path byte-for-byte.
+    pub fn shards(mut self, n: usize) -> FederationBuilder {
+        assert!(n >= 1, "a shard group needs at least one shard");
+        self.shards = n;
+        self
+    }
+
     /// Builder: installs a fault-injection plan on the network. Faults
     /// are armed *after* registration, so the federation always builds
     /// cleanly; only query traffic sees them.
@@ -125,41 +146,61 @@ impl FederationBuilder {
         let mut nodes = Vec::new();
         for params in &self.surveys {
             let survey = Survey::observe(&catalog, params.clone());
-            let host = format!("{}.skyquery.net", params.name.to_ascii_lowercase());
-            let info = ArchiveInfo {
-                name: params.name.clone(),
-                sigma_arcsec: params.sigma_arcsec,
-                primary_table: params.table.clone(),
-                htm_depth: params.htm_depth,
-            };
-            // Every node gets the zone engine; with the default
-            // `xmatch_workers = 1` it delegates to the sequential kernels,
-            // so this changes nothing unless the config asks for workers.
-            let node = SkyNodeBuilder::new(info, survey.db)
-                .engine(Arc::new(skyquery_zones::ZoneEngine::new()))
-                .start(&net, host.clone());
-            if self.register_via_soap {
-                // The node calls the Portal's Registration service, which
-                // calls back into the node's Meta-data and Information
-                // services.
-                use skyquery_soap::{RpcCall, SoapValue};
-                let resp = skyquery_core::skynode::send_rpc(
-                    &net,
-                    &host,
-                    &portal.url(),
-                    &RpcCall::new("Register").param("url", SoapValue::Str(node.url().to_string())),
-                )
-                .expect("registration succeeds");
-                assert_eq!(
-                    resp.require("archive").unwrap().as_str(),
-                    Some(params.name.as_str())
-                );
+            // One (host, extent, database) per physical node: the whole
+            // archive on `{name}.skyquery.net` when unsharded, or the
+            // zone-range deal across `{name}-s{i}.skyquery.net` hosts.
+            let lower = params.name.to_ascii_lowercase();
+            let pieces: Vec<(String, Option<skyquery_core::ZoneExtent>, _)> = if self.shards == 1 {
+                vec![(format!("{lower}.skyquery.net"), None, survey.db)]
             } else {
-                portal
-                    .register_node(&Url::new(host, "/soap"))
+                survey
+                    .deal_shards(self.shards)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (extent, db))| {
+                        (format!("{lower}-s{i}.skyquery.net"), Some(extent), db)
+                    })
+                    .collect()
+            };
+            for (host, extent, db) in pieces {
+                let info = ArchiveInfo {
+                    name: params.name.clone(),
+                    sigma_arcsec: params.sigma_arcsec,
+                    primary_table: params.table.clone(),
+                    htm_depth: params.htm_depth,
+                    extent,
+                };
+                // Every node gets the zone engine; with the default
+                // `xmatch_workers = 1` it delegates to the sequential
+                // kernels, so this changes nothing unless the config asks
+                // for workers.
+                let node = SkyNodeBuilder::new(info, db)
+                    .engine(Arc::new(skyquery_zones::ZoneEngine::new()))
+                    .start(&net, host.clone());
+                if self.register_via_soap {
+                    // The node calls the Portal's Registration service,
+                    // which calls back into the node's Meta-data and
+                    // Information services.
+                    use skyquery_soap::{RpcCall, SoapValue};
+                    let resp = skyquery_core::skynode::send_rpc(
+                        &net,
+                        &host,
+                        &portal.url(),
+                        &RpcCall::new("Register")
+                            .param("url", SoapValue::Str(node.url().to_string())),
+                    )
                     .expect("registration succeeds");
+                    assert_eq!(
+                        resp.require("archive").unwrap().as_str(),
+                        Some(params.name.as_str())
+                    );
+                } else {
+                    portal
+                        .register_node(&Url::new(host, "/soap"))
+                        .expect("registration succeeds");
+                }
+                nodes.push(node);
             }
-            nodes.push(node);
         }
         net.install_faults(self.faults);
         TestFederation {
@@ -205,6 +246,30 @@ mod tests {
         let m = fed.net.metrics();
         assert!(m.link("sdss.skyquery.net", "portal.skyquery.net").messages > 0);
         assert!(m.link("portal.skyquery.net", "sdss.skyquery.net").messages > 0);
+    }
+
+    #[test]
+    fn sharded_federation_registers_groups() {
+        let fed = FederationBuilder::paper_triple(200).shards(4).build();
+        // Three logical archives, twelve physical nodes.
+        assert_eq!(fed.portal.archives().len(), 3);
+        assert_eq!(fed.nodes.len(), 12);
+        let shards = fed.portal.shards_of("sdss");
+        assert_eq!(shards.len(), 4);
+        // Sorted by zone range, tiling the sky.
+        assert_eq!(shards[0].extent().dec_lo_deg, -90.0);
+        assert_eq!(shards[3].extent().dec_hi_deg, 90.0);
+        for w in shards.windows(2) {
+            assert_eq!(w[0].extent().dec_hi_deg, w[1].extent().dec_lo_deg);
+        }
+        assert_eq!(fed.shard_nodes("sdss").len(), 4);
+        // node() resolves to the primary (lowest-range) shard.
+        assert_eq!(
+            fed.portal.node("sdss").unwrap().url.host,
+            "sdss-s0.skyquery.net"
+        );
+        // The registry lists every shard.
+        assert_eq!(fed.portal.discover("SkyNode").len(), 12);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr_free::sample_standard_normal;
+use skyquery_core::transfer::zone_label;
+use skyquery_core::ZoneExtent;
 use skyquery_htm::SkyPoint;
 use skyquery_storage::{ColumnDef, DataType, Database, PositionColumns, TableSchema, Value};
 
@@ -158,7 +160,57 @@ impl Survey {
     pub fn object_count(&self) -> usize {
         self.db.row_count(&self.params.table).expect("table exists")
     }
+
+    /// Deals this survey's archive into `n` declination-zone shards on
+    /// the fixed 0.1° zone grid: shard `i` owns zones
+    /// `[⌈i·Z/n⌉, ⌈(i+1)·Z/n⌉)` of the `Z = 1800` bands, so the extents
+    /// tile the sky and differ in size by at most one zone. Every row is
+    /// dealt (in insertion order) to the shard whose range contains its
+    /// declination, carrying its global insertion rank in the extra
+    /// [`RANK_COLUMN`] column — the key the Portal's gather sorts on to
+    /// reproduce the unsharded archive's row order.
+    pub fn deal_shards(&self, n: usize) -> Vec<(ZoneExtent, Database)> {
+        assert!(n >= 1, "a shard group needs at least one shard");
+        const ZONES: usize = 1800;
+        const HEIGHT: f64 = 0.1;
+        assert!(n <= ZONES, "more shards than zones");
+        let bounds: Vec<usize> = (0..=n).map(|i| (i * ZONES).div_ceil(n)).collect();
+        let mut shards: Vec<(ZoneExtent, Database)> = bounds
+            .windows(2)
+            .map(|w| {
+                let lo = -90.0 + w[0] as f64 * HEIGHT;
+                let hi = if w[1] == ZONES {
+                    90.0
+                } else {
+                    -90.0 + w[1] as f64 * HEIGHT
+                };
+                let mut db = Database::new(self.params.name.clone());
+                db.create_table(shard_schema(&self.params.table, self.params.htm_depth))
+                    .expect("fresh database");
+                db.create_btree_index(&self.params.table, "type")
+                    .expect("type column exists");
+                (ZoneExtent::new(lo, hi).expect("bounds increase"), db)
+            })
+            .collect();
+        let table = self.db.table(&self.params.table).expect("table exists");
+        for (rank, row) in table.rows().iter().enumerate() {
+            let dec = row[2].as_f64().expect("dec is FLOAT");
+            let zone = zone_label(dec, HEIGHT) as usize;
+            let owner = bounds[..n].partition_point(|b| *b <= zone) - 1;
+            let mut dealt = row.clone();
+            dealt.push(Value::Id(rank as u64));
+            shards[owner]
+                .1
+                .insert(&self.params.table, dealt)
+                .expect("conforming row");
+        }
+        shards
+    }
 }
+
+/// Name of the synthetic rank column every shard table carries: the
+/// row's insertion rank in the unsharded archive.
+pub const RANK_COLUMN: &str = "__rank";
 
 /// The paper's primary-table schema.
 pub fn primary_schema(table: &str, htm_depth: u8) -> TableSchema {
@@ -170,6 +222,24 @@ pub fn primary_schema(table: &str, htm_depth: u8) -> TableSchema {
             ColumnDef::new("dec", DataType::Float),
             ColumnDef::new("type", DataType::Text),
             ColumnDef::new("i_flux", DataType::Float),
+        ],
+    )
+    .with_position(PositionColumns::new("ra", "dec", htm_depth))
+    .expect("ra/dec are FLOAT")
+}
+
+/// The primary-table schema of one shard: the paper's schema plus the
+/// [`RANK_COLUMN`] rank column.
+pub fn shard_schema(table: &str, htm_depth: u8) -> TableSchema {
+    TableSchema::new(
+        table,
+        vec![
+            ColumnDef::new("object_id", DataType::Id),
+            ColumnDef::new("ra", DataType::Float),
+            ColumnDef::new("dec", DataType::Float),
+            ColumnDef::new("type", DataType::Text),
+            ColumnDef::new("i_flux", DataType::Float),
+            ColumnDef::new(RANK_COLUMN, DataType::Id),
         ],
     )
     .with_position(PositionColumns::new("ra", "dec", htm_depth))
@@ -276,6 +346,39 @@ mod tests {
         let cat = catalog();
         let s = Survey::observe(&cat, SurveyParams::sdss_like());
         assert!(s.object_count() > s.provenance.len());
+    }
+
+    #[test]
+    fn dealing_partitions_every_row_exactly_once() {
+        let cat = catalog();
+        let s = Survey::observe(&cat, SurveyParams::sdss_like());
+        for n in [1usize, 2, 4, 8] {
+            let shards = s.deal_shards(n);
+            assert_eq!(shards.len(), n);
+            // Extents tile the sky contiguously.
+            assert_eq!(shards[0].0.dec_lo_deg, -90.0);
+            assert_eq!(shards[n - 1].0.dec_hi_deg, 90.0);
+            for w in shards.windows(2) {
+                assert_eq!(w[0].0.dec_hi_deg, w[1].0.dec_lo_deg);
+            }
+            // Every row lands on exactly one shard, inside its extent,
+            // tagged with a unique global rank.
+            let mut ranks = Vec::new();
+            let mut total = 0;
+            for (extent, db) in &shards {
+                let table = db.table(&s.params.table).unwrap();
+                for row in table.rows() {
+                    let dec = row[2].as_f64().unwrap();
+                    assert!(extent.contains_dec(dec), "{dec} outside {extent:?}");
+                    ranks.push(row[5].as_i64().unwrap());
+                    total += 1;
+                }
+            }
+            assert_eq!(total, s.object_count());
+            ranks.sort_unstable();
+            ranks.dedup();
+            assert_eq!(ranks.len(), total);
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn archive(
             sigma_arcsec,
             primary_table: "objects".into(),
             htm_depth: 14,
+            extent: None,
         },
         db,
     )

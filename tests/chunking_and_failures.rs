@@ -106,6 +106,7 @@ fn open_seed_transfer(fed: &TestFederation) -> ChunkManifest {
             carried: vec!["object_id".into()],
             residual_sql: vec![],
             count_estimate: None,
+            shards: vec![],
         }],
         select: vec![("O.object_id".into(), None)],
         order_by: vec![],

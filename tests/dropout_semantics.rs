@@ -45,6 +45,7 @@ fn figure2_federation() -> (SimNetwork, std::sync::Arc<Portal>) {
                 sigma_arcsec: sigma,
                 primary_table: "objects".into(),
                 htm_depth: 14,
+                extent: None,
             },
             db,
         )

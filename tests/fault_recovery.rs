@@ -382,6 +382,7 @@ fn tiny_budget_plan(fed: &TestFederation) -> ExecutionPlan {
             carried: vec!["object_id".into()],
             residual_sql: vec![],
             count_estimate: None,
+            shards: vec![],
         }],
         select: vec![("O.object_id".into(), None)],
         order_by: vec![],

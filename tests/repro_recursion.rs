@@ -21,6 +21,7 @@ fn malicious_long_plan_overflows_stack() {
         carried: vec!["object_id".into()],
         residual_sql: vec![],
         count_estimate: None,
+        shards: vec![],
     };
     let plan = ExecutionPlan {
         threshold: 3.0,

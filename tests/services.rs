@@ -185,6 +185,7 @@ fn cross_match_call_with_bad_step_faults() {
             carried: vec!["object_id".into()],
             residual_sql: vec![],
             count_estimate: None,
+            shards: vec![],
         }],
         select: vec![("O.object_id".into(), None)],
         order_by: vec![],

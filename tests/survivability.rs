@@ -244,6 +244,7 @@ fn seed_plan(fed: &TestFederation, lease_ttl_s: f64) -> ExecutionPlan {
             carried: vec!["object_id".into()],
             residual_sql: vec![],
             count_estimate: None,
+            shards: vec![],
         }],
         select: vec![("O.object_id".into(), None)],
         order_by: vec![],

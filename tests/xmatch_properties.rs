@@ -55,6 +55,7 @@ fn build_node(
             sigma_arcsec,
             primary_table: "objects".into(),
             htm_depth: 14,
+            extent: None,
         },
         db,
     )
