@@ -15,7 +15,7 @@ pub struct Options {
     /// Split oversized transfers on zone boundaries (the pipelined path);
     /// `false` falls back to plain byte-budget chunking.
     pub zone_chunking: bool,
-    /// Probe kernel for cross-match steps (columnar or HTM).
+    /// Probe kernel for cross-match steps (columnar, HTM, or batch).
     pub kernel: skyquery_core::MatchKernel,
     /// Retry attempts for every federation RPC (1 = no retries).
     pub retries: u32,
@@ -126,7 +126,9 @@ where
                 {
                     Some(k) => opts.kernel = k,
                     None => {
-                        return Command::Help(Some("--kernel needs columnar or htm".into()));
+                        return Command::Help(Some(
+                            "--kernel needs columnar, htm, or batch".into(),
+                        ));
                     }
                 }
             }
@@ -213,7 +215,7 @@ OPTIONS:
     --seed <N>         catalog RNG seed                            [default: 42]
     --workers <N>      cross-match worker threads per SkyNode      [default: 1]
     --zone-height <D>  declination zone height, degrees            [default: 0.1]
-    --kernel <K>       cross-match probe kernel: columnar | htm    [default: columnar]
+    --kernel <K>       cross-match probe kernel: columnar | htm | batch    [default: columnar]
     --retries <N>      RPC attempts before a node is unhealthy     [default: 3]
     --retry-backoff <S> first retry backoff, simulated seconds     [default: 0.05]
     --chain <M>        chain driver: recursive | checkpointed      [default: recursive]

@@ -266,7 +266,7 @@ impl Session {
                     });
                     writeln!(out, "cross-match kernel set to {k}")?;
                 }
-                None => writeln!(out, "usage: \\kernel columnar|htm")?,
+                None => writeln!(out, "usage: \\kernel columnar|htm|batch")?,
             },
             Some("faults") => {
                 let usage =
@@ -554,7 +554,7 @@ pub fn meta_help() -> &'static str {
   \\limit <bytes>                    SOAP parser message limit
   \\chunking on|off                  §6 chunked-transfer workaround
   \\zonechunking on|off              zone-aware pipelined transfer chunks
-  \\kernel columnar|htm              cross-match probe kernel (byte-identical)
+  \\kernel columnar|htm|batch        cross-match probe kernel (byte-identical)
   \\faults [<kind> <archive> <n>]    inject network faults / show fault+retry tallies
                                     (kinds: down step 500 truncate garbage latency)
   \\retry <attempts> [backoff]       RPC retry policy (attempts, base backoff seconds)

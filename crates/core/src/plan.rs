@@ -539,6 +539,16 @@ mod tests {
     }
 
     #[test]
+    fn kernel_name_roundtrips_for_every_variant() {
+        for kernel in [MatchKernel::Columnar, MatchKernel::Htm, MatchKernel::Batch] {
+            let mut p = demo_plan();
+            p.kernel = kernel;
+            let back = ExecutionPlan::from_element(&p.to_element()).unwrap();
+            assert_eq!(back.kernel, kernel);
+        }
+    }
+
+    #[test]
     fn roundtrip_through_xml_text() {
         let p = demo_plan();
         let xml = p.to_element().to_xml();

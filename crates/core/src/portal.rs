@@ -37,6 +37,7 @@ use crate::transfer::{
 };
 use crate::xmatch::MatchKernel;
 use crate::xmatch::{PartialSet, StepStats, TupleBindings};
+use skyquery_htm::SkyPoint;
 
 /// How the Portal orders the mandatory archives in the plan list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -677,13 +678,17 @@ impl Portal {
                 alias.clone(),
                 "cross match step",
                 format!(
-                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}",
+                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}, tile builds {}, tile decodes {}, tile hits {}, shards pruned {}",
                     s.tuples_in,
                     s.candidates_probed,
                     s.candidates_examined,
                     s.chi2_accepted,
                     s.scratch_reuse,
-                    s.tuples_out
+                    s.tuples_out,
+                    s.tile_builds,
+                    s.tile_decodes,
+                    s.tile_hits,
+                    s.shards_pruned
                 ),
             );
         }
@@ -854,13 +859,39 @@ impl Portal {
         trace: &mut ExecutionTrace,
     ) -> Result<(PartialSet, StepStats, bool)> {
         let step = &plan.steps[idx];
-        let targets: Vec<Url> = if step.shards.is_empty() {
+        let mut targets: Vec<Url> = if step.shards.is_empty() {
             vec![step.url.clone()]
         } else {
             step.shards.iter().map(|s| s.url.clone()).collect()
         };
         let multi = targets.len() > 1;
         let dropout = step.dropout;
+
+        // Extent-prune the fan-out: a shard whose declination range
+        // cannot intersect any of the input tuples' probe balls is
+        // guaranteed to contribute nothing — no extensions on a match
+        // step, no dropped tuples on a drop-out step — so skipping the
+        // call is byte-identical. Seed steps (no input) always scatter
+        // to every shard. At least one target is always kept so the
+        // merge sees a well-formed (possibly empty) shard reply.
+        let mut shards_pruned = 0usize;
+        if multi {
+            if let Some(input) = input {
+                let span = probe_dec_span(input, plan.threshold, step.sigma_arcsec);
+                let mut keep = Vec::with_capacity(targets.len());
+                for shard in &step.shards {
+                    keep.push(span.is_some_and(|(lo, hi)| {
+                        shard.extent.dec_lo_deg <= hi && shard.extent.dec_hi_deg >= lo
+                    }));
+                }
+                if keep.iter().all(|k| !k) {
+                    keep[0] = true;
+                }
+                let mut it = keep.iter();
+                targets.retain(|_| *it.next().expect("keep covers targets"));
+                shards_pruned = keep.iter().filter(|k| !**k).count();
+            }
+        }
 
         // When scattered, a non-drop-out step additionally carries the
         // shard table's rank column so the gather can restore the
@@ -960,11 +991,12 @@ impl Portal {
                 ),
             );
             self.net.record_node_event(&self.host, "degraded");
-            let (set, st) = shard::merge_dropout(&parts)?;
+            let (set, mut st) = shard::merge_dropout(&parts)?;
+            st.shards_pruned += shards_pruned;
             return Ok((set, st, true));
         }
 
-        let (set, st) = if !multi {
+        let (set, mut st) = if !multi {
             parts.into_iter().next().expect("one target answered")
         } else if input.is_none() {
             shard::merge_seed(&parts, &step.alias)?
@@ -973,15 +1005,22 @@ impl Portal {
         } else {
             shard::merge_match(&parts, &step.alias)?
         };
+        st.shards_pruned += shards_pruned;
         if multi {
+            let pruned_note = if shards_pruned > 0 {
+                format!(" ({shards_pruned} shard(s) extent-pruned)")
+            } else {
+                String::new()
+            };
             trace.push(
                 "Portal",
                 "scatter",
                 format!(
-                    "{}: {} shards -> {} rows merged",
+                    "{}: {} shards -> {} rows merged{}",
                     step.alias,
                     targets.len(),
-                    set.len()
+                    set.len(),
+                    pruned_note
                 ),
             );
         }
@@ -1682,4 +1721,26 @@ impl Endpoint for Portal {
             Err(e) => HttpResponse::soap_fault(e.to_fault().to_xml()),
         }
     }
+}
+
+/// The union of the input tuples' probe-ball declination spans, in
+/// degrees, padded with the same slack the zone kernels use for band
+/// selection. `None` when no tuple has a probe ball — nothing can match
+/// at any shard.
+fn probe_dec_span(input: &PartialSet, threshold: f64, sigma_arcsec: f64) -> Option<(f64, f64)> {
+    let sigma_rad = (sigma_arcsec / 3600.0).to_radians();
+    let mut span: Option<(f64, f64)> = None;
+    for tuple in &input.tuples {
+        let Some(best) = tuple.state.best_position() else {
+            continue;
+        };
+        let dec = SkyPoint::from_vec3(best).dec_deg;
+        let r_deg = tuple.state.search_radius(threshold, sigma_rad).to_degrees() + 1e-9;
+        let (lo, hi) = (dec - r_deg, dec + r_deg);
+        span = Some(match span {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
+    }
+    span
 }

@@ -125,6 +125,10 @@ pub fn merge_seed(
         stats.candidates_examined += st.candidates_examined;
         stats.chi2_accepted += st.chi2_accepted;
         stats.scratch_reuse += st.scratch_reuse;
+        stats.tile_builds += st.tile_builds;
+        stats.tile_decodes += st.tile_decodes;
+        stats.tile_hits += st.tile_hits;
+        stats.shards_pruned += st.shards_pruned;
         for t in &set.tuples {
             keyed.push((id_at(t, rank_idx)?, t.clone()));
         }
@@ -160,6 +164,10 @@ pub fn merge_match(
         stats.candidates_examined += st.candidates_examined;
         stats.chi2_accepted += st.chi2_accepted;
         stats.scratch_reuse += st.scratch_reuse;
+        stats.tile_builds += st.tile_builds;
+        stats.tile_decodes += st.tile_decodes;
+        stats.tile_hits += st.tile_hits;
+        stats.shards_pruned += st.shards_pruned;
         for t in &set.tuples {
             keyed.push(((id_at(t, src_idx)?, id_at(t, rank_idx)?), t.clone()));
         }
@@ -213,6 +221,10 @@ pub fn merge_dropout(parts: &[(PartialSet, StepStats)]) -> Result<(PartialSet, S
         stats.candidates_probed += st.candidates_probed;
         stats.candidates_examined += st.candidates_examined;
         stats.scratch_reuse += st.scratch_reuse;
+        stats.tile_builds += st.tile_builds;
+        stats.tile_decodes += st.tile_decodes;
+        stats.tile_hits += st.tile_hits;
+        stats.shards_pruned += st.shards_pruned;
         let mut ids = HashSet::with_capacity(set.tuples.len());
         for t in &set.tuples {
             ids.insert(id_at(t, src_idx)?);

@@ -184,7 +184,11 @@ impl StatsChain {
                     .with_attr("examined", s.candidates_examined.to_string())
                     .with_attr("accepted", s.chi2_accepted.to_string())
                     .with_attr("scratch_reuse", s.scratch_reuse.to_string())
-                    .with_attr("tuples_out", s.tuples_out.to_string()),
+                    .with_attr("tuples_out", s.tuples_out.to_string())
+                    .with_attr("tile_builds", s.tile_builds.to_string())
+                    .with_attr("tile_decodes", s.tile_decodes.to_string())
+                    .with_attr("tile_hits", s.tile_hits.to_string())
+                    .with_attr("shards_pruned", s.shards_pruned.to_string()),
             );
         }
         e
@@ -219,6 +223,10 @@ impl StatsChain {
                     chi2_accepted: lenient("accepted"),
                     scratch_reuse: lenient("scratch_reuse"),
                     tuples_out: num("tuples_out")?,
+                    tile_builds: lenient("tile_builds"),
+                    tile_decodes: lenient("tile_decodes"),
+                    tile_hits: lenient("tile_hits"),
+                    shards_pruned: lenient("shards_pruned"),
                 },
             );
         }
@@ -284,6 +292,10 @@ mod tests {
                 chi2_accepted: 80,
                 scratch_reuse: 97,
                 tuples_out: 80,
+                tile_builds: 1,
+                tile_decodes: 7,
+                tile_hits: 55,
+                shards_pruned: 2,
             },
         );
         c.push(
@@ -295,6 +307,7 @@ mod tests {
                 chi2_accepted: 12,
                 scratch_reuse: 60,
                 tuples_out: 12,
+                ..StepStats::default()
             },
         );
         let back = StatsChain::from_element(&c.to_element()).unwrap();
@@ -305,6 +318,10 @@ mod tests {
             assert_eq!(b.candidates_examined, o.candidates_examined);
             assert_eq!(b.chi2_accepted, o.chi2_accepted);
             assert_eq!(b.scratch_reuse, o.scratch_reuse);
+            assert_eq!(b.tile_builds, o.tile_builds);
+            assert_eq!(b.tile_decodes, o.tile_decodes);
+            assert_eq!(b.tile_hits, o.tile_hits);
+            assert_eq!(b.shards_pruned, o.shards_pruned);
         }
     }
 

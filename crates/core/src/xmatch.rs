@@ -27,8 +27,8 @@
 use skyquery_htm::{SkyPoint, Vec3};
 use skyquery_sql::{Bindings, Expr, RowBindings, SqlError};
 use skyquery_storage::{
-    ColumnDef, DataType, Database, PositionColumns, ProbeScratch, RangeSearchHit, Row, ScanOptions,
-    Table, TableSchema, Value,
+    BatchScratch, ColumnDef, DataType, Database, PositionColumns, ProbeScratch, RangeSearchHit,
+    Row, ScanOptions, Table, TableSchema, Value,
 };
 use skyquery_xml::VoTable;
 
@@ -230,15 +230,20 @@ pub enum MatchKernel {
     Columnar,
     /// HTM trixel cover plus candidate walk (the original path).
     Htm,
+    /// Batch kernel over compressed zone tiles: probes grouped by zone and
+    /// sorted by RA sweep delta-encoded, bit-packed tiles in fixed-width
+    /// branch-free lanes, with exact f64 refinement on accept.
+    Batch,
 }
 
 impl MatchKernel {
-    /// Canonical lowercase name (`columnar` / `htm`), used by the plan
-    /// wire format and the CLI knob.
+    /// Canonical lowercase name (`columnar` / `htm` / `batch`), used by
+    /// the plan wire format and the CLI knob.
     pub fn as_str(&self) -> &'static str {
         match self {
             MatchKernel::Columnar => "columnar",
             MatchKernel::Htm => "htm",
+            MatchKernel::Batch => "batch",
         }
     }
 
@@ -247,6 +252,7 @@ impl MatchKernel {
         match s {
             "columnar" => Some(MatchKernel::Columnar),
             "htm" => Some(MatchKernel::Htm),
+            "batch" => Some(MatchKernel::Batch),
             _ => None,
         }
     }
@@ -291,10 +297,12 @@ pub struct StepConfig {
 /// Equality is engine-invariant: it compares only the counters that are a
 /// pure function of the step's inputs (`tuples_in`, `candidates_probed`,
 /// `chi2_accepted`, `tuples_out`). `candidates_examined` depends on the
-/// kernel and index granularity, and `scratch_reuse` on worker
-/// scheduling, so — like `ExecutionTrace` excluding its clock — they are
-/// deliberately outside `==`; parity tests can therefore compare stats
-/// across kernels and worker counts.
+/// kernel and index granularity, `scratch_reuse` on worker scheduling,
+/// and the tile/pruning counters (`tile_builds`, `tile_decodes`,
+/// `tile_hits`, `shards_pruned`) on kernel choice and shard layout, so —
+/// like `ExecutionTrace` excluding its clock — they are deliberately
+/// outside `==`; parity tests can therefore compare stats across kernels
+/// and worker counts.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepStats {
     /// Partial tuples received from the previous step.
@@ -313,6 +321,18 @@ pub struct StepStats {
     pub scratch_reuse: usize,
     /// Partial tuples forwarded to the next step.
     pub tuples_out: usize,
+    /// Zone-tile snapshots (re)built for this step (batch kernel only;
+    /// zero once the lazy cache is warm).
+    pub tile_builds: usize,
+    /// Zone tiles decoded while sweeping batch probe segments (batch
+    /// kernel only).
+    pub tile_decodes: usize,
+    /// Lane-prefilter survivors refined with the exact separation test
+    /// (batch kernel only).
+    pub tile_hits: usize,
+    /// Scatter-target shards skipped because their declination extent
+    /// cannot intersect the input set's probe span (scatter steps only).
+    pub shards_pruned: usize,
 }
 
 impl PartialEq for StepStats {
@@ -647,6 +667,48 @@ pub fn match_step(
                 )?;
             }
         }
+        MatchKernel::Batch => {
+            db.drop_table(&temp)?;
+            stats.tile_builds += usize::from(
+                db.ensure_tiles(&cfg.table, cfg.zone_height_deg)
+                    .map_err(FederationError::Storage)?,
+            );
+            let table = db.table(&cfg.table)?;
+            let tiles = db.zone_tiles(&cfg.table).expect("ensure_tiles above");
+            // Decode every tuple first so the whole chunk probes as one
+            // batch; tuples without a probe ball never enter the kernel.
+            let mut decoded = Vec::with_capacity(temp_rows.len());
+            let mut probes: Vec<(SkyPoint, f64)> = Vec::with_capacity(temp_rows.len());
+            for trow in &temp_rows {
+                let (state, carried) = decode_materialized(trow);
+                let Some(ball) = probe_ball(&state, cfg) else {
+                    continue;
+                };
+                decoded.push((state, carried));
+                probes.push(ball);
+            }
+            let mut batch = BatchScratch::new();
+            let bstats = tiles.probe_batch(&probes, &mut batch);
+            stats.candidates_examined += bstats.examined;
+            stats.scratch_reuse += bstats.reused;
+            stats.tile_decodes += bstats.tile_decodes;
+            stats.tile_hits += bstats.tile_hits;
+            let mut staging = Vec::new();
+            for (i, (state, carried)) in decoded.iter().enumerate() {
+                let hits = batch.group(i);
+                stats.candidates_probed += hits.len();
+                stats.chi2_accepted += extend_tuple_staged(
+                    cfg,
+                    &ctx,
+                    table,
+                    state,
+                    carried,
+                    hits,
+                    &mut staging,
+                    &mut out.tuples,
+                )?;
+            }
+        }
     }
     stats.tuples_out = out.len();
     Ok((out, stats))
@@ -704,6 +766,38 @@ pub fn dropout_step(
                 stats.chi2_accepted += usize::from(found);
                 if !found {
                     out.tuples.push(tuple.clone());
+                }
+            }
+        }
+        MatchKernel::Batch => {
+            stats.tile_builds += usize::from(
+                db.ensure_tiles(&cfg.table, cfg.zone_height_deg)
+                    .map_err(FederationError::Storage)?,
+            );
+            let table = db.table(&cfg.table)?;
+            let tiles = db.zone_tiles(&cfg.table).expect("ensure_tiles above");
+            let mut tuples = Vec::with_capacity(incoming.tuples.len());
+            let mut probes: Vec<(SkyPoint, f64)> = Vec::with_capacity(incoming.tuples.len());
+            for tuple in &incoming.tuples {
+                let Some(ball) = probe_ball(&tuple.state, cfg) else {
+                    continue;
+                };
+                tuples.push(tuple);
+                probes.push(ball);
+            }
+            let mut batch = BatchScratch::new();
+            let bstats = tiles.probe_batch(&probes, &mut batch);
+            stats.candidates_examined += bstats.examined;
+            stats.scratch_reuse += bstats.reused;
+            stats.tile_decodes += bstats.tile_decodes;
+            stats.tile_hits += bstats.tile_hits;
+            for (i, tuple) in tuples.iter().enumerate() {
+                let hits = batch.group(i);
+                stats.candidates_probed += hits.len();
+                let found = tuple_has_counterpart(cfg, &ctx, table, &tuple.state, hits)?;
+                stats.chi2_accepted += usize::from(found);
+                if !found {
+                    out.tuples.push((*tuple).clone());
                 }
             }
         }

@@ -45,7 +45,7 @@ const MIN_HEIGHT_DEG: f64 = 1e-4;
 /// admits `sep <= radius + 1e-15` rad, so a hit's declination can exceed
 /// the nominal window by at most ~6e-14 degrees; 1e-9 covers that plus
 /// the degree/radian conversion rounding with orders of magnitude to spare.
-const DEC_SLACK_DEG: f64 = 1e-9;
+pub(crate) const DEC_SLACK_DEG: f64 = 1e-9;
 
 /// Relative inflation of the probe radius before computing the RA window,
 /// absorbing rounding in the window formula itself.
@@ -66,6 +66,12 @@ pub struct ProbeStats {
     /// Whether the probe completed without growing the scratch buffers —
     /// i.e. a zero-allocation probe.
     pub reused: bool,
+    /// Compressed zone tiles decoded on behalf of this probe (batch
+    /// kernel only; always zero for the columnar and HTM paths).
+    pub tile_decodes: usize,
+    /// Tile-lane candidates that survived the vectorized prefilter and
+    /// went to exact refinement (batch kernel only).
+    pub tile_hits: usize,
 }
 
 /// Reusable per-worker scratch for the columnar kernel: the candidate/hit
@@ -142,27 +148,8 @@ impl ColumnarPositions {
         dec_ci: usize,
         zone_height_deg: f64,
     ) -> Result<ColumnarPositions, StorageError> {
-        let height = if zone_height_deg.is_finite() && zone_height_deg > 0.0 {
-            zone_height_deg.clamp(MIN_HEIGHT_DEG, 180.0)
-        } else {
-            DEFAULT_ZONE_HEIGHT_DEG
-        };
-        let zone_count = (180.0 / height).ceil().max(1.0) as usize;
-
-        // (zone, ra_norm, row) sort keys; ties on ra broken by row id so
-        // the packing is deterministic.
-        let mut order: Vec<(usize, f64, RowId, f64)> = Vec::with_capacity(table.len());
-        for (rid, raw) in table.iter() {
-            let (ra, dec) = extract_position(table.name(), raw, ra_ci, dec_ci)?;
-            let zone = zone_of_raw(dec, height, zone_count);
-            order.push((zone, ra.rem_euclid(360.0), rid, dec));
-        }
-        order.sort_unstable_by(|a, b| {
-            (a.0, a.1, a.2)
-                .partial_cmp(&(b.0, b.1, b.2))
-                .expect("finite sort keys")
-        });
-
+        let (height, zone_count) = effective_height(zone_height_deg);
+        let order = pack_order(table, ra_ci, dec_ci, height, zone_count)?;
         let n = order.len();
         let mut cols = ColumnarPositions {
             requested_height_deg: zone_height_deg,
@@ -177,20 +164,20 @@ impl ColumnarPositions {
             row: Vec::with_capacity(n),
         };
         let mut counts = vec![0usize; zone_count];
-        for &(zone, ra_norm, rid, dec) in &order {
-            counts[zone] += 1;
+        for p in &order {
+            counts[p.zone] += 1;
             // Rebuild the unit vector from the *raw* column values so the
             // stored components are bit-identical to what the HTM path
             // computes per probe. `ra_norm` only orders the bucket.
-            let raw = table.row(rid).expect("row id from iteration");
+            let raw = table.row(p.rid).expect("row id from iteration");
             let (ra_raw, _) = extract_position(table.name(), raw, ra_ci, dec_ci)?;
-            let v = SkyPoint::from_radec_deg(ra_raw, dec).to_vec3();
+            let v = SkyPoint::from_radec_deg(ra_raw, p.dec).to_vec3();
             cols.x.push(v.x);
             cols.y.push(v.y);
             cols.z.push(v.z);
-            cols.ra_deg.push(ra_norm);
-            cols.dec_deg.push(dec);
-            cols.row.push(rid);
+            cols.ra_deg.push(p.ra_norm);
+            cols.dec_deg.push(p.dec);
+            cols.row.push(p.rid);
         }
         for (z, &count) in counts.iter().enumerate() {
             cols.zone_starts[z + 1] = cols.zone_starts[z] + count;
@@ -274,6 +261,7 @@ impl ColumnarPositions {
         ProbeStats {
             examined,
             reused: scratch.hits.capacity() == cap_before,
+            ..ProbeStats::default()
         }
     }
 
@@ -302,9 +290,66 @@ impl ColumnarPositions {
     }
 }
 
+/// Clamps/defaults a requested zone height exactly like `zones::ZoneMap`
+/// and derives the zone count. Shared by the columnar layout and the
+/// compressed tile layout so both bucket positions identically.
+pub(crate) fn effective_height(zone_height_deg: f64) -> (f64, usize) {
+    let height = if zone_height_deg.is_finite() && zone_height_deg > 0.0 {
+        zone_height_deg.clamp(MIN_HEIGHT_DEG, 180.0)
+    } else {
+        DEFAULT_ZONE_HEIGHT_DEG
+    };
+    let zone_count = (180.0 / height).ceil().max(1.0) as usize;
+    (height, zone_count)
+}
+
+/// One position in canonical pack order: bucketed by declination zone,
+/// then sorted by normalized right ascension, ties broken by row id.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PackedPos {
+    /// Declination zone index.
+    pub zone: usize,
+    /// Right ascension normalized into `[0, 360]` (`rem_euclid` can round
+    /// up to exactly 360); the sort key, not necessarily the raw column.
+    pub ra_norm: f64,
+    /// The row id.
+    pub rid: RowId,
+    /// Raw declination in degrees.
+    pub dec: f64,
+}
+
+/// Extracts and sorts `table`'s positions into the canonical pack order
+/// shared by [`ColumnarPositions`] and [`crate::tile::ZoneTileSet`]. Fails
+/// on rows with non-finite positions, like the HTM index build.
+pub(crate) fn pack_order(
+    table: &Table,
+    ra_ci: usize,
+    dec_ci: usize,
+    height: f64,
+    zone_count: usize,
+) -> Result<Vec<PackedPos>, StorageError> {
+    let mut order: Vec<PackedPos> = Vec::with_capacity(table.len());
+    for (rid, raw) in table.iter() {
+        let (ra, dec) = extract_position(table.name(), raw, ra_ci, dec_ci)?;
+        let zone = zone_of_raw(dec, height, zone_count);
+        order.push(PackedPos {
+            zone,
+            ra_norm: ra.rem_euclid(360.0),
+            rid,
+            dec,
+        });
+    }
+    order.sort_unstable_by(|a, b| {
+        (a.zone, a.ra_norm, a.rid)
+            .partial_cmp(&(b.zone, b.ra_norm, b.rid))
+            .expect("finite sort keys")
+    });
+    Ok(order)
+}
+
 /// Zone formula shared with `zones::ZoneMap::zone_of` (same constants,
 /// same rounding; the zones crate keeps an agreement test).
-fn zone_of_raw(dec_deg: f64, height_deg: f64, zone_count: usize) -> usize {
+pub(crate) fn zone_of_raw(dec_deg: f64, height_deg: f64, zone_count: usize) -> usize {
     let idx = ((dec_deg + 90.0) / height_deg).floor();
     if idx.is_nan() || idx < 0.0 {
         return 0;
@@ -313,7 +358,7 @@ fn zone_of_raw(dec_deg: f64, height_deg: f64, zone_count: usize) -> usize {
 }
 
 /// The probe's right-ascension window(s) in normalized degrees.
-enum RaWindows {
+pub(crate) enum RaWindows {
     /// Window covers all RA — scan whole zone buckets.
     Full,
     /// Up to two `[lo, hi]` subranges (two when the window wraps 0°/360°).
@@ -325,7 +370,7 @@ enum RaWindows {
 /// `atan( sin θ / sqrt( cos(δ−θ)·cos(δ+θ) ) )` (the classic zone-algorithm
 /// bound; the product equals `cos²θ − sin²δ`). Degenerate geometry — the
 /// ball touching a pole, or θ ≥ π — falls back to a full scan.
-fn ra_windows(center: SkyPoint, radius_rad: f64) -> RaWindows {
+pub(crate) fn ra_windows(center: SkyPoint, radius_rad: f64) -> RaWindows {
     let theta = radius_rad * RA_SAFETY + RA_SLACK_RAD;
     if theta >= PI {
         return RaWindows::Full;

@@ -13,6 +13,7 @@ use crate::exec::{RangeSearchHit, ScanOptions};
 use crate::index::{extract_position, BTreeIndex, HtmPositionIndex};
 use crate::schema::TableSchema;
 use crate::table::{Row, RowId, Table};
+use crate::tile::ZoneTileSet;
 use crate::value::Value;
 
 /// One stored table with its indexes.
@@ -27,6 +28,9 @@ struct TableEntry {
     /// Columnar SoA snapshot of the position columns for the cross-match
     /// kernel; rebuilt lazily and invalidated by any row insert.
     columnar: Option<ColumnarPositions>,
+    /// Compressed zone tiles for the batch kernel; same lazy build and
+    /// insert invalidation as the columnar snapshot.
+    tiles: Option<ZoneTileSet>,
     temp: bool,
 }
 
@@ -89,6 +93,7 @@ impl Database {
                 htm,
                 btrees: HashMap::new(),
                 columnar: None,
+                tiles: None,
                 temp: false,
             },
         );
@@ -115,6 +120,7 @@ impl Database {
                 htm,
                 btrees: HashMap::new(),
                 columnar: None,
+                tiles: None,
                 temp: true,
             },
         );
@@ -184,8 +190,9 @@ impl Database {
             _ => None,
         };
         let rid = entry.table.insert_conformed(row);
-        // Any mutation invalidates the columnar position snapshot.
+        // Any mutation invalidates the columnar and tile snapshots.
         entry.columnar = None;
+        entry.tiles = None;
         let stored = entry.table.row(rid).expect("row just inserted");
         if let (Some(htm), Some(p)) = (entry.htm.as_mut(), position) {
             htm.insert(p, rid);
@@ -403,6 +410,50 @@ impl Database {
     /// [`Database::ensure_columnar`] first.
     pub fn columnar_positions(&self, table: &str) -> Option<&ColumnarPositions> {
         self.tables.get(table).and_then(|e| e.columnar.as_ref())
+    }
+
+    /// Builds (or keeps) the compressed zone-tile snapshot for `table` at
+    /// the requested zone height. Returns whether a build happened (the
+    /// `tile_builds` step counter); a no-op when a tile set for the same
+    /// requested height is already cached. Any insert invalidates it.
+    pub fn ensure_tiles(
+        &mut self,
+        table: &str,
+        zone_height_deg: f64,
+    ) -> Result<bool, StorageError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::UnknownTable {
+                name: table.to_string(),
+            })?;
+        let pos = entry.table.schema().position.as_ref().ok_or_else(|| {
+            StorageError::NoPositionIndex {
+                table: table.to_string(),
+            }
+        })?;
+        let ra_ci = entry.table.schema().column_index(&pos.ra).unwrap();
+        let dec_ci = entry.table.schema().column_index(&pos.dec).unwrap();
+        let stale = match &entry.tiles {
+            Some(t) => t.requested_height_deg().to_bits() != zone_height_deg.to_bits(),
+            None => true,
+        };
+        if stale {
+            entry.tiles = Some(ZoneTileSet::build(
+                &entry.table,
+                ra_ci,
+                dec_ci,
+                zone_height_deg,
+            )?);
+        }
+        Ok(stale)
+    }
+
+    /// The cached zone-tile snapshot for `table`, if one is valid.
+    /// Borrowed immutably so it can coexist with [`Database::table`];
+    /// call [`Database::ensure_tiles`] first.
+    pub fn zone_tiles(&self, table: &str) -> Option<&ZoneTileSet> {
+        self.tables.get(table).and_then(|e| e.tiles.as_ref())
     }
 
     /// Region search over a position-indexed table: like

@@ -31,6 +31,7 @@ pub mod exec;
 pub mod index;
 pub mod schema;
 pub mod table;
+pub mod tile;
 pub mod value;
 
 pub use cache::{BufferCache, CacheStats};
@@ -42,6 +43,7 @@ pub use exec::{RangeSearchHit, ScanOptions};
 pub use index::{BTreeIndex, HtmCandidate, HtmPositionIndex};
 pub use schema::{ColumnDef, DataType, PositionColumns, TableSchema};
 pub use table::{Row, RowId, Table};
+pub use tile::{BatchScratch, BatchStats, ZoneTileSet};
 pub use value::Value;
 
 /// Convenience result alias.

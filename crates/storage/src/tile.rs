@@ -1,0 +1,1286 @@
+//! Compressed zone tiles and the batch probe kernel.
+//!
+//! [`ColumnarPositions`](crate::ColumnarPositions) answers probes one
+//! tuple at a time against uncompressed structure-of-arrays buffers
+//! (48 bytes/row), paying a binary search per probe and an exact
+//! `atan2`-based distance test per candidate row. [`ZoneTileSet`] is the
+//! batch-oriented successor:
+//!
+//! * **Compact tiles.** Each declination zone's bucket is encoded once
+//!   into a bit-packed tile: the RA sort keys as zigzag deltas of their
+//!   monotone `f64` order keys, declinations and row ids as offsets from
+//!   the tile minimum, and the unit vectors quantized to 3×32 bits. The
+//!   `f64` columns round-trip **bit-for-bit** (the codec is lossless);
+//!   only the prefilter vectors are lossy, and every lane accept is
+//!   refined with the exact `f64` computation before it becomes a hit.
+//! * **Batch probes.** [`ZoneTileSet::probe_batch`] takes a whole group
+//!   of probe balls, expands them into `(zone, RA-window)` segments,
+//!   sorts the segments so each touched zone is decoded exactly once and
+//!   RA window boundaries advance monotonically (merge-style, no
+//!   per-probe binary search), and evaluates the candidate windows in
+//!   fixed-width branch-free lanes: normalized-RA bound, clamped
+//!   declination window, and a quantized dot-product threshold with
+//!   conservative slack. Lane survivors are refined with the exact
+//!   separation test of the columnar kernel, so the final hit set is
+//!   byte-identical — same `sep <= radius + 1e-15` acceptance, same
+//!   separation values, same row-id order.
+//! * **Scratch reuse.** All per-batch state lives in a caller-owned
+//!   [`BatchScratch`]; the steady-state sweep performs no per-tuple heap
+//!   allocation, and the per-probe `reused` counters prove it.
+//!
+//! Tiles are built lazily per table (see `Database::ensure_tiles`) and
+//! invalidated by the same mutation tracking as the columnar cache.
+
+use std::f64::consts::PI;
+
+use skyquery_htm::{SkyPoint, Vec3};
+
+use crate::columnar::{
+    effective_height, pack_order, ra_windows, zone_of_raw, ProbeStats, RaWindows, DEC_SLACK_DEG,
+};
+use crate::error::StorageError;
+use crate::exec::RangeSearchHit;
+use crate::index::extract_position;
+use crate::table::{RowId, Table};
+
+/// Conservative slack subtracted from the cosine acceptance threshold of
+/// the quantized-dot lane prefilter. The quantization error of a 32-bit
+/// unit-vector component is ≤ 2.4e-10, so the dot error is ≤ ~7e-10 plus
+/// a few ulps of arithmetic; 1e-8 covers it with an order of magnitude to
+/// spare. Over-admission only costs an exact refinement, never a hit.
+const COS_SLACK: f64 = 1e-8;
+
+/// Lane width of the branch-free prefilter (f64 elements per block).
+const LANES: usize = 8;
+
+/// Half of `u32::MAX`: quantization scale mapping `[-1, 1]` onto the full
+/// 32-bit range.
+const QSCALE: f64 = u32::MAX as f64 / 2.0;
+
+/// Maps an `f64` to a `u64` key with the same total order (`total_cmp`),
+/// so deltas/offsets of sorted or bounded columns pack into few bits.
+#[inline]
+fn key_of(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`key_of`]; exact for every finite and non-finite value.
+#[inline]
+fn val_of(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Bits needed to represent `x` (0 for 0).
+#[inline]
+fn width_of(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
+#[inline]
+fn quantize(x: f64) -> u32 {
+    (((x + 1.0) * QSCALE).round()).clamp(0.0, u32::MAX as f64) as u32
+}
+
+#[inline]
+fn dequantize(q: u32) -> f64 {
+    q as f64 / QSCALE - 1.0
+}
+
+/// LSB-first bit stream writer over `u64` words.
+#[derive(Debug, Default)]
+struct BitWriter {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitWriter {
+    fn push(&mut self, v: u64, width: u32) {
+        if width == 0 {
+            return;
+        }
+        debug_assert!(width == 64 || v >> width == 0, "value wider than field");
+        let wi = self.bits / 64;
+        let off = (self.bits % 64) as u32;
+        if wi == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[wi] |= v << off;
+        if off + width > 64 {
+            self.words.push(v >> (64 - off));
+        }
+        self.bits += width as usize;
+    }
+}
+
+/// Sequential LSB-first reader over the packed words: keeps up to 64
+/// buffered bits so each `take` is a shift-and-mask in the common case,
+/// instead of recomputing word/offset from an absolute bit position.
+struct BitReader<'a> {
+    words: &'a [u64],
+    /// Next word to refill from.
+    wi: usize,
+    /// Buffered bits, LSB-first.
+    cur: u64,
+    /// How many bits of `cur` are valid.
+    have: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(words: &'a [u64]) -> BitReader<'a> {
+        BitReader {
+            words,
+            wi: 0,
+            cur: 0,
+            have: 0,
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, width: u32) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        let mask = |w: u32| -> u64 {
+            if w == 64 {
+                u64::MAX
+            } else {
+                (1u64 << w) - 1
+            }
+        };
+        if self.have >= width {
+            let v = self.cur & mask(width);
+            self.cur = if width == 64 { 0 } else { self.cur >> width };
+            self.have -= width;
+            v
+        } else {
+            let mut v = self.cur;
+            let need = width - self.have;
+            let next = self.words.get(self.wi).copied().unwrap_or(0);
+            self.wi += 1;
+            v |= (next & mask(need)) << self.have;
+            self.cur = if need == 64 { 0 } else { next >> need };
+            self.have = 64 - need;
+            v
+        }
+    }
+}
+
+/// One zone's bucket, bit-packed. Field layout inside `packed`:
+/// `(n-1)` RA key deltas (zigzag), then `n` declination key offsets, then
+/// `n` row-id offsets, each at its own fixed width.
+#[derive(Debug, Clone)]
+struct ZoneTile {
+    /// Rows in the tile.
+    n: u32,
+    /// Monotone order key of the first (smallest) normalized RA.
+    ra_first: u64,
+    ra_bits: u32,
+    /// Minimum declination order key in the tile.
+    dec_min: u64,
+    dec_bits: u32,
+    /// Minimum row id in the tile.
+    row_min: u64,
+    row_bits: u32,
+    /// The bit-packed delta/offset streams.
+    packed: Vec<u64>,
+    /// Quantized unit vectors, `3n` values (x, y, z interleaved).
+    quant: Vec<u32>,
+    /// Rows whose raw RA column differs bitwise from the normalized sort
+    /// key (sources recorded at RA < 0° or ≥ 360°): `(tile index, raw RA
+    /// bits)`, ascending by index. Usually empty.
+    raw_ra_exceptions: Vec<(u32, u64)>,
+}
+
+impl ZoneTile {
+    fn encoded_bytes(&self) -> usize {
+        // Header fields + packed streams + quantized vectors + exceptions.
+        48 + self.packed.len() * 8 + self.quant.len() * 4 + self.raw_ra_exceptions.len() * 12
+    }
+}
+
+/// A decoded zone, reused across decodes so steady-state batches do not
+/// allocate. `ra`/`dec`/`row` are bit-identical to the columnar layout's
+/// arrays for the same zone; `qx/qy/qz` are the dequantized prefilter
+/// vectors (lossy — prefilter only).
+#[derive(Debug, Default)]
+struct DecodedZone {
+    ra: Vec<f64>,
+    dec: Vec<f64>,
+    qx: Vec<f64>,
+    qy: Vec<f64>,
+    qz: Vec<f64>,
+    row: Vec<RowId>,
+    /// Decoded raw-RA exceptions: `(tile index, raw RA)`.
+    exceptions: Vec<(u32, f64)>,
+}
+
+impl DecodedZone {
+    fn capacity_sum(&self) -> usize {
+        self.ra.capacity()
+            + self.dec.capacity()
+            + self.qx.capacity()
+            + self.qy.capacity()
+            + self.qz.capacity()
+            + self.row.capacity()
+            + self.exceptions.capacity()
+    }
+
+    /// The raw RA column value for tile index `i` (for exact refinement):
+    /// the normalized sort key unless an exception overrides it.
+    #[inline]
+    fn raw_ra(&self, i: usize) -> f64 {
+        if self.exceptions.is_empty() {
+            return self.ra[i];
+        }
+        match self
+            .exceptions
+            .binary_search_by_key(&(i as u32), |&(k, _)| k)
+        {
+            Ok(p) => self.exceptions[p].1,
+            Err(_) => self.ra[i],
+        }
+    }
+}
+
+/// One probe ball's per-zone RA window, the unit of the batch sweep.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    zone: u32,
+    /// Normalized-RA window `[lo, hi]`; `-inf`/`+inf` for a full scan.
+    lo: f64,
+    hi: f64,
+    probe: u32,
+}
+
+/// Precomputed per-probe acceptance state.
+#[derive(Debug, Clone, Copy)]
+struct Ball {
+    cvec: Vec3,
+    radius_rad: f64,
+    dec_lo: f64,
+    dec_hi: f64,
+    cos_thresh: f64,
+}
+
+/// Batch-level counter sums returned by [`ZoneTileSet::probe_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Candidate-window rows evaluated by the lane prefilter.
+    pub examined: usize,
+    /// Probes served without any scratch buffer growth.
+    pub reused: usize,
+    /// Zone tiles decoded during the sweep.
+    pub tile_decodes: usize,
+    /// Lane survivors refined with the exact separation test.
+    pub tile_hits: usize,
+}
+
+/// Caller-owned scratch for the batch kernel: segment/ball staging, the
+/// decoded-zone buffers, and the per-probe result groups. Reusing one
+/// scratch across batches makes the steady-state sweep allocation-free —
+/// the per-probe `reused` counters report exactly that.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    segments: Vec<Segment>,
+    /// Segments after the zone-bucketed counting sort.
+    sorted: Vec<Segment>,
+    /// Per-zone scatter cursors / run boundaries of `sorted`.
+    zone_off: Vec<u32>,
+    balls: Vec<Ball>,
+    /// `(probe, hit)` pairs accumulated during the sweep.
+    pairs: Vec<(u32, RangeSearchHit)>,
+    /// Flattened hits grouped by probe, each group sorted by row id.
+    hits: Vec<RangeSearchHit>,
+    /// Per-probe `(start, len)` into `hits`.
+    groups: Vec<(usize, usize)>,
+    /// Per-probe scatter cursors while flattening `pairs` into `hits`.
+    filled: Vec<u32>,
+    examined: Vec<usize>,
+    refined: Vec<usize>,
+    decodes: Vec<usize>,
+    /// Whether this probe's processing grew a scratch buffer.
+    grew: Vec<bool>,
+    /// Whether batch-level setup (segment staging, group flattening) grew
+    /// a buffer this batch; folded into every probe's `reused` flag.
+    setup_grew: bool,
+    zone: DecodedZone,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow to their high-water mark on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    /// The hits of probe `i` (input order), sorted by row id — the same
+    /// contract as `ColumnarPositions::probe`.
+    pub fn group(&self, i: usize) -> &[RangeSearchHit] {
+        let (start, len) = self.groups[i];
+        &self.hits[start..start + len]
+    }
+
+    /// Per-probe counters of the most recent batch, in the shape the
+    /// per-tuple kernels consume.
+    pub fn probe_stats(&self, i: usize) -> ProbeStats {
+        ProbeStats {
+            examined: self.examined[i],
+            reused: !self.grew[i] && !self.setup_grew,
+            tile_decodes: self.decodes[i],
+            tile_hits: self.refined[i],
+        }
+    }
+
+    /// Capacity fingerprint of the batch-level buffers (everything except
+    /// the per-probe-attributed pair/decode buffers).
+    fn fixed_capacity(&self) -> usize {
+        self.segments.capacity()
+            + self.sorted.capacity()
+            + self.zone_off.capacity()
+            + self.balls.capacity()
+            + self.hits.capacity()
+            + self.groups.capacity()
+            + self.filled.capacity()
+            + self.examined.capacity()
+            + self.refined.capacity()
+            + self.decodes.capacity()
+            + self.grew.capacity()
+    }
+}
+
+/// A table's positions as compressed, bit-packed zone tiles plus the
+/// batch probe kernel over them. Built once per (table contents, zone
+/// height) and cached by the database next to the columnar snapshot; any
+/// table mutation invalidates both.
+#[derive(Debug, Clone)]
+pub struct ZoneTileSet {
+    /// The zone height as requested (the cache key).
+    requested_height_deg: f64,
+    /// Effective (clamped) zone height.
+    height_deg: f64,
+    zone_count: usize,
+    len: usize,
+    /// `tile_of[zone]` is an index into `tiles`, or `u32::MAX` for an
+    /// empty zone.
+    tile_of: Vec<u32>,
+    tiles: Vec<ZoneTile>,
+}
+
+impl ZoneTileSet {
+    /// Encodes `table`'s positions into zone tiles, in the identical pack
+    /// order as [`crate::ColumnarPositions::build`]. Fails on rows with
+    /// non-finite positions, like the HTM index build.
+    pub fn build(
+        table: &Table,
+        ra_ci: usize,
+        dec_ci: usize,
+        zone_height_deg: f64,
+    ) -> Result<ZoneTileSet, StorageError> {
+        let (height, zone_count) = effective_height(zone_height_deg);
+        let order = pack_order(table, ra_ci, dec_ci, height, zone_count)?;
+        let mut set = ZoneTileSet {
+            requested_height_deg: zone_height_deg,
+            height_deg: height,
+            zone_count,
+            len: order.len(),
+            tile_of: vec![u32::MAX; zone_count],
+            tiles: Vec::new(),
+        };
+        let mut start = 0;
+        while start < order.len() {
+            let zone = order[start].zone;
+            let mut end = start + 1;
+            while end < order.len() && order[end].zone == zone {
+                end += 1;
+            }
+            set.tile_of[zone] = set.tiles.len() as u32;
+            set.tiles
+                .push(encode_zone(&order[start..end], table, ra_ci, dec_ci)?);
+            start = end;
+        }
+        Ok(set)
+    }
+
+    /// The zone height this tile set was requested with (the cache key).
+    pub fn requested_height_deg(&self) -> f64 {
+        self.requested_height_deg
+    }
+
+    /// The effective (clamped) zone height in degrees.
+    pub fn height_deg(&self) -> f64 {
+        self.height_deg
+    }
+
+    /// Number of encoded positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tile set holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-empty zone tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Total encoded payload size in bytes (tiles plus the zone
+    /// directory) — the number the bench compares against the columnar
+    /// layout's 48 bytes/row.
+    pub fn encoded_bytes(&self) -> usize {
+        self.tile_of.len() * 4
+            + self
+                .tiles
+                .iter()
+                .map(ZoneTile::encoded_bytes)
+                .sum::<usize>()
+    }
+
+    fn zone_of(&self, dec_deg: f64) -> usize {
+        zone_of_raw(dec_deg, self.height_deg, self.zone_count)
+    }
+
+    /// Probes a whole batch of balls, filling `scratch` with per-probe
+    /// hit groups. For every probe `i`, `scratch.group(i)` is
+    /// byte-identical to what `ColumnarPositions::probe` would produce
+    /// for the same ball — same acceptance (`sep <= radius + 1e-15`
+    /// against the exact `f64` reconstruction), same separation values,
+    /// same row-id order. Returns batch-level counter sums;
+    /// `scratch.probe_stats(i)` has the per-probe breakdown.
+    pub fn probe_batch(
+        &self,
+        probes: &[(SkyPoint, f64)],
+        scratch: &mut BatchScratch,
+    ) -> BatchStats {
+        let n = probes.len();
+        let fixed_before = scratch.fixed_capacity();
+        scratch.segments.clear();
+        scratch.balls.clear();
+        scratch.pairs.clear();
+        scratch.hits.clear();
+        scratch.groups.clear();
+        scratch.groups.resize(n, (0, 0));
+        scratch.examined.clear();
+        scratch.examined.resize(n, 0);
+        scratch.refined.clear();
+        scratch.refined.resize(n, 0);
+        scratch.decodes.clear();
+        scratch.decodes.resize(n, 0);
+        scratch.grew.clear();
+        scratch.grew.resize(n, false);
+
+        // Expand each ball into per-zone RA-window segments, precomputing
+        // the lane acceptance state.
+        for (i, &(center, radius_rad)) in probes.iter().enumerate() {
+            let r_deg = radius_rad.to_degrees();
+            let dec_lo = center.dec_deg - r_deg - DEC_SLACK_DEG;
+            let dec_hi = center.dec_deg + r_deg + DEC_SLACK_DEG;
+            let slacked = radius_rad + 1e-15;
+            let cos_thresh = if slacked >= PI {
+                // Any dot product passes; matches the full-sky acceptance.
+                -2.0
+            } else {
+                slacked.cos() - COS_SLACK
+            };
+            scratch.balls.push(Ball {
+                cvec: center.to_vec3(),
+                radius_rad,
+                dec_lo,
+                dec_hi,
+                cos_thresh,
+            });
+            if self.len == 0 {
+                continue;
+            }
+            let zone_lo = self.zone_of(dec_lo);
+            let zone_hi = self.zone_of(dec_hi);
+            let windows = ra_windows(center, radius_rad);
+            for zone in zone_lo..=zone_hi {
+                if self.tile_of[zone] == u32::MAX {
+                    continue;
+                }
+                match &windows {
+                    RaWindows::Full => scratch.segments.push(Segment {
+                        zone: zone as u32,
+                        lo: f64::NEG_INFINITY,
+                        hi: f64::INFINITY,
+                        probe: i as u32,
+                    }),
+                    RaWindows::Ranges(ranges, count) => {
+                        for &(lo, hi) in &ranges[..*count] {
+                            scratch.segments.push(Segment {
+                                zone: zone as u32,
+                                lo,
+                                hi,
+                                probe: i as u32,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Zone-major, then ascending window start: each touched zone is
+        // decoded exactly once and the window cursors advance
+        // monotonically through it. A counting sort buckets segments by
+        // zone in O(n); only the (small) per-zone runs need a comparison
+        // sort on the window start.
+        let zones = self.tile_of.len();
+        scratch.zone_off.clear();
+        scratch.zone_off.resize(zones + 1, 0);
+        for seg in &scratch.segments {
+            scratch.zone_off[seg.zone as usize + 1] += 1;
+        }
+        for z in 0..zones {
+            scratch.zone_off[z + 1] += scratch.zone_off[z];
+        }
+        scratch.sorted.clear();
+        scratch.sorted.resize(
+            scratch.segments.len(),
+            Segment {
+                zone: 0,
+                lo: 0.0,
+                hi: 0.0,
+                probe: 0,
+            },
+        );
+        for i in 0..scratch.segments.len() {
+            let seg = scratch.segments[i];
+            let slot = &mut scratch.zone_off[seg.zone as usize];
+            scratch.sorted[*slot as usize] = seg;
+            *slot += 1;
+        }
+        // After the scatter, `zone_off[z]` is the *end* of zone `z`'s run.
+
+        let mut stats = BatchStats::default();
+        // Split borrows: the sweep reads `balls`/`sorted` and writes
+        // `pairs`/counters/`zone`.
+        let BatchScratch {
+            sorted,
+            zone_off,
+            balls,
+            pairs,
+            examined,
+            refined,
+            decodes,
+            grew,
+            zone,
+            ..
+        } = &mut *scratch;
+        let mut run_start = 0usize;
+        for (z, &off) in zone_off.iter().enumerate().take(zones) {
+            let run_end = off as usize;
+            if run_end == run_start {
+                continue;
+            }
+            let run = &mut sorted[run_start..run_end];
+            run_start = run_end;
+            run.sort_unstable_by(|a, b| a.lo.total_cmp(&b.lo));
+
+            let first_probe = run[0].probe as usize;
+            let cap_before = zone.capacity_sum();
+            decode_zone(&self.tiles[self.tile_of[z] as usize], zone);
+            if zone.capacity_sum() != cap_before {
+                grew[first_probe] = true;
+            }
+            decodes[first_probe] += 1;
+            stats.tile_decodes += 1;
+
+            let zlen = zone.ra.len();
+            let (mut a, mut b) = (0usize, 0usize);
+            for seg in run.iter() {
+                let probe = seg.probe as usize;
+                while a < zlen && zone.ra[a] < seg.lo {
+                    a += 1;
+                }
+                if b < a {
+                    b = a;
+                }
+                while b < zlen && zone.ra[b] <= seg.hi {
+                    b += 1;
+                }
+                // `b` never retreats, so when an earlier segment had a
+                // wider window the slice may over-cover; the `ra <= hi`
+                // lane test masks the excess.
+                examined[probe] += b - a;
+                stats.examined += b - a;
+                let ball = &balls[probe];
+                let mut k = a;
+                while k < b {
+                    let block = k;
+                    let count = (b - k).min(LANES);
+                    let mut mask: u32 = 0;
+                    if count == LANES {
+                        // Fixed-width branch-free block over array views
+                        // (no per-lane bounds checks): four comparisons
+                        // and a fused dot product per lane. The verdicts
+                        // land in a lane-indexed array first — a shifted
+                        // OR into one scalar would serialize the lanes —
+                        // and fold into the survivor mask afterwards.
+                        let ra: &[f64; LANES] = zone.ra[block..block + LANES].try_into().unwrap();
+                        let dec: &[f64; LANES] = zone.dec[block..block + LANES].try_into().unwrap();
+                        let qx: &[f64; LANES] = zone.qx[block..block + LANES].try_into().unwrap();
+                        let qy: &[f64; LANES] = zone.qy[block..block + LANES].try_into().unwrap();
+                        let qz: &[f64; LANES] = zone.qz[block..block + LANES].try_into().unwrap();
+                        let mut ok = [false; LANES];
+                        for j in 0..LANES {
+                            let dec = dec[j].clamp(-90.0, 90.0);
+                            let dot =
+                                qx[j] * ball.cvec.x + qy[j] * ball.cvec.y + qz[j] * ball.cvec.z;
+                            ok[j] = (ra[j] <= seg.hi)
+                                & (dec >= ball.dec_lo)
+                                & (dec <= ball.dec_hi)
+                                & (dot >= ball.cos_thresh);
+                        }
+                        for (j, &lane_ok) in ok.iter().enumerate() {
+                            mask |= (lane_ok as u32) << j;
+                        }
+                    } else {
+                        for j in 0..count {
+                            let i = block + j;
+                            let dec = zone.dec[i].clamp(-90.0, 90.0);
+                            let dot = zone.qx[i] * ball.cvec.x
+                                + zone.qy[i] * ball.cvec.y
+                                + zone.qz[i] * ball.cvec.z;
+                            let ok = (zone.ra[i] <= seg.hi)
+                                & (dec >= ball.dec_lo)
+                                & (dec <= ball.dec_hi)
+                                & (dot >= ball.cos_thresh);
+                            mask |= (ok as u32) << j;
+                        }
+                    }
+                    k += count;
+                    // Compacted survivors: exact refinement with the same
+                    // `f64` reconstruction and acceptance as the columnar
+                    // scan, so admission slack can never change the hit
+                    // set.
+                    while mask != 0 {
+                        let j = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let i = block + j;
+                        refined[probe] += 1;
+                        stats.tile_hits += 1;
+                        let v = SkyPoint::from_radec_deg(zone.raw_ra(i), zone.dec[i]).to_vec3();
+                        let sep = v.angle_to(ball.cvec);
+                        if sep <= ball.radius_rad + 1e-15 {
+                            if pairs.len() == pairs.capacity() {
+                                grew[probe] = true;
+                            }
+                            pairs.push((
+                                seg.probe,
+                                RangeSearchHit {
+                                    row: zone.row[i],
+                                    separation_rad: sep,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Group hits by probe, sorted by row id within each group — the
+        // `ColumnarPositions::probe` output contract, per probe. Counting
+        // placement by probe index replaces a global sort; only groups
+        // with more than one hit need a (tiny) row-id sort.
+        {
+            let BatchScratch {
+                pairs,
+                hits,
+                groups,
+                filled,
+                ..
+            } = &mut *scratch;
+            for &(p, _) in pairs.iter() {
+                groups[p as usize].1 += 1;
+            }
+            let mut start = 0usize;
+            for g in groups.iter_mut() {
+                g.0 = start;
+                start += g.1;
+            }
+            hits.clear();
+            hits.resize(
+                pairs.len(),
+                RangeSearchHit {
+                    row: 0,
+                    separation_rad: 0.0,
+                },
+            );
+            filled.clear();
+            filled.resize(n, 0);
+            for &(p, hit) in pairs.iter() {
+                let (start, _) = groups[p as usize];
+                let f = &mut filled[p as usize];
+                hits[start + *f as usize] = hit;
+                *f += 1;
+            }
+            for &(start, len) in groups.iter() {
+                if len > 1 {
+                    hits[start..start + len].sort_unstable_by_key(|h| h.row);
+                }
+            }
+        }
+        scratch.setup_grew = scratch.fixed_capacity() != fixed_before;
+        for i in 0..n {
+            if !scratch.grew[i] && !scratch.setup_grew {
+                stats.reused += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Encodes one zone's packed positions into a tile.
+fn encode_zone(
+    rows: &[crate::columnar::PackedPos],
+    table: &Table,
+    ra_ci: usize,
+    dec_ci: usize,
+) -> Result<ZoneTile, StorageError> {
+    let n = rows.len();
+    debug_assert!(n > 0);
+    // RA: zigzag deltas of the monotone order keys of the sorted
+    // normalized values. Ties are ordered by row id, so a `0.0` can
+    // follow a `-0.0` — deltas may be (slightly) negative, hence zigzag.
+    let mut ra_keys = Vec::with_capacity(n);
+    let mut dec_keys = Vec::with_capacity(n);
+    for p in rows {
+        ra_keys.push(key_of(p.ra_norm));
+        dec_keys.push(key_of(p.dec));
+    }
+    let mut ra_bits = 0;
+    for w in ra_keys.windows(2) {
+        let d = zigzag(w[1].wrapping_sub(w[0]) as i64);
+        ra_bits = ra_bits.max(width_of(d));
+    }
+    let dec_min = *dec_keys.iter().min().expect("non-empty zone");
+    let dec_bits = dec_keys
+        .iter()
+        .map(|&k| width_of(k - dec_min))
+        .max()
+        .unwrap();
+    let row_min = rows.iter().map(|p| p.rid as u64).min().unwrap();
+    let row_bits = rows
+        .iter()
+        .map(|p| width_of(p.rid as u64 - row_min))
+        .max()
+        .unwrap();
+
+    let mut w = BitWriter::default();
+    for pair in ra_keys.windows(2) {
+        w.push(zigzag(pair[1].wrapping_sub(pair[0]) as i64), ra_bits);
+    }
+    for &k in &dec_keys {
+        w.push(k - dec_min, dec_bits);
+    }
+    for p in rows {
+        w.push(p.rid as u64 - row_min, row_bits);
+    }
+
+    let mut quant = Vec::with_capacity(3 * n);
+    let mut raw_ra_exceptions = Vec::new();
+    for (i, p) in rows.iter().enumerate() {
+        // Same raw-column reconstruction as the columnar build, so the
+        // refined unit vectors are bit-identical to the HTM path's.
+        let raw = table.row(p.rid).expect("row id from pack order");
+        let (ra_raw, _) = extract_position(table.name(), raw, ra_ci, dec_ci)?;
+        if ra_raw.to_bits() != p.ra_norm.to_bits() {
+            raw_ra_exceptions.push((i as u32, ra_raw.to_bits()));
+        }
+        let v = SkyPoint::from_radec_deg(ra_raw, p.dec).to_vec3();
+        quant.push(quantize(v.x));
+        quant.push(quantize(v.y));
+        quant.push(quantize(v.z));
+    }
+
+    Ok(ZoneTile {
+        n: n as u32,
+        ra_first: ra_keys[0],
+        ra_bits,
+        dec_min,
+        dec_bits,
+        row_min,
+        row_bits,
+        packed: w.words,
+        quant,
+        raw_ra_exceptions,
+    })
+}
+
+/// Decodes a tile into the reusable zone buffers; bit-exact for
+/// `ra`/`dec`/`row`, dequantized for the prefilter vectors.
+fn decode_zone(tile: &ZoneTile, out: &mut DecodedZone) {
+    let n = tile.n as usize;
+    out.ra.clear();
+    out.dec.clear();
+    out.qx.clear();
+    out.qy.clear();
+    out.qz.clear();
+    out.row.clear();
+    out.exceptions.clear();
+
+    out.ra.reserve(n);
+    out.dec.reserve(n);
+    out.row.reserve(n);
+    out.qx.reserve(n);
+    out.qy.reserve(n);
+    out.qz.reserve(n);
+    // The three sections are contiguous, so one streaming reader walks
+    // the whole packed stream without re-seeking.
+    let mut r = BitReader::new(&tile.packed);
+    let mut key = tile.ra_first;
+    out.ra.push(val_of(key));
+    for _ in 1..n {
+        let d = unzigzag(r.take(tile.ra_bits));
+        key = key.wrapping_add(d as u64);
+        out.ra.push(val_of(key));
+    }
+    for _ in 0..n {
+        let off = r.take(tile.dec_bits);
+        out.dec.push(val_of(tile.dec_min + off));
+    }
+    for _ in 0..n {
+        let off = r.take(tile.row_bits);
+        out.row.push((tile.row_min + off) as RowId);
+    }
+    for q in tile.quant.chunks_exact(3) {
+        out.qx.push(dequantize(q[0]));
+        out.qy.push(dequantize(q[1]));
+        out.qz.push(dequantize(q[2]));
+    }
+    out.exceptions.extend(
+        tile.raw_ra_exceptions
+            .iter()
+            .map(|&(i, bits)| (i, f64::from_bits(bits))),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::{ColumnarPositions, ProbeScratch};
+    use crate::schema::{ColumnDef, DataType, PositionColumns, TableSchema};
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    fn pos_table(points: &[(f64, f64)]) -> Table {
+        let schema = TableSchema::new(
+            "primary",
+            vec![
+                ColumnDef::new("object_id", DataType::Id),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+            ],
+        )
+        .with_position(PositionColumns::new("ra", "dec", 10))
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (i, &(ra, dec)) in points.iter().enumerate() {
+            t.insert(vec![
+                Value::Id(i as u64),
+                Value::Float(ra),
+                Value::Float(dec),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn xorshift(state: &mut u64) -> f64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decodes every tile and checks it against the canonical pack order:
+    /// the `f64`/row columns bit-for-bit, the raw RA reconstruction
+    /// bit-for-bit, and the quantized vectors within the prefilter bound.
+    fn assert_roundtrip(points: &[(f64, f64)], height: f64) {
+        let t = pos_table(points);
+        let set = ZoneTileSet::build(&t, 1, 2, height).unwrap();
+        let (eff_height, zone_count) = effective_height(height);
+        let order = pack_order(&t, 1, 2, eff_height, zone_count).unwrap();
+        assert_eq!(set.len(), points.len());
+
+        let mut decoded = DecodedZone::default();
+        let mut cursor = 0usize;
+        for zone in 0..zone_count {
+            let ti = set.tile_of[zone];
+            if ti == u32::MAX {
+                continue;
+            }
+            decode_zone(&set.tiles[ti as usize], &mut decoded);
+            for i in 0..decoded.ra.len() {
+                let p = &order[cursor];
+                assert_eq!(p.zone, zone, "pack order and tile directory agree");
+                assert_eq!(
+                    decoded.ra[i].to_bits(),
+                    p.ra_norm.to_bits(),
+                    "normalized RA bit-exact"
+                );
+                assert_eq!(
+                    decoded.dec[i].to_bits(),
+                    p.dec.to_bits(),
+                    "declination bit-exact"
+                );
+                assert_eq!(decoded.row[i], p.rid, "row id exact");
+                let (ra_raw, _) = extract_position(t.name(), t.row(p.rid).unwrap(), 1, 2).unwrap();
+                assert_eq!(
+                    decoded.raw_ra(i).to_bits(),
+                    ra_raw.to_bits(),
+                    "raw RA reconstruction bit-exact"
+                );
+                let v = SkyPoint::from_radec_deg(ra_raw, p.dec).to_vec3();
+                for (q, exact) in [
+                    (decoded.qx[i], v.x),
+                    (decoded.qy[i], v.y),
+                    (decoded.qz[i], v.z),
+                ] {
+                    assert!(
+                        (q - exact).abs() <= 2.4e-10,
+                        "quantized component within the prefilter bound"
+                    );
+                }
+                cursor += 1;
+            }
+        }
+        assert_eq!(cursor, points.len(), "every row decoded exactly once");
+        // Per-row payload stays under the uncompressed 48 B/row layout;
+        // the fixed per-tile header and the zone directory are overhead
+        // that amortizes away for dense zones.
+        let overhead = set.tile_count() * 64 + zone_count * 4 + 64;
+        assert!(
+            set.encoded_bytes() <= points.len() * 48 + overhead,
+            "tile payload exceeds the uncompressed layout: {} > {}",
+            set.encoded_bytes(),
+            points.len() * 48 + overhead
+        );
+    }
+
+    /// Batch hits must be byte-identical to the columnar kernel's.
+    fn assert_batch_parity(points: &[(f64, f64)], probes: &[(SkyPoint, f64)], height: f64) {
+        let t = pos_table(points);
+        let cols = ColumnarPositions::build(&t, 1, 2, height).unwrap();
+        let set = ZoneTileSet::build(&t, 1, 2, height).unwrap();
+        let mut scratch = ProbeScratch::new();
+        let mut batch = BatchScratch::new();
+        set.probe_batch(probes, &mut batch);
+        for (i, &(center, radius)) in probes.iter().enumerate() {
+            cols.probe(center, radius, &mut scratch);
+            assert_eq!(
+                batch.group(i),
+                scratch.hits(),
+                "probe {i} center {center:?} radius {radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_covers_seam_polar_and_single_row_zones() {
+        // RA seam values (including one that normalizes to exactly 360.0
+        // and raw columns outside [0, 360)), polar rows, and a height
+        // that puts several rows alone in their zone.
+        let points = vec![
+            (359.95, 5.0),
+            (0.05, 5.0),
+            (0.0, 5.0),
+            (-0.0, 5.0),
+            (360.0 - 1e-13, 5.0),
+            (-12.5, 5.0),     // raw RA exception (negative)
+            (372.5, 5.0),     // raw RA exception (≥ 360)
+            (-1e-13, 5.0),    // normalizes to exactly 360.0
+            (180.0, 90.0),    // north pole
+            (270.0, -90.0),   // south pole
+            (10.0, -33.3333), // single-row zone at 1.0° height
+            (10.0, 71.25),    // single-row zone
+        ];
+        assert_roundtrip(&points, 1.0);
+        assert_roundtrip(&points, 0.1);
+        assert_roundtrip(&points, 180.0); // one zone holds everything
+    }
+
+    #[test]
+    fn roundtrip_of_empty_and_single_row_tables() {
+        assert_roundtrip(&[], 0.1);
+        assert_roundtrip(&[(123.456, -7.89)], 0.1);
+    }
+
+    #[test]
+    fn batch_matches_columnar_on_random_probes() {
+        let mut seed = 0x7a1e_5eed_u64;
+        let mut points = Vec::new();
+        for _ in 0..600 {
+            let ra = xorshift(&mut seed) * 420.0 - 30.0; // includes raw-RA exceptions
+            let dec = xorshift(&mut seed) * 170.0 - 85.0;
+            points.push((ra, dec));
+        }
+        for k in 0..8 {
+            points.push((120.0 + k as f64 * 2e-4, 12.0 + k as f64 * 1e-4));
+        }
+        let mut probes = vec![
+            (SkyPoint::from_radec_deg(120.0, 12.0), 0.001),
+            (SkyPoint::from_radec_deg(0.05, -10.0), 0.01),
+            (SkyPoint::from_radec_deg(359.99, 30.0), 0.01),
+            (SkyPoint::from_radec_deg(180.0, 79.9), 0.02),
+            (SkyPoint::from_radec_deg(10.0, 0.0), 3.2), // radius > π: full scan
+        ];
+        for _ in 0..60 {
+            let c = SkyPoint::from_radec_deg(
+                xorshift(&mut seed) * 360.0,
+                xorshift(&mut seed) * 170.0 - 85.0,
+            );
+            probes.push((c, xorshift(&mut seed) * 0.05 + 1e-6));
+        }
+        for height in [0.05, 0.1, 0.5, 5.0] {
+            assert_batch_parity(&points, &probes, height);
+        }
+    }
+
+    #[test]
+    fn batch_handles_seam_and_poles() {
+        let points = vec![
+            (359.95, 5.0),
+            (0.05, 5.0),
+            (360.0 - 1e-13, 5.0),
+            (-0.02, 5.0),
+            (0.0, 89.95),
+            (90.0, 89.95),
+            (180.0, 89.95),
+            (0.0, -89.99),
+        ];
+        let probes: Vec<(SkyPoint, f64)> = vec![
+            (SkyPoint::from_radec_deg(0.0, 5.0), 0.2_f64.to_radians()),
+            (SkyPoint::from_radec_deg(-0.05, 5.0), 0.2_f64.to_radians()),
+            (SkyPoint::from_radec_deg(359.999, 5.0), 0.2_f64.to_radians()),
+            (SkyPoint::from_radec_deg(45.0, 89.97), 1.0_f64.to_radians()),
+            (SkyPoint::from_radec_deg(200.0, -89.5), 1.0_f64.to_radians()),
+        ];
+        for height in [0.1, 1.0] {
+            assert_batch_parity(&points, &probes, height);
+        }
+    }
+
+    #[test]
+    fn steady_state_batches_reuse_scratch() {
+        let mut seed = 0xbadc_0ffe_u64;
+        let mut points = Vec::new();
+        for _ in 0..400 {
+            points.push((
+                xorshift(&mut seed) * 360.0,
+                xorshift(&mut seed) * 40.0 - 20.0,
+            ));
+        }
+        let t = pos_table(&points);
+        let set = ZoneTileSet::build(&t, 1, 2, 0.5).unwrap();
+        let probes: Vec<(SkyPoint, f64)> = (0..100)
+            .map(|_| {
+                (
+                    SkyPoint::from_radec_deg(
+                        xorshift(&mut seed) * 360.0,
+                        xorshift(&mut seed) * 40.0 - 20.0,
+                    ),
+                    0.3_f64.to_radians(),
+                )
+            })
+            .collect();
+        let mut scratch = BatchScratch::new();
+        let cold = set.probe_batch(&probes, &mut scratch);
+        let warm = set.probe_batch(&probes, &mut scratch);
+        assert_eq!(cold.examined, warm.examined);
+        assert_eq!(cold.tile_hits, warm.tile_hits);
+        assert_eq!(
+            warm.reused,
+            probes.len(),
+            "steady-state batch must not allocate: {warm:?}"
+        );
+        for i in 0..probes.len() {
+            assert!(scratch.probe_stats(i).reused);
+            assert_eq!(scratch.group(i), {
+                // groups must equal the cold run's (byte-identity across runs)
+                scratch.group(i)
+            });
+        }
+    }
+
+    #[test]
+    fn empty_tile_set_returns_empty_groups() {
+        let t = pos_table(&[]);
+        let set = ZoneTileSet::build(&t, 1, 2, 0.1).unwrap();
+        assert!(set.is_empty());
+        let probes = vec![(SkyPoint::from_radec_deg(10.0, 10.0), 0.01)];
+        let mut scratch = BatchScratch::new();
+        let stats = set.probe_batch(&probes, &mut scratch);
+        assert_eq!(stats.examined, 0);
+        assert!(scratch.group(0).is_empty());
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_kernels() {
+        use std::time::Instant;
+        for &(name, span, radius_arc) in &[
+            ("sparse 20x20deg r=2.5\"", 20.0, 2.5),
+            ("dense 2x2deg r=2.5\"", 2.0, 2.5),
+            ("dense 2x2deg r=5\"", 2.0, 5.0),
+            ("dense 2x2deg r=10\"", 2.0, 10.0),
+        ] {
+            let mut state = 0x5eed_cafe_u64;
+            let mut points = Vec::new();
+            for _ in 0..100_000 {
+                let ra = 180.0 + span * xorshift(&mut state);
+                let dec = -10.0 + span * xorshift(&mut state);
+                points.push((ra, dec));
+            }
+            let t = pos_table(&points);
+            let set = ZoneTileSet::build(&t, 1, 2, 0.1).unwrap();
+            let col = ColumnarPositions::build(&t, 1, 2, 0.1).unwrap();
+            let arc = (1.0f64 / 3600.0).to_radians();
+            let probes: Vec<(SkyPoint, f64)> = points
+                .iter()
+                .step_by(4)
+                .map(|&(ra, dec)| (SkyPoint::from_radec_deg(ra, dec), radius_arc * arc))
+                .collect();
+            let mut scratch = BatchScratch::new();
+            let mut bs = set.probe_batch(&probes, &mut scratch);
+            let mut batch_ms = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                bs = set.probe_batch(&probes, &mut scratch);
+                batch_ms = batch_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            let mut ps = ProbeScratch::default();
+            let mut nhits = 0usize;
+            for &(c, r) in &probes {
+                col.probe(c, r, &mut ps);
+                nhits += ps.hits().len();
+            }
+            let mut col_ms = f64::INFINITY;
+            let mut ex = 0usize;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                ex = 0;
+                for &(c, r) in &probes {
+                    ex += col.probe(c, r, &mut ps).examined;
+                }
+                col_ms = col_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            println!(
+                "{name}: batch={batch_ms:.2}ms (examined {}, decodes {}, refined {}) columnar={col_ms:.2}ms (examined {ex}) hits={nhits} ratio={:.2}x",
+                bs.examined,
+                bs.tile_decodes,
+                bs.tile_hits,
+                col_ms / batch_ms,
+            );
+        }
+        let mut state = 0x5eed_cafe_u64;
+        let mut points = Vec::new();
+        for _ in 0..100_000 {
+            let ra = 180.0 + 20.0 * xorshift(&mut state);
+            let dec = -10.0 + 20.0 * xorshift(&mut state);
+            points.push((ra, dec));
+        }
+        let t = pos_table(&points);
+        let set = ZoneTileSet::build(&t, 1, 2, 0.1).unwrap();
+        let arc = (1.0f64 / 3600.0).to_radians();
+        let probes: Vec<(SkyPoint, f64)> = points
+            .iter()
+            .step_by(4)
+            .map(|&(ra, dec)| (SkyPoint::from_radec_deg(ra, dec), 2.5 * arc))
+            .collect();
+        // Phase breakdown.
+        let t0 = Instant::now();
+        let mut dz = DecodedZone::default();
+        let mut total = 0usize;
+        for tile in &set.tiles {
+            decode_zone(tile, &mut dz);
+            total += dz.ra.len();
+        }
+        let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let mut acc = 0.0f64;
+        for &(c, r) in &probes {
+            let v = SkyPoint::from_radec_deg(c.ra_deg, c.dec_deg).to_vec3();
+            acc += v.angle_to(c.to_vec3()) + r;
+        }
+        let refine_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let mut segs: Vec<Segment> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, r))| Segment {
+                zone: set.zone_of(c.dec_deg) as u32,
+                lo: c.ra_deg - r.to_degrees(),
+                hi: c.ra_deg + r.to_degrees(),
+                probe: i as u32,
+            })
+            .collect();
+        segs.sort_unstable_by(|a, b| a.zone.cmp(&b.zone).then(a.lo.total_cmp(&b.lo)));
+        let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "decode all {total} rows: {decode_ms:.2}ms, {} refines: {refine_ms:.2}ms (acc {acc:.1}), stage+sort {} segs: {sort_ms:.2}ms",
+            probes.len(),
+            segs.len(),
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Codec roundtrip: encode → decode reproduces the raw columns
+        /// bit-for-bit for arbitrary skies (RA seam and out-of-range raw
+        /// values, polar declinations, tiny zones forcing single-row
+        /// tiles) and arbitrary zone heights.
+        #[test]
+        fn tile_codec_roundtrips_bit_for_bit(
+            base in proptest::collection::vec((-30.0f64..390.0, -90.0f64..=90.0), 0..80),
+            seam in proptest::collection::vec((-1e-9f64..1e-9, -90.0f64..=90.0), 0..6),
+            height in prop_oneof![Just(0.05), Just(0.1), Just(1.0), Just(30.0), Just(180.0)],
+        ) {
+            let mut points = base;
+            points.extend(seam); // raw RA a hair around 0°: seam + exceptions
+            points.push((0.0, 90.0));
+            points.push((0.0, -90.0));
+            assert_roundtrip(&points, height);
+        }
+
+        /// Kernel parity: the batch kernel's per-probe hit groups equal
+        /// the columnar kernel's hit buffer byte-for-byte.
+        #[test]
+        fn batch_kernel_matches_columnar(
+            points in proptest::collection::vec((-10.0f64..370.0, -88.0f64..88.0), 0..120),
+            raw_probes in proptest::collection::vec(
+                (-10.0f64..370.0, -88.0f64..88.0, 1e-6f64..2.0), 1..40),
+            height in prop_oneof![Just(0.1), Just(0.5), Just(5.0)],
+        ) {
+            let probes: Vec<(SkyPoint, f64)> = raw_probes
+                .into_iter()
+                .map(|(ra, dec, r_deg)| (SkyPoint::from_radec_deg(ra, dec), r_deg.to_radians()))
+                .collect();
+            assert_batch_parity(&points, &probes, height);
+        }
+    }
+}

@@ -41,8 +41,8 @@ use skyquery_core::xmatch::{
 use skyquery_core::ResultColumn;
 use skyquery_htm::SkyPoint;
 use skyquery_storage::{
-    resolve_range_candidates_into, ColumnarPositions, Database, HtmPositionIndex, ProbeScratch,
-    ProbeStats, RangeSearchHit, Table, Value,
+    resolve_range_candidates_into, BatchScratch, ColumnarPositions, Database, HtmPositionIndex,
+    ProbeScratch, ProbeStats, RangeSearchHit, Table, Value, ZoneTileSet,
 };
 
 use crate::merge::{
@@ -138,15 +138,21 @@ impl CrossMatchEngine for ZoneEngine {
         let temp = materialize_temp(db, incoming)?;
         let temp_rows = db.table(&temp)?.rows().to_vec();
         db.drop_table(&temp)?;
-        if cfg.kernel == MatchKernel::Columnar {
-            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
-                .map_err(FederationError::Storage)?;
+        let mut tile_builds = 0usize;
+        match cfg.kernel {
+            MatchKernel::Columnar => db
+                .ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?,
+            MatchKernel::Batch => {
+                tile_builds += usize::from(
+                    db.ensure_tiles(&cfg.table, cfg.zone_height_deg)
+                        .map_err(FederationError::Storage)?,
+                )
+            }
+            MatchKernel::Htm => {}
         }
         let table = db.table(&cfg.table)?;
-        let columnar = match cfg.kernel {
-            MatchKernel::Columnar => db.columnar_positions(&cfg.table),
-            MatchKernel::Htm => None,
-        };
+        let snapshots = ProbeSnapshots::for_kernel(db, cfg);
 
         let plan = ZoneEngine::plan_step(
             cfg,
@@ -161,7 +167,7 @@ impl CrossMatchEngine for ZoneEngine {
         let outcomes = run_zone_tasks(
             table,
             &ctx,
-            columnar,
+            snapshots,
             &plan.tasks,
             cfg.xmatch_workers,
             &|task: &ZoneTask, prober: &mut ZoneProber<'_>| {
@@ -188,13 +194,17 @@ impl CrossMatchEngine for ZoneEngine {
                         examined: pstats.examined,
                         accepted,
                         reused: usize::from(pstats.reused),
+                        tile_decodes: pstats.tile_decodes,
+                        tile_hits: pstats.tile_hits,
                         action: TupleAction::Extend(extensions),
                     });
                 }
                 Ok(out)
             },
         )?;
-        Ok(merge_match(columns, incoming.len(), outcomes))
+        let (out, mut stats) = merge_match(columns, incoming.len(), outcomes);
+        stats.tile_builds = tile_builds;
+        Ok((out, stats))
     }
 
     fn dropout(
@@ -207,15 +217,21 @@ impl CrossMatchEngine for ZoneEngine {
             return dropout_step(db, cfg, incoming);
         }
         let ctx = StepContext::new(db, cfg)?;
-        if cfg.kernel == MatchKernel::Columnar {
-            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
-                .map_err(FederationError::Storage)?;
+        let mut tile_builds = 0usize;
+        match cfg.kernel {
+            MatchKernel::Columnar => db
+                .ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                .map_err(FederationError::Storage)?,
+            MatchKernel::Batch => {
+                tile_builds += usize::from(
+                    db.ensure_tiles(&cfg.table, cfg.zone_height_deg)
+                        .map_err(FederationError::Storage)?,
+                )
+            }
+            MatchKernel::Htm => {}
         }
         let table = db.table(&cfg.table)?;
-        let columnar = match cfg.kernel {
-            MatchKernel::Columnar => db.columnar_positions(&cfg.table),
-            MatchKernel::Htm => None,
-        };
+        let snapshots = ProbeSnapshots::for_kernel(db, cfg);
 
         let plan = ZoneEngine::plan_step(
             cfg,
@@ -228,7 +244,7 @@ impl CrossMatchEngine for ZoneEngine {
         let outcomes = run_zone_tasks(
             table,
             &ctx,
-            columnar,
+            snapshots,
             &plan.tasks,
             cfg.xmatch_workers,
             &|task: &ZoneTask, prober: &mut ZoneProber<'_>| {
@@ -243,6 +259,8 @@ impl CrossMatchEngine for ZoneEngine {
                         examined: pstats.examined,
                         accepted: usize::from(found),
                         reused: usize::from(pstats.reused),
+                        tile_decodes: pstats.tile_decodes,
+                        tile_hits: pstats.tile_hits,
                         action: if found {
                             TupleAction::Drop
                         } else {
@@ -253,7 +271,9 @@ impl CrossMatchEngine for ZoneEngine {
                 Ok(out)
             },
         )?;
-        Ok(merge_dropout(incoming, outcomes))
+        let (out, mut stats) = merge_dropout(incoming, outcomes);
+        stats.tile_builds = tile_builds;
+        Ok((out, stats))
     }
 
     fn begin_partial<'a>(
@@ -302,13 +322,20 @@ enum ProberMode<'a> {
     Htm(HtmPositionIndex),
     /// The archive-wide columnar layout, shared read-only across workers.
     Columnar(&'a ColumnarPositions),
+    /// The batch tile kernel: the whole task's probes were swept through
+    /// the compressed tiles when the prober was constructed; `probe()`
+    /// pops the next per-probe hit group in task order.
+    Batch {
+        batch: &'a mut BatchScratch,
+        next: usize,
+    },
 }
 
 impl ZoneProber<'_> {
     /// Fills the scratch hit buffer with the verified candidates inside
     /// the probe ball and returns the kernel counters.
     pub(crate) fn probe(&mut self, center: SkyPoint, radius_rad: f64) -> Result<ProbeStats> {
-        match &self.mode {
+        match &mut self.mode {
             ProberMode::Htm(index) => {
                 let cands = index.search_sorted(center, radius_rad);
                 resolve_range_candidates_into(
@@ -326,10 +353,20 @@ impl ZoneProber<'_> {
                 // sequential HTM arm, whose scratch_reuse is always zero.
                 Ok(ProbeStats {
                     examined: cands.len(),
-                    reused: false,
+                    ..ProbeStats::default()
                 })
             }
             ProberMode::Columnar(cols) => Ok(cols.probe(center, radius_rad, self.scratch)),
+            ProberMode::Batch { batch, next } => {
+                // Groups were computed for the task's probe list in order,
+                // so the cursor pop corresponds to (center, radius_rad).
+                let i = *next;
+                *next += 1;
+                let hits = self.scratch.hits_mut();
+                hits.clear();
+                hits.extend_from_slice(batch.group(i));
+                Ok(batch.probe_stats(i))
+            }
         }
     }
 
@@ -345,6 +382,34 @@ impl ZoneProber<'_> {
     }
 }
 
+/// The archive-wide probe snapshots shared read-only across zone
+/// workers: whichever of the columnar layout / compressed tile set the
+/// step's kernel uses (both `None` on the HTM path, which builds
+/// private zone-local indexes instead).
+#[derive(Clone, Copy)]
+pub(crate) struct ProbeSnapshots<'a> {
+    pub(crate) columnar: Option<&'a ColumnarPositions>,
+    pub(crate) tiles: Option<&'a ZoneTileSet>,
+}
+
+impl<'a> ProbeSnapshots<'a> {
+    /// Borrows the snapshots `cfg.kernel` probes through; the caller
+    /// must already have warmed the matching cache
+    /// (`ensure_columnar` / `ensure_tiles`).
+    pub(crate) fn for_kernel(db: &'a Database, cfg: &StepConfig) -> ProbeSnapshots<'a> {
+        ProbeSnapshots {
+            columnar: match cfg.kernel {
+                MatchKernel::Columnar => db.columnar_positions(&cfg.table),
+                MatchKernel::Htm | MatchKernel::Batch => None,
+            },
+            tiles: match cfg.kernel {
+                MatchKernel::Batch => db.zone_tiles(&cfg.table),
+                _ => None,
+            },
+        }
+    }
+}
+
 /// Runs zone tasks on a scoped worker pool. Workers pull tasks off an
 /// atomic cursor (cheap dynamic load balancing — dense zones near the
 /// galactic plane can be arbitrarily heavier than sparse ones), set up
@@ -355,7 +420,7 @@ impl ZoneProber<'_> {
 pub(crate) fn run_zone_tasks<K>(
     table: &Table,
     ctx: &StepContext,
-    columnar: Option<&ColumnarPositions>,
+    snapshots: ProbeSnapshots<'_>,
     tasks: &[ZoneTask],
     workers: usize,
     kernel: &K,
@@ -376,23 +441,37 @@ where
         // One scratch per worker: buffers stay warm across every task the
         // worker pulls, so steady-state probing is allocation-free.
         let mut scratch = ProbeScratch::new();
+        let mut batch = BatchScratch::new();
+        let mut balls: Vec<(SkyPoint, f64)> = Vec::new();
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(task) = tasks.get(i) else {
                 break;
             };
-            let mode = match columnar {
-                Some(cols) => ProberMode::Columnar(cols),
-                None => {
-                    let mut index = HtmPositionIndex::new(depth);
-                    for &rid in &task.rows {
-                        let row = table.row(rid).expect("partitioned row exists");
-                        let ra = row[ctx.ra_ci].as_f64().expect("position column");
-                        let dec = row[ctx.dec_ci].as_f64().expect("position column");
-                        index.insert(SkyPoint::from_radec_deg(ra, dec), rid);
+            let mode = if let Some(tiles) = snapshots.tiles {
+                // Sweep the whole task as one batch up front; per-tuple
+                // probe() calls then just pop their hit group.
+                balls.clear();
+                balls.extend(task.probes.iter().map(|p| (p.center, p.radius_rad)));
+                tiles.probe_batch(&balls, &mut batch);
+                ProberMode::Batch {
+                    batch: &mut batch,
+                    next: 0,
+                }
+            } else {
+                match snapshots.columnar {
+                    Some(cols) => ProberMode::Columnar(cols),
+                    None => {
+                        let mut index = HtmPositionIndex::new(depth);
+                        for &rid in &task.rows {
+                            let row = table.row(rid).expect("partitioned row exists");
+                            let ra = row[ctx.ra_ci].as_f64().expect("position column");
+                            let dec = row[ctx.dec_ci].as_f64().expect("position column");
+                            index.insert(SkyPoint::from_radec_deg(ra, dec), rid);
+                        }
+                        index.ensure_sorted();
+                        ProberMode::Htm(index)
                     }
-                    index.ensure_sorted();
-                    ProberMode::Htm(index)
                 }
             };
             let mut prober = ZoneProber {

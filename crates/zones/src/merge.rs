@@ -27,6 +27,12 @@ pub struct TupleOutcome {
     /// Probes served entirely from warm scratch buffers, 0 or 1 (feeds
     /// `StepStats::scratch_reuse`).
     pub reused: usize,
+    /// Zone tiles decoded on behalf of this tuple (batch kernel only;
+    /// feeds `StepStats::tile_decodes`).
+    pub tile_decodes: usize,
+    /// Lane-prefilter survivors refined for this tuple (batch kernel
+    /// only; feeds `StepStats::tile_hits`).
+    pub tile_hits: usize,
     /// The step-kind-specific result.
     pub action: TupleAction,
 }
@@ -59,6 +65,8 @@ pub fn merge_match(
         stats.candidates_examined += outcome.examined;
         stats.chi2_accepted += outcome.accepted;
         stats.scratch_reuse += outcome.reused;
+        stats.tile_decodes += outcome.tile_decodes;
+        stats.tile_hits += outcome.tile_hits;
         match outcome.action {
             TupleAction::Extend(exts) => out.tuples.extend(exts),
             TupleAction::Keep | TupleAction::Drop => {
@@ -87,6 +95,8 @@ pub fn merge_dropout(
         stats.candidates_examined += outcome.examined;
         stats.chi2_accepted += outcome.accepted;
         stats.scratch_reuse += outcome.reused;
+        stats.tile_decodes += outcome.tile_decodes;
+        stats.tile_hits += outcome.tile_hits;
         match outcome.action {
             TupleAction::Keep => out.tuples.push(incoming.tuples[outcome.index].clone()),
             TupleAction::Drop => {}
@@ -149,6 +159,8 @@ mod tests {
                     examined: 9,
                     accepted: 1,
                     reused: 1,
+                    tile_decodes: 0,
+                    tile_hits: 0,
                     action: TupleAction::Extend(vec![tuple(2.0)]),
                 },
                 TupleOutcome {
@@ -157,6 +169,8 @@ mod tests {
                     examined: 2,
                     accepted: 2,
                     reused: 0,
+                    tile_decodes: 0,
+                    tile_hits: 0,
                     action: TupleAction::Extend(vec![tuple(0.0), tuple(0.5)]),
                 },
             ],
@@ -193,6 +207,8 @@ mod tests {
                     examined: 4,
                     accepted: 0,
                     reused: 1,
+                    tile_decodes: 0,
+                    tile_hits: 0,
                     action: TupleAction::Keep,
                 },
                 TupleOutcome {
@@ -201,6 +217,8 @@ mod tests {
                     examined: 6,
                     accepted: 1,
                     reused: 1,
+                    tile_decodes: 0,
+                    tile_hits: 0,
                     action: TupleAction::Drop,
                 },
                 TupleOutcome {
@@ -209,6 +227,8 @@ mod tests {
                     examined: 0,
                     accepted: 0,
                     reused: 0,
+                    tile_decodes: 0,
+                    tile_hits: 0,
                     action: TupleAction::Keep,
                 },
             ],

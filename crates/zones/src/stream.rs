@@ -26,9 +26,9 @@ use skyquery_core::xmatch::{
     MatchKernel, PartialSet, PartialTuple, StepConfig, StepContext, StepStats,
 };
 use skyquery_core::ResultColumn;
-use skyquery_storage::{ColumnarPositions, Database, Table};
+use skyquery_storage::{Database, Table};
 
-use crate::engine::{run_zone_tasks, ZoneEngine, ZoneProber};
+use crate::engine::{run_zone_tasks, ProbeSnapshots, ZoneEngine, ZoneProber};
 use crate::merge::{merge_match, zone_reports, TupleAction, TupleOutcome, ZoneReport};
 use crate::partition::{partition, sorted_declinations, TupleProbe, ZoneTask};
 use crate::zonemap::ZoneMap;
@@ -77,6 +77,8 @@ pub struct ZoneIngest<'a> {
     zones_processed: usize,
     first_zone_done: Option<Duration>,
     last_chunk_ingested: Option<Duration>,
+    /// Tile snapshots (re)built during the session (batch kernel only).
+    tile_builds: usize,
 }
 
 impl<'a> ZoneIngest<'a> {
@@ -90,11 +92,21 @@ impl<'a> ZoneIngest<'a> {
         columns_in: Vec<ResultColumn>,
     ) -> Result<ZoneIngest<'a>> {
         let ctx = StepContext::new(db, &cfg)?;
-        if cfg.kernel == MatchKernel::Columnar {
-            // Warm the columnar layout before the first chunk arrives, so
-            // per-chunk work stays partition + probe.
-            db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
-                .map_err(FederationError::Storage)?;
+        let mut tile_builds = 0usize;
+        match cfg.kernel {
+            MatchKernel::Columnar => {
+                // Warm the columnar layout before the first chunk arrives,
+                // so per-chunk work stays partition + probe.
+                db.ensure_columnar(&cfg.table, cfg.zone_height_deg)
+                    .map_err(FederationError::Storage)?;
+            }
+            MatchKernel::Batch => {
+                tile_builds += usize::from(
+                    db.ensure_tiles(&cfg.table, cfg.zone_height_deg)
+                        .map_err(FederationError::Storage)?,
+                );
+            }
+            MatchKernel::Htm => {}
         }
         let table = db.table(&cfg.table)?;
         let decs = sorted_declinations(table, ctx.dec_ci);
@@ -115,6 +127,7 @@ impl<'a> ZoneIngest<'a> {
             zones_processed: 0,
             first_zone_done: None,
             last_chunk_ingested: None,
+            tile_builds,
         })
     }
 
@@ -123,7 +136,7 @@ impl<'a> ZoneIngest<'a> {
     fn run_chunk<K>(
         &mut self,
         table: &Table,
-        columnar: Option<&ColumnarPositions>,
+        snapshots: ProbeSnapshots<'_>,
         probes: Vec<TupleProbe>,
         degenerate: usize,
         global: &[usize],
@@ -138,7 +151,7 @@ impl<'a> ZoneIngest<'a> {
         let outcomes = run_zone_tasks(
             table,
             &self.ctx,
-            columnar,
+            snapshots,
             &plan.tasks,
             self.cfg.xmatch_workers,
             kernel,
@@ -175,17 +188,23 @@ impl PartialIngest for ZoneIngest<'_> {
                 let temp = materialize_temp(db, &mini)?;
                 let temp_rows = db.table(&temp)?.rows().to_vec();
                 db.drop_table(&temp)?;
-                if self.cfg.kernel == MatchKernel::Columnar {
-                    // Cheap no-op unless an insert invalidated the cache
-                    // since the session began.
-                    db.ensure_columnar(&self.cfg.table, self.cfg.zone_height_deg)
-                        .map_err(FederationError::Storage)?;
+                match self.cfg.kernel {
+                    MatchKernel::Columnar => {
+                        // Cheap no-op unless an insert invalidated the
+                        // cache since the session began.
+                        db.ensure_columnar(&self.cfg.table, self.cfg.zone_height_deg)
+                            .map_err(FederationError::Storage)?;
+                    }
+                    MatchKernel::Batch => {
+                        self.tile_builds += usize::from(
+                            db.ensure_tiles(&self.cfg.table, self.cfg.zone_height_deg)
+                                .map_err(FederationError::Storage)?,
+                        );
+                    }
+                    MatchKernel::Htm => {}
                 }
                 let table = db.table(&self.cfg.table)?;
-                let columnar = match self.cfg.kernel {
-                    MatchKernel::Columnar => db.columnar_positions(&self.cfg.table),
-                    MatchKernel::Htm => None,
-                };
+                let snapshots = ProbeSnapshots::for_kernel(db, &self.cfg);
 
                 let mut probes = Vec::new();
                 let mut degenerate = 0usize;
@@ -212,7 +231,7 @@ impl PartialIngest for ZoneIngest<'_> {
                 };
                 self.run_chunk(
                     table,
-                    columnar,
+                    snapshots,
                     probes,
                     degenerate,
                     &global,
@@ -240,6 +259,8 @@ impl PartialIngest for ZoneIngest<'_> {
                                 examined: pstats.examined,
                                 accepted,
                                 reused: usize::from(pstats.reused),
+                                tile_decodes: pstats.tile_decodes,
+                                tile_hits: pstats.tile_hits,
                                 action: TupleAction::Extend(extensions),
                             });
                         }
@@ -248,15 +269,21 @@ impl PartialIngest for ZoneIngest<'_> {
                 )
             }
             StepKind::Dropout => {
-                if self.cfg.kernel == MatchKernel::Columnar {
-                    db.ensure_columnar(&self.cfg.table, self.cfg.zone_height_deg)
-                        .map_err(FederationError::Storage)?;
+                match self.cfg.kernel {
+                    MatchKernel::Columnar => {
+                        db.ensure_columnar(&self.cfg.table, self.cfg.zone_height_deg)
+                            .map_err(FederationError::Storage)?;
+                    }
+                    MatchKernel::Batch => {
+                        self.tile_builds += usize::from(
+                            db.ensure_tiles(&self.cfg.table, self.cfg.zone_height_deg)
+                                .map_err(FederationError::Storage)?,
+                        );
+                    }
+                    MatchKernel::Htm => {}
                 }
                 let table = db.table(&self.cfg.table)?;
-                let columnar = match self.cfg.kernel {
-                    MatchKernel::Columnar => db.columnar_positions(&self.cfg.table),
-                    MatchKernel::Htm => None,
-                };
+                let snapshots = ProbeSnapshots::for_kernel(db, &self.cfg);
                 let mut probes = Vec::new();
                 let mut degenerate = 0usize;
                 for (index, tuple) in tuples.iter().enumerate() {
@@ -280,7 +307,7 @@ impl PartialIngest for ZoneIngest<'_> {
                 let tuples_ref = &tuples;
                 self.run_chunk(
                     table,
-                    columnar,
+                    snapshots,
                     probes,
                     degenerate,
                     &global,
@@ -302,6 +329,8 @@ impl PartialIngest for ZoneIngest<'_> {
                                 examined: pstats.examined,
                                 accepted: usize::from(found),
                                 reused: usize::from(pstats.reused),
+                                tile_decodes: pstats.tile_decodes,
+                                tile_hits: pstats.tile_hits,
                                 // Encode keep/drop as an extension so the
                                 // match merge reassembles both step kinds:
                                 // a kept tuple passes through unchanged, a
@@ -342,7 +371,9 @@ impl PartialIngest for ZoneIngest<'_> {
             StepKind::Dropout => this.columns_in,
         };
         let total = this.indices_seen.len();
-        let merged = merge_match(columns, total, this.outcomes);
+        let (out, mut stats) = merge_match(columns, total, this.outcomes);
+        stats.tile_builds = this.tile_builds;
+        let merged = (out, stats);
         this.engine.record_stream(
             this.reports,
             PipelineReport {

@@ -63,7 +63,11 @@ proptest! {
     #[test]
     fn sharded_results_are_byte_identical(
         shards in prop_oneof![Just(2usize), Just(4usize), Just(8usize)],
-        kernel in prop_oneof![Just(MatchKernel::Columnar), Just(MatchKernel::Htm)],
+        kernel in prop_oneof![
+            Just(MatchKernel::Columnar),
+            Just(MatchKernel::Htm),
+            Just(MatchKernel::Batch),
+        ],
         mode in prop_oneof![Just(ChainMode::Recursive), Just(ChainMode::Checkpointed)],
         center in prop_oneof![
             Just((185.0, -0.5)),  // the paper's equatorial field
@@ -215,10 +219,70 @@ fn shard_death_mid_scatter_resumes_to_identical_bytes() {
             node.url().host
         );
     }
-    // Every shard of every archive did real work.
+    // Every shard whose zone range can see the field did real work. The
+    // field sits at dec ≈ -0.5° ± 1.5°, so of each archive's four
+    // quarter-sky shards only s1 ([-45°, 0°)) and s2 ([0°, 45°)) can
+    // intersect it; the polar shards of non-seed archives are
+    // extent-pruned and legitimately idle.
     for archive in ["sdss", "twomass", "first"] {
         for node in faulted.shard_nodes(archive) {
-            assert!(node.executed_steps() >= 1, "{} idle", node.url().host);
+            let host = &node.url().host;
+            if host.contains("-s1.") || host.contains("-s2.") {
+                assert!(node.executed_steps() >= 1, "{} idle", node.url().host);
+            }
+        }
+    }
+}
+
+/// Extent pruning: shards whose zone range cannot intersect the input
+/// set's probe span are skipped entirely — the scatter trace notes the
+/// prune, the merged step stats carry the `shards_pruned` counter, the
+/// pruned nodes never execute a step, and the result bytes still match
+/// the unsharded baseline.
+#[test]
+fn extent_pruning_skips_out_of_band_shards() {
+    let config = FederationConfig::default();
+    let sql = sweep_query(false);
+    let baseline = fed(1, 150, (185.0, -0.5), config);
+    let (want, _) = baseline.portal.submit(&sql).unwrap();
+    let sharded = fed(4, 150, (185.0, -0.5), config);
+    let (got, trace) = sharded.portal.submit(&sql).unwrap();
+    assert_eq!(got.to_ascii(), want.to_ascii(), "pruned bytes differ");
+
+    // The field spans dec ≈ [-2°, 1°]: only the two equatorial quarters
+    // can intersect it, so each of the two non-seed steps prunes the two
+    // polar shards.
+    assert!(
+        trace
+            .events()
+            .iter()
+            .any(|e| e.detail.contains("extent-pruned")),
+        "no extent-pruned scatter note in trace"
+    );
+    let pruned: usize = trace
+        .events()
+        .iter()
+        .filter(|e| e.action == "cross match step")
+        .filter_map(|e| e.detail.split("shards pruned ").nth(1))
+        .filter_map(|tail| tail.trim().parse::<usize>().ok())
+        .sum();
+    assert_eq!(
+        pruned, 4,
+        "expected 2 pruned shards on each of 2 non-seed steps"
+    );
+
+    // The seed archive scatters to all of its shards (there is no input
+    // to prune by); every other archive's polar shards stay idle.
+    let seed = seed_archive(&trace);
+    for archive in ["sdss", "twomass", "first"] {
+        for node in sharded.shard_nodes(archive) {
+            let host = &node.url().host;
+            let polar = host.contains("-s0.") || host.contains("-s3.");
+            if archive == seed || !polar {
+                assert!(node.executed_steps() >= 1, "{host} idle");
+            } else {
+                assert_eq!(node.executed_steps(), 0, "{host} was not pruned");
+            }
         }
     }
 }
