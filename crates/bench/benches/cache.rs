@@ -1,0 +1,227 @@
+//! Experiment E16 — result-cache hit rate and latency under a Zipf
+//! repeat-query workload.
+//!
+//! Portal workloads are heavily repetitive: a few popular sky queries
+//! dominate while a long tail of one-offs churns. This bench draws 150
+//! submissions from a 12-query pool under a Zipf(s = 1.1) popularity
+//! law and measures, for each result-cache capacity, the end-to-end
+//! hit rate (hits + incremental repairs over total submissions) and the
+//! p50/p95 submit latency. Capacity 0 is the no-cache baseline; the
+//! sweep shows latency collapsing as the hot head of the distribution
+//! fits in cache.
+//!
+//! Results are also written to `BENCH_cache.json` at the repository
+//! root so the numbers ride with the tree. Criterion then times one
+//! warm-cache submit against one cold submit.
+//!
+//! Set `SKYQUERY_BENCH_SMOKE=1` to run a single small configuration
+//! that asserts cached results stay byte-identical and repeat queries
+//! actually hit — no JSON rewrite, no timing.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyquery_core::FederationConfig;
+use skyquery_sim::{xmatch_query, FederationBuilder, TestFederation};
+
+const BODIES: usize = 300;
+const POOL: usize = 12;
+const DRAWS: usize = 150;
+const ZIPF_S: f64 = 1.1;
+
+fn federation(cache_capacity: usize) -> TestFederation {
+    let fed = FederationBuilder::paper_triple(BODIES).build();
+    fed.portal.set_config(FederationConfig {
+        result_cache_capacity: cache_capacity,
+        ..fed.portal.config()
+    });
+    fed
+}
+
+/// The query pool: the same three-way cross-match at `POOL` distinct χ²
+/// thresholds — distinct cache signatures, shared archives, so cache
+/// pressure is real but the workload stays comparable across slots.
+fn pool_query(rank: usize) -> String {
+    xmatch_query(
+        &[
+            ("SDSS", "Photo_Object", "O"),
+            ("TWOMASS", "Photo_Primary", "T"),
+            ("FIRST", "Primary_Object", "P"),
+        ],
+        2.0 + 0.25 * rank as f64,
+        None,
+    )
+}
+
+/// xorshift64* — deterministic, seedable, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        let x = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The Zipf(s) cumulative distribution over pool ranks 1..=POOL.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn draw(cdf: &[f64], rng: &mut Rng) -> usize {
+    let u = rng.next_f64();
+    cdf.iter().position(|&c| u <= c).unwrap_or(cdf.len() - 1)
+}
+
+struct Measurement {
+    capacity: usize,
+    hit_rate: f64,
+    repairs: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    total_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs the full Zipf workload against a fresh federation at one cache
+/// capacity, asserting every cached submission returns the same bytes a
+/// cold twin produces for that slot.
+fn measure(capacity: usize) -> Measurement {
+    let fed = federation(capacity);
+    let reference = federation(0);
+    let references: Vec<_> = (0..POOL)
+        .map(|r| reference.portal.submit(&pool_query(r)).expect("cold run").0)
+        .collect();
+
+    let cdf = zipf_cdf(POOL, ZIPF_S);
+    let mut rng = Rng(0x5EED_CAFE ^ capacity as u64);
+    let mut latencies = Vec::with_capacity(DRAWS);
+    let started = Instant::now();
+    for _ in 0..DRAWS {
+        let rank = draw(&cdf, &mut rng);
+        let sql = pool_query(rank);
+        let t = Instant::now();
+        let (result, _) = fed.portal.submit(&sql).expect("bench query runs");
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            result, references[rank],
+            "cached result diverged from the cold baseline at rank {rank}"
+        );
+    }
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let (counters, _) = fed.portal.cache_report();
+    Measurement {
+        capacity,
+        hit_rate: (counters.hits + counters.repairs) as f64 / DRAWS as f64,
+        repairs: counters.repairs,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        total_ms,
+    }
+}
+
+fn write_json(measurements: &[Measurement]) {
+    let mut configs = String::new();
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            configs.push_str(",\n");
+        }
+        configs.push_str(&format!(
+            "    {{\"capacity\": {}, \"hit_rate\": {:.3}, \"repairs\": {}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"total_ms\": {:.1}, \
+             \"byte_identical\": true}}",
+            m.capacity, m.hit_rate, m.repairs, m.p50_ms, m.p95_ms, m.total_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"cache\",\n  \"workload\": \"{DRAWS} submissions, Zipf s={ZIPF_S} \
+         over {POOL} distinct 3-way cross-matches, {BODIES} bodies\",\n  \"configs\": [\n{configs}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn print_tables() {
+    println!(
+        "\n=== E16: result-cache hit rate vs capacity \
+         (Zipf s={ZIPF_S}, {POOL}-query pool, {DRAWS} draws) ==="
+    );
+    println!(
+        "{:<10} {:>10} {:>9} {:>12} {:>12} {:>12}",
+        "capacity", "hit rate", "repairs", "p50 (ms)", "p95 (ms)", "total (ms)"
+    );
+    let mut measurements = Vec::new();
+    for &capacity in &[0usize, 2, 8, 32] {
+        let m = measure(capacity);
+        println!(
+            "{:<10} {:>9.1}% {:>9} {:>12.2} {:>12.2} {:>12.1}",
+            m.capacity,
+            m.hit_rate * 100.0,
+            m.repairs,
+            m.p50_ms,
+            m.p95_ms,
+            m.total_ms,
+        );
+        measurements.push(m);
+    }
+    write_json(&measurements);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    if std::env::var_os("SKYQUERY_BENCH_SMOKE").is_some() {
+        // CI smoke: a popular query must hit on repeat and serve the
+        // cold bytes. No JSON rewrite, no timing.
+        let fed = federation(4);
+        let sql = pool_query(0);
+        let (cold, _) = fed.portal.submit(&sql).expect("cold run");
+        let (warm, _) = fed.portal.submit(&sql).expect("warm run");
+        assert_eq!(cold, warm, "cache hit must serve the cold bytes");
+        let (counters, _) = fed.portal.cache_report();
+        assert_eq!(counters.hits, 1, "the repeat submission must hit");
+        println!(
+            "smoke OK: byte_identical=true on a repeat submission, hits={} misses={}",
+            counters.hits, counters.misses
+        );
+        return;
+    }
+    print_tables();
+    let mut group = c.benchmark_group("e16_result_cache");
+    group.sample_size(10);
+    let warm = federation(4);
+    let sql = pool_query(0);
+    warm.portal.submit(&sql).expect("populate");
+    group.bench_with_input(BenchmarkId::new("submit", "warm"), &(), |b, _| {
+        b.iter(|| warm.portal.submit(&sql).expect("warm submit"))
+    });
+    let cold = federation(0);
+    group.bench_with_input(BenchmarkId::new("submit", "cold"), &(), |b, _| {
+        b.iter(|| cold.portal.submit(&sql).expect("cold submit"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

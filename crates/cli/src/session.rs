@@ -236,6 +236,36 @@ impl Session {
                 }
                 None => writeln!(out, "usage: \\limit <bytes>")?,
             },
+            Some("cache") => match parts.next() {
+                Some(word) => match word.parse::<usize>() {
+                    Ok(capacity) => {
+                        self.fed.portal.set_config(FederationConfig {
+                            result_cache_capacity: capacity,
+                            ..self.fed.portal.config()
+                        });
+                        if capacity == 0 {
+                            writeln!(out, "result cache off")?;
+                        } else {
+                            writeln!(out, "result cache capacity set to {capacity} entries")?;
+                        }
+                    }
+                    Err(_) => writeln!(out, "usage: \\cache [<capacity>]")?,
+                },
+                None => {
+                    let config = self.fed.portal.config();
+                    let (c, live) = self.fed.portal.cache_report();
+                    writeln!(
+                        out,
+                        "result cache: capacity {} entries, ttl {:.0}s, {} live",
+                        config.result_cache_capacity, config.result_cache_ttl_s, live
+                    )?;
+                    writeln!(
+                        out,
+                        "  hits {}  misses {}  repairs {}  evictions {}",
+                        c.hits, c.misses, c.repairs, c.evictions
+                    )?;
+                }
+            },
             Some("chunking") => match parts.next() {
                 Some(word @ ("on" | "off")) => {
                     let enabled = word == "on";
@@ -552,6 +582,7 @@ pub fn meta_help() -> &'static str {
   \\metrics                          per-link transmission of the last query
   \\ordering desc|asc|decl|random    plan ordering strategy
   \\limit <bytes>                    SOAP parser message limit
+  \\cache [<capacity>]               result-cache counters / set capacity (0 = off)
   \\chunking on|off                  §6 chunked-transfer workaround
   \\zonechunking on|off              zone-aware pipelined transfer chunks
   \\kernel columnar|htm|batch        cross-match probe kernel (byte-identical)
@@ -632,6 +663,16 @@ mod tests {
         );
         let (_, out) = drive(&mut s, "\\kernel quadtree");
         assert!(out.contains("usage: \\kernel"));
+        let (_, out) = drive(&mut s, "\\cache 8");
+        assert!(out.contains("capacity set to 8 entries"));
+        assert_eq!(s.fed.portal.config().result_cache_capacity, 8);
+        let (_, out) = drive(&mut s, "\\cache");
+        assert!(out.contains("capacity 8"));
+        assert!(out.contains("hits 0"));
+        let (_, out) = drive(&mut s, "\\cache 0");
+        assert!(out.contains("result cache off"));
+        let (_, out) = drive(&mut s, "\\cache lots");
+        assert!(out.contains("usage: \\cache"));
         let (_, out) = drive(&mut s, "\\nonsense");
         assert!(out.contains("unknown meta-command"));
         let (more, _) = drive(&mut s, "\\quit");

@@ -115,6 +115,7 @@ impl Portal {
                 schema,
                 row_count: rows.row_count(),
                 approx_bytes: 0,
+                version: 0,
             }],
         });
 
@@ -145,13 +146,22 @@ impl Portal {
         // undecided staging table, and the caller must know).
         let commit = RpcCall::new("CommitReceive").param("txn", SoapValue::Int(txn_id as i64));
         match send_rpc_with(&net, self.host(), &dest.url, &commit, retry) {
-            Ok(_) => Ok(TransferReport {
-                txn_id,
-                rows_copied: staged as usize,
-                source: source_archive.to_string(),
-                destination: dest_archive.to_string(),
-                dest_table: dest_table.to_string(),
-            }),
+            Ok(resp) => {
+                // The participant reports the destination table's new
+                // modification version (lenient: absent from pre-version
+                // peers). Feeding it to the registry keeps the result
+                // cache's version vectors honest without a re-register.
+                if let Some(v) = resp.get("version").and_then(|v| v.as_i64()) {
+                    self.update_registry_version(&dest.url.host, dest_table, v as u64);
+                }
+                Ok(TransferReport {
+                    txn_id,
+                    rows_copied: staged as usize,
+                    source: source_archive.to_string(),
+                    destination: dest_archive.to_string(),
+                    dest_table: dest_table.to_string(),
+                })
+            }
             Err(commit_err) => {
                 let abort =
                     RpcCall::new("AbortReceive").param("txn", SoapValue::Int(txn_id as i64));
@@ -193,6 +203,11 @@ pub struct ExchangeState {
     /// txn id → (destination table, staging temp-table name, schema),
     /// leased.
     staged: crate::lease::LeaseTable<StagedTransfer>,
+    /// Staging tables the abort paths failed to drop. Mirrors the
+    /// `AbortFailed` discipline of the coordinator: a failed cleanup is
+    /// never silent — the table may still be pinning node memory, and
+    /// operators watching this tally know to go look.
+    drop_failures: u64,
 }
 
 #[derive(Debug)]
@@ -256,7 +271,11 @@ impl ExchangeState {
         let staging = db.create_temp_table(schema.clone())?;
         for row in &rows.rows {
             if let Err(e) = db.insert(&staging, row.clone()) {
-                let _ = db.drop_table(&staging);
+                // The no-vote must leave nothing behind; a drop that
+                // fails here leaks the staging table, so tally it.
+                if db.drop_table(&staging).is_err() {
+                    self.drop_failures += 1;
+                }
                 return Err(FederationError::Storage(e));
             }
         }
@@ -274,8 +293,15 @@ impl ExchangeState {
         Ok(n)
     }
 
-    /// Phase 2 commit: publish staged rows.
-    pub fn commit(&mut self, db: &mut skyquery_storage::Database, txn: u64) -> Result<usize> {
+    /// Phase 2 commit: publish staged rows. Returns the row count
+    /// published and the destination table's post-commit modification
+    /// version, which rides back to the coordinator so its cached view
+    /// of this archive's versions stays current without a Metadata call.
+    pub fn commit(
+        &mut self,
+        db: &mut skyquery_storage::Database,
+        txn: u64,
+    ) -> Result<(usize, u64)> {
         let t = self
             .staged
             .remove(txn)
@@ -291,7 +317,8 @@ impl ExchangeState {
             db.insert(&t.dest_table, row)?;
         }
         db.drop_table(&t.staging_table)?;
-        Ok(n)
+        let version = db.table_version(&t.dest_table)?;
+        Ok((n, version))
     }
 
     /// Phase 2 abort: drop staging.
@@ -314,20 +341,29 @@ impl ExchangeState {
     /// at or before `now_s`, dropping its staging table. Returns the
     /// reclaimed transaction ids, sorted.
     pub fn sweep(&mut self, db: &mut skyquery_storage::Database, now_s: f64) -> Vec<u64> {
-        self.staged
-            .sweep(now_s)
-            .into_iter()
-            .map(|(txn, t)| {
-                // Best-effort: a missing staging table is already gone.
-                let _ = db.drop_table(&t.staging_table);
-                txn
-            })
-            .collect()
+        let mut expired = self.staged.sweep(now_s);
+        let mut out = Vec::with_capacity(expired.len());
+        for (txn, t) in expired.drain(..) {
+            // A staging table that will not drop is a leak the janitor
+            // cannot fix by itself: tally it instead of pretending the
+            // sweep reclaimed everything.
+            if db.drop_table(&t.staging_table).is_err() {
+                self.drop_failures += 1;
+            }
+            out.push(txn);
+        }
+        out
     }
 
     /// Transactions currently awaiting a decision.
     pub fn pending(&self) -> Vec<u64> {
         self.staged.ids()
+    }
+
+    /// How many staging tables the abort paths (a failed prepare's
+    /// unwind, the janitor sweep) failed to drop.
+    pub fn drop_failures(&self) -> u64 {
+        self.drop_failures
     }
 }
 
@@ -361,6 +397,7 @@ mod tests {
                 schema: TableSchema::new(dest, columns),
                 row_count: rows.row_count(),
                 approx_bytes: 0,
+                version: 0,
             }],
         })
     }
@@ -385,8 +422,10 @@ mod tests {
         assert_eq!(state.pending(), vec![7]);
         // Not visible before commit.
         assert!(!db.has_table("imported"));
-        let n = state.commit(&mut db, 7).unwrap();
+        let (n, version) = state.commit(&mut db, 7).unwrap();
         assert_eq!(n, 2);
+        // The published version counts the inserts that landed.
+        assert_eq!(version, 2);
         assert_eq!(db.row_count("imported").unwrap(), 2);
         assert!(state.pending().is_empty());
         // Staging table is gone.
@@ -483,7 +522,28 @@ mod tests {
         // A swept transaction is decided: late commit is rejected.
         assert!(state.commit(&mut db, 1).is_err());
         // Txn 2's staging survived the sweep and still commits cleanly.
-        assert_eq!(state.commit(&mut db, 2).unwrap(), rs.row_count());
+        assert_eq!(state.commit(&mut db, 2).unwrap().0, rs.row_count());
         assert_eq!(db.row_count("t").unwrap(), rs.row_count());
+    }
+
+    #[test]
+    fn failed_staging_drop_is_tallied_not_swallowed() {
+        let mut db = Database::new("dest");
+        let mut state = ExchangeState::new();
+        let rs = rows();
+        let el = schema_element(&rs, "t");
+        state.prepare(&mut db, 1, "t", &el, &rs, 0.0, 5.0).unwrap();
+        assert_eq!(state.drop_failures(), 0);
+        // Pull the staging table out from under the janitor: its drop at
+        // sweep time now fails, and that failure must surface as a tally
+        // rather than vanish into a `let _ =`.
+        let staging = state.staged.get(1).unwrap().staging_table.clone();
+        db.drop_table(&staging).unwrap();
+        assert_eq!(state.sweep(&mut db, 10.0), vec![1]);
+        assert_eq!(state.drop_failures(), 1);
+        // A sweep with nothing wrong leaves the tally unchanged.
+        state.prepare(&mut db, 2, "t", &el, &rs, 10.0, 5.0).unwrap();
+        assert_eq!(state.sweep(&mut db, 20.0), vec![2]);
+        assert_eq!(state.drop_failures(), 1);
     }
 }

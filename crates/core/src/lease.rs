@@ -141,6 +141,23 @@ impl<T> LeaseTable<T> {
         v.sort_unstable();
         v
     }
+
+    /// The id of the lease expiring soonest (ties broken by lowest id),
+    /// or `None` when the table is empty. Capacity-bounded caches evict
+    /// this entry first: it is the one the janitor would reclaim next
+    /// anyway, so eviction order stays deterministic under the simulated
+    /// clock.
+    pub fn earliest_expiry(&self) -> Option<u64> {
+        self.entries
+            .iter()
+            .min_by(|(ida, la), (idb, lb)| {
+                la.expires_at_s
+                    .partial_cmp(&lb.expires_at_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ida.cmp(idb))
+            })
+            .map(|(id, _)| *id)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +201,21 @@ mod tests {
         assert!(t.sweep(8.9).is_empty());
         assert_eq!(t.sweep(9.0).len(), 1);
         assert!(!t.renew(1, 9.0));
+    }
+
+    #[test]
+    fn earliest_expiry_orders_by_deadline_then_id() {
+        let mut t: LeaseTable<()> = LeaseTable::new();
+        assert_eq!(t.earliest_expiry(), None);
+        t.insert(5, (), 0.0, 50.0);
+        t.insert(9, (), 0.0, 10.0);
+        t.insert(2, (), 0.0, 10.0); // same deadline as 9: lowest id wins
+        assert_eq!(t.earliest_expiry(), Some(2));
+        t.remove(2);
+        assert_eq!(t.earliest_expiry(), Some(9));
+        // Renewal pushes the deadline out, changing the eviction order.
+        assert!(t.renew(9, 100.0));
+        assert_eq!(t.earliest_expiry(), Some(5));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod portal;
 pub mod query_exec;
 pub mod region;
 pub mod result;
+pub mod result_cache;
 pub mod retry;
 pub mod service;
 pub mod shard;

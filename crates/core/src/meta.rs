@@ -199,7 +199,8 @@ pub fn catalog_to_element(cat: &Catalog) -> Element {
         let mut te = Element::new("Table")
             .with_attr("name", t.schema.name.clone())
             .with_attr("rows", t.row_count.to_string())
-            .with_attr("bytes", t.approx_bytes.to_string());
+            .with_attr("bytes", t.approx_bytes.to_string())
+            .with_attr("version", t.version.to_string());
         for c in &t.schema.columns {
             te = te.with_child(
                 Element::new("Column")
@@ -252,6 +253,16 @@ pub fn catalog_from_element(e: &Element) -> Result<Catalog> {
                 FederationError::protocol(format!("Table {name} has malformed bytes {raw:?}"))
             })?,
         };
+        // Same discipline for the modification version: absent is
+        // back-compat (peers predating the result cache), but a garbled
+        // value is corruption — defaulting it to 0 would validate stale
+        // cache entries against a table that has actually changed.
+        let version: u64 = match te.attr("version") {
+            None => 0,
+            Some(raw) => raw.parse().map_err(|_| {
+                FederationError::protocol(format!("Table {name} has malformed version {raw:?}"))
+            })?,
+        };
         let mut columns = Vec::new();
         for ce in te.children_named("Column") {
             let cname = ce
@@ -288,6 +299,7 @@ pub fn catalog_from_element(e: &Element) -> Result<Catalog> {
             schema,
             row_count,
             approx_bytes,
+            version,
         });
     }
     Ok(Catalog { database, tables })
@@ -438,6 +450,7 @@ mod tests {
                 schema,
                 row_count: 123,
                 approx_bytes: 4567,
+                version: 123,
             }],
         };
         let back = catalog_from_element(&catalog_to_element(&cat)).unwrap();
@@ -465,6 +478,31 @@ mod tests {
         assert_eq!(cat.tables[0].approx_bytes, 4567);
         // Present but garbled: rejected, not silently zeroed (a zero
         // would skew the planner's size estimates).
+        assert!(catalog_from_element(&table(Some("not-a-number"))).is_err());
+        assert!(catalog_from_element(&table(Some("-3"))).is_err());
+    }
+
+    #[test]
+    fn catalog_version_attribute_absent_is_zero_but_garbled_is_rejected() {
+        let table = |version: Option<&str>| {
+            let mut te = Element::new("Table")
+                .with_attr("name", "t")
+                .with_attr("rows", "1");
+            if let Some(v) = version {
+                te = te.with_attr("version", v);
+            }
+            Element::new("Catalog")
+                .with_attr("database", "X")
+                .with_child(te)
+        };
+        // Absent: back-compat with peers predating the result cache.
+        let cat = catalog_from_element(&table(None)).unwrap();
+        assert_eq!(cat.tables[0].version, 0);
+        // Present and well-formed.
+        let cat = catalog_from_element(&table(Some("42"))).unwrap();
+        assert_eq!(cat.tables[0].version, 42);
+        // Present but garbled: rejected, not silently zeroed (a zero
+        // would validate stale cache entries against changed tables).
         assert!(catalog_from_element(&table(Some("not-a-number"))).is_err());
         assert!(catalog_from_element(&table(Some("-3"))).is_err());
     }

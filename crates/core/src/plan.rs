@@ -179,6 +179,53 @@ impl ExecutionPlan {
         })
     }
 
+    /// Canonical cache key over the fields that determine the *matched
+    /// partial set*: χ² threshold, region, kernel, and each step's
+    /// identity (alias, archive, table, shards), match parameters
+    /// (σ, drop-out), and SQL fragments (local predicate, carried
+    /// columns, residuals) in chain order. Execution knobs — message
+    /// size, chunking, worker count, retry policy, lease TTL — and the
+    /// projection (`SELECT` list, `ORDER BY`, `LIMIT`, applied after
+    /// the partial set is final) are deliberately excluded: two plans
+    /// that differ only in those produce byte-identical partial sets,
+    /// so they share a cache entry.
+    pub fn cache_signature(&self) -> String {
+        use std::fmt::Write;
+        let mut sig = String::new();
+        let _ = write!(
+            sig,
+            "chi2={:?};region={:?};kernel={}",
+            self.threshold,
+            self.region,
+            self.kernel.as_str()
+        );
+        for step in &self.steps {
+            let _ = write!(
+                sig,
+                ";step[alias={},archive={},table={},url={},dropout={},sigma={:?},\
+                 local={:?},carried={:?},residual={:?},shards=[",
+                step.alias,
+                step.archive,
+                step.table,
+                step.url.host,
+                step.dropout,
+                step.sigma_arcsec,
+                step.local_sql,
+                step.carried,
+                step.residual_sql,
+            );
+            for shard in &step.shards {
+                let _ = write!(
+                    sig,
+                    "({},{:?},{:?})",
+                    shard.url.host, shard.extent.dec_lo_deg, shard.extent.dec_hi_deg
+                );
+            }
+            sig.push_str("]]");
+        }
+        sig
+    }
+
     /// The residual expressions attached to step `index`.
     pub fn residuals(&self, index: usize) -> Result<Vec<Expr>> {
         let step = self
@@ -536,6 +583,35 @@ mod tests {
         let p = demo_plan();
         let back = ExecutionPlan::from_element(&p.to_element()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn cache_signature_tracks_semantics_not_execution_knobs() {
+        let base = demo_plan();
+        // Execution knobs and the projection don't change the matched
+        // partial set, so they must not change the signature.
+        let mut tuned = demo_plan();
+        tuned.max_message_bytes = 1;
+        tuned.chunking = !tuned.chunking;
+        tuned.xmatch_workers = 7;
+        tuned.retry = RetryPolicy::none();
+        tuned.lease_ttl_s = 1.0;
+        tuned.limit = Some(3);
+        tuned.order_by = vec![("O.ra".into(), false)];
+        assert_eq!(base.cache_signature(), tuned.cache_signature());
+        // Semantic fields do.
+        let mut threshold = demo_plan();
+        threshold.threshold += 0.5;
+        assert_ne!(base.cache_signature(), threshold.cache_signature());
+        let mut kernel = demo_plan();
+        kernel.kernel = MatchKernel::Batch;
+        assert_ne!(base.cache_signature(), kernel.cache_signature());
+        let mut sigma = demo_plan();
+        sigma.steps[0].sigma_arcsec += 0.1;
+        assert_ne!(base.cache_signature(), sigma.cache_signature());
+        let mut fewer = demo_plan();
+        fewer.steps.pop();
+        assert_ne!(base.cache_signature(), fewer.cache_signature());
     }
 
     #[test]

@@ -27,16 +27,17 @@ use crate::plan::{
 };
 use crate::region::Region;
 use crate::result::{ResultColumn, ResultSet};
+use crate::result_cache::{CacheCounters, CacheEntry, CachedStep, ResultCache, StepVersion};
 use crate::retry::RetryPolicy;
 use crate::shard;
 use crate::skynode::invoke_cross_match;
 use crate::trace::{ExecutionTrace, StatsChain};
 use crate::transfer::{
-    invoke_scatter_step, open_checkpoint, release_checkpoint, renew_lease, send_rpc_with,
-    IncomingPartial,
+    invoke_delta_step, invoke_scatter_step, open_checkpoint, release_checkpoint, renew_lease,
+    send_rpc_with, IncomingPartial,
 };
 use crate::xmatch::MatchKernel;
-use crate::xmatch::{PartialSet, StepStats, TupleBindings};
+use crate::xmatch::{PartialSet, PartialTuple, StepStats, TupleBindings};
 use skyquery_htm::SkyPoint;
 
 /// How the Portal orders the mandatory archives in the plan list.
@@ -123,6 +124,14 @@ pub struct FederationConfig {
     /// exchange transaction, and checkpoint created for this
     /// federation's queries; node janitors reclaim anything older.
     pub lease_ttl_s: f64,
+    /// Maximum number of entries in the Portal's cross-match result
+    /// cache ([`crate::result_cache`]). `0` (the default) disables
+    /// caching entirely — every submission runs the full chain.
+    pub result_cache_capacity: usize,
+    /// Lease TTL (simulated seconds) on each result-cache entry. An
+    /// expired entry is evicted at the next lookup, forcing a clean
+    /// cold re-run.
+    pub result_cache_ttl_s: f64,
 }
 
 impl Default for FederationConfig {
@@ -139,6 +148,8 @@ impl Default for FederationConfig {
             retry: RetryPolicy::default(),
             chain_mode: ChainMode::default(),
             lease_ttl_s: DEFAULT_LEASE_TTL_S,
+            result_cache_capacity: 0,
+            result_cache_ttl_s: DEFAULT_LEASE_TTL_S,
         }
     }
 }
@@ -161,6 +172,11 @@ pub struct Portal {
     /// host — unhealthiness is an observation, not a ban; the autonomous
     /// archive may come back any time.
     health: Mutex<HashMap<String, HostHealth>>,
+    /// Cross-match result cache: committed per-step partial sets keyed
+    /// by plan signature and per-table version vector
+    /// ([`crate::result_cache`]). Inert until
+    /// [`FederationConfig::result_cache_capacity`] is raised above 0.
+    cache: Mutex<ResultCache>,
 }
 
 /// How often a failing mandatory step may be deferred (moved to the
@@ -189,6 +205,7 @@ impl Portal {
             nodes: Mutex::new(HashMap::new()),
             registry,
             health: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ResultCache::new()),
         });
         net.bind(host, portal.clone());
         portal
@@ -453,20 +470,6 @@ impl Portal {
         })
     }
 
-    /// Registers the SkyNode at `url` and returns its raw
-    /// [`ArchiveInfo`], as `register_node` did before shard groups.
-    #[deprecated(note = "use register_node, which returns a Registration summary; \
-                         fetch shard details with shards_of")]
-    pub fn register_node_info(&self, url: &Url) -> Result<ArchiveInfo> {
-        let reg = self.register_node(url)?;
-        Ok(self
-            .shards_of(&reg.archive)
-            .into_iter()
-            .find(|n| n.url.host == url.host)
-            .expect("the node was just registered")
-            .info)
-    }
-
     /// Removes a logical archive — every shard of it — from the
     /// federation.
     pub fn unregister(&self, archive: &str) -> bool {
@@ -613,6 +616,45 @@ impl Portal {
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
     ) -> Result<(PartialSet, StatsChain)> {
+        let config = self.config();
+        if config.result_cache_capacity > 0 {
+            if let Some(cached) = self.cached_result(plan, trace) {
+                return Ok(cached);
+            }
+            // Miss: run a caching walk so the next repeat of this plan
+            // can be served from the cache. On an unhealthy-node
+            // failure fall back to the configured chain mode, which
+            // can re-plan around the failure; anything else is fatal
+            // either way.
+            match self.run_caching_chain(plan, trace, &config) {
+                Ok(mut r) => {
+                    self.stamp_cache_counters(&mut r.1);
+                    return Ok(r);
+                }
+                Err(FederationError::NodeUnhealthy { .. }) => {
+                    trace.push(
+                        "Portal",
+                        "cache",
+                        "caching walk hit an unhealthy node; falling back to direct execution"
+                            .to_string(),
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+            let mut r = self.execute_plan_direct(plan, trace)?;
+            self.stamp_cache_counters(&mut r.1);
+            return Ok(r);
+        }
+        self.execute_plan_direct(plan, trace)
+    }
+
+    /// The cache-oblivious execution path: the configured chain mode
+    /// over the daisy chain or the scatter-gather executor.
+    fn execute_plan_direct(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &mut ExecutionTrace,
+    ) -> Result<(PartialSet, StatsChain)> {
         let mode = self.config().chain_mode;
         if plan.has_shards() {
             // A plan addressing any sharded archive is driven step by
@@ -678,7 +720,7 @@ impl Portal {
                 alias.clone(),
                 "cross match step",
                 format!(
-                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}, tile builds {}, tile decodes {}, tile hits {}, shards pruned {}",
+                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}, tile builds {}, tile decodes {}, tile hits {}, cache hits {}, cache misses {}, cache repairs {}, cache evictions {}, shards pruned {}",
                     s.tuples_in,
                     s.candidates_probed,
                     s.candidates_examined,
@@ -688,6 +730,10 @@ impl Portal {
                     s.tile_builds,
                     s.tile_decodes,
                     s.tile_hits,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_repairs,
+                    s.cache_evictions,
                     s.shards_pruned
                 ),
             );
@@ -727,6 +773,756 @@ impl Portal {
             }
         }
         walk.finish(self)
+    }
+
+    /// Attempts to serve `plan` from the result cache: a **hit** (the
+    /// registry's table versions match the entry's version vector
+    /// exactly) returns the cached final set with zero chain steps
+    /// executed; a **monotonically stale** unsharded entry (every
+    /// table at or past its cached version) is repaired incrementally
+    /// by probing only the delta rows through the node `DeltaStep`
+    /// service; anything else — a version regression, a vanished
+    /// archive, a stale sharded entry — evicts the entry and returns
+    /// `None` so the caller runs the chain cold. Used by
+    /// [`Portal::execute_plan`] and by the job service before it
+    /// starts a chain walk.
+    pub fn cached_result(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &mut ExecutionTrace,
+    ) -> Option<(PartialSet, StatsChain)> {
+        let config = self.config();
+        if config.result_cache_capacity == 0 {
+            return None;
+        }
+        let signature = plan.cache_signature();
+        let now = self.net.now_s();
+        let current = self.current_versions(plan);
+        // Classify under the cache lock; run any repair RPCs outside it.
+        let stale = {
+            let mut cache = self.cache.lock();
+            cache.sweep(now);
+            let id = match cache.lookup(&signature) {
+                Some(id) => id,
+                None => {
+                    cache.counters_mut().misses += 1;
+                    return None;
+                }
+            };
+            let Some(current) = current.as_ref() else {
+                // An archive or table left the registry: the entry can
+                // never validate again.
+                cache.evict(id);
+                cache.counters_mut().misses += 1;
+                return None;
+            };
+            let entry = cache.get(id).expect("looked up above");
+            if &entry.versions == current {
+                cache.renew(id, now);
+                cache.counters_mut().hits += 1;
+                let entry = cache.get(id).expect("present");
+                let head = entry
+                    .steps
+                    .first()
+                    .expect("a cached entry holds every plan step");
+                let set = head.set.clone();
+                let mut stats = StatsChain::new();
+                for s in entry.steps.iter().rev() {
+                    stats.push(s.alias.clone(), s.stats);
+                }
+                stamp_cache_counters(&mut stats, cache.counters());
+                drop(cache);
+                trace.push(
+                    "Portal",
+                    "cache hit",
+                    format!(
+                        "served {} tuples from the result cache; no chain step executed",
+                        set.len()
+                    ),
+                );
+                return Some((set, stats));
+            }
+            let monotone = entry.versions.len() == current.len()
+                && entry.versions.iter().zip(current).all(|(old, new)| {
+                    old.len() == new.len()
+                        && old.iter().zip(new).all(|(o, c)| {
+                            o.host == c.host && o.table == c.table && c.version >= o.version
+                        })
+                });
+            if !monotone || plan.has_shards() {
+                // A regression means the provenance no longer describes
+                // the tables; a sharded entry keeps no per-shard delta
+                // provenance. Either way the entry is unrepairable.
+                cache.evict(id);
+                cache.counters_mut().misses += 1;
+                drop(cache);
+                trace.push(
+                    "Portal",
+                    "cache evict",
+                    "stale entry is not incrementally repairable; running the chain cold"
+                        .to_string(),
+                );
+                return None;
+            }
+            entry.clone()
+        };
+        let current = current.expect("repair requires current versions");
+        match self.repair_entry(plan, &stale, &current) {
+            Ok(repaired) => {
+                // The delta probes observed authoritative versions:
+                // publish them so the next lookup validates as a hit.
+                for vs in &repaired.versions {
+                    for v in vs {
+                        self.update_registry_version(&v.host, &v.table, v.version);
+                    }
+                }
+                let head = repaired
+                    .steps
+                    .first()
+                    .expect("a repaired entry holds every plan step");
+                let set = head.set.clone();
+                let mut stats = StatsChain::new();
+                for s in repaired.steps.iter().rev() {
+                    stats.push(s.alias.clone(), s.stats);
+                }
+                let mut cache = self.cache.lock();
+                cache.counters_mut().repairs += 1;
+                match cache.lookup(&signature) {
+                    Some(id) => {
+                        if let Some(slot) = cache.get_mut(id) {
+                            *slot = repaired;
+                        }
+                        cache.renew(id, now);
+                    }
+                    None => {
+                        cache.insert(
+                            repaired,
+                            now,
+                            config.result_cache_ttl_s,
+                            config.result_cache_capacity,
+                        );
+                    }
+                }
+                stamp_cache_counters(&mut stats, cache.counters());
+                drop(cache);
+                trace.push(
+                    "Portal",
+                    "cache repair",
+                    format!(
+                        "stale entry repaired incrementally ({} tuples); only delta rows probed",
+                        set.len()
+                    ),
+                );
+                Some((set, stats))
+            }
+            Err(e) => {
+                let mut cache = self.cache.lock();
+                if let Some(id) = cache.lookup(&signature) {
+                    cache.evict(id);
+                }
+                cache.counters_mut().misses += 1;
+                drop(cache);
+                trace.push(
+                    "Portal",
+                    "cache evict",
+                    format!("incremental repair failed ({e}); running the chain cold"),
+                );
+                None
+            }
+        }
+    }
+
+    /// The registry's view of each `(host, table)` version the plan
+    /// touches — no round trips. `None` when any addressed host or
+    /// table is no longer registered.
+    fn current_versions(&self, plan: &ExecutionPlan) -> Option<Vec<Vec<StepVersion>>> {
+        let nodes = self.nodes.lock();
+        let mut out = Vec::with_capacity(plan.steps.len());
+        for step in &plan.steps {
+            let hosts: Vec<&str> = if step.shards.is_empty() {
+                vec![step.url.host.as_str()]
+            } else {
+                step.shards.iter().map(|s| s.url.host.as_str()).collect()
+            };
+            let mut vs = Vec::with_capacity(hosts.len());
+            for host in hosts {
+                let node = nodes.values().flatten().find(|n| n.url.host == host)?;
+                let version = node
+                    .catalog
+                    .tables
+                    .iter()
+                    .find(|t| t.schema.name.eq_ignore_ascii_case(&step.table))
+                    .map(|t| t.version)?;
+                vs.push(StepVersion {
+                    host: host.to_string(),
+                    table: step.table.clone(),
+                    version,
+                });
+            }
+            out.push(vs);
+        }
+        Some(out)
+    }
+
+    /// Authoritative `(host, table)` versions for every step target,
+    /// fetched through each node's Metadata service. The caching walk
+    /// brackets its execution with two of these: if any version moved
+    /// mid-walk, the walk's provenance is torn and the result is not
+    /// cached.
+    fn fetch_versions(&self, plan: &ExecutionPlan) -> Result<Vec<Vec<StepVersion>>> {
+        let mut out = Vec::with_capacity(plan.steps.len());
+        for step in &plan.steps {
+            let targets: Vec<Url> = if step.shards.is_empty() {
+                vec![step.url.clone()]
+            } else {
+                step.shards.iter().map(|s| s.url.clone()).collect()
+            };
+            let mut vs = Vec::with_capacity(targets.len());
+            for url in &targets {
+                let resp = self.call(url, &RpcCall::new("Metadata"))?;
+                let catalog = catalog_from_element(
+                    resp.require("catalog")?
+                        .as_xml()
+                        .ok_or_else(|| FederationError::protocol("catalog must be xml"))?,
+                )?;
+                let version = catalog
+                    .tables
+                    .iter()
+                    .find(|t| t.schema.name.eq_ignore_ascii_case(&step.table))
+                    .map(|t| t.version)
+                    .ok_or_else(|| {
+                        FederationError::protocol(format!(
+                            "table {} missing from the {} catalog",
+                            step.table, url.host
+                        ))
+                    })?;
+                vs.push(StepVersion {
+                    host: url.host.clone(),
+                    table: step.table.clone(),
+                    version,
+                });
+            }
+            out.push(vs);
+        }
+        Ok(out)
+    }
+
+    /// Updates the registry's version snapshot for one `(host, table)`
+    /// pair — called when an authoritative version is learned outside a
+    /// full re-registration (delta probes, table transfers, caching
+    /// walks).
+    pub(crate) fn update_registry_version(&self, host: &str, table: &str, version: u64) {
+        let mut nodes = self.nodes.lock();
+        for group in nodes.values_mut() {
+            for n in group.iter_mut() {
+                if n.url.host == host {
+                    for t in &mut n.catalog.tables {
+                        if t.schema.name.eq_ignore_ascii_case(table) {
+                            t.version = version;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-reads every shard catalog of `archive` through the Metadata
+    /// service, refreshing the registry's table-version snapshot (and
+    /// schemas) without a full re-registration. Returns the number of
+    /// shards refreshed.
+    pub fn refresh_table_versions(&self, archive: &str) -> Result<usize> {
+        let shards = self.shards_of(archive);
+        if shards.is_empty() {
+            return Err(FederationError::planning(format!(
+                "archive {archive} is not registered"
+            )));
+        }
+        let mut refreshed = 0;
+        for shard in &shards {
+            let resp = self.call(&shard.url, &RpcCall::new("Metadata"))?;
+            let catalog = catalog_from_element(
+                resp.require("catalog")?
+                    .as_xml()
+                    .ok_or_else(|| FederationError::protocol("catalog must be xml"))?,
+            )?;
+            let mut nodes = self.nodes.lock();
+            if let Some(group) = nodes.get_mut(&archive.to_ascii_uppercase()) {
+                if let Some(n) = group.iter_mut().find(|n| n.url.host == shard.url.host) {
+                    n.catalog = catalog;
+                    refreshed += 1;
+                }
+            }
+        }
+        Ok(refreshed)
+    }
+
+    /// Result-cache effectiveness counters and live entry count — the
+    /// REPL's `\cache` view.
+    pub fn cache_report(&self) -> (CacheCounters, usize) {
+        let cache = self.cache.lock();
+        (cache.counters(), cache.len())
+    }
+
+    /// Stamps the current cache counters into the first entry of a
+    /// stats chain (see [`stamp_cache_counters`]).
+    fn stamp_cache_counters(&self, stats: &mut StatsChain) {
+        let c = self.cache.lock().counters();
+        stamp_cache_counters(stats, c);
+    }
+
+    /// Runs the plan step by step from the Portal — reusing the
+    /// scatter executor, which degenerates to one call per step for an
+    /// unsharded plan — while recording every step's committed partial
+    /// set and per-tuple provenance for the result cache. Each step's
+    /// input is tagged with a [`CACHE_SRC_COL`] provenance column
+    /// (stripped from the output) so a later incremental repair knows
+    /// which upstream tuple every output row extends. The walk is
+    /// bracketed by two authoritative version fetches; if any table
+    /// moved mid-walk the result is returned but not cached.
+    fn run_caching_chain(
+        &self,
+        plan: &ExecutionPlan,
+        trace: &mut ExecutionTrace,
+        config: &FederationConfig,
+    ) -> Result<(PartialSet, StatsChain)> {
+        let before = self.fetch_versions(plan)?;
+        let n = plan.steps.len();
+        let mut steps: Vec<Option<CachedStep>> = (0..n).map(|_| None).collect();
+        let mut stats = StatsChain::new();
+        let mut current: Option<PartialSet> = None;
+        for idx in (0..n).rev() {
+            let input_tagged = current.as_ref().map(|set| {
+                let all: Vec<usize> = (0..set.tuples.len()).collect();
+                tag_with_cache_src(set, &all)
+            });
+            let (set, st, _) = self.scatter_step(
+                plan,
+                idx,
+                input_tagged.as_ref(),
+                ChainMode::Recursive,
+                trace,
+            )?;
+            let (clean, src) = match &current {
+                Some(_) => strip_cache_src(set)?,
+                None => {
+                    let src = (0..set.len() as u64).collect();
+                    (set, src)
+                }
+            };
+            stats.push(plan.steps[idx].alias.clone(), st);
+            steps[idx] = Some(CachedStep {
+                alias: plan.steps[idx].alias.clone(),
+                set: clean.clone(),
+                src,
+                stats: st,
+            });
+            current = Some(clean);
+        }
+        let final_set =
+            current.ok_or_else(|| FederationError::planning("caching chain committed no steps"))?;
+        let after = self.fetch_versions(plan)?;
+        if before == after {
+            for vs in &after {
+                for v in vs {
+                    self.update_registry_version(&v.host, &v.table, v.version);
+                }
+            }
+            let entry = CacheEntry {
+                signature: plan.cache_signature(),
+                versions: after,
+                steps: steps
+                    .into_iter()
+                    .map(|s| s.expect("every step executed"))
+                    .collect(),
+            };
+            let now = self.net.now_s();
+            let mut cache = self.cache.lock();
+            cache.insert(
+                entry,
+                now,
+                config.result_cache_ttl_s,
+                config.result_cache_capacity,
+            );
+            drop(cache);
+            trace.push(
+                "Portal",
+                "cache populate",
+                format!(
+                    "cached all {n} step partial sets under a {:.0}s lease",
+                    config.result_cache_ttl_s
+                ),
+            );
+        } else {
+            trace.push(
+                "Portal",
+                "cache",
+                "table versions moved during execution; result not cached".to_string(),
+            );
+        }
+        Ok((final_set, stats))
+    }
+
+    /// Repairs a monotonically stale cache entry in place of a cold
+    /// run: walking the chain in execution order, each step keeps the
+    /// cached outputs whose upstream tuples survived, probes **only
+    /// the rows inserted since the cached version** (plus any
+    /// freshly-appended upstream tuples, which must see the whole
+    /// table) through the node `DeltaStep` service, and splices the
+    /// delta results into the cached partial set. Because tables are
+    /// append-only and kernels emit candidates in row order within
+    /// each match group, the spliced set is byte-identical to a cold
+    /// run over the same data (proven by the repair proptests).
+    fn repair_entry(
+        &self,
+        plan: &ExecutionPlan,
+        entry: &CacheEntry,
+        current: &[Vec<StepVersion>],
+    ) -> Result<CacheEntry> {
+        let n = plan.steps.len();
+        if entry.steps.len() != n || entry.versions.len() != n || current.len() != n {
+            return Err(FederationError::protocol(
+                "cache entry shape does not match the plan",
+            ));
+        }
+        let mut new_steps: Vec<Option<CachedStep>> = (0..n).map(|_| None).collect();
+        let mut new_versions = entry.versions.clone();
+        let mut up: Option<RepairedUpstream> = None;
+        for idx in (0..n).rev() {
+            let cached = &entry.steps[idx];
+            if cached.src.len() != cached.set.tuples.len() {
+                return Err(FederationError::protocol(
+                    "cached step provenance is out of sync with its tuples",
+                ));
+            }
+            let v_old = entry.versions[idx]
+                .first()
+                .map(|v| v.version)
+                .ok_or_else(|| FederationError::protocol("cached step has no version record"))?;
+            let v_reg = current[idx].first().map(|v| v.version).unwrap_or(v_old);
+            let needs_delta = v_reg > v_old;
+            let (repaired, src, stats) = match up.take() {
+                None => self.repair_seed(
+                    plan,
+                    idx,
+                    cached,
+                    v_old,
+                    needs_delta,
+                    &mut new_versions[idx],
+                )?,
+                Some(upstream) => {
+                    if plan.steps[idx].dropout {
+                        self.repair_dropout(
+                            plan,
+                            idx,
+                            cached,
+                            upstream,
+                            v_old,
+                            v_reg,
+                            needs_delta,
+                            &mut new_versions[idx],
+                        )?
+                    } else {
+                        self.repair_match(
+                            plan,
+                            idx,
+                            cached,
+                            upstream,
+                            v_old,
+                            v_reg,
+                            needs_delta,
+                            &mut new_versions[idx],
+                        )?
+                    }
+                }
+            };
+            new_steps[idx] = Some(CachedStep {
+                alias: cached.alias.clone(),
+                set: repaired.set.clone(),
+                src,
+                stats,
+            });
+            up = Some(repaired);
+        }
+        Ok(CacheEntry {
+            signature: entry.signature.clone(),
+            versions: new_versions,
+            steps: new_steps
+                .into_iter()
+                .map(|s| s.expect("every step repaired"))
+                .collect(),
+        })
+    }
+
+    /// Repairs the seed step: cached rows keep their positions (the
+    /// seed scans its table in row order, so new rows sort after old
+    /// ones) and the delta rows are probed and appended.
+    fn repair_seed(
+        &self,
+        plan: &ExecutionPlan,
+        idx: usize,
+        cached: &CachedStep,
+        v_old: u64,
+        needs_delta: bool,
+        versions: &mut [StepVersion],
+    ) -> Result<(RepairedUpstream, Vec<u64>, StepStats)> {
+        let step = &plan.steps[idx];
+        let mut set = cached.set.clone();
+        let mut stats = cached.stats;
+        let old_len = set.tuples.len();
+        if needs_delta {
+            let (delta, chain, version) =
+                invoke_delta_step(&self.net, &self.host, &step.url, plan, idx, v_old, None)?;
+            if delta.columns != set.columns {
+                return Err(FederationError::protocol(
+                    "delta seed schema diverged from the cached set",
+                ));
+            }
+            stats = combine_delta_stats(stats, first_stats(&chain));
+            set.tuples.extend(delta.tuples);
+            if let Some(v) = versions.first_mut() {
+                v.version = version;
+            }
+        }
+        stats.tuples_out = set.tuples.len();
+        let src: Vec<u64> = (0..set.tuples.len() as u64).collect();
+        let map = (0..old_len).map(Some).collect();
+        let fresh = (old_len..set.tuples.len()).collect();
+        Ok((RepairedUpstream { set, map, fresh }, src, stats))
+    }
+
+    /// Repairs one match step. Surviving cached outputs are remapped to
+    /// their inputs' new positions; kept inputs are probed against only
+    /// the delta rows (their new extensions splice onto the end of
+    /// their match groups — within a group candidates come out in row
+    /// order, and delta rows have the highest row ids); fresh inputs
+    /// are probed against the whole table.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_match(
+        &self,
+        plan: &ExecutionPlan,
+        idx: usize,
+        cached: &CachedStep,
+        upstream: RepairedUpstream,
+        v_old: u64,
+        v_reg: u64,
+        needs_delta: bool,
+        versions: &mut [StepVersion],
+    ) -> Result<(RepairedUpstream, Vec<u64>, StepStats)> {
+        let step = &plan.steps[idx];
+        let up_len = upstream.set.tuples.len();
+        let mut old_of_new: Vec<Option<usize>> = vec![None; up_len];
+        for (s, m) in upstream.map.iter().enumerate() {
+            if let Some(u) = m {
+                old_of_new[*u] = Some(s);
+            }
+        }
+        let kept: Vec<usize> = (0..up_len).filter(|u| old_of_new[*u].is_some()).collect();
+        let mut old_groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, s) in cached.src.iter().enumerate() {
+            old_groups.entry(*s).or_default().push(i);
+        }
+
+        let mut stats = cached.stats;
+        let mut observed: Option<u64> = None;
+        let delta_groups = if needs_delta && !kept.is_empty() {
+            let input = tag_with_cache_src(&upstream.set, &kept);
+            let (reply, chain, version) = invoke_delta_step(
+                &self.net,
+                &self.host,
+                &step.url,
+                plan,
+                idx,
+                v_old,
+                Some(&input.to_votable()),
+            )?;
+            observed = Some(version);
+            stats = combine_delta_stats(stats, first_stats(&chain));
+            group_delta_reply(reply, &cached.set.columns)?
+        } else {
+            HashMap::new()
+        };
+        let full_groups = if !upstream.fresh.is_empty() {
+            let input = tag_with_cache_src(&upstream.set, &upstream.fresh);
+            let (reply, chain, version) = invoke_delta_step(
+                &self.net,
+                &self.host,
+                &step.url,
+                plan,
+                idx,
+                0,
+                Some(&input.to_votable()),
+            )?;
+            if observed.is_none() && needs_delta {
+                observed = Some(version);
+            }
+            stats = combine_delta_stats(stats, first_stats(&chain));
+            group_delta_reply(reply, &cached.set.columns)?
+        } else {
+            HashMap::new()
+        };
+        if needs_delta {
+            if let Some(v) = versions.first_mut() {
+                v.version = observed.unwrap_or(v_reg);
+            }
+        }
+
+        let mut tuples = Vec::new();
+        let mut src: Vec<u64> = Vec::new();
+        let mut map = vec![None; cached.set.tuples.len()];
+        let mut fresh = Vec::new();
+        for (u, s_old) in old_of_new.iter().enumerate() {
+            match s_old {
+                Some(s_old) => {
+                    if let Some(group) = old_groups.get(&(*s_old as u64)) {
+                        for &i in group {
+                            map[i] = Some(tuples.len());
+                            src.push(u as u64);
+                            tuples.push(cached.set.tuples[i].clone());
+                        }
+                    }
+                    if let Some(extra) = delta_groups.get(&(u as u64)) {
+                        for t in extra {
+                            fresh.push(tuples.len());
+                            src.push(u as u64);
+                            tuples.push(t.clone());
+                        }
+                    }
+                }
+                None => {
+                    if let Some(group) = full_groups.get(&(u as u64)) {
+                        for t in group {
+                            fresh.push(tuples.len());
+                            src.push(u as u64);
+                            tuples.push(t.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let set = PartialSet {
+            columns: cached.set.columns.clone(),
+            tuples,
+        };
+        stats.tuples_in = up_len;
+        stats.tuples_out = set.tuples.len();
+        Ok((RepairedUpstream { set, map, fresh }, src, stats))
+    }
+
+    /// Repairs one drop-out step. Drop-out is monotone — new rows can
+    /// only drop more tuples — so cached survivors need re-probing
+    /// against only the delta rows, tuples the cache already dropped
+    /// stay dropped, and fresh upstream tuples are filtered against the
+    /// whole table.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_dropout(
+        &self,
+        plan: &ExecutionPlan,
+        idx: usize,
+        cached: &CachedStep,
+        upstream: RepairedUpstream,
+        v_old: u64,
+        v_reg: u64,
+        needs_delta: bool,
+        versions: &mut [StepVersion],
+    ) -> Result<(RepairedUpstream, Vec<u64>, StepStats)> {
+        let step = &plan.steps[idx];
+        let up_len = upstream.set.tuples.len();
+        let mut old_of_new: Vec<Option<usize>> = vec![None; up_len];
+        for (s, m) in upstream.map.iter().enumerate() {
+            if let Some(u) = m {
+                old_of_new[*u] = Some(s);
+            }
+        }
+        // A drop-out step passes each input through at most once.
+        let mut old_out_of_src: HashMap<u64, usize> = HashMap::new();
+        for (i, s) in cached.src.iter().enumerate() {
+            old_out_of_src.insert(*s, i);
+        }
+        let candidates: Vec<usize> = (0..up_len)
+            .filter(|u| old_of_new[*u].is_some_and(|s| old_out_of_src.contains_key(&(s as u64))))
+            .collect();
+
+        let mut stats = cached.stats;
+        let mut observed: Option<u64> = None;
+        let survivors_delta: Option<std::collections::HashSet<u64>> =
+            if needs_delta && !candidates.is_empty() {
+                let input = tag_with_cache_src(&upstream.set, &candidates);
+                let (reply, chain, version) = invoke_delta_step(
+                    &self.net,
+                    &self.host,
+                    &step.url,
+                    plan,
+                    idx,
+                    v_old,
+                    Some(&input.to_votable()),
+                )?;
+                observed = Some(version);
+                stats = combine_delta_stats(stats, first_stats(&chain));
+                let (_, srcs) = strip_cache_src(reply)?;
+                Some(srcs.into_iter().collect())
+            } else {
+                None
+            };
+        let survivors_full: std::collections::HashSet<u64> = if !upstream.fresh.is_empty() {
+            let input = tag_with_cache_src(&upstream.set, &upstream.fresh);
+            let (reply, chain, version) = invoke_delta_step(
+                &self.net,
+                &self.host,
+                &step.url,
+                plan,
+                idx,
+                0,
+                Some(&input.to_votable()),
+            )?;
+            if observed.is_none() && needs_delta {
+                observed = Some(version);
+            }
+            stats = combine_delta_stats(stats, first_stats(&chain));
+            let (_, srcs) = strip_cache_src(reply)?;
+            srcs.into_iter().collect()
+        } else {
+            std::collections::HashSet::new()
+        };
+        if needs_delta {
+            if let Some(v) = versions.first_mut() {
+                v.version = observed.unwrap_or(v_reg);
+            }
+        }
+
+        let mut tuples = Vec::new();
+        let mut src: Vec<u64> = Vec::new();
+        let mut map = vec![None; cached.set.tuples.len()];
+        let mut fresh = Vec::new();
+        for (u, s_old) in old_of_new.iter().enumerate() {
+            match s_old {
+                Some(s_old) => {
+                    if let Some(&i) = old_out_of_src.get(&(*s_old as u64)) {
+                        let survives = survivors_delta
+                            .as_ref()
+                            .is_none_or(|s| s.contains(&(u as u64)));
+                        if survives {
+                            map[i] = Some(tuples.len());
+                            src.push(u as u64);
+                            tuples.push(cached.set.tuples[i].clone());
+                        }
+                    }
+                }
+                None => {
+                    if survivors_full.contains(&(u as u64)) {
+                        fresh.push(tuples.len());
+                        src.push(u as u64);
+                        tuples.push(upstream.set.tuples[u].clone());
+                    }
+                }
+            }
+        }
+        let set = PartialSet {
+            columns: cached.set.columns.clone(),
+            tuples,
+        };
+        stats.tuples_in = up_len;
+        stats.tuples_out = set.tuples.len();
+        Ok((RepairedUpstream { set, map, fresh }, src, stats))
     }
 
     /// Drives a plan with sharded steps from the Portal, seed to head.
@@ -1356,15 +2152,21 @@ impl CheckpointedWalk {
                 self.stats.entries.extend(chain.entries);
                 // The new checkpoint supersedes the previous one:
                 // release it best-effort (if the holder is
-                // unreachable, its janitor reclaims the lease).
+                // unreachable, its janitor reclaims the lease) — but a
+                // failed release is tallied, never swallowed: the
+                // checkpoint pins node memory until its TTL.
                 if let Some((prev_url, prev_id)) = self.checkpoint.take() {
-                    let _ = release_checkpoint(
+                    if release_checkpoint(
                         &portal.net,
                         &portal.host,
                         &prev_url,
                         prev_id,
                         RetryPolicy::none(),
-                    );
+                    )
+                    .is_err()
+                    {
+                        note_release_failure(portal, &prev_url.host, prev_id, Some(trace));
+                    }
                 }
                 self.checkpoint = Some((step.url.clone(), cp_id));
                 portal.note_healthy(&step.url.host);
@@ -1389,16 +2191,33 @@ impl CheckpointedWalk {
                     return Err(e);
                 }
                 portal.note_failure(&e);
-                // Keep the surviving prefix alive while re-planning.
+                // Keep the surviving prefix alive while re-planning. A
+                // renewal that cannot be delivered is tallied: the
+                // checkpoint keeps its old deadline and may lapse
+                // before the re-planned chain returns to it.
                 if let Some((cp_url, cp_id)) = &self.checkpoint {
-                    let _ = renew_lease(
+                    if renew_lease(
                         &portal.net,
                         &portal.host,
                         cp_url,
                         "checkpoint",
                         *cp_id,
                         RetryPolicy::none(),
-                    );
+                    )
+                    .is_err()
+                    {
+                        portal.net.record_renew_failure();
+                        portal.net.record_node_event(&portal.host, "renew-failed");
+                        trace.push(
+                            "Portal",
+                            "renew failed",
+                            format!(
+                                "checkpoint {cp_id} lease on {} not renewed; it may lapse \
+                                 before the re-planned chain resumes",
+                                cp_url.host
+                            ),
+                        );
+                    }
                 }
                 if step.dropout {
                     // A drop-out archive is optional: continue without
@@ -1477,18 +2296,161 @@ impl CheckpointedWalk {
                     IncomingPartial::Chunked(stream) => stream.collect_set(),
                 }
             });
-        let _ = release_checkpoint(&portal.net, &portal.host, &url, id, RetryPolicy::none());
+        if release_checkpoint(&portal.net, &portal.host, &url, id, RetryPolicy::none()).is_err() {
+            note_release_failure(portal, &url.host, id, None);
+        }
         Ok((collected?, self.stats))
     }
 
     /// Best-effort release of the retained checkpoint — the cleanup path
     /// for a failed or cancelled walk. Idempotent; if the holder is
-    /// unreachable, its janitor reclaims the lease at TTL instead.
+    /// unreachable, its janitor reclaims the lease at TTL instead, but
+    /// the failed call is still tallied in the network metrics.
     pub fn release(&mut self, portal: &Portal) {
         if let Some((url, id)) = self.checkpoint.take() {
-            let _ = release_checkpoint(&portal.net, &portal.host, &url, id, RetryPolicy::none());
+            if release_checkpoint(&portal.net, &portal.host, &url, id, RetryPolicy::none()).is_err()
+            {
+                note_release_failure(portal, &url.host, id, None);
+            }
         }
     }
+}
+
+/// Tallies one failed best-effort checkpoint release: bumps the
+/// `release_failures` network metric, records a node event, and — when a
+/// trace is in scope — an execution-trace entry. The checkpoint itself
+/// is not leaked (the holder's janitor reclaims it at TTL); what must
+/// not vanish is the evidence that cleanup RPCs are failing.
+fn note_release_failure(
+    portal: &Portal,
+    holder: &str,
+    id: u64,
+    trace: Option<&mut ExecutionTrace>,
+) {
+    portal.net.record_release_failure();
+    portal.net.record_node_event(&portal.host, "release-failed");
+    if let Some(trace) = trace {
+        trace.push(
+            "Portal",
+            "release failed",
+            format!("checkpoint {id} on {holder} not released; its janitor reclaims it at TTL"),
+        );
+    }
+}
+
+/// Portal-private provenance column tagged onto each step's input during
+/// a caching walk or repair probe. Node-side match and drop-out carry
+/// input columns through untouched (the same property the shard executor
+/// relies on for its `__src` tag), so the value survives the round trip
+/// and tells the Portal which upstream tuple each output row extends.
+/// Stripped before anything is cached or returned.
+const CACHE_SRC_COL: &str = "__csrc";
+
+/// Projects the tuples at `indices` out of `set` and appends a
+/// [`CACHE_SRC_COL`] column holding each tuple's index in the *full*
+/// upstream set — the provenance the repair merge keys on.
+fn tag_with_cache_src(set: &PartialSet, indices: &[usize]) -> PartialSet {
+    let mut columns = set.columns.clone();
+    columns.push(ResultColumn::new(CACHE_SRC_COL, DataType::Id));
+    let tuples = indices
+        .iter()
+        .map(|&i| {
+            let t = &set.tuples[i];
+            let mut values = t.values.clone();
+            values.push(Value::Id(i as u64));
+            PartialTuple {
+                state: t.state,
+                values,
+            }
+        })
+        .collect();
+    PartialSet { columns, tuples }
+}
+
+/// Removes the [`CACHE_SRC_COL`] column from a node reply, returning
+/// the clean set plus each tuple's upstream provenance index.
+fn strip_cache_src(mut set: PartialSet) -> Result<(PartialSet, Vec<u64>)> {
+    let pos = set
+        .columns
+        .iter()
+        .position(|c| c.name == CACHE_SRC_COL)
+        .ok_or_else(|| FederationError::protocol("delta reply lost the cache provenance column"))?;
+    set.columns.remove(pos);
+    let mut srcs = Vec::with_capacity(set.tuples.len());
+    for t in &mut set.tuples {
+        match t.values.remove(pos) {
+            Value::Id(s) => srcs.push(s),
+            other => {
+                return Err(FederationError::protocol(format!(
+                    "cache provenance column held {other:?}, expected an id"
+                )))
+            }
+        }
+    }
+    Ok((set, srcs))
+}
+
+/// Strips the provenance column from a delta-probe reply, checks the
+/// remaining schema still matches the cached set, and groups the reply
+/// tuples by upstream index (reply order preserved within each group).
+fn group_delta_reply(
+    reply: PartialSet,
+    expect_columns: &[ResultColumn],
+) -> Result<HashMap<u64, Vec<PartialTuple>>> {
+    let (clean, srcs) = strip_cache_src(reply)?;
+    if clean.columns.as_slice() != expect_columns {
+        return Err(FederationError::protocol(
+            "delta reply schema diverged from the cached set",
+        ));
+    }
+    let mut groups: HashMap<u64, Vec<PartialTuple>> = HashMap::new();
+    for (t, s) in clean.tuples.into_iter().zip(srcs) {
+        groups.entry(s).or_default().push(t);
+    }
+    Ok(groups)
+}
+
+/// The stats of the one step a delta probe executed.
+fn first_stats(chain: &StatsChain) -> StepStats {
+    chain.entries.first().map(|(_, s)| *s).unwrap_or_default()
+}
+
+/// Folds a delta probe's stats into a cached step's: kernel-internal
+/// counters accumulate (the repaired totals reflect the cached work
+/// plus the delta work — an approximation documented in DESIGN.md),
+/// while `tuples_in` / `tuples_out` are overwritten by the caller with
+/// exact values for the repaired set.
+fn combine_delta_stats(mut base: StepStats, delta: StepStats) -> StepStats {
+    base.candidates_probed += delta.candidates_probed;
+    base.candidates_examined += delta.candidates_examined;
+    base.chi2_accepted += delta.chi2_accepted;
+    base.scratch_reuse += delta.scratch_reuse;
+    base.tile_builds += delta.tile_builds;
+    base.tile_decodes += delta.tile_decodes;
+    base.tile_hits += delta.tile_hits;
+    base
+}
+
+/// Writes a cache-counter snapshot into the first entry of a stats
+/// chain so the per-step trace lines and the `StatsChain` wire format
+/// carry cache effectiveness alongside the kernel counters.
+fn stamp_cache_counters(stats: &mut StatsChain, c: CacheCounters) {
+    if let Some((_, s)) = stats.entries.first_mut() {
+        s.cache_hits = c.hits as usize;
+        s.cache_misses = c.misses as usize;
+        s.cache_repairs = c.repairs as usize;
+        s.cache_evictions = c.evictions as usize;
+    }
+}
+
+/// Per-step repair state flowing down the chain in execution order: the
+/// repaired upstream output, where each old cached upstream row moved
+/// (`map[old] = Some(new)`, `None` if it was dropped), and which rows
+/// are new since the entry was populated.
+struct RepairedUpstream {
+    set: PartialSet,
+    map: Vec<Option<usize>>,
+    fresh: Vec<usize>,
 }
 
 // Crate-internal accessors for the baseline strategies (baseline.rs).

@@ -144,6 +144,25 @@ const SERVICES: &[ServiceMethod<SkyNode>] = &[
         handler: |node, net, call| node.handle_scatter_step(net, call),
     },
     ServiceMethod {
+        name: "DeltaStep",
+        operation: || {
+            Operation::new("DeltaStep")
+                .input("plan", "xml")
+                .input("step", "long")
+                .input("from_row", "long")
+                .input("input", "table")
+                .output("partial", "table")
+                .output("manifest", "xml")
+                .output("stats", "xml")
+                .output("version", "long")
+                .doc(
+                    "One cross-match step restricted to rows inserted at or after from_row \
+                      (the result cache's incremental-repair probe)",
+                )
+        },
+        handler: |node, net, call| node.handle_delta_step(net, call),
+    },
+    ServiceMethod {
         name: "FetchCheckpoint",
         operation: || {
             Operation::new("FetchCheckpoint")
@@ -195,6 +214,7 @@ const SERVICES: &[ServiceMethod<SkyNode>] = &[
             Operation::new("CommitReceive")
                 .input("txn", "long")
                 .output("published", "long")
+                .output("version", "long")
                 .doc("Data-exchange 2PC: publish a staged transfer")
         },
         handler: SkyNode::handle_commit_receive,
@@ -450,8 +470,10 @@ impl SkyNode {
     fn handle_commit_receive(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
         let txn = require_u64(call, "txn")?;
         let mut db = self.db.lock();
-        let published = self.exchange.lock().commit(&mut db, txn)?;
-        Ok(RpcResponse::new("CommitReceive").result("published", SoapValue::Int(published as i64)))
+        let (published, version) = self.exchange.lock().commit(&mut db, txn)?;
+        Ok(RpcResponse::new("CommitReceive")
+            .result("published", SoapValue::Int(published as i64))
+            .result("version", SoapValue::Int(version as i64)))
     }
 
     fn handle_abort_receive(&self, _net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
@@ -685,6 +707,88 @@ impl SkyNode {
         let mut chain = StatsChain::new();
         chain.push(plan.steps[step].alias.clone(), stats);
         self.encode_set_response(net, &plan, "ScatterStep", set, Some(&chain))
+    }
+
+    /// One cross-match step restricted to the rows inserted at or after
+    /// `from_row` — the probe the Portal's result cache issues to repair
+    /// a stale entry incrementally. The delta rows are materialized into
+    /// an indexed temp table (tables are append-only with sequential row
+    /// ids, so `[from_row..len)` is exactly what changed since the cached
+    /// version) and the step runs against it with the same kernels as a
+    /// full execution; `from_row = 0` runs against the whole table, which
+    /// is what freshly-appended upstream tuples need. The temp table is
+    /// dropped before the reply leaves, success or failure.
+    fn handle_delta_step(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {
+        let (plan, step) = self.decode_plan_step(call)?;
+        let mut cfg = plan.step_config(step)?;
+        let dropout = plan.steps[step].dropout;
+        let from_row = require_u64(call, "from_row")? as usize;
+
+        let input = match call.get("input") {
+            Some(v) => {
+                let table = v
+                    .as_table()
+                    .ok_or_else(|| FederationError::protocol("input must be a table"))?;
+                Some(PartialSet::from_votable(table)?)
+            }
+            None => None,
+        };
+        if input.is_none() && dropout {
+            return Err(FederationError::protocol(
+                "a drop-out archive cannot be the seed of the chain",
+            ));
+        }
+
+        let (mut set, stats, version) = {
+            let mut db = self.db.lock();
+            // The version observed under the same lock as the probe: the
+            // repaired cache entry records this as its new baseline.
+            let version = db.table_version(&cfg.table)?;
+            let temp = if from_row > 0 {
+                let rows: Vec<skyquery_storage::Row> = db
+                    .table(&cfg.table)?
+                    .rows()
+                    .iter()
+                    .skip(from_row)
+                    .cloned()
+                    .collect();
+                let schema = db.schema(&cfg.table)?.clone();
+                let name = db.create_temp_table(schema)?;
+                for row in rows {
+                    db.insert(&name, row).map_err(FederationError::Storage)?;
+                }
+                cfg.table = name.clone();
+                Some(name)
+            } else {
+                None
+            };
+            let result = match &input {
+                None => self.engine.seed(&mut db, &cfg),
+                Some(inc) => {
+                    if dropout {
+                        self.engine.dropout(&mut db, &cfg, inc)
+                    } else {
+                        self.engine.match_tuples(&mut db, &cfg, inc)
+                    }
+                }
+            };
+            if let Some(name) = &temp {
+                db.drop_table(name)
+                    .expect("the delta temp table was created under this same lock");
+            }
+            let (set, stats) = result?;
+            (set, stats, version)
+        };
+
+        let residuals = plan.residuals(step)?;
+        if !residuals.is_empty() {
+            set = crate::xmatch::apply_residuals(set, &residuals)?;
+        }
+        self.executed_steps.fetch_add(1, Ordering::Relaxed);
+        let mut chain = StatsChain::new();
+        chain.push(plan.steps[step].alias.clone(), stats);
+        let resp = self.encode_set_response(net, &plan, "DeltaStep", set, Some(&chain))?;
+        Ok(resp.result("version", SoapValue::Int(version as i64)))
     }
 
     /// Serves a checkpointed partial set (inline or chunked under the

@@ -188,7 +188,11 @@ impl StatsChain {
                     .with_attr("tile_builds", s.tile_builds.to_string())
                     .with_attr("tile_decodes", s.tile_decodes.to_string())
                     .with_attr("tile_hits", s.tile_hits.to_string())
-                    .with_attr("shards_pruned", s.shards_pruned.to_string()),
+                    .with_attr("shards_pruned", s.shards_pruned.to_string())
+                    .with_attr("cache_hits", s.cache_hits.to_string())
+                    .with_attr("cache_misses", s.cache_misses.to_string())
+                    .with_attr("cache_repairs", s.cache_repairs.to_string())
+                    .with_attr("cache_evictions", s.cache_evictions.to_string()),
             );
         }
         e
@@ -227,6 +231,10 @@ impl StatsChain {
                     tile_decodes: lenient("tile_decodes"),
                     tile_hits: lenient("tile_hits"),
                     shards_pruned: lenient("shards_pruned"),
+                    cache_hits: lenient("cache_hits"),
+                    cache_misses: lenient("cache_misses"),
+                    cache_repairs: lenient("cache_repairs"),
+                    cache_evictions: lenient("cache_evictions"),
                 },
             );
         }
@@ -296,6 +304,10 @@ mod tests {
                 tile_decodes: 7,
                 tile_hits: 55,
                 shards_pruned: 2,
+                cache_hits: 1,
+                cache_misses: 3,
+                cache_repairs: 2,
+                cache_evictions: 1,
             },
         );
         c.push(
@@ -322,6 +334,10 @@ mod tests {
             assert_eq!(b.tile_decodes, o.tile_decodes);
             assert_eq!(b.tile_hits, o.tile_hits);
             assert_eq!(b.shards_pruned, o.shards_pruned);
+            assert_eq!(b.cache_hits, o.cache_hits);
+            assert_eq!(b.cache_misses, o.cache_misses);
+            assert_eq!(b.cache_repairs, o.cache_repairs);
+            assert_eq!(b.cache_evictions, o.cache_evictions);
         }
     }
 
@@ -342,6 +358,10 @@ mod tests {
         assert_eq!(s.candidates_examined, 0);
         assert_eq!(s.chi2_accepted, 0);
         assert_eq!(s.scratch_reuse, 0);
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.cache_repairs, 0);
+        assert_eq!(s.cache_evictions, 0);
     }
 
     #[test]

@@ -439,6 +439,47 @@ pub fn invoke_scatter_step(
     }
 }
 
+/// Client side of the `DeltaStep` service: asks a node to run plan step
+/// `step` against only the rows inserted at or after `from_row` of its
+/// step table (`from_row = 0` probes the whole table), seeding when
+/// `input` is absent. Drains any chunked continuation and returns the
+/// delta partial set, its single-entry stats chain, and the table
+/// version the probe observed (the row count at probe time — what the
+/// repaired cache entry must record as its new version). Used by the
+/// Portal's result cache to repair a stale entry incrementally instead
+/// of re-running the full chain.
+pub fn invoke_delta_step(
+    net: &SimNetwork,
+    from_host: &str,
+    url: &Url,
+    plan: &ExecutionPlan,
+    step: usize,
+    from_row: u64,
+    input: Option<&VoTable>,
+) -> Result<(PartialSet, StatsChain, u64)> {
+    let mut call = RpcCall::new("DeltaStep")
+        .param("plan", SoapValue::Xml(plan.to_element()))
+        .param("step", SoapValue::Int(step as i64))
+        .param("from_row", SoapValue::Int(from_row as i64));
+    if let Some(table) = input {
+        call = call.param("input", SoapValue::Table(table.clone()));
+    }
+    let resp = send_rpc_with(net, from_host, url, &call, plan.retry)?;
+    let stats = StatsChain::from_element(
+        resp.require("stats")?
+            .as_xml()
+            .ok_or_else(|| FederationError::protocol("stats must be xml"))?,
+    )?;
+    let version =
+        resp.require("version")?
+            .as_i64()
+            .ok_or_else(|| FederationError::protocol("version must be an integer"))? as u64;
+    match decode_partial(net, from_host, url, plan, &resp)? {
+        IncomingPartial::Inline(set) => Ok((set, stats, version)),
+        IncomingPartial::Chunked(stream) => Ok((stream.collect_set()?, stats, version)),
+    }
+}
+
 /// Sends one RPC with the default [`RetryPolicy`] and decodes the
 /// response, surfacing faults as errors.
 pub fn send_rpc(

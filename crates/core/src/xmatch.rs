@@ -298,11 +298,13 @@ pub struct StepConfig {
 /// pure function of the step's inputs (`tuples_in`, `candidates_probed`,
 /// `chi2_accepted`, `tuples_out`). `candidates_examined` depends on the
 /// kernel and index granularity, `scratch_reuse` on worker scheduling,
-/// and the tile/pruning counters (`tile_builds`, `tile_decodes`,
-/// `tile_hits`, `shards_pruned`) on kernel choice and shard layout, so —
-/// like `ExecutionTrace` excluding its clock — they are deliberately
-/// outside `==`; parity tests can therefore compare stats across kernels
-/// and worker counts.
+/// the tile/pruning counters (`tile_builds`, `tile_decodes`,
+/// `tile_hits`, `shards_pruned`) on kernel choice and shard layout, and
+/// the result-cache counters (`cache_hits`, `cache_misses`,
+/// `cache_repairs`, `cache_evictions`) on what earlier submissions left
+/// cached, so — like `ExecutionTrace` excluding its clock — they are
+/// deliberately outside `==`; parity tests can therefore compare stats
+/// across kernels, worker counts, and cache states.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepStats {
     /// Partial tuples received from the previous step.
@@ -333,6 +335,18 @@ pub struct StepStats {
     /// Scatter-target shards skipped because their declination extent
     /// cannot intersect the input set's probe span (scatter steps only).
     pub shards_pruned: usize,
+    /// Result-cache entries that served this submission without
+    /// re-executing its chain (Portal-side; at most 1 per submission).
+    pub cache_hits: usize,
+    /// Submissions that consulted the result cache and found no valid
+    /// entry (Portal-side).
+    pub cache_misses: usize,
+    /// Stale cache entries repaired incrementally by probing only delta
+    /// rows instead of being discarded (Portal-side).
+    pub cache_repairs: usize,
+    /// Cache entries evicted — lease expiry, capacity pressure, or a
+    /// version regression that made repair impossible (Portal-side).
+    pub cache_evictions: usize,
 }
 
 impl PartialEq for StepStats {

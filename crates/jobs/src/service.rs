@@ -657,40 +657,60 @@ impl JobService {
                 Ok(plan) => SliceOutcome::Continue(ExecPhase::Planned(Box::new(plan))),
                 Err(e) => SliceOutcome::Failed(e),
             },
-            ExecPhase::Planned(plan) => match self.portal.config().chain_mode {
-                ChainMode::Recursive => {
-                    // The paper's daisy chain is a single synchronous
-                    // recursion — one quantum runs it to completion.
-                    match self.portal.execute_plan(&plan, &mut job.trace) {
-                        Ok((set, stats)) => {
-                            for (alias, s) in &stats.entries {
-                                job.trace.push(
-                                    alias.clone(),
-                                    "cross match step",
-                                    format!(
-                                        "tuples in {}, tuples out {}",
-                                        s.tuples_in, s.tuples_out
-                                    ),
-                                );
-                            }
-                            match Portal::project_result(&plan, set) {
-                                Ok(rs) => SliceOutcome::Succeeded(rs),
-                                Err(e) => SliceOutcome::Failed(e),
-                            }
-                        }
+            ExecPhase::Planned(plan) => match self.portal.cached_result(&plan, &mut job.trace) {
+                // A cache hit (or incremental repair) skips the chain
+                // walk entirely — the whole execution fits one quantum
+                // regardless of chain mode.
+                Some((set, stats)) => {
+                    for (alias, s) in &stats.entries {
+                        job.trace.push(
+                            alias.clone(),
+                            "cross match step",
+                            format!("tuples in {}, tuples out {}", s.tuples_in, s.tuples_out),
+                        );
+                    }
+                    match Portal::project_result(&plan, set) {
+                        Ok(rs) => SliceOutcome::Succeeded(rs),
                         Err(e) => SliceOutcome::Failed(e),
                     }
                 }
-                ChainMode::Checkpointed => {
-                    let mut walk = CheckpointedWalk::new(&plan);
-                    match walk.step(&self.portal, &mut job.trace) {
-                        Ok(()) => SliceOutcome::Continue(ExecPhase::Walking(plan, Box::new(walk))),
-                        Err(e) => {
-                            walk.release(&self.portal);
-                            SliceOutcome::Failed(e)
+                None => match self.portal.config().chain_mode {
+                    ChainMode::Recursive => {
+                        // The paper's daisy chain is a single synchronous
+                        // recursion — one quantum runs it to completion.
+                        match self.portal.execute_plan(&plan, &mut job.trace) {
+                            Ok((set, stats)) => {
+                                for (alias, s) in &stats.entries {
+                                    job.trace.push(
+                                        alias.clone(),
+                                        "cross match step",
+                                        format!(
+                                            "tuples in {}, tuples out {}",
+                                            s.tuples_in, s.tuples_out
+                                        ),
+                                    );
+                                }
+                                match Portal::project_result(&plan, set) {
+                                    Ok(rs) => SliceOutcome::Succeeded(rs),
+                                    Err(e) => SliceOutcome::Failed(e),
+                                }
+                            }
+                            Err(e) => SliceOutcome::Failed(e),
                         }
                     }
-                }
+                    ChainMode::Checkpointed => {
+                        let mut walk = CheckpointedWalk::new(&plan);
+                        match walk.step(&self.portal, &mut job.trace) {
+                            Ok(()) => {
+                                SliceOutcome::Continue(ExecPhase::Walking(plan, Box::new(walk)))
+                            }
+                            Err(e) => {
+                                walk.release(&self.portal);
+                                SliceOutcome::Failed(e)
+                            }
+                        }
+                    }
+                },
             },
             ExecPhase::Walking(plan, mut walk) => {
                 if walk.is_done() {

@@ -173,6 +173,13 @@ pub struct NetworkMetrics {
     // Job-service accounting keyed by tenant id. Sorted so fairness
     // reports are deterministic.
     jobs: BTreeMap<String, TenantJobStats>,
+    // Best-effort cleanup calls that failed: a checkpoint release or a
+    // lease renewal the caller could not deliver. The resource is not
+    // lost — the holder's janitor reclaims it at TTL — but the failure
+    // must be visible, not swallowed: a rising tally here means leases
+    // are draining by timeout instead of by release.
+    release_failures: u64,
+    renew_failures: u64,
 }
 
 impl NetworkMetrics {
@@ -321,6 +328,28 @@ impl NetworkMetrics {
             .collect()
     }
 
+    /// Records one failed best-effort checkpoint release: the lease will
+    /// drain by TTL instead.
+    pub fn record_release_failure(&mut self) {
+        self.release_failures += 1;
+    }
+
+    /// Records one failed lease renewal: the lease keeps its current
+    /// deadline and may lapse before its owner returns.
+    pub fn record_renew_failure(&mut self) {
+        self.renew_failures += 1;
+    }
+
+    /// Checkpoint releases that could not be delivered.
+    pub fn release_failures(&self) -> u64 {
+        self.release_failures
+    }
+
+    /// Lease renewals that could not be delivered.
+    pub fn renew_failures(&self) -> u64 {
+        self.renew_failures
+    }
+
     /// Records one job accepted into `tenant`'s queue.
     pub fn record_job_submitted(&mut self, tenant: &str) {
         self.jobs.entry(tenant.to_string()).or_default().submitted += 1;
@@ -434,6 +463,8 @@ impl NetworkMetrics {
         self.faults.clear();
         self.node_events.clear();
         self.jobs.clear();
+        self.release_failures = 0;
+        self.renew_failures = 0;
     }
 }
 
@@ -576,6 +607,21 @@ mod tests {
         m.reset();
         assert!(m.job_stats_all().is_empty());
         assert_eq!(m.job_total(), TenantJobStats::default());
+    }
+
+    #[test]
+    fn cleanup_failure_accounting() {
+        let mut m = NetworkMetrics::new();
+        assert_eq!(m.release_failures(), 0);
+        assert_eq!(m.renew_failures(), 0);
+        m.record_release_failure();
+        m.record_release_failure();
+        m.record_renew_failure();
+        assert_eq!(m.release_failures(), 2);
+        assert_eq!(m.renew_failures(), 1);
+        m.reset();
+        assert_eq!(m.release_failures(), 0);
+        assert_eq!(m.renew_failures(), 0);
     }
 
     #[test]

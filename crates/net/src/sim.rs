@@ -210,6 +210,18 @@ impl SimNetwork {
         self.inner.metrics.lock().record_node_event(host, kind);
     }
 
+    /// Records one failed best-effort checkpoint release — see
+    /// [`NetworkMetrics::record_release_failure`].
+    pub fn record_release_failure(&self) {
+        self.inner.metrics.lock().record_release_failure();
+    }
+
+    /// Records one failed lease renewal — see
+    /// [`NetworkMetrics::record_renew_failure`].
+    pub fn record_renew_failure(&self) {
+        self.inner.metrics.lock().record_renew_failure();
+    }
+
     /// Records one job accepted into `tenant`'s queue — see
     /// [`NetworkMetrics::record_job_submitted`].
     pub fn record_job_submitted(&self, tenant: &str) {

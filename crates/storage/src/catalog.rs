@@ -11,6 +11,11 @@ pub struct TableStats {
     pub row_count: usize,
     /// Approximate wire/memory size of the table, bytes.
     pub approx_bytes: usize,
+    /// Monotonic modification version at snapshot time: bumped by every
+    /// insert, never reset. Two snapshots with equal versions saw the
+    /// same table contents (tables are append-only), so cached results
+    /// keyed by this number validate without re-reading rows.
+    pub version: u64,
 }
 
 /// A snapshot of an archive database's permanent tables.
@@ -68,11 +73,13 @@ mod tests {
                     schema: spectra,
                     row_count: 10,
                     approx_bytes: 80,
+                    version: 10,
                 },
                 TableStats {
                     schema: primary,
                     row_count: 100,
                     approx_bytes: 2400,
+                    version: 100,
                 },
             ],
         }

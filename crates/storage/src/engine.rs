@@ -31,6 +31,13 @@ struct TableEntry {
     /// Compressed zone tiles for the batch kernel; same lazy build and
     /// insert invalidation as the columnar snapshot.
     tiles: Option<ZoneTileSet>,
+    /// Monotonic modification version: bumped by every insert, never
+    /// reset. The generalization of the columnar/tile invalidation above
+    /// — external caches key on this number to validate entries without
+    /// re-reading rows. Tables are append-only with sequential row ids,
+    /// so the version equals the row count and rows `[version..len)` of
+    /// a later snapshot are exactly the delta since this one.
+    version: u64,
     temp: bool,
 }
 
@@ -94,6 +101,7 @@ impl Database {
                 btrees: HashMap::new(),
                 columnar: None,
                 tiles: None,
+                version: 0,
                 temp: false,
             },
         );
@@ -121,6 +129,7 @@ impl Database {
                 btrees: HashMap::new(),
                 columnar: None,
                 tiles: None,
+                version: 0,
                 temp: true,
             },
         );
@@ -190,9 +199,11 @@ impl Database {
             _ => None,
         };
         let rid = entry.table.insert_conformed(row);
-        // Any mutation invalidates the columnar and tile snapshots.
+        // Any mutation invalidates the columnar and tile snapshots and
+        // advances the table's modification version.
         entry.columnar = None;
         entry.tiles = None;
+        entry.version += 1;
         let stored = entry.table.row(rid).expect("row just inserted");
         if let (Some(htm), Some(p)) = (entry.htm.as_mut(), position) {
             htm.insert(p, rid);
@@ -588,6 +599,12 @@ impl Database {
         self.cache.clear();
     }
 
+    /// The table's monotonic modification version (bumped by every
+    /// insert). The cross-match result cache keys on this number.
+    pub fn table_version(&self, table: &str) -> Result<u64, StorageError> {
+        self.entry(table).map(|e| e.version)
+    }
+
     /// Catalog of all permanent tables — the Meta-data service payload.
     pub fn catalog(&self) -> Catalog {
         let mut tables: Vec<TableStats> = self
@@ -598,6 +615,7 @@ impl Database {
                 schema: e.table.schema().clone(),
                 row_count: e.table.len(),
                 approx_bytes: e.table.approx_bytes(),
+                version: e.version,
             })
             .collect();
         tables.sort_by(|a, b| a.schema.name.cmp(&b.schema.name));

@@ -1,0 +1,354 @@
+//! Result-cache behavior: a repeat query is served from the Portal's
+//! cache without executing a single chain step; after archives grow, an
+//! incremental repair (probing only the delta rows) is byte-identical
+//! to a cold run over the same data — across kernels, chain modes, and
+//! shard counts; an expired cache lease forces a clean cold re-run; and
+//! failed best-effort cleanup RPCs (checkpoint release, lease renewal)
+//! are tallied in the network metrics instead of being swallowed.
+
+use proptest::prelude::*;
+use skyquery_core::{ChainMode, FederationConfig, MatchKernel, RetryPolicy};
+use skyquery_net::{FaultKind, FaultPlan, FaultRule};
+use skyquery_sim::{CatalogParams, FederationBuilder, QuerySpec, SurveyParams, TestFederation};
+use skyquery_storage::Value;
+
+const SDSS_HOST: &str = "sdss.skyquery.net";
+const TWOMASS_HOST: &str = "twomass.skyquery.net";
+
+/// The paper's three-archive federation over a deterministic sky, with
+/// the result cache dialed to `cache_capacity` entries. Identical
+/// parameters build identical federations, so a cache-enabled build and
+/// a cache-disabled twin can be compared byte for byte.
+fn fed(
+    cache_capacity: usize,
+    shards: usize,
+    kernel: MatchKernel,
+    chain_mode: ChainMode,
+) -> TestFederation {
+    FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 140,
+            ..CatalogParams::default()
+        })
+        .survey(SurveyParams::sdss_like())
+        .survey(SurveyParams::twomass_like())
+        .survey(SurveyParams::first_like())
+        .config(FederationConfig {
+            result_cache_capacity: cache_capacity,
+            result_cache_ttl_s: 600.0,
+            kernel,
+            chain_mode,
+            ..FederationConfig::default()
+        })
+        .shards(shards)
+        .build()
+}
+
+/// Three-way cross-match, optionally demoting FIRST to a drop-out term
+/// so the repair path has to reconcile all three step kinds (seed,
+/// match, drop-out).
+fn sweep_query(dropout: bool) -> String {
+    QuerySpec {
+        archives: vec![
+            ("SDSS".into(), "Photo_Object".into(), "O".into(), false),
+            ("TWOMASS".into(), "Photo_Primary".into(), "T".into(), false),
+            ("FIRST".into(), "Primary_Object".into(), "P".into(), dropout),
+        ],
+        threshold: 4.0,
+        area: None,
+        polygon: None,
+        predicates: vec![],
+        select: vec![],
+    }
+    .to_sql()
+}
+
+fn total_executed_steps(fed: &TestFederation) -> u64 {
+    fed.nodes.iter().map(|n| n.executed_steps()).sum()
+}
+
+/// Appends deterministic rows to an archive's primary table directly in
+/// storage (bumping its modification version), the way an autonomous
+/// archive grows between portal queries.
+fn inject(fed: &TestFederation, archive: &str, rows: &[(u64, f64, f64)]) {
+    let node = fed.node(archive).expect("archive registered");
+    let table = node.info().primary_table.clone();
+    node.with_db(|db| {
+        for &(id, ra, dec) in rows {
+            db.insert(
+                &table,
+                vec![
+                    Value::Id(id),
+                    Value::Float(ra),
+                    Value::Float(dec),
+                    Value::Text("GALAXY".into()),
+                    Value::Float(1.0),
+                ],
+            )
+            .expect("conforming row");
+        }
+    });
+}
+
+/// The delta workload: a tight clump of new objects near the cap center
+/// that lands in every survey, plus one per-archive singleton, so the
+/// repair has fresh seed rows, fresh match extensions, and fresh
+/// drop-out probes to reconcile.
+fn grow_archives(fed: &TestFederation) {
+    inject(
+        fed,
+        "SDSS",
+        &[(900_001, 185.02, -0.48), (900_002, 184.70, -0.30)],
+    );
+    inject(
+        fed,
+        "TWOMASS",
+        &[(910_001, 185.0201, -0.4799), (910_002, 185.40, -0.90)],
+    );
+    inject(fed, "FIRST", &[(920_001, 185.0199, -0.4801)]);
+    for archive in ["SDSS", "TWOMASS", "FIRST"] {
+        fed.portal
+            .refresh_table_versions(archive)
+            .expect("archives stay reachable");
+    }
+}
+
+#[test]
+fn repeat_query_is_served_from_cache_without_chain_steps() {
+    let fed = fed(4, 1, MatchKernel::default(), ChainMode::Recursive);
+    let sql = sweep_query(false);
+    let (first, _) = fed.portal.submit(&sql).unwrap();
+    let before = total_executed_steps(&fed);
+    assert!(before > 0, "the cold run executes the chain");
+
+    let (second, trace) = fed.portal.submit(&sql).unwrap();
+    assert_eq!(first, second, "a hit must serve the same bytes");
+    assert_eq!(
+        total_executed_steps(&fed),
+        before,
+        "a cache hit must not execute any chain step"
+    );
+    assert!(
+        trace.events().iter().any(|e| e.action == "cache hit"),
+        "the trace must show the hit"
+    );
+    let (counters, live) = fed.portal.cache_report();
+    assert_eq!(counters.hits, 1);
+    assert_eq!(counters.misses, 1);
+    assert_eq!(live, 1);
+}
+
+#[test]
+fn distinct_queries_occupy_distinct_entries() {
+    let fed = fed(4, 1, MatchKernel::default(), ChainMode::Recursive);
+    fed.portal.submit(&sweep_query(false)).unwrap();
+    fed.portal.submit(&sweep_query(true)).unwrap();
+    let (counters, live) = fed.portal.cache_report();
+    assert_eq!(counters.misses, 2, "different semantics, different keys");
+    assert_eq!(live, 2);
+
+    // Both repeat submissions hit.
+    fed.portal.submit(&sweep_query(false)).unwrap();
+    fed.portal.submit(&sweep_query(true)).unwrap();
+    assert_eq!(fed.portal.cache_report().0.hits, 2);
+}
+
+#[test]
+fn expired_lease_forces_a_clean_cold_rerun() {
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 140,
+            ..CatalogParams::default()
+        })
+        .survey(SurveyParams::sdss_like())
+        .survey(SurveyParams::twomass_like())
+        .config(FederationConfig {
+            result_cache_capacity: 4,
+            result_cache_ttl_s: 60.0,
+            ..FederationConfig::default()
+        })
+        .build();
+    let sql = QuerySpec {
+        archives: vec![
+            ("SDSS".into(), "Photo_Object".into(), "O".into(), false),
+            ("TWOMASS".into(), "Photo_Primary".into(), "T".into(), false),
+        ],
+        threshold: 4.0,
+        area: None,
+        polygon: None,
+        predicates: vec![],
+        select: vec![],
+    }
+    .to_sql();
+
+    let (first, _) = fed.portal.submit(&sql).unwrap();
+    let before = total_executed_steps(&fed);
+
+    // Let the entry's lease lapse; the sweep must reclaim it and the
+    // re-submission must run the chain again rather than serve a set
+    // whose lease expired.
+    fed.net.advance_clock(120.0);
+    let (second, trace) = fed.portal.submit(&sql).unwrap();
+    assert_eq!(first, second);
+    assert!(
+        total_executed_steps(&fed) > before,
+        "an expired entry must not short-circuit the chain"
+    );
+    assert!(trace.events().iter().all(|e| e.action != "cache hit"));
+    let (counters, _) = fed.portal.cache_report();
+    assert_eq!(counters.hits, 0);
+    assert_eq!(counters.misses, 2);
+    assert!(counters.evictions >= 1, "the sweep tallies the expiry");
+}
+
+#[test]
+fn incremental_repair_probes_deltas_without_rerunning_the_chain_cold() {
+    let cached = fed(4, 1, MatchKernel::default(), ChainMode::Recursive);
+    let cold = fed(0, 1, MatchKernel::default(), ChainMode::Recursive);
+    let sql = sweep_query(true);
+    let (a, _) = cached.portal.submit(&sql).unwrap();
+    let (b, _) = cold.portal.submit(&sql).unwrap();
+    assert_eq!(a, b, "the caching walk must not change the result");
+
+    grow_archives(&cached);
+    grow_archives(&cold);
+    let (repaired, trace) = cached.portal.submit(&sql).unwrap();
+    let (rerun, _) = cold.portal.submit(&sql).unwrap();
+    assert_eq!(
+        repaired, rerun,
+        "repair must be byte-identical to a cold run over the grown archives"
+    );
+    assert!(
+        trace.events().iter().any(|e| e.action == "cache repair"),
+        "the stale entry must be repaired, not discarded"
+    );
+    let (counters, _) = cached.portal.cache_report();
+    assert_eq!(counters.repairs, 1);
+
+    // The repaired entry validates as a plain hit on the next round.
+    let before = total_executed_steps(&cached);
+    let (again, _) = cached.portal.submit(&sql).unwrap();
+    assert_eq!(again, rerun);
+    assert_eq!(total_executed_steps(&cached), before);
+    assert_eq!(cached.portal.cache_report().0.hits, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The identity sweep: across kernels, chain modes, shard counts,
+    /// and drop-out shapes, a cache-enabled federation must return the
+    /// same bytes as a cache-disabled twin — on the populating run, on
+    /// the repeat (hit or repair) run, and after the archives grow.
+    #[test]
+    fn cached_and_repaired_results_match_cold_execution(
+        kernel_ix in 0usize..3,
+        mode_ix in 0usize..2,
+        shards in 1usize..3,
+        dropout in any::<bool>(),
+    ) {
+        let kernel = [MatchKernel::Columnar, MatchKernel::Htm, MatchKernel::Batch][kernel_ix];
+        let mode = [ChainMode::Recursive, ChainMode::Checkpointed][mode_ix];
+        let cached = fed(4, shards, kernel, mode);
+        let cold = fed(0, shards, kernel, mode);
+        let sql = sweep_query(dropout);
+
+        let (a1, _) = cached.portal.submit(&sql).unwrap();
+        let (b1, _) = cold.portal.submit(&sql).unwrap();
+        prop_assert_eq!(&a1, &b1, "populating walk diverged from direct execution");
+
+        let (a2, trace) = cached.portal.submit(&sql).unwrap();
+        prop_assert_eq!(&a2, &b1, "cache hit diverged from the cold result");
+        prop_assert!(trace.events().iter().any(|e| e.action == "cache hit"));
+
+        if shards == 1 {
+            // Grow every archive identically in both federations: the
+            // cached side must repair incrementally and still match the
+            // cold side's full re-run.
+            grow_archives(&cached);
+            grow_archives(&cold);
+            let (a3, trace) = cached.portal.submit(&sql).unwrap();
+            let (b3, _) = cold.portal.submit(&sql).unwrap();
+            prop_assert_eq!(&a3, &b3, "incremental repair diverged from a cold run");
+            prop_assert!(
+                trace.events().iter().any(|e| e.action == "cache repair"),
+                "unsharded monotone growth must take the repair path"
+            );
+        }
+    }
+}
+
+/// Satellite regression: best-effort cleanup RPC failures during a
+/// checkpointed walk (checkpoint release at finish, lease renewal
+/// during a re-plan) must be tallied in the network metrics and leave
+/// evidence in the trace — not vanish into `let _ =`.
+#[test]
+fn failed_cleanup_rpcs_are_tallied_not_swallowed() {
+    let fed = FederationBuilder::new()
+        .catalog(CatalogParams {
+            count: 200,
+            ..CatalogParams::default()
+        })
+        .survey(SurveyParams::sdss_like())
+        .survey(SurveyParams::twomass_like())
+        .survey(SurveyParams::first_like())
+        .config(FederationConfig {
+            chain_mode: ChainMode::Checkpointed,
+            ..FederationConfig::default()
+        })
+        .build();
+
+    // TWOMASS refuses one retry budget's worth of step calls — forcing
+    // the walk to mark it unhealthy, re-plan, and renew the last good
+    // checkpoint's lease — while every renewal and release RPC to the
+    // seed and mid-chain hosts is refused outright.
+    let attempts = RetryPolicy::default().max_attempts;
+    let mut faults = FaultPlan::new().rule(
+        FaultRule::new(FaultKind::HostDown)
+            .host(TWOMASS_HOST)
+            .action("ExecuteStep")
+            .times(attempts),
+    );
+    for host in [SDSS_HOST, TWOMASS_HOST, "first.skyquery.net"] {
+        faults = faults
+            .rule(
+                FaultRule::new(FaultKind::HostDown)
+                    .host(host)
+                    .action("RenewLease"),
+            )
+            .rule(
+                FaultRule::new(FaultKind::HostDown)
+                    .host(host)
+                    .action("ReleaseCheckpoint"),
+            );
+    }
+    fed.net.install_faults(faults);
+
+    let (_, trace) = fed
+        .portal
+        .submit(
+            "SELECT O.object_id, T.object_id, P.object_id \
+             FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P \
+             WHERE XMATCH(O, T, P) < 3.5 \
+             ORDER BY O.object_id, T.object_id, P.object_id",
+        )
+        .expect("cleanup failures must not fail the walk");
+
+    let m = fed.net.metrics();
+    assert!(
+        m.release_failures() > 0,
+        "failed checkpoint releases must be counted"
+    );
+    assert!(
+        m.renew_failures() > 0,
+        "failed lease renewals must be counted"
+    );
+    assert!(
+        trace.events().iter().any(|e| e.action == "release failed"),
+        "release failures must surface in the trace"
+    );
+    assert!(
+        trace.events().iter().any(|e| e.action == "renew failed"),
+        "renew failures must surface in the trace"
+    );
+}

@@ -127,18 +127,29 @@ fn registration_reports_shard_group_summary() {
     assert!(reg.extent.is_full_sky());
 }
 
-/// The deprecated single-value shim still answers while callers
-/// migrate to [`Portal::register_node`].
+/// Re-registering one shard reports the group registration and the
+/// registry keeps per-shard info (name, extent) queryable through
+/// [`Portal::shards_of`] — the supported surface since the
+/// single-value `register_node_info` shim was removed.
 #[test]
-#[allow(deprecated)]
-fn deprecated_register_shim_still_returns_info() {
+fn reregistered_shard_info_queryable_via_shards_of() {
     let fed = fed(2, 100, (185.0, -0.5), FederationConfig::default());
-    let info = fed
+    let reg = fed
         .portal
-        .register_node_info(&Url::new("sdss-s1.skyquery.net", "/soap"))
+        .register_node(&Url::new("sdss-s1.skyquery.net", "/soap"))
         .unwrap();
-    assert_eq!(info.name, "SDSS");
-    assert!(info.extent.is_some(), "shard info must publish its extent");
+    assert_eq!(reg.shard_count, 2);
+    let shard = fed
+        .portal
+        .shards_of("SDSS")
+        .into_iter()
+        .find(|n| n.url.host == "sdss-s1.skyquery.net")
+        .expect("re-registered shard stays in the group");
+    assert_eq!(shard.info.name, "SDSS");
+    assert!(
+        shard.info.extent.is_some(),
+        "shard info must publish its extent"
+    );
 }
 
 /// Maps the seed step's alias (first "scatter" trace event) to the
