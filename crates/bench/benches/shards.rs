@@ -16,7 +16,10 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skyquery_core::shard::{merge_seed, RANK_COL};
-use skyquery_core::{PartialSet, PartialTuple, ResultColumn, StepStats, TupleState};
+use skyquery_core::{
+    FederationConfig, PartialSet, PartialTuple, ResultColumn, StepStats, TupleState,
+};
+use skyquery_net::{FaultKind, FaultPlan, FaultRule};
 use skyquery_sim::{xmatch_query, FederationBuilder, TestFederation};
 use skyquery_storage::{DataType, Value};
 
@@ -126,7 +129,122 @@ fn measure(shards: usize, reference: &str, iters: usize) -> Measurement {
     }
 }
 
-fn write_json(measurements: &[Measurement]) {
+/// E14b — replicated shard groups (R=2) under one injected shard
+/// death: the per-submit failover overhead against the healthy
+/// replicated run, and the hedge win-rate when the surviving primary
+/// straggles past the hedge delay.
+struct ReplicatedMeasurement {
+    rows: usize,
+    healthy_submit_ms: f64,
+    failover_submit_ms: f64,
+    failovers_per_submit: f64,
+    hedges: u64,
+    hedge_wins: u64,
+}
+
+impl ReplicatedMeasurement {
+    fn failover_overhead_ms(&self) -> f64 {
+        self.failover_submit_ms - self.healthy_submit_ms
+    }
+    fn hedge_win_rate(&self) -> f64 {
+        if self.hedges == 0 {
+            0.0
+        } else {
+            self.hedge_wins as f64 / self.hedges as f64
+        }
+    }
+}
+
+fn replicated_federation(faults: FaultPlan, hedge_delay_s: f64) -> TestFederation {
+    FederationBuilder::paper_triple(BODIES)
+        .shards(2)
+        .replicas(2)
+        .config(FederationConfig {
+            hedge_delay_s,
+            ..FederationConfig::default()
+        })
+        .faults(faults)
+        .build()
+}
+
+/// Times the replicated configurations; byte-identity against the
+/// single-node `reference` is asserted while measuring.
+fn measure_replicated(reference: &str, iters: usize) -> ReplicatedMeasurement {
+    let sql = query();
+    let timed = |fed: &TestFederation| -> (usize, f64) {
+        let (result, _) = fed.portal.submit(&sql).expect("bench query runs");
+        assert_eq!(
+            result.to_ascii(),
+            reference,
+            "replicated result diverged from the single-node baseline"
+        );
+        let started = Instant::now();
+        for _ in 0..iters {
+            fed.portal.submit(&sql).expect("bench query runs");
+        }
+        (
+            result.row_count(),
+            started.elapsed().as_secs_f64() * 1000.0 / iters as f64,
+        )
+    };
+
+    let healthy = replicated_federation(FaultPlan::new(), 0.0);
+    let (rows, healthy_submit_ms) = timed(&healthy);
+
+    // One shard death: the sdss-s0 primary never answers a scatter
+    // probe again; every submit fails over to its r1 sibling.
+    let dead_primary = FaultPlan::new().rule(
+        FaultRule::new(FaultKind::HostDown)
+            .host("sdss-s0.skyquery.net")
+            .action("ScatterStep")
+            .times(1_000_000),
+    );
+    let faulted = replicated_federation(dead_primary, 0.0);
+    let (_, failover_submit_ms) = timed(&faulted);
+    let failovers = faulted.net.metrics().node_event_total("failover");
+
+    // Hedging: the same primary straggles 5 simulated seconds past a
+    // 1-second hedge delay, so each probe of its extent races the
+    // sibling and the fast reply wins.
+    let straggler = FaultPlan::new().rule(
+        FaultRule::new(FaultKind::Latency(5.0))
+            .host("sdss-s0.skyquery.net")
+            .action("ScatterStep"),
+    );
+    let hedged = replicated_federation(straggler, 1.0);
+    timed(&hedged);
+    // Hedges and wins ride the merged step statistics; count both from
+    // the same traced submit so the win rate has one denominator.
+    let (_, trace) = hedged.portal.submit(&sql).expect("bench query runs");
+    let stat_sum = |label: &str| -> u64 {
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.action == "cross match step")
+            .filter_map(|e| e.detail.split(label).nth(1))
+            .filter_map(|tail| {
+                tail.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|n| n.parse::<u64>().ok())
+            })
+            .sum()
+    };
+    let hedges = stat_sum("hedges ");
+    let hedge_wins = stat_sum("hedge wins ");
+
+    ReplicatedMeasurement {
+        rows,
+        healthy_submit_ms,
+        failover_submit_ms,
+        // (iters + 1) submits hit the dead primary: the parity check
+        // fails over too.
+        failovers_per_submit: failovers as f64 / (iters as f64 + 1.0),
+        hedges,
+        hedge_wins,
+    }
+}
+
+fn write_json(measurements: &[Measurement], replicated: &ReplicatedMeasurement) {
     let mut configs = String::new();
     for (i, m) in measurements.iter().enumerate() {
         if i > 0 {
@@ -146,7 +264,20 @@ fn write_json(measurements: &[Measurement]) {
     }
     let json = format!(
         "{{\n  \"bench\": \"shards\",\n  \"step\": \"3-way cross-match, {BODIES} bodies, \
-         threshold 4.0, zone shards per archive\",\n  \"configs\": [\n{configs}\n  ]\n}}\n"
+         threshold 4.0, zone shards per archive\",\n  \"configs\": [\n{configs}\n  ],\n  \
+         \"replicated\": {{\"shards\": 2, \"replicas\": 2, \"result_rows\": {}, \
+         \"healthy_submit_ms\": {:.3}, \"one_shard_dead_submit_ms\": {:.3}, \
+         \"failover_overhead_ms\": {:.3}, \"failovers_per_submit\": {:.2}, \
+         \"hedges\": {}, \"hedge_wins\": {}, \"hedge_win_rate\": {:.2}, \
+         \"byte_identical\": true}}\n}}\n",
+        replicated.rows,
+        replicated.healthy_submit_ms,
+        replicated.failover_submit_ms,
+        replicated.failover_overhead_ms(),
+        replicated.failovers_per_submit,
+        replicated.hedges,
+        replicated.hedge_wins,
+        replicated.hedge_win_rate(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
     if let Err(e) = std::fs::write(path, json) {
@@ -179,7 +310,21 @@ fn print_tables() {
         );
         measurements.push(m);
     }
-    write_json(&measurements);
+    let replicated = measure_replicated(&reference, 3);
+    println!("\n=== E14b: replicated shard groups (2 shards x 2 replicas) ===");
+    println!(
+        "healthy submit {:.1} ms; one shard dead {:.1} ms \
+         (failover overhead {:.1} ms, {:.1} failovers/submit); \
+         hedges {} won {} ({:.0}% win rate)",
+        replicated.healthy_submit_ms,
+        replicated.failover_submit_ms,
+        replicated.failover_overhead_ms(),
+        replicated.failovers_per_submit,
+        replicated.hedges,
+        replicated.hedge_wins,
+        replicated.hedge_win_rate() * 100.0,
+    );
+    write_json(&measurements, &replicated);
     println!();
 }
 

@@ -30,6 +30,9 @@ pub struct Options {
     /// Declination-zone shards per archive (1 = one SkyNode per archive;
     /// more splits each archive across a scatter-gather shard group).
     pub shards: usize,
+    /// Identical replicas per zone extent (1 = no replication; more
+    /// gives each extent failover/hedge siblings).
+    pub replicas: usize,
 }
 
 impl Default for Options {
@@ -46,6 +49,7 @@ impl Default for Options {
             chain_mode: skyquery_core::ChainMode::default(),
             jobs: false,
             shards: 1,
+            replicas: 1,
         }
     }
 }
@@ -171,6 +175,13 @@ where
                     _ => return Command::Help(Some("--shards needs a number ≥ 1".into())),
                 }
             }
+            "--replicas" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => opts.replicas = n,
+                    _ => return Command::Help(Some("--replicas needs a number ≥ 1".into())),
+                }
+            }
             "--no-zone-chunking" => opts.zone_chunking = false,
             "--jobs" => opts.jobs = true,
             "--help" | "-h" => return Command::Help(None),
@@ -220,6 +231,7 @@ OPTIONS:
     --retry-backoff <S> first retry backoff, simulated seconds     [default: 0.05]
     --chain <M>        chain driver: recursive | checkpointed      [default: recursive]
     --shards <N>       declination-zone shards per archive         [default: 1]
+    --replicas <N>     identical replicas per zone extent          [default: 1]
     --no-zone-chunking legacy byte-budget chunking for oversized transfers
     --jobs             start the async job service (REPL: \\submit, \\jobs)
 "
@@ -262,6 +274,8 @@ mod tests {
             "checkpointed",
             "--shards",
             "4",
+            "--replicas",
+            "2",
         ]) {
             Command::Repl(o) => {
                 assert_eq!(o.bodies, 500);
@@ -275,6 +289,7 @@ mod tests {
                 assert_eq!(o.retry_policy().max_attempts, 5);
                 assert_eq!(o.chain_mode, skyquery_core::ChainMode::Checkpointed);
                 assert_eq!(o.shards, 4);
+                assert_eq!(o.replicas, 2);
             }
             other => panic!("{other:?}"),
         }
@@ -293,6 +308,7 @@ mod tests {
         }
         assert!(!Options::default().jobs, "the job service is opt-in");
         assert_eq!(Options::default().shards, 1, "sharding is opt-in");
+        assert_eq!(Options::default().replicas, 1, "replication is opt-in");
         // Options may precede the command.
         match parse_args(["--bodies", "10", "demo"]) {
             Command::Demo(o) => assert_eq!(o.bodies, 10),
@@ -354,6 +370,10 @@ mod tests {
             parse_args(["--shards", "0", "demo"]),
             Command::Help(Some(msg)) if msg.contains("--shards")
         ));
+        assert!(matches!(
+            parse_args(["--replicas", "0", "demo"]),
+            Command::Help(Some(msg)) if msg.contains("--replicas")
+        ));
     }
 
     #[test]
@@ -371,6 +391,7 @@ mod tests {
             "--retry-backoff",
             "--chain",
             "--shards",
+            "--replicas",
             "--no-zone-chunking",
             "--jobs",
         ] {

@@ -53,6 +53,7 @@ impl Session {
             .survey(skyquery_sim::SurveyParams::twomass_like())
             .survey(skyquery_sim::SurveyParams::first_like())
             .shards(opts.shards)
+            .replicas(opts.replicas)
             .build();
         let mut session = Session {
             fed,
@@ -123,6 +124,13 @@ impl Session {
                     writeln!(out, "{}", trace.render())?;
                 }
                 self.print_result(&result, out)?;
+                if result.degraded {
+                    writeln!(
+                        out,
+                        "partial result — dropped: {}",
+                        result.dropped_archives.join(", ")
+                    )?;
+                }
                 let m = self.fed.net.metrics().total();
                 writeln!(
                     out,
@@ -406,11 +414,29 @@ impl Session {
                     };
                     writeln!(out, "{host:<26} {state:<10} {} strikes", h.strikes)?;
                 }
+                // Replica roles: within each archive's shard group,
+                // `shards_of` orders (extent, host) — the first member of
+                // each extent run is the primary, the rest are replicas.
+                let mut roles = std::collections::HashMap::new();
+                for archive in self.fed.portal.archives() {
+                    let mut prev: Option<skyquery_core::ZoneExtent> = None;
+                    for shard in self.fed.portal.shards_of(&archive) {
+                        let extent = shard.extent();
+                        let role = if prev.as_ref() == Some(&extent) {
+                            "replica"
+                        } else {
+                            "primary"
+                        };
+                        prev = Some(extent);
+                        roles.insert(shard.url.host.clone(), role);
+                    }
+                }
                 for node in &self.fed.nodes {
                     writeln!(
                         out,
-                        "{:<26} {} leases ({} transfers, {} checkpoints, {} txns) · {} steps executed",
+                        "{:<26} {:<8} {} leases ({} transfers, {} checkpoints, {} txns) · {} steps executed",
                         node.url().host,
+                        roles.get(&node.url().host).copied().unwrap_or("primary"),
                         node.active_leases(),
                         node.open_transfers().len(),
                         node.checkpoints().len(),
@@ -425,6 +451,12 @@ impl Session {
                     m.node_event_total("replan"),
                     m.node_event_total("resume"),
                     m.node_event_total("degraded")
+                )?;
+                writeln!(
+                    out,
+                    "{} failovers · {} hedged probes",
+                    m.node_event_total("failover"),
+                    m.node_event_total("hedge")
                 )?;
             }
             Some("retry") => {
@@ -542,6 +574,13 @@ impl Session {
                                 Ok(result) => {
                                     self.print_result(&result, out)?;
                                     writeln!(out, "{} rows", result.row_count())?;
+                                    if result.degraded {
+                                        writeln!(
+                                            out,
+                                            "partial result — dropped: {}",
+                                            result.dropped_archives.join(", ")
+                                        )?;
+                                    }
                                 }
                                 Err(e) => writeln!(out, "error: {e}")?,
                             }

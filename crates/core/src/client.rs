@@ -42,7 +42,18 @@ impl Client {
             .require("result")?
             .as_table()
             .ok_or_else(|| FederationError::protocol("result must be a table"))?;
-        let result = ResultSet::from_votable(table)?;
+        let mut result = ResultSet::from_votable(table)?;
+        // Partial-result honesty: the Portal stamps a degraded answer on
+        // the response header. Older portals omit the fields — absent
+        // means complete, matching their behaviour.
+        if let Some(v) = resp.get("degraded") {
+            result.degraded = v.as_bool().unwrap_or(false);
+        }
+        if let Some(SoapValue::Str(dropped)) = resp.get("dropped") {
+            if !dropped.is_empty() {
+                result.dropped_archives = dropped.split(',').map(str::to_string).collect();
+            }
+        }
         let mut trace = ExecutionTrace::new();
         if let Some(SoapValue::Xml(t)) = resp.get("trace") {
             for ev in t.children_named("Event") {

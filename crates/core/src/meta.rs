@@ -188,6 +188,10 @@ pub struct Registration {
     /// How many physical shards the archive's group now has, including
     /// the one just registered.
     pub shard_count: usize,
+    /// How many of those nodes own the *same* zone range as the
+    /// registering node — its replica group, itself included. `1` means
+    /// the node is the sole owner of its extent.
+    pub replica_count: usize,
     /// Tables in the registering node's catalog.
     pub table_count: usize,
 }

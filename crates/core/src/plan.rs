@@ -24,13 +24,20 @@ use crate::retry::RetryPolicy;
 use crate::xmatch::{MatchKernel, StepConfig};
 
 /// One physical shard of a sharded archive addressed by a plan step: the
-/// SkyNode that owns one declination-zone range of the archive.
+/// SkyNode that owns one declination-zone range of the archive, plus any
+/// sibling replicas holding an identical copy of that range.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanShard {
-    /// SOAP endpoint of the shard's SkyNode.
+    /// SOAP endpoint of the shard's primary SkyNode (the preferred
+    /// scatter target).
     pub url: Url,
     /// The zone range this shard owns.
     pub extent: ZoneExtent,
+    /// Sibling replicas serving an identical copy of this zone range, in
+    /// deterministic (host) order. The scatter driver fails over — or
+    /// hedges — to these when the primary proves unhealthy or slow.
+    /// Empty (the legacy wire default) means the range is unreplicated.
+    pub replicas: Vec<Url>,
 }
 
 /// One entry of the plan list.
@@ -304,12 +311,14 @@ impl ExecutionPlan {
                 se = se.with_child(Element::new("Residual").with_text(r.clone()));
             }
             for shard in &step.shards {
-                se = se.with_child(
-                    Element::new("Shard")
-                        .with_attr("url", shard.url.to_string())
-                        .with_attr("dec_lo", format!("{:?}", shard.extent.dec_lo_deg))
-                        .with_attr("dec_hi", format!("{:?}", shard.extent.dec_hi_deg)),
-                );
+                let mut sh = Element::new("Shard")
+                    .with_attr("url", shard.url.to_string())
+                    .with_attr("dec_lo", format!("{:?}", shard.extent.dec_lo_deg))
+                    .with_attr("dec_hi", format!("{:?}", shard.extent.dec_hi_deg));
+                for r in &shard.replicas {
+                    sh = sh.with_child(Element::new("Replica").with_attr("url", r.to_string()));
+                }
+                se = se.with_child(sh);
             }
             plan = plan.with_child(se);
         }
@@ -390,6 +399,18 @@ impl ExecutionPlan {
                                 dec_lo_deg: dec("dec_lo")?,
                                 dec_hi_deg: dec("dec_hi")?,
                             },
+                            // Plans from peers predating replication
+                            // carry no Replica children; empty means the
+                            // primary is the range's sole owner.
+                            replicas: sh
+                                .children_named("Replica")
+                                .map(|r| -> Result<Url> {
+                                    let url = r.attr("url").ok_or_else(|| {
+                                        FederationError::protocol("Replica missing attribute url")
+                                    })?;
+                                    Url::parse(url).map_err(FederationError::Net)
+                                })
+                                .collect::<Result<Vec<_>>>()?,
                         })
                     })
                     .collect::<Result<Vec<_>>>()?,
@@ -790,16 +811,37 @@ mod tests {
             PlanShard {
                 url: Url::new("sdss-s0.skyquery.net", "/soap"),
                 extent: ZoneExtent::new(-90.0, 0.0).unwrap(),
+                replicas: vec![
+                    Url::new("sdss-s0r1.skyquery.net", "/soap"),
+                    Url::new("sdss-s0r2.skyquery.net", "/soap"),
+                ],
             },
             PlanShard {
                 url: Url::new("sdss-s1.skyquery.net", "/soap"),
                 extent: ZoneExtent::new(0.0, 90.0).unwrap(),
+                replicas: vec![],
             },
         ];
         let back = ExecutionPlan::from_element(&p.to_element()).unwrap();
         assert_eq!(back, p);
         assert!(back.has_shards());
         assert!(!demo_plan().has_shards());
+        // Replica lists survive the wire exactly, per shard.
+        assert_eq!(back.steps[1].shards[0].replicas.len(), 2);
+        assert!(back.steps[1].shards[1].replicas.is_empty());
+        // A Replica child missing its url is a protocol error rather
+        // than a silently shrunken replica set.
+        let mut el = p.to_element();
+        for step in &mut el.children {
+            if step.name == "Step" {
+                for sh in &mut step.children {
+                    if sh.name == "Shard" {
+                        sh.children.push(Element::new("Replica"));
+                    }
+                }
+            }
+        }
+        assert!(ExecutionPlan::from_element(&el).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use skyquery_sql::{decompose, parse_query, DecomposedQuery, Expr};
 use skyquery_storage::{DataType, Value};
 
 use crate::error::{FederationError, Result};
-use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode, Registration};
+use crate::meta::{catalog_from_element, ArchiveInfo, RegisteredNode, Registration, ZoneExtent};
 use crate::plan::{
     ExecutionPlan, PlanShard, PlanStep, DEFAULT_LEASE_TTL_S, DEFAULT_MAX_MESSAGE_BYTES,
 };
@@ -132,6 +132,13 @@ pub struct FederationConfig {
     /// expired entry is evicted at the next lookup, forcing a clean
     /// cold re-run.
     pub result_cache_ttl_s: f64,
+    /// Hedge delay in simulated seconds for replica-aware scatter:
+    /// when a picked replica's probe runs longer than this, the Portal
+    /// re-issues the probe to a sibling replica and the first response
+    /// wins (duplicates are reconciled by the deterministic gather).
+    /// `0.0` (the default) disables hedging; failover on unhealthy
+    /// replicas is always on.
+    pub hedge_delay_s: f64,
 }
 
 impl Default for FederationConfig {
@@ -150,8 +157,42 @@ impl Default for FederationConfig {
             lease_ttl_s: DEFAULT_LEASE_TTL_S,
             result_cache_capacity: 0,
             result_cache_ttl_s: DEFAULT_LEASE_TTL_S,
+            hedge_delay_s: 0.0,
         }
     }
+}
+
+/// Partial-result honesty: what a degraded execution dropped. Returned
+/// alongside every executed plan and stamped onto the client-facing
+/// result header, so a caller can always tell a complete answer from a
+/// partial one without scraping trace events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Degradation {
+    /// Whether any archive (or shard of one) was dropped from the
+    /// answer.
+    pub degraded: bool,
+    /// What was dropped: the archive name for a wholly-skipped drop-out
+    /// step, `archive@host` for individual shards lost mid-scatter.
+    pub dropped: Vec<String>,
+}
+
+impl Degradation {
+    /// Folds another degradation record into this one.
+    pub fn absorb(&mut self, other: Degradation) {
+        self.degraded |= other.degraded;
+        self.dropped.extend(other.dropped);
+    }
+}
+
+/// Outcome of serving one extent from its replica group during a
+/// scatter: the winning reply (or final error) plus the failover/hedge
+/// book-keeping the Portal folds into the step's statistics.
+#[derive(Default)]
+struct ExtentOutcome {
+    result: Option<Result<(PartialSet, StatsChain)>>,
+    failovers: usize,
+    hedges: usize,
+    hedge_wins: usize,
 }
 
 /// The mediator.
@@ -293,6 +334,16 @@ impl Portal {
         self.health.lock().remove(host);
     }
 
+    /// Whether `host` is currently marked unhealthy (probation counts as
+    /// healthy: real traffic may flow again). Replica selection prefers
+    /// the first healthy candidate of a group.
+    fn host_is_unhealthy(&self, host: &str) -> bool {
+        self.health
+            .lock()
+            .get(host)
+            .is_some_and(|h| h.state == HostState::Unhealthy)
+    }
+
     /// Half-open recovery probe: one cheap Information-service call with
     /// no retries. Success moves an unhealthy host to probation (real
     /// traffic may flow again); failure adds a strike. Returns whether
@@ -372,15 +423,27 @@ impl Portal {
             .and_then(|group| group.first().cloned())
     }
 
-    /// All physical shards of a logical archive, sorted by the zone
-    /// range they own (an unsharded archive is a group of one full-sky
-    /// node). Empty if the archive is not registered.
+    /// All physical shards of a logical archive, in a **deterministic**
+    /// order: ascending zone range, then host name within a range — so
+    /// replicas of the same extent are adjacent, with the primary
+    /// (lowest host) first. Replica selection and gather order both key
+    /// off this ordering, so it is re-established here explicitly
+    /// rather than trusted to registration-time bookkeeping. Empty if
+    /// the archive is not registered.
     pub fn shards_of(&self, archive: &str) -> Vec<RegisteredNode> {
-        self.nodes
+        let mut group = self
+            .nodes
             .lock()
             .get(&archive.to_ascii_uppercase())
             .cloned()
-            .unwrap_or_default()
+            .unwrap_or_default();
+        group.sort_by(|a, b| {
+            a.extent()
+                .dec_lo_deg
+                .total_cmp(&b.extent().dec_lo_deg)
+                .then_with(|| a.url.host.cmp(&b.url.host))
+        });
+        group
     }
 
     /// The UDDI provider name one shard registers under: the archive
@@ -462,10 +525,21 @@ impl Portal {
             group.clone()
         };
         self.sync_registry(&info.name, &group);
+        let extent = info.owned_extent();
+        // The registering node's replica group: every group member
+        // serving exactly the same zone range, itself included.
+        let replica_count = group
+            .iter()
+            .filter(|n| {
+                let e = n.extent();
+                e.dec_lo_deg == extent.dec_lo_deg && e.dec_hi_deg == extent.dec_hi_deg
+            })
+            .count();
         Ok(Registration {
             archive: info.name.clone(),
-            extent: info.owned_extent(),
+            extent,
             shard_count: group.len(),
+            replica_count,
             table_count,
         })
     }
@@ -615,11 +689,13 @@ impl Portal {
         &self,
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
-    ) -> Result<(PartialSet, StatsChain)> {
+    ) -> Result<(PartialSet, StatsChain, Degradation)> {
         let config = self.config();
         if config.result_cache_capacity > 0 {
-            if let Some(cached) = self.cached_result(plan, trace) {
-                return Ok(cached);
+            if let Some((set, stats)) = self.cached_result(plan, trace) {
+                // Cached entries are only written by complete (never
+                // degraded) walks, so a hit is always a complete answer.
+                return Ok((set, stats, Degradation::default()));
             }
             // Miss: run a caching walk so the next repeat of this plan
             // can be served from the cache. On an unhealthy-node
@@ -629,7 +705,7 @@ impl Portal {
             match self.run_caching_chain(plan, trace, &config) {
                 Ok(mut r) => {
                     self.stamp_cache_counters(&mut r.1);
-                    return Ok(r);
+                    return Ok((r.0, r.1, Degradation::default()));
                 }
                 Err(FederationError::NodeUnhealthy { .. }) => {
                     trace.push(
@@ -654,13 +730,13 @@ impl Portal {
         &self,
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
-    ) -> Result<(PartialSet, StatsChain)> {
+    ) -> Result<(PartialSet, StatsChain, Degradation)> {
         let mode = self.config().chain_mode;
         if plan.has_shards() {
-            // A plan addressing any sharded archive is driven step by
-            // step from the Portal, scattering each step to the owning
-            // shards; the node-to-node daisy chain cannot express a
-            // scatter.
+            // A plan addressing any sharded or replicated archive is
+            // driven step by step from the Portal, scattering each step
+            // to the owning shards with replica failover; the
+            // node-to-node daisy chain cannot express a scatter.
             return self.run_scatter_chain(plan, trace, mode);
         }
         match mode {
@@ -670,7 +746,7 @@ impl Portal {
                 if r.is_ok() {
                     self.note_healthy(&plan.steps[0].url.host);
                 }
-                r
+                r.map(|(set, stats)| (set, stats, Degradation::default()))
             }
             ChainMode::Checkpointed => self.run_checkpointed_chain(plan, trace),
         }
@@ -714,13 +790,13 @@ impl Portal {
                 ),
             );
         }
-        let (set, stats) = chain?;
+        let (set, stats, degradation) = chain?;
         for (alias, s) in &stats.entries {
             trace.push(
                 alias.clone(),
                 "cross match step",
                 format!(
-                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}, tile builds {}, tile decodes {}, tile hits {}, cache hits {}, cache misses {}, cache repairs {}, cache evictions {}, shards pruned {}",
+                    "tuples in {}, candidates probed {}, examined {}, chi2 accepted {}, scratch reuse {}, tuples out {}, tile builds {}, tile decodes {}, tile hits {}, cache hits {}, cache misses {}, cache repairs {}, cache evictions {}, failovers {}, hedges {}, hedge wins {}, shards pruned {}",
                     s.tuples_in,
                     s.candidates_probed,
                     s.candidates_examined,
@@ -734,13 +810,30 @@ impl Portal {
                     s.cache_misses,
                     s.cache_repairs,
                     s.cache_evictions,
+                    s.failovers,
+                    s.hedges,
+                    s.hedge_wins,
                     s.shards_pruned
                 ),
             );
         }
 
-        // Step 8: final projection and relay.
-        let result = project(&plan, set)?;
+        // Step 8: final projection and relay, with partial-result
+        // honesty stamped on the header: a degraded answer says so, and
+        // names what it lost, without the client scraping the trace.
+        let mut result = project(&plan, set)?;
+        result.degraded = degradation.degraded;
+        result.dropped_archives = degradation.dropped.clone();
+        if degradation.degraded {
+            trace.push(
+                "Portal",
+                "partial result",
+                format!(
+                    "answer degraded; dropped: {}",
+                    degradation.dropped.join(", ")
+                ),
+            );
+        }
         trace.push(
             "Portal",
             "relay",
@@ -762,7 +855,7 @@ impl Portal {
         &self,
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
-    ) -> Result<(PartialSet, StatsChain)> {
+    ) -> Result<(PartialSet, StatsChain, Degradation)> {
         let mut walk = CheckpointedWalk::new(plan);
         while !walk.is_done() {
             if let Err(e) = walk.step(self, trace) {
@@ -772,7 +865,9 @@ impl Portal {
                 return Err(e);
             }
         }
-        walk.finish(self)
+        let degradation = walk.degradation().clone();
+        let (set, stats) = walk.finish(self)?;
+        Ok((set, stats, degradation))
     }
 
     /// Attempts to serve `plan` from the result cache: a **hit** (the
@@ -1546,20 +1641,23 @@ impl Portal {
         plan: &ExecutionPlan,
         trace: &mut ExecutionTrace,
         mode: ChainMode,
-    ) -> Result<(PartialSet, StatsChain)> {
+    ) -> Result<(PartialSet, StatsChain, Degradation)> {
         let mut remaining = plan.steps.clone();
         let mut executed: Vec<String> = Vec::new();
         let mut deferrals: HashMap<String, u64> = HashMap::new();
         let mut current: Option<PartialSet> = None;
         let mut stats = StatsChain::new();
+        let mut degradation = Degradation::default();
         let mut recovering = false;
         while let Some(idx) = remaining.len().checked_sub(1) {
             let step = remaining[idx].clone();
             let mut sub_plan = plan.clone();
             sub_plan.steps = remaining.clone();
             match self.scatter_step(&sub_plan, idx, current.as_ref(), mode, trace) {
-                Ok((set, st, degraded)) => {
+                Ok((set, st, deg)) => {
                     stats.push(step.alias.clone(), st);
+                    let degraded = deg.degraded;
+                    degradation.absorb(deg);
                     if recovering && !degraded {
                         recovering = false;
                         trace.push(
@@ -1601,6 +1699,10 @@ impl Portal {
                             ),
                         );
                         self.net.record_node_event(&self.host, "degraded");
+                        degradation.absorb(Degradation {
+                            degraded: true,
+                            dropped: vec![step.archive.clone()],
+                        });
                         remaining.pop();
                         recovering = true;
                     } else {
@@ -1638,14 +1740,22 @@ impl Portal {
         }
         let set =
             current.ok_or_else(|| FederationError::planning("scatter chain committed no steps"))?;
-        Ok((set, stats))
+        Ok((set, stats, degradation))
     }
 
     /// Scatters one step (`idx`, the tail of `plan.steps`) to its owning
     /// shards in parallel and gathers the replies into one merged
-    /// partial set plus the step's merged statistics. The third return
-    /// is a `degraded` flag: `true` when a drop-out step lost shards
-    /// but was answered from the rest (Checkpointed mode only).
+    /// partial set plus the step's merged statistics. Each extent is
+    /// served by one replica of its group: the first healthy candidate
+    /// in deterministic `(extent, host)` order is probed, a reply slower
+    /// than the configured hedge delay races a duplicate probe against
+    /// the first untried sibling (first response wins; the loser is
+    /// discarded before the gather, so no duplicate rows can merge), and
+    /// an unhealthy verdict fails over through the remaining siblings
+    /// before the step is allowed to fail. The third return records
+    /// partial-result honesty: `degraded` with the lost shards named
+    /// `archive@host` when a drop-out step lost whole extents but was
+    /// answered from the rest (Checkpointed mode only).
     fn scatter_step(
         &self,
         plan: &ExecutionPlan,
@@ -1653,12 +1763,17 @@ impl Portal {
         input: Option<&PartialSet>,
         mode: ChainMode,
         trace: &mut ExecutionTrace,
-    ) -> Result<(PartialSet, StepStats, bool)> {
+    ) -> Result<(PartialSet, StepStats, Degradation)> {
         let step = &plan.steps[idx];
-        let mut targets: Vec<Url> = if step.shards.is_empty() {
-            vec![step.url.clone()]
+        // One entry per extent: the primary scatter target plus its
+        // same-extent replicas (failover/hedge candidates).
+        let mut targets: Vec<(Url, Vec<Url>)> = if step.shards.is_empty() {
+            vec![(step.url.clone(), Vec::new())]
         } else {
-            step.shards.iter().map(|s| s.url.clone()).collect()
+            step.shards
+                .iter()
+                .map(|s| (s.url.clone(), s.replicas.clone()))
+                .collect()
         };
         let multi = targets.len() > 1;
         let dropout = step.dropout;
@@ -1711,12 +1826,83 @@ impl Portal {
         let host = &self.host;
         let wire = &wire_plan;
         let tbl = input_table.as_ref();
-        let results: Vec<Result<(PartialSet, StatsChain)>> = if multi {
+        let hedge_delay = self.config().hedge_delay_s;
+
+        // One probe attempt against one replica, with health
+        // book-keeping and the simulated-time cost of the exchange
+        // (what the hedge decision races against).
+        let probe = |url: &Url| -> (Result<(PartialSet, StatsChain)>, f64) {
+            let t0 = net.now_s();
+            let r = invoke_scatter_step(net, host, url, wire, idx, tbl);
+            let elapsed = net.now_s() - t0;
+            self.note_health(&r);
+            if r.is_ok() {
+                self.note_healthy(&url.host);
+            }
+            (r, elapsed)
+        };
+
+        // Serves one extent from its replica group: healthy-first pick,
+        // optional hedge, then failover through the untried siblings on
+        // unhealthy verdicts. Replicas hold identical data, so whichever
+        // one answers yields byte-identical rows. Non-unhealthy errors
+        // (a malformed body surviving its retry budget, a planning
+        // error) stay fatal: failing over past a poisoned reply would
+        // mask corruption, not route around an outage.
+        let serve_extent = |primary: &Url, replicas: &[Url]| -> ExtentOutcome {
+            let mut candidates: Vec<&Url> = Vec::with_capacity(1 + replicas.len());
+            candidates.push(primary);
+            candidates.extend(replicas.iter());
+            let pick = candidates
+                .iter()
+                .position(|u| !self.host_is_unhealthy(&u.host))
+                .unwrap_or(0);
+            let picked = candidates.remove(pick);
+            candidates.insert(0, picked);
+
+            let mut out = ExtentOutcome::default();
+            let (mut r, elapsed) = probe(candidates[0]);
+            let mut tried = 1;
+            if hedge_delay > 0.0 && elapsed >= hedge_delay && candidates.len() > 1 {
+                // The picked replica was slower than the hedge delay:
+                // model a duplicate probe issued at `hedge_delay` racing
+                // the (already-measured) straggler; first response wins
+                // and the loser is dropped here, before the gather.
+                out.hedges += 1;
+                net.record_node_event(host, "hedge");
+                let sibling = candidates[1];
+                tried = 2;
+                let (r2, sibling_elapsed) = probe(sibling);
+                let sibling_wins = match (&r, &r2) {
+                    (Err(_), Ok(_)) => true,
+                    (Ok(_), Ok(_)) => hedge_delay + sibling_elapsed < elapsed,
+                    _ => false,
+                };
+                if sibling_wins {
+                    r = r2;
+                    out.hedge_wins += 1;
+                }
+            }
+            while matches!(r, Err(FederationError::NodeUnhealthy { .. }))
+                && tried < candidates.len()
+            {
+                let next = candidates[tried];
+                tried += 1;
+                out.failovers += 1;
+                net.record_node_event(host, "failover");
+                r = probe(next).0;
+            }
+            out.result = Some(r);
+            out
+        };
+        let serve_extent = &serve_extent;
+
+        let outcomes: Vec<ExtentOutcome> = if multi {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = targets
                     .iter()
-                    .map(|url| {
-                        scope.spawn(move |_| invoke_scatter_step(net, host, url, wire, idx, tbl))
+                    .map(|(primary, replicas)| {
+                        scope.spawn(move |_| serve_extent(primary, replicas))
                     })
                     .collect();
                 handles
@@ -1728,21 +1914,18 @@ impl Portal {
         } else {
             targets
                 .iter()
-                .map(|url| invoke_scatter_step(net, host, url, wire, idx, tbl))
+                .map(|(primary, replicas)| serve_extent(primary, replicas))
                 .collect()
         };
 
-        for (url, r) in targets.iter().zip(&results) {
-            self.note_health(r);
-            if r.is_ok() {
-                self.note_healthy(&url.host);
-            }
-        }
-
         let mut parts: Vec<(PartialSet, StepStats)> = Vec::new();
         let mut errs: Vec<(String, FederationError)> = Vec::new();
-        for (url, r) in targets.iter().zip(results) {
-            match r {
+        let (mut failovers, mut hedges, mut hedge_wins) = (0usize, 0usize, 0usize);
+        for ((primary, _), o) in targets.iter().zip(outcomes) {
+            failovers += o.failovers;
+            hedges += o.hedges;
+            hedge_wins += o.hedge_wins;
+            match o.result.expect("every extent produced an outcome") {
                 Ok((set, chain)) => {
                     let st = chain
                         .entries
@@ -1752,7 +1935,10 @@ impl Portal {
                         .unwrap_or_default();
                     parts.push((set, st));
                 }
-                Err(e) => errs.push((url.host.clone(), e)),
+                // A failed extent is named by its primary host — the
+                // stable group identity — not whichever replica happened
+                // to answer last.
+                Err(e) => errs.push((primary.host.clone(), e)),
             }
         }
 
@@ -1789,7 +1975,17 @@ impl Portal {
             self.net.record_node_event(&self.host, "degraded");
             let (set, mut st) = shard::merge_dropout(&parts)?;
             st.shards_pruned += shards_pruned;
-            return Ok((set, st, true));
+            st.failovers += failovers;
+            st.hedges += hedges;
+            st.hedge_wins += hedge_wins;
+            let degradation = Degradation {
+                degraded: true,
+                dropped: errs
+                    .iter()
+                    .map(|(h, _)| format!("{}@{}", step.archive, h))
+                    .collect(),
+            };
+            return Ok((set, st, degradation));
         }
 
         let (set, mut st) = if !multi {
@@ -1802,6 +1998,9 @@ impl Portal {
             shard::merge_match(&parts, &step.alias)?
         };
         st.shards_pruned += shards_pruned;
+        st.failovers += failovers;
+        st.hedges += hedges;
+        st.hedge_wins += hedge_wins;
         if multi {
             let pruned_note = if shards_pruned > 0 {
                 format!(" ({shards_pruned} shard(s) extent-pruned)")
@@ -1820,7 +2019,7 @@ impl Portal {
                 ),
             );
         }
-        Ok((set, st, false))
+        Ok((set, st, Degradation::default()))
     }
 
     /// Runs the count-star performance queries, in parallel when
@@ -1832,11 +2031,14 @@ impl Portal {
     ) -> Result<HashMap<String, u64>> {
         let config = self.config();
         let mut out = HashMap::new();
-        // One job per (alias, shard): each shard counts its own zone
+        // One job per (alias, extent): each shard counts its own zone
         // range and the Portal sums the estimates per alias, so a
         // sharded archive orders the plan exactly as its single-node
-        // equivalent would.
-        let mut jobs: Vec<(String, String, Url)> = Vec::new();
+        // equivalent would. Replicas of an extent hold identical data —
+        // each extent is counted once (`shards_of` sorts by extent then
+        // host, so a same-extent run is one replica group), or the sum
+        // would scale with the replication factor.
+        let mut jobs: Vec<(String, String, Vec<Url>)> = Vec::new();
         for pq in &dq.performance_queries {
             let group = self.shards_of(&pq.archive);
             if group.is_empty() {
@@ -1845,21 +2047,55 @@ impl Portal {
                     pq.archive
                 )));
             }
+            let mut prev: Option<ZoneExtent> = None;
             for n in group {
-                jobs.push((pq.alias.clone(), pq.to_sql(), n.url));
+                let e = n.extent();
+                let dup = prev
+                    .is_some_and(|p| p.dec_lo_deg == e.dec_lo_deg && p.dec_hi_deg == e.dec_hi_deg);
+                prev = Some(e);
+                if dup {
+                    let (_, _, siblings) = jobs.last_mut().expect("a replica follows its primary");
+                    siblings.push(n.url);
+                } else {
+                    jobs.push((pq.alias.clone(), pq.to_sql(), vec![n.url]));
+                }
             }
         }
 
-        let run_one = |alias: &str, sql: &str, url: &Url| -> Result<(String, u64)> {
-            let resp = self.call(
-                url,
-                &RpcCall::new("Query").param("sql", SoapValue::Str(sql.to_string())),
-            )?;
-            let count = resp
-                .require("count")?
-                .as_i64()
-                .ok_or_else(|| FederationError::protocol("count must be an integer"))?;
-            Ok((alias.to_string(), count as u64))
+        // Counts one extent: healthy-first pick, then failover through
+        // the untried siblings on unhealthy verdicts — the scatter's
+        // replica selection (§13), so a dead primary cannot fail the
+        // query at planning time. Non-unhealthy errors stay fatal.
+        let run_one = |alias: &str, sql: &str, candidates: &[Url]| -> Result<(String, u64)> {
+            let mut order: Vec<&Url> = candidates.iter().collect();
+            let pick = order
+                .iter()
+                .position(|u| !self.host_is_unhealthy(&u.host))
+                .unwrap_or(0);
+            let picked = order.remove(pick);
+            order.insert(0, picked);
+            let mut unhealthy = None;
+            for (tried, url) in order.iter().enumerate() {
+                if tried > 0 {
+                    self.net.record_node_event(&self.host, "failover");
+                }
+                let r = self.call(
+                    url,
+                    &RpcCall::new("Query").param("sql", SoapValue::Str(sql.to_string())),
+                );
+                match r {
+                    Ok(resp) => {
+                        let count = resp
+                            .require("count")?
+                            .as_i64()
+                            .ok_or_else(|| FederationError::protocol("count must be an integer"))?;
+                        return Ok((alias.to_string(), count as u64));
+                    }
+                    Err(e @ FederationError::NodeUnhealthy { .. }) => unhealthy = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(unhealthy.expect("every group has at least one candidate"))
         };
 
         if config.parallel_performance_queries && jobs.len() > 1 {
@@ -1963,15 +2199,36 @@ impl Portal {
                 )));
             }
             // A shard group of more than one node makes this step a
-            // scatter-gather step: the plan lists every shard with the
-            // zone range it owns.
+            // scatter-gather step: the plan lists one entry per distinct
+            // zone range — the primary (lowest host) as the scatter
+            // target, its same-extent siblings as failover/hedge
+            // replicas. `shards_of` orders by (extent, host), so
+            // same-extent nodes are adjacent with the primary first.
             let group = self.shards_of(&slice.table.archive);
-            let shards = if group.len() > 1 {
-                group
+            let mut extent_groups: Vec<Vec<&RegisteredNode>> = Vec::new();
+            for n in &group {
+                match extent_groups.last_mut() {
+                    Some(eg)
+                        if eg[0].extent().dec_lo_deg == n.extent().dec_lo_deg
+                            && eg[0].extent().dec_hi_deg == n.extent().dec_hi_deg =>
+                    {
+                        eg.push(n)
+                    }
+                    _ => extent_groups.push(vec![n]),
+                }
+            }
+            let replicated = extent_groups.iter().any(|eg| eg.len() > 1);
+            // Any replication routes the step through the scatter
+            // executor even for a single extent (the daisy chain has no
+            // failover); a single unreplicated node keeps the legacy
+            // un-scattered wire shape.
+            let shards = if extent_groups.len() > 1 || replicated {
+                extent_groups
                     .iter()
-                    .map(|n| PlanShard {
-                        url: n.url.clone(),
-                        extent: n.extent(),
+                    .map(|eg| PlanShard {
+                        url: eg[0].url.clone(),
+                        extent: eg[0].extent(),
+                        replicas: eg[1..].iter().map(|n| n.url.clone()).collect(),
                     })
                     .collect()
             } else {
@@ -2082,6 +2339,7 @@ pub struct CheckpointedWalk {
     /// The last good checkpoint: where the committed prefix lives.
     checkpoint: Option<(Url, u64)>,
     stats: StatsChain,
+    degradation: Degradation,
     recovering: bool,
 }
 
@@ -2095,8 +2353,16 @@ impl CheckpointedWalk {
             deferrals: HashMap::new(),
             checkpoint: None,
             stats: StatsChain::new(),
+            degradation: Degradation::default(),
             recovering: false,
         }
+    }
+
+    /// What this walk has dropped so far: read it before
+    /// [`CheckpointedWalk::finish`] consumes the walk, so the caller can
+    /// stamp partial-result honesty onto whatever it relays.
+    pub fn degradation(&self) -> &Degradation {
+        &self.degradation
     }
 
     /// Whether every step has executed (or been skipped as degraded).
@@ -2238,6 +2504,10 @@ impl CheckpointedWalk {
                         ),
                     );
                     portal.net.record_node_event(&portal.host, "degraded");
+                    self.degradation.absorb(Degradation {
+                        degraded: true,
+                        dropped: vec![step.archive.clone()],
+                    });
                     self.remaining.pop();
                     self.recovering = true;
                     Ok(())
@@ -2648,7 +2918,8 @@ impl Endpoint for Portal {
                     let reg = self.register_node(&url)?;
                     Ok(RpcResponse::new("Register")
                         .result("archive", SoapValue::Str(reg.archive))
-                        .result("shards", SoapValue::Int(reg.shard_count as i64)))
+                        .result("shards", SoapValue::Int(reg.shard_count as i64))
+                        .result("replicas", SoapValue::Int(reg.replica_count as i64)))
                 }),
             // The SkyQuery service: accepts the user query from a Client.
             "SkyQuery" => call
@@ -2672,6 +2943,11 @@ impl Endpoint for Portal {
                     }
                     Ok(RpcResponse::new("SkyQuery")
                         .result("result", SoapValue::Table(result.to_votable("result")))
+                        // Partial-result honesty crosses the wire too:
+                        // a remote client sees the same degraded flag a
+                        // local caller reads off the ResultSet.
+                        .result("degraded", SoapValue::Bool(result.degraded))
+                        .result("dropped", SoapValue::Str(result.dropped_archives.join(",")))
                         .result("trace", SoapValue::Xml(trace_el)))
                 }),
             other => Err(FederationError::protocol(format!(

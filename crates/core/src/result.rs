@@ -26,12 +26,30 @@ impl ResultColumn {
 }
 
 /// A materialized query result.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ResultSet {
     /// Output columns.
     pub columns: Vec<ResultColumn>,
     /// Result rows, each matching `columns` in arity and type.
     pub rows: Vec<Row>,
+    /// Partial-result honesty: `true` when the answer was computed
+    /// without one or more unreachable archives (or shards of one) and
+    /// is therefore complete-minus-those-filters, not wrong. Stamped by
+    /// the Portal at relay time; `false` for a complete answer.
+    pub degraded: bool,
+    /// What a degraded answer dropped: archive names for wholly-skipped
+    /// drop-out steps, `archive@host` for shards lost mid-scatter.
+    /// Empty unless `degraded`.
+    pub dropped_archives: Vec<String>,
+}
+
+/// Equality compares the data (columns and rows) only: the degradation
+/// header is delivery metadata, and byte-identity checks between a
+/// degraded answer and its healthy reference run must compare payloads.
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &ResultSet) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl ResultSet {
@@ -40,6 +58,8 @@ impl ResultSet {
         ResultSet {
             columns,
             rows: Vec::new(),
+            degraded: false,
+            dropped_archives: Vec::new(),
         }
     }
 

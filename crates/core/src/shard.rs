@@ -129,6 +129,9 @@ pub fn merge_seed(
         stats.tile_decodes += st.tile_decodes;
         stats.tile_hits += st.tile_hits;
         stats.shards_pruned += st.shards_pruned;
+        stats.failovers += st.failovers;
+        stats.hedges += st.hedges;
+        stats.hedge_wins += st.hedge_wins;
         for t in &set.tuples {
             keyed.push((id_at(t, rank_idx)?, t.clone()));
         }
@@ -168,6 +171,9 @@ pub fn merge_match(
         stats.tile_decodes += st.tile_decodes;
         stats.tile_hits += st.tile_hits;
         stats.shards_pruned += st.shards_pruned;
+        stats.failovers += st.failovers;
+        stats.hedges += st.hedges;
+        stats.hedge_wins += st.hedge_wins;
         for t in &set.tuples {
             keyed.push(((id_at(t, src_idx)?, id_at(t, rank_idx)?), t.clone()));
         }
@@ -225,6 +231,9 @@ pub fn merge_dropout(parts: &[(PartialSet, StepStats)]) -> Result<(PartialSet, S
         stats.tile_decodes += st.tile_decodes;
         stats.tile_hits += st.tile_hits;
         stats.shards_pruned += st.shards_pruned;
+        stats.failovers += st.failovers;
+        stats.hedges += st.hedges;
+        stats.hedge_wins += st.hedge_wins;
         let mut ids = HashSet::with_capacity(set.tuples.len());
         for t in &set.tuples {
             ids.insert(id_at(t, src_idx)?);

@@ -192,7 +192,10 @@ impl StatsChain {
                     .with_attr("cache_hits", s.cache_hits.to_string())
                     .with_attr("cache_misses", s.cache_misses.to_string())
                     .with_attr("cache_repairs", s.cache_repairs.to_string())
-                    .with_attr("cache_evictions", s.cache_evictions.to_string()),
+                    .with_attr("cache_evictions", s.cache_evictions.to_string())
+                    .with_attr("failovers", s.failovers.to_string())
+                    .with_attr("hedges", s.hedges.to_string())
+                    .with_attr("hedge_wins", s.hedge_wins.to_string()),
             );
         }
         e
@@ -235,6 +238,9 @@ impl StatsChain {
                     cache_misses: lenient("cache_misses"),
                     cache_repairs: lenient("cache_repairs"),
                     cache_evictions: lenient("cache_evictions"),
+                    failovers: lenient("failovers"),
+                    hedges: lenient("hedges"),
+                    hedge_wins: lenient("hedge_wins"),
                 },
             );
         }
@@ -308,6 +314,9 @@ mod tests {
                 cache_misses: 3,
                 cache_repairs: 2,
                 cache_evictions: 1,
+                failovers: 4,
+                hedges: 2,
+                hedge_wins: 1,
             },
         );
         c.push(
@@ -338,6 +347,9 @@ mod tests {
             assert_eq!(b.cache_misses, o.cache_misses);
             assert_eq!(b.cache_repairs, o.cache_repairs);
             assert_eq!(b.cache_evictions, o.cache_evictions);
+            assert_eq!(b.failovers, o.failovers);
+            assert_eq!(b.hedges, o.hedges);
+            assert_eq!(b.hedge_wins, o.hedge_wins);
         }
     }
 
@@ -362,6 +374,9 @@ mod tests {
         assert_eq!(s.cache_misses, 0);
         assert_eq!(s.cache_repairs, 0);
         assert_eq!(s.cache_evictions, 0);
+        assert_eq!(s.failovers, 0);
+        assert_eq!(s.hedges, 0);
+        assert_eq!(s.hedge_wins, 0);
     }
 
     #[test]

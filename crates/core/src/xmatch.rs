@@ -302,9 +302,11 @@ pub struct StepConfig {
 /// `tile_hits`, `shards_pruned`) on kernel choice and shard layout, and
 /// the result-cache counters (`cache_hits`, `cache_misses`,
 /// `cache_repairs`, `cache_evictions`) on what earlier submissions left
-/// cached, so — like `ExecutionTrace` excluding its clock — they are
-/// deliberately outside `==`; parity tests can therefore compare stats
-/// across kernels, worker counts, and cache states.
+/// cached, and the replica counters (`failovers`, `hedges`,
+/// `hedge_wins`) on which replicas happened to be reachable, so — like
+/// `ExecutionTrace` excluding its clock — they are deliberately outside
+/// `==`; parity tests can therefore compare stats across kernels, worker
+/// counts, cache states, and replica layouts.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepStats {
     /// Partial tuples received from the previous step.
@@ -347,6 +349,15 @@ pub struct StepStats {
     /// Cache entries evicted — lease expiry, capacity pressure, or a
     /// version regression that made repair impossible (Portal-side).
     pub cache_evictions: usize,
+    /// Scatter probes re-issued to a sibling replica after the picked
+    /// replica proved unhealthy (Portal-side; scatter steps only).
+    pub failovers: usize,
+    /// Hedged duplicate probes issued because the picked replica's reply
+    /// exceeded the configured hedge delay (Portal-side).
+    pub hedges: usize,
+    /// Hedged probes whose sibling reply won the first-response race
+    /// (Portal-side; the duplicate loser is reconciled away).
+    pub hedge_wins: usize,
 }
 
 impl PartialEq for StepStats {

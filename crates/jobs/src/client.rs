@@ -91,6 +91,11 @@ impl JobClient {
                 .get("rows")
                 .and_then(|v| v.as_i64())
                 .map(|v| v as usize),
+            degraded: resp
+                .get("degraded")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            dropped_archives: decode_dropped(&resp),
             error: resp.get("error").and_then(|v| v.as_str()).map(String::from),
             wait_s: require_f64(&resp, "wait_s")?,
             run_s: require_f64(&resp, "run_s")?,
@@ -113,11 +118,23 @@ impl JobClient {
     pub fn fetch(&self, job: u64) -> Result<ResultSet> {
         let resp =
             self.call(&RpcCall::new("FetchResults").param("job", SoapValue::Int(job as i64)))?;
+        // The degradation header rides the first reply on both delivery
+        // shapes; stamp it onto whatever result set we decode.
+        let degraded = resp
+            .get("degraded")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        let dropped = decode_dropped(&resp);
+        let stamp = |mut rs: ResultSet| {
+            rs.degraded = degraded;
+            rs.dropped_archives = dropped.clone();
+            rs
+        };
         if let Some(v) = resp.get("result") {
             let table = v
                 .as_table()
                 .ok_or_else(|| FederationError::protocol("result must be a table"))?;
-            return ResultSet::from_votable(table);
+            return ResultSet::from_votable(table).map(stamp);
         }
         let manifest = match resp.get("manifest") {
             Some(SoapValue::Xml(e)) => ChunkManifest::from_element(e)?,
@@ -134,7 +151,16 @@ impl JobClient {
             tables.push(chunk.table);
         }
         let table = VoTable::concat(tables)?;
-        ResultSet::from_votable(&table)
+        ResultSet::from_votable(&table).map(stamp)
+    }
+}
+
+/// Decodes the comma-joined `dropped` response field; absent or empty
+/// means nothing was dropped.
+fn decode_dropped(resp: &RpcResponse) -> Vec<String> {
+    match resp.get("dropped") {
+        Some(SoapValue::Str(s)) if !s.is_empty() => s.split(',').map(str::to_string).collect(),
+        _ => Vec::new(),
     }
 }
 

@@ -130,6 +130,13 @@ pub struct JobStatus {
     pub state: JobState,
     /// Matched rows, once the job succeeded.
     pub result_rows: Option<usize>,
+    /// Partial-result honesty: `true` when the job succeeded around one
+    /// or more unreachable archives/shards and the rows are therefore a
+    /// degraded (complete-minus-dropped-filters) answer.
+    pub degraded: bool,
+    /// What a degraded job dropped (archive names, or `archive@host`
+    /// for shards lost mid-scatter). Empty unless `degraded`.
+    pub dropped_archives: Vec<String>,
     /// The failure message, once the job failed.
     pub error: Option<String>,
     /// Simulated seconds spent queued (submission → admission); grows

@@ -146,6 +146,10 @@ struct Job {
     error: Option<String>,
     trace: ExecutionTrace,
     result_rows: Option<usize>,
+    /// Partial-result honesty carried from the execution: set when the
+    /// job succeeded around unreachable archives/shards.
+    degraded: bool,
+    dropped_archives: Vec<String>,
     /// Recovery accounting accumulated across scheduler quanta.
     retries: u64,
     backoff_s: f64,
@@ -429,6 +433,8 @@ impl JobService {
                 error: None,
                 trace,
                 result_rows: None,
+                degraded: false,
+                dropped_archives: Vec::new(),
                 retries: 0,
                 backoff_s: 0.0,
                 faults: 0,
@@ -467,6 +473,8 @@ impl JobService {
             tenant: job.tenant.clone(),
             state: job.state,
             result_rows: job.result_rows,
+            degraded: job.degraded,
+            dropped_archives: job.dropped_archives.clone(),
             error: job.error.clone(),
             wait_s,
             run_s,
@@ -675,11 +683,14 @@ impl JobService {
                     }
                 }
                 None => match self.portal.config().chain_mode {
-                    ChainMode::Recursive => {
-                        // The paper's daisy chain is a single synchronous
-                        // recursion — one quantum runs it to completion.
+                    // A plan addressing sharded or replicated archives is
+                    // driven by the Portal's scatter executor whatever the
+                    // chain mode — a node-to-node walk cannot express a
+                    // scatter — so, like the recursive daisy chain, it
+                    // runs to completion in one quantum.
+                    _ if plan.has_shards() => {
                         match self.portal.execute_plan(&plan, &mut job.trace) {
-                            Ok((set, stats)) => {
+                            Ok((set, stats, degradation)) => {
                                 for (alias, s) in &stats.entries {
                                     job.trace.push(
                                         alias.clone(),
@@ -691,7 +702,38 @@ impl JobService {
                                     );
                                 }
                                 match Portal::project_result(&plan, set) {
-                                    Ok(rs) => SliceOutcome::Succeeded(rs),
+                                    Ok(mut rs) => {
+                                        rs.degraded = degradation.degraded;
+                                        rs.dropped_archives = degradation.dropped;
+                                        SliceOutcome::Succeeded(rs)
+                                    }
+                                    Err(e) => SliceOutcome::Failed(e),
+                                }
+                            }
+                            Err(e) => SliceOutcome::Failed(e),
+                        }
+                    }
+                    ChainMode::Recursive => {
+                        // The paper's daisy chain is a single synchronous
+                        // recursion — one quantum runs it to completion.
+                        match self.portal.execute_plan(&plan, &mut job.trace) {
+                            Ok((set, stats, degradation)) => {
+                                for (alias, s) in &stats.entries {
+                                    job.trace.push(
+                                        alias.clone(),
+                                        "cross match step",
+                                        format!(
+                                            "tuples in {}, tuples out {}",
+                                            s.tuples_in, s.tuples_out
+                                        ),
+                                    );
+                                }
+                                match Portal::project_result(&plan, set) {
+                                    Ok(mut rs) => {
+                                        rs.degraded = degradation.degraded;
+                                        rs.dropped_archives = degradation.dropped;
+                                        SliceOutcome::Succeeded(rs)
+                                    }
                                     Err(e) => SliceOutcome::Failed(e),
                                 }
                             }
@@ -714,6 +756,10 @@ impl JobService {
             },
             ExecPhase::Walking(plan, mut walk) => {
                 if walk.is_done() {
+                    // Read the honesty record before `finish` consumes
+                    // the walk: a degraded walk must relay its partial
+                    // flag, not a silently complete-looking answer.
+                    let degradation = walk.degradation().clone();
                     match walk.finish(&self.portal) {
                         Ok((set, stats)) => {
                             for (alias, s) in &stats.entries {
@@ -727,7 +773,11 @@ impl JobService {
                                 );
                             }
                             match Portal::project_result(&plan, set) {
-                                Ok(rs) => SliceOutcome::Succeeded(rs),
+                                Ok(mut rs) => {
+                                    rs.degraded = degradation.degraded;
+                                    rs.dropped_archives = degradation.dropped;
+                                    SliceOutcome::Succeeded(rs)
+                                }
                                 Err(e) => SliceOutcome::Failed(e),
                             }
                         }
@@ -759,6 +809,18 @@ impl JobService {
             }
             SliceOutcome::Succeeded(rs) => {
                 job.result_rows = Some(rs.row_count());
+                job.degraded = rs.degraded;
+                job.dropped_archives = rs.dropped_archives.clone();
+                if rs.degraded {
+                    job.trace.push(
+                        "JobService",
+                        "partial result",
+                        format!(
+                            "answer degraded; dropped: {}",
+                            rs.dropped_archives.join(", ")
+                        ),
+                    );
+                }
                 if job.retries > 0 || job.faults > 0 {
                     job.trace.push(
                         "JobService",
@@ -860,6 +922,13 @@ impl JobService {
         if let Some(rows) = status.result_rows {
             resp = resp.result("rows", SoapValue::Int(rows as i64));
         }
+        // Partial-result honesty: a poll is enough to learn the answer
+        // is degraded — no fetch (or trace scrape) required.
+        if status.degraded {
+            resp = resp
+                .result("degraded", SoapValue::Bool(true))
+                .result("dropped", SoapValue::Str(status.dropped_archives.join(",")));
+        }
         if let Some(error) = status.error {
             resp = resp.result("error", SoapValue::Str(error));
         }
@@ -908,6 +977,11 @@ impl JobService {
                 )))
             }
         }
+        // Partial-result honesty travels with the rows on both delivery
+        // shapes (inline and chunk manifest): the VOTable payload alone
+        // cannot carry it.
+        let degraded = job.degraded;
+        let dropped = job.dropped_archives.join(",");
         st.records.renew(id, now);
         if !st.results.renew(id, now) {
             return Err(FederationError::LeaseExpired {
@@ -921,8 +995,10 @@ impl JobService {
             .get(id)
             .expect("renewed above")
             .to_votable("result");
-        let monolithic =
-            RpcResponse::new("FetchResults").result("result", SoapValue::Table(table.clone()));
+        let monolithic = RpcResponse::new("FetchResults")
+            .result("result", SoapValue::Table(table.clone()))
+            .result("degraded", SoapValue::Bool(degraded))
+            .result("dropped", SoapValue::Str(dropped.clone()));
         if monolithic.to_xml().len() <= max_bytes {
             return Ok(monolithic);
         }
@@ -936,7 +1012,9 @@ impl JobService {
             .insert(transfer_id, (id, chunks), now, config.result_ttl_s);
         self.net.record_node_event(&self.host, "lease-granted");
         Ok(RpcResponse::new("FetchResults")
-            .result("manifest", SoapValue::Xml(manifest.to_element())))
+            .result("manifest", SoapValue::Xml(manifest.to_element()))
+            .result("degraded", SoapValue::Bool(degraded))
+            .result("dropped", SoapValue::Str(dropped)))
     }
 
     fn handle_fetch_chunk(&self, net: &SimNetwork, call: &RpcCall) -> Result<RpcResponse> {

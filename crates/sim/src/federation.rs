@@ -55,6 +55,7 @@ pub struct FederationBuilder {
     register_via_soap: bool,
     faults: FaultPlan,
     shards: usize,
+    replicas: usize,
 }
 
 impl FederationBuilder {
@@ -68,6 +69,7 @@ impl FederationBuilder {
             register_via_soap: false,
             faults: FaultPlan::new(),
             shards: 1,
+            replicas: 1,
         }
     }
 
@@ -125,6 +127,18 @@ impl FederationBuilder {
         self
     }
 
+    /// Builder: serves every zone extent from `n` identical replicas,
+    /// each its own SkyNode. Replica `j >= 1` of an unsharded archive
+    /// lives on `{name}r{j}.skyquery.net`; of shard `i` on
+    /// `{name}-s{i}r{j}.skyquery.net`. Surveys are observed with a fixed
+    /// seed, so every replica holds byte-identical data. `1` (the
+    /// default) keeps the unreplicated path byte-for-byte.
+    pub fn replicas(mut self, n: usize) -> FederationBuilder {
+        assert!(n >= 1, "a replica group needs at least one replica");
+        self.replicas = n;
+        self
+    }
+
     /// Builder: installs a fault-injection plan on the network. Faults
     /// are armed *after* registration, so the federation always builds
     /// cleanly; only query traffic sees them.
@@ -149,19 +163,40 @@ impl FederationBuilder {
             // One (host, extent, database) per physical node: the whole
             // archive on `{name}.skyquery.net` when unsharded, or the
             // zone-range deal across `{name}-s{i}.skyquery.net` hosts.
+            // Replica `j >= 1` repeats each piece under an `r{j}` host
+            // suffix: the survey is observed with a fixed seed and the
+            // shard deal is deterministic, so every replica of an
+            // extent holds byte-identical data.
             let lower = params.name.to_ascii_lowercase();
-            let pieces: Vec<(String, Option<skyquery_core::ZoneExtent>, _)> = if self.shards == 1 {
-                vec![(format!("{lower}.skyquery.net"), None, survey.db)]
-            } else {
-                survey
-                    .deal_shards(self.shards)
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (extent, db))| {
-                        (format!("{lower}-s{i}.skyquery.net"), Some(extent), db)
-                    })
-                    .collect()
+            let suffix = |j: usize| {
+                if j == 0 {
+                    String::new()
+                } else {
+                    format!("r{j}")
+                }
             };
+            let mut pieces: Vec<(String, Option<skyquery_core::ZoneExtent>, _)> = Vec::new();
+            if self.shards == 1 {
+                let mut first_db = Some(survey.db);
+                for j in 0..self.replicas {
+                    let db = first_db
+                        .take()
+                        .unwrap_or_else(|| Survey::observe(&catalog, params.clone()).db);
+                    pieces.push((format!("{lower}{}.skyquery.net", suffix(j)), None, db));
+                }
+            } else {
+                for j in 0..self.replicas {
+                    pieces.extend(survey.deal_shards(self.shards).into_iter().enumerate().map(
+                        |(i, (extent, db))| {
+                            (
+                                format!("{lower}-s{i}{}.skyquery.net", suffix(j)),
+                                Some(extent),
+                                db,
+                            )
+                        },
+                    ));
+                }
+            }
             for (host, extent, db) in pieces {
                 let info = ArchiveInfo {
                     name: params.name.clone(),
@@ -270,6 +305,45 @@ mod tests {
         );
         // The registry lists every shard.
         assert_eq!(fed.portal.discover("SkyNode").len(), 12);
+    }
+
+    #[test]
+    fn replicated_federation_registers_replica_groups() {
+        let fed = FederationBuilder::paper_triple(200)
+            .shards(2)
+            .replicas(2)
+            .build();
+        // Three logical archives, 2 shards x 2 replicas each.
+        assert_eq!(fed.portal.archives().len(), 3);
+        assert_eq!(fed.nodes.len(), 12);
+        let group = fed.portal.shards_of("sdss");
+        assert_eq!(group.len(), 4);
+        // Deterministic (extent, host) order: each extent's primary
+        // immediately followed by its replica.
+        let hosts: Vec<&str> = group.iter().map(|n| n.url.host.as_str()).collect();
+        assert_eq!(
+            hosts,
+            vec![
+                "sdss-s0.skyquery.net",
+                "sdss-s0r1.skyquery.net",
+                "sdss-s1.skyquery.net",
+                "sdss-s1r1.skyquery.net",
+            ]
+        );
+        assert_eq!(group[0].extent(), group[1].extent());
+        assert_eq!(group[2].extent(), group[3].extent());
+        // Replicas hold identical data behind distinct hosts.
+        let sdss_nodes = fed.shard_nodes("sdss");
+        assert_eq!(sdss_nodes.len(), 4);
+    }
+
+    #[test]
+    fn replicated_unsharded_federation_uses_r_suffix_hosts() {
+        let fed = FederationBuilder::paper_triple(120).replicas(2).build();
+        assert_eq!(fed.nodes.len(), 6);
+        let group = fed.portal.shards_of("sdss");
+        let hosts: Vec<&str> = group.iter().map(|n| n.url.host.as_str()).collect();
+        assert_eq!(hosts, vec!["sdss.skyquery.net", "sdssr1.skyquery.net"]);
     }
 
     #[test]

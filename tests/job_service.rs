@@ -437,3 +437,78 @@ fn wsdl_describes_every_job_method() {
     }
     assert_eq!(wsdl::endpoint_address(&doc).unwrap(), svc.url().to_string());
 }
+
+/// Partial-result honesty on the async path: a job that succeeds around
+/// a dead drop-out replica group carries the degraded flag and the
+/// dropped archive names on both `PollJob` and `FetchResults`, so an
+/// asynchronous client can detect the partial answer without diffing
+/// row counts against a reference run.
+#[test]
+fn degraded_jobs_flag_partial_results_on_poll_and_fetch() {
+    use skyquery_net::{FaultKind, FaultPlan, FaultRule};
+
+    let mut plan = FaultPlan::new();
+    for host in [
+        "first-s0.skyquery.net",
+        "first-s0r1.skyquery.net",
+        "first-s1.skyquery.net",
+        "first-s1r1.skyquery.net",
+    ] {
+        plan = plan.rule(
+            FaultRule::new(FaultKind::HostDown)
+                .host(host)
+                .action("ScatterStep")
+                .times(1000),
+        );
+    }
+    let fed = FederationBuilder::paper_triple(200)
+        .shards(2)
+        .replicas(2)
+        .faults(plan)
+        .build();
+    fed.portal.set_config(FederationConfig {
+        chain_mode: ChainMode::Checkpointed,
+        ..fed.portal.config()
+    });
+    let svc = job_service(&fed, JobServiceConfig::default());
+    let cli = client(&fed, &svc, "alice-web");
+
+    let sql = "SELECT O.object_id, T.object_id \
+               FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P \
+               WHERE XMATCH(O, T, !P) < 3.5 \
+               ORDER BY O.object_id, T.object_id";
+    let id = cli.submit("alice", sql).unwrap();
+    svc.run_until_idle(100_000);
+
+    let status = cli.poll(id).unwrap();
+    assert_eq!(status.state, JobState::Succeeded);
+    assert!(status.degraded, "PollJob must carry the degraded flag");
+    assert_eq!(status.dropped_archives, vec!["FIRST".to_string()]);
+
+    let fetched = cli.fetch(id).unwrap();
+    assert!(
+        fetched.degraded,
+        "FetchResults must carry the degraded flag"
+    );
+    assert_eq!(fetched.dropped_archives, vec!["FIRST".to_string()]);
+    assert!(fetched.row_count() > 0, "the partial answer still has rows");
+
+    // A healthy job on the same service shape stays unflagged.
+    let clean = FederationBuilder::paper_triple(200)
+        .shards(2)
+        .replicas(2)
+        .build();
+    clean.portal.set_config(FederationConfig {
+        chain_mode: ChainMode::Checkpointed,
+        ..clean.portal.config()
+    });
+    let svc2 = job_service(&clean, JobServiceConfig::default());
+    let cli2 = client(&clean, &svc2, "alice-web");
+    let id2 = cli2.submit("alice", sql).unwrap();
+    svc2.run_until_idle(100_000);
+    let st = cli2.poll(id2).unwrap();
+    assert_eq!(st.state, JobState::Succeeded);
+    assert!(!st.degraded);
+    assert!(st.dropped_archives.is_empty());
+    assert!(!cli2.fetch(id2).unwrap().degraded);
+}

@@ -352,3 +352,48 @@ fn failed_cleanup_rpcs_are_tallied_not_swallowed() {
         "renew failures must surface in the trace"
     );
 }
+
+/// Satellite: malformed response bodies on the `DeltaStep` path —
+/// truncated and garbage alike — exhaust the repair probes' retry
+/// budget; the stale entry is evicted and the chain re-runs cold rather
+/// than splicing a poisoned delta. The answer stays byte-identical to a
+/// clean federation grown the same way.
+#[test]
+fn malformed_delta_bodies_fall_back_to_a_cold_run_not_a_poisoned_splice() {
+    for kind in [FaultKind::TruncateBody, FaultKind::GarbageBody] {
+        let cached = fed(4, 1, MatchKernel::default(), ChainMode::Recursive);
+        let cold = fed(0, 1, MatchKernel::default(), ChainMode::Recursive);
+        let sql = sweep_query(true);
+        cached.portal.submit(&sql).unwrap();
+        cold.portal.submit(&sql).unwrap();
+
+        grow_archives(&cached);
+        grow_archives(&cold);
+        // Every DeltaStep reply from SDSS arrives malformed: each repair
+        // probe retries, gives up, and the repair as a whole must abort.
+        cached.net.install_faults(
+            FaultPlan::new().rule(
+                FaultRule::new(kind)
+                    .host(SDSS_HOST)
+                    .action("DeltaStep")
+                    .times(1000),
+            ),
+        );
+        let (repaired, trace) = cached.portal.submit(&sql).unwrap();
+        let (rerun, _) = cold.portal.submit(&sql).unwrap();
+        assert_eq!(
+            repaired, rerun,
+            "{kind:?}: fallback run diverged from the clean cold run"
+        );
+        assert!(
+            trace.events().iter().any(
+                |e| e.action == "cache evict" && e.detail.contains("incremental repair failed")
+            ),
+            "{kind:?}: the poisoned repair must be abandoned, not spliced"
+        );
+        assert!(
+            cached.net.metrics().retry_total().retries > 0,
+            "{kind:?}: the retry budget runs before the fallback"
+        );
+    }
+}
